@@ -1,0 +1,100 @@
+#include "common.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "hls/pragmas.h"
+#include "ir/verifier.h"
+
+namespace seer::benchx {
+
+hls::HlsReport
+evaluateDesign(const ir::Module &module,
+               const bench::Benchmark &benchmark, bool pipeline_loops,
+               uint64_t seed)
+{
+    std::vector<ir::Buffer> buffers =
+        bench::makeBuffers(module, benchmark.func);
+    Rng rng(seed);
+    benchmark.prepare(buffers, rng);
+    std::vector<ir::RtValue> args;
+    for (ir::Buffer &buffer : buffers)
+        args.push_back(&buffer);
+    hls::HlsOptions options;
+    options.schedule.pipeline_loops = pipeline_loops;
+    return hls::evaluate(module, benchmark.func, std::move(args),
+                         options);
+}
+
+ir::Module
+baselineModule(const bench::Benchmark &benchmark)
+{
+    return bench::parseBenchmark(benchmark);
+}
+
+core::SeerResult
+roverOnlyFlow(const bench::Benchmark &benchmark)
+{
+    ir::Module input = bench::parseBenchmark(benchmark);
+    core::SeerOptions options;
+    options.use_control = false;
+    return core::optimize(input, benchmark.func, options);
+}
+
+core::SeerResult
+seerControlOnlyFlow(const bench::Benchmark &benchmark)
+{
+    ir::Module input = bench::parseBenchmark(benchmark);
+    core::SeerOptions options;
+    options.use_rover = false;
+    options.unroll_max_trip = benchmark.unroll_max_trip;
+    return core::optimize(input, benchmark.func, options);
+}
+
+core::SeerResult
+seerFlow(const bench::Benchmark &benchmark,
+         const core::SeerOptions &base)
+{
+    ir::Module input = bench::parseBenchmark(benchmark);
+    core::SeerOptions options = base;
+    options.unroll_max_trip = benchmark.unroll_max_trip;
+    return core::optimize(input, benchmark.func, options);
+}
+
+ir::Module
+pragmaFlow(const bench::Benchmark &benchmark)
+{
+    ir::Module module = bench::parseBenchmark(benchmark);
+    hls::applyPragmas(module);
+    ir::verifyOrDie(module);
+    return module;
+}
+
+std::string
+ratio(double value, double base)
+{
+    std::ostringstream os;
+    double r = base == 0 ? 0 : value / base;
+    os.precision(r >= 10 ? 3 : 2);
+    os << std::fixed << r << "x";
+    return os.str();
+}
+
+std::string
+fmt(double value, int precision)
+{
+    std::ostringstream os;
+    os.precision(precision);
+    if (value != 0 && (std::abs(value) >= 1e6 || std::abs(value) < 1e-2))
+        os << std::scientific;
+    os << value;
+    return os.str();
+}
+
+std::string
+fmtInt(uint64_t value)
+{
+    return std::to_string(value);
+}
+
+} // namespace seer::benchx

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Shared plumbing for the experiment harnesses: the five toolflows the
+ * paper compares (Baseline, ROVER, SEER (C), SEER, manual pragmas) and
+ * workload-based PPA evaluation.
+ */
+#ifndef SEER_BENCH_COMMON_H_
+#define SEER_BENCH_COMMON_H_
+
+#include <string>
+
+#include "benchmarks/benchmarks.h"
+#include "core/seer.h"
+#include "hls/hls.h"
+
+namespace seer::benchx {
+
+/** Evaluate a design on the benchmark's workload (co-simulation). */
+hls::HlsReport evaluateDesign(const ir::Module &module,
+                              const bench::Benchmark &benchmark,
+                              bool pipeline_loops, uint64_t seed = 42);
+
+/** The five flows of the evaluation section. */
+ir::Module baselineModule(const bench::Benchmark &benchmark);
+core::SeerResult roverOnlyFlow(const bench::Benchmark &benchmark);
+core::SeerResult seerControlOnlyFlow(const bench::Benchmark &benchmark);
+core::SeerResult seerFlow(const bench::Benchmark &benchmark,
+                          const core::SeerOptions &base = {});
+ir::Module pragmaFlow(const bench::Benchmark &benchmark);
+
+/** Format v as a ratio of base, e.g. "0.34x". */
+std::string ratio(double value, double base);
+
+/** Format helpers for the tables. */
+std::string fmt(double value, int precision = 3);
+std::string fmtInt(uint64_t value);
+
+} // namespace seer::benchx
+
+#endif // SEER_BENCH_COMMON_H_

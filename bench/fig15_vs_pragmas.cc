@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Figure 15 reproduction: SEER's rewritten source versus manual pragma
+ * insertion on the unmodified source (pipeline + fusion + coalesce
+ * pragmas), normalized to the pragma flow.
+ */
+#include <iostream>
+
+#include "common.h"
+#include "support/table.h"
+
+using namespace seer;
+using namespace seer::benchx;
+
+int
+main()
+{
+    const char *suite[] = {"seq_loops",   "kmp",        "gemm_blocked",
+                           "gemm_ncubed", "md_grid",    "md_knn",
+                           "sort_merge",  "sort_radix"};
+
+    TextTable table(
+        "Figure 15: SEER vs manual pragmas (normalized to pragmas)");
+    table.setHeader({"Benchmark", "Pragma cycles", "SEER cycles",
+                     "Cycles ratio", "Area ratio", "Power ratio",
+                     "ADP ratio"});
+
+    for (const char *name : suite) {
+        const bench::Benchmark &benchmark = bench::findBenchmark(name);
+        ir::Module pragma_module = pragmaFlow(benchmark);
+        // Pragma attributes direct pipelining per loop.
+        hls::HlsReport pragma_report =
+            evaluateDesign(pragma_module, benchmark, false);
+        core::SeerResult seer = seerFlow(benchmark);
+        hls::HlsReport seer_report =
+            evaluateDesign(seer.module, benchmark, true);
+        table.addRow({name, fmtInt(pragma_report.total_cycles),
+                      fmtInt(seer_report.total_cycles),
+                      ratio(seer_report.total_cycles,
+                            pragma_report.total_cycles),
+                      ratio(seer_report.area_um2,
+                            pragma_report.area_um2),
+                      ratio(seer_report.power_mw,
+                            pragma_report.power_mw),
+                      ratio(seer_report.adp, pragma_report.adp)});
+    }
+    table.print(std::cout);
+    std::cout
+        << "\nExpected shape (paper Figure 15): SEER matches or beats "
+           "pragmas on most kernels\n(it has rewrites pragmas cannot "
+           "express); md_grid is the exception — the tool's\nloop "
+           "coalesce covers the whole nest and wins there.\n";
+    return 0;
+}

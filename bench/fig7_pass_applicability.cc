@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Figure 7 reproduction: for each control-flow transformation, the
+ * number of the nine benchmarks it was successfully applied to. Two
+ * columns: standalone (the pass run directly on the original source)
+ * and within SEER's exploration (counted from the rewrite records),
+ * where interplay with other rules unlocks additional applications —
+ * e.g. fusion on seq_loops only fires after the datapath rules recover
+ * the affine index (Figure 9).
+ */
+#include <iostream>
+#include <map>
+#include <set>
+
+#include "benchmarks/benchmarks.h"
+#include "common.h"
+#include "ir/verifier.h"
+#include "passes/passes.h"
+#include "support/error.h"
+#include "support/table.h"
+
+using namespace seer;
+using namespace seer::benchx;
+
+int
+main()
+{
+    // Column 1: standalone application on the original source.
+    std::map<std::string, std::set<std::string>> standalone;
+    for (const std::string &pass_name : passes::allPassNames()) {
+        for (const bench::Benchmark &benchmark :
+             bench::allBenchmarks()) {
+            ir::Module module = bench::parseBenchmark(benchmark);
+            ir::Operation *func = module.firstFunc();
+            passes::canonicalize(*func);
+            bool changed = false;
+            try {
+                changed = passes::createPass(pass_name)->run(*func);
+                if (changed)
+                    ir::verifyOrDie(module);
+            } catch (const seer::FatalError &) {
+                changed = false;
+            }
+            if (changed)
+                standalone[pass_name].insert(benchmark.name);
+        }
+    }
+
+    // Column 2: applications inside the SEER exploration.
+    std::map<std::string, std::set<std::string>> in_seer;
+    for (const bench::Benchmark &benchmark : bench::allBenchmarks()) {
+        core::SeerResult result = seerFlow(benchmark);
+        for (const auto &record : result.stats.records) {
+            for (const std::string &pass_name : passes::allPassNames()) {
+                if (record.rule == pass_name)
+                    in_seer[pass_name].insert(benchmark.name);
+            }
+        }
+    }
+
+    TextTable table(
+        "Figure 7: benchmarks each control transformation applies to");
+    table.setHeader({"Pass", "Standalone", "Within SEER",
+                     "Benchmarks (within SEER)"});
+    for (const std::string &pass_name : passes::allPassNames()) {
+        std::string names;
+        for (const std::string &name : in_seer[pass_name])
+            names += (names.empty() ? "" : ", ") + name;
+        table.addRow({pass_name,
+                      std::to_string(standalone[pass_name].size()),
+                      std::to_string(in_seer[pass_name].size()), names});
+    }
+    table.print(std::cout);
+    std::cout << "\nExpected shape (paper Figure 7): every "
+                 "transformation applies to at least one\nbenchmark "
+                 "within SEER; fusion and memory-forward apply more "
+                 "often inside SEER than\nstandalone because other "
+                 "rewrites unlock them (the Figure 9 interplay).\n";
+    return 0;
+}

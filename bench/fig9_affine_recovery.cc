@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Figure 9 reproduction + ablation: the non-affine (i << 1) + i index
+ * blocks loop fusion until the datapath rules recover 3*i and the
+ * analysis-friendly local extraction hands that form to the fusion
+ * pass. Three configurations:
+ *   - full SEER (interleaved + analysis-friendly extraction): fuses;
+ *   - SEER (C) (no datapath rules): cannot fuse;
+ *   - SEER without analysis-friendly extraction (smallest-term local
+ *     extraction instead): the affine form exists in the e-graph but is
+ *     not surfaced to the pass, so fusion stays blocked.
+ */
+#include <iostream>
+
+#include "common.h"
+#include "ir/analysis.h"
+#include "support/table.h"
+
+using namespace seer;
+using namespace seer::benchx;
+
+namespace {
+
+size_t
+loopCount(const ir::Module &module)
+{
+    size_t n = 0;
+    ir::walk(module, [&](ir::Operation &op) {
+        if (ir::isa(op, ir::opnames::kAffineFor))
+            ++n;
+    });
+    return n;
+}
+
+} // namespace
+
+int
+main()
+{
+    const bench::Benchmark &benchmark =
+        bench::findBenchmark("seq_loops");
+    hls::HlsReport base =
+        evaluateDesign(baselineModule(benchmark), benchmark, false);
+
+    TextTable table("Figure 9: affine recovery unlocking fusion");
+    table.setHeader({"Configuration", "Loops", "Cycles", "vs baseline",
+                     "Uses shift form"});
+
+    auto report_row = [&](const char *name,
+                          const core::SeerResult &result) {
+        hls::HlsReport r =
+            evaluateDesign(result.module, benchmark, true);
+        bool has_shift = false;
+        ir::walk(result.module, [&](ir::Operation &op) {
+            if (ir::isa(op, ir::opnames::kShLI))
+                has_shift = true;
+        });
+        table.addRow({name, fmtInt(loopCount(result.module)),
+                      fmtInt(r.total_cycles),
+                      ratio(static_cast<double>(r.total_cycles),
+                            static_cast<double>(base.total_cycles)),
+                      has_shift ? "yes" : "no"});
+    };
+
+    report_row("SEER (full)", seerFlow(benchmark));
+    report_row("SEER (C): no datapath rules",
+               seerControlOnlyFlow(benchmark));
+    {
+        core::SeerOptions options;
+        options.analysis_friendly_extraction = false;
+        report_row("SEER w/o analysis-friendly extraction",
+                   seerFlow(benchmark, options));
+    }
+    table.print(std::cout);
+    std::cout << "\nExpected shape (paper Section 4.5): only the full "
+                 "configuration reaches 1 loop,\nand its final program "
+                 "still uses the hardware-efficient shift form for the "
+                 "index\n(area-free in an ASIC) — the affine 3*i form "
+                 "was only a vehicle for analysis.\n";
+    return 0;
+}

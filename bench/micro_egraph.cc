@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Microbenchmarks for the e-graph substrate (google-benchmark):
+ * add/hashcons throughput, union+rebuild (congruence) cost, e-matching,
+ * ROVER saturation, and extraction.
+ */
+#include <benchmark/benchmark.h>
+
+#include "egraph/extract.h"
+#include "egraph/pattern.h"
+#include "egraph/runner.h"
+#include "rover/rover.h"
+
+using namespace seer;
+using namespace seer::eg;
+
+namespace {
+
+/** Balanced binary add-tree over `leaves` distinct variables. */
+TermPtr
+addTree(int depth, int &counter)
+{
+    if (depth == 0)
+        return makeTerm("var:x" + std::to_string(counter++ % 16));
+    std::vector<TermPtr> children{addTree(depth - 1, counter),
+                                  addTree(depth - 1, counter)};
+    return makeTerm(Symbol("arith.addi:i32"), std::move(children));
+}
+
+void
+BM_AddTerm(benchmark::State &state)
+{
+    int depth = static_cast<int>(state.range(0));
+    int counter = 0;
+    TermPtr term = addTree(depth, counter);
+    for (auto _ : state) {
+        EGraph egraph;
+        benchmark::DoNotOptimize(egraph.addTerm(term));
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(term->size()));
+}
+BENCHMARK(BM_AddTerm)->Arg(6)->Arg(10)->Arg(14);
+
+void
+BM_UnionRebuildCongruence(benchmark::State &state)
+{
+    int64_t n = state.range(0);
+    for (auto _ : state) {
+        state.PauseTiming();
+        EGraph egraph;
+        std::vector<EClassId> leaves;
+        std::vector<EClassId> wrapped;
+        for (int64_t i = 0; i < n; ++i) {
+            EClassId leaf = egraph.addTerm(
+                makeTerm("leaf" + std::to_string(i)));
+            leaves.push_back(leaf);
+            wrapped.push_back(
+                egraph.add(ENode{Symbol("wrap"), {leaf}}));
+        }
+        state.ResumeTiming();
+        for (int64_t i = 1; i < n; ++i)
+            egraph.merge(leaves[0], leaves[i]);
+        egraph.rebuild();
+        benchmark::DoNotOptimize(egraph.numClasses());
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_UnionRebuildCongruence)->Arg(64)->Arg(512)->Arg(4096);
+
+void
+BM_EMatch(benchmark::State &state)
+{
+    EGraph egraph;
+    int counter = 0;
+    EClassId root = egraph.addTerm(addTree(10, counter));
+    (void)root;
+    egraph.rebuild();
+    PatternPtr pattern = parsePattern("(arith.addi:i32 ?a ?b)");
+    for (auto _ : state) {
+        auto matches = ematch(egraph, *pattern);
+        benchmark::DoNotOptimize(matches.size());
+    }
+}
+BENCHMARK(BM_EMatch);
+
+void
+BM_RoverSaturation(benchmark::State &state)
+{
+    TermPtr expr = parseTerm(
+        "(arith.addi:i32 (arith.muli:i32 var:a const:12:i32) "
+        "(arith.muli:i32 var:b const:6:i32))");
+    for (auto _ : state) {
+        EGraph egraph(rover::roverAnalysisHooks());
+        EClassId root = egraph.addTerm(expr);
+        (void)root;
+        RunnerOptions options;
+        options.max_iters = 6;
+        options.record_proofs = false;
+        Runner runner(egraph, options);
+        runner.addRules(rover::roverRules());
+        benchmark::DoNotOptimize(runner.run().total_applied);
+    }
+}
+BENCHMARK(BM_RoverSaturation);
+
+void
+BM_ExtractGreedyVsExact(benchmark::State &state)
+{
+    bool exact = state.range(0) == 1;
+    EGraph egraph(rover::roverAnalysisHooks());
+    EClassId root = egraph.addTerm(parseTerm(
+        "(arith.addi:i32 (arith.muli:i32 var:a const:12:i32) "
+        "(arith.muli:i32 var:a const:24:i32))"));
+    RunnerOptions options;
+    options.max_iters = 5;
+    options.record_proofs = false;
+    Runner runner(egraph, options);
+    runner.addRules(rover::roverRules());
+    runner.run();
+    rover::RoverAreaCost cost(&egraph);
+    for (auto _ : state) {
+        auto extraction = exact ? extractExact(egraph, root, cost)
+                                : extractGreedy(egraph, root, cost);
+        benchmark::DoNotOptimize(extraction->dag_cost);
+    }
+}
+BENCHMARK(BM_ExtractGreedyVsExact)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgNames({"exact"});
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Table 4 / Figure 14 reproduction: the full suite under Baseline /
+ * ROVER / SEER, reporting Area, Total Cycles, Critical Path and Power,
+ * with the normalized geomean row and per-benchmark area-delay
+ * products. `--ablation` additionally compares SEER's design choices:
+ * greedy vs exact datapath extraction and approximation laws vs the
+ * schedule oracle.
+ */
+#include <cmath>
+#include <cstring>
+#include <iostream>
+
+#include "common.h"
+#include "support/table.h"
+
+using namespace seer;
+using namespace seer::benchx;
+
+namespace {
+
+const char *kSuite[] = {"seq_loops",   "kmp",        "gemm_blocked",
+                        "gemm_ncubed", "md_grid",    "md_knn",
+                        "sort_merge",  "sort_radix"};
+
+struct Geo
+{
+    double area = 1, cycles = 1, cp = 1, power = 1, adp = 1;
+    int n = 0;
+
+    void
+    accumulate(const hls::HlsReport &r, const hls::HlsReport &base)
+    {
+        area *= r.area_um2 / base.area_um2;
+        cycles *= static_cast<double>(r.total_cycles) /
+                  static_cast<double>(base.total_cycles);
+        cp *= r.critical_path_ns / base.critical_path_ns;
+        power *= r.power_mw / base.power_mw;
+        adp *= r.adp / base.adp;
+        ++n;
+    }
+
+    double
+    geo(double product) const
+    {
+        return n == 0 ? 1 : std::pow(product, 1.0 / n);
+    }
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool ablation = argc > 1 && std::strcmp(argv[1], "--ablation") == 0;
+
+    TextTable table("Table 4: Baseline / ROVER / SEER across the suite");
+    table.setHeader({"Benchmark", "Flow", "Area (um2)", "Cycles",
+                     "CP (ns)", "Power (mW)", "ADP vs base"});
+    Geo rover_geo, seer_geo;
+
+    for (const char *name : kSuite) {
+        const bench::Benchmark &benchmark = bench::findBenchmark(name);
+        hls::HlsReport base =
+            evaluateDesign(baselineModule(benchmark), benchmark, false);
+        core::SeerResult rover = roverOnlyFlow(benchmark);
+        hls::HlsReport rover_report =
+            evaluateDesign(rover.module, benchmark, false);
+        core::SeerResult seer = seerFlow(benchmark);
+        hls::HlsReport seer_report =
+            evaluateDesign(seer.module, benchmark, true);
+
+        rover_geo.accumulate(rover_report, base);
+        seer_geo.accumulate(seer_report, base);
+
+        auto row = [&](const char *flow, const hls::HlsReport &r) {
+            table.addRow({name, flow, fmt(r.area_um2, 4),
+                          fmtInt(r.total_cycles),
+                          fmt(r.critical_path_ns), fmt(r.power_mw),
+                          ratio(r.adp, base.adp)});
+        };
+        row("Baseline", base);
+        row("ROVER", rover_report);
+        row("SEER", seer_report);
+        table.addSeparator();
+    }
+    table.addRow({"geomean", "ROVER",
+                  ratio(rover_geo.geo(rover_geo.area), 1),
+                  ratio(rover_geo.geo(rover_geo.cycles), 1),
+                  ratio(rover_geo.geo(rover_geo.cp), 1),
+                  ratio(rover_geo.geo(rover_geo.power), 1),
+                  ratio(rover_geo.geo(rover_geo.adp), 1)});
+    table.addRow({"geomean", "SEER",
+                  ratio(seer_geo.geo(seer_geo.area), 1),
+                  ratio(seer_geo.geo(seer_geo.cycles), 1),
+                  ratio(seer_geo.geo(seer_geo.cp), 1),
+                  ratio(seer_geo.geo(seer_geo.power), 1),
+                  ratio(seer_geo.geo(seer_geo.adp), 1)});
+    table.print(std::cout);
+    std::cout << "\nExpected shape (paper Table 4 / Fig 14): SEER cuts "
+                 "cycles on every benchmark by\nenabling pipelining "
+                 "(geomean speedup of a few x) at a small area/power "
+                 "overhead;\nROVER alone only trims datapath area; "
+                 "sort_radix shows the marginal-speedup,\nhigh-power "
+                 "corner the paper calls out.\n";
+
+    if (ablation) {
+        TextTable ab("Ablation: SEER design choices (area of the "
+                     "extracted design, um2)");
+        ab.setHeader({"Benchmark", "exact ILP + laws", "greedy datapath",
+                      "oracle (no laws)"});
+        for (const char *name : kSuite) {
+            const bench::Benchmark &benchmark =
+                bench::findBenchmark(name);
+            core::SeerOptions exact;
+            core::SeerOptions greedy;
+            greedy.exact_datapath = false;
+            core::SeerOptions oracle;
+            oracle.use_laws = false;
+            double a_exact =
+                evaluateDesign(seerFlow(benchmark, exact).module,
+                               benchmark, true)
+                    .area_um2;
+            double a_greedy =
+                evaluateDesign(seerFlow(benchmark, greedy).module,
+                               benchmark, true)
+                    .area_um2;
+            double a_oracle =
+                evaluateDesign(seerFlow(benchmark, oracle).module,
+                               benchmark, true)
+                    .area_um2;
+            ab.addRow({name, fmt(a_exact, 5), fmt(a_greedy, 5),
+                       fmt(a_oracle, 5)});
+        }
+        ab.print(std::cout);
+    }
+    return 0;
+}

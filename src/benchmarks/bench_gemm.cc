@@ -1,0 +1,122 @@
+/**
+ * @file
+ * gemm (MachSuite): the naive O(n^3) version and the cache-blocked
+ * version. 16x16 matrices keep co-simulation fast while preserving the
+ * loop structure the transformations target.
+ */
+#include "benchmarks/benchmarks.h"
+
+namespace seer::bench {
+
+namespace {
+
+void
+prepareMatrices(std::vector<ir::Buffer> &buffers, Rng &rng)
+{
+    for (auto &v : buffers[0].ints)
+        v = rng.nextRange(-8, 8);
+    for (auto &v : buffers[1].ints)
+        v = rng.nextRange(-8, 8);
+    // C starts zeroed.
+}
+
+} // namespace
+
+Benchmark
+makeGemmNCubed()
+{
+    Benchmark b;
+    b.name = "gemm_ncubed";
+    b.func = "gemm_ncubed";
+    b.source = R"(
+func.func @gemm_ncubed(%A: memref<16x16xi32>, %B: memref<16x16xi32>,
+                       %C: memref<16x16xi32>) {
+  %sum = memref.alloc() : memref<1xi32>
+  %z = arith.constant 0 : index
+  %zero = arith.constant 0 : i32
+  affine.for %i = 0 to 16 {
+    affine.for %j = 0 to 16 {
+      memref.store %zero, %sum[%z] : memref<1xi32>
+      affine.for %k = 0 to 16 {
+        %a = memref.load %A[%i, %k] : memref<16x16xi32>
+        %b = memref.load %B[%k, %j] : memref<16x16xi32>
+        %p = arith.muli %a, %b : i32
+        %s = memref.load %sum[%z] : memref<1xi32>
+        %n = arith.addi %s, %p : i32
+        memref.store %n, %sum[%z] : memref<1xi32>
+      }
+      %s = memref.load %sum[%z] : memref<1xi32>
+      memref.store %s, %C[%i, %j] : memref<16x16xi32>
+    }
+  }
+})";
+    b.prepare = prepareMatrices;
+    b.golden = [](std::vector<ir::Buffer> &buffers) {
+        auto &a = buffers[0].ints;
+        auto &bm = buffers[1].ints;
+        auto &c = buffers[2].ints;
+        for (int i = 0; i < 16; ++i) {
+            for (int j = 0; j < 16; ++j) {
+                int64_t sum = 0;
+                for (int k = 0; k < 16; ++k) {
+                    sum = ir::wrapToWidth(
+                        sum + ir::wrapToWidth(
+                                  a[i * 16 + k] * bm[k * 16 + j], 32),
+                        32);
+                }
+                c[i * 16 + j] = sum;
+            }
+        }
+    };
+    return b;
+}
+
+Benchmark
+makeGemmBlocked()
+{
+    Benchmark b;
+    b.name = "gemm_blocked";
+    b.func = "gemm_blocked";
+    b.source = R"(
+func.func @gemm_blocked(%A: memref<16x16xi32>, %B: memref<16x16xi32>,
+                        %C: memref<16x16xi32>) {
+  affine.for %jj = 0 to 16 step 4 {
+    affine.for %kk = 0 to 16 step 4 {
+      affine.for %i = 0 to 16 {
+        affine.for %k = %kk to %kk + 4 {
+          %temp = memref.load %A[%i, %k] : memref<16x16xi32>
+          affine.for %j = %jj to %jj + 4 {
+            %b = memref.load %B[%k, %j] : memref<16x16xi32>
+            %p = arith.muli %temp, %b : i32
+            %c = memref.load %C[%i, %j] : memref<16x16xi32>
+            %n = arith.addi %c, %p : i32
+            memref.store %n, %C[%i, %j] : memref<16x16xi32>
+          }
+        }
+      }
+    }
+  }
+})";
+    b.prepare = prepareMatrices;
+    b.golden = [](std::vector<ir::Buffer> &buffers) {
+        auto &a = buffers[0].ints;
+        auto &bm = buffers[1].ints;
+        auto &c = buffers[2].ints;
+        // Accumulates into C (which starts zeroed).
+        for (int i = 0; i < 16; ++i) {
+            for (int j = 0; j < 16; ++j) {
+                int64_t sum = c[i * 16 + j];
+                for (int k = 0; k < 16; ++k) {
+                    sum = ir::wrapToWidth(
+                        sum + ir::wrapToWidth(
+                                  a[i * 16 + k] * bm[k * 16 + j], 32),
+                        32);
+                }
+                c[i * 16 + j] = sum;
+            }
+        }
+    };
+    return b;
+}
+
+} // namespace seer::bench

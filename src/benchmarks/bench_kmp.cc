@@ -1,0 +1,139 @@
+/**
+ * @file
+ * kmp (MachSuite): Knuth-Morris-Pratt string matching — failure-function
+ * construction followed by the scan, both with data-dependent while
+ * loops (the non-affine control the paper calls out).
+ */
+#include "benchmarks/benchmarks.h"
+
+namespace seer::bench {
+
+Benchmark
+makeKmp()
+{
+    Benchmark b;
+    b.name = "kmp";
+    b.func = "kmp";
+    b.source = R"(
+func.func @kmp(%pattern: memref<4xi32>, %text: memref<256xi32>,
+               %n_matches: memref<1xi32>) {
+  %kmp_next = memref.alloc() : memref<4xi32>
+  %kcell = memref.alloc() : memref<1xi32>
+  %z = arith.constant 0 : index
+  %zero = arith.constant 0 : i32
+  %one = arith.constant 1 : i32
+  %plen = arith.constant 4 : i32
+
+  // --- failure function -------------------------------------------
+  memref.store %zero, %kmp_next[%z] : memref<4xi32>
+  memref.store %zero, %kcell[%z] : memref<1xi32>
+  affine.for %q = 1 to 4 {
+    scf.while {
+      %k = memref.load %kcell[%z] : memref<1xi32>
+      %kpos = arith.cmpi sgt, %k, %zero : i32
+      %kidx = arith.index_cast %k : i32 to index
+      %pk = memref.load %pattern[%kidx] : memref<4xi32>
+      %pq = memref.load %pattern[%q] : memref<4xi32>
+      %ne = arith.cmpi ne, %pk, %pq : i32
+      %cond = arith.andi %kpos, %ne : i1
+      scf.condition %cond
+    } do {
+      %k = memref.load %kcell[%z] : memref<1xi32>
+      %km1 = arith.subi %k, %one : i32
+      %kidx = arith.index_cast %km1 : i32 to index
+      %fallback = memref.load %kmp_next[%kidx] : memref<4xi32>
+      memref.store %fallback, %kcell[%z] : memref<1xi32>
+    }
+    %k = memref.load %kcell[%z] : memref<1xi32>
+    %kidx = arith.index_cast %k : i32 to index
+    %pk = memref.load %pattern[%kidx] : memref<4xi32>
+    %pq = memref.load %pattern[%q] : memref<4xi32>
+    %eq = arith.cmpi eq, %pk, %pq : i32
+    scf.if %eq {
+      %kp1 = arith.addi %k, %one : i32
+      memref.store %kp1, %kcell[%z] : memref<1xi32>
+    }
+    %kfinal = memref.load %kcell[%z] : memref<1xi32>
+    memref.store %kfinal, %kmp_next[%q] : memref<4xi32>
+  }
+
+  // --- scan -------------------------------------------------------
+  memref.store %zero, %kcell[%z] : memref<1xi32>
+  memref.store %zero, %n_matches[%z] : memref<1xi32>
+  affine.for %i = 0 to 256 {
+    scf.while {
+      %k = memref.load %kcell[%z] : memref<1xi32>
+      %kpos = arith.cmpi sgt, %k, %zero : i32
+      %kidx = arith.index_cast %k : i32 to index
+      %pk = memref.load %pattern[%kidx] : memref<4xi32>
+      %tv = memref.load %text[%i] : memref<256xi32>
+      %ne = arith.cmpi ne, %pk, %tv : i32
+      %cond = arith.andi %kpos, %ne : i1
+      scf.condition %cond
+    } do {
+      %k = memref.load %kcell[%z] : memref<1xi32>
+      %km1 = arith.subi %k, %one : i32
+      %kidx = arith.index_cast %km1 : i32 to index
+      %fallback = memref.load %kmp_next[%kidx] : memref<4xi32>
+      memref.store %fallback, %kcell[%z] : memref<1xi32>
+    }
+    %k = memref.load %kcell[%z] : memref<1xi32>
+    %kidx = arith.index_cast %k : i32 to index
+    %pk = memref.load %pattern[%kidx] : memref<4xi32>
+    %tv = memref.load %text[%i] : memref<256xi32>
+    %eq = arith.cmpi eq, %pk, %tv : i32
+    scf.if %eq {
+      %kp1 = arith.addi %k, %one : i32
+      memref.store %kp1, %kcell[%z] : memref<1xi32>
+    }
+    %k2 = memref.load %kcell[%z] : memref<1xi32>
+    %found = arith.cmpi eq, %k2, %plen : i32
+    scf.if %found {
+      %m = memref.load %n_matches[%z] : memref<1xi32>
+      %mp1 = arith.addi %m, %one : i32
+      memref.store %mp1, %n_matches[%z] : memref<1xi32>
+      %last = arith.subi %k2, %one : i32
+      %lidx = arith.index_cast %last : i32 to index
+      %fallback = memref.load %kmp_next[%lidx] : memref<4xi32>
+      memref.store %fallback, %kcell[%z] : memref<1xi32>
+    }
+  }
+})";
+    b.prepare = [](std::vector<ir::Buffer> &buffers, Rng &rng) {
+        for (auto &v : buffers[0].ints)
+            v = rng.nextRange(0, 1); // binary alphabet: matches happen
+        for (auto &v : buffers[1].ints)
+            v = rng.nextRange(0, 1);
+    };
+    b.golden = [](std::vector<ir::Buffer> &buffers) {
+        auto &pattern = buffers[0].ints;
+        auto &text = buffers[1].ints;
+        auto &n_matches = buffers[2].ints;
+        // Mirror the kernel exactly (including the scan reset rule).
+        int64_t kmp_next[4] = {0, 0, 0, 0};
+        int64_t k = 0;
+        for (int q = 1; q < 4; ++q) {
+            while (k > 0 && pattern[k] != pattern[q])
+                k = kmp_next[k - 1];
+            if (pattern[k] == pattern[q])
+                ++k;
+            kmp_next[q] = k;
+        }
+        k = 0;
+        int64_t matches = 0;
+        for (int i = 0; i < 256; ++i) {
+            while (k > 0 && pattern[k] != text[i])
+                k = kmp_next[k - 1];
+            if (pattern[k] == text[i])
+                ++k;
+            if (k == 4) {
+                ++matches;
+                k = kmp_next[k - 1];
+            }
+        }
+        n_matches[0] = matches;
+    };
+    return b;
+}
+
+} // namespace seer::bench

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * md (MachSuite): molecular-dynamics force kernels.
+ *  - knn: per-atom K-nearest-neighbour force accumulation with
+ *    data-dependent neighbour indices (from the SHOC suite).
+ *  - grid: spatial-decomposition version — a deep rectangular loop nest
+ *    over cell pairs and particles (the coalescing showcase).
+ * A softened Lennard-Jones-like kernel (r2+1 in the denominator) keeps
+ * the arithmetic well-defined on random inputs.
+ */
+#include "benchmarks/benchmarks.h"
+
+namespace seer::bench {
+
+Benchmark
+makeMdKnn()
+{
+    Benchmark b;
+    b.name = "md_knn";
+    b.func = "md_knn";
+    b.source = R"(
+func.func @md_knn(%posx: memref<32xf64>, %posy: memref<32xf64>,
+                  %posz: memref<32xf64>, %nl: memref<512xi32>,
+                  %fx: memref<32xf64>, %fy: memref<32xf64>,
+                  %fz: memref<32xf64>) {
+  %c16 = arith.constant 16 : index
+  %zerof = arith.constant 0.0 : f64
+  %onef = arith.constant 1.0 : f64
+  %c15 = arith.constant 1.5 : f64
+  %c2 = arith.constant 2.0 : f64
+  affine.for %i = 0 to 32 {
+    memref.store %zerof, %fx[%i] : memref<32xf64>
+    memref.store %zerof, %fy[%i] : memref<32xf64>
+    memref.store %zerof, %fz[%i] : memref<32xf64>
+    affine.for %j = 0 to 16 {
+      %base = arith.muli %i, %c16 : index
+      %nli = arith.addi %base, %j : index
+      %neighbor = memref.load %nl[%nli] : memref<512xi32>
+      %nidx = arith.index_cast %neighbor : i32 to index
+      %ix = memref.load %posx[%i] : memref<32xf64>
+      %iy = memref.load %posy[%i] : memref<32xf64>
+      %iz = memref.load %posz[%i] : memref<32xf64>
+      %jx = memref.load %posx[%nidx] : memref<32xf64>
+      %jy = memref.load %posy[%nidx] : memref<32xf64>
+      %jz = memref.load %posz[%nidx] : memref<32xf64>
+      %dx = arith.subf %ix, %jx : f64
+      %dy = arith.subf %iy, %jy : f64
+      %dz = arith.subf %iz, %jz : f64
+      %dx2 = arith.mulf %dx, %dx : f64
+      %dy2 = arith.mulf %dy, %dy : f64
+      %dz2 = arith.mulf %dz, %dz : f64
+      %s1 = arith.addf %dx2, %dy2 : f64
+      %r2 = arith.addf %s1, %dz2 : f64
+      %r2s = arith.addf %r2, %onef : f64
+      %r2inv = arith.divf %onef, %r2s : f64
+      %r4 = arith.mulf %r2inv, %r2inv : f64
+      %r6inv = arith.mulf %r4, %r2inv : f64
+      %t1 = arith.mulf %c15, %r6inv : f64
+      %t2 = arith.subf %t1, %c2 : f64
+      %pot = arith.mulf %r6inv, %t2 : f64
+      %force = arith.mulf %r2inv, %pot : f64
+      %fxd = arith.mulf %dx, %force : f64
+      %fyd = arith.mulf %dy, %force : f64
+      %fzd = arith.mulf %dz, %force : f64
+      %ofx = memref.load %fx[%i] : memref<32xf64>
+      %ofy = memref.load %fy[%i] : memref<32xf64>
+      %ofz = memref.load %fz[%i] : memref<32xf64>
+      %nfx = arith.addf %ofx, %fxd : f64
+      %nfy = arith.addf %ofy, %fyd : f64
+      %nfz = arith.addf %ofz, %fzd : f64
+      memref.store %nfx, %fx[%i] : memref<32xf64>
+      memref.store %nfy, %fy[%i] : memref<32xf64>
+      memref.store %nfz, %fz[%i] : memref<32xf64>
+    }
+  }
+})";
+    b.prepare = [](std::vector<ir::Buffer> &buffers, Rng &rng) {
+        for (int axis = 0; axis < 3; ++axis) {
+            for (auto &v : buffers[axis].floats)
+                v = rng.nextDouble() * 8 - 4;
+        }
+        for (auto &v : buffers[3].ints)
+            v = rng.nextRange(0, 31); // neighbour indices
+    };
+    b.golden = [](std::vector<ir::Buffer> &buffers) {
+        auto &px = buffers[0].floats;
+        auto &py = buffers[1].floats;
+        auto &pz = buffers[2].floats;
+        auto &nl = buffers[3].ints;
+        auto &fx = buffers[4].floats;
+        auto &fy = buffers[5].floats;
+        auto &fz = buffers[6].floats;
+        for (int i = 0; i < 32; ++i) {
+            fx[i] = fy[i] = fz[i] = 0;
+            for (int j = 0; j < 16; ++j) {
+                int64_t n = nl[i * 16 + j];
+                double dx = px[i] - px[n];
+                double dy = py[i] - py[n];
+                double dz = pz[i] - pz[n];
+                double r2 = dx * dx + dy * dy + dz * dz + 1.0;
+                double r2inv = 1.0 / r2;
+                double r6inv = r2inv * r2inv * r2inv;
+                double pot = r6inv * (1.5 * r6inv - 2.0);
+                double force = r2inv * pot;
+                fx[i] += dx * force;
+                fy[i] += dy * force;
+                fz[i] += dz * force;
+            }
+        }
+    };
+    return b;
+}
+
+Benchmark
+makeMdGrid()
+{
+    Benchmark b;
+    b.name = "md_grid";
+    b.func = "md_grid";
+    // 2x2x2 cells x 4 points; forces on every point from every point of
+    // every cell (a dense rectangular variant of MachSuite's grid).
+    b.source = R"(
+func.func @md_grid(%posx: memref<2x2x2x4xf64>, %posy: memref<2x2x2x4xf64>,
+                   %posz: memref<2x2x2x4xf64>,
+                   %frcx: memref<2x2x2x4xf64>,
+                   %frcy: memref<2x2x2x4xf64>,
+                   %frcz: memref<2x2x2x4xf64>) {
+  %onef = arith.constant 1.0 : f64
+  affine.for %bx = 0 to 2 {
+   affine.for %by = 0 to 2 {
+    affine.for %bz = 0 to 2 {
+     affine.for %nx = 0 to 2 {
+      affine.for %ny = 0 to 2 {
+       affine.for %nz = 0 to 2 {
+        affine.for %p = 0 to 4 {
+         affine.for %q = 0 to 4 {
+          %ix = memref.load %posx[%bx, %by, %bz, %p] : memref<2x2x2x4xf64>
+          %iy = memref.load %posy[%bx, %by, %bz, %p] : memref<2x2x2x4xf64>
+          %iz = memref.load %posz[%bx, %by, %bz, %p] : memref<2x2x2x4xf64>
+          %jx = memref.load %posx[%nx, %ny, %nz, %q] : memref<2x2x2x4xf64>
+          %jy = memref.load %posy[%nx, %ny, %nz, %q] : memref<2x2x2x4xf64>
+          %jz = memref.load %posz[%nx, %ny, %nz, %q] : memref<2x2x2x4xf64>
+          %dx = arith.subf %ix, %jx : f64
+          %dy = arith.subf %iy, %jy : f64
+          %dz = arith.subf %iz, %jz : f64
+          %dx2 = arith.mulf %dx, %dx : f64
+          %dy2 = arith.mulf %dy, %dy : f64
+          %dz2 = arith.mulf %dz, %dz : f64
+          %s1 = arith.addf %dx2, %dy2 : f64
+          %r2 = arith.addf %s1, %dz2 : f64
+          %r2s = arith.addf %r2, %onef : f64
+          %inv = arith.divf %onef, %r2s : f64
+          %f = arith.mulf %inv, %inv : f64
+          %fxd = arith.mulf %dx, %f : f64
+          %fyd = arith.mulf %dy, %f : f64
+          %fzd = arith.mulf %dz, %f : f64
+          %ofx = memref.load %frcx[%bx, %by, %bz, %p] : memref<2x2x2x4xf64>
+          %ofy = memref.load %frcy[%bx, %by, %bz, %p] : memref<2x2x2x4xf64>
+          %ofz = memref.load %frcz[%bx, %by, %bz, %p] : memref<2x2x2x4xf64>
+          %nfx = arith.addf %ofx, %fxd : f64
+          %nfy = arith.addf %ofy, %fyd : f64
+          %nfz = arith.addf %ofz, %fzd : f64
+          memref.store %nfx, %frcx[%bx, %by, %bz, %p] : memref<2x2x2x4xf64>
+          memref.store %nfy, %frcy[%bx, %by, %bz, %p] : memref<2x2x2x4xf64>
+          memref.store %nfz, %frcz[%bx, %by, %bz, %p] : memref<2x2x2x4xf64>
+         }
+        }
+       }
+      }
+     }
+    }
+   }
+  }
+})";
+    b.prepare = [](std::vector<ir::Buffer> &buffers, Rng &rng) {
+        for (int axis = 0; axis < 3; ++axis) {
+            for (auto &v : buffers[axis].floats)
+                v = rng.nextDouble() * 6 - 3;
+        }
+        // Forces start zeroed.
+    };
+    b.golden = [](std::vector<ir::Buffer> &buffers) {
+        auto &px = buffers[0].floats;
+        auto &py = buffers[1].floats;
+        auto &pz = buffers[2].floats;
+        auto &fx = buffers[3].floats;
+        auto &fy = buffers[4].floats;
+        auto &fz = buffers[5].floats;
+        auto at = [](int bx, int by, int bz, int p) {
+            return ((bx * 2 + by) * 2 + bz) * 4 + p;
+        };
+        for (int bx = 0; bx < 2; ++bx)
+        for (int by = 0; by < 2; ++by)
+        for (int bz = 0; bz < 2; ++bz)
+        for (int nx = 0; nx < 2; ++nx)
+        for (int ny = 0; ny < 2; ++ny)
+        for (int nz = 0; nz < 2; ++nz)
+        for (int p = 0; p < 4; ++p)
+        for (int q = 0; q < 4; ++q) {
+            int self = at(bx, by, bz, p);
+            int other = at(nx, ny, nz, q);
+            double dx = px[self] - px[other];
+            double dy = py[self] - py[other];
+            double dz = pz[self] - pz[other];
+            double inv = 1.0 / (dx * dx + dy * dy + dz * dz + 1.0);
+            double f = inv * inv;
+            fx[self] += dx * f;
+            fy[self] += dy * f;
+            fz[self] += dz * f;
+        }
+    };
+    return b;
+}
+
+} // namespace seer::bench

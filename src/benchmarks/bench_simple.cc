@@ -1,0 +1,161 @@
+/**
+ * @file
+ * seq_loops (the Figure 9 artificial example) and byte_enable_calc
+ * (the Intel production snippet of Figure 12), plus the hand-optimized
+ * "Manual" variant of the latter.
+ */
+#include "benchmarks/benchmarks.h"
+
+namespace seer::bench {
+
+Benchmark
+makeSeqLoops()
+{
+    Benchmark b;
+    b.name = "seq_loops";
+    b.func = "seq_loops";
+    // Two fusable loops whose memory index is the hardware-friendly but
+    // non-affine (i << 1) + i == 3*i.
+    b.source = R"(
+func.func @seq_loops(%a: memref<304xi32>, %b: memref<304xi32>,
+                     %c: memref<304xi32>) {
+  %one = arith.constant 1 : index
+  affine.for %i = 0 to 100 {
+    %sh = arith.shli %i, %one : index
+    %idx = arith.addi %sh, %i : index
+    %v = memref.load %a[%idx] : memref<304xi32>
+    %w = arith.addi %v, %v : i32
+    memref.store %w, %b[%idx] : memref<304xi32>
+  }
+  affine.for %j = 0 to 100 {
+    %sh = arith.shli %j, %one : index
+    %idx = arith.addi %sh, %j : index
+    %v = memref.load %b[%idx] : memref<304xi32>
+    %u = memref.load %a[%idx] : memref<304xi32>
+    %w = arith.addi %v, %u : i32
+    memref.store %w, %c[%idx] : memref<304xi32>
+  }
+})";
+    b.prepare = [](std::vector<ir::Buffer> &buffers, Rng &rng) {
+        for (auto &v : buffers[0].ints)
+            v = rng.nextRange(-1000, 1000);
+        // b and c start zeroed.
+    };
+    b.golden = [](std::vector<ir::Buffer> &buffers) {
+        auto &a = buffers[0].ints;
+        auto &bb = buffers[1].ints;
+        auto &c = buffers[2].ints;
+        for (int i = 0; i < 100; ++i)
+            bb[3 * i] = ir::wrapToWidth(2 * a[3 * i], 32);
+        for (int j = 0; j < 100; ++j)
+            c[3 * j] = ir::wrapToWidth(bb[3 * j] + a[3 * j], 32);
+    };
+    return b;
+}
+
+Benchmark
+makeByteEnableCalc()
+{
+    Benchmark b;
+    b.name = "byte_enable_calc";
+    b.func = "byte_enable_calc";
+    // Figure 12: per message, scan the 8 byte-enable bits and set the
+    // corresponding bits of a scalar `enable` register under a nest of
+    // conditionals; then report whether the full byte lane is enabled.
+    b.source = R"(
+func.func @byte_enable_calc(%valid: memref<4xi32>,
+                            %byte_en: memref<4xi32>,
+                            %out: memref<4xi32>,
+                            %enable: memref<1xi32>) {
+  %z = arith.constant 0 : index
+  %zero = arith.constant 0 : i32
+  %one = arith.constant 1 : i32
+  %full = arith.constant 255 : i32
+  affine.for %i = 0 to 4 {
+    memref.store %zero, %enable[%z] : memref<1xi32>
+    affine.for %bpos = 0 to 8 {
+      %e = memref.load %enable[%z] : memref<1xi32>
+      %v = memref.load %valid[%i] : memref<4xi32>
+      %be = memref.load %byte_en[%i] : memref<4xi32>
+      %b32 = arith.index_cast %bpos : index to i32
+      %shifted = arith.shrsi %be, %b32 : i32
+      %bit = arith.andi %shifted, %one : i32
+      %c1 = arith.cmpi ne, %v, %zero : i32
+      %c2 = arith.cmpi ne, %bit, %zero : i32
+      %c = arith.andi %c1, %c2 : i1
+      scf.if %c {
+        %mask = arith.shli %one, %b32 : i32
+        %n = arith.ori %e, %mask : i32
+        memref.store %n, %enable[%z] : memref<1xi32>
+      }
+    }
+    %e2 = memref.load %enable[%z] : memref<1xi32>
+    %done = arith.cmpi eq, %e2, %full : i32
+    scf.if %done {
+      memref.store %one, %out[%i] : memref<4xi32>
+    } else {
+      memref.store %zero, %out[%i] : memref<4xi32>
+    }
+  }
+})";
+    b.prepare = [](std::vector<ir::Buffer> &buffers, Rng &rng) {
+        for (auto &v : buffers[0].ints)
+            v = rng.nextRange(0, 1); // valid flags
+        for (auto &v : buffers[1].ints)
+            v = rng.nextRange(0, 255); // byte enables
+    };
+    b.golden = [](std::vector<ir::Buffer> &buffers) {
+        auto &valid = buffers[0].ints;
+        auto &byte_en = buffers[1].ints;
+        auto &out = buffers[2].ints;
+        auto &enable = buffers[3].ints;
+        for (int i = 0; i < 4; ++i) {
+            enable[0] = 0;
+            for (int bit = 0; bit < 8; ++bit) {
+                if (valid[i] != 0 && ((byte_en[i] >> bit) & 1) != 0)
+                    enable[0] |= int64_t{1} << bit;
+            }
+            out[i] = enable[0] == 255 ? 1 : 0;
+        }
+    };
+    b.unroll_max_trip = 16; // the case study explores unrolling
+    return b;
+}
+
+const Benchmark &
+byteEnableManual()
+{
+    static const Benchmark manual = [] {
+        Benchmark b = makeByteEnableCalc();
+        b.name = "byte_enable_manual";
+        b.func = "byte_enable_manual";
+        // The expert version: the whole bit scan collapses into
+        // enable = valid ? byte_en & 0xFF : 0 per message, no scalar
+        // recurrence, no conditionals.
+        b.source = R"(
+func.func @byte_enable_manual(%valid: memref<4xi32>,
+                              %byte_en: memref<4xi32>,
+                              %out: memref<4xi32>,
+                              %enable: memref<1xi32>) {
+  %z = arith.constant 0 : index
+  %zero = arith.constant 0 : i32
+  %one = arith.constant 1 : i32
+  %full = arith.constant 255 : i32
+  affine.for %i = 0 to 4 {
+    %v = memref.load %valid[%i] : memref<4xi32>
+    %be = memref.load %byte_en[%i] : memref<4xi32>
+    %c1 = arith.cmpi ne, %v, %zero : i32
+    %masked = arith.andi %be, %full : i32
+    %e = arith.select %c1, %masked, %zero : i32
+    memref.store %e, %enable[%z] : memref<1xi32>
+    %done = arith.cmpi eq, %e, %full : i32
+    %outv = arith.select %done, %one, %zero : i32
+    memref.store %outv, %out[%i] : memref<4xi32>
+  }
+})";
+        return b;
+    }();
+    return manual;
+}
+
+} // namespace seer::bench

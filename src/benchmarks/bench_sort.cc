@@ -1,0 +1,184 @@
+/**
+ * @file
+ * sort (MachSuite): bottom-up merge sort (data-dependent while-loop
+ * control) and 4-bit LSD radix sort (histogram + prefix + scatter with
+ * data-dependent addresses).
+ */
+#include <algorithm>
+
+#include "benchmarks/benchmarks.h"
+
+namespace seer::bench {
+
+Benchmark
+makeSortMerge()
+{
+    Benchmark b;
+    b.name = "sort_merge";
+    b.func = "sort_merge";
+    b.source = R"(
+func.func @sort_merge(%a: memref<64xi32>) {
+  %temp = memref.alloc() : memref<64xi32>
+  %wc = memref.alloc() : memref<1xi32>
+  %ic = memref.alloc() : memref<1xi32>
+  %lc = memref.alloc() : memref<1xi32>
+  %rc = memref.alloc() : memref<1xi32>
+  %oc = memref.alloc() : memref<1xi32>
+  %z = arith.constant 0 : index
+  %zero = arith.constant 0 : i32
+  %one = arith.constant 1 : i32
+  %n = arith.constant 64 : i32
+  %c63 = arith.constant 63 : i32
+  %true1 = arith.constant 1 : i1
+  memref.store %one, %wc[%z] : memref<1xi32>
+  scf.while {
+    %w = memref.load %wc[%z] : memref<1xi32>
+    %cond = arith.cmpi slt, %w, %n : i32
+    scf.condition %cond
+  } do {
+    memref.store %zero, %ic[%z] : memref<1xi32>
+    scf.while {
+      %iv = memref.load %ic[%z] : memref<1xi32>
+      %cond = arith.cmpi slt, %iv, %n : i32
+      scf.condition %cond
+    } do {
+      %w = memref.load %wc[%z] : memref<1xi32>
+      %iv = memref.load %ic[%z] : memref<1xi32>
+      %ivpw = arith.addi %iv, %w : i32
+      %lend = arith.minsi %ivpw, %n : i32
+      %w2 = arith.addi %w, %w : i32
+      %ivp2w = arith.addi %iv, %w2 : i32
+      %rend = arith.minsi %ivp2w, %n : i32
+      memref.store %iv, %lc[%z] : memref<1xi32>
+      memref.store %lend, %rc[%z] : memref<1xi32>
+      memref.store %iv, %oc[%z] : memref<1xi32>
+      scf.while {
+        %o = memref.load %oc[%z] : memref<1xi32>
+        %cond = arith.cmpi slt, %o, %rend : i32
+        scf.condition %cond
+      } do {
+        %l = memref.load %lc[%z] : memref<1xi32>
+        %r = memref.load %rc[%z] : memref<1xi32>
+        %lcl = arith.minsi %l, %c63 : i32
+        %rcl = arith.minsi %r, %c63 : i32
+        %lidx = arith.index_cast %lcl : i32 to index
+        %ridx = arith.index_cast %rcl : i32 to index
+        %al = memref.load %a[%lidx] : memref<64xi32>
+        %ar = memref.load %a[%ridx] : memref<64xi32>
+        %l_valid = arith.cmpi slt, %l, %lend : i32
+        %r_valid = arith.cmpi slt, %r, %rend : i32
+        %le = arith.cmpi sle, %al, %ar : i32
+        %r_invalid = arith.xori %r_valid, %true1 : i1
+        %pref = arith.ori %r_invalid, %le : i1
+        %take_left = arith.andi %l_valid, %pref : i1
+        %val = arith.select %take_left, %al, %ar : i32
+        %o = memref.load %oc[%z] : memref<1xi32>
+        %oidx = arith.index_cast %o : i32 to index
+        memref.store %val, %temp[%oidx] : memref<64xi32>
+        %lp1 = arith.addi %l, %one : i32
+        %rp1 = arith.addi %r, %one : i32
+        %nl = arith.select %take_left, %lp1, %l : i32
+        %nr = arith.select %take_left, %r, %rp1 : i32
+        memref.store %nl, %lc[%z] : memref<1xi32>
+        memref.store %nr, %rc[%z] : memref<1xi32>
+        %op1 = arith.addi %o, %one : i32
+        memref.store %op1, %oc[%z] : memref<1xi32>
+      }
+      memref.store %iv, %oc[%z] : memref<1xi32>
+      scf.while {
+        %o = memref.load %oc[%z] : memref<1xi32>
+        %cond = arith.cmpi slt, %o, %rend : i32
+        scf.condition %cond
+      } do {
+        %o = memref.load %oc[%z] : memref<1xi32>
+        %oidx = arith.index_cast %o : i32 to index
+        %v = memref.load %temp[%oidx] : memref<64xi32>
+        memref.store %v, %a[%oidx] : memref<64xi32>
+        %op1 = arith.addi %o, %one : i32
+        memref.store %op1, %oc[%z] : memref<1xi32>
+      }
+      memref.store %ivp2w, %ic[%z] : memref<1xi32>
+    }
+    %w = memref.load %wc[%z] : memref<1xi32>
+    %wdouble = arith.addi %w, %w : i32
+    memref.store %wdouble, %wc[%z] : memref<1xi32>
+  }
+})";
+    b.prepare = [](std::vector<ir::Buffer> &buffers, Rng &rng) {
+        for (auto &v : buffers[0].ints)
+            v = rng.nextRange(-500, 500);
+    };
+    b.golden = [](std::vector<ir::Buffer> &buffers) {
+        std::sort(buffers[0].ints.begin(), buffers[0].ints.end());
+    };
+    return b;
+}
+
+Benchmark
+makeSortRadix()
+{
+    Benchmark b;
+    b.name = "sort_radix";
+    b.func = "sort_radix";
+    b.source = R"(
+func.func @sort_radix(%a: memref<64xi32>) {
+  %bbuf = memref.alloc() : memref<64xi32>
+  %hist = memref.alloc() : memref<16xi32>
+  %offs = memref.alloc() : memref<16xi32>
+  %z = arith.constant 0 : index
+  %zero = arith.constant 0 : i32
+  %one = arith.constant 1 : i32
+  %c4 = arith.constant 4 : i32
+  %c15 = arith.constant 15 : i32
+  %onei = arith.constant 1 : index
+  affine.for %pass = 0 to 2 {
+    %p32 = arith.index_cast %pass : index to i32
+    %shift = arith.muli %p32, %c4 : i32
+    affine.for %h = 0 to 16 {
+      memref.store %zero, %hist[%h] : memref<16xi32>
+    }
+    affine.for %i = 0 to 64 {
+      %v = memref.load %a[%i] : memref<64xi32>
+      %sv = arith.shrsi %v, %shift : i32
+      %d = arith.andi %sv, %c15 : i32
+      %didx = arith.index_cast %d : i32 to index
+      %hc = memref.load %hist[%didx] : memref<16xi32>
+      %hp1 = arith.addi %hc, %one : i32
+      memref.store %hp1, %hist[%didx] : memref<16xi32>
+    }
+    memref.store %zero, %offs[%z] : memref<16xi32>
+    affine.for %d = 1 to 16 {
+      %dm1 = arith.subi %d, %onei : index
+      %prev = memref.load %offs[%dm1] : memref<16xi32>
+      %hprev = memref.load %hist[%dm1] : memref<16xi32>
+      %sum = arith.addi %prev, %hprev : i32
+      memref.store %sum, %offs[%d] : memref<16xi32>
+    }
+    affine.for %i = 0 to 64 {
+      %v = memref.load %a[%i] : memref<64xi32>
+      %sv = arith.shrsi %v, %shift : i32
+      %d = arith.andi %sv, %c15 : i32
+      %didx = arith.index_cast %d : i32 to index
+      %pos = memref.load %offs[%didx] : memref<16xi32>
+      %posi = arith.index_cast %pos : i32 to index
+      memref.store %v, %bbuf[%posi] : memref<64xi32>
+      %pp1 = arith.addi %pos, %one : i32
+      memref.store %pp1, %offs[%didx] : memref<16xi32>
+    }
+    affine.for %i = 0 to 64 {
+      %v = memref.load %bbuf[%i] : memref<64xi32>
+      memref.store %v, %a[%i] : memref<64xi32>
+    }
+  }
+})";
+    b.prepare = [](std::vector<ir::Buffer> &buffers, Rng &rng) {
+        for (auto &v : buffers[0].ints)
+            v = rng.nextRange(0, 255); // two 4-bit digits
+    };
+    b.golden = [](std::vector<ir::Buffer> &buffers) {
+        std::sort(buffers[0].ints.begin(), buffers[0].ints.end());
+    };
+    return b;
+}
+
+} // namespace seer::bench

@@ -1,0 +1,203 @@
+#include "benchmarks/benchmarks.h"
+
+#include <sstream>
+
+#include "ir/parser.h"
+#include "ir/verifier.h"
+#include "support/error.h"
+
+namespace seer::bench {
+
+const std::vector<Benchmark> &
+allBenchmarks()
+{
+    static const std::vector<Benchmark> benchmarks = {
+        makeSeqLoops(),   makeByteEnableCalc(), makeKmp(),
+        makeGemmNCubed(), makeGemmBlocked(),    makeMdKnn(),
+        makeMdGrid(),     makeSortMerge(),      makeSortRadix(),
+    };
+    return benchmarks;
+}
+
+const Benchmark &
+findBenchmark(const std::string &name)
+{
+    for (const Benchmark &benchmark : allBenchmarks()) {
+        if (benchmark.name == name)
+            return benchmark;
+    }
+    if (name == "byte_enable_manual")
+        return byteEnableManual();
+    fatal("unknown benchmark '" + name + "'");
+}
+
+ir::Module
+parseBenchmark(const Benchmark &benchmark)
+{
+    ir::Module module = ir::parseModule(benchmark.source);
+    ir::verifyOrDie(module);
+    return module;
+}
+
+std::vector<ir::Buffer>
+makeBuffers(const ir::Module &module, const std::string &func)
+{
+    ir::Operation *op = module.lookupFunc(func);
+    SEER_ASSERT(op, "makeBuffers: missing function " << func);
+    ir::Block &body = op->region(0).block();
+    std::vector<ir::Buffer> buffers;
+    for (size_t i = 0; i < body.numArgs(); ++i) {
+        ir::Type type = body.arg(i).type();
+        SEER_ASSERT(type.isMemRef(),
+                    "benchmark arguments must be memrefs");
+        buffers.emplace_back(type);
+    }
+    return buffers;
+}
+
+std::string
+checkGolden(const Benchmark &benchmark, uint64_t seed)
+{
+    ir::Module module = parseBenchmark(benchmark);
+    std::vector<ir::Buffer> actual = makeBuffers(module, benchmark.func);
+    Rng rng(seed);
+    benchmark.prepare(actual, rng);
+    std::vector<ir::Buffer> expected = actual; // copy of prepared state
+    benchmark.golden(expected);
+
+    std::vector<ir::RtValue> args;
+    for (ir::Buffer &buffer : actual)
+        args.push_back(&buffer);
+    try {
+        ir::interpret(module, benchmark.func, std::move(args));
+    } catch (const FatalError &err) {
+        return std::string("interpreter trap: ") + err.what();
+    }
+
+    for (size_t b = 0; b < actual.size(); ++b) {
+        if (actual[b].ints != expected[b].ints) {
+            for (size_t i = 0; i < actual[b].ints.size(); ++i) {
+                if (actual[b].ints[i] != expected[b].ints[i]) {
+                    return MsgBuilder()
+                           << benchmark.name << ": buffer " << b
+                           << " int[" << i << "] = "
+                           << actual[b].ints[i] << ", expected "
+                           << expected[b].ints[i];
+                }
+            }
+        }
+        for (size_t i = 0; i < actual[b].floats.size(); ++i) {
+            double got = actual[b].floats[i];
+            double want = expected[b].floats[i];
+            double err = std::abs(got - want);
+            double tolerance =
+                1e-9 * std::max({1.0, std::abs(got), std::abs(want)});
+            if (err > tolerance) {
+                return MsgBuilder()
+                       << benchmark.name << ": buffer " << b
+                       << " float[" << i << "] = " << got
+                       << ", expected " << want;
+            }
+        }
+    }
+    return "";
+}
+
+std::string
+motivatingListing(int listing, int f, int g, int h)
+{
+    // Three loops over 100 elements:
+    //   loop_1: x[i] = chain_f(a[i])
+    //   loop_2: w[i] = chain_g(b[i])
+    //   loop_3: y[i] = chain_h(x[99-i])
+    // The reversed x access creates the dependence that forbids fusing
+    // loop_1 with loop_3 (Figure 2); either neighbouring pair fuses,
+    // and the fused bodies stay data-parallel so the fused iteration
+    // latency is the max of the two bodies (the paper's fusion law).
+    auto chain = [](const std::string &in, int depth, int indent,
+                    std::ostringstream &os, const std::string &prefix) {
+        std::string current = in;
+        for (int s = 0; s < depth; ++s) {
+            std::string next = prefix + std::to_string(s);
+            os << std::string(indent, ' ') << "%" << next
+               << " = arith.addi %" << current << ", %cstep : i32\n";
+            current = next;
+        }
+        return current;
+    };
+    std::ostringstream body1, body2, body3;
+    // loop_1 body (iv %i)
+    body1 << "    %xv = memref.load %a[%i] : memref<100xi32>\n";
+    std::string x_out = chain("xv", f, 4, body1, "f");
+    body1 << "    memref.store %" << x_out
+          << ", %x[%i] : memref<100xi32>\n";
+    // loop_2 body (iv %j)
+    body2 << "    %wv = memref.load %b[%j] : memref<100xi32>\n";
+    std::string w_out = chain("wv", g, 4, body2, "g");
+    body2 << "    memref.store %" << w_out
+          << ", %w[%j] : memref<100xi32>\n";
+    // loop_3 body (iv %k): depends on x (reversed) only.
+    body3 << "    %rk = arith.subi %c99, %k : index\n"
+          << "    %xr = memref.load %x[%rk] : memref<100xi32>\n"
+          << "    %s0 = arith.addi %xr, %cstep : i32\n";
+    std::string y_out = chain("s0", h, 4, body3, "h");
+    body3 << "    memref.store %" << y_out
+          << ", %y[%k] : memref<100xi32>\n";
+    (void)w_out;
+
+    std::ostringstream os;
+    os << "func.func @motivating(%a: memref<100xi32>, "
+          "%b: memref<100xi32>, %x: memref<100xi32>, "
+          "%w: memref<100xi32>, %y: memref<100xi32>) {\n"
+       << "  %cstep = arith.constant 1 : i32\n"
+       << "  %c99 = arith.constant 99 : index\n";
+    auto loop = [&](const char *iv, const std::string &body) {
+        os << "  affine.for %" << iv << " = 0 to 100 {\n"
+           << body << "  }\n";
+    };
+    auto fused = [&](const char *iv, std::string first,
+                     std::string second, const char *old1,
+                     const char *old2) {
+        // Substitute both bodies' ivs with the shared one.
+        auto substitute = [&](std::string text, const char *from) {
+            std::string needle = std::string("%") + from;
+            std::string repl = std::string("%") + iv;
+            size_t pos = 0;
+            while ((pos = text.find(needle, pos)) !=
+                   std::string::npos) {
+                // Avoid replacing longer names sharing the prefix.
+                char next = pos + needle.size() < text.size()
+                                ? text[pos + needle.size()]
+                                : ' ';
+                if (std::isalnum(static_cast<unsigned char>(next)) ||
+                    next == '_') {
+                    pos += needle.size();
+                    continue;
+                }
+                text.replace(pos, needle.size(), repl);
+                pos += repl.size();
+            }
+            return text;
+        };
+        os << "  affine.for %" << iv << " = 0 to 100 {\n"
+           << substitute(first, old1) << substitute(second, old2)
+           << "  }\n";
+    };
+    if (listing == 1) {
+        loop("i", body1.str());
+        loop("j", body2.str());
+        loop("k", body3.str());
+    } else if (listing == 2) {
+        fused("m", body1.str(), body2.str(), "i", "j");
+        loop("k", body3.str());
+    } else if (listing == 3) {
+        loop("i", body1.str());
+        fused("m", body2.str(), body3.str(), "j", "k");
+    } else {
+        fatal("motivatingListing: listing must be 1, 2 or 3");
+    }
+    os << "}\n";
+    return os.str();
+}
+
+} // namespace seer::bench

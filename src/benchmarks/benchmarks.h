@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The benchmark suite of the paper's evaluation (Section 5.1):
+ * seq_loops, byte_enable_calc (plus its expert-optimized "Manual"
+ * variant), kmp, gemm (ncubed / blocked), md (knn / grid) and
+ * sort (merge / radix), hand-translated from the MachSuite kernels /
+ * the Intel snippet into this repo's IR, each with a deterministic
+ * input generator and a C++ golden reference.
+ */
+#ifndef SEER_BENCHMARKS_BENCHMARKS_H_
+#define SEER_BENCHMARKS_BENCHMARKS_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ir/interp.h"
+#include "ir/op.h"
+#include "support/rng.h"
+
+namespace seer::bench {
+
+/** One benchmark program. */
+struct Benchmark
+{
+    std::string name; ///< e.g. "gemm_ncubed"
+    std::string func; ///< function symbol in `source`
+    std::string source; ///< IR text
+    /** Fill the argument buffers (one per memref argument, in order). */
+    std::function<void(std::vector<ir::Buffer> &, Rng &)> prepare;
+    /** Reference semantics: mutate prepared buffers like the kernel. */
+    std::function<void(std::vector<ir::Buffer> &)> golden;
+    /** SEER should explore unrolling (the Intel case-study setting). */
+    int64_t unroll_max_trip = 0;
+};
+
+/** All nine benchmarks, in the paper's presentation order. */
+const std::vector<Benchmark> &allBenchmarks();
+
+/** Find by name; fatal() when unknown. */
+const Benchmark &findBenchmark(const std::string &name);
+
+/** Parse a benchmark's source (verifies). */
+ir::Module parseBenchmark(const Benchmark &benchmark);
+
+/** Allocate buffers matching the function's memref arguments. */
+std::vector<ir::Buffer> makeBuffers(const ir::Module &module,
+                                    const std::string &func);
+
+/**
+ * Golden check: prepare inputs, interpret the source, compare the final
+ * memory state against the golden reference. Empty string on success.
+ */
+std::string checkGolden(const Benchmark &benchmark, uint64_t seed);
+
+/** The hand-optimized byte_enable_calc (the case study's "Manual"). */
+const Benchmark &byteEnableManual();
+
+/**
+ * The motivating example (Listings 1-3 / Table 1): three loops with
+ * datapath chain depths f, g, h; listing 1 is unfused, 2 fuses the
+ * first pair, 3 fuses the second pair.
+ */
+std::string motivatingListing(int listing, int f, int g, int h);
+
+// Individual constructors (one per translation unit).
+Benchmark makeSeqLoops();
+Benchmark makeByteEnableCalc();
+Benchmark makeKmp();
+Benchmark makeGemmNCubed();
+Benchmark makeGemmBlocked();
+Benchmark makeMdKnn();
+Benchmark makeMdGrid();
+Benchmark makeSortMerge();
+Benchmark makeSortRadix();
+
+} // namespace seer::bench
+
+#endif // SEER_BENCHMARKS_BENCHMARKS_H_

@@ -1,0 +1,550 @@
+#include "core/external_rules.h"
+
+#include <chrono>
+#include <set>
+
+#include "hls/pragmas.h"
+#include "ir/analysis.h"
+#include "ir/builder.h"
+#include "passes/passes.h"
+#include "rover/rover.h"
+#include "seerlang/encoding.h"
+#include "seerlang/from_term.h"
+#include "seerlang/to_term.h"
+#include "support/error.h"
+
+namespace seer::core {
+
+using eg::EClassId;
+using eg::EGraph;
+using eg::makeDynRewrite;
+using eg::makeRewrite;
+using eg::Match;
+using eg::Rewrite;
+using eg::TermPtr;
+
+namespace {
+
+using SymbolPred = bool (*)(Symbol);
+
+bool
+isForNode(Symbol symbol)
+{
+    return sl::opNameOf(symbol) == "affine.for";
+}
+
+bool
+isIfNode(Symbol symbol)
+{
+    return sl::opNameOf(symbol) == "scf.if";
+}
+
+bool
+isStatementRoot(Symbol symbol)
+{
+    std::string name = sl::opNameOf(symbol);
+    return name == "seq" || name == "affine.for" || name == "scf.while";
+}
+
+bool
+classHas(const EGraph &egraph, EClassId id, SymbolPred pred)
+{
+    for (const eg::ENode &node : egraph.eclass(id).nodes) {
+        if (pred(node.op))
+            return true;
+    }
+    return false;
+}
+
+/**
+ * Local extraction (Section 4.5): pick nodes satisfying `pred` as the
+ * root and extract children with the analysis-friendly cost, so the
+ * external pass is handed polyhedral-analyzable index expressions.
+ * Returns up to `max_candidates` candidate terms (a class may hold both
+ * the original loop and, say, its unrolled chain; the pass may apply to
+ * either representative).
+ */
+std::vector<TermPtr>
+extractAllRooted(const EGraph &egraph, EClassId id, SymbolPred pred,
+                 bool analysis_friendly = true, size_t max_candidates = 3)
+{
+    // Ablation: without the analysis-friendly cost, local extraction
+    // hands the external pass the hardware-cheapest representative —
+    // which for indices is the shift form no polyhedral analysis can
+    // read (Figure 9's failure mode).
+    rover::AnalysisFriendlyCost friendly;
+    rover::RoverAreaCost area_cost(&egraph);
+    const eg::CostModel &cost =
+        analysis_friendly ? static_cast<const eg::CostModel &>(friendly)
+                          : static_cast<const eg::CostModel &>(area_cost);
+    std::vector<TermPtr> out;
+    const eg::EClass &cls = egraph.eclass(id);
+    for (const eg::ENode &node : cls.nodes) {
+        if (out.size() >= max_candidates)
+            break;
+        if (!pred(node.op))
+            continue;
+        std::vector<TermPtr> children;
+        bool feasible = true;
+        for (EClassId child : node.children) {
+            auto extraction = extractGreedy(egraph, child, cost);
+            if (!extraction) {
+                feasible = false;
+                break;
+            }
+            children.push_back(extraction->term);
+        }
+        if (feasible)
+            out.push_back(eg::makeTerm(node.op, std::move(children)));
+    }
+    return out;
+}
+
+std::optional<TermPtr>
+extractRooted(const EGraph &egraph, EClassId id, SymbolPred pred,
+              bool analysis_friendly = true)
+{
+    auto candidates = extractAllRooted(egraph, id, pred,
+                                       analysis_friendly, 1);
+    if (candidates.empty())
+        return std::nullopt;
+    return candidates[0];
+}
+
+void
+collectLoopIds(const TermPtr &term, std::vector<std::string> &out)
+{
+    if (sl::isForSymbol(term->op()))
+        out.push_back(sl::loopIdOf(term->op()));
+    for (const auto &child : term->children())
+        collectLoopIds(child, out);
+}
+
+void
+collectArgNames(const TermPtr &term, std::set<std::string> &out)
+{
+    if (auto arg = sl::decodeArg(term->op()))
+        out.insert(arg->first);
+    for (const auto &child : term->children())
+        collectArgNames(child, out);
+}
+
+/** Rewrite arg:<v>:index leaves back into var:<v> for snippet re-entry. */
+TermPtr
+renameArgsToVars(const TermPtr &term, const std::set<std::string> &vars)
+{
+    if (auto arg = sl::decodeArg(term->op())) {
+        if (arg->second.isIndex() && vars.count(arg->first))
+            return eg::makeTerm(sl::encodeVar(arg->first));
+    }
+    if (term->isLeaf())
+        return term;
+    std::vector<TermPtr> children;
+    children.reserve(term->arity());
+    bool changed = false;
+    for (const auto &child : term->children()) {
+        TermPtr renamed = renameArgsToVars(child, vars);
+        changed |= renamed != child;
+        children.push_back(std::move(renamed));
+    }
+    return changed ? eg::makeTerm(term->op(), std::move(children)) : term;
+}
+
+/**
+ * Run `transform` on a snippet built from `term`; translate back and
+ * derive registry entries for new loops. `law` selects the paper's
+ * approximation law ("fuse") or nullptr for the schedule oracle.
+ */
+std::optional<TermPtr>
+runOnSnippet(const ContextPtr &ctx, const TermPtr &term,
+             const std::function<bool(ir::Operation &)> &transform,
+             const char *law)
+{
+    using Clock = std::chrono::steady_clock;
+    auto start = Clock::now();
+    auto charge = [&] {
+        ctx->mlir_seconds +=
+            std::chrono::duration<double>(Clock::now() - start).count();
+    };
+
+    std::optional<TermPtr> out;
+    try {
+        sl::EmitSpec spec = sl::inferSpec(term, "snippet");
+        std::set<std::string> arg_names;
+        collectArgNames(term, arg_names);
+        std::set<std::string> var_args;
+        for (const auto &[name, type] : spec.args) {
+            if (!arg_names.count(name))
+                var_args.insert(name);
+        }
+        ir::Module snippet = sl::termToFunc(term, spec);
+        ir::Operation &func = *snippet.firstFunc();
+        if (!transform(func)) {
+            charge();
+            return std::nullopt;
+        }
+        passes::runDce(func);
+        // The pass may have rewritten loop bodies in place; stale
+        // registry ids must not survive (a fused loop keeping loop1's
+        // id would inherit loop1's scheduling constraints). Strip all
+        // ids: back-translation assigns fresh ones and the law/oracle
+        // below re-derives their constraints.
+        ir::walk(func, [](ir::Operation &op) {
+            if (ir::isa(op, ir::opnames::kAffineFor))
+                op.removeAttr("seer.loop_id");
+        });
+
+        std::vector<std::string> input_ids;
+        collectLoopIds(term, input_ids);
+
+        sl::Translation translation = sl::funcToTerm(func);
+        TermPtr replacement = translation.term->child(0);
+        replacement = renameArgsToVars(replacement, var_args);
+
+        // Registry maintenance for loops in the transformed snippet.
+        std::vector<std::string> output_ids;
+        collectLoopIds(replacement, output_ids);
+        std::vector<std::string> new_ids;
+        for (const std::string &id : output_ids) {
+            if (!ctx->registry.count(id))
+                new_ids.push_back(id);
+        }
+        bool law_applied = false;
+        if (ctx->use_laws && law && std::string(law) == "fuse" &&
+            input_ids.size() == 2 && output_ids.size() == 1 &&
+            new_ids.size() == 1 &&
+            ctx->registry.count(input_ids[0]) &&
+            ctx->registry.count(input_ids[1])) {
+            ctx->registry[new_ids[0]] =
+                fuseLaw(ctx->registry[input_ids[0]],
+                        ctx->registry[input_ids[1]]);
+            law_applied = true;
+        }
+        if (!law_applied && (!new_ids.empty() || law == nullptr)) {
+            // Oracle: schedule the snippet and refresh every loop in it.
+            hls::OperatorLibrary lib;
+            hls::ScheduleOptions sched_options = ctx->hls.schedule;
+            sched_options.pipeline_loops = true;
+            hls::FuncSchedule schedule =
+                hls::scheduleFunc(func, lib, sched_options);
+            for (const auto &[id, op] : translation.loops) {
+                auto it = schedule.loops.find(op);
+                if (it == schedule.loops.end())
+                    continue;
+                LoopRegistryEntry entry;
+                entry.constraints = it->second;
+                entry.coalesced = op->hasAttr("seer.coalesced");
+                ctx->registry[id] = entry;
+            }
+        }
+        out = replacement;
+    } catch (const FatalError &) {
+        out = std::nullopt; // untranslatable shape: rule does not apply
+    }
+    charge();
+    return out;
+}
+
+
+/** Per-phase memo: skip (rule, class) pairs that were already tried. */
+bool
+alreadyAttempted(const ContextPtr &ctx, const EGraph &egraph,
+                 const char *rule, EClassId root)
+{
+    return !ctx->attempted.emplace(rule, egraph.find(root)).second;
+}
+
+/** First top-level loop of a snippet function. */
+ir::Operation *
+firstLoop(ir::Operation &func)
+{
+    auto loops = ir::topLevelLoops(func.region(0).block());
+    return loops.empty() ? nullptr : loops[0];
+}
+
+ir::Operation *
+firstIf(ir::Operation &func)
+{
+    ir::Operation *found = nullptr;
+    ir::walk(func, [&](ir::Operation &op) {
+        if (!found && ir::isa(op, ir::opnames::kIf))
+            found = &op;
+    });
+    return found;
+}
+
+} // namespace
+
+std::vector<Rewrite>
+seqRules()
+{
+    std::vector<Rewrite> rules;
+    // One direction suffices: left-grouping a right-associated chain
+    // already surfaces every adjacent statement pair as a (seq a b)
+    // class; the reverse direction only multiplies class count.
+    rules.push_back(makeRewrite("seq-assoc",
+                                "(seq ?a (seq ?b ?c))",
+                                "(seq (seq ?a ?b) ?c)"));
+    rules.push_back(makeRewrite("seq-nop-l", "(seq nop ?a)", "?a"));
+    rules.push_back(makeRewrite("seq-nop-r", "(seq ?a nop)", "?a"));
+    return rules;
+}
+
+std::vector<Rewrite>
+controlRules(ContextPtr context)
+{
+    std::vector<Rewrite> rules;
+    Symbol var_a("a"), var_b("b");
+
+    // --- loop fusion over adjacent statements --------------------------
+    rules.push_back(makeDynRewrite(
+        "loop-fusion", "(seq ?a ?b)",
+        [context, var_a, var_b](
+            EGraph &egraph,
+            const Match &match) -> std::optional<TermPtr> {
+            EClassId a = match.subst.at(var_a);
+            EClassId b = match.subst.at(var_b);
+            if (!classHas(egraph, a, isForNode) ||
+                !classHas(egraph, b, isForNode)) {
+                return std::nullopt;
+            }
+            if (alreadyAttempted(context, egraph, "loop-fusion",
+                                 match.root)) {
+                return std::nullopt;
+            }
+            auto ta = extractRooted(egraph, a, isForNode,
+                                    context->analysis_friendly);
+            auto tb = extractRooted(egraph, b, isForNode,
+                                    context->analysis_friendly);
+            if (!ta || !tb)
+                return std::nullopt;
+            TermPtr pair =
+                eg::makeTerm(sl::seqSymbol(), {*ta, *tb});
+            return runOnSnippet(
+                context, pair,
+                [](ir::Operation &func) {
+                    auto loops =
+                        ir::topLevelLoops(func.region(0).block());
+                    if (loops.size() < 2)
+                        return false;
+                    return passes::fuseLoopPair(*loops[0], *loops[1]);
+                },
+                "fuse");
+        }));
+
+    // --- single-class loop rules ------------------------------------
+    struct LoopRule
+    {
+        const char *name;
+        std::function<bool(ir::Operation &)> transform;
+    };
+    auto add_loop_rule = [&](const char *name,
+                             std::function<bool(ir::Operation &)>
+                                 transform) {
+        rules.push_back(makeDynRewrite(
+            name, "?x",
+            [context, transform, name](
+                EGraph &egraph,
+                const Match &match) -> std::optional<TermPtr> {
+                if (!classHas(egraph, match.root, isForNode))
+                    return std::nullopt;
+                if (alreadyAttempted(context, egraph, name, match.root))
+                    return std::nullopt;
+                auto term =
+                    extractRooted(egraph, match.root, isForNode,
+                                  context->analysis_friendly);
+                if (!term)
+                    return std::nullopt;
+                return runOnSnippet(context, *term, transform, nullptr);
+            }));
+    };
+
+    if (context->unroll_max_trip > 0) {
+        int64_t max_trip = context->unroll_max_trip;
+        add_loop_rule("loop-unroll", [max_trip](ir::Operation &func) {
+            ir::Operation *loop = firstLoop(func);
+            return loop && passes::unrollLoop(*loop, max_trip);
+        });
+        // Composite exploration (a pass *sequence*, which is exactly
+        // what SEER searches over): unroll every small inner loop of a
+        // nest, then forward memory through the unrolled bodies. This
+        // surfaces the "pipelined outer loop with flattened inner
+        // datapath" design point of the Intel case study.
+        add_loop_rule("loop-unroll-inner",
+                      [max_trip](ir::Operation &func) {
+                          ir::Operation *outer = firstLoop(func);
+                          if (!outer)
+                              return false;
+                          bool changed = false;
+                          bool progress = true;
+                          while (progress) {
+                              progress = false;
+                              std::vector<ir::Operation *> inner_loops;
+                              ir::walk(*outer, [&](ir::Operation &op) {
+                                  if (&op != outer &&
+                                      ir::isa(op,
+                                              ir::opnames::kAffineFor))
+                                      inner_loops.push_back(&op);
+                              });
+                              for (ir::Operation *inner : inner_loops) {
+                                  if (passes::unrollLoop(*inner,
+                                                         max_trip)) {
+                                      changed = true;
+                                      progress = true;
+                                      break;
+                                  }
+                              }
+                          }
+                          if (!changed)
+                              return false;
+                          // The case study's sequence: unroll, convert
+                          // the now-replicated ifs to selects, then
+                          // forward the scalar chain away.
+                          bool if_progress = true;
+                          while (if_progress) {
+                              if_progress = false;
+                              std::vector<ir::Operation *> ifs;
+                              ir::walk(func, [&](ir::Operation &op) {
+                                  if (ir::isa(op, ir::opnames::kIf))
+                                      ifs.push_back(&op);
+                              });
+                              for (ir::Operation *if_op : ifs) {
+                                  if (passes::convertIf(*if_op)) {
+                                      if_progress = true;
+                                      break;
+                                  }
+                              }
+                          }
+                          passes::forwardMemory(func);
+                          passes::canonicalize(func);
+                          return true;
+                      });
+    }
+    add_loop_rule("loop-interchange", [](ir::Operation &func) {
+        ir::Operation *loop = firstLoop(func);
+        return loop && passes::interchangeLoops(*loop);
+    });
+    add_loop_rule("loop-flatten", [](ir::Operation &func) {
+        // SEER's flatten handles perfect 2-nests; the commercial tool's
+        // coalesce pragma (Figure 15) takes whole nests.
+        ir::Operation *loop = firstLoop(func);
+        return loop && hls::coalesceNest(*loop, 2);
+    });
+    add_loop_rule("loop-perfection", [](ir::Operation &func) {
+        ir::Operation *loop = firstLoop(func);
+        return loop && passes::perfectLoop(*loop);
+    });
+    add_loop_rule("memory-reuse", [](ir::Operation &func) {
+        ir::Operation *loop = firstLoop(func);
+        return loop && passes::reuseMemory(*loop);
+    });
+
+    // --- if rules ----------------------------------------------------
+    // They fire on if-rooted classes and on loop-rooted classes (the
+    // latter so speculation-safety checks can see the loop context that
+    // bounds the indices).
+    auto add_if_rule = [&](const char *name,
+                           std::function<bool(ir::Operation &)>
+                               transform) {
+        rules.push_back(makeDynRewrite(
+            name, "?x",
+            [context, transform, name](
+                EGraph &egraph,
+                const Match &match) -> std::optional<TermPtr> {
+                if (alreadyAttempted(context, egraph, name, match.root))
+                    return std::nullopt;
+                SymbolPred pred = nullptr;
+                if (classHas(egraph, match.root, isIfNode))
+                    pred = isIfNode;
+                else if (classHas(egraph, match.root, isForNode))
+                    pred = isForNode;
+                else
+                    return std::nullopt;
+                auto term = extractRooted(egraph, match.root, pred,
+                                          context->analysis_friendly);
+                if (!term)
+                    return std::nullopt;
+                return runOnSnippet(context, *term, transform, nullptr);
+            }));
+    };
+    add_if_rule("if-conversion", [](ir::Operation &func) {
+        ir::Operation *if_op = firstIf(func);
+        return if_op && passes::convertIf(*if_op);
+    });
+    add_if_rule("cf-mux", [](ir::Operation &func) {
+        ir::Operation *if_op = firstIf(func);
+        return if_op && passes::muxControlFlow(*if_op);
+    });
+
+    // --- if correlation over adjacent statements ----------------------
+    rules.push_back(makeDynRewrite(
+        "if-correlation", "(seq ?a ?b)",
+        [context, var_a, var_b](
+            EGraph &egraph,
+            const Match &match) -> std::optional<TermPtr> {
+            EClassId a = match.subst.at(var_a);
+            EClassId b = match.subst.at(var_b);
+            if (!classHas(egraph, a, isIfNode) ||
+                !classHas(egraph, b, isIfNode)) {
+                return std::nullopt;
+            }
+            if (alreadyAttempted(context, egraph, "if-correlation",
+                                 match.root)) {
+                return std::nullopt;
+            }
+            auto ta = extractRooted(egraph, a, isIfNode,
+                                    context->analysis_friendly);
+            auto tb = extractRooted(egraph, b, isIfNode,
+                                    context->analysis_friendly);
+            if (!ta || !tb)
+                return std::nullopt;
+            TermPtr pair = eg::makeTerm(sl::seqSymbol(), {*ta, *tb});
+            return runOnSnippet(
+                context, pair,
+                [](ir::Operation &func) {
+                    // Hoist interleaved constants first so replicated
+                    // ifs become adjacent.
+                    passes::canonicalize(func);
+                    std::vector<ir::Operation *> ifs;
+                    for (auto &op :
+                         func.region(0).block().ops()) {
+                        if (ir::isa(*op, ir::opnames::kIf))
+                            ifs.push_back(op.get());
+                    }
+                    if (ifs.size() < 2)
+                        return false;
+                    return passes::correlateIfs(*ifs[0], *ifs[1]);
+                },
+                nullptr);
+        }));
+
+    // --- memory forwarding over statement chains ------------------------
+    rules.push_back(makeDynRewrite(
+        "memory-forward", "?x",
+        [context](EGraph &egraph,
+                  const Match &match) -> std::optional<TermPtr> {
+            if (!classHas(egraph, match.root, isStatementRoot))
+                return std::nullopt;
+            if (alreadyAttempted(context, egraph, "memory-forward",
+                                 match.root)) {
+                return std::nullopt;
+            }
+            for (const TermPtr &term : extractAllRooted(
+                     egraph, match.root, isStatementRoot,
+                     context->analysis_friendly)) {
+                auto result = runOnSnippet(
+                    context, term,
+                    [](ir::Operation &func) {
+                        return passes::forwardMemory(func);
+                    },
+                    nullptr);
+                if (result)
+                    return result;
+            }
+            return std::nullopt;
+        }));
+
+    return rules;
+}
+
+} // namespace seer::core

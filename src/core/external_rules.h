@@ -1,0 +1,64 @@
+/**
+ * @file
+ * SEER's external rules: MLIR-style passes wrapped as dynamic e-graph
+ * rewrites (Section 4.3/4.4).
+ *
+ * A dynamic rule matches a SeerLang pattern, locally extracts an
+ * analysis-friendly representative (Section 4.5), emits it as a snippet
+ * function, runs the corresponding pass, translates the result back and
+ * unions it into the matched class. New loops created by a pass receive
+ * scheduling constraints either through the paper's approximation laws
+ * (fusion / flatten / unroll) or by re-invoking the schedule oracle
+ * (ablation mode).
+ */
+#ifndef SEER_CORE_EXTERNAL_RULES_H_
+#define SEER_CORE_EXTERNAL_RULES_H_
+
+#include <memory>
+#include <set>
+
+#include "core/cost.h"
+#include "egraph/rewrite.h"
+#include "hls/hls.h"
+
+namespace seer::core {
+
+/** Shared state of the external rules. */
+struct ExternalRuleContext
+{
+    LoopRegistry registry;
+    /** Accumulated seconds spent inside passes + IR translation: the
+     *  paper's "Time in MLIR" column of Table 5. */
+    double mlir_seconds = 0;
+    /** Use the Section 4.6 approximation laws for new loops; when
+     *  false, re-run the scheduler oracle instead (ablation). */
+    bool use_laws = true;
+    /** Enable the loop-unroll rule for trip counts up to this bound
+     *  (0 disables it — the paper's default). */
+    int64_t unroll_max_trip = 0;
+    /** Scheduling options for oracle re-runs. */
+    hls::HlsOptions hls;
+    /** Use the analysis-friendly cost for local extraction (Section
+     *  4.5); false extracts smallest terms instead (ablation: the
+     *  Figure 9 fusion then never finds the affine form). */
+    bool analysis_friendly = true;
+    /**
+     * Attempt memo: (rule name, canonical class) pairs already tried, so
+     * re-matching the same class across runner iterations does not
+     * re-run the whole snippet/pass machinery. Cleared per phase by the
+     * driver (rover rounds change class contents between phases).
+     */
+    std::set<std::pair<std::string, uint32_t>> attempted;
+};
+
+using ContextPtr = std::shared_ptr<ExternalRuleContext>;
+
+/** The internal seq structural rules (associativity, nop elimination). */
+std::vector<eg::Rewrite> seqRules();
+
+/** All ten control-path rules, sharing `context`. */
+std::vector<eg::Rewrite> controlRules(ContextPtr context);
+
+} // namespace seer::core
+
+#endif // SEER_CORE_EXTERNAL_RULES_H_

@@ -1,0 +1,205 @@
+#include "core/seer.h"
+
+#include <chrono>
+
+#include "ir/verifier.h"
+#include "passes/passes.h"
+#include "rover/rover.h"
+#include "seerlang/encoding.h"
+#include "seerlang/from_term.h"
+#include "seerlang/to_term.h"
+#include "support/error.h"
+
+namespace seer::core {
+
+using eg::EClassId;
+using eg::EGraph;
+using eg::TermPtr;
+
+namespace {
+
+/** Convert value-yielding ifs so SeerLang can express the program. */
+void
+preNormalize(ir::Operation &func)
+{
+    bool progress = true;
+    while (progress) {
+        progress = false;
+        std::vector<ir::Operation *> ifs;
+        ir::walk(func, [&](ir::Operation &op) {
+            if (ir::isa(op, ir::opnames::kIf) && op.numResults() > 0)
+                ifs.push_back(&op);
+        });
+        for (ir::Operation *if_op : ifs) {
+            if (passes::convertIf(*if_op)) {
+                progress = true;
+                break;
+            }
+        }
+    }
+    passes::canonicalize(func);
+}
+
+/** Seed the registry from the initial HLS schedule (called once). */
+LoopRegistry
+seedRegistry(const sl::Translation &translation, ir::Operation &func,
+             const hls::HlsOptions &hls_options)
+{
+    hls::OperatorLibrary lib;
+    hls::ScheduleOptions options = hls_options.schedule;
+    options.pipeline_loops = true; // SEER assumes pipelined loops
+    hls::FuncSchedule schedule = hls::scheduleFunc(func, lib, options);
+    LoopRegistry registry;
+    for (const auto &[loop_id, op] : translation.loops) {
+        auto it = schedule.loops.find(op);
+        if (it == schedule.loops.end())
+            continue;
+        LoopRegistryEntry entry;
+        entry.constraints = it->second;
+        entry.coalesced = op->hasAttr("seer.coalesced");
+        registry[loop_id] = entry;
+    }
+    return registry;
+}
+
+/**
+ * Phase-2 datapath refinement: re-extract every pure sub-expression of
+ * the control skeleton with the ROVER area model (Eqn 4).
+ */
+TermPtr
+refineDatapath(const EGraph &egraph, const TermPtr &term,
+               const eg::CostModel &area, bool exact)
+{
+    if (sl::isStatementSymbol(term->op())) {
+        std::vector<TermPtr> children;
+        children.reserve(term->arity());
+        bool changed = false;
+        for (const auto &child : term->children()) {
+            TermPtr refined = refineDatapath(egraph, child, area, exact);
+            changed |= refined != child;
+            children.push_back(std::move(refined));
+        }
+        return changed ? eg::makeTerm(term->op(), std::move(children))
+                       : term;
+    }
+    // Pure expression: extract the minimal-area equivalent.
+    auto id = egraph.lookupTerm(term);
+    if (!id)
+        return term;
+    std::optional<eg::Extraction> extraction =
+        exact ? eg::extractExact(egraph, *id, area)
+              : eg::extractGreedy(egraph, *id, area);
+    if (!extraction)
+        return term;
+    return extraction->term;
+}
+
+/** Apply trusted-coalesced markers to emitted loops. */
+void
+markTrustedLoops(ir::Module &module, const LoopRegistry &registry)
+{
+    ir::walk(module, [&](ir::Operation &op) {
+        if (!ir::isa(op, ir::opnames::kAffineFor))
+            return;
+        if (!op.hasAttr("seer.loop_id"))
+            return;
+        auto it = registry.find(op.strAttr("seer.loop_id"));
+        if (it != registry.end() && it->second.coalesced)
+            op.setAttr("seer.coalesced", ir::Attribute(int64_t{1}));
+    });
+}
+
+} // namespace
+
+SeerResult
+optimize(const ir::Module &input, const std::string &func_name,
+         const SeerOptions &options)
+{
+    using Clock = std::chrono::steady_clock;
+    auto start = Clock::now();
+
+    ir::Module working = ir::cloneModule(input);
+    ir::Operation *func = working.lookupFunc(func_name);
+    if (!func)
+        fatal("seer: no function named '" + func_name + "'");
+    preNormalize(*func);
+    ir::verifyOrDie(working);
+
+    // Translate and seed.
+    sl::Translation translation = sl::funcToTerm(*func);
+    auto context = std::make_shared<ExternalRuleContext>();
+    context->use_laws = options.use_laws;
+    context->analysis_friendly = options.analysis_friendly_extraction;
+    context->unroll_max_trip = options.unroll_max_trip;
+    context->hls = options.hls;
+    context->registry =
+        seedRegistry(translation, *func, options.hls);
+
+    EGraph egraph(rover::roverAnalysisHooks());
+    EClassId root = egraph.addTerm(translation.term);
+    egraph.rebuild();
+
+    SeerResult result;
+    result.original_term = translation.term;
+
+    // Interleaved exploration (Section 4.4).
+    for (int phase = 0; phase < options.max_phases; ++phase) {
+        size_t applied_this_phase = 0;
+        // Rover rounds change class contents, so retry external rules
+        // freshly each phase.
+        context->attempted.clear();
+        if (options.use_control) {
+            eg::Runner control(egraph, options.runner);
+            control.addRules(seqRules());
+            control.addRules(controlRules(context));
+            eg::RunnerReport report = control.run();
+            applied_this_phase += report.total_applied;
+            result.stats.unions_applied += report.total_applied;
+            for (auto &record : report.records)
+                result.stats.records.push_back(std::move(record));
+        }
+        if (options.use_rover) {
+            eg::Runner data(egraph, options.runner);
+            data.addRules(rover::roverRules());
+            eg::RunnerReport report = data.run();
+            applied_this_phase += report.total_applied;
+            result.stats.unions_applied += report.total_applied;
+            for (auto &record : report.records)
+                result.stats.records.push_back(std::move(record));
+        }
+        if (applied_this_phase == 0)
+            break; // joint saturation
+    }
+
+    // Two-phase extraction (Section 4.6).
+    LatencyCost latency(context->registry);
+    auto control_choice = eg::extractGreedy(egraph, root, latency);
+    SEER_ASSERT(control_choice.has_value(),
+                "seer: extraction found no implementation");
+    rover::RoverAreaCost area(&egraph);
+    TermPtr final_term = refineDatapath(egraph, control_choice->term,
+                                        area, options.exact_datapath);
+    result.extracted_term = final_term;
+
+    // Emit.
+    sl::EmitSpec spec;
+    spec.func_name = translation.func_name;
+    spec.args = translation.args;
+    result.module = sl::termToFunc(final_term, spec);
+    markTrustedLoops(result.module, context->registry);
+    passes::canonicalize(*result.module.firstFunc());
+    ir::verifyOrDie(result.module);
+
+    result.registry = std::move(context->registry);
+    result.stats.egraph_nodes = egraph.numNodes();
+    result.stats.egraph_classes = egraph.numClasses();
+    result.stats.total_seconds =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    result.stats.time_in_passes_seconds = context->mlir_seconds;
+    result.stats.time_in_egraph_seconds = std::max(
+        0.0,
+        result.stats.total_seconds - result.stats.time_in_passes_seconds);
+    return result;
+}
+
+} // namespace seer::core

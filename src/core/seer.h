@@ -1,0 +1,90 @@
+/**
+ * @file
+ * The SEER super-optimizer: the paper's end-to-end toolflow
+ * (Figure 5).
+ *
+ *  1. pre-normalize the input (value-yielding ifs converted),
+ *  2. call the HLS schedule oracle once to seed the loop registry,
+ *  3. translate to SeerLang and grow an e-graph, interleaving control
+ *     (external-pass) rounds with datapath (ROVER) rounds,
+ *  4. extract in two phases: latency-greedy control flow, then
+ *     exact-area datapath refinement,
+ *  5. emit IR, with trusted-coalesced markers for the HLS back end.
+ */
+#ifndef SEER_CORE_SEER_H_
+#define SEER_CORE_SEER_H_
+
+#include "core/external_rules.h"
+#include "egraph/runner.h"
+
+namespace seer::core {
+
+/** Configuration of one SEER run. */
+struct SeerOptions
+{
+    /** Enable ROVER datapath rules (off = the paper's "SEER (C)"). */
+    bool use_rover = true;
+    /** Enable control-path rules (off = the paper's "ROVER" only). */
+    bool use_control = true;
+    /** Interleaved control/data phases (Section 4.4). */
+    int max_phases = 3;
+    /** Runner limits per phase. */
+    eg::RunnerOptions runner;
+    /** Exact (branch-and-bound "ILP") datapath extraction; greedy
+     *  fallback when disabled (ablation). */
+    bool exact_datapath = true;
+    /** Use the Section 4.6 approximation laws (false = oracle mode). */
+    bool use_laws = true;
+    /** Analysis-friendly local extraction (Section 4.5); disable for
+     *  the Figure 9 ablation. */
+    bool analysis_friendly_extraction = true;
+    /** Unrolling bound (0 = disabled, the paper's default; the Intel
+     *  case study enables it). */
+    int64_t unroll_max_trip = 0;
+    /** HLS oracle options (clock period etc.). */
+    hls::HlsOptions hls;
+
+    SeerOptions()
+    {
+        runner.max_iters = 4;
+        runner.max_nodes = 60000;
+        runner.time_limit_seconds = 20;
+        runner.match_limit = 3000;
+    }
+};
+
+/** Statistics of a run (the Table 5 columns). */
+struct SeerStats
+{
+    size_t egraph_nodes = 0;
+    size_t egraph_classes = 0;
+    double time_in_passes_seconds = 0; ///< "Time in MLIR"
+    double time_in_egraph_seconds = 0; ///< "Time in egg"
+    double total_seconds = 0;
+    size_t unions_applied = 0;
+    /** Every applied rewrite, for translation validation. */
+    std::vector<eg::RewriteRecord> records;
+};
+
+/** Result of optimizing one function. */
+struct SeerResult
+{
+    ir::Module module; ///< the optimized program
+    SeerStats stats;
+    /** Final loop registry (constraints for every loop id). */
+    LoopRegistry registry;
+    /** The original term and the extracted term (for verification). */
+    eg::TermPtr original_term;
+    eg::TermPtr extracted_term;
+};
+
+/**
+ * Optimize `func_name` within `input`. The input module is cloned; on
+ * untranslatable inputs a FatalError is thrown.
+ */
+SeerResult optimize(const ir::Module &input, const std::string &func_name,
+                    const SeerOptions &options = {});
+
+} // namespace seer::core
+
+#endif // SEER_CORE_SEER_H_

@@ -1,0 +1,317 @@
+#include "core/verify.h"
+
+#include "ir/interp.h"
+#include "ir/parser.h"
+#include "seerlang/encoding.h"
+#include "seerlang/from_term.h"
+#include "support/error.h"
+#include "support/rng.h"
+
+namespace seer::core {
+
+using eg::TermPtr;
+
+namespace {
+
+/** Result type of a SeerLang value term; None for statement terms. */
+ir::Type
+typeOfValueTerm(const TermPtr &term)
+{
+    Symbol op = term->op();
+    if (auto constant = sl::decodeIntConst(op))
+        return constant->second;
+    if (sl::decodeFloatConst(op))
+        return ir::Type::f64();
+    if (auto arg = sl::decodeArg(op))
+        return arg->second;
+    if (sl::decodeVar(op))
+        return ir::Type::index();
+    if (sl::isStatementSymbol(op))
+        return ir::Type::none();
+    std::string name = sl::opNameOf(op);
+    auto fields = sl::fieldsOf(op);
+    if (name == "arith.cmpi" || name == "arith.cmpf")
+        return ir::Type::i1();
+    if (fields.size() == 2)
+        return ir::parseType(fields[1]); // cast: (from, to)
+    if (fields.size() == 1)
+        return ir::parseType(fields[0]);
+    return ir::Type::none();
+}
+
+/** Wrap a value term as a statement storing into a synthetic output. */
+TermPtr
+wrapValueTerm(const TermPtr &term, ir::Type type)
+{
+    ir::Type out_type = ir::Type::memref({1}, type);
+    TermPtr out_arg = eg::makeTerm(sl::encodeArg("__out", out_type));
+    TermPtr zero =
+        eg::makeTerm(sl::encodeIntConst(0, ir::Type::index()));
+    return eg::makeTerm(sl::encodeStore(sl::freshTag()),
+                        {term, out_arg, zero});
+}
+
+/** Deterministic random arguments for a spec; buffers owned by caller. */
+std::vector<ir::RtValue>
+buildArgs(const sl::EmitSpec &spec,
+          std::vector<std::unique_ptr<ir::Buffer>> &buffers, Rng &rng)
+{
+    std::vector<ir::RtValue> args;
+    for (const auto &[name, type] : spec.args) {
+        if (type.isMemRef()) {
+            buffers.push_back(std::make_unique<ir::Buffer>(type));
+            ir::Buffer &buffer = *buffers.back();
+            unsigned w = type.elementType().isScalar()
+                             ? type.elementType().bitwidth()
+                             : 32;
+            for (auto &v : buffer.ints)
+                v = ir::wrapToWidth(rng.nextRange(-40, 40), w);
+            for (auto &v : buffer.floats)
+                v = rng.nextDouble() * 4 - 2;
+            args.push_back(&buffer);
+        } else if (type.isIndex()) {
+            args.push_back(rng.nextRange(0, 3));
+        } else if (type.isInteger()) {
+            args.push_back(ir::wrapToWidth(rng.nextRange(-40, 40),
+                                           type.bitwidth()));
+        } else {
+            args.push_back(rng.nextDouble() * 4 - 2);
+        }
+    }
+    return args;
+}
+
+/** Fingerprint of final buffer state. */
+std::vector<int64_t>
+fingerprint(const std::vector<std::unique_ptr<ir::Buffer>> &buffers)
+{
+    std::vector<int64_t> out;
+    for (const auto &buffer : buffers) {
+        out.insert(out.end(), buffer->ints.begin(), buffer->ints.end());
+        for (double d : buffer->floats)
+            out.push_back(static_cast<int64_t>(d * (1 << 20)));
+    }
+    return out;
+}
+
+/** Merge two specs by argument name with consistent types. */
+std::optional<sl::EmitSpec>
+unifySpecs(const sl::EmitSpec &a, const sl::EmitSpec &b)
+{
+    sl::EmitSpec out = a;
+    for (const auto &[name, type] : b.args) {
+        bool found = false;
+        for (const auto &[existing_name, existing_type] : out.args) {
+            if (existing_name == name) {
+                if (!(existing_type == type))
+                    return std::nullopt;
+                found = true;
+            }
+        }
+        if (!found)
+            out.args.emplace_back(name, type);
+    }
+    return out;
+}
+
+enum class RunStatus { Ok, Trap };
+
+/** Execute a statement term on the given argument seed. */
+RunStatus
+runTerm(const TermPtr &statement, const sl::EmitSpec &spec, uint64_t seed,
+        uint64_t max_steps, std::vector<int64_t> &state)
+{
+    ir::Module module;
+    try {
+        module = sl::termToFunc(statement, spec);
+    } catch (const FatalError &) {
+        return RunStatus::Trap;
+    }
+    std::vector<std::unique_ptr<ir::Buffer>> buffers;
+    Rng rng(seed);
+    std::vector<ir::RtValue> args = buildArgs(spec, buffers, rng);
+    ir::InterpOptions options;
+    options.max_steps = max_steps;
+    try {
+        ir::interpret(module, spec.func_name, std::move(args), options);
+    } catch (const FatalError &) {
+        return RunStatus::Trap;
+    }
+    state = fingerprint(buffers);
+    return RunStatus::Ok;
+}
+
+} // namespace
+
+bool
+checkTermEquivalence(const TermPtr &lhs, const TermPtr &rhs,
+                     const VerifyOptions &options, std::string *diagnostic)
+{
+    TermPtr lhs_statement = lhs, rhs_statement = rhs;
+    if (!sl::isStatementSymbol(lhs->op())) {
+        ir::Type type = typeOfValueTerm(lhs);
+        if (type.isNone()) {
+            if (diagnostic)
+                *diagnostic = "cannot type lhs value term";
+            return false;
+        }
+        lhs_statement = wrapValueTerm(lhs, type);
+        rhs_statement = wrapValueTerm(rhs, type);
+    }
+    auto spec = unifySpecs(sl::inferSpec(lhs_statement, "check"),
+                           sl::inferSpec(rhs_statement, "check"));
+    if (!spec) {
+        if (diagnostic)
+            *diagnostic = "argument type mismatch between sides";
+        return false;
+    }
+
+    int conclusive = 0;
+    for (int run = 0; run < options.runs; ++run) {
+        uint64_t seed = options.seed + 7919 * run;
+        std::vector<int64_t> lhs_state, rhs_state;
+        RunStatus ls = runTerm(lhs_statement, *spec, seed,
+                               options.max_steps, lhs_state);
+        RunStatus rs = runTerm(rhs_statement, *spec, seed,
+                               options.max_steps, rhs_state);
+        if (ls == RunStatus::Trap || rs == RunStatus::Trap)
+            continue; // inconclusive input (e.g. a free index went OOB)
+        ++conclusive;
+        if (lhs_state != rhs_state) {
+            if (diagnostic) {
+                *diagnostic = MsgBuilder()
+                              << "counterexample at seed " << seed
+                              << "\n  lhs: " << lhs->str()
+                              << "\n  rhs: " << rhs->str();
+            }
+            return false;
+        }
+    }
+    if (conclusive == 0 && diagnostic)
+        *diagnostic = "<inconclusive>";
+    return true;
+}
+
+VerifyReport
+verifyRecords(const std::vector<eg::RewriteRecord> &records,
+              const VerifyOptions &options)
+{
+    VerifyReport report;
+    for (const auto &record : records) {
+        ++report.total_checks;
+        std::string diagnostic;
+        bool ok = checkTermEquivalence(record.lhs, record.rhs, options,
+                                       &diagnostic);
+        if (ok && diagnostic == "<inconclusive>") {
+            ++report.inconclusive;
+        } else if (ok) {
+            ++report.passed;
+        } else if (report.failures.size() < options.max_failures) {
+            report.failures.push_back(
+                MsgBuilder() << "rule '" << record.rule
+                             << "' failed validation: " << diagnostic);
+        }
+    }
+    return report;
+}
+
+bool
+checkModuleEquivalence(const ir::Module &lhs, const ir::Module &rhs,
+                       const std::string &func_name,
+                       const VerifyOptions &options,
+                       std::string *diagnostic)
+{
+    return checkModuleEquivalence(lhs, rhs, func_name, InputPreparer(),
+                                  options, diagnostic);
+}
+
+bool
+checkModuleEquivalence(const ir::Module &lhs, const ir::Module &rhs,
+                       const std::string &func_name,
+                       const InputPreparer &prepare,
+                       const VerifyOptions &options,
+                       std::string *diagnostic)
+{
+    ir::Operation *lhs_func = lhs.lookupFunc(func_name);
+    ir::Operation *rhs_func = rhs.lookupFunc(func_name);
+    if (!lhs_func || !rhs_func) {
+        if (diagnostic)
+            *diagnostic = "function missing in one module";
+        return false;
+    }
+    // Signatures must match argument-for-argument.
+    ir::Block &lhs_body = lhs_func->region(0).block();
+    ir::Block &rhs_body = rhs_func->region(0).block();
+    if (lhs_body.numArgs() != rhs_body.numArgs()) {
+        if (diagnostic)
+            *diagnostic = "argument count mismatch";
+        return false;
+    }
+    sl::EmitSpec spec;
+    spec.func_name = func_name;
+    for (size_t i = 0; i < lhs_body.numArgs(); ++i) {
+        if (!(lhs_body.arg(i).type() == rhs_body.arg(i).type())) {
+            if (diagnostic)
+                *diagnostic = "argument type mismatch";
+            return false;
+        }
+        spec.args.emplace_back("a" + std::to_string(i),
+                               lhs_body.arg(i).type());
+    }
+
+    for (int run = 0; run < options.runs; ++run) {
+        uint64_t seed = options.seed + 104729 * run;
+        std::vector<std::unique_ptr<ir::Buffer>> lhs_buffers,
+            rhs_buffers;
+        std::vector<ir::RtValue> lhs_args, rhs_args;
+        if (prepare) {
+            // Domain-aware workload: all arguments must be memrefs.
+            std::vector<ir::Buffer> prepared;
+            for (const auto &[name, type] : spec.args) {
+                if (!type.isMemRef()) {
+                    if (diagnostic)
+                        *diagnostic = "preparer needs memref-only args";
+                    return false;
+                }
+                prepared.emplace_back(type);
+            }
+            Rng rng(seed);
+            prepare(prepared, rng);
+            for (ir::Buffer &buffer : prepared) {
+                lhs_buffers.push_back(
+                    std::make_unique<ir::Buffer>(buffer));
+                rhs_buffers.push_back(
+                    std::make_unique<ir::Buffer>(std::move(buffer)));
+                lhs_args.push_back(lhs_buffers.back().get());
+                rhs_args.push_back(rhs_buffers.back().get());
+            }
+        } else {
+            Rng lhs_rng(seed), rhs_rng(seed);
+            lhs_args = buildArgs(spec, lhs_buffers, lhs_rng);
+            rhs_args = buildArgs(spec, rhs_buffers, rhs_rng);
+        }
+        ir::InterpOptions interp_options;
+        interp_options.max_steps = options.max_steps;
+        try {
+            ir::interpret(lhs, func_name, std::move(lhs_args),
+                          interp_options);
+            ir::interpret(rhs, func_name, std::move(rhs_args),
+                          interp_options);
+        } catch (const FatalError &err) {
+            if (diagnostic)
+                *diagnostic = std::string("trap: ") + err.what();
+            return false;
+        }
+        if (fingerprint(lhs_buffers) != fingerprint(rhs_buffers)) {
+            if (diagnostic) {
+                *diagnostic = MsgBuilder()
+                              << "memory state diverges at seed "
+                              << seed;
+            }
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace seer::core

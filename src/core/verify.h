@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Translation validation (Section 4.7).
+ *
+ * The paper decomposes "original == optimized" into one equivalence
+ * check per applied rewrite, each discharged by a commercial checker.
+ * Here every recorded union (rule name + concrete lhs/rhs terms) is
+ * checked by emitting both sides as snippet functions and co-executing
+ * them on matched deterministic-random inputs; an end-to-end module
+ * check closes the chain. A failing record names the offending rule.
+ */
+#ifndef SEER_CORE_VERIFY_H_
+#define SEER_CORE_VERIFY_H_
+
+#include "core/seer.h"
+#include "support/rng.h"
+
+namespace seer::core {
+
+struct VerifyOptions
+{
+    int runs = 4;             ///< random input vectors per check
+    uint64_t seed = 0x5EEE;   ///< base RNG seed
+    uint64_t max_steps = 20'000'000; ///< interpreter budget per run
+    size_t max_failures = 8;  ///< stop collecting after this many
+};
+
+struct VerifyReport
+{
+    size_t total_checks = 0;
+    size_t passed = 0;
+    /** Checks where one or both sides trapped on every input (treated
+     *  as neither pass nor failure; reported for transparency). */
+    size_t inconclusive = 0;
+    std::vector<std::string> failures;
+
+    bool ok() const { return failures.empty(); }
+};
+
+/** Check every recorded rewrite: the decomposed proof chain. */
+VerifyReport verifyRecords(const std::vector<eg::RewriteRecord> &records,
+                           const VerifyOptions &options = {});
+
+/** Check two terms for input/output + memory-state equivalence. */
+bool checkTermEquivalence(const eg::TermPtr &lhs, const eg::TermPtr &rhs,
+                          const VerifyOptions &options = {},
+                          std::string *diagnostic = nullptr);
+
+/** Check two modules' functions on matched random workloads. */
+bool checkModuleEquivalence(const ir::Module &lhs, const ir::Module &rhs,
+                            const std::string &func_name,
+                            const VerifyOptions &options = {},
+                            std::string *diagnostic = nullptr);
+
+/** Fills the argument buffers with a valid workload (e.g. in-range
+ *  neighbour indices); used when plain random inputs would trap. */
+using InputPreparer =
+    std::function<void(std::vector<ir::Buffer> &, Rng &)>;
+
+/** As above, but with a domain-aware input preparer. */
+bool checkModuleEquivalence(const ir::Module &lhs, const ir::Module &rhs,
+                            const std::string &func_name,
+                            const InputPreparer &prepare,
+                            const VerifyOptions &options = {},
+                            std::string *diagnostic = nullptr);
+
+} // namespace seer::core
+
+#endif // SEER_CORE_VERIFY_H_

@@ -1,0 +1,356 @@
+#include "egraph/egraph.h"
+
+#include <algorithm>
+#include <optional>
+
+#include "support/error.h"
+
+namespace seer::eg {
+
+EClassId
+EGraph::find(EClassId id) const
+{
+    SEER_ASSERT(id < parents_.size(), "find on invalid eclass id " << id);
+    while (parents_[id] != id)
+        id = parents_[id];
+    return id;
+}
+
+ENode
+EGraph::canonicalize(ENode node) const
+{
+    for (EClassId &child : node.children)
+        child = find(child);
+    return node;
+}
+
+EClassId
+EGraph::add(ENode node)
+{
+    node = canonicalize(std::move(node));
+    auto it = memo_.find(node);
+    if (it != memo_.end())
+        return find(it->second);
+
+    EClassId id = static_cast<EClassId>(parents_.size());
+    parents_.push_back(id);
+    EClass &cls = classes_[id];
+    cls.nodes.push_back(node);
+    for (EClassId child : node.children)
+        classes_[child].parents.emplace_back(node, id);
+    memo_.emplace(node, id);
+    makeAnalysis(id, node);
+    maybeAddFoldedConst(id);
+    return id;
+}
+
+EClassId
+EGraph::addTerm(const TermPtr &term)
+{
+    ENode node;
+    node.op = term->op();
+    for (const auto &child : term->children())
+        node.children.push_back(addTerm(child));
+    return add(std::move(node));
+}
+
+std::optional<EClassId>
+EGraph::lookup(ENode node) const
+{
+    node = canonicalize(std::move(node));
+    auto it = memo_.find(node);
+    if (it == memo_.end())
+        return std::nullopt;
+    return find(it->second);
+}
+
+std::optional<EClassId>
+EGraph::lookupTerm(const TermPtr &term) const
+{
+    ENode node;
+    node.op = term->op();
+    for (const auto &child : term->children()) {
+        auto child_id = lookupTerm(child);
+        if (!child_id)
+            return std::nullopt;
+        node.children.push_back(*child_id);
+    }
+    return lookup(std::move(node));
+}
+
+bool
+EGraph::merge(EClassId a, EClassId b, std::string reason)
+{
+    EClassId a_orig = a, b_orig = b;
+    a = find(a);
+    b = find(b);
+    if (a == b)
+        return false;
+    // Record the union justification between the *claimed* ids (stable
+    // across later merges); paths through these edges are explanations.
+    if (proof_edges_.size() < parents_.size())
+        proof_edges_.resize(parents_.size());
+    if (reason.empty())
+        reason = "congruence";
+    proof_edges_[a_orig].emplace_back(b_orig, reason);
+    proof_edges_[b_orig].emplace_back(a_orig, std::move(reason));
+    // Union by size of parent list (fewer parents to repair on top).
+    if (classes_[a].parents.size() < classes_[b].parents.size())
+        std::swap(a, b);
+    parents_[b] = a;
+
+    EClass &into = classes_[a];
+    EClass &from = classes_[b];
+    mergeAnalysis(a, b);
+    into.nodes.insert(into.nodes.end(), from.nodes.begin(),
+                      from.nodes.end());
+    into.parents.insert(into.parents.end(), from.parents.begin(),
+                        from.parents.end());
+    classes_.erase(b);
+    worklist_.push_back(a);
+    maybeAddFoldedConst(a);
+    return true;
+}
+
+void
+EGraph::rebuild()
+{
+    while (!worklist_.empty()) {
+        std::vector<EClassId> todo;
+        todo.swap(worklist_);
+        std::sort(todo.begin(), todo.end());
+        todo.erase(std::unique(todo.begin(), todo.end()), todo.end());
+        for (EClassId id : todo)
+            repair(find(id));
+    }
+}
+
+void
+EGraph::repair(EClassId id)
+{
+    // Re-canonicalize parent nodes; congruent parents get merged.
+    auto parents = classes_[id].parents;
+    classes_[id].parents.clear();
+    std::unordered_map<ENode, EClassId, ENodeHash> seen;
+    for (auto &[node, parent_id] : parents) {
+        memo_.erase(node);
+        ENode canon = canonicalize(node);
+        EClassId parent_canon = find(parent_id);
+        auto it = seen.find(canon);
+        if (it != seen.end()) {
+            // Congruence: two parents became identical.
+            if (merge(it->second, parent_canon))
+                parent_canon = find(parent_canon);
+            it->second = find(it->second);
+        } else {
+            seen.emplace(canon, parent_canon);
+        }
+        memo_[canon] = find(parent_canon);
+    }
+    EClass &cls = classes_[find(id)];
+    for (auto &[node, parent_id] : seen) {
+        cls.parents.emplace_back(node, find(parent_id));
+        // Analysis propagation: a child constant may now determine the
+        // parent's constant (egg's analysis_pending worklist).
+        propagateConstant(node, find(parent_id));
+    }
+    // Deduplicate and canonicalize the class's own nodes.
+    EClass &self = classes_[find(id)];
+    std::unordered_map<ENode, bool, ENodeHash> unique_nodes;
+    std::vector<ENode> nodes;
+    for (ENode &node : self.nodes) {
+        ENode canon = canonicalize(node);
+        if (!unique_nodes.emplace(canon, true).second)
+            continue;
+        nodes.push_back(std::move(canon));
+    }
+    self.nodes = std::move(nodes);
+}
+
+const EClass &
+EGraph::eclass(EClassId id) const
+{
+    auto it = classes_.find(find(id));
+    SEER_ASSERT(it != classes_.end(), "eclass() on missing id " << id);
+    return it->second;
+}
+
+std::optional<int64_t>
+EGraph::constantOf(EClassId id) const
+{
+    return eclass(id).constant;
+}
+
+std::vector<EClassId>
+EGraph::classIds() const
+{
+    std::vector<EClassId> ids;
+    ids.reserve(classes_.size());
+    for (const auto &[id, cls] : classes_)
+        ids.push_back(id);
+    std::sort(ids.begin(), ids.end());
+    return ids;
+}
+
+std::optional<std::vector<std::string>>
+EGraph::explain(EClassId a, EClassId b) const
+{
+    if (a >= parents_.size() || b >= parents_.size())
+        return std::nullopt;
+    if (find(a) != find(b))
+        return std::nullopt;
+    if (a == b)
+        return std::vector<std::string>{};
+    // BFS over the proof graph.
+    std::vector<int64_t> prev(parents_.size(), -1);
+    std::vector<std::string> via(parents_.size());
+    std::vector<EClassId> queue{a};
+    prev[a] = static_cast<int64_t>(a);
+    for (size_t head = 0; head < queue.size(); ++head) {
+        EClassId id = queue[head];
+        if (id == b)
+            break;
+        if (id >= proof_edges_.size())
+            continue;
+        for (const auto &[next, reason] : proof_edges_[id]) {
+            if (prev[next] != -1)
+                continue;
+            prev[next] = static_cast<int64_t>(id);
+            via[next] = reason;
+            queue.push_back(next);
+        }
+    }
+    if (prev[b] == -1)
+        return std::nullopt; // same class but only via congruence of
+                             // sub-ids: no direct edge path recorded
+    std::vector<std::string> path;
+    for (EClassId id = b; id != a;
+         id = static_cast<EClassId>(prev[id])) {
+        path.push_back(via[id]);
+    }
+    std::reverse(path.begin(), path.end());
+    return path;
+}
+
+size_t
+EGraph::numClasses() const
+{
+    return classes_.size();
+}
+
+size_t
+EGraph::numNodes() const
+{
+    size_t n = 0;
+    for (const auto &[id, cls] : classes_)
+        n += cls.nodes.size();
+    return n;
+}
+
+void
+EGraph::makeAnalysis(EClassId id, const ENode &node)
+{
+    if (!hooks_.parse_const)
+        return;
+    EClass &cls = classes_[id];
+    if (node.children.empty()) {
+        if (auto value = hooks_.parse_const(node.op))
+            cls.constant = value;
+        return;
+    }
+    if (!hooks_.fold)
+        return;
+    std::vector<int64_t> child_values;
+    child_values.reserve(node.children.size());
+    for (EClassId child : node.children) {
+        auto value = constantOf(child);
+        if (!value)
+            return;
+        child_values.push_back(*value);
+    }
+    if (auto folded = hooks_.fold(node.op, child_values)) {
+        if (auto value = hooks_.parse_const(*folded))
+            cls.constant = value;
+    }
+}
+
+void
+EGraph::propagateConstant(const ENode &node, EClassId parent)
+{
+    if (!hooks_.fold || !hooks_.parse_const)
+        return;
+    parent = find(parent);
+    EClass &cls = classes_[parent];
+    if (cls.constant)
+        return;
+    std::vector<int64_t> child_values;
+    child_values.reserve(node.children.size());
+    for (EClassId child : node.children) {
+        auto value = constantOf(child);
+        if (!value)
+            return;
+        child_values.push_back(*value);
+    }
+    auto folded = hooks_.fold(node.op, child_values);
+    if (!folded)
+        return;
+    auto value = hooks_.parse_const(*folded);
+    if (!value)
+        return;
+    cls.constant = value;
+    maybeAddFoldedConst(parent);
+    worklist_.push_back(parent); // keep propagating upward
+}
+
+void
+EGraph::mergeAnalysis(EClassId into, EClassId from)
+{
+    EClass &a = classes_[into];
+    EClass &b = classes_[from];
+    if (!a.constant)
+        a.constant = b.constant;
+    else if (b.constant && *a.constant != *b.constant) {
+        panic(MsgBuilder()
+              << "e-graph analysis contradiction: class holds constants "
+              << *a.constant << " and " << *b.constant
+              << " (an unsound rewrite was applied)");
+    }
+}
+
+void
+EGraph::maybeAddFoldedConst(EClassId id)
+{
+    if (!hooks_.fold || !hooks_.parse_const)
+        return;
+    id = find(id);
+    EClass &cls = classes_[id];
+    if (!cls.constant)
+        return;
+    // Find a node to derive the constant's spelling (type encoding) from.
+    for (const ENode &node : cls.nodes) {
+        if (node.children.empty() && hooks_.parse_const(node.op))
+            return; // literal already present
+    }
+    for (const ENode &node : cls.nodes) {
+        std::vector<int64_t> child_values;
+        bool ok = !node.children.empty();
+        for (EClassId child : node.children) {
+            auto value = constantOf(child);
+            if (!value) {
+                ok = false;
+                break;
+            }
+            child_values.push_back(*value);
+        }
+        if (!ok)
+            continue;
+        if (auto folded = hooks_.fold(node.op, child_values)) {
+            ENode literal{*folded, {}};
+            EClassId lit_id = add(std::move(literal));
+            merge(id, lit_id);
+            return;
+        }
+    }
+}
+
+} // namespace seer::eg

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * An egg-style e-graph: union-find over equivalence classes of e-nodes,
+ * with hash-consing, deferred rebuilding, and a pluggable constant-folding
+ * analysis.
+ *
+ * This is the C++ stand-in for the Rust `egg` library the paper builds on.
+ * The API mirrors egg's: add / union / rebuild / lookup, with e-matching
+ * and extraction layered on top (pattern.h, extract.h).
+ */
+#ifndef SEER_EGRAPH_EGRAPH_H_
+#define SEER_EGRAPH_EGRAPH_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "egraph/term.h"
+
+namespace seer::eg {
+
+using EClassId = uint32_t;
+
+/** An e-node: an operator applied to e-class ids. */
+struct ENode
+{
+    Symbol op;
+    std::vector<EClassId> children;
+
+    bool
+    operator==(const ENode &other) const
+    {
+        return op == other.op && children == other.children;
+    }
+};
+
+struct ENodeHash
+{
+    size_t
+    operator()(const ENode &node) const noexcept
+    {
+        size_t h = std::hash<Symbol>()(node.op);
+        for (EClassId child : node.children)
+            h = h * 1000003 + child;
+        return h;
+    }
+};
+
+/**
+ * Constant-folding analysis hooks (the e-class analysis of egg). The
+ * SeerLang layer supplies functions that understand its symbol encoding.
+ */
+struct AnalysisHooks
+{
+    /** If `op` denotes a literal leaf, return its integer value. */
+    std::function<std::optional<int64_t>(Symbol)> parse_const;
+
+    /**
+     * Fold `op` applied to known child constants into a literal leaf
+     * symbol; nullopt when not foldable (or folding would be unsound).
+     */
+    std::function<std::optional<Symbol>(
+        Symbol, const std::vector<int64_t> &)>
+        fold;
+};
+
+/** One equivalence class. */
+struct EClass
+{
+    std::vector<ENode> nodes;
+    /** (parent node as last canonicalized, parent class) for repair. */
+    std::vector<std::pair<ENode, EClassId>> parents;
+    /** Constant value when the analysis has derived one. */
+    std::optional<int64_t> constant;
+};
+
+class EGraph
+{
+  public:
+    EGraph() = default;
+    explicit EGraph(AnalysisHooks hooks) : hooks_(std::move(hooks)) {}
+
+    /** Add an e-node (children must be existing class ids). */
+    EClassId add(ENode node);
+
+    /** Add a whole ground term bottom-up. */
+    EClassId addTerm(const TermPtr &term);
+
+    /** Canonical representative of an id. */
+    EClassId find(EClassId id) const;
+
+    /** Union two classes; true if they were distinct. `reason` feeds
+     *  proof production (egg's explanation feature, which the paper's
+     *  translation-validation flow builds on). */
+    bool merge(EClassId a, EClassId b, std::string reason = "");
+
+    /** Restore congruence and hashcons invariants after merges. */
+    void rebuild();
+
+    /** Lookup a node (canonicalized); nullopt if absent. */
+    std::optional<EClassId> lookup(ENode node) const;
+
+    /** Lookup a ground term; nullopt if any subterm is absent. */
+    std::optional<EClassId> lookupTerm(const TermPtr &term) const;
+
+    /** The class data for a canonical id. */
+    const EClass &eclass(EClassId id) const;
+
+    /** Constant value of a class if the analysis derived one. */
+    std::optional<int64_t> constantOf(EClassId id) const;
+
+    /** All canonical class ids. */
+    std::vector<EClassId> classIds() const;
+
+    size_t numClasses() const;
+    size_t numNodes() const;
+
+    /** True when no merges are pending rebuild. */
+    bool isClean() const { return worklist_.empty(); }
+
+    /**
+     * Proof production: the chain of union justifications connecting
+     * two ids (e.g. the class a term was first added under and the
+     * class of the final extraction). Ids are the *original* ids
+     * returned by add/addTerm — they stay valid across merges. Returns
+     * nullopt when the ids were never unioned into one class.
+     */
+    std::optional<std::vector<std::string>> explain(EClassId a,
+                                                    EClassId b) const;
+
+  private:
+    ENode canonicalize(ENode node) const;
+    void repair(EClassId id);
+    void propagateConstant(const ENode &node, EClassId parent);
+    void makeAnalysis(EClassId id, const ENode &node);
+    void mergeAnalysis(EClassId into, EClassId from);
+    void maybeAddFoldedConst(EClassId id);
+
+    AnalysisHooks hooks_;
+    std::vector<EClassId> parents_; // union-find
+    /** Proof graph: one adjacency list entry per union, labelled with
+     *  the justification. */
+    std::vector<std::vector<std::pair<EClassId, std::string>>>
+        proof_edges_;
+    std::unordered_map<ENode, EClassId, ENodeHash> memo_;
+    std::unordered_map<EClassId, EClass> classes_;
+    std::vector<EClassId> worklist_;
+};
+
+} // namespace seer::eg
+
+#endif // SEER_EGRAPH_EGRAPH_H_

@@ -1,0 +1,350 @@
+#include "egraph/extract.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "support/error.h"
+
+namespace seer::eg {
+
+namespace {
+
+struct ClassCost
+{
+    double cost = CostModel::kInfinity;
+    double size = CostModel::kInfinity; // tie-break: term size
+    int node_index = -1;
+};
+
+/** Classes reachable from `root` through any node's children. */
+std::vector<EClassId>
+reachableClasses(const EGraph &egraph, EClassId root)
+{
+    std::set<EClassId> seen;
+    std::vector<EClassId> stack{egraph.find(root)};
+    std::vector<EClassId> order;
+    while (!stack.empty()) {
+        EClassId id = stack.back();
+        stack.pop_back();
+        if (!seen.insert(id).second)
+            continue;
+        order.push_back(id);
+        for (const ENode &node : egraph.eclass(id).nodes) {
+            for (EClassId child : node.children)
+                stack.push_back(egraph.find(child));
+        }
+    }
+    return order;
+}
+
+/** Fixpoint computation of greedy per-class costs, restricted to the
+ *  classes reachable from `root` (extraction never needs the rest). */
+std::map<EClassId, ClassCost>
+computeGreedyCosts(const EGraph &egraph, const CostModel &cost,
+                   EClassId root)
+{
+    std::map<EClassId, ClassCost> costs;
+    for (EClassId id : reachableClasses(egraph, root))
+        costs[id] = ClassCost{};
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (auto &[id, best] : costs) {
+            const EClass &cls = egraph.eclass(id);
+            for (size_t n = 0; n < cls.nodes.size(); ++n) {
+                const ENode &node = cls.nodes[n];
+                double self = cost.nodeCost(node);
+                if (self == CostModel::kInfinity)
+                    continue;
+                double total = self;
+                double size = 1;
+                bool feasible = true;
+                for (EClassId child : node.children) {
+                    const ClassCost &cc = costs[egraph.find(child)];
+                    if (cc.cost == CostModel::kInfinity) {
+                        feasible = false;
+                        break;
+                    }
+                    total += cc.cost;
+                    size += cc.size;
+                }
+                if (!feasible)
+                    continue;
+                if (total < best.cost ||
+                    (total == best.cost && size < best.size)) {
+                    best.cost = total;
+                    best.size = size;
+                    best.node_index = static_cast<int>(n);
+                    changed = true;
+                }
+            }
+        }
+    }
+    return costs;
+}
+
+TermPtr
+buildTerm(const EGraph &egraph, EClassId id,
+          const std::map<EClassId, ClassCost> &costs,
+          std::set<EClassId> &visiting)
+{
+    id = egraph.find(id);
+    SEER_ASSERT(!visiting.count(id),
+                "cyclic extraction at class " << id
+                    << " (cost model allows a zero-cost cycle)");
+    const ClassCost &best = costs.at(id);
+    SEER_ASSERT(best.node_index >= 0, "extracting infeasible class");
+    visiting.insert(id);
+    const ENode &node =
+        egraph.eclass(id).nodes[static_cast<size_t>(best.node_index)];
+    std::vector<TermPtr> children;
+    children.reserve(node.children.size());
+    for (EClassId child : node.children)
+        children.push_back(buildTerm(egraph, child, costs, visiting));
+    visiting.erase(id);
+    return makeTerm(node.op, std::move(children));
+}
+
+/** Classes reachable from the chosen node of each decided class. */
+double
+dagCostOf(const EGraph &egraph, EClassId root,
+          const std::map<EClassId, int> &choice, const CostModel &cost)
+{
+    std::set<EClassId> seen;
+    std::vector<EClassId> stack{egraph.find(root)};
+    double total = 0;
+    while (!stack.empty()) {
+        EClassId id = stack.back();
+        stack.pop_back();
+        if (!seen.insert(id).second)
+            continue;
+        const ENode &node = egraph.eclass(id).nodes[static_cast<size_t>(
+            choice.at(id))];
+        total += cost.nodeCost(node);
+        for (EClassId child : node.children)
+            stack.push_back(egraph.find(child));
+    }
+    return total;
+}
+
+/** Check the chosen-node graph reachable from root is acyclic. */
+bool
+choiceAcyclic(const EGraph &egraph, EClassId root,
+              const std::map<EClassId, int> &choice)
+{
+    enum State { White, Grey, Black };
+    std::map<EClassId, State> state;
+    std::function<bool(EClassId)> dfs = [&](EClassId id) {
+        id = egraph.find(id);
+        State &s = state[id];
+        if (s == Grey)
+            return false;
+        if (s == Black)
+            return true;
+        s = Grey;
+        const ENode &node = egraph.eclass(id).nodes[static_cast<size_t>(
+            choice.at(id))];
+        for (EClassId child : node.children) {
+            if (!dfs(child))
+                return false;
+        }
+        state[id] = Black;
+        return true;
+    };
+    return dfs(root);
+}
+
+/** Build the term DAG for a complete acyclic choice (as a tree with
+ *  structural sharing through shared_ptr reuse). */
+TermPtr
+buildChoiceTerm(const EGraph &egraph, EClassId id,
+                const std::map<EClassId, int> &choice,
+                std::map<EClassId, TermPtr> &memo)
+{
+    id = egraph.find(id);
+    auto it = memo.find(id);
+    if (it != memo.end())
+        return it->second;
+    const ENode &node =
+        egraph.eclass(id).nodes[static_cast<size_t>(choice.at(id))];
+    std::vector<TermPtr> children;
+    children.reserve(node.children.size());
+    for (EClassId child : node.children)
+        children.push_back(buildChoiceTerm(egraph, child, choice, memo));
+    TermPtr term = makeTerm(node.op, std::move(children));
+    memo[id] = term;
+    return term;
+}
+
+/** Branch-and-bound exact DAG extraction. */
+class ExactSolver
+{
+  public:
+    ExactSolver(const EGraph &egraph, const CostModel &cost, size_t budget)
+        : egraph_(egraph), cost_(cost), budget_(budget)
+    {}
+
+    std::optional<Extraction>
+    solve(EClassId root)
+    {
+        root = egraph_.find(root);
+        greedy_ = computeGreedyCosts(egraph_, cost_, root);
+        if (greedy_.at(root).node_index < 0)
+            return std::nullopt;
+
+        // Seed the incumbent with the greedy choice evaluated as a DAG.
+        std::map<EClassId, int> greedy_choice;
+        for (const auto &[id, cc] : greedy_) {
+            if (cc.node_index >= 0)
+                greedy_choice[id] = cc.node_index;
+        }
+        best_choice_ = greedy_choice;
+        best_cost_ = dagCostOf(egraph_, root, greedy_choice, cost_);
+
+        // Min self-cost per class: admissible bound contribution.
+        for (const auto &[id, cc] : greedy_) {
+            double m = CostModel::kInfinity;
+            for (const ENode &node : egraph_.eclass(id).nodes)
+                m = std::min(m, cost_.nodeCost(node));
+            min_self_[id] = m;
+        }
+
+        std::map<EClassId, int> choice;
+        std::set<EClassId> pending{root};
+        search(choice, pending, 0.0, root);
+
+        std::map<EClassId, TermPtr> memo;
+        Extraction out;
+        out.term = buildChoiceTerm(egraph_, root, best_choice_, memo);
+        out.dag_cost = best_cost_;
+        out.tree_cost = treeCost(*out.term);
+        return out;
+    }
+
+  private:
+    double
+    treeCost(const Term &term) const
+    {
+        ENode probe{term.op(), {}};
+        double total = cost_.nodeCost(probe);
+        for (const auto &child : term.children())
+            total += treeCost(*child);
+        return total;
+    }
+
+    void
+    search(std::map<EClassId, int> &choice, std::set<EClassId> &pending,
+           double cost_so_far, EClassId root)
+    {
+        if (expansions_++ > budget_)
+            return;
+        // Admissible lower bound: every pending class costs at least its
+        // cheapest node.
+        double bound = cost_so_far;
+        for (EClassId id : pending)
+            bound += min_self_.at(id);
+        if (bound >= best_cost_)
+            return;
+        if (pending.empty()) {
+            if (choiceAcyclic(egraph_, root, choice)) {
+                best_cost_ = cost_so_far;
+                best_choice_ = choice;
+            }
+            return;
+        }
+        EClassId id = *pending.begin();
+        pending.erase(pending.begin());
+
+        // Candidate nodes ordered by self cost.
+        const EClass &cls = egraph_.eclass(id);
+        std::vector<int> order(cls.nodes.size());
+        for (size_t i = 0; i < order.size(); ++i)
+            order[i] = static_cast<int>(i);
+        std::sort(order.begin(), order.end(), [&](int a, int b) {
+            return cost_.nodeCost(cls.nodes[static_cast<size_t>(a)]) <
+                   cost_.nodeCost(cls.nodes[static_cast<size_t>(b)]);
+        });
+
+        for (int n : order) {
+            const ENode &node = cls.nodes[static_cast<size_t>(n)];
+            double self = cost_.nodeCost(node);
+            if (self == CostModel::kInfinity)
+                break;
+            // Skip nodes with infeasible children.
+            bool feasible = true;
+            for (EClassId child : node.children) {
+                if (greedy_.at(egraph_.find(child)).node_index < 0) {
+                    feasible = false;
+                    break;
+                }
+            }
+            if (!feasible)
+                continue;
+            choice[id] = n;
+            std::vector<EClassId> added;
+            for (EClassId child : node.children) {
+                EClassId c = egraph_.find(child);
+                if (!choice.count(c) && pending.insert(c).second)
+                    added.push_back(c);
+            }
+            search(choice, pending, cost_so_far + self, root);
+            for (EClassId c : added)
+                pending.erase(c);
+            choice.erase(id);
+        }
+        pending.insert(id);
+    }
+
+    const EGraph &egraph_;
+    const CostModel &cost_;
+    size_t budget_;
+    size_t expansions_ = 0;
+    std::map<EClassId, ClassCost> greedy_;
+    std::map<EClassId, double> min_self_;
+    std::map<EClassId, int> best_choice_;
+    double best_cost_ = CostModel::kInfinity;
+};
+
+} // namespace
+
+std::optional<Extraction>
+extractGreedy(const EGraph &egraph, EClassId root, const CostModel &cost)
+{
+    EClassId canonical = egraph.find(root);
+    auto costs = computeGreedyCosts(egraph, cost, canonical);
+    const ClassCost &best = costs.at(canonical);
+    if (best.node_index < 0)
+        return std::nullopt;
+    std::set<EClassId> visiting;
+    Extraction out;
+    out.term = buildTerm(egraph, canonical, costs, visiting);
+    out.tree_cost = best.cost;
+    std::map<EClassId, int> choice;
+    for (const auto &[id, cc] : costs) {
+        if (cc.node_index >= 0)
+            choice[id] = cc.node_index;
+    }
+    out.dag_cost = dagCostOf(egraph, canonical, choice, cost);
+    return out;
+}
+
+TermPtr
+extractSmallest(const EGraph &egraph, EClassId root)
+{
+    TermSizeCost cost;
+    auto extraction = extractGreedy(egraph, root, cost);
+    SEER_ASSERT(extraction.has_value(),
+                "extractSmallest on infeasible class");
+    return extraction->term;
+}
+
+std::optional<Extraction>
+extractExact(const EGraph &egraph, EClassId root, const CostModel &cost,
+             size_t budget)
+{
+    return ExactSolver(egraph, cost, budget).solve(root);
+}
+
+} // namespace seer::eg

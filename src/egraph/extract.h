@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Extraction: selecting a best term from an e-graph under a cost model.
+ *
+ * Two extractors are provided, mirroring the paper:
+ *  - a greedy per-class extractor (egg's built-in method), used during
+ *    rewriting (analysis-friendly local extraction) and for the control
+ *    path cost (Eqn 3); ties are broken by term size so zero-cost cycles
+ *    (e.g. x = x|x) can never be selected;
+ *  - an exact DAG extractor with common-subexpression sharing, standing in
+ *    for ROVER's ILP formulation (Eqn 4, solved with CBC in the paper),
+ *    implemented as branch-and-bound with an admissible bound and a node
+ *    budget, falling back to greedy when the budget is exhausted.
+ */
+#ifndef SEER_EGRAPH_EXTRACT_H_
+#define SEER_EGRAPH_EXTRACT_H_
+
+#include <limits>
+
+#include "egraph/egraph.h"
+
+namespace seer::eg {
+
+/** A cost model assigns a non-negative self-cost to each e-node. */
+class CostModel
+{
+  public:
+    virtual ~CostModel() = default;
+
+    /** Self cost of using this node (children costs are added). */
+    virtual double nodeCost(const ENode &node) const = 0;
+
+    /** Cost used to forbid a node entirely. */
+    static constexpr double kInfinity =
+        std::numeric_limits<double>::infinity();
+};
+
+/** Cost model that counts one unit per node (smallest-term extraction). */
+class TermSizeCost : public CostModel
+{
+  public:
+    double nodeCost(const ENode &) const override { return 1.0; }
+};
+
+/** Extraction result. */
+struct Extraction
+{
+    TermPtr term;
+    /** Tree cost (children counted at every use). */
+    double tree_cost = 0;
+    /** DAG cost (each distinct class counted once). */
+    double dag_cost = 0;
+};
+
+/**
+ * Greedy extraction: per class, pick the node minimizing
+ * self-cost + sum(child class costs), ties broken by smaller term size.
+ * Returns nullopt if the root has no finite-cost derivation.
+ */
+std::optional<Extraction> extractGreedy(const EGraph &egraph,
+                                        EClassId root,
+                                        const CostModel &cost);
+
+/** Smallest-term extraction (greedy under TermSizeCost). */
+TermPtr extractSmallest(const EGraph &egraph, EClassId root);
+
+/**
+ * Exact DAG extraction: choose one node per needed class minimizing the
+ * sum of chosen node self-costs with sharing. `budget` caps the search
+ * tree; on exhaustion the best solution found so far (at worst the greedy
+ * one) is returned.
+ */
+std::optional<Extraction> extractExact(const EGraph &egraph, EClassId root,
+                                       const CostModel &cost,
+                                       size_t budget = 200000);
+
+} // namespace seer::eg
+
+#endif // SEER_EGRAPH_EXTRACT_H_

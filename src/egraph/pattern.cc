@@ -1,0 +1,206 @@
+#include "egraph/pattern.h"
+
+#include <sstream>
+
+#include "support/error.h"
+
+namespace seer::eg {
+
+namespace {
+
+PatternPtr
+fromTerm(const TermPtr &term)
+{
+    const std::string &op = term->op().str();
+    if (!op.empty() && op[0] == '?') {
+        if (!term->isLeaf())
+            fatal("pattern variable '" + op + "' cannot have children");
+        return std::make_shared<Pattern>(Symbol(op.substr(1)));
+    }
+    std::vector<PatternPtr> children;
+    children.reserve(term->arity());
+    for (const auto &child : term->children())
+        children.push_back(fromTerm(child));
+    return std::make_shared<Pattern>(term->op(), std::move(children));
+}
+
+void
+collectVars(const Pattern &pattern, std::vector<Symbol> &out)
+{
+    if (pattern.isVar()) {
+        for (Symbol existing : out) {
+            if (existing == pattern.var())
+                return;
+        }
+        out.push_back(pattern.var());
+        return;
+    }
+    for (const auto &child : pattern.children())
+        collectVars(*child, out);
+}
+
+/**
+ * Continuation-passing backtracking matcher. The continuation fires once
+ * per complete extension of the working substitution.
+ */
+class Matcher
+{
+  public:
+    Matcher(const EGraph &egraph, size_t limit)
+        : egraph_(egraph), limit_(limit)
+    {}
+
+    std::vector<Subst>
+    matchAt(const Pattern &pattern, EClassId root)
+    {
+        Subst subst;
+        matchInto(pattern, egraph_.find(root), subst,
+                  [&] { results_.push_back(subst); });
+        return std::move(results_);
+    }
+
+  private:
+    using Cont = std::function<void()>;
+
+    bool
+    full() const
+    {
+        return limit_ != 0 && results_.size() >= limit_;
+    }
+
+    void
+    matchInto(const Pattern &pattern, EClassId id, Subst &subst,
+              const Cont &k)
+    {
+        if (full())
+            return;
+        if (pattern.isVar()) {
+            auto it = subst.find(pattern.var());
+            if (it != subst.end()) {
+                if (egraph_.find(it->second) == id)
+                    k();
+                return;
+            }
+            subst[pattern.var()] = id;
+            k();
+            subst.erase(pattern.var());
+            return;
+        }
+        for (const ENode &node : egraph_.eclass(id).nodes) {
+            if (full())
+                return;
+            if (node.op != pattern.op() ||
+                node.children.size() != pattern.children().size()) {
+                continue;
+            }
+            matchSeq(pattern.children(), node.children, 0, subst, k);
+        }
+    }
+
+    void
+    matchSeq(const std::vector<PatternPtr> &patterns,
+             const std::vector<EClassId> &ids, size_t index, Subst &subst,
+             const Cont &k)
+    {
+        if (full())
+            return;
+        if (index == patterns.size()) {
+            k();
+            return;
+        }
+        matchInto(*patterns[index], egraph_.find(ids[index]), subst, [&] {
+            matchSeq(patterns, ids, index + 1, subst, k);
+        });
+    }
+
+    const EGraph &egraph_;
+    size_t limit_;
+    std::vector<Subst> results_;
+};
+
+} // namespace
+
+std::vector<Symbol>
+Pattern::variables() const
+{
+    std::vector<Symbol> out;
+    collectVars(*this, out);
+    return out;
+}
+
+std::string
+Pattern::str() const
+{
+    if (isVar())
+        return "?" + op_.str();
+    if (children_.empty())
+        return op_.str();
+    std::ostringstream os;
+    os << "(" << op_.str();
+    for (const auto &child : children_)
+        os << " " << child->str();
+    os << ")";
+    return os.str();
+}
+
+PatternPtr
+parsePattern(std::string_view text)
+{
+    return fromTerm(parseTerm(text));
+}
+
+std::vector<Match>
+ematch(const EGraph &egraph, const Pattern &pattern, size_t limit)
+{
+    std::vector<Match> out;
+    for (EClassId id : egraph.classIds()) {
+        size_t remaining = limit == 0 ? 0 : limit - out.size();
+        for (Subst &subst : ematchAt(egraph, pattern, id, remaining))
+            out.push_back({id, std::move(subst)});
+        if (limit != 0 && out.size() >= limit)
+            break;
+    }
+    return out;
+}
+
+std::vector<Subst>
+ematchAt(const EGraph &egraph, const Pattern &pattern, EClassId root,
+         size_t limit)
+{
+    return Matcher(egraph, limit).matchAt(pattern, root);
+}
+
+EClassId
+instantiate(EGraph &egraph, const Pattern &pattern, const Subst &subst)
+{
+    if (pattern.isVar()) {
+        auto it = subst.find(pattern.var());
+        SEER_ASSERT(it != subst.end(),
+                    "unbound pattern variable ?" << pattern.var().str());
+        return egraph.find(it->second);
+    }
+    ENode node;
+    node.op = pattern.op();
+    for (const auto &child : pattern.children())
+        node.children.push_back(instantiate(egraph, *child, subst));
+    return egraph.add(std::move(node));
+}
+
+TermPtr
+instantiateTerm(const Pattern &pattern, const Subst &subst,
+                const std::function<TermPtr(EClassId)> &resolve)
+{
+    if (pattern.isVar()) {
+        auto it = subst.find(pattern.var());
+        SEER_ASSERT(it != subst.end(),
+                    "unbound pattern variable ?" << pattern.var().str());
+        return resolve(it->second);
+    }
+    std::vector<TermPtr> children;
+    children.reserve(pattern.children().size());
+    for (const auto &child : pattern.children())
+        children.push_back(instantiateTerm(*child, subst, resolve));
+    return makeTerm(pattern.op(), std::move(children));
+}
+
+} // namespace seer::eg

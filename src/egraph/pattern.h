@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Patterns and e-matching.
+ *
+ * Patterns are terms whose leaves may be variables, written "?x" in the
+ * S-expression syntax. E-matching finds all substitutions (variable ->
+ * e-class id) under which a pattern is present in the e-graph.
+ */
+#ifndef SEER_EGRAPH_PATTERN_H_
+#define SEER_EGRAPH_PATTERN_H_
+
+#include <memory>
+#include <unordered_map>
+
+#include "egraph/egraph.h"
+
+namespace seer::eg {
+
+class Pattern;
+using PatternPtr = std::shared_ptr<const Pattern>;
+
+/** A pattern tree node: a variable or an operator over sub-patterns. */
+class Pattern
+{
+  public:
+    /** Variable pattern. */
+    explicit Pattern(Symbol var) : is_var_(true), op_(var) {}
+
+    /** Operator pattern. */
+    Pattern(Symbol op, std::vector<PatternPtr> children)
+        : is_var_(false), op_(op), children_(std::move(children))
+    {}
+
+    bool isVar() const { return is_var_; }
+    Symbol var() const { return op_; }
+    Symbol op() const { return op_; }
+    const std::vector<PatternPtr> &children() const { return children_; }
+
+    /** All distinct variables in this pattern. */
+    std::vector<Symbol> variables() const;
+
+    std::string str() const;
+
+  private:
+    bool is_var_;
+    Symbol op_; // variable name (without '?') or operator symbol
+    std::vector<PatternPtr> children_;
+};
+
+/** Parse a pattern S-expression, e.g. "(arith.addi:i32 ?a ?b)". */
+PatternPtr parsePattern(std::string_view text);
+
+/** A substitution: pattern variable -> e-class id. */
+using Subst = std::unordered_map<Symbol, EClassId>;
+
+/** One match of a pattern: the matched class and the substitution. */
+struct Match
+{
+    EClassId root;
+    Subst subst;
+};
+
+/**
+ * E-matching: find every (class, substitution) where the pattern occurs.
+ * `limit` caps the number of matches collected (0 = unlimited).
+ */
+std::vector<Match> ematch(const EGraph &egraph, const Pattern &pattern,
+                          size_t limit = 0);
+
+/** Match a pattern against one specific class. */
+std::vector<Subst> ematchAt(const EGraph &egraph, const Pattern &pattern,
+                            EClassId root, size_t limit = 0);
+
+/**
+ * Instantiate a pattern under a substitution, adding new nodes to the
+ * e-graph; returns the class of the instantiated term.
+ */
+EClassId instantiate(EGraph &egraph, const Pattern &pattern,
+                     const Subst &subst);
+
+/**
+ * Instantiate a pattern as a ground term, resolving each variable with
+ * `resolve` (typically an extractor). Used for proof logging.
+ */
+TermPtr instantiateTerm(const Pattern &pattern, const Subst &subst,
+                        const std::function<TermPtr(EClassId)> &resolve);
+
+} // namespace seer::eg
+
+#endif // SEER_EGRAPH_PATTERN_H_

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Rewrite rules over the e-graph.
+ *
+ * Two kinds, mirroring SEER's "internal" and "external" rules:
+ *  - syntactic: lhs pattern -> rhs pattern, with an optional semantic
+ *    guard (used for the ROVER datapath/gate-level rules, where validity
+ *    is bitwidth- and signage-dependent);
+ *  - dynamic: lhs pattern -> C++ callback that may locally extract the
+ *    matched sub-expression, translate it to IR, run an MLIR-style pass
+ *    and return the transformed term (SEER's orchestration of external
+ *    compiler passes).
+ */
+#ifndef SEER_EGRAPH_REWRITE_H_
+#define SEER_EGRAPH_REWRITE_H_
+
+#include <functional>
+#include <string>
+
+#include "egraph/pattern.h"
+
+namespace seer::eg {
+
+/** A semantic guard: veto a match before it is applied. */
+using Condition = std::function<bool(const EGraph &, const Match &)>;
+
+/**
+ * A dynamic applier: produce the replacement term for a match, or nullopt
+ * when the external transformation does not apply. The returned term is
+ * added to the e-graph and unioned with the matched class.
+ */
+using DynApplier =
+    std::function<std::optional<TermPtr>(EGraph &, const Match &)>;
+
+/** A rewrite rule. */
+struct Rewrite
+{
+    std::string name;
+    PatternPtr lhs;
+    PatternPtr rhs;     ///< set for syntactic rules
+    Condition condition; ///< optional guard
+    DynApplier dyn;      ///< set for dynamic rules
+
+    bool isDynamic() const { return static_cast<bool>(dyn); }
+};
+
+/** Build a syntactic rewrite from S-expression patterns. */
+inline Rewrite
+makeRewrite(std::string name, std::string_view lhs, std::string_view rhs,
+            Condition condition = nullptr)
+{
+    Rewrite rw;
+    rw.name = std::move(name);
+    rw.lhs = parsePattern(lhs);
+    rw.rhs = parsePattern(rhs);
+    rw.condition = std::move(condition);
+    return rw;
+}
+
+/** Build a dynamic rewrite. */
+inline Rewrite
+makeDynRewrite(std::string name, std::string_view lhs, DynApplier applier,
+               Condition condition = nullptr)
+{
+    Rewrite rw;
+    rw.name = std::move(name);
+    rw.lhs = parsePattern(lhs);
+    rw.dyn = std::move(applier);
+    rw.condition = std::move(condition);
+    return rw;
+}
+
+} // namespace seer::eg
+
+#endif // SEER_EGRAPH_REWRITE_H_

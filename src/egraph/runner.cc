@@ -1,0 +1,193 @@
+#include "egraph/runner.h"
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <thread>
+
+#include "egraph/extract.h"
+#include "support/error.h"
+
+namespace seer::eg {
+
+std::string
+stopReasonName(StopReason reason)
+{
+    switch (reason) {
+      case StopReason::Saturated: return "saturated";
+      case StopReason::IterLimit: return "iteration-limit";
+      case StopReason::NodeLimit: return "node-limit";
+      case StopReason::TimeLimit: return "time-limit";
+    }
+    return "?";
+}
+
+RunnerReport
+Runner::run()
+{
+    using Clock = std::chrono::steady_clock;
+    auto start = Clock::now();
+    auto elapsed = [&] {
+        return std::chrono::duration<double>(Clock::now() - start).count();
+    };
+
+    states_.assign(rules_.size(), RuleState{});
+    RunnerReport report;
+    egraph_.rebuild();
+
+    // Proof records are resolved lazily at the end of the run: resolving
+    // a concrete term per union *during* the run costs an extraction
+    // fixpoint per union and dominated runtime.
+    struct PendingRecord
+    {
+        size_t rule_index;
+        Subst subst;
+        TermPtr dyn_rhs; ///< dynamic rules carry their concrete rhs
+    };
+    std::vector<PendingRecord> pending_records;
+
+    for (size_t iter = 1; iter <= options_.max_iters; ++iter) {
+        auto iter_start = Clock::now();
+        IterationStats stats;
+
+        // Phase 1: read-only matching of every active rule, optionally
+        // spread across worker threads (the e-graph is not mutated).
+        struct PendingApply
+        {
+            size_t rule_index;
+            Match match;
+        };
+        std::vector<std::vector<Match>> per_rule(rules_.size());
+        std::vector<size_t> active;
+        for (size_t r = 0; r < rules_.size(); ++r) {
+            if (states_[r].banned_until_iter < iter)
+                active.push_back(r);
+        }
+        auto match_rule = [&](size_t r) {
+            per_rule[r] = ematch(egraph_, *rules_[r].lhs,
+                                 options_.match_limit + 1);
+        };
+        unsigned threads = std::max(1u, options_.match_threads);
+        if (threads <= 1 || active.size() <= 1) {
+            for (size_t r : active)
+                match_rule(r);
+        } else {
+            std::atomic<size_t> cursor{0};
+            std::vector<std::thread> workers;
+            for (unsigned t = 0; t < threads; ++t) {
+                workers.emplace_back([&] {
+                    while (true) {
+                        size_t slot = cursor.fetch_add(1);
+                        if (slot >= active.size())
+                            return;
+                        match_rule(active[slot]);
+                    }
+                });
+            }
+            for (auto &worker : workers)
+                worker.join();
+        }
+        std::vector<PendingApply> pending;
+        for (size_t r : active) {
+            RuleState &state = states_[r];
+            std::vector<Match> &matches = per_rule[r];
+            if (matches.size() > options_.match_limit) {
+                // Backoff: exponential ban.
+                state.times_banned++;
+                state.banned_until_iter =
+                    iter + (size_t{1} << state.times_banned);
+                continue;
+            }
+            stats.matches += matches.size();
+            for (Match &match : matches)
+                pending.push_back({r, std::move(match)});
+        }
+
+        // Phase 2: apply.
+        for (PendingApply &pa : pending) {
+            const Rewrite &rule = rules_[pa.rule_index];
+            if (rule.condition && !rule.condition(egraph_, pa.match))
+                continue;
+
+            EClassId root = egraph_.find(pa.match.root);
+            TermPtr rhs_term;
+            EClassId rhs_id;
+            if (rule.isDynamic()) {
+                auto produced = rule.dyn(egraph_, pa.match);
+                if (!produced)
+                    continue;
+                rhs_term = *produced;
+                rhs_id = egraph_.addTerm(rhs_term);
+            } else {
+                rhs_id = instantiate(egraph_, *rule.rhs, pa.match.subst);
+            }
+            bool changed = egraph_.merge(root, rhs_id, rule.name);
+            if (changed) {
+                ++stats.applied;
+                if (options_.record_proofs) {
+                    pending_records.push_back({pa.rule_index,
+                                               pa.match.subst,
+                                               rhs_term});
+                }
+            }
+            if (egraph_.numNodes() > options_.max_nodes)
+                break;
+        }
+
+        egraph_.rebuild();
+
+        stats.nodes = egraph_.numNodes();
+        stats.classes = egraph_.numClasses();
+        stats.seconds =
+            std::chrono::duration<double>(Clock::now() - iter_start)
+                .count();
+        report.iterations.push_back(stats);
+        report.total_applied += stats.applied;
+
+        if (stats.applied == 0) {
+            report.stop = StopReason::Saturated;
+            break;
+        }
+        if (egraph_.numNodes() > options_.max_nodes) {
+            report.stop = StopReason::NodeLimit;
+            break;
+        }
+        if (elapsed() > options_.time_limit_seconds) {
+            report.stop = StopReason::TimeLimit;
+            break;
+        }
+        if (iter == options_.max_iters)
+            report.stop = StopReason::IterLimit;
+    }
+
+    // Resolve proof records with a shared per-class memo.
+    if (options_.record_proofs && !pending_records.empty()) {
+        std::map<EClassId, TermPtr> memo;
+        auto resolve = [&](EClassId id) {
+            id = egraph_.find(id);
+            auto it = memo.find(id);
+            if (it != memo.end())
+                return it->second;
+            TermPtr term = extractSmallest(egraph_, id);
+            memo.emplace(id, term);
+            return term;
+        };
+        report.records.reserve(pending_records.size());
+        for (const PendingRecord &pr : pending_records) {
+            const Rewrite &rule = rules_[pr.rule_index];
+            RewriteRecord record;
+            record.rule = rule.name;
+            record.lhs = instantiateTerm(*rule.lhs, pr.subst, resolve);
+            record.rhs = pr.dyn_rhs
+                             ? pr.dyn_rhs
+                             : instantiateTerm(*rule.rhs, pr.subst,
+                                               resolve);
+            report.records.push_back(std::move(record));
+        }
+    }
+
+    report.total_seconds = elapsed();
+    return report;
+}
+
+} // namespace seer::eg

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * The rewriting engine: repeatedly e-match all rules, apply the resulting
+ * unions, and rebuild, until saturation or a limit is reached.
+ *
+ * Includes a backoff scheduler (egg's BackoffScheduler): a rule whose
+ * match count explodes is banned for exponentially growing spans so one
+ * explosive rule cannot starve the rest.
+ *
+ * Every applied union is recorded with concrete lhs/rhs terms; the
+ * verification flow (core/verify.h) replays these records through the
+ * equivalence checker — the paper's translation-validation decomposition.
+ */
+#ifndef SEER_EGRAPH_RUNNER_H_
+#define SEER_EGRAPH_RUNNER_H_
+
+#include "egraph/rewrite.h"
+
+namespace seer::eg {
+
+/** Why the runner stopped. */
+enum class StopReason {
+    Saturated, ///< no rule produced a new union
+    IterLimit,
+    NodeLimit,
+    TimeLimit,
+};
+
+std::string stopReasonName(StopReason reason);
+
+/** One applied union, with ground terms for translation validation. */
+struct RewriteRecord
+{
+    std::string rule;
+    TermPtr lhs;
+    TermPtr rhs;
+};
+
+/** Per-iteration statistics. */
+struct IterationStats
+{
+    size_t matches = 0;
+    size_t applied = 0; ///< unions that changed the e-graph
+    size_t nodes = 0;
+    size_t classes = 0;
+    double seconds = 0;
+};
+
+struct RunnerOptions
+{
+    size_t max_iters = 30;
+    size_t max_nodes = 100000;
+    double time_limit_seconds = 20.0;
+    /** Per-rule per-iteration match budget before backoff banning. */
+    size_t match_limit = 1000;
+    /** Record lhs/rhs terms for each union (needed for verification). */
+    bool record_proofs = true;
+    /** Worker threads for the (read-only) e-matching phase. 1 =
+     *  serial. Matching is embarrassingly parallel across rules; apply
+     *  order stays deterministic (results are gathered in rule order),
+     *  so the explored e-graph is identical to the serial run. This is
+     *  the paper's "parallel e-graph exploration" future-work item. */
+    unsigned match_threads = 1;
+};
+
+struct RunnerReport
+{
+    StopReason stop = StopReason::Saturated;
+    std::vector<IterationStats> iterations;
+    std::vector<RewriteRecord> records;
+    double total_seconds = 0;
+    size_t total_applied = 0;
+};
+
+/** Drives a rule set over an e-graph. */
+class Runner
+{
+  public:
+    Runner(EGraph &egraph, RunnerOptions options = {})
+        : egraph_(egraph), options_(options)
+    {}
+
+    void addRule(Rewrite rule) { rules_.push_back(std::move(rule)); }
+
+    void
+    addRules(std::vector<Rewrite> rules)
+    {
+        for (auto &rule : rules)
+            rules_.push_back(std::move(rule));
+    }
+
+    size_t numRules() const { return rules_.size(); }
+
+    /** Run to saturation or limits. May be called repeatedly. */
+    RunnerReport run();
+
+  private:
+    struct RuleState
+    {
+        size_t times_banned = 0;
+        size_t banned_until_iter = 0;
+    };
+
+    EGraph &egraph_;
+    RunnerOptions options_;
+    std::vector<Rewrite> rules_;
+    std::vector<RuleState> states_;
+};
+
+} // namespace seer::eg
+
+#endif // SEER_EGRAPH_RUNNER_H_

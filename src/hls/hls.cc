@@ -1,0 +1,182 @@
+#include "hls/hls.h"
+
+#include "ir/analysis.h"
+#include "support/error.h"
+
+namespace seer::hls {
+
+using namespace ir;
+
+namespace {
+
+/** Sum of result bitwidths of datapath ops directly in a block. */
+double
+liveBits(Block &block)
+{
+    double bits = 0;
+    for (const auto &op : block.ops()) {
+        for (size_t r = 0; r < op->numResults(); ++r) {
+            if (op->result(r).type().isScalar())
+                bits += op->result(r).type().bitwidth();
+        }
+    }
+    return bits;
+}
+
+/** Area of the design: units + registers + controllers + memories. */
+double
+computeArea(Operation &func, const FuncSchedule &schedule,
+            const OperatorLibrary &lib)
+{
+    double area = 0;
+    walk(func, [&](Operation &op) {
+        area += lib.characterize(op).area_um2;
+        if (isa(op, opnames::kAlloc)) {
+            Type t = op.result().type();
+            area += lib.memoryAreaPerBit() *
+                    static_cast<double>(t.numElements()) *
+                    t.elementType().bitwidth();
+        }
+        if (isa(op, opnames::kIf))
+            area += 30.0; // branch-select FSM states
+    });
+    // Interface memories (function arguments) are local BRAM.
+    Block &body = func.region(0).block();
+    for (size_t i = 0; i < body.numArgs(); ++i) {
+        Type t = body.arg(i).type();
+        if (t.isMemRef()) {
+            area += lib.memoryAreaPerBit() *
+                    static_cast<double>(t.numElements()) *
+                    t.elementType().bitwidth();
+        }
+    }
+    // Controllers + registers per loop.
+    for (const auto &[loop, lc] : schedule.loops) {
+        area += lib.loopControllerArea(lc.latency);
+        double bits = liveBits(loop->region(0).block());
+        if (lc.pipelined) {
+            // Pipeline staging registers: only a fraction of the values
+            // stay live across stages (retiming/register sharing), so
+            // charge a depth-tempered factor rather than l full copies.
+            double depth = std::min<double>(lc.latency, 10);
+            area += lib.registerAreaPerBit() * bits *
+                    (0.5 + 0.12 * depth);
+        } else {
+            area += lib.registerAreaPerBit() * bits * 0.5;
+        }
+    }
+    return area;
+}
+
+} // namespace
+
+FuncSchedule
+scheduleOnly(const Module &module, const std::string &func_name,
+             const HlsOptions &options)
+{
+    Operation *func = module.lookupFunc(func_name);
+    if (!func)
+        fatal("hls: no function named '" + func_name + "'");
+    OperatorLibrary lib;
+    return scheduleFunc(*func, lib, options.schedule);
+}
+
+double
+estimateArea(const Module &module, const std::string &func_name,
+             const HlsOptions &options)
+{
+    Operation *func = module.lookupFunc(func_name);
+    if (!func)
+        fatal("hls: no function named '" + func_name + "'");
+    OperatorLibrary lib;
+    FuncSchedule schedule = scheduleFunc(*func, lib, options.schedule);
+    return computeArea(*func, schedule, lib);
+}
+
+HlsReport
+evaluate(const Module &module, const std::string &func_name,
+         std::vector<RtValue> args, const HlsOptions &options)
+{
+    Operation *func = module.lookupFunc(func_name);
+    if (!func)
+        fatal("hls: no function named '" + func_name + "'");
+    OperatorLibrary lib;
+    FuncSchedule schedule = scheduleFunc(*func, lib, options.schedule);
+
+    InterpOptions interp_options = options.interp;
+    interp_options.profile = true;
+    InterpResult sim =
+        interpret(module, func_name, std::move(args), interp_options);
+
+    HlsReport report;
+    report.critical_path_ns = schedule.critical_path_ns;
+
+    // --- Total cycles ----------------------------------------------
+    // Function body straight-line part (executed once per call).
+    uint64_t calls = 1;
+    auto body_it =
+        schedule.block_cycles.find(&func->region(0).block());
+    uint64_t cycles = 0;
+    if (body_it != schedule.block_cycles.end())
+        cycles += calls * static_cast<uint64_t>(body_it->second);
+
+    int loop_index = 0;
+    for (const auto &[loop, lc] : schedule.loops) {
+        LoopReport lr;
+        lr.constraints = lc;
+        auto prof = sim.profile.loops.find(loop);
+        if (prof != sim.profile.loops.end()) {
+            lr.entries = prof->second.first;
+            lr.iterations = prof->second.second;
+        }
+        uint64_t entries = lr.entries;
+        uint64_t iters = lr.iterations;
+        if (isa(*loop, opnames::kWhile)) {
+            auto cond_it = schedule.while_cond_cycles.find(
+                const_cast<Operation *>(loop));
+            uint64_t cond =
+                cond_it != schedule.while_cond_cycles.end()
+                    ? static_cast<uint64_t>(cond_it->second)
+                    : 1;
+            cycles += iters * static_cast<uint64_t>(lc.latency) +
+                      entries * cond;
+        } else if (lc.pipelined) {
+            // sum over entries of (n_k - 1) * II + l  ==
+            // (I - E) * II + E * l   (exact, linear in n_k).
+            cycles += (iters - std::min(iters, entries)) *
+                          static_cast<uint64_t>(lc.ii) +
+                      entries * static_cast<uint64_t>(lc.latency);
+        } else {
+            cycles += iters * static_cast<uint64_t>(lc.latency) +
+                      entries; // one-cycle loop entry overhead
+        }
+        std::string key = lc.loop_id.empty()
+                              ? "loop" + std::to_string(loop_index)
+                              : lc.loop_id;
+        ++loop_index;
+        report.loops.emplace(key, std::move(lr));
+    }
+    report.total_cycles = std::max<uint64_t>(cycles, 1);
+
+    // --- Area ---------------------------------------------------------
+    report.area_um2 = computeArea(*func, schedule, lib);
+
+    // --- Timing ---------------------------------------------------
+    report.exec_time_ns = static_cast<double>(report.total_cycles) *
+                          report.critical_path_ns;
+
+    // --- Power ----------------------------------------------------
+    double energy_pj = 0;
+    for (const auto &[op, count] : sim.profile.ops) {
+        energy_pj += lib.characterize(*op).energy_pj *
+                     static_cast<double>(count);
+    }
+    double dynamic_mw = energy_pj / std::max(report.exec_time_ns, 1.0);
+    double leakage_mw = report.area_um2 * lib.leakagePerArea();
+    report.power_mw = dynamic_mw + leakage_mw;
+
+    report.adp = report.area_um2 * report.exec_time_ns;
+    return report;
+}
+
+} // namespace seer::hls

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * The HLS evaluation oracle: schedule + co-simulate + report PPA.
+ *
+ * This is the reproduction's stand-in for the paper's commercial HLS
+ * tool: it supplies (a) the initial per-loop scheduling constraints SEER
+ * reads once (Section 4.6), and (b) the final Area / Total Cycles /
+ * Critical Path / Power numbers reported in Tables 3-4 and Figures
+ * 13-15. Cycle counts come from actually executing the design on its
+ * workload (the paper's "HLS co-simulation").
+ */
+#ifndef SEER_HLS_HLS_H_
+#define SEER_HLS_HLS_H_
+
+#include "hls/schedule.h"
+#include "ir/interp.h"
+
+namespace seer::hls {
+
+/** Evaluation options. */
+struct HlsOptions
+{
+    ScheduleOptions schedule;
+    ir::InterpOptions interp;
+
+    HlsOptions() { interp.profile = true; }
+};
+
+/** Per-loop information exported to SEER's registry. */
+struct LoopReport
+{
+    LoopConstraints constraints;
+    uint64_t entries = 0;
+    uint64_t iterations = 0;
+};
+
+/** The PPA report for one design + workload. */
+struct HlsReport
+{
+    uint64_t total_cycles = 0;
+    double critical_path_ns = 0;
+    double exec_time_ns = 0; ///< cycles * achieved critical path
+    double area_um2 = 0;
+    double power_mw = 0;     ///< dynamic + leakage
+    double adp = 0;          ///< area * exec time (the figures' metric)
+
+    /** Loop reports keyed by seer.loop_id (or "loopN" fallback). */
+    std::map<std::string, LoopReport> loops;
+};
+
+/**
+ * Evaluate `func_name` in `module` on the given arguments (buffers are
+ * mutated, so callers can also use this as functional co-simulation).
+ */
+HlsReport evaluate(const ir::Module &module, const std::string &func_name,
+                   std::vector<ir::RtValue> args,
+                   const HlsOptions &options = {});
+
+/**
+ * Schedule only (no workload): the oracle SEER calls once on the
+ * original program to seed its loop-constraint registry.
+ */
+FuncSchedule scheduleOnly(const ir::Module &module,
+                          const std::string &func_name,
+                          const HlsOptions &options = {});
+
+/** Total area of the design (no workload needed). */
+double estimateArea(const ir::Module &module, const std::string &func_name,
+                    const HlsOptions &options = {});
+
+} // namespace seer::hls
+
+#endif // SEER_HLS_HLS_H_

@@ -1,0 +1,147 @@
+#include "hls/operator_library.h"
+
+#include <cmath>
+
+namespace seer::hls {
+
+using namespace ir;
+
+namespace {
+
+double
+log2w(unsigned w)
+{
+    return std::log2(static_cast<double>(std::max(2u, w)));
+}
+
+} // namespace
+
+OpCharacteristics
+OperatorLibrary::characterize(const Operation &op) const
+{
+    const std::string &name = op.nameStr();
+    OpCharacteristics c;
+
+    auto width = [&]() -> unsigned {
+        if (op.numResults() > 0 && op.result().type().isScalar())
+            return op.result().type().bitwidth();
+        if (op.numOperands() > 0 && op.operand(0).type().isScalar())
+            return op.operand(0).type().bitwidth();
+        return 32;
+    };
+    unsigned w = width();
+    double dw = w;
+
+    if (name == opnames::kConstant || name == opnames::kExtSI ||
+        name == opnames::kExtUI || name == opnames::kTruncI ||
+        name == opnames::kIndexCast) {
+        return c; // wiring only
+    }
+    if (name == opnames::kAddI || name == opnames::kSubI ||
+        name == opnames::kMinSI || name == opnames::kMaxSI) {
+        c.delay_ns = 0.08 + 0.014 * dw;
+        c.area_um2 = 5.5 * dw;
+        c.energy_pj = 0.005 * dw;
+        if (name == opnames::kMinSI || name == opnames::kMaxSI) {
+            c.area_um2 += 2.3 * dw; // plus the select
+            c.delay_ns += 0.05;
+        }
+        return c;
+    }
+    if (name == opnames::kMulI) {
+        // Array multiplier: quadratic area, long carry chains.
+        c.delay_ns = 0.30 + 0.027 * dw;
+        c.area_um2 = 1.9 * dw * dw;
+        c.energy_pj = 0.018 * dw;
+        return c;
+    }
+    if (name == opnames::kDivSI || name == opnames::kDivUI ||
+        name == opnames::kRemSI || name == opnames::kRemUI) {
+        // Iterative divider: deliberately slow and multi-cycle.
+        c.delay_ns = 0.25 * dw;
+        c.area_um2 = 16.0 * dw;
+        c.energy_pj = 0.12 * dw;
+        return c;
+    }
+    if (name == opnames::kShLI || name == opnames::kShRSI ||
+        name == opnames::kShRUI) {
+        // Constant shift: free wiring in an ASIC. Variable: barrel.
+        if (getConstantInt(op.operand(1)).has_value())
+            return c;
+        c.delay_ns = 0.05 + 0.02 * log2w(w);
+        c.area_um2 = 3.4 * dw * log2w(w);
+        c.energy_pj = 0.006 * dw;
+        return c;
+    }
+    if (name == opnames::kAndI || name == opnames::kOrI ||
+        name == opnames::kXOrI) {
+        c.delay_ns = 0.03;
+        c.area_um2 = 1.4 * dw;
+        c.energy_pj = 0.002 * dw;
+        return c;
+    }
+    if (name == opnames::kCmpI) {
+        unsigned ow = op.operand(0).type().bitwidth();
+        c.delay_ns = 0.06 + 0.009 * ow;
+        c.area_um2 = 2.6 * ow;
+        c.energy_pj = 0.003 * ow;
+        return c;
+    }
+    if (name == opnames::kSelect) {
+        c.delay_ns = 0.05;
+        c.area_um2 = 2.3 * dw;
+        c.energy_pj = 0.002 * dw;
+        return c;
+    }
+    if (name == opnames::kLoad || name == opnames::kStore) {
+        // BRAM port access: one cycle; port conflicts handled by the
+        // scheduler; the array storage itself is costed separately.
+        c.delay_ns = 0.45;
+        c.area_um2 = 28.0; // address decode + port logic
+        c.energy_pj = 1.1;
+        return c;
+    }
+    if (name == opnames::kAlloc) {
+        return c; // storage costed via memoryAreaPerBit
+    }
+    if (name == opnames::kAddF || name == opnames::kSubF) {
+        c.delay_ns = 2.9;
+        c.area_um2 = 3100;
+        c.energy_pj = 6.5;
+        return c;
+    }
+    if (name == opnames::kMulF) {
+        c.delay_ns = 3.6;
+        c.area_um2 = 5400;
+        c.energy_pj = 10.0;
+        return c;
+    }
+    if (name == opnames::kDivF) {
+        c.delay_ns = 14.0;
+        c.area_um2 = 9800;
+        c.energy_pj = 32.0;
+        return c;
+    }
+    if (name == opnames::kNegF) {
+        c.delay_ns = 0.03;
+        c.area_um2 = 18;
+        c.energy_pj = 0.05;
+        return c;
+    }
+    if (name == opnames::kCmpF) {
+        c.delay_ns = 0.8;
+        c.area_um2 = 420;
+        c.energy_pj = 0.9;
+        return c;
+    }
+    if (name == opnames::kSIToFP || name == opnames::kFPToSI) {
+        c.delay_ns = 1.6;
+        c.area_um2 = 800;
+        c.energy_pj = 1.8;
+        return c;
+    }
+    // Control-flow and structural ops are handled by the scheduler.
+    return c;
+}
+
+} // namespace seer::hls

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Operator characterization for the HLS model.
+ *
+ * Stands in for the commercial tool's 45nm ASIC technology library.
+ * Numbers are synthetic but dimensionally sensible (ns, um^2, pJ) and,
+ * crucially, *ordered* like real hardware: multipliers dwarf adders,
+ * constant shifts are free in an ASIC (the paper leans on this in
+ * Figure 9), division is slow and multi-cycle, floating point is big.
+ */
+#ifndef SEER_HLS_OPERATOR_LIBRARY_H_
+#define SEER_HLS_OPERATOR_LIBRARY_H_
+
+#include "ir/ops.h"
+
+namespace seer::hls {
+
+/** Characterization of one operator instance. */
+struct OpCharacteristics
+{
+    double delay_ns = 0;  ///< combinational delay through the unit
+    double area_um2 = 0;  ///< silicon area of a dedicated unit
+    double energy_pj = 0; ///< switching energy per operation
+};
+
+/** Technology library: maps IR ops to hardware characteristics. */
+class OperatorLibrary
+{
+  public:
+    OperatorLibrary() = default;
+
+    /** Characteristics of the op, given its operand/result widths. */
+    OpCharacteristics characterize(const ir::Operation &op) const;
+
+    /** Register area per bit (pipeline/staging registers). */
+    double registerAreaPerBit() const { return 1.2; }
+
+    /** Leakage power per um^2 of area, in mW. */
+    double leakagePerArea() const { return 0.0015; }
+
+    /** Local memory area per bit (memref.alloc buffers). */
+    double memoryAreaPerBit() const { return 0.65; }
+
+    /** Per-loop controller overhead (FSM + counters), um^2. */
+    double loopControllerArea(int64_t iteration_latency) const
+    {
+        return 120.0 + 8.0 * static_cast<double>(iteration_latency);
+    }
+};
+
+} // namespace seer::hls
+
+#endif // SEER_HLS_OPERATOR_LIBRARY_H_

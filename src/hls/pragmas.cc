@@ -1,0 +1,208 @@
+#include "hls/pragmas.h"
+
+#include <algorithm>
+
+#include "ir/analysis.h"
+#include "passes/passes.h"
+#include "support/error.h"
+
+namespace seer::hls {
+
+using namespace ir;
+
+namespace {
+
+/** Flatten a (multi-dim) affine access into one LinearExpr. */
+std::optional<LinearExpr>
+flattenedForm(const MemAccess &access)
+{
+    if (!access.allAffine())
+        return std::nullopt;
+    const auto &shape = access.memref.type().shape();
+    LinearExpr flat;
+    for (size_t d = 0; d < access.indices.size(); ++d) {
+        int64_t stride = 1;
+        for (size_t rest = d + 1; rest < shape.size(); ++rest)
+            stride *= shape[rest];
+        flat = flat + access.indices[d]->scaled(stride);
+    }
+    return flat;
+}
+
+enum class NestDependence { Free, Reduction, Unsafe };
+
+/**
+ * Dependence classification across a whole perfect nest. Every
+ * conflicting pair must (a) be fully affine and (b) hit the exact same
+ * address function. If that function is injective over the nest's
+ * iteration space (mixed-radix criterion on the iv coefficients) the
+ * nest is Free; a non-injective but equal function is a same-address
+ * Reduction (safe to coalesce, pipelines with a distance-1 recurrence);
+ * anything else is Unsafe.
+ */
+NestDependence
+classifyNest(const std::vector<Operation *> &chain)
+{
+    Operation *innermost = chain.back();
+    auto accesses = collectAccesses(*innermost);
+    // Also accesses at outer levels would make the nest imperfect; the
+    // caller only passes perfect nests.
+    std::vector<std::pair<Value, int64_t>> iv_ranges;
+    for (Operation *level : chain) {
+        auto trips = constantTripCount(*level);
+        if (!trips)
+            return NestDependence::Unsafe;
+        iv_ranges.emplace_back(inductionVar(*level), *trips);
+    }
+    bool reduction = false;
+    auto injective = [&](const LinearExpr &f) {
+        // Coefficients over non-iv bases are disallowed, and every iv
+        // that actually iterates must appear (otherwise two iterations
+        // differing only in that iv hit the same cell).
+        std::vector<std::pair<int64_t, int64_t>> terms; // (|coeff|, N-1)
+        for (const auto &[iv, trips] : iv_ranges) {
+            int64_t coeff = f.coeff(iv);
+            if (coeff == 0) {
+                if (trips > 1)
+                    return false;
+                continue;
+            }
+            terms.emplace_back(std::abs(coeff), trips - 1);
+        }
+        for (const auto &[base, coeff] : f.coeffs) {
+            bool is_iv = false;
+            for (const auto &[iv, trips] : iv_ranges) {
+                (void)trips;
+                if (iv.impl() == base)
+                    is_iv = true;
+            }
+            if (!is_iv && coeff != 0)
+                return false;
+        }
+        std::sort(terms.begin(), terms.end());
+        int64_t reach = 0; // max address span of smaller-stride levels
+        for (const auto &[coeff, span] : terms) {
+            if (coeff <= reach)
+                return false; // strides overlap: not injective
+            reach += coeff * span;
+        }
+        return true;
+    };
+    for (size_t i = 0; i < accesses.size(); ++i) {
+        for (size_t j = 0; j < accesses.size(); ++j) {
+            const auto &a = accesses[i];
+            const auto &b = accesses[j];
+            if (!a.is_store)
+                continue;
+            if (!(a.memref == b.memref))
+                continue;
+            auto fa = flattenedForm(a);
+            auto fb = flattenedForm(b);
+            if (!fa || !fb || !(*fa == *fb))
+                return NestDependence::Unsafe;
+            if (!injective(*fa)) {
+                // Equal non-injective address function: an in-place
+                // reduction. Non-iv bases are still unsafe.
+                for (const auto &[base, coeff] : fa->coeffs) {
+                    bool is_iv = false;
+                    for (Operation *level : chain) {
+                        if (inductionVar(*level).impl() == base)
+                            is_iv = true;
+                    }
+                    if (!is_iv && coeff != 0)
+                        return NestDependence::Unsafe;
+                }
+                reduction = true;
+            }
+        }
+    }
+    return reduction ? NestDependence::Reduction : NestDependence::Free;
+}
+
+} // namespace
+
+bool
+coalesceNest(Operation &loop, size_t max_levels)
+{
+    // Collect the perfect-nest chain and check legality *before*
+    // flattening destroys analyzability.
+    std::vector<Operation *> chain{&loop};
+    while (Operation *inner = perfectlyNestedInner(*chain.back()))
+        chain.push_back(inner);
+    if (chain.size() < 2)
+        return false;
+    if (chain.size() > max_levels) {
+        // Only the innermost `max_levels` levels are collapsed (SEER's
+        // 2-level flatten vs the tool's whole-nest coalesce).
+        chain.erase(chain.begin(),
+                    chain.end() - static_cast<long>(max_levels));
+    }
+    for (Operation *level : chain) {
+        AffineBound lb = getLowerBound(*level);
+        if (!lb.isConstant() || !constantTripCount(*level))
+            return false;
+    }
+    NestDependence kind = classifyNest(chain);
+    if (kind == NestDependence::Unsafe)
+        return false;
+
+    // Flatten innermost pair first so each remaining level still sees a
+    // perfect 2-nest; the final flatten replaces the chain root.
+    Operation *current = nullptr;
+    for (size_t level = chain.size() - 1; level-- > 0;) {
+        bool changed = passes::flattenLoops(*chain[level], &current);
+        SEER_ASSERT(changed && current,
+                    "coalesce: flatten failed unexpectedly");
+    }
+    current->setAttr("seer.coalesced", Attribute(int64_t{1}));
+    if (kind == NestDependence::Reduction) {
+        current->setAttr("seer.coalesced.carried",
+                         Attribute(int64_t{1}));
+    }
+    return true;
+}
+
+void
+applyPragmas(Module &module, const PragmaOptions &options)
+{
+    for (auto &op : module.ops()) {
+        if (!isa(*op, opnames::kFunc))
+            continue;
+        Operation &func = *op;
+        passes::canonicalize(func);
+        if (options.fuse) {
+            auto fusion = passes::createPass("loop-fusion");
+            fusion->run(func);
+        }
+        if (options.coalesce) {
+            bool progress = true;
+            while (progress) {
+                progress = false;
+                // Perfection first: coalesce handles imperfect nests.
+                passes::createPass("loop-perfection")->run(func);
+                std::vector<Operation *> loops;
+                walk(func, [&](Operation &inner) {
+                    if (isa(inner, opnames::kAffineFor))
+                        loops.push_back(&inner);
+                });
+                for (Operation *loop : loops) {
+                    if (loop->hasAttr("seer.coalesced"))
+                        continue;
+                    if (coalesceNest(*loop)) {
+                        progress = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if (options.pipeline) {
+            walk(func, [&](Operation &inner) {
+                if (isa(inner, opnames::kAffineFor))
+                    inner.setAttr("seer.pipeline", Attribute(int64_t{1}));
+            });
+        }
+        passes::canonicalize(func);
+    }
+}
+
+} // namespace seer::hls

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Emulation of "manual pragma insertion with no source modification"
+ * (the Figure 15 baseline).
+ *
+ * The commercial tool's pragmas direct loop pipelining, loop fusion, and
+ * loop coalescing (a more capable loop-flatten that first perfects the
+ * nest). We model them as: mark every loop for pipelining, apply fusion
+ * where its legality check passes, and coalesce nests whose *original*
+ * form is provably free of loop-carried dependences (the resulting
+ * flattened loop is then trusted by the scheduler via `seer.coalesced`).
+ */
+#ifndef SEER_HLS_PRAGMAS_H_
+#define SEER_HLS_PRAGMAS_H_
+
+#include "ir/op.h"
+
+namespace seer::hls {
+
+struct PragmaOptions
+{
+    bool pipeline = true;
+    bool fuse = true;
+    bool coalesce = true;
+};
+
+/** Apply the pragma-directed transformations in place. */
+void applyPragmas(ir::Module &module, const PragmaOptions &options = {});
+
+/**
+ * Coalesce the perfect nest rooted at `loop` into a single trusted loop
+ * when every conflict in the nest is either injective (dependence-free)
+ * or a same-address reduction (which becomes a distance-1 recurrence of
+ * the coalesced loop, marked `seer.coalesced.carried` for the
+ * scheduler). `max_levels` bounds how many nest levels are collapsed
+ * (SEER's own flatten handles 2; the commercial tool's coalesce pragma
+ * takes the whole nest — the md_grid difference in Figure 15).
+ * Returns true on change.
+ */
+bool coalesceNest(ir::Operation &loop, size_t max_levels = SIZE_MAX);
+
+} // namespace seer::hls
+
+#endif // SEER_HLS_PRAGMAS_H_

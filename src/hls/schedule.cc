@@ -1,0 +1,408 @@
+#include "hls/schedule.h"
+
+#include <cmath>
+
+#include "ir/analysis.h"
+#include "support/error.h"
+
+namespace seer::hls {
+
+using namespace ir;
+
+namespace {
+
+class SchedulerImpl
+{
+  public:
+    SchedulerImpl(const OperatorLibrary &lib,
+                  const ScheduleOptions &options)
+        : lib_(lib), options_(options)
+    {}
+
+    FuncSchedule
+    run(Operation &func)
+    {
+        scheduleBlock(func.region(0).block());
+        // Clock trees, setup margins and control logic put a floor on
+        // the achieved period regardless of datapath slack.
+        out_.critical_path_ns = std::max(
+            out_.critical_path_ns, 0.9 * options_.clock_period_ns);
+        return std::move(out_);
+    }
+
+  private:
+    struct Avail
+    {
+        int64_t cycle = 0; ///< cycle in which the value becomes usable
+        double slack = 0;  ///< combinational delay already accumulated
+    };
+
+    /**
+     * Schedule a block; returns its static length in cycles. Also
+     * recursively derives loop constraints for nested loops.
+     */
+    int64_t
+    scheduleBlock(Block &block)
+    {
+        std::map<ValueImpl *, Avail> avail;
+        std::map<ValueImpl *, int64_t> port_free;
+        std::map<Operation *, int64_t> op_start;
+        int64_t floor = 0; // sequencing barrier (nested loops/ifs)
+        int64_t block_end = 0;
+        double period = options_.clock_period_ns;
+
+        auto operand_ready = [&](Operation &op) {
+            Avail ready;
+            for (Value operand : op.operands()) {
+                auto it = avail.find(operand.impl());
+                if (it == avail.end())
+                    continue; // defined outside this block
+                if (it->second.cycle > ready.cycle) {
+                    ready = it->second;
+                } else if (it->second.cycle == ready.cycle) {
+                    ready.slack = std::max(ready.slack, it->second.slack);
+                }
+            }
+            if (ready.cycle < floor) {
+                ready.cycle = floor;
+                ready.slack = 0;
+            }
+            return ready;
+        };
+
+        for (const auto &op_ptr : block.ops()) {
+            Operation &op = *op_ptr;
+            const std::string &name = op.nameStr();
+            if (isTerminator(op))
+                continue;
+
+            if (name == opnames::kAffineFor) {
+                scheduleLoop(op);
+                floor = std::max(floor, block_end);
+                ++floor; // loop entry state
+                block_end = std::max(block_end, floor);
+                continue;
+            }
+            if (name == opnames::kWhile) {
+                scheduleWhile(op);
+                floor = std::max(floor, block_end);
+                ++floor;
+                block_end = std::max(block_end, floor);
+                continue;
+            }
+            if (name == opnames::kIf) {
+                Avail ready = operand_ready(op);
+                int64_t then_cycles =
+                    scheduleBlock(op.region(0).block());
+                int64_t else_cycles =
+                    scheduleBlock(op.region(1).block());
+                int64_t branch = std::max<int64_t>(
+                    1, std::max(then_cycles, else_cycles));
+                int64_t start = ready.cycle + (ready.slack > 0 ? 1 : 0);
+                int64_t finish = start + branch;
+                op_start[&op] = start;
+                for (size_t r = 0; r < op.numResults(); ++r)
+                    avail[op.result(r).impl()] = {finish, 0.0};
+                floor = std::max(floor, finish);
+                block_end = std::max(block_end, finish);
+                continue;
+            }
+
+            OpCharacteristics ch = lib_.characterize(op);
+            Avail ready = operand_ready(op);
+            Avail result;
+
+            bool is_memory =
+                name == opnames::kLoad || name == opnames::kStore;
+            if (is_memory) {
+                size_t mem_index = name == opnames::kStore ? 1 : 0;
+                ValueImpl *memref = op.operand(mem_index).impl();
+                int64_t start = ready.cycle + (ready.slack > 0.4 ? 1 : 0);
+                auto it = port_free.find(memref);
+                if (it != port_free.end())
+                    start = std::max(start, it->second);
+                port_free[memref] = start + 1;
+                op_start[&op] = start;
+                result = {start + 1, 0.0};
+                out_.critical_path_ns =
+                    std::max(out_.critical_path_ns, ch.delay_ns);
+            } else if (ch.delay_ns > 1.5 * period) {
+                // Multi-cycle unit.
+                int64_t latency = static_cast<int64_t>(
+                    std::ceil(ch.delay_ns / period));
+                int64_t start = ready.cycle + (ready.slack > 0 ? 1 : 0);
+                op_start[&op] = start;
+                result = {start + latency, 0.0};
+                out_.critical_path_ns = std::max(
+                    out_.critical_path_ns,
+                    ch.delay_ns / static_cast<double>(latency));
+            } else {
+                // Combinational: chain within the cycle while the
+                // accumulated delay fits the clock period. A single
+                // operator longer than the period cannot be split and
+                // stretches the achieved critical path instead.
+                double chained = ready.slack + ch.delay_ns;
+                int64_t start = ready.cycle;
+                if (chained > period && ready.slack > 0) {
+                    ++start;
+                    chained = ch.delay_ns;
+                }
+                op_start[&op] = start;
+                result = {start, chained};
+                out_.critical_path_ns =
+                    std::max(out_.critical_path_ns, chained);
+            }
+            for (size_t r = 0; r < op.numResults(); ++r)
+                avail[op.result(r).impl()] = result;
+            int64_t finish =
+                result.cycle + (result.slack > 0 ? 1 : 0);
+            block_end = std::max(block_end, finish);
+        }
+
+        op_starts_[&block] = std::move(op_start);
+        out_.block_cycles[&block] = std::max<int64_t>(block_end, 0);
+        return out_.block_cycles[&block];
+    }
+
+    /** Static total-cycle estimate of one full execution of a loop. */
+    int64_t
+    loopTotal(const LoopConstraints &lc) const
+    {
+        int64_t trips = lc.trip.value_or(16);
+        if (trips < 1)
+            trips = 1;
+        if (lc.pipelined)
+            return (trips - 1) * lc.ii + lc.full_latency;
+        return trips * lc.full_latency;
+    }
+
+    void
+    scheduleLoop(Operation &loop)
+    {
+        int64_t body = scheduleBlock(loop.region(0).block());
+        LoopConstraints lc;
+        lc.latency = std::max<int64_t>(1, body);
+        // Full latency: replace each direct nested loop's one-cycle
+        // placeholder by its full static estimate.
+        lc.full_latency = lc.latency;
+        for (const auto &inner : loop.region(0).block().ops()) {
+            if (!isa(*inner, opnames::kAffineFor) &&
+                !isa(*inner, opnames::kWhile)) {
+                continue;
+            }
+            auto it = out_.loops.find(inner.get());
+            if (it != out_.loops.end())
+                lc.full_latency += loopTotal(it->second) - 1;
+        }
+        lc.trip = constantTripCount(loop);
+        if (loop.hasAttr("seer.loop_id"))
+            lc.loop_id = loop.strAttr("seer.loop_id");
+
+        // A: per-memref accesses at this loop's level (nested loops own
+        // their accesses).
+        walkPruned(loop, [&](Operation &op) {
+            if (&op != &loop && (isa(op, opnames::kAffineFor) ||
+                                 isa(op, opnames::kWhile))) {
+                return false;
+            }
+            if (isa(op, opnames::kLoad) || isa(op, opnames::kStore)) {
+                size_t mem = isa(op, opnames::kStore) ? 1 : 0;
+                std::string key = op.operand(mem).impl()->nameHint();
+                if (key.empty())
+                    key = "<mem>";
+                lc.accesses[key]++;
+            }
+            return true;
+        });
+
+        bool has_inner = false;
+        walkPruned(loop, [&](Operation &op) {
+            if (&op != &loop && (isa(op, opnames::kAffineFor) ||
+                                 isa(op, opnames::kWhile))) {
+                has_inner = true;
+                return false;
+            }
+            return true;
+        });
+
+        bool want_pipeline =
+            options_.pipeline_loops || loop.hasAttr("seer.pipeline");
+        bool trusted_coalesced = loop.hasAttr("seer.coalesced");
+
+        if (!want_pipeline || has_inner) {
+            lc.pipelined = false;
+            lc.ii = lc.latency;
+        } else {
+            int64_t resource_ii = 1;
+            for (const auto &[memref, count] : lc.accesses)
+                resource_ii = std::max(resource_ii, count);
+            int64_t recurrence_ii = 1;
+            bool pipelinable = true;
+            if (trusted_coalesced) {
+                // Coalesced-by-construction: dependence-free unless the
+                // coalescing proved a same-address reduction, which is a
+                // distance-1 recurrence of the flattened loop.
+                if (loop.hasAttr("seer.coalesced.carried"))
+                    recurrence_ii = recurrenceCycles(loop);
+            } else if (hasLoopCarriedDependence(loop,
+                                               /*lenient=*/true)) {
+                auto distance = minCarriedDependenceDistance(
+                    loop, /*lenient=*/true);
+                if (!distance) {
+                    pipelinable = false;
+                } else {
+                    recurrence_ii = std::max<int64_t>(
+                        1, recurrenceCycles(loop) / *distance);
+                }
+            }
+            if (pipelinable) {
+                lc.pipelined = true;
+                lc.ii = std::max(resource_ii, recurrence_ii);
+            } else {
+                lc.pipelined = false;
+                lc.ii = lc.latency;
+            }
+        }
+        applyOverride(loop, lc);
+        out_.loops[&loop] = lc;
+    }
+
+    /**
+     * Recurrence length in cycles: for every store whose value depends
+     * (through dataflow) on a load of the same buffer, the cost of the
+     * load -> compute -> store path. This models the scheduler placing
+     * the dependent load as late as possible (modulo scheduling), so an
+     * accumulation like sum += a*b costs load + add + store, not the
+     * whole ASAP iteration span.
+     */
+    int64_t
+    recurrenceCycles(Operation &loop)
+    {
+        Block &body = loop.region(0).block();
+        double period = options_.clock_period_ns;
+        int64_t worst = 1;
+        for (const auto &op_ptr : body.ops()) {
+            Operation &op = *op_ptr;
+            if (!isa(op, opnames::kStore))
+                continue;
+            ValueImpl *memref = op.operand(1).impl();
+            // DFS from the stored value back to a load of `memref`,
+            // minimizing the path cost (cycles + combinational ns).
+            struct Cost
+            {
+                int64_t cycles;
+                double ns;
+            };
+            std::function<std::optional<Cost>(Value, int)> path =
+                [&](Value v, int depth) -> std::optional<Cost> {
+                if (depth > 64)
+                    return std::nullopt;
+                Operation *def = v.definingOp();
+                if (!def)
+                    return std::nullopt;
+                if (isa(*def, opnames::kLoad) &&
+                    def->operand(0).impl() == memref) {
+                    return Cost{1, 0}; // the load itself: one cycle
+                }
+                OpCharacteristics ch = lib_.characterize(*def);
+                bool multi = ch.delay_ns > 1.5 * period;
+                std::optional<Cost> best;
+                for (Value operand : def->operands()) {
+                    auto sub = path(operand, depth + 1);
+                    if (!sub)
+                        continue;
+                    Cost c = *sub;
+                    if (multi) {
+                        c.cycles += static_cast<int64_t>(
+                            std::ceil(ch.delay_ns / period));
+                        c.ns = 0;
+                    } else {
+                        c.ns += ch.delay_ns;
+                        while (c.ns > period) {
+                            ++c.cycles;
+                            c.ns -= period;
+                        }
+                    }
+                    if (!best || c.cycles * period + c.ns <
+                                     best->cycles * period + best->ns) {
+                        best = c;
+                    }
+                }
+                return best;
+            };
+            auto cost = path(op.operand(0), 0);
+            if (!cost)
+                continue;
+            int64_t total =
+                cost->cycles + (cost->ns > 0 ? 1 : 0);
+            worst = std::max(worst, total);
+        }
+        return worst;
+    }
+
+    void
+    scheduleWhile(Operation &while_op)
+    {
+        int64_t cond = scheduleBlock(while_op.region(0).block());
+        int64_t body = scheduleBlock(while_op.region(1).block());
+        LoopConstraints lc;
+        lc.latency = std::max<int64_t>(1, cond + body);
+        lc.full_latency = lc.latency;
+        for (int region = 0; region < 2; ++region) {
+            for (const auto &inner :
+                 while_op.region(region).block().ops()) {
+                if (!isa(*inner, opnames::kAffineFor) &&
+                    !isa(*inner, opnames::kWhile)) {
+                    continue;
+                }
+                auto it = out_.loops.find(inner.get());
+                if (it != out_.loops.end())
+                    lc.full_latency += loopTotal(it->second) - 1;
+            }
+        }
+        lc.pipelined = false;
+        lc.ii = lc.latency;
+        if (while_op.hasAttr("seer.loop_id"))
+            lc.loop_id = while_op.strAttr("seer.loop_id");
+        applyOverride(while_op, lc);
+        out_.loops[&while_op] = lc;
+        out_.while_cond_cycles[&while_op] = std::max<int64_t>(1, cond);
+    }
+
+    void
+    applyOverride(Operation &loop, LoopConstraints &lc)
+    {
+        if (lc.loop_id.empty())
+            return;
+        auto it = options_.overrides.find(lc.loop_id);
+        if (it == options_.overrides.end())
+            return;
+        const LoopOverride &ov = it->second;
+        if (ov.latency) {
+            lc.full_latency += *ov.latency - lc.latency;
+            lc.latency = *ov.latency;
+        }
+        if (ov.pipelined)
+            lc.pipelined = *ov.pipelined;
+        if (ov.ii)
+            lc.ii = *ov.ii;
+        else if (ov.pipelined && !*ov.pipelined)
+            lc.ii = lc.latency;
+    }
+
+    const OperatorLibrary &lib_;
+    const ScheduleOptions &options_;
+    FuncSchedule out_;
+    std::map<const Block *, std::map<Operation *, int64_t>> op_starts_;
+};
+
+} // namespace
+
+FuncSchedule
+scheduleFunc(Operation &func, const OperatorLibrary &lib,
+             const ScheduleOptions &options)
+{
+    return SchedulerImpl(lib, options).run(func);
+}
+
+} // namespace seer::hls

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * The HLS scheduler: derives the paper's per-loop scheduling constraints
+ * (P, l, N, A) plus block schedules and the achieved critical path.
+ *
+ * Modeling rules (documented in DESIGN.md):
+ *  - ASAP scheduling with operator chaining up to the target clock
+ *    period; an operator whose delay exceeds 1.5x the period becomes
+ *    multi-cycle, otherwise it may stretch the achieved critical path
+ *    beyond the target (timing-violation style, like real reports).
+ *  - Every memref has a single port: accesses serialize within a cycle
+ *    and bound the pipelined initiation interval (M(A) in the paper).
+ *  - A loop is pipelinable only if it contains no nested loop/while and
+ *    either carries no memory dependence or the dependence distance is
+ *    provable; the recurrence II is derived from the scheduled distance
+ *    between the dependent store and load.
+ *  - Loops marked `seer.coalesced` are trusted to be recurrence-free
+ *    (the transformation checked legality on the original nest, whose
+ *    indices were analyzable before div/mod decomposition).
+ */
+#ifndef SEER_HLS_SCHEDULE_H_
+#define SEER_HLS_SCHEDULE_H_
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "hls/operator_library.h"
+
+namespace seer::hls {
+
+/** The paper's per-loop scheduling constraints (P, l, N, A). */
+struct LoopConstraints
+{
+    int64_t ii = 1;      ///< P: initiation interval (cycles)
+    /** l: single-iteration latency with nested loops as one-cycle
+     *  placeholders (the co-simulation accounts nested loops
+     *  separately, so this avoids double counting). */
+    int64_t latency = 1;
+    /** Single-iteration latency *including* the static estimate of
+     *  nested loops — what SEER's extraction cost (Eqns 1-3) and the
+     *  approximation laws use. */
+    int64_t full_latency = 1;
+    std::optional<int64_t> trip; ///< N when statically known
+    /** A: accesses per iteration, per memref (keyed by printable name). */
+    std::map<std::string, int64_t> accesses;
+    bool pipelined = false;
+    /** seer.loop_id attribute when present (SEER's registry key). */
+    std::string loop_id;
+};
+
+/** External override for one loop (SEER's approximation laws, pragmas). */
+struct LoopOverride
+{
+    std::optional<int64_t> ii;
+    std::optional<int64_t> latency;
+    std::optional<bool> pipelined;
+};
+
+/** Scheduling options. */
+struct ScheduleOptions
+{
+    double clock_period_ns = 1.0;
+    /** Pipeline every eligible loop (SEER's assumption / pragma mode).
+     *  When false, loops run their iterations back to back (the paper's
+     *  "the HLS tool cannot auto-pipeline loops without guidance"). */
+    bool pipeline_loops = false;
+    /** Per-loop overrides keyed by the seer.loop_id attribute. */
+    std::map<std::string, LoopOverride> overrides;
+};
+
+/** Full schedule of one function. */
+struct FuncSchedule
+{
+    /** Constraints for every affine.for and scf.while op. */
+    std::map<ir::Operation *, LoopConstraints> loops;
+    /** Static cycles of each block (loops/whiles as zero-latency
+     *  placeholders, scf.if folded in as worst-case branch). */
+    std::map<const ir::Block *, int64_t> block_cycles;
+    /** For scf.while: static cycles of the condition region. */
+    std::map<ir::Operation *, int64_t> while_cond_cycles;
+    /** Achieved critical path (>= the longest single chain), ns. */
+    double critical_path_ns = 0;
+};
+
+/** Schedule a func.func. */
+FuncSchedule scheduleFunc(ir::Operation &func, const OperatorLibrary &lib,
+                          const ScheduleOptions &options);
+
+} // namespace seer::hls
+
+#endif // SEER_HLS_SCHEDULE_H_

@@ -1,0 +1,34 @@
+#include "ir/attribute.h"
+
+#include <sstream>
+
+namespace seer::ir {
+
+std::string
+Attribute::str() const
+{
+    std::ostringstream os;
+    if (isNull()) {
+        os << "null";
+    } else if (isInt()) {
+        os << asInt();
+    } else if (isFloat()) {
+        os << asFloat();
+        // Distinguish a whole-number float from an int literal.
+        if (os.str().find_first_of(".e") == std::string::npos)
+            os << ".0";
+    } else if (isString()) {
+        os << '"' << asString() << '"';
+    } else if (isIntArray()) {
+        os << "[";
+        const auto &xs = asIntArray();
+        for (size_t i = 0; i < xs.size(); ++i)
+            os << (i ? ", " : "") << xs[i];
+        os << "]";
+    } else if (isType()) {
+        os << asType().str();
+    }
+    return os.str();
+}
+
+} // namespace seer::ir

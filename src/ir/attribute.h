@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Operation attributes: small immutable constants attached to operations.
+ *
+ * Attributes carry the static payload of an op: literal values for
+ * arith.constant, comparison predicates, symbol names, affine bound
+ * encodings for affine.for, and so on.
+ */
+#ifndef SEER_IR_ATTRIBUTE_H_
+#define SEER_IR_ATTRIBUTE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "ir/type.h"
+
+namespace seer::ir {
+
+/** A single attribute value. */
+class Attribute
+{
+  public:
+    Attribute() : value_(std::monostate{}) {}
+    Attribute(int64_t v) : value_(v) {}
+    Attribute(double v) : value_(v) {}
+    Attribute(std::string v) : value_(std::move(v)) {}
+    Attribute(const char *v) : value_(std::string(v)) {}
+    Attribute(std::vector<int64_t> v) : value_(std::move(v)) {}
+    Attribute(Type t) : value_(t) {}
+
+    bool isNull() const
+    {
+        return std::holds_alternative<std::monostate>(value_);
+    }
+    bool isInt() const { return std::holds_alternative<int64_t>(value_); }
+    bool isFloat() const { return std::holds_alternative<double>(value_); }
+    bool isString() const
+    {
+        return std::holds_alternative<std::string>(value_);
+    }
+    bool isIntArray() const
+    {
+        return std::holds_alternative<std::vector<int64_t>>(value_);
+    }
+    bool isType() const { return std::holds_alternative<Type>(value_); }
+
+    int64_t asInt() const { return std::get<int64_t>(value_); }
+    double asFloat() const { return std::get<double>(value_); }
+    const std::string &asString() const
+    {
+        return std::get<std::string>(value_);
+    }
+    const std::vector<int64_t> &asIntArray() const
+    {
+        return std::get<std::vector<int64_t>>(value_);
+    }
+    Type asType() const { return std::get<Type>(value_); }
+
+    bool operator==(const Attribute &other) const
+    {
+        return value_ == other.value_;
+    }
+
+    /** Render for the printer (e.g. "5", "2.5", "\"slt\""). */
+    std::string str() const;
+
+  private:
+    std::variant<std::monostate, int64_t, double, std::string,
+                 std::vector<int64_t>, Type>
+        value_;
+};
+
+/** Ordered attribute dictionary (ordered for deterministic printing). */
+using AttrMap = std::map<std::string, Attribute>;
+
+} // namespace seer::ir
+
+#endif // SEER_IR_ATTRIBUTE_H_

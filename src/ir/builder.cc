@@ -1,0 +1,158 @@
+#include "ir/builder.h"
+
+#include "support/error.h"
+
+namespace seer::ir {
+
+OpBuilder
+OpBuilder::atEnd(Block &block)
+{
+    OpBuilder b;
+    b.block_ = &block;
+    b.point_ = block.ops().end();
+    return b;
+}
+
+OpBuilder
+OpBuilder::before(Operation *op)
+{
+    OpBuilder b;
+    b.block_ = op->parentBlock();
+    SEER_ASSERT(b.block_, "op has no parent block");
+    b.point_ = b.block_->find(op);
+    return b;
+}
+
+OpBuilder
+OpBuilder::after(Operation *op)
+{
+    OpBuilder b = before(op);
+    ++b.point_;
+    return b;
+}
+
+Operation *
+OpBuilder::insert(Operation::Ptr op)
+{
+    SEER_ASSERT(block_, "builder has no insertion point");
+    return block_->insert(point_, std::move(op));
+}
+
+Operation *
+OpBuilder::create(std::string_view name, std::vector<Value> operands,
+                  std::vector<Type> result_types, AttrMap attrs)
+{
+    auto op = std::make_unique<Operation>(Symbol(name));
+    op->setOperands(std::move(operands));
+    for (Type t : result_types)
+        op->addResult(t);
+    for (auto &[key, value] : attrs)
+        op->setAttr(key, std::move(value));
+    return insert(std::move(op));
+}
+
+Value
+OpBuilder::intConstant(Type type, int64_t value)
+{
+    return insert(makeIntConstant(type, value))->result();
+}
+
+Value
+OpBuilder::indexConstant(int64_t value)
+{
+    return intConstant(Type::index(), value);
+}
+
+Value
+OpBuilder::floatConstant(double value)
+{
+    return insert(makeFloatConstant(value))->result();
+}
+
+Value
+OpBuilder::binary(std::string_view name, Value lhs, Value rhs)
+{
+    return create(name, {lhs, rhs}, {lhs.type()})->result();
+}
+
+Value
+OpBuilder::cmpi(CmpPred pred, Value lhs, Value rhs)
+{
+    Operation *op = create(opnames::kCmpI, {lhs, rhs}, {Type::i1()});
+    op->setAttr("predicate", Attribute(cmpPredName(pred)));
+    return op->result();
+}
+
+Value
+OpBuilder::select(Value cond, Value true_val, Value false_val)
+{
+    return create(opnames::kSelect, {cond, true_val, false_val},
+                  {true_val.type()})
+        ->result();
+}
+
+Value
+OpBuilder::load(Value memref, std::vector<Value> indices)
+{
+    std::vector<Value> operands{memref};
+    operands.insert(operands.end(), indices.begin(), indices.end());
+    return create(opnames::kLoad, std::move(operands),
+                  {memref.type().elementType()})
+        ->result();
+}
+
+void
+OpBuilder::store(Value value, Value memref, std::vector<Value> indices)
+{
+    std::vector<Value> operands{value, memref};
+    operands.insert(operands.end(), indices.begin(), indices.end());
+    create(opnames::kStore, std::move(operands), {});
+}
+
+Value
+OpBuilder::alloc(Type memref_type)
+{
+    return create(opnames::kAlloc, {}, {memref_type})->result();
+}
+
+Operation *
+OpBuilder::affineFor(const AffineBound &lb, const AffineBound &ub,
+                     int64_t step, std::string iv_name)
+{
+    return insert(makeAffineFor(lb, ub, step, std::move(iv_name)));
+}
+
+Operation *
+OpBuilder::affineFor(int64_t lb, int64_t ub, int64_t step,
+                     std::string iv_name)
+{
+    return affineFor(AffineBound::fromConstant(lb),
+                     AffineBound::fromConstant(ub), step,
+                     std::move(iv_name));
+}
+
+Operation *
+OpBuilder::scfIf(Value cond, std::vector<Type> result_types)
+{
+    Operation *op = create(opnames::kIf, {cond}, std::move(result_types));
+    op->addRegion().block();
+    op->addRegion().block();
+    return op;
+}
+
+Operation *
+OpBuilder::scfWhile()
+{
+    Operation *op = create(opnames::kWhile, {}, {});
+    op->addRegion().block();
+    op->addRegion().block();
+    return op;
+}
+
+void
+OpBuilder::yield(std::string_view yield_name, std::vector<Value> operands)
+{
+    create(yield_name, std::move(operands), {});
+}
+
+} // namespace seer::ir

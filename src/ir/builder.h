@@ -1,0 +1,81 @@
+/**
+ * @file
+ * OpBuilder: insertion-point based IR construction.
+ *
+ * Used by the parser, the passes, the SeerLang back end, and the benchmark
+ * programs to build IR fragments without touching block lists directly.
+ */
+#ifndef SEER_IR_BUILDER_H_
+#define SEER_IR_BUILDER_H_
+
+#include "ir/ops.h"
+
+namespace seer::ir {
+
+/** Builds operations at a movable insertion point. */
+class OpBuilder
+{
+  public:
+    OpBuilder() : block_(nullptr) {}
+
+    /** Insert at the end of `block`. */
+    static OpBuilder atEnd(Block &block);
+
+    /** Insert before `op` inside its parent block. */
+    static OpBuilder before(Operation *op);
+
+    /** Insert after `op` inside its parent block. */
+    static OpBuilder after(Operation *op);
+
+    Block *insertionBlock() const { return block_; }
+
+    /** Insert a pre-built op; returns the raw pointer. */
+    Operation *insert(Operation::Ptr op);
+
+    /**
+     * Generic creation: name, operands, result types, attributes.
+     * Regions must be added by the caller afterwards.
+     */
+    Operation *create(std::string_view name, std::vector<Value> operands,
+                      std::vector<Type> result_types, AttrMap attrs = {});
+
+    // --- Typed convenience wrappers (result Value returned) -----------
+    Value intConstant(Type type, int64_t value);
+    Value indexConstant(int64_t value);
+    Value floatConstant(double value);
+
+    /** Binary arith op whose result type equals the lhs type. */
+    Value binary(std::string_view name, Value lhs, Value rhs);
+
+    Value cmpi(CmpPred pred, Value lhs, Value rhs);
+    Value select(Value cond, Value true_val, Value false_val);
+
+    Value load(Value memref, std::vector<Value> indices);
+    void store(Value value, Value memref, std::vector<Value> indices);
+    Value alloc(Type memref_type);
+
+    /** Create an affine.for; returns the op so callers can fill the body. */
+    Operation *affineFor(const AffineBound &lb, const AffineBound &ub,
+                         int64_t step = 1, std::string iv_name = "i");
+
+    /** Constant-bound loop shorthand. */
+    Operation *affineFor(int64_t lb, int64_t ub, int64_t step = 1,
+                         std::string iv_name = "i");
+
+    /** Create scf.if with empty then/else blocks. */
+    Operation *scfIf(Value cond, std::vector<Type> result_types = {});
+
+    /** Create scf.while with empty condition/body blocks. */
+    Operation *scfWhile();
+
+    void yield(std::string_view yield_name = opnames::kYield,
+               std::vector<Value> operands = {});
+
+  private:
+    Block *block_;
+    Block::iterator point_;
+};
+
+} // namespace seer::ir
+
+#endif // SEER_IR_BUILDER_H_

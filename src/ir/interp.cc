@@ -1,0 +1,439 @@
+#include "ir/interp.h"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "ir/ops.h"
+#include "ir/printer.h"
+#include "support/error.h"
+
+namespace seer::ir {
+
+Buffer::Buffer(Type memref_type) : type(memref_type)
+{
+    SEER_ASSERT(memref_type.isMemRef(), "Buffer needs a memref type");
+    int64_t n = memref_type.numElements();
+    if (isFloat())
+        floats.assign(static_cast<size_t>(n), 0.0);
+    else
+        ints.assign(static_cast<size_t>(n), 0);
+}
+
+int64_t
+Buffer::size() const
+{
+    return type.numElements();
+}
+
+int64_t
+wrapToWidth(int64_t value, unsigned width)
+{
+    if (width >= 64)
+        return value;
+    uint64_t shifted = static_cast<uint64_t>(value) << (64 - width);
+    return static_cast<int64_t>(shifted) >> (64 - width);
+}
+
+namespace {
+
+class Interp
+{
+  public:
+    Interp(const Module &module, const InterpOptions &options)
+        : module_(module), options_(options)
+    {}
+
+    InterpResult
+    run(const std::string &func_name, std::vector<RtValue> args)
+    {
+        Operation *func = module_.lookupFunc(func_name);
+        if (!func)
+            fatal("interpret: no function named '" + func_name + "'");
+        InterpResult out;
+        out.results = callFunc(*func, std::move(args));
+        out.steps = steps_;
+        out.profile = std::move(profile_);
+        return out;
+    }
+
+  private:
+    using Env = std::unordered_map<ValueImpl *, RtValue>;
+
+    /** Outcome of executing a block: the terminator and its operands. */
+    struct BlockExit
+    {
+        const Operation *terminator = nullptr;
+        std::vector<RtValue> operands;
+    };
+
+    std::vector<RtValue>
+    callFunc(Operation &func, std::vector<RtValue> args)
+    {
+        Block &body = func.region(0).block();
+        if (args.size() != body.numArgs())
+            fatal(MsgBuilder()
+                  << "interpret: function expects " << body.numArgs()
+                  << " args, got " << args.size());
+        Env env;
+        for (size_t i = 0; i < args.size(); ++i)
+            env[body.arg(i).impl()] = args[i];
+        BlockExit exit = runBlock(body, env);
+        return exit.operands;
+    }
+
+    void
+    tick(const Operation &op)
+    {
+        if (++steps_ > options_.max_steps) {
+            fatal(MsgBuilder() << "interpret: step limit exceeded at op "
+                               << op.nameStr());
+        }
+        if (options_.profile)
+            ++profile_.ops[&op];
+    }
+
+    int64_t
+    intOf(const RtValue &v) const
+    {
+        return std::get<int64_t>(v);
+    }
+
+    double
+    floatOf(const RtValue &v) const
+    {
+        return std::get<double>(v);
+    }
+
+    RtValue
+    get(Env &env, Value v)
+    {
+        auto it = env.find(v.impl());
+        SEER_ASSERT(it != env.end(), "interpret: unbound SSA value");
+        return it->second;
+    }
+
+    BlockExit
+    runBlock(Block &block, Env &env)
+    {
+        if (options_.profile)
+            ++profile_.blocks[&block];
+        for (auto &op_ptr : block.ops()) {
+            Operation &op = *op_ptr;
+            if (isTerminator(op)) {
+                BlockExit exit;
+                exit.terminator = &op;
+                for (Value operand : op.operands())
+                    exit.operands.push_back(get(env, operand));
+                return exit;
+            }
+            execOp(op, env);
+        }
+        panic("interpret: block without terminator");
+    }
+
+    void
+    execOp(Operation &op, Env &env)
+    {
+        tick(op);
+        const std::string &name = op.nameStr();
+        if (name == opnames::kAffineFor) {
+            execFor(op, env);
+        } else if (name == opnames::kIf) {
+            execIf(op, env);
+        } else if (name == opnames::kWhile) {
+            execWhile(op, env);
+        } else if (name == opnames::kCall) {
+            Operation *callee = module_.lookupFunc(op.strAttr("callee"));
+            if (!callee)
+                fatal("interpret: unknown callee " + op.strAttr("callee"));
+            std::vector<RtValue> args;
+            for (Value operand : op.operands())
+                args.push_back(get(env, operand));
+            std::vector<RtValue> results =
+                callFunc(*callee, std::move(args));
+            for (size_t i = 0; i < op.numResults(); ++i)
+                env[op.result(i).impl()] = results[i];
+        } else {
+            execSimple(op, env);
+        }
+    }
+
+    int64_t
+    evalBound(const AffineBound &bound, Env &env)
+    {
+        int64_t value = bound.constant;
+        for (const auto &[v, coeff] : bound.terms)
+            value += coeff * intOf(get(env, v));
+        return value;
+    }
+
+    void
+    execFor(Operation &op, Env &env)
+    {
+        int64_t lb = evalBound(getLowerBound(op), env);
+        int64_t ub = evalBound(getUpperBound(op), env);
+        int64_t step = getStep(op);
+        Block &body = op.region(0).block();
+        uint64_t iters = 0;
+        for (int64_t iv = lb; iv < ub; iv += step) {
+            env[body.arg(0).impl()] = iv;
+            runBlock(body, env);
+            ++iters;
+        }
+        if (options_.profile) {
+            auto &entry = profile_.loops[&op];
+            entry.first += 1;
+            entry.second += iters;
+        }
+    }
+
+    void
+    execIf(Operation &op, Env &env)
+    {
+        bool taken = intOf(get(env, op.operand(0))) != 0;
+        Block &branch = op.region(taken ? 0 : 1).block();
+        BlockExit exit = runBlock(branch, env);
+        for (size_t i = 0; i < op.numResults(); ++i)
+            env[op.result(i).impl()] = exit.operands[i];
+    }
+
+    void
+    execWhile(Operation &op, Env &env)
+    {
+        Block &cond_block = op.region(0).block();
+        Block &body = op.region(1).block();
+        uint64_t iters = 0;
+        while (true) {
+            BlockExit exit = runBlock(cond_block, env);
+            SEER_ASSERT(exit.terminator &&
+                            isa(*exit.terminator, opnames::kCondition),
+                        "scf.while condition region exit");
+            if (intOf(exit.operands[0]) == 0)
+                break;
+            runBlock(body, env);
+            if (++iters > options_.max_steps)
+                fatal("interpret: scf.while iteration limit exceeded");
+        }
+        if (options_.profile) {
+            auto &entry = profile_.loops[&op];
+            entry.first += 1;
+            entry.second += iters;
+        }
+    }
+
+    int64_t
+    index(Operation &op, Env &env, size_t mem_operand)
+    {
+        Buffer *buffer = std::get<Buffer *>(get(env, op.operand(mem_operand)));
+        const auto &shape = buffer->type.shape();
+        int64_t flat = 0;
+        for (size_t d = 0; d < shape.size(); ++d) {
+            int64_t idx =
+                intOf(get(env, op.operand(mem_operand + 1 + d)));
+            if (idx < 0 || idx >= shape[d]) {
+                fatal(MsgBuilder()
+                      << "interpret: out-of-bounds access: index " << idx
+                      << " not in [0, " << shape[d] << ") at op "
+                      << toString(op));
+            }
+            flat = flat * shape[d] + idx;
+        }
+        return flat;
+    }
+
+    void
+    execSimple(Operation &op, Env &env)
+    {
+        const std::string &name = op.nameStr();
+        auto set = [&](RtValue v) { env[op.result(0).impl()] = v; };
+
+        if (name == opnames::kConstant) {
+            const Attribute &value = op.attr("value");
+            if (value.isInt())
+                set(value.asInt());
+            else
+                set(value.asFloat());
+            return;
+        }
+        if (name == opnames::kAlloc) {
+            buffers_.push_back(
+                std::make_unique<Buffer>(op.result().type()));
+            set(buffers_.back().get());
+            return;
+        }
+        if (name == opnames::kLoad) {
+            Buffer *buffer = std::get<Buffer *>(get(env, op.operand(0)));
+            int64_t flat = index(op, env, 0);
+            if (buffer->isFloat())
+                set(buffer->floats[static_cast<size_t>(flat)]);
+            else
+                set(buffer->ints[static_cast<size_t>(flat)]);
+            return;
+        }
+        if (name == opnames::kStore) {
+            Buffer *buffer = std::get<Buffer *>(get(env, op.operand(1)));
+            int64_t flat = index(op, env, 1);
+            RtValue value = get(env, op.operand(0));
+            if (buffer->isFloat())
+                buffer->floats[static_cast<size_t>(flat)] =
+                    floatOf(value);
+            else
+                buffer->ints[static_cast<size_t>(flat)] = intOf(value);
+            return;
+        }
+        if (name == opnames::kSelect) {
+            bool taken = intOf(get(env, op.operand(0))) != 0;
+            set(get(env, op.operand(taken ? 1 : 2)));
+            return;
+        }
+        if (name == opnames::kCmpI) {
+            Type t = op.operand(0).type();
+            bool r = evalCmpI(parseCmpPred(op.strAttr("predicate")),
+                              intOf(get(env, op.operand(0))),
+                              intOf(get(env, op.operand(1))),
+                              t.bitwidth());
+            set(static_cast<int64_t>(r));
+            return;
+        }
+        if (name == opnames::kCmpF) {
+            double lhs = floatOf(get(env, op.operand(0)));
+            double rhs = floatOf(get(env, op.operand(1)));
+            const std::string &pred = op.strAttr("predicate");
+            bool r = false;
+            if (pred == "oeq") r = lhs == rhs;
+            else if (pred == "one") r = lhs != rhs;
+            else if (pred == "olt") r = lhs < rhs;
+            else if (pred == "ole") r = lhs <= rhs;
+            else if (pred == "ogt") r = lhs > rhs;
+            else if (pred == "oge") r = lhs >= rhs;
+            else fatal("interpret: unknown cmpf predicate " + pred);
+            set(static_cast<int64_t>(r));
+            return;
+        }
+
+        // Unary / cast ops.
+        if (name == opnames::kNegF) {
+            set(-floatOf(get(env, op.operand(0))));
+            return;
+        }
+        if (name == opnames::kExtSI || name == opnames::kIndexCast) {
+            set(intOf(get(env, op.operand(0)))); // already sign-extended
+            return;
+        }
+        if (name == opnames::kExtUI) {
+            unsigned w = op.operand(0).type().bitwidth();
+            uint64_t mask = w >= 64 ? ~0ULL : ((1ULL << w) - 1);
+            set(static_cast<int64_t>(
+                static_cast<uint64_t>(intOf(get(env, op.operand(0)))) &
+                mask));
+            return;
+        }
+        if (name == opnames::kTruncI) {
+            set(wrapToWidth(intOf(get(env, op.operand(0))),
+                            op.result().type().bitwidth()));
+            return;
+        }
+        if (name == opnames::kSIToFP) {
+            set(static_cast<double>(intOf(get(env, op.operand(0)))));
+            return;
+        }
+        if (name == opnames::kFPToSI) {
+            set(wrapToWidth(
+                static_cast<int64_t>(floatOf(get(env, op.operand(0)))),
+                op.result().type().bitwidth()));
+            return;
+        }
+
+        // Binary float ops.
+        if (name == opnames::kAddF || name == opnames::kSubF ||
+            name == opnames::kMulF || name == opnames::kDivF) {
+            double lhs = floatOf(get(env, op.operand(0)));
+            double rhs = floatOf(get(env, op.operand(1)));
+            double r = 0;
+            if (name == opnames::kAddF) r = lhs + rhs;
+            else if (name == opnames::kSubF) r = lhs - rhs;
+            else if (name == opnames::kMulF) r = lhs * rhs;
+            else r = rhs == 0 ? 0 : lhs / rhs;
+            set(r);
+            return;
+        }
+
+        // Binary integer ops.
+        int64_t lhs = intOf(get(env, op.operand(0)));
+        int64_t rhs = intOf(get(env, op.operand(1)));
+        unsigned w = op.result().type().bitwidth();
+        uint64_t umask = w >= 64 ? ~0ULL : ((1ULL << w) - 1);
+        uint64_t ul = static_cast<uint64_t>(lhs) & umask;
+        uint64_t ur = static_cast<uint64_t>(rhs) & umask;
+        int64_t r = 0;
+        if (name == opnames::kAddI) {
+            r = static_cast<int64_t>(static_cast<uint64_t>(lhs) +
+                                     static_cast<uint64_t>(rhs));
+        } else if (name == opnames::kSubI) {
+            r = static_cast<int64_t>(static_cast<uint64_t>(lhs) -
+                                     static_cast<uint64_t>(rhs));
+        } else if (name == opnames::kMulI) {
+            r = static_cast<int64_t>(static_cast<uint64_t>(lhs) *
+                                     static_cast<uint64_t>(rhs));
+        } else if (name == opnames::kDivSI) {
+            if (rhs == 0)
+                fatal("interpret: division by zero");
+            r = lhs / rhs;
+        } else if (name == opnames::kDivUI) {
+            if (ur == 0)
+                fatal("interpret: division by zero");
+            r = static_cast<int64_t>(ul / ur);
+        } else if (name == opnames::kRemSI) {
+            if (rhs == 0)
+                fatal("interpret: remainder by zero");
+            r = lhs % rhs;
+        } else if (name == opnames::kRemUI) {
+            if (ur == 0)
+                fatal("interpret: remainder by zero");
+            r = static_cast<int64_t>(ul % ur);
+        } else if (name == opnames::kAndI) {
+            r = lhs & rhs;
+        } else if (name == opnames::kOrI) {
+            r = lhs | rhs;
+        } else if (name == opnames::kXOrI) {
+            r = lhs ^ rhs;
+        } else if (name == opnames::kShLI) {
+            r = rhs >= 64 || rhs < 0
+                    ? 0
+                    : static_cast<int64_t>(static_cast<uint64_t>(lhs)
+                                           << rhs);
+        } else if (name == opnames::kShRSI) {
+            r = rhs >= 64 || rhs < 0 ? (lhs < 0 ? -1 : 0) : (lhs >> rhs);
+        } else if (name == opnames::kShRUI) {
+            r = rhs >= 64 || rhs < 0 ? 0
+                                     : static_cast<int64_t>(ul >> rhs);
+        } else if (name == opnames::kMinSI) {
+            r = std::min(lhs, rhs);
+        } else if (name == opnames::kMaxSI) {
+            r = std::max(lhs, rhs);
+        } else {
+            fatal("interpret: unimplemented op " + name);
+        }
+        set(wrapToWidth(r, w));
+    }
+
+    const Module &module_;
+    const InterpOptions &options_;
+    uint64_t steps_ = 0;
+    Profile profile_;
+    std::vector<std::unique_ptr<Buffer>> buffers_;
+};
+
+} // namespace
+
+InterpResult
+interpret(const Module &module, const std::string &func_name,
+          std::vector<RtValue> args, const InterpOptions &options)
+{
+    // The interpreter mutates nothing structural, but needs non-const
+    // Block access internally; const_cast is confined here.
+    return Interp(const_cast<Module &>(module), options)
+        .run(func_name, std::move(args));
+}
+
+} // namespace seer::ir

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * A reference interpreter for the IR.
+ *
+ * Serves three roles in the reproduction:
+ *  - functional co-simulation (the paper's "HLS co-simulation" oracle),
+ *  - the equivalence checker backing translation validation (stand-in for
+ *    Synopsys VC Formal), and
+ *  - the profiler that records loop trip counts and block execution counts
+ *    consumed by the HLS performance model.
+ */
+#ifndef SEER_IR_INTERP_H_
+#define SEER_IR_INTERP_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <variant>
+#include <vector>
+
+#include "ir/op.h"
+
+namespace seer::ir {
+
+/** A runtime buffer backing one memref value. */
+struct Buffer
+{
+    Type type; ///< the memref type
+    std::vector<int64_t> ints;
+    std::vector<double> floats;
+
+    explicit Buffer(Type memref_type);
+
+    int64_t size() const;
+    bool isFloat() const { return type.elementType().isFloat(); }
+};
+
+/** A runtime value: integer scalar, float scalar, or buffer reference. */
+using RtValue = std::variant<int64_t, double, Buffer *>;
+
+/** Per-loop/per-block execution statistics gathered during a run. */
+struct Profile
+{
+    /** Loop op -> (times entered, total iterations executed). */
+    std::map<const Operation *, std::pair<uint64_t, uint64_t>> loops;
+    /** Block -> times executed. */
+    std::map<const Block *, uint64_t> blocks;
+    /** Op -> times executed (ops only, not per-region bookkeeping). */
+    std::map<const Operation *, uint64_t> ops;
+};
+
+/** Result of interpreting one function call. */
+struct InterpResult
+{
+    std::vector<RtValue> results;
+    uint64_t steps = 0;
+    Profile profile;
+};
+
+/** Interpreter options. */
+struct InterpOptions
+{
+    /** Abort with fatal() after this many op executions (runaway guard). */
+    uint64_t max_steps = 500'000'000;
+    /** Collect the Profile (slightly slower). */
+    bool profile = false;
+};
+
+/**
+ * Interpret `func_name` in `module` with the given arguments. Buffer
+ * arguments are mutated in place (caller observes final memory state).
+ * Throws FatalError on traps: out-of-bounds access, division by zero,
+ * step-limit exhaustion.
+ */
+InterpResult interpret(const Module &module, const std::string &func_name,
+                       std::vector<RtValue> args,
+                       const InterpOptions &options = {});
+
+/** Wrap a signed value to `width` bits (two's complement, sign-extended). */
+int64_t wrapToWidth(int64_t value, unsigned width);
+
+} // namespace seer::ir
+
+#endif // SEER_IR_INTERP_H_

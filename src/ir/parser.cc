@@ -1,0 +1,778 @@
+#include "ir/parser.h"
+
+#include <cctype>
+#include <map>
+#include <vector>
+
+#include "ir/builder.h"
+#include "ir/ops.h"
+#include "support/error.h"
+
+namespace seer::ir {
+
+namespace {
+
+// --- Lexer --------------------------------------------------------------
+
+enum class Tok {
+    End,
+    Ident,    // bare identifier, possibly with dots: arith.addi, to, else
+    Percent,  // %name
+    At,       // @name
+    Int,      // 123
+    Float,    // 1.5, 2e-3
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    LBrace,
+    RBrace,
+    Less,
+    Greater,
+    Comma,
+    Equal,
+    Colon,
+    Plus,
+    Minus,
+    Star,
+    Arrow, // ->
+};
+
+struct Token
+{
+    Tok kind = Tok::End;
+    std::string text;
+    int64_t int_value = 0;
+    double float_value = 0;
+    int line = 0;
+    int col = 0;
+};
+
+class Lexer
+{
+  public:
+    explicit Lexer(std::string_view text) : text_(text) { advance(); }
+
+    const Token &peek() const { return current_; }
+
+    Token
+    next()
+    {
+        Token t = current_;
+        advance();
+        return t;
+    }
+
+    [[noreturn]] void
+    error(const std::string &msg) const
+    {
+        fatal(MsgBuilder() << "parse error at line " << current_.line
+                           << ", col " << current_.col << ": " << msg
+                           << " (got '" << current_.text << "')");
+    }
+
+  private:
+    void
+    skipSpace()
+    {
+        while (pos_ < text_.size()) {
+            char c = text_[pos_];
+            if (c == '\n') {
+                ++line_;
+                col_ = 1;
+                ++pos_;
+            } else if (std::isspace(static_cast<unsigned char>(c))) {
+                ++col_;
+                ++pos_;
+            } else if (c == '/' && pos_ + 1 < text_.size() &&
+                       text_[pos_ + 1] == '/') {
+                while (pos_ < text_.size() && text_[pos_] != '\n')
+                    ++pos_;
+            } else {
+                break;
+            }
+        }
+    }
+
+    char
+    cur() const
+    {
+        return pos_ < text_.size() ? text_[pos_] : '\0';
+    }
+
+    void
+    advance()
+    {
+        skipSpace();
+        current_ = Token();
+        current_.line = line_;
+        current_.col = col_;
+        if (pos_ >= text_.size()) {
+            current_.kind = Tok::End;
+            current_.text = "<eof>";
+            return;
+        }
+        char c = cur();
+        size_t start = pos_;
+        auto take = [&](Tok kind, size_t n) {
+            current_.kind = kind;
+            current_.text = std::string(text_.substr(pos_, n));
+            pos_ += n;
+            col_ += static_cast<int>(n);
+        };
+        if (c == '%' || c == '@') {
+            ++pos_;
+            while (pos_ < text_.size() &&
+                   (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+                    text_[pos_] == '_')) {
+                ++pos_;
+            }
+            current_.kind = c == '%' ? Tok::Percent : Tok::At;
+            current_.text = std::string(text_.substr(start + 1,
+                                                     pos_ - start - 1));
+            col_ += static_cast<int>(pos_ - start);
+            return;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            lexNumber();
+            return;
+        }
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+            ++pos_;
+            while (pos_ < text_.size() &&
+                   (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+                    text_[pos_] == '_' || text_[pos_] == '.')) {
+                ++pos_;
+            }
+            current_.kind = Tok::Ident;
+            current_.text = std::string(text_.substr(start, pos_ - start));
+            col_ += static_cast<int>(pos_ - start);
+            // memref<...> is lexed as one Ident token carrying the full
+            // spelling, because shape syntax (8x8xi32) does not tokenize.
+            if (current_.text == "memref" && cur() == '<') {
+                size_t close = text_.find('>', pos_);
+                if (close == std::string_view::npos)
+                    fatal("unterminated memref<...> type");
+                current_.text +=
+                    std::string(text_.substr(pos_, close - pos_ + 1));
+                col_ += static_cast<int>(close - pos_ + 1);
+                pos_ = close + 1;
+            }
+            return;
+        }
+        switch (c) {
+          case '(': take(Tok::LParen, 1); return;
+          case ')': take(Tok::RParen, 1); return;
+          case '[': take(Tok::LBracket, 1); return;
+          case ']': take(Tok::RBracket, 1); return;
+          case '{': take(Tok::LBrace, 1); return;
+          case '}': take(Tok::RBrace, 1); return;
+          case '<': take(Tok::Less, 1); return;
+          case '>': take(Tok::Greater, 1); return;
+          case ',': take(Tok::Comma, 1); return;
+          case '=': take(Tok::Equal, 1); return;
+          case ':': take(Tok::Colon, 1); return;
+          case '+': take(Tok::Plus, 1); return;
+          case '*': take(Tok::Star, 1); return;
+          case '-':
+            if (pos_ + 1 < text_.size() && text_[pos_ + 1] == '>') {
+                take(Tok::Arrow, 2);
+            } else {
+                take(Tok::Minus, 1);
+            }
+            return;
+          default:
+            fatal(MsgBuilder() << "unexpected character '" << c
+                               << "' at line " << line_);
+        }
+    }
+
+    void
+    lexNumber()
+    {
+        size_t start = pos_;
+        bool is_float = false;
+        while (pos_ < text_.size() &&
+               std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+            ++pos_;
+        }
+        if (pos_ < text_.size() && text_[pos_] == '.' &&
+            pos_ + 1 < text_.size() &&
+            std::isdigit(static_cast<unsigned char>(text_[pos_ + 1]))) {
+            is_float = true;
+            ++pos_;
+            while (pos_ < text_.size() &&
+                   std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+                ++pos_;
+            }
+        }
+        if (pos_ < text_.size() &&
+            (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            size_t save = pos_;
+            ++pos_;
+            if (pos_ < text_.size() &&
+                (text_[pos_] == '+' || text_[pos_] == '-')) {
+                ++pos_;
+            }
+            if (pos_ < text_.size() &&
+                std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+                is_float = true;
+                while (pos_ < text_.size() &&
+                       std::isdigit(
+                           static_cast<unsigned char>(text_[pos_]))) {
+                    ++pos_;
+                }
+            } else {
+                pos_ = save;
+            }
+        }
+        std::string text(text_.substr(start, pos_ - start));
+        current_.text = text;
+        col_ += static_cast<int>(pos_ - start);
+        if (is_float) {
+            current_.kind = Tok::Float;
+            current_.float_value = std::stod(text);
+        } else {
+            current_.kind = Tok::Int;
+            current_.int_value = std::stoll(text);
+        }
+    }
+
+    std::string_view text_;
+    size_t pos_ = 0;
+    int line_ = 1;
+    int col_ = 1;
+    Token current_;
+};
+
+// --- Type parsing ---------------------------------------------------------
+
+Type
+typeFromSpelling(const std::string &spelling)
+{
+    if (spelling == "index")
+        return Type::index();
+    if (spelling == "f64")
+        return Type::f64();
+    if (spelling == "none")
+        return Type::none();
+    if (spelling.size() >= 2 && spelling[0] == 'i' &&
+        std::isdigit(static_cast<unsigned char>(spelling[1]))) {
+        for (size_t i = 1; i < spelling.size(); ++i) {
+            if (!std::isdigit(static_cast<unsigned char>(spelling[i])))
+                fatal("unknown type '" + spelling + "'");
+        }
+        unsigned width =
+            static_cast<unsigned>(std::stoul(spelling.substr(1)));
+        if (width < 1 || width > 64)
+            fatal("unsupported integer width in '" + spelling + "'");
+        return Type::integer(width);
+    }
+    if (spelling.rfind("memref<", 0) == 0 && spelling.back() == '>') {
+        std::string inner = spelling.substr(7, spelling.size() - 8);
+        std::vector<int64_t> shape;
+        size_t pos = 0;
+        while (true) {
+            size_t x = inner.find('x', pos);
+            if (x == std::string::npos)
+                break;
+            std::string piece = inner.substr(pos, x - pos);
+            bool all_digits = !piece.empty();
+            for (char c : piece) {
+                if (!std::isdigit(static_cast<unsigned char>(c)))
+                    all_digits = false;
+            }
+            if (!all_digits)
+                break;
+            shape.push_back(std::stoll(piece));
+            pos = x + 1;
+        }
+        if (shape.empty())
+            fatal("memref type needs at least one dimension: " + spelling);
+        Type elem = typeFromSpelling(inner.substr(pos));
+        return Type::memref(std::move(shape), elem);
+    }
+    fatal("unknown type '" + spelling + "'");
+}
+
+// --- Parser -----------------------------------------------------------
+
+class Parser
+{
+  public:
+    explicit Parser(std::string_view text) : lexer_(text) {}
+
+    Module
+    parseModule()
+    {
+        Module module;
+        while (lexer_.peek().kind != Tok::End) {
+            if (lexer_.peek().kind != Tok::Ident ||
+                lexer_.peek().text != "func.func") {
+                lexer_.error("expected func.func at top level");
+            }
+            module.push_back(parseFunc());
+        }
+        return module;
+    }
+
+  private:
+    // Scoped SSA value table.
+    std::vector<std::map<std::string, Value>> scopes_;
+
+    void pushScope() { scopes_.emplace_back(); }
+    void popScope() { scopes_.pop_back(); }
+
+    void
+    define(const std::string &name, Value value)
+    {
+        value.impl()->setNameHint(name);
+        scopes_.back()[name] = value;
+    }
+
+    Value
+    lookup(const std::string &name)
+    {
+        for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+            auto found = it->find(name);
+            if (found != it->end())
+                return found->second;
+        }
+        fatal(MsgBuilder() << "use of undefined value %" << name);
+    }
+
+    Token
+    expect(Tok kind, const char *what)
+    {
+        if (lexer_.peek().kind != kind)
+            lexer_.error(MsgBuilder() << "expected " << what);
+        return lexer_.next();
+    }
+
+    bool
+    accept(Tok kind)
+    {
+        if (lexer_.peek().kind == kind) {
+            lexer_.next();
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    acceptKeyword(const char *kw)
+    {
+        if (lexer_.peek().kind == Tok::Ident && lexer_.peek().text == kw) {
+            lexer_.next();
+            return true;
+        }
+        return false;
+    }
+
+    Type
+    parseTypeTok()
+    {
+        Token t = expect(Tok::Ident, "a type");
+        return typeFromSpelling(t.text);
+    }
+
+    int64_t
+    parseInt()
+    {
+        bool negative = accept(Tok::Minus);
+        Token t = expect(Tok::Int, "an integer");
+        return negative ? -t.int_value : t.int_value;
+    }
+
+    // --- Operations -----------------------------------------------
+
+    Operation::Ptr
+    parseFunc()
+    {
+        lexer_.next(); // func.func
+        Token name = expect(Tok::At, "@function-name");
+        auto op = std::make_unique<Operation>(Symbol(opnames::kFunc));
+        op->setAttr("sym_name", Attribute(name.text));
+        Block &body = op->addRegion().block();
+
+        pushScope();
+        expect(Tok::LParen, "'('");
+        bool first = true;
+        while (!accept(Tok::RParen)) {
+            if (!first)
+                expect(Tok::Comma, "','");
+            first = false;
+            Token arg = expect(Tok::Percent, "%argument");
+            expect(Tok::Colon, "':'");
+            Type type = parseTypeTok();
+            define(arg.text, body.addArg(type, arg.text));
+        }
+        if (accept(Tok::Arrow))
+            op->setAttr("result_type", Attribute(parseTypeTok()));
+        parseBlockBody(body, opnames::kReturn);
+        popScope();
+        return op;
+    }
+
+    /**
+     * Parse "{ ops... }" into `block`, inserting `terminator` if the block
+     * does not end with one.
+     */
+    void
+    parseBlockBody(Block &block, std::string_view terminator)
+    {
+        expect(Tok::LBrace, "'{'");
+        pushScope();
+        while (!accept(Tok::RBrace))
+            parseStatement(block);
+        popScope();
+        if (block.empty() || !isTerminator(block.back())) {
+            OpBuilder::atEnd(block).create(terminator, {}, {});
+        }
+    }
+
+    void
+    parseStatement(Block &block)
+    {
+        // Optional result list.
+        std::vector<std::string> result_names;
+        if (lexer_.peek().kind == Tok::Percent) {
+            result_names.push_back(lexer_.next().text);
+            while (accept(Tok::Comma))
+                result_names.push_back(
+                    expect(Tok::Percent, "%result").text);
+            expect(Tok::Equal, "'='");
+        }
+        Token name = expect(Tok::Ident, "an operation name");
+        const std::string &op_name = name.text;
+
+        Operation *op = nullptr;
+        OpBuilder builder = OpBuilder::atEnd(block);
+        if (op_name == opnames::kAffineFor) {
+            op = parseAffineFor(builder);
+        } else if (op_name == opnames::kIf) {
+            op = parseIf(builder, result_names.size());
+        } else if (op_name == opnames::kWhile) {
+            op = parseWhile(builder);
+        } else if (op_name == opnames::kConstant) {
+            op = parseConstant(builder);
+        } else if (op_name == opnames::kLoad) {
+            op = parseLoad(builder);
+        } else if (op_name == opnames::kStore) {
+            op = parseStore(builder);
+        } else if (op_name == opnames::kAlloc) {
+            op = parseAlloc(builder);
+        } else if (op_name == opnames::kCmpI || op_name == opnames::kCmpF) {
+            op = parseCmp(builder, op_name);
+        } else if (op_name == opnames::kCall) {
+            op = parseCallOp(builder);
+        } else if (op_name == opnames::kCondition ||
+                   op_name == opnames::kYield ||
+                   op_name == opnames::kAffineYield ||
+                   op_name == opnames::kReturn) {
+            op = parseTerminatorOp(builder, op_name);
+        } else if (isRegisteredOp(Symbol(op_name))) {
+            op = parseGeneric(builder, op_name);
+        } else {
+            lexer_.error("unknown operation");
+        }
+
+        if (op->numResults() != result_names.size()) {
+            lexer_.error(MsgBuilder()
+                         << "op " << op_name << " produces "
+                         << op->numResults() << " results but "
+                         << result_names.size() << " names were bound");
+        }
+        for (size_t i = 0; i < result_names.size(); ++i)
+            define(result_names[i], op->result(i));
+    }
+
+    AffineBound
+    parseBound()
+    {
+        AffineBound bound;
+        bool first = true;
+        int64_t sign = 1;
+        while (true) {
+            if (!first) {
+                if (accept(Tok::Plus)) {
+                    sign = 1;
+                } else if (accept(Tok::Minus)) {
+                    sign = -1;
+                } else {
+                    break;
+                }
+            }
+            first = false;
+            if (lexer_.peek().kind == Tok::Percent) {
+                Token v = lexer_.next();
+                bound.terms.emplace_back(lookup(v.text), sign);
+            } else if (lexer_.peek().kind == Tok::Int ||
+                       lexer_.peek().kind == Tok::Minus) {
+                int64_t value = parseInt() * sign;
+                if (accept(Tok::Star)) {
+                    Token v = expect(Tok::Percent, "%value after '*'");
+                    bound.terms.emplace_back(lookup(v.text), value);
+                } else {
+                    bound.constant += value;
+                }
+            } else {
+                lexer_.error("expected bound term");
+            }
+        }
+        return bound;
+    }
+
+    Operation *
+    parseAffineFor(OpBuilder &builder)
+    {
+        Token iv = expect(Tok::Percent, "%induction-variable");
+        expect(Tok::Equal, "'='");
+        AffineBound lb = parseBound();
+        if (!acceptKeyword("to"))
+            lexer_.error("expected 'to' in affine.for");
+        AffineBound ub = parseBound();
+        int64_t step = 1;
+        if (acceptKeyword("step"))
+            step = parseInt();
+        Operation *op = builder.affineFor(lb, ub, step, iv.text);
+        Block &body = op->region(0).block();
+        pushScope();
+        define(iv.text, body.arg(0));
+        parseBlockBody(body, opnames::kAffineYield);
+        popScope();
+        return op;
+    }
+
+    Operation *
+    parseIf(OpBuilder &builder, size_t num_results)
+    {
+        Token cond = expect(Tok::Percent, "%condition");
+        std::vector<Type> result_types;
+        if (accept(Tok::Arrow)) {
+            expect(Tok::LParen, "'('");
+            bool first = true;
+            while (!accept(Tok::RParen)) {
+                if (!first)
+                    expect(Tok::Comma, "','");
+                first = false;
+                result_types.push_back(parseTypeTok());
+            }
+        }
+        if (result_types.size() != num_results)
+            lexer_.error("scf.if result count mismatch");
+        Operation *op =
+            builder.scfIf(lookup(cond.text), std::move(result_types));
+        parseBlockBody(op->region(0).block(), opnames::kYield);
+        if (acceptKeyword("else")) {
+            parseBlockBody(op->region(1).block(), opnames::kYield);
+        } else {
+            OpBuilder::atEnd(op->region(1).block())
+                .create(opnames::kYield, {}, {});
+        }
+        return op;
+    }
+
+    Operation *
+    parseWhile(OpBuilder &builder)
+    {
+        Operation *op = builder.scfWhile();
+        parseBlockBody(op->region(0).block(), opnames::kCondition);
+        Block &cond_block = op->region(0).block();
+        if (cond_block.empty() ||
+            !isa(cond_block.back(), opnames::kCondition)) {
+            lexer_.error("scf.while condition region must end in "
+                         "scf.condition");
+        }
+        if (!acceptKeyword("do"))
+            lexer_.error("expected 'do' after scf.while condition block");
+        parseBlockBody(op->region(1).block(), opnames::kYield);
+        return op;
+    }
+
+    Operation *
+    parseConstant(OpBuilder &builder)
+    {
+        bool negative = accept(Tok::Minus);
+        Token value = lexer_.next();
+        expect(Tok::Colon, "':'");
+        Type type = parseTypeTok();
+        if (value.kind == Tok::Int) {
+            int64_t v = negative ? -value.int_value : value.int_value;
+            return builder.intConstant(type, v).definingOp();
+        }
+        if (value.kind == Tok::Float) {
+            double v =
+                negative ? -value.float_value : value.float_value;
+            return builder.floatConstant(v).definingOp();
+        }
+        lexer_.error("expected constant literal");
+    }
+
+    std::vector<Value>
+    parseIndexList()
+    {
+        std::vector<Value> indices;
+        expect(Tok::LBracket, "'['");
+        bool first = true;
+        while (!accept(Tok::RBracket)) {
+            if (!first)
+                expect(Tok::Comma, "','");
+            first = false;
+            Token v = expect(Tok::Percent, "%index");
+            indices.push_back(lookup(v.text));
+        }
+        return indices;
+    }
+
+    Operation *
+    parseLoad(OpBuilder &builder)
+    {
+        Token mem = expect(Tok::Percent, "%memref");
+        std::vector<Value> indices = parseIndexList();
+        expect(Tok::Colon, "':'");
+        parseTypeTok(); // memref type, re-derived from the operand
+        return builder.load(lookup(mem.text), std::move(indices))
+            .definingOp();
+    }
+
+    Operation *
+    parseStore(OpBuilder &builder)
+    {
+        Token value = expect(Tok::Percent, "%value");
+        expect(Tok::Comma, "','");
+        Token mem = expect(Tok::Percent, "%memref");
+        std::vector<Value> indices = parseIndexList();
+        expect(Tok::Colon, "':'");
+        parseTypeTok();
+        Value v = lookup(value.text);
+        Value m = lookup(mem.text);
+        std::vector<Value> operands{v, m};
+        operands.insert(operands.end(), indices.begin(), indices.end());
+        return builder.create(opnames::kStore, std::move(operands), {});
+    }
+
+    Operation *
+    parseAlloc(OpBuilder &builder)
+    {
+        expect(Tok::LParen, "'('");
+        expect(Tok::RParen, "')'");
+        expect(Tok::Colon, "':'");
+        Type type = parseTypeTok();
+        return builder.alloc(type).definingOp();
+    }
+
+    Operation *
+    parseCmp(OpBuilder &builder, const std::string &op_name)
+    {
+        Token pred = expect(Tok::Ident, "a predicate");
+        expect(Tok::Comma, "','");
+        Token lhs = expect(Tok::Percent, "%lhs");
+        expect(Tok::Comma, "','");
+        Token rhs = expect(Tok::Percent, "%rhs");
+        expect(Tok::Colon, "':'");
+        parseTypeTok();
+        Operation *op = builder.create(
+            op_name, {lookup(lhs.text), lookup(rhs.text)}, {Type::i1()});
+        op->setAttr("predicate", Attribute(pred.text));
+        return op;
+    }
+
+    Operation *
+    parseCallOp(OpBuilder &builder)
+    {
+        Token callee = expect(Tok::At, "@callee");
+        std::vector<Value> operands;
+        expect(Tok::LParen, "'('");
+        bool first = true;
+        while (!accept(Tok::RParen)) {
+            if (!first)
+                expect(Tok::Comma, "','");
+            first = false;
+            operands.push_back(
+                lookup(expect(Tok::Percent, "%argument").text));
+        }
+        expect(Tok::Colon, "':'");
+        expect(Tok::LParen, "'('");
+        first = true;
+        while (!accept(Tok::RParen)) {
+            if (!first)
+                expect(Tok::Comma, "','");
+            first = false;
+            parseTypeTok();
+        }
+        expect(Tok::Arrow, "'->'");
+        expect(Tok::LParen, "'('");
+        std::vector<Type> result_types;
+        first = true;
+        while (!accept(Tok::RParen)) {
+            if (!first)
+                expect(Tok::Comma, "','");
+            first = false;
+            result_types.push_back(parseTypeTok());
+        }
+        Operation *op = builder.create(opnames::kCall, std::move(operands),
+                                       std::move(result_types));
+        op->setAttr("callee", Attribute(callee.text));
+        return op;
+    }
+
+    Operation *
+    parseTerminatorOp(OpBuilder &builder, const std::string &op_name)
+    {
+        std::vector<Value> operands;
+        if (lexer_.peek().kind == Tok::Percent) {
+            operands.push_back(lookup(lexer_.next().text));
+            while (accept(Tok::Comma))
+                operands.push_back(
+                    lookup(expect(Tok::Percent, "%value").text));
+            if (accept(Tok::Colon)) {
+                parseTypeTok();
+                while (accept(Tok::Comma))
+                    parseTypeTok();
+            }
+        }
+        return builder.create(op_name, std::move(operands), {});
+    }
+
+    Operation *
+    parseGeneric(OpBuilder &builder, const std::string &op_name)
+    {
+        std::vector<Value> operands;
+        if (lexer_.peek().kind == Tok::Percent) {
+            operands.push_back(lookup(lexer_.next().text));
+            while (accept(Tok::Comma))
+                operands.push_back(
+                    lookup(expect(Tok::Percent, "%operand").text));
+        }
+        expect(Tok::Colon, "':'");
+        Type type = parseTypeTok();
+        Type result_type = type;
+        if (acceptKeyword("to"))
+            result_type = parseTypeTok();
+        const OpInfo &info = opInfo(Symbol(op_name));
+        std::vector<Type> result_types;
+        if (info.numResults != 0)
+            result_types.push_back(result_type);
+        return builder.create(op_name, std::move(operands),
+                              std::move(result_types));
+    }
+
+    Lexer lexer_;
+};
+
+} // namespace
+
+Module
+parseModule(std::string_view text)
+{
+    return Parser(text).parseModule();
+}
+
+Type
+parseType(std::string_view text)
+{
+    return typeFromSpelling(std::string(text));
+}
+
+} // namespace seer::ir

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Parser for the textual IR format produced by printer.h.
+ *
+ * Benchmarks are written in this format (standing in for Polygeist output
+ * in the paper's flow); tests rely on print/parse round-tripping.
+ */
+#ifndef SEER_IR_PARSER_H_
+#define SEER_IR_PARSER_H_
+
+#include <string_view>
+
+#include "ir/op.h"
+
+namespace seer::ir {
+
+/**
+ * Parse a module from text. Throws seer::FatalError with a line/column
+ * message on malformed input. Missing block terminators (affine.yield,
+ * scf.yield, func.return) are inserted automatically.
+ */
+Module parseModule(std::string_view text);
+
+/** Parse a single type, e.g. "memref<8x8xi32>". */
+Type parseType(std::string_view text);
+
+} // namespace seer::ir
+
+#endif // SEER_IR_PARSER_H_

@@ -1,0 +1,365 @@
+#include "ir/printer.h"
+
+#include <map>
+#include <ostream>
+#include <set>
+#include <sstream>
+
+#include "ir/ops.h"
+#include "support/error.h"
+
+namespace seer::ir {
+
+namespace {
+
+/** Assigns stable printable names to SSA values. */
+class NameManager
+{
+  public:
+    std::string
+    name(Value v)
+    {
+        auto it = names_.find(v.impl());
+        if (it != names_.end())
+            return it->second;
+        std::string base = v.impl()->nameHint();
+        if (base.empty())
+            base = std::to_string(next_++);
+        std::string candidate = base;
+        int suffix = 0;
+        while (used_.count(candidate))
+            candidate = base + "_" + std::to_string(++suffix);
+        used_.insert(candidate);
+        names_[v.impl()] = candidate;
+        return candidate;
+    }
+
+  private:
+    std::map<ValueImpl *, std::string> names_;
+    std::set<std::string> used_;
+    int next_ = 0;
+};
+
+class Printer
+{
+  public:
+    explicit Printer(std::ostream &os) : os_(os) {}
+
+    void
+    printModule(const Module &module)
+    {
+        bool first = true;
+        for (const auto &op : module.ops()) {
+            if (!first)
+                os_ << "\n";
+            first = false;
+            printOp(*op, 0);
+        }
+    }
+
+    void
+    printOp(const Operation &op, int indent)
+    {
+        const std::string &name = op.nameStr();
+        // Hide implicit empty terminators for readability.
+        if ((name == opnames::kAffineYield || name == opnames::kYield) &&
+            op.numOperands() == 0) {
+            return;
+        }
+        pad(indent);
+        if (name == opnames::kFunc)
+            printFunc(op, indent);
+        else if (name == opnames::kAffineFor)
+            printAffineFor(op, indent);
+        else if (name == opnames::kIf)
+            printIf(op, indent);
+        else if (name == opnames::kWhile)
+            printWhile(op, indent);
+        else if (name == opnames::kConstant)
+            printConstant(op);
+        else if (name == opnames::kLoad)
+            printLoad(op);
+        else if (name == opnames::kStore)
+            printStore(op);
+        else if (name == opnames::kAlloc)
+            printAlloc(op);
+        else if (name == opnames::kCmpI || name == opnames::kCmpF)
+            printCmp(op);
+        else if (name == opnames::kCall)
+            printCall(op);
+        else
+            printGeneric(op);
+        os_ << "\n";
+    }
+
+  private:
+    void
+    pad(int indent)
+    {
+        for (int i = 0; i < indent; ++i)
+            os_ << "  ";
+    }
+
+    void
+    printResults(const Operation &op)
+    {
+        for (size_t i = 0; i < op.numResults(); ++i)
+            os_ << (i ? ", " : "") << "%" << names_.name(op.result(i));
+        if (op.numResults() > 0)
+            os_ << " = ";
+    }
+
+    void
+    printValue(Value v)
+    {
+        os_ << "%" << names_.name(v);
+    }
+
+    void
+    printBlockBody(const Block &block, int indent)
+    {
+        for (const auto &op : block.ops())
+            printOp(*op, indent + 1);
+    }
+
+    void
+    printFunc(const Operation &op, int indent)
+    {
+        os_ << "func.func @" << op.strAttr("sym_name") << "(";
+        const Block &body = op.region(0).block();
+        for (size_t i = 0; i < body.numArgs(); ++i) {
+            Value arg = body.arg(i);
+            os_ << (i ? ", " : "") << "%" << names_.name(arg) << ": "
+                << arg.type().str();
+        }
+        os_ << ")";
+        if (op.hasAttr("result_type"))
+            os_ << " -> " << op.attr("result_type").asType().str();
+        os_ << " {\n";
+        printBlockBody(body, indent);
+        pad(indent);
+        os_ << "}";
+    }
+
+    void
+    printBound(const AffineBound &bound)
+    {
+        bool printed = false;
+        for (const auto &[value, coeff] : bound.terms) {
+            if (printed)
+                os_ << " + ";
+            if (coeff != 1)
+                os_ << coeff << " * ";
+            printValue(value);
+            printed = true;
+        }
+        if (bound.constant != 0 || !printed) {
+            if (printed)
+                os_ << (bound.constant >= 0 ? " + " : " - ");
+            os_ << (printed ? std::abs(bound.constant) : bound.constant);
+        }
+    }
+
+    void
+    printAffineFor(const Operation &op, int indent)
+    {
+        const Block &body = op.region(0).block();
+        os_ << "affine.for %" << names_.name(body.arg(0)) << " = ";
+        printBound(getLowerBound(op));
+        os_ << " to ";
+        printBound(getUpperBound(op));
+        if (getStep(op) != 1)
+            os_ << " step " << getStep(op);
+        os_ << " {\n";
+        printBlockBody(body, indent);
+        pad(indent);
+        os_ << "}";
+    }
+
+    void
+    printIf(const Operation &op, int indent)
+    {
+        printResults(op);
+        os_ << "scf.if ";
+        printValue(op.operand(0));
+        if (op.numResults() > 0) {
+            os_ << " -> (";
+            for (size_t i = 0; i < op.numResults(); ++i)
+                os_ << (i ? ", " : "") << op.result(i).type().str();
+            os_ << ")";
+        }
+        os_ << " {\n";
+        printBlockBody(op.region(0).block(), indent);
+        pad(indent);
+        os_ << "}";
+        const Block &else_block = op.region(1).block();
+        bool else_empty = true;
+        for (const auto &inner : else_block.ops()) {
+            if (!(isTerminator(*inner) && inner->numOperands() == 0))
+                else_empty = false;
+        }
+        if (!else_empty) {
+            os_ << " else {\n";
+            printBlockBody(else_block, indent);
+            pad(indent);
+            os_ << "}";
+        }
+    }
+
+    void
+    printWhile(const Operation &op, int indent)
+    {
+        os_ << "scf.while {\n";
+        printBlockBody(op.region(0).block(), indent);
+        pad(indent);
+        os_ << "} do {\n";
+        printBlockBody(op.region(1).block(), indent);
+        pad(indent);
+        os_ << "}";
+    }
+
+    void
+    printConstant(const Operation &op)
+    {
+        printResults(op);
+        os_ << "arith.constant ";
+        const Attribute &value = op.attr("value");
+        if (value.isInt()) {
+            os_ << value.asInt();
+        } else {
+            std::ostringstream tmp;
+            tmp << value.asFloat();
+            std::string text = tmp.str();
+            if (text.find_first_of(".e") == std::string::npos)
+                text += ".0";
+            os_ << text;
+        }
+        os_ << " : " << op.result().type().str();
+    }
+
+    void
+    printLoad(const Operation &op)
+    {
+        printResults(op);
+        os_ << "memref.load ";
+        printValue(op.operand(0));
+        os_ << "[";
+        for (size_t i = 1; i < op.numOperands(); ++i) {
+            os_ << (i > 1 ? ", " : "");
+            printValue(op.operand(i));
+        }
+        os_ << "] : " << op.operand(0).type().str();
+    }
+
+    void
+    printStore(const Operation &op)
+    {
+        os_ << "memref.store ";
+        printValue(op.operand(0));
+        os_ << ", ";
+        printValue(op.operand(1));
+        os_ << "[";
+        for (size_t i = 2; i < op.numOperands(); ++i) {
+            os_ << (i > 2 ? ", " : "");
+            printValue(op.operand(i));
+        }
+        os_ << "] : " << op.operand(1).type().str();
+    }
+
+    void
+    printAlloc(const Operation &op)
+    {
+        printResults(op);
+        os_ << "memref.alloc() : " << op.result().type().str();
+    }
+
+    void
+    printCmp(const Operation &op)
+    {
+        printResults(op);
+        os_ << op.nameStr() << " " << op.strAttr("predicate") << ", ";
+        printValue(op.operand(0));
+        os_ << ", ";
+        printValue(op.operand(1));
+        os_ << " : " << op.operand(0).type().str();
+    }
+
+    void
+    printCall(const Operation &op)
+    {
+        printResults(op);
+        os_ << "func.call @" << op.strAttr("callee") << "(";
+        for (size_t i = 0; i < op.numOperands(); ++i) {
+            os_ << (i ? ", " : "");
+            printValue(op.operand(i));
+        }
+        os_ << ") : (";
+        for (size_t i = 0; i < op.numOperands(); ++i)
+            os_ << (i ? ", " : "") << op.operand(i).type().str();
+        os_ << ") -> (";
+        for (size_t i = 0; i < op.numResults(); ++i)
+            os_ << (i ? ", " : "") << op.result(i).type().str();
+        os_ << ")";
+    }
+
+    /** Casts print "T to U"; everything else prints a single type. */
+    void
+    printGeneric(const Operation &op)
+    {
+        printResults(op);
+        os_ << op.nameStr();
+        for (size_t i = 0; i < op.numOperands(); ++i) {
+            os_ << (i ? ", " : " ");
+            printValue(op.operand(i));
+        }
+        const std::string &name = op.nameStr();
+        bool is_cast = name == opnames::kExtSI || name == opnames::kExtUI ||
+                       name == opnames::kTruncI ||
+                       name == opnames::kIndexCast ||
+                       name == opnames::kSIToFP ||
+                       name == opnames::kFPToSI;
+        if (is_cast) {
+            os_ << " : " << op.operand(0).type().str() << " to "
+                << op.result().type().str();
+        } else if (op.numResults() > 0) {
+            os_ << " : " << op.result(0).type().str();
+        } else if (op.numOperands() > 0) {
+            os_ << " : " << op.operand(0).type().str();
+        }
+    }
+
+    std::ostream &os_;
+    NameManager names_;
+};
+
+} // namespace
+
+void
+print(const Module &module, std::ostream &os)
+{
+    Printer(os).printModule(module);
+}
+
+void
+print(const Operation &op, std::ostream &os, int indent)
+{
+    Printer(os).printOp(op, indent);
+}
+
+std::string
+toString(const Module &module)
+{
+    std::ostringstream os;
+    print(module, os);
+    return os.str();
+}
+
+std::string
+toString(const Operation &op)
+{
+    std::ostringstream os;
+    print(op, os);
+    return os.str();
+}
+
+} // namespace seer::ir

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Textual IR printing in a compact MLIR-like syntax.
+ *
+ * The printer and parser (parser.h) form a round-trip pair: printing a
+ * module and re-parsing it yields structurally identical IR. This is the
+ * format the benchmark programs are written in and the format emitted to
+ * the user at the end of the SEER flow (standing in for the paper's emitC
+ * SystemC back end).
+ */
+#ifndef SEER_IR_PRINTER_H_
+#define SEER_IR_PRINTER_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "ir/op.h"
+
+namespace seer::ir {
+
+/** Print a whole module. */
+void print(const Module &module, std::ostream &os);
+
+/** Print one operation (and its regions) at the given indent level. */
+void print(const Operation &op, std::ostream &os, int indent = 0);
+
+/** Convenience: print to a string. */
+std::string toString(const Module &module);
+std::string toString(const Operation &op);
+
+} // namespace seer::ir
+
+#endif // SEER_IR_PRINTER_H_

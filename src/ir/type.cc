@@ -1,0 +1,125 @@
+#include "ir/type.h"
+
+#include <sstream>
+
+#include "support/error.h"
+
+namespace seer::ir {
+
+Type
+Type::integer(unsigned width)
+{
+    SEER_ASSERT(width >= 1 && width <= 64, "bad integer width " << width);
+    Type t;
+    t.kind_ = Kind::Integer;
+    t.width_ = width;
+    return t;
+}
+
+Type
+Type::index()
+{
+    Type t;
+    t.kind_ = Kind::Index;
+    t.width_ = 64;
+    return t;
+}
+
+Type
+Type::f64()
+{
+    Type t;
+    t.kind_ = Kind::Float;
+    t.width_ = 64;
+    return t;
+}
+
+Type
+Type::memref(std::vector<int64_t> shape, Type element)
+{
+    SEER_ASSERT(element.isScalar(), "memref element must be scalar");
+    SEER_ASSERT(!shape.empty(), "memref must have at least one dimension");
+    for (int64_t dim : shape)
+        SEER_ASSERT(dim > 0, "memref dims must be positive, got " << dim);
+    Type t;
+    t.kind_ = Kind::MemRef;
+    t.width_ = 0;
+    auto info = std::make_shared<MemRefInfo>();
+    info->shape = std::move(shape);
+    info->elemKind = element.kind();
+    info->elemWidth = element.width_;
+    t.memref_ = std::move(info);
+    return t;
+}
+
+unsigned
+Type::bitwidth() const
+{
+    SEER_ASSERT(isScalar(), "bitwidth() on non-scalar type " << str());
+    return width_;
+}
+
+const std::vector<int64_t> &
+Type::shape() const
+{
+    SEER_ASSERT(isMemRef(), "shape() on non-memref type");
+    return memref_->shape;
+}
+
+Type
+Type::elementType() const
+{
+    SEER_ASSERT(isMemRef(), "elementType() on non-memref type");
+    Type t;
+    t.kind_ = memref_->elemKind;
+    t.width_ = memref_->elemWidth;
+    return t;
+}
+
+int64_t
+Type::numElements() const
+{
+    int64_t n = 1;
+    for (int64_t dim : shape())
+        n *= dim;
+    return n;
+}
+
+bool
+Type::operator==(const Type &other) const
+{
+    if (kind_ != other.kind_)
+        return false;
+    if (kind_ == Kind::MemRef) {
+        return memref_->shape == other.memref_->shape &&
+               memref_->elemKind == other.memref_->elemKind &&
+               memref_->elemWidth == other.memref_->elemWidth;
+    }
+    return width_ == other.width_;
+}
+
+std::string
+Type::str() const
+{
+    switch (kind_) {
+      case Kind::None:
+        return "none";
+      case Kind::Integer:
+        return "i" + std::to_string(width_);
+      case Kind::Index:
+        return "index";
+      case Kind::Float:
+        return "f64";
+      case Kind::MemRef: {
+        std::ostringstream os;
+        os << "memref<";
+        for (int64_t dim : memref_->shape)
+            os << dim << "x";
+        os << elementType().str() << ">";
+        return os.str();
+      }
+    }
+    return "?";
+}
+
+} // namespace seer::ir

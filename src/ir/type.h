@@ -1,0 +1,92 @@
+/**
+ * @file
+ * The SEER IR type system.
+ *
+ * A deliberately small model of the MLIR builtin types that the paper's
+ * dialects (arith, memref, affine, scf, func) need: signless integers of
+ * arbitrary width, the platform `index` type, `f64`, and static-shape
+ * memrefs of scalar elements.
+ */
+#ifndef SEER_IR_TYPE_H_
+#define SEER_IR_TYPE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace seer::ir {
+
+/**
+ * A value type. Cheap to copy; memref payload is shared and immutable.
+ */
+class Type
+{
+  public:
+    enum class Kind : uint8_t {
+        None,    ///< absence of a type (e.g., no result)
+        Integer, ///< signless integer iN
+        Index,   ///< loop induction / memory index type
+        Float,   ///< f64
+        MemRef,  ///< static-shape buffer of scalars
+    };
+
+    /** Default-constructed type is None. */
+    Type() : kind_(Kind::None), width_(0) {}
+
+    static Type none() { return Type(); }
+    static Type i1() { return integer(1); }
+    static Type i32() { return integer(32); }
+    static Type i64() { return integer(64); }
+
+    /** A signless integer of the given bitwidth (1..64). */
+    static Type integer(unsigned width);
+
+    static Type index();
+    static Type f64();
+
+    /** A static-shape memref; element must be a scalar type. */
+    static Type memref(std::vector<int64_t> shape, Type element);
+
+    Kind kind() const { return kind_; }
+    bool isNone() const { return kind_ == Kind::None; }
+    bool isInteger() const { return kind_ == Kind::Integer; }
+    bool isIndex() const { return kind_ == Kind::Index; }
+    bool isFloat() const { return kind_ == Kind::Float; }
+    bool isMemRef() const { return kind_ == Kind::MemRef; }
+    bool isScalar() const { return !isMemRef() && !isNone(); }
+
+    /** Integer bitwidth; index is modeled as 64 bits wide. */
+    unsigned bitwidth() const;
+
+    /** Memref shape; only valid for memrefs. */
+    const std::vector<int64_t> &shape() const;
+
+    /** Memref element type; only valid for memrefs. */
+    Type elementType() const;
+
+    /** Total element count of a memref. */
+    int64_t numElements() const;
+
+    bool operator==(const Type &other) const;
+    bool operator!=(const Type &other) const { return !(*this == other); }
+
+    /** Render in MLIR-like syntax, e.g. "i32", "memref<8x8xi32>". */
+    std::string str() const;
+
+  private:
+    struct MemRefInfo
+    {
+        std::vector<int64_t> shape;
+        Kind elemKind;
+        unsigned elemWidth;
+    };
+
+    Kind kind_;
+    unsigned width_;
+    std::shared_ptr<const MemRefInfo> memref_;
+};
+
+} // namespace seer::ir
+
+#endif // SEER_IR_TYPE_H_

@@ -1,0 +1,262 @@
+#include "ir/verifier.h"
+
+#include <set>
+#include <sstream>
+
+#include "ir/ops.h"
+#include "ir/printer.h"
+#include "support/error.h"
+
+namespace seer::ir {
+
+namespace {
+
+class Verifier
+{
+  public:
+    std::string
+    run(const Module &module)
+    {
+        try {
+            for (const auto &op : module.ops()) {
+                if (!isa(*op, opnames::kFunc))
+                    fail(*op, "only func.func allowed at top level");
+                visible_.emplace_back();
+                verifyOp(*op);
+                visible_.pop_back();
+            }
+        } catch (const FatalError &err) {
+            return err.what();
+        }
+        return "";
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const Operation &op, const std::string &msg)
+    {
+        std::ostringstream os;
+        os << "verification failed: " << msg << "\n  at op: ";
+        print(op, os);
+        fatal(os.str());
+    }
+
+    bool
+    isVisible(Value v) const
+    {
+        for (const auto &scope : visible_) {
+            if (scope.count(v.impl()))
+                return true;
+        }
+        return false;
+    }
+
+    void
+    verifyOp(const Operation &op)
+    {
+        if (!isRegisteredOp(op.name()))
+            fail(op, "unregistered op '" + op.nameStr() + "'");
+        const OpInfo &info = opInfo(op.name());
+
+        if (info.numOperands >= 0 &&
+            op.numOperands() != static_cast<size_t>(info.numOperands)) {
+            fail(op, MsgBuilder() << "expected " << info.numOperands
+                                  << " operands, got "
+                                  << op.numOperands());
+        }
+        if (info.numResults >= 0 &&
+            op.numResults() != static_cast<size_t>(info.numResults)) {
+            fail(op, MsgBuilder() << "expected " << info.numResults
+                                  << " results, got " << op.numResults());
+        }
+        if (op.numRegions() != static_cast<size_t>(info.numRegions))
+            fail(op, "wrong region count");
+
+        for (Value operand : op.operands()) {
+            if (!operand)
+                fail(op, "null operand");
+            if (!isVisible(operand))
+                fail(op, "operand does not dominate this use");
+        }
+
+        verifyTypes(op);
+
+        for (size_t i = 0; i < op.numRegions(); ++i) {
+            if (op.region(i).empty())
+                fail(op, "region has no block");
+            verifyBlock(op, op.region(i).block(), i);
+        }
+
+        // Results become visible after the op.
+        for (size_t i = 0; i < op.numResults(); ++i)
+            visible_.back().insert(op.result(i).impl());
+    }
+
+    void
+    verifyBlock(const Operation &parent, const Block &block,
+                size_t region_index)
+    {
+        visible_.emplace_back();
+        for (size_t i = 0; i < block.numArgs(); ++i)
+            visible_.back().insert(block.arg(i).impl());
+
+        if (block.empty())
+            fail(parent, "empty block (missing terminator)");
+        size_t index = 0;
+        for (const auto &op : block.ops()) {
+            bool is_last = ++index == block.size();
+            if (isTerminator(*op) != is_last) {
+                fail(*op, is_last ? "block must end with a terminator"
+                                  : "terminator before end of block");
+            }
+            verifyOp(*op);
+        }
+        verifyTerminatorKind(parent, block, region_index);
+        visible_.pop_back();
+    }
+
+    void
+    verifyTerminatorKind(const Operation &parent, const Block &block,
+                         size_t region_index)
+    {
+        const Operation &term = *block.ops().back();
+        const std::string &parent_name = parent.nameStr();
+        if (parent_name == opnames::kFunc) {
+            if (!isa(term, opnames::kReturn))
+                fail(term, "func body must end with func.return");
+            bool has_result = parent.hasAttr("result_type");
+            if (term.numOperands() != (has_result ? 1u : 0u))
+                fail(term, "func.return operand count mismatch");
+        } else if (parent_name == opnames::kAffineFor) {
+            if (!isa(term, opnames::kAffineYield))
+                fail(term, "affine.for body must end with affine.yield");
+        } else if (parent_name == opnames::kIf) {
+            if (!isa(term, opnames::kYield))
+                fail(term, "scf.if branch must end with scf.yield");
+            if (term.numOperands() != parent.numResults())
+                fail(term, "scf.yield operand count must match scf.if "
+                           "results");
+            for (size_t i = 0; i < term.numOperands(); ++i) {
+                if (term.operand(i).type() != parent.result(i).type())
+                    fail(term, "scf.yield operand type mismatch");
+            }
+        } else if (parent_name == opnames::kWhile) {
+            if (region_index == 0) {
+                if (!isa(term, opnames::kCondition))
+                    fail(term, "scf.while condition region must end with "
+                               "scf.condition");
+                if (term.numOperands() != 1 ||
+                    term.operand(0).type() != Type::i1()) {
+                    fail(term, "scf.condition needs one i1 operand");
+                }
+            } else if (!isa(term, opnames::kYield)) {
+                fail(term, "scf.while body must end with scf.yield");
+            }
+        }
+    }
+
+    void
+    verifyTypes(const Operation &op)
+    {
+        const std::string &name = op.nameStr();
+        auto scalar_binary = [&]() {
+            Type t = op.operand(0).type();
+            if (op.operand(1).type() != t)
+                fail(op, "binary op operand types differ");
+            if (op.result().type() != t)
+                fail(op, "binary op result type differs from operands");
+        };
+        if (name == opnames::kAddI || name == opnames::kSubI ||
+            name == opnames::kMulI || name == opnames::kDivSI ||
+            name == opnames::kDivUI || name == opnames::kRemSI ||
+            name == opnames::kRemUI || name == opnames::kAndI ||
+            name == opnames::kOrI || name == opnames::kXOrI ||
+            name == opnames::kShLI || name == opnames::kShRSI ||
+            name == opnames::kShRUI || name == opnames::kMinSI ||
+            name == opnames::kMaxSI) {
+            scalar_binary();
+            if (!op.operand(0).type().isInteger() &&
+                !op.operand(0).type().isIndex()) {
+                fail(op, "integer op on non-integer type");
+            }
+        } else if (name == opnames::kAddF || name == opnames::kSubF ||
+                   name == opnames::kMulF || name == opnames::kDivF) {
+            scalar_binary();
+            if (!op.operand(0).type().isFloat())
+                fail(op, "float op on non-float type");
+        } else if (name == opnames::kCmpI || name == opnames::kCmpF) {
+            if (op.operand(0).type() != op.operand(1).type())
+                fail(op, "cmp operand types differ");
+            if (op.result().type() != Type::i1())
+                fail(op, "cmp result must be i1");
+            if (!op.hasAttr("predicate"))
+                fail(op, "cmp missing predicate attribute");
+        } else if (name == opnames::kSelect) {
+            if (op.operand(0).type() != Type::i1())
+                fail(op, "select condition must be i1");
+            if (op.operand(1).type() != op.operand(2).type() ||
+                op.result().type() != op.operand(1).type()) {
+                fail(op, "select arm/result type mismatch");
+            }
+        } else if (name == opnames::kLoad || name == opnames::kStore) {
+            size_t mem_index = name == opnames::kLoad ? 0 : 1;
+            Type mem_type = op.operand(mem_index).type();
+            if (!mem_type.isMemRef())
+                fail(op, "expected memref operand");
+            size_t num_indices = op.numOperands() - mem_index - 1;
+            if (num_indices != mem_type.shape().size())
+                fail(op, "index count does not match memref rank");
+            for (size_t i = mem_index + 1; i < op.numOperands(); ++i) {
+                if (!op.operand(i).type().isIndex())
+                    fail(op, "memref indices must be index-typed");
+            }
+            if (name == opnames::kLoad) {
+                if (op.result().type() != mem_type.elementType())
+                    fail(op, "load result type != element type");
+            } else if (op.operand(0).type() != mem_type.elementType()) {
+                fail(op, "stored value type != element type");
+            }
+        } else if (name == opnames::kAffineFor) {
+            for (Value operand : op.operands()) {
+                if (!operand.type().isIndex())
+                    fail(op, "affine.for bound operands must be index");
+            }
+            if (getStep(op) <= 0)
+                fail(op, "affine.for step must be positive");
+        } else if (name == opnames::kIf) {
+            if (op.operand(0).type() != Type::i1())
+                fail(op, "scf.if condition must be i1");
+        } else if (name == opnames::kConstant) {
+            if (op.hasAttr("value")) {
+                const Attribute &value = op.attr("value");
+                Type t = op.result().type();
+                if (value.isInt() && !(t.isInteger() || t.isIndex()))
+                    fail(op, "int constant with non-integer type");
+                if (value.isFloat() && !t.isFloat())
+                    fail(op, "float constant with non-float type");
+            } else {
+                fail(op, "constant missing value attribute");
+            }
+        }
+    }
+
+    std::vector<std::set<ValueImpl *>> visible_;
+};
+
+} // namespace
+
+std::string
+verify(const Module &module)
+{
+    return Verifier().run(module);
+}
+
+void
+verifyOrDie(const Module &module)
+{
+    std::string diag = verify(module);
+    if (!diag.empty())
+        fatal(diag);
+}
+
+} // namespace seer::ir

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Structural and type verification of IR modules.
+ *
+ * Every pass and every SeerLang back-translation is followed by a verify()
+ * in tests; a failure indicates a SEER bug, so errors are precise.
+ */
+#ifndef SEER_IR_VERIFIER_H_
+#define SEER_IR_VERIFIER_H_
+
+#include <string>
+
+#include "ir/op.h"
+
+namespace seer::ir {
+
+/**
+ * Verify a module. Returns an empty string on success, else a diagnostic
+ * describing the first violation found.
+ */
+std::string verify(const Module &module);
+
+/** Verify and fatal() with the diagnostic on failure. */
+void verifyOrDie(const Module &module);
+
+} // namespace seer::ir
+
+#endif // SEER_IR_VERIFIER_H_

@@ -1,0 +1,506 @@
+/**
+ * @file
+ * DCE and canonicalization (constant folding, identities, constant
+ * hoisting).
+ */
+#include <set>
+
+#include "ir/interp.h"
+#include "passes/passes.h"
+#include "passes/transform_utils.h"
+#include "support/error.h"
+
+namespace seer::passes {
+
+using namespace ir;
+
+namespace {
+
+void
+collectUses(Operation &func, std::set<ValueImpl *> &used)
+{
+    walk(func, [&](Operation &op) {
+        for (Value operand : op.operands())
+            used.insert(operand.impl());
+    });
+}
+
+bool
+dceOnce(Operation &func)
+{
+    std::set<ValueImpl *> used;
+    collectUses(func, used);
+    bool changed = false;
+    // Erase pure ops (and unused allocs) whose results are all unused.
+    std::vector<Operation *> dead;
+    walk(func, [&](Operation &op) {
+        const OpInfo &info = opInfo(op.name());
+        bool erasable =
+            (info.isPure && op.numRegions() == 0) ||
+            isa(op, opnames::kAlloc);
+        if (!erasable || op.numResults() == 0)
+            return;
+        for (size_t i = 0; i < op.numResults(); ++i) {
+            if (used.count(op.result(i).impl()))
+                return;
+        }
+        dead.push_back(&op);
+    });
+    for (Operation *op : dead) {
+        eraseOp(op);
+        changed = true;
+    }
+    return changed;
+}
+
+/** Evaluate a binary integer op on constants (result wrapped to width). */
+std::optional<int64_t>
+evalIntBinary(const std::string &name, int64_t lhs, int64_t rhs,
+              unsigned width)
+{
+    uint64_t umask = width >= 64 ? ~0ULL : ((1ULL << width) - 1);
+    uint64_t ul = static_cast<uint64_t>(lhs) & umask;
+    uint64_t ur = static_cast<uint64_t>(rhs) & umask;
+    int64_t r;
+    if (name == opnames::kAddI) {
+        r = static_cast<int64_t>(static_cast<uint64_t>(lhs) +
+                                 static_cast<uint64_t>(rhs));
+    } else if (name == opnames::kSubI) {
+        r = static_cast<int64_t>(static_cast<uint64_t>(lhs) -
+                                 static_cast<uint64_t>(rhs));
+    } else if (name == opnames::kMulI) {
+        r = static_cast<int64_t>(static_cast<uint64_t>(lhs) *
+                                 static_cast<uint64_t>(rhs));
+    } else if (name == opnames::kDivSI) {
+        if (rhs == 0)
+            return std::nullopt;
+        r = lhs / rhs;
+    } else if (name == opnames::kRemSI) {
+        if (rhs == 0)
+            return std::nullopt;
+        r = lhs % rhs;
+    } else if (name == opnames::kDivUI) {
+        if (ur == 0)
+            return std::nullopt;
+        r = static_cast<int64_t>(ul / ur);
+    } else if (name == opnames::kRemUI) {
+        if (ur == 0)
+            return std::nullopt;
+        r = static_cast<int64_t>(ul % ur);
+    } else if (name == opnames::kAndI) {
+        r = lhs & rhs;
+    } else if (name == opnames::kOrI) {
+        r = lhs | rhs;
+    } else if (name == opnames::kXOrI) {
+        r = lhs ^ rhs;
+    } else if (name == opnames::kShLI) {
+        r = rhs < 0 || rhs >= 64
+                ? 0
+                : static_cast<int64_t>(static_cast<uint64_t>(lhs) << rhs);
+    } else if (name == opnames::kShRSI) {
+        r = rhs < 0 || rhs >= 64 ? (lhs < 0 ? -1 : 0) : (lhs >> rhs);
+    } else if (name == opnames::kShRUI) {
+        r = rhs < 0 || rhs >= 64 ? 0 : static_cast<int64_t>(ul >> rhs);
+    } else if (name == opnames::kMinSI) {
+        r = std::min(lhs, rhs);
+    } else if (name == opnames::kMaxSI) {
+        r = std::max(lhs, rhs);
+    } else {
+        return std::nullopt;
+    }
+    return wrapToWidth(r, width);
+}
+
+/** Replace all uses of op's single result with `v` and erase op. */
+void
+replaceAndErase(Operation &func, Operation *op, Value v)
+{
+    replaceAllUsesIn(func, op->result(0), v);
+    eraseOp(op);
+}
+
+bool
+foldOps(Operation &func)
+{
+    bool changed = false;
+    std::vector<Operation *> worklist;
+    walk(func, [&](Operation &op) { worklist.push_back(&op); });
+
+    for (Operation *op : worklist) {
+        if (!op->parentBlock())
+            continue; // already erased
+        const std::string &name = op->nameStr();
+        const OpInfo &info = opInfo(op->name());
+        if (!info.isPure || op->numResults() != 1 ||
+            isa(*op, opnames::kConstant)) {
+            continue;
+        }
+
+        // Fully-constant integer ops.
+        if (op->numOperands() == 2 && op->result(0).type().isScalar() &&
+            !op->result(0).type().isFloat()) {
+            auto lhs = getConstantInt(op->operand(0));
+            auto rhs = getConstantInt(op->operand(1));
+            if (lhs && rhs && name != opnames::kCmpI) {
+                if (auto value = evalIntBinary(name, *lhs, *rhs,
+                                               op->result(0)
+                                                   .type()
+                                                   .bitwidth())) {
+                    OpBuilder builder = OpBuilder::before(op);
+                    Value c = builder.intConstant(op->result(0).type(),
+                                                  *value);
+                    replaceAndErase(func, op, c);
+                    changed = true;
+                    continue;
+                }
+            }
+            if (lhs && rhs && name == opnames::kCmpI) {
+                bool r = evalCmpI(parseCmpPred(op->strAttr("predicate")),
+                                  *lhs, *rhs,
+                                  op->operand(0).type().bitwidth());
+                OpBuilder builder = OpBuilder::before(op);
+                Value c = builder.intConstant(Type::i1(),
+                                              static_cast<int64_t>(r));
+                replaceAndErase(func, op, c);
+                changed = true;
+                continue;
+            }
+        }
+
+        // Cast folding: a constant flowing through a cast is a constant
+        // (after unrolling this is what turns variable shift amounts
+        // into free constant shifts).
+        if (op->numOperands() == 1) {
+            auto value = getConstantInt(op->operand(0));
+            if (value) {
+                std::optional<int64_t> folded;
+                unsigned rw = op->result(0).type().isScalar()
+                                  ? op->result(0).type().bitwidth()
+                                  : 64;
+                if (name == opnames::kIndexCast ||
+                    name == opnames::kExtSI) {
+                    folded = *value;
+                } else if (name == opnames::kExtUI) {
+                    unsigned ow = op->operand(0).type().bitwidth();
+                    uint64_t mask =
+                        ow >= 64 ? ~0ULL : ((1ULL << ow) - 1);
+                    folded = static_cast<int64_t>(
+                        static_cast<uint64_t>(*value) & mask);
+                } else if (name == opnames::kTruncI) {
+                    folded = wrapToWidth(*value, rw);
+                }
+                if (folded) {
+                    OpBuilder builder = OpBuilder::before(op);
+                    Value c = builder.intConstant(op->result(0).type(),
+                                                  *folded);
+                    replaceAndErase(func, op, c);
+                    changed = true;
+                    continue;
+                }
+            }
+        }
+
+        // Algebraic identities.
+        auto is_const = [&](size_t i, int64_t v) {
+            auto c = getConstantInt(op->operand(i));
+            return c && *c == v;
+        };
+        if (name == opnames::kAddI || name == opnames::kOrI ||
+            name == opnames::kXOrI || name == opnames::kShLI ||
+            name == opnames::kShRSI || name == opnames::kShRUI ||
+            name == opnames::kSubI) {
+            bool comm = name == opnames::kAddI || name == opnames::kOrI ||
+                        name == opnames::kXOrI;
+            if (is_const(1, 0) || (comm && is_const(0, 0))) {
+                Value keep =
+                    is_const(1, 0) ? op->operand(0) : op->operand(1);
+                replaceAndErase(func, op, keep);
+                changed = true;
+                continue;
+            }
+        }
+        if (name == opnames::kMulI) {
+            if (is_const(1, 1) || is_const(0, 1)) {
+                Value keep =
+                    is_const(1, 1) ? op->operand(0) : op->operand(1);
+                replaceAndErase(func, op, keep);
+                changed = true;
+                continue;
+            }
+            if (is_const(1, 0) || is_const(0, 0)) {
+                OpBuilder builder = OpBuilder::before(op);
+                Value zero =
+                    builder.intConstant(op->result(0).type(), 0);
+                replaceAndErase(func, op, zero);
+                changed = true;
+                continue;
+            }
+        }
+        if (name == opnames::kSelect) {
+            if (auto c = getConstantInt(op->operand(0))) {
+                replaceAndErase(func, op, op->operand(*c ? 1 : 2));
+                changed = true;
+                continue;
+            }
+            if (op->operand(1) == op->operand(2)) {
+                replaceAndErase(func, op, op->operand(1));
+                changed = true;
+                continue;
+            }
+        }
+        if ((name == opnames::kAndI || name == opnames::kOrI) &&
+            op->operand(0) == op->operand(1)) {
+            replaceAndErase(func, op, op->operand(0));
+            changed = true;
+            continue;
+        }
+        if (name == opnames::kXOrI && op->operand(0) == op->operand(1)) {
+            OpBuilder builder = OpBuilder::before(op);
+            Value zero = builder.intConstant(op->result(0).type(), 0);
+            replaceAndErase(func, op, zero);
+            changed = true;
+            continue;
+        }
+    }
+    return changed;
+}
+
+/** Inline scf.if with constant condition; drop zero-trip loops. */
+bool
+simplifyControlFlow(Operation &func)
+{
+    bool changed = false;
+    std::vector<Operation *> worklist;
+    walk(func, [&](Operation &op) {
+        if (isa(op, opnames::kIf) || isa(op, opnames::kAffineFor))
+            worklist.push_back(&op);
+    });
+    // Erasing an op destroys everything nested in it; track the victims
+    // so later worklist entries are not touched after free.
+    std::set<Operation *> erased;
+    auto erase_with_subtree = [&](Operation *op) {
+        walk(*op, [&](Operation &inner) { erased.insert(&inner); });
+        eraseOp(op);
+    };
+    for (Operation *op : worklist) {
+        if (erased.count(op))
+            continue;
+        if (isa(*op, opnames::kAffineFor)) {
+            auto trips = constantTripCount(*op);
+            if (trips && *trips == 0) {
+                erase_with_subtree(op);
+                changed = true;
+            }
+            continue;
+        }
+        auto cond = getConstantInt(op->operand(0));
+        if (!cond)
+            continue;
+        Block &branch = op->region(*cond ? 0 : 1).block();
+        Block *parent = op->parentBlock();
+        auto pos = parent->find(op);
+        std::map<ValueImpl *, Value> mapping;
+        std::vector<Value> yielded;
+        for (const auto &inner : branch.ops()) {
+            if (isTerminator(*inner)) {
+                for (Value v : inner->operands()) {
+                    auto it = mapping.find(v.impl());
+                    yielded.push_back(it != mapping.end() ? it->second
+                                                          : v);
+                }
+                continue;
+            }
+            parent->insert(pos, cloneOp(*inner, mapping));
+        }
+        for (size_t i = 0; i < op->numResults(); ++i)
+            replaceAllUsesIn(func, op->result(i), yielded[i]);
+        erase_with_subtree(op);
+        changed = true;
+    }
+    return changed;
+}
+
+/**
+ * Hoist pure region-free ops out of any region whose parent op they do
+ * not depend on (LICM generalized to ifs and whiles). Division is not
+ * hoisted (speculation could trap). Fixpoint over chains.
+ */
+bool
+hoistPureOps(Operation &func)
+{
+    bool changed = false;
+    bool progress = true;
+    while (progress) {
+        progress = false;
+        std::vector<Operation *> candidates;
+        walk(func, [&](Operation &op) {
+            const OpInfo &info = opInfo(op.name());
+            if (!info.isPure || op.numRegions() > 0 ||
+                isa(op, opnames::kConstant)) {
+                return;
+            }
+            if (isa(op, opnames::kDivSI) || isa(op, opnames::kDivUI) ||
+                isa(op, opnames::kRemSI) || isa(op, opnames::kRemUI)) {
+                return;
+            }
+            if (op.parentOp() && op.parentOp()->parentBlock())
+                candidates.push_back(&op);
+        });
+        for (Operation *op : candidates) {
+            Operation *parent = op->parentOp();
+            if (!parent)
+                continue;
+            bool movable = true;
+            for (Value operand : op->operands()) {
+                if (!isDefinedOutside(operand, *parent))
+                    movable = false;
+            }
+            if (!movable)
+                continue;
+            Operation::Ptr taken =
+                op->parentBlock()->take(op->parentBlock()->find(op));
+            OpBuilder::before(parent).insert(std::move(taken));
+            changed = true;
+            progress = true;
+        }
+    }
+    return changed;
+}
+
+/** Block-local common-subexpression elimination over pure ops. */
+bool
+runCse(Operation &func)
+{
+    bool changed = false;
+    std::vector<Block *> blocks;
+    walk(func, [&](Operation &op) {
+        for (size_t i = 0; i < op.numRegions(); ++i) {
+            if (!op.region(i).empty())
+                blocks.push_back(&op.region(i).block());
+        }
+    });
+    for (Block *block : blocks) {
+        std::map<std::string, Value> seen;
+        std::vector<Operation *> dead;
+        for (auto &op : block->ops()) {
+            const OpInfo &info = opInfo(op->name());
+            if (!info.isPure || op->numRegions() > 0 ||
+                op->numResults() != 1) {
+                continue;
+            }
+            std::string key = op->nameStr();
+            key += '@' + op->result(0).type().str();
+            for (Value operand : op->operands()) {
+                key += ':';
+                key += std::to_string(
+                    reinterpret_cast<uintptr_t>(operand.impl()));
+            }
+            for (const auto &[name, value] : op->attrs()) {
+                key += ':' + name + '=' + value.str();
+            }
+            auto it = seen.find(key);
+            if (it == seen.end()) {
+                seen.emplace(std::move(key), op->result(0));
+            } else {
+                replaceAllUsesIn(func, op->result(0), it->second);
+                dead.push_back(op.get());
+            }
+        }
+        for (Operation *op : dead) {
+            eraseOp(op);
+            changed = true;
+        }
+    }
+    return changed;
+}
+
+/** Hoist constants to the function entry and deduplicate them. */
+bool
+hoistConstants(Operation &func)
+{
+    bool changed = false;
+    Block &entry = func.region(0).block();
+    std::vector<Operation *> constants;
+    walk(func, [&](Operation &op) {
+        if (isa(op, opnames::kConstant))
+            constants.push_back(&op);
+    });
+    // Existing canonical constant per (value, type) at entry.
+    std::map<std::pair<std::string, std::string>, Value> canonical;
+    std::vector<Operation *> keepers;
+    for (Operation *op : constants) {
+        auto key = std::make_pair(op->attr("value").str(),
+                                  op->result().type().str());
+        auto it = canonical.find(key);
+        if (it == canonical.end()) {
+            canonical.emplace(key, op->result());
+            keepers.push_back(op);
+        } else {
+            replaceAllUsesIn(func, op->result(), it->second);
+            eraseOp(op);
+            changed = true;
+        }
+    }
+    // Gather all keepers contiguously at the entry head (they are pure
+    // and operand-free, so this always preserves dominance); this is
+    // what makes unrolled if-ladders adjacent for if-correlation.
+    bool needs_gather = false;
+    {
+        size_t index = 0;
+        for (const auto &op : entry.ops()) {
+            if (index < keepers.size()) {
+                if (op.get() != keepers[index])
+                    needs_gather = true;
+                ++index;
+            }
+        }
+        if (index < keepers.size())
+            needs_gather = true; // some keepers live in nested blocks
+    }
+    if (needs_gather) {
+        auto anchor = entry.ops().begin();
+        for (Operation *op : keepers) {
+            auto pos = op->parentBlock()->find(op);
+            if (op->parentBlock() == &entry && pos == anchor) {
+                ++anchor;
+                continue;
+            }
+            Operation::Ptr taken = op->parentBlock()->take(pos);
+            entry.insert(anchor, std::move(taken));
+            changed = true;
+        }
+    }
+    return changed;
+}
+
+} // namespace
+
+bool
+runDce(Operation &func)
+{
+    bool changed = false;
+    while (dceOnce(func))
+        changed = true;
+    return changed;
+}
+
+bool
+canonicalize(Operation &func)
+{
+    bool changed = false;
+    for (int round = 0; round < 16; ++round) {
+        bool round_changed = false;
+        round_changed |= foldOps(func);
+        round_changed |= simplifyControlFlow(func);
+        round_changed |= hoistConstants(func);
+        round_changed |= hoistPureOps(func);
+        round_changed |= runCse(func);
+        round_changed |= runDce(func);
+        if (!round_changed)
+            break;
+        changed = true;
+    }
+    return changed;
+}
+
+} // namespace seer::passes

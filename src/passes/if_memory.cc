@@ -1,0 +1,468 @@
+/**
+ * @file
+ * If conversion, if correlation, control-flow mux, memory forwarding and
+ * memory reuse.
+ */
+#include <set>
+
+#include "passes/passes.h"
+#include "passes/transform_utils.h"
+#include "support/error.h"
+
+namespace seer::passes {
+
+using namespace ir;
+
+namespace {
+
+/**
+ * Conservative speculation check for a load: every index must be affine
+ * with a provable range inside the memref shape, given the constant
+ * ranges of enclosing loop ivs.
+ */
+bool
+loadSpeculatable(Operation &load)
+{
+    const auto &shape = load.operand(0).type().shape();
+    for (size_t d = 0; d < shape.size(); ++d) {
+        Value index = load.operand(1 + d);
+        auto expr = analyzeAffine(index);
+        if (!expr)
+            return false;
+        int64_t lo = expr->constant, hi = expr->constant;
+        for (const auto &[base, coeff] : expr->coeffs) {
+            Value base_value(base);
+            // Base must be an induction variable of an enclosing
+            // affine.for with constant bounds.
+            Block *owner = base_value.ownerBlock();
+            if (!owner || !owner->parentRegion() ||
+                !owner->parentRegion()->parentOp()) {
+                return false;
+            }
+            Operation *loop = owner->parentRegion()->parentOp();
+            if (!isa(*loop, opnames::kAffineFor))
+                return false;
+            AffineBound lb = getLowerBound(*loop);
+            auto trips = constantTripCount(*loop);
+            if (!lb.isConstant() || !trips || *trips == 0)
+                return false;
+            int64_t iv_lo = lb.constant;
+            int64_t iv_hi =
+                lb.constant + (*trips - 1) * getStep(*loop);
+            int64_t a = coeff * iv_lo, b = coeff * iv_hi;
+            lo += std::min(a, b);
+            hi += std::max(a, b);
+        }
+        if (lo < 0 || hi >= shape[d])
+            return false;
+    }
+    return true;
+}
+
+/** Ops a branch may contain for if-conversion. */
+bool
+branchConvertible(Block &branch)
+{
+    bool store_seen_for_memref = false;
+    std::set<ValueImpl *> stored_memrefs;
+    for (const auto &op : branch.ops()) {
+        if (isTerminator(*op))
+            continue;
+        if (isa(*op, opnames::kStore)) {
+            stored_memrefs.insert(op->operand(1).impl());
+            store_seen_for_memref = true;
+            continue;
+        }
+        if (isa(*op, opnames::kLoad)) {
+            // A load after a store to the same memref would be hoisted
+            // above the store: refuse.
+            if (stored_memrefs.count(op->operand(0).impl()))
+                return false;
+            if (!loadSpeculatable(*op))
+                return false;
+            continue;
+        }
+        const OpInfo &info = opInfo(op->name());
+        if (!info.isPure || op->numRegions() > 0)
+            return false;
+        // Speculating a division can introduce a trap.
+        if (isa(*op, opnames::kDivSI) || isa(*op, opnames::kDivUI) ||
+            isa(*op, opnames::kRemSI) || isa(*op, opnames::kRemUI)) {
+            return false;
+        }
+    }
+    (void)store_seen_for_memref;
+    return true;
+}
+
+/** Hoist branch ops before `if_op`; stores become read-modify-write. */
+void
+convertBranch(Operation &if_op, Block &branch, Value cond, bool is_then,
+              std::map<ValueImpl *, Value> &mapping)
+{
+    OpBuilder builder = OpBuilder::before(&if_op);
+    for (const auto &op : branch.ops()) {
+        if (isTerminator(*op))
+            continue;
+        if (isa(*op, opnames::kStore)) {
+            Value stored = op->operand(0);
+            auto it = mapping.find(stored.impl());
+            if (it != mapping.end())
+                stored = it->second;
+            Value memref = op->operand(1);
+            std::vector<Value> indices;
+            for (size_t i = 2; i < op->numOperands(); ++i) {
+                Value index = op->operand(i);
+                auto mapped = mapping.find(index.impl());
+                indices.push_back(mapped != mapping.end() ? mapped->second
+                                                          : index);
+            }
+            Value old = builder.load(memref, indices);
+            Value merged = is_then ? builder.select(cond, stored, old)
+                                   : builder.select(cond, old, stored);
+            builder.store(merged, memref, indices);
+            continue;
+        }
+        builder.insert(cloneOp(*op, mapping));
+    }
+}
+
+} // namespace
+
+bool
+convertIf(Operation &if_op)
+{
+    if (!isa(if_op, opnames::kIf))
+        return false;
+    Block &then_block = if_op.region(0).block();
+    Block &else_block = if_op.region(1).block();
+    if (!branchConvertible(then_block) || !branchConvertible(else_block))
+        return false;
+    // Bound the duplicated work: if conversion of very large branches is
+    // rarely profitable at the source level.
+    if (numRealOps(then_block) + numRealOps(else_block) > 64)
+        return false;
+
+    Value cond = if_op.operand(0);
+    Operation *func = &if_op;
+    while (func->parentOp())
+        func = func->parentOp();
+
+    std::map<ValueImpl *, Value> then_map, else_map;
+    convertBranch(if_op, then_block, cond, /*is_then=*/true, then_map);
+    convertBranch(if_op, else_block, cond, /*is_then=*/false, else_map);
+
+    // Results become selects over the two yields.
+    if (if_op.numResults() > 0) {
+        OpBuilder builder = OpBuilder::before(&if_op);
+        const Operation &then_yield = *then_block.ops().back();
+        const Operation &else_yield = *else_block.ops().back();
+        for (size_t i = 0; i < if_op.numResults(); ++i) {
+            Value tv = then_yield.operand(i);
+            auto it = then_map.find(tv.impl());
+            if (it != then_map.end())
+                tv = it->second;
+            Value ev = else_yield.operand(i);
+            it = else_map.find(ev.impl());
+            if (it != else_map.end())
+                ev = it->second;
+            Value merged = builder.select(cond, tv, ev);
+            replaceAllUsesIn(*func, if_op.result(i), merged);
+        }
+    }
+    eraseOp(&if_op);
+    return true;
+}
+
+namespace {
+
+/** Is `second_cond` the negation of `first_cond`? */
+bool
+isNegationOf(Value second_cond, Value first_cond)
+{
+    Operation *def = second_cond.definingOp();
+    if (!def)
+        return false;
+    // xor(c, true)
+    if (isa(*def, opnames::kXOrI)) {
+        for (int side = 0; side < 2; ++side) {
+            auto c = getConstantInt(def->operand(1 - side));
+            if (def->operand(side) == first_cond && c && *c == 1)
+                return true;
+        }
+    }
+    // cmp with inverted predicate on same operands
+    Operation *first_def = first_cond.definingOp();
+    if (first_def && isa(*def, opnames::kCmpI) &&
+        isa(*first_def, opnames::kCmpI) &&
+        def->operand(0) == first_def->operand(0) &&
+        def->operand(1) == first_def->operand(1)) {
+        static const std::map<std::string, std::string> inverse = {
+            {"eq", "ne"},   {"ne", "eq"},   {"slt", "sge"},
+            {"sge", "slt"}, {"sgt", "sle"}, {"sle", "sgt"},
+            {"ult", "uge"}, {"uge", "ult"}, {"ugt", "ule"},
+            {"ule", "ugt"},
+        };
+        auto it = inverse.find(first_def->strAttr("predicate"));
+        if (it != inverse.end() &&
+            def->strAttr("predicate") == it->second) {
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+appendBranch(Block &dst, Block &src)
+{
+    std::map<ValueImpl *, Value> mapping;
+    auto pos = dst.ops().end();
+    if (!dst.empty() && isTerminator(dst.back()))
+        --pos;
+    for (const auto &op : src.ops()) {
+        if (isTerminator(*op))
+            continue;
+        dst.insert(pos, cloneOp(*op, mapping));
+    }
+}
+
+} // namespace
+
+bool
+correlateIfs(Operation &first, Operation &second)
+{
+    if (!isa(first, opnames::kIf) || !isa(second, opnames::kIf))
+        return false;
+    if (first.numResults() > 0 || second.numResults() > 0)
+        return false;
+    if (first.parentBlock() != second.parentBlock())
+        return false;
+    // Adjacency required.
+    Block *parent = first.parentBlock();
+    auto it = parent->find(&first);
+    ++it;
+    if (it == parent->ops().end() || it->get() != &second)
+        return false;
+
+    if (second.operand(0) == first.operand(0)) {
+        appendBranch(first.region(0).block(), second.region(0).block());
+        appendBranch(first.region(1).block(), second.region(1).block());
+        eraseOp(&second);
+        return true;
+    }
+    if (isNegationOf(second.operand(0), first.operand(0))) {
+        appendBranch(first.region(0).block(), second.region(1).block());
+        appendBranch(first.region(1).block(), second.region(0).block());
+        eraseOp(&second);
+        return true;
+    }
+    return false;
+}
+
+bool
+reuseMemory(Operation &loop)
+{
+    if (!isa(loop, opnames::kAffineFor))
+        return false;
+    // Hoisting executes the load even when the loop would not run at
+    // all, so require a provably positive trip count.
+    auto trips = constantTripCount(loop);
+    if (!trips || *trips < 1)
+        return false;
+    // Memrefs stored anywhere inside the loop are not read-only.
+    std::set<ValueImpl *> written;
+    walk(loop, [&](Operation &op) {
+        if (isa(op, opnames::kStore))
+            written.insert(op.operand(1).impl());
+    });
+    bool changed = false;
+    Block &body = loop.region(0).block();
+    std::vector<Operation *> hoistable;
+    for (const auto &op : body.ops()) {
+        if (!isa(*op, opnames::kLoad))
+            continue;
+        if (written.count(op->operand(0).impl()))
+            continue;
+        bool invariant = true;
+        for (Value operand : op->operands()) {
+            if (!isDefinedOutside(operand, loop))
+                invariant = false;
+        }
+        if (invariant)
+            hoistable.push_back(op.get());
+    }
+    for (Operation *op : hoistable) {
+        auto pos = body.find(op);
+        Operation::Ptr taken = body.take(pos);
+        OpBuilder::before(&loop).insert(std::move(taken));
+        changed = true;
+    }
+    return changed;
+}
+
+bool
+muxControlFlow(Operation &if_op)
+{
+    if (!isa(if_op, opnames::kIf) || if_op.numResults() > 0)
+        return false;
+    Block &then_block = if_op.region(0).block();
+    Block &else_block = if_op.region(1).block();
+    // Shape: each branch is exactly one store (plus terminator) and the
+    // two stores hit the same address.
+    if (numRealOps(then_block) != 1 || numRealOps(else_block) != 1)
+        return false;
+    Operation &then_store = then_block.front();
+    Operation &else_store = else_block.front();
+    if (!isa(then_store, opnames::kStore) ||
+        !isa(else_store, opnames::kStore)) {
+        return false;
+    }
+    if (!sameAddress(then_store, else_store))
+        return false;
+    // Both stored values must dominate the if (defined outside it).
+    auto defined_outside_if = [&](Value v) {
+        Operation *def = v.definingOp();
+        if (def)
+            return !def->isInside(&if_op);
+        Block *owner = v.ownerBlock();
+        for (Operation *op = owner->parentRegion()->parentOp(); op;
+             op = op->parentOp()) {
+            if (op == &if_op)
+                return false;
+        }
+        return true;
+    };
+    for (Value v : then_store.operands()) {
+        if (!defined_outside_if(v))
+            return false;
+    }
+    for (Value v : else_store.operands()) {
+        if (!defined_outside_if(v))
+            return false;
+    }
+
+    OpBuilder builder = OpBuilder::before(&if_op);
+    Value merged = builder.select(if_op.operand(0), then_store.operand(0),
+                                  else_store.operand(0));
+    Value memref = then_store.operand(1);
+    std::vector<Value> indices;
+    for (size_t i = 2; i < then_store.numOperands(); ++i)
+        indices.push_back(then_store.operand(i));
+    builder.store(merged, memref, indices);
+    eraseOp(&if_op);
+    return true;
+}
+
+namespace {
+
+/** Forward memory within one straight-line block. */
+bool
+forwardInBlock(Operation &func, Block &block)
+{
+    struct Entry
+    {
+        Operation *access; // defining store or load
+        Value value;       // stored/loaded value
+    };
+    bool changed = false;
+    // Available: last known value per address; keyed by representative op.
+    std::vector<Entry> available;
+    // Pending dead-store candidates: last store per address with no
+    // later read of that memref.
+    std::vector<Operation *> stores_no_read_yet;
+
+    auto provably_distinct = [](Operation &a, Operation &b) {
+        size_t mem_a = isa(a, opnames::kStore) ? 1 : 0;
+        size_t mem_b = isa(b, opnames::kStore) ? 1 : 0;
+        if (a.operand(mem_a) != b.operand(mem_b))
+            return true; // different memrefs never alias here
+        size_t rank = a.numOperands() - mem_a - 1;
+        for (size_t d = 0; d < rank; ++d) {
+            auto ea = analyzeAffine(a.operand(mem_a + 1 + d));
+            auto eb = analyzeAffine(b.operand(mem_b + 1 + d));
+            if (!ea || !eb)
+                continue;
+            LinearExpr diff = *ea - *eb;
+            if (diff.isConstant() && diff.constant != 0)
+                return true;
+        }
+        return false;
+    };
+
+    std::vector<Operation *> to_erase;
+    for (auto it = block.ops().begin(); it != block.ops().end(); ++it) {
+        Operation &op = **it;
+        if (opInfo(op.name()).isControlFlow ||
+            isa(op, opnames::kCall)) {
+            available.clear();
+            stores_no_read_yet.clear();
+            continue;
+        }
+        if (isa(op, opnames::kLoad)) {
+            // Forward from an available same-address entry. A forwarded
+            // load no longer reads memory, so it must NOT mark earlier
+            // stores as live.
+            bool forwarded = false;
+            for (const Entry &entry : available) {
+                if (sameAddress(*entry.access, op) &&
+                    entry.value.type() == op.result().type()) {
+                    replaceAllUsesIn(func, op.result(), entry.value);
+                    to_erase.push_back(&op);
+                    forwarded = true;
+                    changed = true;
+                    break;
+                }
+            }
+            if (!forwarded) {
+                // A real read: previous stores to this memref are live.
+                std::erase_if(stores_no_read_yet, [&](Operation *store) {
+                    return store->operand(1) == op.operand(0);
+                });
+                available.push_back({&op, op.result()});
+            }
+            continue;
+        }
+        if (isa(op, opnames::kStore)) {
+            // Kill dead earlier store to the same address.
+            for (Operation *store : stores_no_read_yet) {
+                if (store != &op && sameAddress(*store, op)) {
+                    to_erase.push_back(store);
+                    changed = true;
+                }
+            }
+            std::erase_if(stores_no_read_yet, [&](Operation *store) {
+                return sameAddress(*store, op);
+            });
+            // Invalidate may-alias entries.
+            std::erase_if(available, [&](const Entry &entry) {
+                return !provably_distinct(*entry.access, op);
+            });
+            available.push_back({&op, op.operand(0)});
+            stores_no_read_yet.push_back(&op);
+            continue;
+        }
+    }
+    for (Operation *op : to_erase)
+        eraseOp(op);
+    return changed;
+}
+
+} // namespace
+
+bool
+forwardMemory(Operation &func)
+{
+    bool changed = false;
+    std::vector<Block *> blocks;
+    walk(func, [&](Operation &op) {
+        for (size_t i = 0; i < op.numRegions(); ++i) {
+            if (!op.region(i).empty())
+                blocks.push_back(&op.region(i).block());
+        }
+    });
+    for (Block *block : blocks)
+        changed |= forwardInBlock(func, *block);
+    return changed;
+}
+
+} // namespace seer::passes

@@ -1,0 +1,271 @@
+/**
+ * @file
+ * Loop transformations: fusion, complete unrolling, interchange,
+ * flattening, and loop perfection.
+ */
+#include <set>
+
+#include "ir/verifier.h"
+#include "passes/passes.h"
+#include "passes/transform_utils.h"
+#include "support/error.h"
+
+namespace seer::passes {
+
+using namespace ir;
+
+bool
+fuseLoopPair(Operation &loop1, Operation &loop2)
+{
+    if (loop1.parentBlock() != loop2.parentBlock())
+        return false;
+    // Require adjacency so no intervening op observes the intermediate
+    // state (canonicalize hoists constants to make loops adjacent).
+    Block *parent = loop1.parentBlock();
+    auto it = parent->find(&loop1);
+    SEER_ASSERT(it != parent->ops().end(), "loop1 not in parent");
+    ++it;
+    if (it == parent->ops().end() || it->get() != &loop2)
+        return false;
+    if (!canFuseLoops(loop1, loop2))
+        return false;
+
+    inlineLoopBody(loop2, loop1.region(0).block(), inductionVar(loop1));
+    eraseOp(&loop2);
+    return true;
+}
+
+bool
+unrollLoop(Operation &loop, int64_t max_trip)
+{
+    if (!isa(loop, opnames::kAffineFor))
+        return false;
+    auto trips = constantTripCount(loop);
+    AffineBound lb = getLowerBound(loop);
+    if (!trips || !lb.isConstant() || *trips > max_trip)
+        return false;
+    int64_t step = getStep(loop);
+
+    Block *parent = loop.parentBlock();
+    OpBuilder builder = OpBuilder::before(&loop);
+    for (int64_t i = 0; i < *trips; ++i) {
+        Value iv = builder.indexConstant(lb.constant + i * step);
+        // inlineLoopBody inserts before the parent terminator; we need
+        // insertion right before the loop, so clone manually.
+        Block &body = loop.region(0).block();
+        std::map<ValueImpl *, Value> mapping;
+        mapping[body.arg(0).impl()] = iv;
+        for (const auto &op : body.ops()) {
+            if (isTerminator(*op))
+                continue;
+            builder.insert(cloneOp(*op, mapping));
+        }
+    }
+    (void)parent;
+    eraseOp(&loop);
+    return true;
+}
+
+bool
+interchangeLoops(Operation &outer)
+{
+    Operation *inner = perfectlyNestedInner(outer);
+    if (!inner || !canInterchangeLoops(outer, *inner))
+        return false;
+    // Constant rectangular bounds: swap the bound attributes, then swap
+    // the iv uses inside the innermost body.
+    AffineBound outer_lb = getLowerBound(outer);
+    AffineBound outer_ub = getUpperBound(outer);
+    int64_t outer_step = getStep(outer);
+    AffineBound inner_lb = getLowerBound(*inner);
+    AffineBound inner_ub = getUpperBound(*inner);
+    int64_t inner_step = getStep(*inner);
+    if (!outer_lb.isConstant() || !outer_ub.isConstant() ||
+        !inner_lb.isConstant() || !inner_ub.isConstant()) {
+        return false;
+    }
+    setLoopBounds(outer, inner_lb, inner_ub, inner_step);
+    setLoopBounds(*inner, outer_lb, outer_ub, outer_step);
+
+    Value outer_iv = inductionVar(outer);
+    Value inner_iv = inductionVar(*inner);
+    walk(inner->region(0).block(), [&](Operation &op) {
+        for (size_t i = 0; i < op.numOperands(); ++i) {
+            if (op.operand(i) == outer_iv)
+                op.setOperand(i, inner_iv);
+            else if (op.operand(i) == inner_iv)
+                op.setOperand(i, outer_iv);
+        }
+    });
+    // Swap printer name hints so the text reads naturally.
+    std::string hint = outer_iv.impl()->nameHint();
+    outer_iv.impl()->setNameHint(inner_iv.impl()->nameHint());
+    inner_iv.impl()->setNameHint(hint);
+    return true;
+}
+
+bool
+flattenLoops(Operation &outer, Operation **result)
+{
+    Operation *inner = perfectlyNestedInner(outer);
+    if (!inner)
+        return false;
+    AffineBound outer_lb = getLowerBound(outer);
+    AffineBound inner_lb = getLowerBound(*inner);
+    auto outer_trips = constantTripCount(outer);
+    auto inner_trips = constantTripCount(*inner);
+    if (!outer_trips || !inner_trips || !outer_lb.isConstant() ||
+        !inner_lb.isConstant()) {
+        return false;
+    }
+    if (*outer_trips == 0 || *inner_trips == 0)
+        return false;
+    int64_t outer_step = getStep(outer);
+    int64_t inner_step = getStep(*inner);
+
+    OpBuilder builder = OpBuilder::before(&outer);
+    Operation *flat = builder.affineFor(0, *outer_trips * *inner_trips, 1,
+                                        "k");
+    Block &body = flat->region(0).block();
+    Value k = body.arg(0);
+    OpBuilder inner_builder = OpBuilder::atEnd(body);
+    // i = lb_o + (k / Ni) * step_o ; j = lb_i + (k % Ni) * step_i.
+    Value ni = inner_builder.indexConstant(*inner_trips);
+    Value q = inner_builder.binary(opnames::kDivSI, k, ni);
+    Value r = inner_builder.binary(opnames::kRemSI, k, ni);
+    auto affineize = [&](Value base, int64_t lb, int64_t step) {
+        Value v = base;
+        if (step != 1) {
+            Value s = inner_builder.indexConstant(step);
+            v = inner_builder.binary(opnames::kMulI, v, s);
+        }
+        if (lb != 0) {
+            Value c = inner_builder.indexConstant(lb);
+            v = inner_builder.binary(opnames::kAddI, v, c);
+        }
+        return v;
+    };
+    Value i = affineize(q, outer_lb.constant, outer_step);
+    Value j = affineize(r, inner_lb.constant, inner_step);
+
+    std::map<ValueImpl *, Value> mapping;
+    mapping[inductionVar(outer).impl()] = i;
+    mapping[inductionVar(*inner).impl()] = j;
+    for (const auto &op : inner->region(0).block().ops()) {
+        if (isTerminator(*op))
+            continue;
+        inner_builder.insert(cloneOp(*op, mapping));
+    }
+    inner_builder.create(opnames::kAffineYield, {}, {});
+    eraseOp(&outer);
+    if (result)
+        *result = flat;
+    return true;
+}
+
+bool
+perfectLoop(Operation &outer)
+{
+    if (!isa(outer, opnames::kAffineFor))
+        return false;
+    Block &body = outer.region(0).block();
+    // Identify [pre..., inner, post..., terminator].
+    Operation *inner = nullptr;
+    std::vector<Operation *> pre, post;
+    for (const auto &op : body.ops()) {
+        if (isTerminator(*op))
+            continue;
+        if (isa(*op, opnames::kAffineFor)) {
+            if (inner)
+                return false; // two inner loops: not this pass's shape
+            inner = op.get();
+        } else if (!inner) {
+            pre.push_back(op.get());
+        } else {
+            post.push_back(op.get());
+        }
+    }
+    if (!inner || (pre.empty() && post.empty()))
+        return false;
+    // No nested control flow among the moved ops.
+    for (Operation *op : pre) {
+        if (opInfo(op->name()).isControlFlow || op->numRegions() > 0)
+            return false;
+    }
+    for (Operation *op : post) {
+        if (opInfo(op->name()).isControlFlow || op->numRegions() > 0)
+            return false;
+    }
+    AffineBound inner_lb = getLowerBound(*inner);
+    auto inner_trips = constantTripCount(*inner);
+    if (!inner_lb.isConstant() || !inner_trips || *inner_trips < 1)
+        return false;
+    int64_t step = getStep(*inner);
+    int64_t first = inner_lb.constant;
+    int64_t last = first + (*inner_trips - 1) * step;
+
+    // Inner bounds must not depend on pre-op results.
+    for (Value operand : inner->operands()) {
+        for (Operation *op : pre) {
+            for (size_t r = 0; r < op->numResults(); ++r) {
+                if (operand == op->result(r))
+                    return false;
+            }
+        }
+    }
+    // Pre results may only feed pre ops; post results only post ops
+    // (otherwise predication would break SSA dominance).
+    auto results_leak = [&](const std::vector<Operation *> &group) {
+        std::set<ValueImpl *> produced;
+        for (Operation *op : group) {
+            for (size_t r = 0; r < op->numResults(); ++r)
+                produced.insert(op->result(r).impl());
+        }
+        bool leak = false;
+        walk(outer, [&](Operation &user) {
+            bool in_group = false;
+            for (Operation *op : group) {
+                if (&user == op || user.isInside(op))
+                    in_group = true;
+            }
+            if (in_group)
+                return;
+            for (Value operand : user.operands()) {
+                if (produced.count(operand.impl()))
+                    leak = true;
+            }
+        });
+        return leak;
+    };
+    if (results_leak(pre) || results_leak(post))
+        return false;
+
+    Block &inner_body = inner->region(0).block();
+    Value j = inner_body.arg(0);
+
+    auto predicate = [&](const std::vector<Operation *> &group,
+                         int64_t when, bool at_front) {
+        OpBuilder builder =
+            at_front ? OpBuilder::before(&inner_body.front())
+                     : OpBuilder::before(&inner_body.back());
+        Value c = builder.indexConstant(when);
+        Value cond = builder.cmpi(CmpPred::EQ, j, c);
+        Operation *guard = builder.scfIf(cond);
+        OpBuilder guard_builder =
+            OpBuilder::atEnd(guard->region(0).block());
+        for (Operation *op : group) {
+            auto pos = op->parentBlock()->find(op);
+            guard_builder.insert(op->parentBlock()->take(pos));
+        }
+        guard_builder.create(opnames::kYield, {}, {});
+        OpBuilder::atEnd(guard->region(1).block())
+            .create(opnames::kYield, {}, {});
+    };
+    if (!pre.empty())
+        predicate(pre, first, /*at_front=*/true);
+    if (!post.empty())
+        predicate(post, last, /*at_front=*/false);
+    return true;
+}
+
+} // namespace seer::passes

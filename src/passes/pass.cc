@@ -1,0 +1,246 @@
+#include "passes/pass.h"
+
+#include <functional>
+
+#include "ir/analysis.h"
+#include "passes/passes.h"
+#include "support/error.h"
+
+namespace seer::passes {
+
+using namespace ir;
+
+namespace {
+
+/** Collect every affine.for in the function, outermost first. */
+std::vector<Operation *>
+allLoops(Operation &func)
+{
+    std::vector<Operation *> loops;
+    walk(func, [&](Operation &op) {
+        if (isa(op, opnames::kAffineFor))
+            loops.push_back(&op);
+    });
+    return loops;
+}
+
+std::vector<Operation *>
+allIfs(Operation &func)
+{
+    std::vector<Operation *> ifs;
+    walk(func, [&](Operation &op) {
+        if (isa(op, opnames::kIf))
+            ifs.push_back(&op);
+    });
+    return ifs;
+}
+
+/** A pass defined by a scan callback. */
+class LambdaPass : public Pass
+{
+  public:
+    LambdaPass(std::string name, std::function<bool(Operation &)> body)
+        : name_(std::move(name)), body_(std::move(body))
+    {}
+
+    std::string name() const override { return name_; }
+    bool run(Operation &func) override { return body_(func); }
+
+  private:
+    std::string name_;
+    std::function<bool(Operation &)> body_;
+};
+
+/** Apply `attempt` to adjacent loop pairs until one application works. */
+bool
+scanLoopPairs(Operation &func,
+              const std::function<bool(Operation &, Operation &)> &attempt)
+{
+    bool changed = false;
+    bool progress = true;
+    while (progress) {
+        progress = false;
+        std::vector<Block *> blocks;
+        walk(func, [&](Operation &op) {
+            for (size_t i = 0; i < op.numRegions(); ++i) {
+                if (!op.region(i).empty())
+                    blocks.push_back(&op.region(i).block());
+            }
+        });
+        for (Block *block : blocks) {
+            auto loops = topLevelLoops(*block);
+            for (size_t i = 0; i + 1 < loops.size(); ++i) {
+                if (attempt(*loops[i], *loops[i + 1])) {
+                    changed = true;
+                    progress = true;
+                    break;
+                }
+            }
+            if (progress)
+                break;
+        }
+    }
+    return changed;
+}
+
+/** Apply `attempt` to each collected op once per fixpoint round. */
+template <typename Collect, typename Attempt>
+bool
+scanOnce(Operation &func, Collect collect, Attempt attempt)
+{
+    bool changed = false;
+    bool progress = true;
+    while (progress) {
+        progress = false;
+        for (Operation *op : collect(func)) {
+            if (attempt(*op)) {
+                changed = true;
+                progress = true;
+                break; // re-collect: the transformation invalidated lists
+            }
+        }
+    }
+    return changed;
+}
+
+} // namespace
+
+std::unique_ptr<Pass>
+createPass(const std::string &name)
+{
+    if (name == "dce") {
+        return std::make_unique<LambdaPass>(
+            name, [](Operation &f) { return runDce(f); });
+    }
+    if (name == "canonicalize") {
+        return std::make_unique<LambdaPass>(
+            name, [](Operation &f) { return canonicalize(f); });
+    }
+    if (name == "loop-fusion") {
+        return std::make_unique<LambdaPass>(name, [](Operation &f) {
+            return scanLoopPairs(f, [](Operation &a, Operation &b) {
+                return fuseLoopPair(a, b);
+            });
+        });
+    }
+    if (name == "loop-unroll") {
+        return std::make_unique<LambdaPass>(name, [](Operation &f) {
+            return scanOnce(
+                f, allLoops, [](Operation &loop) {
+                    // Only unroll innermost loops with small trip counts.
+                    bool has_inner = false;
+                    walk(loop.region(0).block(), [&](Operation &op) {
+                        if (isa(op, opnames::kAffineFor))
+                            has_inner = true;
+                    });
+                    if (has_inner)
+                        return false;
+                    return unrollLoop(loop, 64);
+                });
+        });
+    }
+    if (name == "loop-interchange") {
+        // Interchange is an involution: a fixpoint scan would toggle the
+        // same nest forever, so sweep the loop list exactly once.
+        return std::make_unique<LambdaPass>(name, [](Operation &f) {
+            bool changed = false;
+            for (Operation *loop : allLoops(f))
+                changed |= interchangeLoops(*loop);
+            return changed;
+        });
+    }
+    if (name == "loop-flatten") {
+        return std::make_unique<LambdaPass>(name, [](Operation &f) {
+            return scanOnce(f, allLoops, [](Operation &loop) {
+                return flattenLoops(loop);
+            });
+        });
+    }
+    if (name == "loop-perfection") {
+        return std::make_unique<LambdaPass>(name, [](Operation &f) {
+            return scanOnce(f, allLoops, [](Operation &loop) {
+                return perfectLoop(loop);
+            });
+        });
+    }
+    if (name == "if-conversion") {
+        return std::make_unique<LambdaPass>(name, [](Operation &f) {
+            return scanOnce(f, allIfs, [](Operation &if_op) {
+                return convertIf(if_op);
+            });
+        });
+    }
+    if (name == "memory-forward") {
+        return std::make_unique<LambdaPass>(
+            name, [](Operation &f) { return forwardMemory(f); });
+    }
+    if (name == "if-correlation") {
+        return std::make_unique<LambdaPass>(name, [](Operation &f) {
+            return scanOnce(f, allIfs, [](Operation &if_op) {
+                Block *parent = if_op.parentBlock();
+                auto it = parent->find(&if_op);
+                ++it;
+                if (it == parent->ops().end() ||
+                    !isa(**it, opnames::kIf)) {
+                    return false;
+                }
+                return correlateIfs(if_op, **it);
+            });
+        });
+    }
+    if (name == "memory-reuse") {
+        return std::make_unique<LambdaPass>(name, [](Operation &f) {
+            return scanOnce(f, allLoops, [](Operation &loop) {
+                return reuseMemory(loop);
+            });
+        });
+    }
+    if (name == "cf-mux") {
+        return std::make_unique<LambdaPass>(name, [](Operation &f) {
+            return scanOnce(f, allIfs, [](Operation &if_op) {
+                return muxControlFlow(if_op);
+            });
+        });
+    }
+    fatal("unknown pass '" + name + "'");
+}
+
+std::vector<std::string>
+allPassNames()
+{
+    return {"loop-unroll",    "loop-fusion",   "loop-interchange",
+            "loop-flatten",   "loop-perfection", "if-conversion",
+            "memory-forward", "if-correlation", "memory-reuse",
+            "cf-mux"};
+}
+
+bool
+runPassOnModule(Pass &pass, Module &module)
+{
+    bool changed = false;
+    for (auto &op : module.ops()) {
+        if (isa(*op, opnames::kFunc))
+            changed |= pass.run(*op);
+    }
+    return changed;
+}
+
+bool
+runPipeline(Module &module, const std::vector<std::string> &pass_names,
+            int max_rounds)
+{
+    bool changed = false;
+    for (int round = 0; round < max_rounds; ++round) {
+        bool round_changed = false;
+        for (const std::string &name : pass_names) {
+            auto pass = createPass(name);
+            round_changed |= runPassOnModule(*pass, module);
+        }
+        if (!round_changed)
+            break;
+        changed = true;
+    }
+    return changed;
+}
+
+} // namespace seer::passes

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * The pass framework for control-path transformations.
+ *
+ * Each of the paper's ten control-flow rewrites (Section 4.3) is a Pass.
+ * Passes run on one function and report whether they changed anything;
+ * SEER additionally calls their *targeted* entry points (e.g. "fuse this
+ * specific loop pair") from dynamic e-graph rewrites.
+ */
+#ifndef SEER_PASSES_PASS_H_
+#define SEER_PASSES_PASS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/op.h"
+
+namespace seer::passes {
+
+/** A function-level transformation. */
+class Pass
+{
+  public:
+    virtual ~Pass() = default;
+
+    /** Stable pass name, e.g. "loop-fusion". */
+    virtual std::string name() const = 0;
+
+    /** Transform `func` (a func.func op); true if the IR changed. */
+    virtual bool run(ir::Operation &func) = 0;
+};
+
+/** Instantiate a registered pass by name; fatal() on unknown names. */
+std::unique_ptr<Pass> createPass(const std::string &name);
+
+/** Names of all registered passes, in the paper's presentation order. */
+std::vector<std::string> allPassNames();
+
+/** Run one pass over every function in a module; true if changed. */
+bool runPassOnModule(Pass &pass, ir::Module &module);
+
+/**
+ * Run the named passes in sequence repeatedly until fixpoint (bounded);
+ * the "fixed pass pipeline" baseline of Figure 1.
+ */
+bool runPipeline(ir::Module &module,
+                 const std::vector<std::string> &pass_names,
+                 int max_rounds = 8);
+
+} // namespace seer::passes
+
+#endif // SEER_PASSES_PASS_H_

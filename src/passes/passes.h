@@ -1,0 +1,72 @@
+/**
+ * @file
+ * The ten control-path transformations of SEER (Section 4.3), plus the
+ * cleanup passes (DCE, canonicalize) they rely on.
+ *
+ * Each transformation exposes:
+ *  - a targeted entry point operating on specific ops, used by the
+ *    dynamic e-graph rewrites ("apply loop fusion to THIS pair"), and
+ *  - a Pass (created via createPass) that scans a function for the first
+ *    opportunities and applies them, used standalone and for Figure 7.
+ */
+#ifndef SEER_PASSES_PASSES_H_
+#define SEER_PASSES_PASSES_H_
+
+#include "passes/pass.h"
+
+namespace seer::passes {
+
+// --- Cleanup -------------------------------------------------------------
+
+/** Dead code elimination over pure ops; true if anything was removed. */
+bool runDce(ir::Operation &func);
+
+/**
+ * Canonicalize: constant folding, algebraic identities (x+0, x*1, x*0,
+ * select with constant condition, ...), constant-condition scf.if
+ * inlining, zero-trip loop removal, and hoisting of arith.constant ops to
+ * the function entry (which enables loop adjacency for fusion).
+ */
+bool canonicalize(ir::Operation &func);
+
+// --- Loop transformations ---------------------------------------------
+
+/** Fuse adjacent loop `loop2` into `loop1` (must satisfy canFuseLoops and
+ *  be adjacent in the same block). */
+bool fuseLoopPair(ir::Operation &loop1, ir::Operation &loop2);
+
+/** Fully unroll a constant-trip-count loop (trip count <= max_trip). */
+bool unrollLoop(ir::Operation &loop, int64_t max_trip = 64);
+
+/** Interchange a perfect 2-nest (outer must satisfy canInterchange). */
+bool interchangeLoops(ir::Operation &outer);
+
+/** Flatten a perfect rectangular 2-nest into a single loop. The new
+ *  loop is reported through `result` when non-null. */
+bool flattenLoops(ir::Operation &outer, ir::Operation **result = nullptr);
+
+/** Make an imperfect nest perfect by predicating pre/post code. */
+bool perfectLoop(ir::Operation &outer);
+
+// --- If / memory transformations ------------------------------------------
+
+/** Convert an scf.if into selects (and read-modify-write stores). */
+bool convertIf(ir::Operation &if_op);
+
+/** Forward stores to loads and drop dead stores within each block. */
+bool forwardMemory(ir::Operation &func);
+
+/** Merge the second of two adjacent scf.if ops with identical (or
+ *  negated) conditions into the first. */
+bool correlateIfs(ir::Operation &first, ir::Operation &second);
+
+/** Hoist loop-invariant read-only loads out of `loop`. */
+bool reuseMemory(ir::Operation &loop);
+
+/** Merge a store present in both branches of an if into one store of a
+ *  select (source-level resource sharing). */
+bool muxControlFlow(ir::Operation &if_op);
+
+} // namespace seer::passes
+
+#endif // SEER_PASSES_PASSES_H_

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * SeerLang symbol encoding.
+ *
+ * SeerLang is the S-expression language that interfaces the IR with the
+ * e-graph (Section 4.2 of the paper). Every operator symbol encodes the
+ * operation name plus its static payload, separated by colons:
+ *
+ *   const:42:i32            integer/index literal
+ *   constf:0x1.8p+1:f64     f64 literal (hex-float for exact round-trip)
+ *   arg:a:memref<8xi32>     function argument leaf
+ *   var:i                   loop induction variable leaf (index typed)
+ *   arith.addi:i32          value op (type-annotated)
+ *   arith.cmpi:slt:i32      compare (predicate + operand type)
+ *   arith.extsi:i8:i32      cast (from + to types)
+ *   memref.load:t7          tagged load   (children: mem, indices...)
+ *   memref.store:t8         tagged store  (children: value, mem, idx...)
+ *   memref.alloc:memref<4xi32>:t9  tagged allocation leaf
+ *   affine.for:i:L3         loop (children: lb, ub, step, body)
+ *   scf.if                  statement if (children: cond, then, else)
+ *   scf.while:t4            while (children: cond-effects, cond, body)
+ *   seq                     statement sequencing (children: a, b)
+ *   nop                     empty statement
+ *   func:name               function root (children: body)
+ *
+ * Memory operations carry a unique tag so that two textually identical
+ * accesses at different program points can never be hash-consed together
+ * (the paper instead assumes a dependence between every pair of memory
+ * ops; the tag realizes exactly that ordering discipline).
+ */
+#ifndef SEER_SEERLANG_ENCODING_H_
+#define SEER_SEERLANG_ENCODING_H_
+
+#include <optional>
+
+#include "egraph/term.h"
+#include "ir/type.h"
+
+namespace seer::sl {
+
+// Symbol comes from support/symbol.h (namespace seer).
+
+// --- Constants ----------------------------------------------------------
+
+Symbol encodeIntConst(int64_t value, ir::Type type);
+Symbol encodeFloatConst(double value);
+
+/** Integer literal (value, type); nullopt if not an integer literal. */
+std::optional<std::pair<int64_t, ir::Type>> decodeIntConst(Symbol symbol);
+std::optional<double> decodeFloatConst(Symbol symbol);
+
+// --- Leaves -------------------------------------------------------------
+
+Symbol encodeArg(const std::string &name, ir::Type type);
+std::optional<std::pair<std::string, ir::Type>> decodeArg(Symbol symbol);
+
+Symbol encodeVar(const std::string &name);
+std::optional<std::string> decodeVar(Symbol symbol);
+
+// --- Value ops ----------------------------------------------------------
+
+/** Generic value op: "<opname>:<field>:<field>..." */
+Symbol encodeOp(const std::string &op_name,
+                const std::vector<std::string> &fields);
+
+/** The IR op name prefix of a symbol ("arith.addi" of "arith.addi:i32"). */
+std::string opNameOf(Symbol symbol);
+
+/** Fields after the op name. */
+std::vector<std::string> fieldsOf(Symbol symbol);
+
+// --- Tagged memory / control symbols -----------------------------------
+
+/** Fresh process-unique tag (t0, t1, ...). */
+std::string freshTag();
+
+/** Fresh loop id (L0, L1, ...). */
+std::string freshLoopId();
+
+Symbol encodeLoad(const std::string &tag);
+Symbol encodeStore(const std::string &tag);
+Symbol encodeAlloc(ir::Type type, const std::string &tag);
+Symbol encodeFor(const std::string &iv_name, const std::string &loop_id);
+Symbol encodeWhile(const std::string &tag);
+
+/** True if the symbol denotes an affine.for term. */
+bool isForSymbol(Symbol symbol);
+
+/** Loop id field of an affine.for symbol. */
+std::string loopIdOf(Symbol symbol);
+
+/** Structural symbols. */
+Symbol seqSymbol();
+Symbol nopSymbol();
+Symbol ifSymbol();
+Symbol funcSymbol(const std::string &name);
+
+/** True for symbols whose terms are statements (effects), not values. */
+bool isStatementSymbol(Symbol symbol);
+
+} // namespace seer::sl
+
+#endif // SEER_SEERLANG_ENCODING_H_

@@ -1,0 +1,406 @@
+#include "seerlang/from_term.h"
+
+#include <set>
+
+#include "ir/builder.h"
+#include "ir/parser.h"
+#include "seerlang/encoding.h"
+#include "support/error.h"
+
+namespace seer::sl {
+
+using namespace ir;
+using eg::Term;
+using eg::TermPtr;
+
+namespace {
+
+void
+collectFreeLeaves(const TermPtr &term, std::set<std::string> &bound_vars,
+                  std::map<std::string, Type> &args,
+                  std::set<std::string> &free_vars)
+{
+    Symbol op = term->op();
+    if (auto arg = decodeArg(op)) {
+        auto [name, type] = *arg;
+        auto it = args.find(name);
+        if (it != args.end() && !(it->second == type))
+            fatal("SeerLang: arg '" + name + "' used at two types");
+        args.emplace(name, type);
+        return;
+    }
+    if (auto var = decodeVar(op)) {
+        if (!bound_vars.count(*var))
+            free_vars.insert(*var);
+        return;
+    }
+    bool is_for = isForSymbol(op);
+    std::string iv;
+    if (is_for) {
+        iv = eg::splitSymbol(op)[1];
+        // Bounds and step are outside the iv scope.
+        for (size_t i = 0; i < 3; ++i) {
+            collectFreeLeaves(term->child(i), bound_vars, args,
+                              free_vars);
+        }
+        bool was_bound = !bound_vars.insert(iv).second;
+        collectFreeLeaves(term->child(3), bound_vars, args, free_vars);
+        if (!was_bound)
+            bound_vars.erase(iv);
+        return;
+    }
+    for (const auto &child : term->children())
+        collectFreeLeaves(child, bound_vars, args, free_vars);
+}
+
+class Emitter
+{
+  public:
+    Module
+    run(const TermPtr &term, const EmitSpec &spec)
+    {
+        Module module;
+        auto func = std::make_unique<Operation>(
+            Symbol(ir::opnames::kFunc));
+        func->setAttr("sym_name", Attribute(spec.func_name));
+        Block &body = func->addRegion().block();
+        pushScope();
+        for (const auto &[name, type] : spec.args)
+            scopes_.back()[name] = body.addArg(type, name);
+
+        TermPtr body_term = term;
+        if (opNameOf(term->op()) == "func")
+            body_term = term->child(0);
+        entry_block_ = &body;
+        OpBuilder builder = OpBuilder::atEnd(body);
+        emitStatement(body_term, builder);
+        builder.create(ir::opnames::kReturn, {}, {});
+        popScope();
+        module.push_back(std::move(func));
+        return module;
+    }
+
+  private:
+    using VnKey = std::pair<Symbol, std::vector<ValueImpl *>>;
+
+    void
+    pushScope()
+    {
+        scopes_.emplace_back();
+        vn_.emplace_back();
+    }
+
+    void
+    popScope()
+    {
+        scopes_.pop_back();
+        vn_.pop_back();
+    }
+
+    Value
+    lookupName(const std::string &name)
+    {
+        for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+            auto found = it->find(name);
+            if (found != it->end())
+                return found->second;
+        }
+        fatal("SeerLang emission: unbound name '" + name + "'");
+    }
+
+    std::optional<Value>
+    vnLookup(const VnKey &key)
+    {
+        for (auto it = vn_.rbegin(); it != vn_.rend(); ++it) {
+            auto found = it->find(key);
+            if (found != it->end())
+                return found->second;
+        }
+        return std::nullopt;
+    }
+
+    void
+    emitStatement(const TermPtr &term, OpBuilder &builder)
+    {
+        Symbol op = term->op();
+        std::string name = opNameOf(op);
+        if (name == "nop")
+            return;
+        if (name == "seq") {
+            emitStatement(term->child(0), builder);
+            emitStatement(term->child(1), builder);
+            return;
+        }
+        if (name == "memref.load" || name == "memref.alloc") {
+            emitValue(term, builder);
+            return;
+        }
+        if (name == "memref.store") {
+            emitStore(term, builder);
+            return;
+        }
+        if (name == "affine.for") {
+            emitFor(term, builder);
+            return;
+        }
+        if (name == "scf.if") {
+            emitIf(term, builder);
+            return;
+        }
+        if (name == "scf.while") {
+            emitWhile(term, builder);
+            return;
+        }
+        fatal("SeerLang emission: '" + name +
+              "' is not a statement operator");
+    }
+
+    void
+    emitStore(const TermPtr &term, OpBuilder &builder)
+    {
+        std::string tag = fieldsOf(term->op())[0];
+        if (!emitted_stores_.insert(tag).second)
+            return; // already materialized at an earlier chain position
+        Value value = emitValue(term->child(0), builder);
+        Value memref = emitValue(term->child(1), builder);
+        std::vector<Value> indices;
+        for (size_t i = 2; i < term->arity(); ++i)
+            indices.push_back(emitValue(term->child(i), builder));
+        builder.store(value, memref, indices);
+    }
+
+    /**
+     * Turn a bound term into an AffineBound: decompose linear structure
+     * when present; otherwise emit the whole expression as one value.
+     */
+    AffineBound
+    emitBound(const TermPtr &term, OpBuilder &builder)
+    {
+        Symbol op = term->op();
+        if (auto constant = decodeIntConst(op))
+            return AffineBound::fromConstant(constant->first);
+        std::string name = opNameOf(op);
+        if (name == ir::opnames::kAddI) {
+            AffineBound lhs = emitBound(term->child(0), builder);
+            AffineBound rhs = emitBound(term->child(1), builder);
+            AffineBound out;
+            out.constant = lhs.constant + rhs.constant;
+            out.terms = lhs.terms;
+            out.terms.insert(out.terms.end(), rhs.terms.begin(),
+                             rhs.terms.end());
+            return out;
+        }
+        if (name == ir::opnames::kMulI) {
+            auto c0 = decodeIntConst(term->child(0)->op());
+            auto c1 = decodeIntConst(term->child(1)->op());
+            if (c1 && !c0) {
+                AffineBound base = emitBound(term->child(0), builder);
+                AffineBound out;
+                out.constant = base.constant * c1->first;
+                for (auto &[v, coeff] : base.terms)
+                    out.terms.emplace_back(v, coeff * c1->first);
+                return out;
+            }
+            if (c0 && !c1) {
+                AffineBound base = emitBound(term->child(1), builder);
+                AffineBound out;
+                out.constant = base.constant * c0->first;
+                for (auto &[v, coeff] : base.terms)
+                    out.terms.emplace_back(v, coeff * c0->first);
+                return out;
+            }
+        }
+        // Fallback: a single opaque index value.
+        return AffineBound::fromValue(emitValue(term, builder));
+    }
+
+    void
+    emitFor(const TermPtr &term, OpBuilder &builder)
+    {
+        auto fields = eg::splitSymbol(term->op());
+        const std::string &iv_name = fields[1];
+        const std::string &loop_id = fields[2];
+
+        AffineBound lb = emitBound(term->child(0), builder);
+        AffineBound ub = emitBound(term->child(1), builder);
+        auto step = decodeIntConst(term->child(2)->op());
+        if (!step)
+            fatal("SeerLang emission: non-constant loop step");
+
+        Operation *loop =
+            builder.affineFor(lb, ub, step->first, iv_name);
+        loop->setAttr("seer.loop_id", Attribute(loop_id));
+        Block &body = loop->region(0).block();
+        pushScope();
+        scopes_.back()[iv_name] = body.arg(0);
+        OpBuilder body_builder = OpBuilder::atEnd(body);
+        emitStatement(term->child(3), body_builder);
+        body_builder.create(ir::opnames::kAffineYield, {}, {});
+        popScope();
+    }
+
+    void
+    emitIf(const TermPtr &term, OpBuilder &builder)
+    {
+        Value cond = emitValue(term->child(0), builder);
+        Operation *if_op = builder.scfIf(cond);
+        for (int branch = 0; branch < 2; ++branch) {
+            pushScope();
+            OpBuilder branch_builder =
+                OpBuilder::atEnd(if_op->region(branch).block());
+            emitStatement(term->child(1 + branch), branch_builder);
+            branch_builder.create(ir::opnames::kYield, {}, {});
+            popScope();
+        }
+    }
+
+    void
+    emitWhile(const TermPtr &term, OpBuilder &builder)
+    {
+        Operation *while_op = builder.scfWhile();
+        pushScope();
+        OpBuilder cond_builder =
+            OpBuilder::atEnd(while_op->region(0).block());
+        emitStatement(term->child(0), cond_builder);
+        Value cond = emitValue(term->child(1), cond_builder);
+        cond_builder.create(ir::opnames::kCondition, {cond}, {});
+        popScope();
+        pushScope();
+        OpBuilder body_builder =
+            OpBuilder::atEnd(while_op->region(1).block());
+        emitStatement(term->child(2), body_builder);
+        body_builder.create(ir::opnames::kYield, {}, {});
+        popScope();
+    }
+
+    Value
+    emitValue(const TermPtr &term, OpBuilder &builder)
+    {
+        Symbol op = term->op();
+        if (auto constant = decodeIntConst(op)) {
+            VnKey key{op, {}};
+            if (auto hit = vnLookup(key))
+                return *hit;
+            Value v =
+                builder.intConstant(constant->second, constant->first);
+            vn_.back()[key] = v;
+            return v;
+        }
+        if (auto constant = decodeFloatConst(op)) {
+            VnKey key{op, {}};
+            if (auto hit = vnLookup(key))
+                return *hit;
+            Value v = builder.floatConstant(*constant);
+            vn_.back()[key] = v;
+            return v;
+        }
+        if (auto arg = decodeArg(op))
+            return lookupName(arg->first);
+        if (auto var = decodeVar(op))
+            return lookupName(*var);
+
+        std::string name = opNameOf(op);
+        auto fields = fieldsOf(op);
+
+        if (name == "memref.load") {
+            const std::string &tag = fields[0];
+            auto it = tagged_.find(tag);
+            if (it != tagged_.end())
+                return it->second;
+            Value memref = emitValue(term->child(0), builder);
+            std::vector<Value> indices;
+            for (size_t i = 1; i < term->arity(); ++i)
+                indices.push_back(emitValue(term->child(i), builder));
+            Value v = builder.load(memref, indices);
+            tagged_[tag] = v;
+            return v;
+        }
+        if (name == "memref.alloc") {
+            const std::string &tag = fields[1];
+            auto it = tagged_.find(tag);
+            if (it != tagged_.end())
+                return it->second;
+            // Buffers live at function scope: emit at the entry so
+            // every region (and every clone a pass makes of the
+            // referencing code) sees the same buffer.
+            OpBuilder entry_builder =
+                entry_block_->empty()
+                    ? OpBuilder::atEnd(*entry_block_)
+                    : OpBuilder::before(&entry_block_->front());
+            Value v = entry_builder.alloc(parseType(fields[0]));
+            v.definingOp()->setAttr("seer.tag", Attribute(tag));
+            tagged_[tag] = v;
+            return v;
+        }
+        if (isStatementSymbol(op)) {
+            fatal("SeerLang emission: statement operator '" + name +
+                  "' in value position");
+        }
+
+        // Generic value op: children first, then value-number.
+        std::vector<Value> operands;
+        operands.reserve(term->arity());
+        for (const auto &child : term->children())
+            operands.push_back(emitValue(child, builder));
+        std::vector<ValueImpl *> key_operands;
+        for (Value operand : operands)
+            key_operands.push_back(operand.impl());
+        VnKey key{op, key_operands};
+        if (auto hit = vnLookup(key))
+            return *hit;
+
+        Value result;
+        if (name == ir::opnames::kCmpI || name == ir::opnames::kCmpF) {
+            Operation *cmp = builder.create(name, std::move(operands),
+                                            {Type::i1()});
+            cmp->setAttr("predicate", Attribute(fields[0]));
+            result = cmp->result();
+        } else if (fields.size() == 2) {
+            // Cast: fields are (from, to).
+            result = builder
+                         .create(name, std::move(operands),
+                                 {parseType(fields[1])})
+                         ->result();
+        } else {
+            SEER_ASSERT(fields.size() == 1,
+                        "unexpected symbol encoding: " << op.str());
+            result = builder
+                         .create(name, std::move(operands),
+                                 {parseType(fields[0])})
+                         ->result();
+        }
+        vn_.back()[key] = result;
+        return result;
+    }
+
+    ir::Block *entry_block_ = nullptr;
+    std::vector<std::map<std::string, Value>> scopes_;
+    std::vector<std::map<VnKey, Value>> vn_;
+    std::map<std::string, Value> tagged_;
+    std::set<std::string> emitted_stores_;
+};
+
+} // namespace
+
+EmitSpec
+inferSpec(const TermPtr &term, const std::string &func_name)
+{
+    std::set<std::string> bound, free_vars;
+    std::map<std::string, Type> args;
+    collectFreeLeaves(term, bound, args, free_vars);
+    EmitSpec spec;
+    spec.func_name = func_name;
+    for (const auto &[name, type] : args)
+        spec.args.emplace_back(name, type);
+    for (const std::string &name : free_vars)
+        spec.args.emplace_back(name, Type::index());
+    return spec;
+}
+
+Module
+termToFunc(const TermPtr &term, const EmitSpec &spec)
+{
+    return Emitter().run(term, spec);
+}
+
+} // namespace seer::sl

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * SeerLang -> IR translation (the SEER back end).
+ *
+ * Emits a single func.func from a func:<name> term, or a synthetic
+ * "snippet" function from any statement term (used by the dynamic
+ * rewrites to hand a matched sub-program to an external pass). Free
+ * `arg:` and `var:` leaves become function arguments.
+ */
+#ifndef SEER_SEERLANG_FROM_TERM_H_
+#define SEER_SEERLANG_FROM_TERM_H_
+
+#include "egraph/term.h"
+#include "ir/op.h"
+
+namespace seer::sl {
+
+/** Function signature for emission. */
+struct EmitSpec
+{
+    std::string func_name;
+    std::vector<std::pair<std::string, ir::Type>> args;
+};
+
+/**
+ * Infer a snippet signature from the free leaves of `term`: every
+ * distinct arg:<name>:<type> plus every var:<name> not bound by an
+ * enclosing affine.for (free vars become index arguments). Sorted by
+ * name for determinism.
+ */
+EmitSpec inferSpec(const eg::TermPtr &term, const std::string &func_name);
+
+/**
+ * Emit `term` as a module holding one function. `term` is either a
+ * func:<name> root (body = child 0) or a bare statement term. Throws
+ * FatalError on malformed terms.
+ */
+ir::Module termToFunc(const eg::TermPtr &term, const EmitSpec &spec);
+
+} // namespace seer::sl
+
+#endif // SEER_SEERLANG_FROM_TERM_H_

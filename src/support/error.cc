@@ -1,0 +1,21 @@
+#include "support/error.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace seer {
+
+void
+fatal(const std::string &msg)
+{
+    throw FatalError(msg);
+}
+
+void
+panic(const std::string &msg)
+{
+    std::fprintf(stderr, "seer panic: %s\n", msg.c_str());
+    std::abort();
+}
+
+} // namespace seer

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Error reporting utilities for the SEER toolflow.
+ *
+ * Follows the gem5 convention: fatal() is for user-caused conditions
+ * (malformed IR text, impossible configurations) and raises a recoverable
+ * exception so drivers and tests can catch it; panic() is for internal
+ * invariant violations (a SEER bug) and aborts.
+ */
+#ifndef SEER_SUPPORT_ERROR_H_
+#define SEER_SUPPORT_ERROR_H_
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace seer {
+
+/** Exception type thrown by fatal() for user-level errors. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+/** Raise a FatalError with the given message. Never returns. */
+[[noreturn]] void fatal(const std::string &msg);
+
+/** Abort with an internal-bug message. Never returns. */
+[[noreturn]] void panic(const std::string &msg);
+
+/** Stream-style message builder: fatal(MsgBuilder() << "x=" << x). */
+class MsgBuilder
+{
+  public:
+    template <typename T>
+    MsgBuilder &
+    operator<<(const T &value)
+    {
+        stream_ << value;
+        return *this;
+    }
+
+    std::string str() const { return stream_.str(); }
+    operator std::string() const { return stream_.str(); }
+
+  private:
+    std::ostringstream stream_;
+};
+
+/** Assert an internal invariant; panics with location info on failure. */
+#define SEER_ASSERT(cond, msg)                                              \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::seer::panic(::seer::MsgBuilder()                              \
+                          << __FILE__ << ":" << __LINE__                    \
+                          << ": assertion failed: " #cond ": " << msg);     \
+        }                                                                   \
+    } while (false)
+
+} // namespace seer
+
+#endif // SEER_SUPPORT_ERROR_H_

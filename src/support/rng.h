@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All randomized components (workload generators, randomized equivalence
+ * checking, property tests) draw from this SplitMix64 generator so runs are
+ * reproducible from a seed.
+ */
+#ifndef SEER_SUPPORT_RNG_H_
+#define SEER_SUPPORT_RNG_H_
+
+#include <cstdint>
+
+namespace seer {
+
+/** SplitMix64: tiny, fast, and statistically adequate for test inputs. */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x5eed5eed5eed5eedULL) : state_(seed) {}
+
+    /** Next raw 64-bit value. */
+    uint64_t
+    next()
+    {
+        uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform value in [0, bound). bound must be nonzero. */
+    uint64_t
+    nextBelow(uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform signed value in [lo, hi]. */
+    int64_t
+    nextRange(int64_t lo, int64_t hi)
+    {
+        return lo + static_cast<int64_t>(
+                        nextBelow(static_cast<uint64_t>(hi - lo + 1)));
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    nextDouble()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+  private:
+    uint64_t state_;
+};
+
+} // namespace seer
+
+#endif // SEER_SUPPORT_RNG_H_

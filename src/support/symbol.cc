@@ -1,0 +1,59 @@
+#include "support/symbol.h"
+
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+
+namespace seer {
+namespace {
+
+/** Process-global intern table, guarded for thread safety. */
+struct InternTable
+{
+    std::mutex mutex;
+    std::deque<std::string> strings;
+    std::unordered_map<std::string_view, uint32_t> ids;
+
+    InternTable() { intern(""); }
+
+    uint32_t
+    intern(std::string_view text)
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        auto it = ids.find(text);
+        if (it != ids.end())
+            return it->second;
+        strings.emplace_back(text);
+        uint32_t id = static_cast<uint32_t>(strings.size() - 1);
+        ids.emplace(strings.back(), id);
+        return id;
+    }
+
+    const std::string &
+    str(uint32_t id)
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        return strings[id];
+    }
+};
+
+InternTable &
+table()
+{
+    static InternTable instance;
+    return instance;
+}
+
+} // namespace
+
+Symbol::Symbol() : id_(0) {}
+
+Symbol::Symbol(std::string_view text) : id_(table().intern(text)) {}
+
+const std::string &
+Symbol::str() const
+{
+    return table().str(id_);
+}
+
+} // namespace seer

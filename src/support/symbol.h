@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Interned string symbols.
+ *
+ * Symbols are the currency of the e-graph layer: every SeerLang operator
+ * (including ones carrying encoded static attributes, e.g. "const:42:i32")
+ * is an interned string, so comparison and hashing are O(1).
+ */
+#ifndef SEER_SUPPORT_SYMBOL_H_
+#define SEER_SUPPORT_SYMBOL_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace seer {
+
+/**
+ * An interned string. Two Symbols constructed from equal strings compare
+ * equal by id. The intern table is process-global and never shrinks.
+ */
+class Symbol
+{
+  public:
+    /** The empty symbol (id 0 interns ""). */
+    Symbol();
+
+    /** Intern a string. */
+    explicit Symbol(std::string_view text);
+
+    /** The interned text. Valid for the lifetime of the process. */
+    const std::string &str() const;
+
+    uint32_t id() const { return id_; }
+    bool empty() const { return id_ == 0; }
+
+    bool operator==(const Symbol &other) const { return id_ == other.id_; }
+    bool operator!=(const Symbol &other) const { return id_ != other.id_; }
+    bool operator<(const Symbol &other) const { return id_ < other.id_; }
+
+  private:
+    uint32_t id_;
+};
+
+} // namespace seer
+
+template <>
+struct std::hash<seer::Symbol>
+{
+    size_t
+    operator()(const seer::Symbol &s) const noexcept
+    {
+        return std::hash<uint32_t>()(s.id());
+    }
+};
+
+#endif // SEER_SUPPORT_SYMBOL_H_

@@ -1,0 +1,86 @@
+#include "support/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "support/error.h"
+
+namespace seer {
+
+namespace {
+/** Sentinel row meaning "draw a separator line". */
+const std::string kSeparator = "\x01sep";
+} // namespace
+
+void
+TextTable::setHeader(std::vector<std::string> header)
+{
+    header_ = std::move(header);
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    SEER_ASSERT(header_.empty() || row.size() == header_.size(),
+                "row width " << row.size() << " != header width "
+                             << header_.size());
+    rows_.push_back(std::move(row));
+}
+
+void
+TextTable::addSeparator()
+{
+    rows_.push_back({kSeparator});
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    std::vector<size_t> widths(header_.size(), 0);
+    for (size_t i = 0; i < header_.size(); ++i)
+        widths[i] = header_[i].size();
+    for (const auto &row : rows_) {
+        if (!row.empty() && row[0] == kSeparator)
+            continue;
+        for (size_t i = 0; i < row.size() && i < widths.size(); ++i)
+            widths[i] = std::max(widths[i], row[i].size());
+    }
+
+    size_t total = 0;
+    for (size_t w : widths)
+        total += w + 3;
+
+    auto print_row = [&](const std::vector<std::string> &row) {
+        for (size_t i = 0; i < widths.size(); ++i) {
+            const std::string &cell = i < row.size() ? row[i] : std::string();
+            os << std::left << std::setw(static_cast<int>(widths[i]) + 3)
+               << cell;
+        }
+        os << "\n";
+    };
+
+    os << "== " << title_ << " ==\n";
+    print_row(header_);
+    os << std::string(total, '-') << "\n";
+    for (const auto &row : rows_) {
+        if (!row.empty() && row[0] == kSeparator)
+            os << std::string(total, '-') << "\n";
+        else
+            print_row(row);
+    }
+}
+
+std::string
+TextTable::num(double value, int precision)
+{
+    std::ostringstream os;
+    os << std::setprecision(precision);
+    if (value != 0 && (std::abs(value) >= 1e6 || std::abs(value) < 1e-3))
+        os << std::scientific;
+    os << value;
+    return os.str();
+}
+
+} // namespace seer

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Plain-text table printing for the benchmark harnesses.
+ *
+ * Every experiment binary reproduces one of the paper's tables or figures;
+ * this helper renders aligned rows so the output can be diffed against
+ * EXPERIMENTS.md.
+ */
+#ifndef SEER_SUPPORT_TABLE_H_
+#define SEER_SUPPORT_TABLE_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace seer {
+
+/** A column-aligned text table with a title and a header row. */
+class TextTable
+{
+  public:
+    explicit TextTable(std::string title) : title_(std::move(title)) {}
+
+    /** Set the header row; defines the column count. */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append a data row; must match the header width. */
+    void addRow(std::vector<std::string> row);
+
+    /** Append a horizontal separator row. */
+    void addSeparator();
+
+    /** Render with column alignment. */
+    void print(std::ostream &os) const;
+
+    /** Format a double with the given precision, trimming noise. */
+    static std::string num(double value, int precision = 3);
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace seer
+
+#endif // SEER_SUPPORT_TABLE_H_

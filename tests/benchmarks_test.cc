@@ -1,0 +1,113 @@
+/** Benchmark suite tests: every kernel matches its golden reference. */
+#include <gtest/gtest.h>
+
+#include "benchmarks/benchmarks.h"
+#include "support/error.h"
+#include "ir/analysis.h"
+#include "ir/ops.h"
+#include "ir/parser.h"
+#include "ir/verifier.h"
+
+namespace seer::bench {
+namespace {
+
+class GoldenTest : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(GoldenTest, KernelMatchesGoldenOnMultipleSeeds)
+{
+    const Benchmark &benchmark = findBenchmark(GetParam());
+    for (uint64_t seed : {1u, 2u, 17u, 123u})
+        EXPECT_EQ(checkGolden(benchmark, seed), "") << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, GoldenTest,
+    ::testing::Values("seq_loops", "byte_enable_calc",
+                      "byte_enable_manual", "kmp", "gemm_ncubed",
+                      "gemm_blocked", "md_knn", "md_grid", "sort_merge",
+                      "sort_radix"),
+    [](const auto &info) { return info.param; });
+
+TEST(BenchmarkRegistryTest, NineBenchmarksRegistered)
+{
+    EXPECT_EQ(allBenchmarks().size(), 9u);
+    EXPECT_THROW(findBenchmark("nope"), FatalError);
+}
+
+TEST(BenchmarkRegistryTest, SourcesVerify)
+{
+    for (const Benchmark &benchmark : allBenchmarks()) {
+        ir::Module module = parseBenchmark(benchmark);
+        EXPECT_NE(module.lookupFunc(benchmark.func), nullptr)
+            << benchmark.name;
+    }
+}
+
+TEST(BenchmarkRegistryTest, ManualVariantIsEquivalentToOriginal)
+{
+    // The expert-optimized byte_enable must compute the same out[].
+    const Benchmark &original = findBenchmark("byte_enable_calc");
+    const Benchmark &manual = byteEnableManual();
+    for (uint64_t seed : {3u, 9u}) {
+        ir::Module om = parseBenchmark(original);
+        ir::Module mm = parseBenchmark(manual);
+        auto ob = makeBuffers(om, original.func);
+        auto mb = makeBuffers(mm, manual.func);
+        Rng rng1(seed), rng2(seed);
+        original.prepare(ob, rng1);
+        manual.prepare(mb, rng2);
+        std::vector<ir::RtValue> oa, ma;
+        for (auto &buffer : ob)
+            oa.push_back(&buffer);
+        for (auto &buffer : mb)
+            ma.push_back(&buffer);
+        ir::interpret(om, original.func, std::move(oa));
+        ir::interpret(mm, manual.func, std::move(ma));
+        EXPECT_EQ(ob[2].ints, mb[2].ints); // out[]
+    }
+}
+
+TEST(MotivatingExampleTest, AllListingsAgree)
+{
+    for (auto [f, g, h] : {std::tuple{10, 100, 1}, std::tuple{1, 100, 10}}) {
+        std::vector<std::vector<int64_t>> results;
+        for (int listing = 1; listing <= 3; ++listing) {
+            ir::Module m = ir::parseModule(
+                motivatingListing(listing, f, g, h));
+            ir::verifyOrDie(m);
+            std::vector<ir::Buffer> buffers =
+                makeBuffers(m, "motivating");
+            Rng rng(7);
+            for (auto &v : buffers[0].ints)
+                v = rng.nextRange(-100, 100);
+            for (auto &v : buffers[1].ints)
+                v = rng.nextRange(-100, 100);
+            std::vector<ir::RtValue> args;
+            for (auto &buffer : buffers)
+                args.push_back(&buffer);
+            ir::interpret(m, "motivating", std::move(args));
+            results.push_back(buffers[4].ints); // y
+        }
+        EXPECT_EQ(results[0], results[1]);
+        EXPECT_EQ(results[0], results[2]);
+    }
+}
+
+TEST(MotivatingExampleTest, FusionLegalityMatchesFigure2)
+{
+    // loop_1 + loop_2 fusable, loop_2 + loop_3 fusable, but
+    // loop_1 + loop_3 must be blocked by the reversed x access.
+    ir::Module m =
+        ir::parseModule(motivatingListing(1, 2, 2, 2));
+    auto loops =
+        ir::topLevelLoops(m.firstFunc()->region(0).block());
+    ASSERT_EQ(loops.size(), 3u);
+    EXPECT_TRUE(ir::canFuseLoops(*loops[0], *loops[1]));
+    EXPECT_TRUE(ir::canFuseLoops(*loops[1], *loops[2]));
+    EXPECT_FALSE(ir::canFuseLoops(*loops[0], *loops[2]));
+}
+
+} // namespace
+} // namespace seer::bench

@@ -1,0 +1,352 @@
+/** E-matching, rewriting/runner, and extraction tests. */
+#include <gtest/gtest.h>
+
+#include "egraph/extract.h"
+#include "egraph/pattern.h"
+#include "egraph/runner.h"
+
+namespace seer::eg {
+namespace {
+
+TEST(PatternTest, ParseAndVariables)
+{
+    PatternPtr p = parsePattern("(add ?a (mul ?b ?a))");
+    EXPECT_FALSE(p->isVar());
+    auto vars = p->variables();
+    ASSERT_EQ(vars.size(), 2u);
+    EXPECT_EQ(vars[0].str(), "a");
+    EXPECT_EQ(vars[1].str(), "b");
+    EXPECT_EQ(p->str(), "(add ?a (mul ?b ?a))");
+}
+
+TEST(EMatchTest, SimpleMatch)
+{
+    EGraph eg;
+    eg.addTerm(parseTerm("(add x y)"));
+    auto matches = ematch(eg, *parsePattern("(add ?a ?b)"));
+    ASSERT_EQ(matches.size(), 1u);
+    EXPECT_EQ(matches[0].subst.size(), 2u);
+}
+
+TEST(EMatchTest, NonLinearPatternRequiresSameClass)
+{
+    EGraph eg;
+    eg.addTerm(parseTerm("(add x x)"));
+    eg.addTerm(parseTerm("(add x y)"));
+    auto matches = ematch(eg, *parsePattern("(add ?a ?a)"));
+    ASSERT_EQ(matches.size(), 1u);
+}
+
+TEST(EMatchTest, NonLinearMatchesAfterUnion)
+{
+    EGraph eg;
+    EClassId root = eg.addTerm(parseTerm("(add x y)"));
+    (void)root;
+    auto before = ematch(eg, *parsePattern("(add ?a ?a)"));
+    EXPECT_EQ(before.size(), 0u);
+    eg.merge(*eg.lookupTerm(parseTerm("x")),
+             *eg.lookupTerm(parseTerm("y")));
+    eg.rebuild();
+    auto after = ematch(eg, *parsePattern("(add ?a ?a)"));
+    EXPECT_EQ(after.size(), 1u);
+}
+
+TEST(EMatchTest, NestedPatterns)
+{
+    EGraph eg;
+    eg.addTerm(parseTerm("(mul (add a b) c)"));
+    auto matches = ematch(eg, *parsePattern("(mul (add ?x ?y) ?z)"));
+    ASSERT_EQ(matches.size(), 1u);
+    const Subst &s = matches[0].subst;
+    EXPECT_EQ(s.at(Symbol("x")), *eg.lookupTerm(parseTerm("a")));
+    EXPECT_EQ(s.at(Symbol("z")), *eg.lookupTerm(parseTerm("c")));
+}
+
+TEST(EMatchTest, MatchesAcrossEquivalentNodes)
+{
+    // After union {mul2, shift}, a pattern over mul still matches the
+    // class that also holds the shift node.
+    EGraph eg;
+    EClassId m = eg.addTerm(parseTerm("(mul a const:2)"));
+    EClassId s = eg.addTerm(parseTerm("(shl a const:1)"));
+    eg.merge(m, s);
+    eg.rebuild();
+    EXPECT_EQ(ematch(eg, *parsePattern("(mul ?x const:2)")).size(), 1u);
+    EXPECT_EQ(ematch(eg, *parsePattern("(shl ?x const:1)")).size(), 1u);
+}
+
+TEST(EMatchTest, LimitCapsMatches)
+{
+    EGraph eg;
+    for (int i = 0; i < 10; ++i) {
+        eg.addTerm(parseTerm("(neg leaf" + std::to_string(i) + ")"));
+    }
+    EXPECT_EQ(ematch(eg, *parsePattern("(neg ?x)")).size(), 10u);
+    EXPECT_EQ(ematch(eg, *parsePattern("(neg ?x)"), 3).size(), 3u);
+}
+
+TEST(RunnerTest, CommutativitySaturates)
+{
+    EGraph eg;
+    EClassId root = eg.addTerm(parseTerm("(add x y)"));
+    Runner runner(eg);
+    runner.addRule(makeRewrite("comm-add", "(add ?a ?b)", "(add ?b ?a)"));
+    RunnerReport report = runner.run();
+    EXPECT_EQ(report.stop, StopReason::Saturated);
+    // (add y x) must now be in the same class.
+    auto other = eg.lookupTerm(parseTerm("(add y x)"));
+    ASSERT_TRUE(other.has_value());
+    EXPECT_EQ(eg.find(*other), eg.find(root));
+}
+
+TEST(RunnerTest, ChainOfRewritesReachesTarget)
+{
+    // (mul a const:2) -> (shl a const:1); then shl-of-shl fuses.
+    EGraph eg;
+    EClassId root =
+        eg.addTerm(parseTerm("(mul (mul a const:2) const:2)"));
+    Runner runner(eg);
+    runner.addRule(
+        makeRewrite("mul2-shl", "(mul ?a const:2)", "(shl ?a const:1)"));
+    runner.run();
+    auto target = eg.lookupTerm(parseTerm("(shl (shl a const:1) const:1)"));
+    ASSERT_TRUE(target.has_value());
+    EXPECT_EQ(eg.find(*target), eg.find(root));
+}
+
+TEST(RunnerTest, ConditionVetoesMatches)
+{
+    EGraph eg;
+    EClassId root = eg.addTerm(parseTerm("(div x x)"));
+    Runner runner(eg);
+    runner.addRule(makeRewrite(
+        "div-self", "(div ?a ?a)", "one",
+        [](const EGraph &, const Match &) { return false; }));
+    RunnerReport report = runner.run();
+    EXPECT_EQ(report.total_applied, 0u);
+    EXPECT_EQ(eg.find(root), eg.find(*eg.lookupTerm(parseTerm("(div x x)"))));
+    EXPECT_FALSE(eg.lookupTerm(parseTerm("one")).has_value());
+}
+
+TEST(RunnerTest, DynamicRewriteProducesTerm)
+{
+    EGraph eg;
+    EClassId root = eg.addTerm(parseTerm("(wrap seed)"));
+    Runner runner(eg);
+    runner.addRule(makeDynRewrite(
+        "unwrap", "(wrap ?x)",
+        [](EGraph &, const Match &) -> std::optional<TermPtr> {
+            return parseTerm("expanded");
+        }));
+    runner.run();
+    auto expanded = eg.lookupTerm(parseTerm("expanded"));
+    ASSERT_TRUE(expanded.has_value());
+    EXPECT_EQ(eg.find(*expanded), eg.find(root));
+}
+
+TEST(RunnerTest, RecordsCarryGroundTerms)
+{
+    EGraph eg;
+    eg.addTerm(parseTerm("(add x y)"));
+    Runner runner(eg);
+    runner.addRule(makeRewrite("comm-add", "(add ?a ?b)", "(add ?b ?a)"));
+    RunnerReport report = runner.run();
+    ASSERT_GE(report.records.size(), 1u);
+    EXPECT_EQ(report.records[0].rule, "comm-add");
+    EXPECT_EQ(report.records[0].lhs->str(), "(add x y)");
+    EXPECT_EQ(report.records[0].rhs->str(), "(add y x)");
+}
+
+TEST(RunnerTest, NodeLimitStops)
+{
+    // Exploding rule: f(x) -> f(g(x)) grows forever.
+    EGraph eg;
+    eg.addTerm(parseTerm("(f x)"));
+    RunnerOptions options;
+    options.max_nodes = 100;
+    options.max_iters = 1000;
+    Runner runner(eg, options);
+    runner.addRule(makeRewrite("explode", "(f ?x)", "(f (g ?x))"));
+    RunnerReport report = runner.run();
+    EXPECT_EQ(report.stop, StopReason::NodeLimit);
+    EXPECT_LE(eg.numNodes(), 300u); // limit plus one iteration of slack
+}
+
+TEST(RunnerTest, IterLimitStops)
+{
+    EGraph eg;
+    eg.addTerm(parseTerm("(f x)"));
+    RunnerOptions options;
+    options.max_iters = 3;
+    options.max_nodes = 1000000;
+    Runner runner(eg, options);
+    runner.addRule(makeRewrite("explode", "(f ?x)", "(f (g ?x))"));
+    RunnerReport report = runner.run();
+    EXPECT_EQ(report.stop, StopReason::IterLimit);
+    EXPECT_EQ(report.iterations.size(), 3u);
+}
+
+TEST(RunnerTest, BackoffBansExplosiveRules)
+{
+    EGraph eg;
+    for (int i = 0; i < 50; ++i)
+        eg.addTerm(parseTerm("(h leaf" + std::to_string(i) + ")"));
+    RunnerOptions options;
+    options.match_limit = 10; // triggers the ban immediately
+    options.max_iters = 2;
+    Runner runner(eg, options);
+    runner.addRule(makeRewrite("swap", "(h ?x)", "(h2 ?x)"));
+    RunnerReport report = runner.run();
+    // The rule was banned before applying anything.
+    EXPECT_EQ(report.total_applied, 0u);
+}
+
+// --- Extraction -------------------------------------------------------
+
+/** Toy cost: leaves cost 0, shl costs 1, add costs 2, mul costs 10. */
+class ToyCost : public CostModel
+{
+  public:
+    double
+    nodeCost(const ENode &node) const override
+    {
+        const std::string &op = node.op.str();
+        if (op == "mul") return 10;
+        if (op == "add") return 2;
+        if (op == "shl") return 1;
+        if (op == "forbidden") return kInfinity;
+        return 0;
+    }
+};
+
+TEST(ExtractTest, GreedyPicksCheaperNode)
+{
+    EGraph eg;
+    EClassId m = eg.addTerm(parseTerm("(mul a const:2)"));
+    EClassId s = eg.addTerm(parseTerm("(shl a const:1)"));
+    eg.merge(m, s);
+    eg.rebuild();
+    ToyCost cost;
+    auto extraction = extractGreedy(eg, m, cost);
+    ASSERT_TRUE(extraction.has_value());
+    EXPECT_EQ(extraction->term->str(), "(shl a const:1)");
+    EXPECT_EQ(extraction->tree_cost, 1);
+}
+
+TEST(ExtractTest, GreedyRecursesThroughChildren)
+{
+    EGraph eg;
+    EClassId root =
+        eg.addTerm(parseTerm("(add (mul a const:2) (mul a const:2))"));
+    EClassId m = *eg.lookupTerm(parseTerm("(mul a const:2)"));
+    EClassId s = eg.addTerm(parseTerm("(shl a const:1)"));
+    eg.merge(m, s);
+    eg.rebuild();
+    ToyCost cost;
+    auto extraction = extractGreedy(eg, root, cost);
+    EXPECT_EQ(extraction->term->str(),
+              "(add (shl a const:1) (shl a const:1))");
+    // Tree cost counts the shared shl twice; DAG cost once.
+    EXPECT_EQ(extraction->tree_cost, 4);
+    EXPECT_EQ(extraction->dag_cost, 3);
+}
+
+TEST(ExtractTest, InfeasibleWhenOnlyForbiddenNodes)
+{
+    EGraph eg;
+    EClassId root = eg.addTerm(parseTerm("(forbidden x)"));
+    ToyCost cost;
+    EXPECT_FALSE(extractGreedy(eg, root, cost).has_value());
+}
+
+TEST(ExtractTest, ZeroCostCycleNotSelected)
+{
+    // x unioned with (id x): size tie-break must pick the leaf.
+    EGraph eg;
+    EClassId x = eg.addTerm(parseTerm("x"));
+    EClassId idx = eg.addTerm(parseTerm("(id x)"));
+    eg.merge(x, idx);
+    eg.rebuild();
+    ToyCost cost; // id costs 0, same as leaf
+    auto extraction = extractGreedy(eg, x, cost);
+    ASSERT_TRUE(extraction.has_value());
+    EXPECT_EQ(extraction->term->str(), "x");
+}
+
+TEST(ExtractTest, SmallestTermExtraction)
+{
+    EGraph eg;
+    EClassId big = eg.addTerm(parseTerm("(add (add a a) (add a a))"));
+    EClassId small = eg.addTerm(parseTerm("(quad a)"));
+    eg.merge(big, small);
+    eg.rebuild();
+    EXPECT_EQ(extractSmallest(eg, big)->str(), "(quad a)");
+}
+
+TEST(ExtractTest, ExactExtractionExploitsSharing)
+{
+    // Root can be (add u u) with u = (mul a b), or (sq2 v) with
+    // v = (expensive a b). Greedy tree cost prefers whichever, but the
+    // exact DAG extraction must count shared u once.
+    EGraph eg;
+    EClassId root = eg.addTerm(
+        parseTerm("(add (mul a const:2) (mul a const:2))"));
+    ToyCost cost;
+    auto exact = extractExact(eg, root, cost);
+    ASSERT_TRUE(exact.has_value());
+    EXPECT_EQ(exact->dag_cost, 12); // add(2) + one shared mul(10)
+}
+
+TEST(ExtractTest, ExactBeatsGreedyOnSharedChoice)
+{
+    // Class P = {(f a), (g b)} used twice under root.
+    // cost(f)=3, cost(g)=4 for the node itself, but choosing g makes b
+    // reusable by another part of the root that needs (need b).
+    // Construct: root = (pair P (h b)); picking g shares b.
+    EGraph eg;
+    EClassId fa = eg.addTerm(parseTerm("(addc a)"));   // cost 5 below
+    EClassId gb = eg.addTerm(parseTerm("(mulc b)"));   // cost 6 below
+    eg.merge(fa, gb);
+    eg.rebuild();
+    EClassId root = eg.addTerm(parseTerm("(pair (addc a) (hop b))"));
+
+    class LocalCost : public CostModel
+    {
+      public:
+        double
+        nodeCost(const ENode &node) const override
+        {
+            const std::string &op = node.op.str();
+            if (op == "addc") return 5;
+            if (op == "mulc") return 6;
+            if (op == "hop") return 1;
+            if (op == "pair") return 0;
+            if (op == "a") return 4; // leaf a is expensive
+            if (op == "b") return 0;
+            return 0;
+        }
+    } cost;
+
+    // Greedy per-class: addc(5)+a(4)=9 vs mulc(6)+b(0)=6 -> picks mulc.
+    auto greedy = extractGreedy(eg, root, cost);
+    EXPECT_EQ(greedy->term->str(), "(pair (mulc b) (hop b))");
+    auto exact = extractExact(eg, root, cost);
+    // exact: pair(0) + mulc(6) + b(0) + hop(1) = 7.
+    EXPECT_EQ(exact->dag_cost, 7);
+}
+
+TEST(ExtractTest, ExactRespectsForbiddenNodes)
+{
+    EGraph eg;
+    EClassId bad = eg.addTerm(parseTerm("(forbidden x)"));
+    EClassId good = eg.addTerm(parseTerm("(add x x)"));
+    eg.merge(bad, good);
+    eg.rebuild();
+    ToyCost cost;
+    auto exact = extractExact(eg, bad, cost);
+    ASSERT_TRUE(exact.has_value());
+    EXPECT_EQ(exact->term->str(), "(add x x)");
+}
+
+} // namespace
+} // namespace seer::eg

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Parameterized property tests of the HLS model: the latency law
+ * L = (N-1)*P + l over trip-count sweeps, monotonicity of the area
+ * model, pipelining win/loss accounting, and SEER's motivating-example
+ * choice (a fast unit-test version of the Table 1 harness).
+ */
+#include <gtest/gtest.h>
+
+#include "benchmarks/benchmarks.h"
+#include "core/seer.h"
+#include "hls/hls.h"
+#include "ir/parser.h"
+#include "ir/printer.h"
+#include "passes/passes.h"
+
+namespace seer::hls {
+namespace {
+
+using namespace ir;
+
+HlsReport
+evalElementwise(int64_t trips, bool pipeline)
+{
+    std::string source = "func.func @f(%a: memref<1024xi32>) {\n"
+                         "  affine.for %i = 0 to " +
+                         std::to_string(trips) +
+                         " {\n"
+                         "    %v = memref.load %a[%i] : memref<1024xi32>\n"
+                         "    %w = arith.addi %v, %v : i32\n"
+                         "    memref.store %w, %a[%i] : memref<1024xi32>\n"
+                         "  }\n}";
+    Module m = parseModule(source);
+    Buffer a(Type::memref({1024}, Type::i32()));
+    HlsOptions options;
+    options.schedule.pipeline_loops = pipeline;
+    return evaluate(m, "f", {&a}, options);
+}
+
+class LatencyLaw : public ::testing::TestWithParam<int64_t>
+{
+};
+
+TEST_P(LatencyLaw, PipelinedCyclesFollowEqnOne)
+{
+    int64_t trips = GetParam();
+    HlsReport report = evalElementwise(trips, /*pipeline=*/true);
+    ASSERT_EQ(report.loops.size(), 1u);
+    const LoopReport &lr = report.loops.begin()->second;
+    EXPECT_TRUE(lr.constraints.pipelined);
+    uint64_t law =
+        (static_cast<uint64_t>(trips) - 1) *
+            static_cast<uint64_t>(lr.constraints.ii) +
+        static_cast<uint64_t>(lr.constraints.latency);
+    EXPECT_GE(report.total_cycles, law);
+    EXPECT_LE(report.total_cycles, law + 4); // small fixed overhead
+}
+
+TEST_P(LatencyLaw, BaselineScalesWithIterationLatency)
+{
+    int64_t trips = GetParam();
+    HlsReport report = evalElementwise(trips, /*pipeline=*/false);
+    const LoopReport &lr = report.loops.begin()->second;
+    EXPECT_FALSE(lr.constraints.pipelined);
+    uint64_t law = static_cast<uint64_t>(trips) *
+                   static_cast<uint64_t>(lr.constraints.latency);
+    EXPECT_GE(report.total_cycles, law);
+    EXPECT_LE(report.total_cycles, law + 4);
+}
+
+TEST_P(LatencyLaw, PipeliningNeverSlower)
+{
+    int64_t trips = GetParam();
+    HlsReport base = evalElementwise(trips, false);
+    HlsReport piped = evalElementwise(trips, true);
+    EXPECT_LE(piped.total_cycles, base.total_cycles);
+    // The single-port array caps II at 2 while the baseline pays the
+    // full l=3 per iteration: a ~1.5x win that grows with trip count.
+    if (trips >= 64) {
+        EXPECT_LT(piped.total_cycles * 4, base.total_cycles * 3);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Trips, LatencyLaw,
+                         ::testing::Values(1, 2, 3, 8, 64, 512, 1024));
+
+TEST(AreaMonotonicityTest, WiderDatapathCostsMore)
+{
+    auto area_of = [](const char *type) {
+        std::string source =
+            std::string("func.func @f(%a: memref<64x") + type +
+            ">) {\n  affine.for %i = 0 to 64 {\n    %v = memref.load "
+            "%a[%i] : memref<64x" +
+            type + ">\n    %w = arith.muli %v, %v : " + type +
+            "\n    memref.store %w, %a[%i] : memref<64x" + type +
+            ">\n  }\n}";
+        Module m = parseModule(source);
+        return estimateArea(m, "f");
+    };
+    double w8 = area_of("i8");
+    double w16 = area_of("i16");
+    double w32 = area_of("i32");
+    EXPECT_LT(w8, w16);
+    EXPECT_LT(w16, w32);
+}
+
+TEST(AreaMonotonicityTest, UnrollingGrowsDatapath)
+{
+    const char *rolled = R"(
+func.func @f(%a: memref<8xi32>) {
+  affine.for %i = 0 to 8 {
+    %v = memref.load %a[%i] : memref<8xi32>
+    %w = arith.muli %v, %v : i32
+    memref.store %w, %a[%i] : memref<8xi32>
+  }
+})";
+    Module m = parseModule(rolled);
+    double before = estimateArea(m, "f");
+    auto pass = passes::createPass("loop-unroll");
+    pass->run(*m.firstFunc());
+    double after = estimateArea(m, "f");
+    EXPECT_GT(after, before * 2);
+}
+
+TEST(MotivatingChoiceTest, SeerPicksTheBetterFusionPerCase)
+{
+    // The Table 1 claim as a fast unit test (reduced chain depths).
+    for (auto [f, g, h] : {std::tuple{3, 20, 1}, std::tuple{1, 20, 3}}) {
+        ir::Module listing2 = parseModule(
+            bench::motivatingListing(2, f, g, h));
+        ir::Module listing3 = parseModule(
+            bench::motivatingListing(3, f, g, h));
+        ir::Module input = parseModule(
+            bench::motivatingListing(1, f, g, h));
+        core::SeerResult result = core::optimize(input, "motivating");
+        // SEER's choice must fuse exactly one pair (two loops remain).
+        size_t loops = 0;
+        walk(result.module, [&](Operation &op) {
+            if (isa(op, opnames::kAffineFor))
+                ++loops;
+        });
+        EXPECT_EQ(loops, 2u) << "f=" << f << " h=" << h << "\n"
+                             << toString(result.module);
+    }
+}
+
+TEST(PowerModelTest, FasterDesignsBurnMorePowerSameWork)
+{
+    // Same computation in half the time -> roughly the dynamic energy
+    // over less time, so power must not drop.
+    HlsReport base = evalElementwise(512, false);
+    HlsReport piped = evalElementwise(512, true);
+    EXPECT_GT(piped.power_mw, base.power_mw);
+}
+
+TEST(CriticalPathTest, FloorAndOperatorCeiling)
+{
+    HlsReport report = evalElementwise(64, true);
+    EXPECT_GE(report.critical_path_ns, 0.9);  // clock floor
+    EXPECT_LE(report.critical_path_ns, 1.55); // no monster chains
+}
+
+} // namespace
+} // namespace seer::hls

@@ -1,0 +1,394 @@
+/** HLS model tests: scheduling constraints, co-simulated cycles, PPA. */
+#include <gtest/gtest.h>
+
+#include "hls/hls.h"
+#include "hls/pragmas.h"
+#include "ir/parser.h"
+#include "ir/printer.h"
+#include "ir/verifier.h"
+
+namespace seer::hls {
+namespace {
+
+using namespace ir;
+
+const char *kElementwise = R"(
+func.func @f(%a: memref<100xi32>, %b: memref<100xi32>) {
+  affine.for %i = 0 to 100 {
+    %v = memref.load %a[%i] : memref<100xi32>
+    %w = arith.addi %v, %v : i32
+    memref.store %w, %b[%i] : memref<100xi32>
+  }
+})";
+
+HlsReport
+evalText(const char *text, bool pipeline)
+{
+    Module m = parseModule(text);
+    verifyOrDie(m);
+    Operation *func = m.firstFunc();
+    Block &body = func->region(0).block();
+    std::vector<std::unique_ptr<Buffer>> buffers;
+    std::vector<RtValue> args;
+    for (size_t i = 0; i < body.numArgs(); ++i) {
+        buffers.push_back(
+            std::make_unique<Buffer>(body.arg(i).type()));
+        args.push_back(buffers.back().get());
+    }
+    HlsOptions options;
+    options.schedule.pipeline_loops = pipeline;
+    return evaluate(m, func->strAttr("sym_name"), std::move(args),
+                    options);
+}
+
+TEST(HlsScheduleTest, ElementwiseLoopPipelinesAtIIOne)
+{
+    Module m = parseModule(kElementwise);
+    HlsOptions options;
+    options.schedule.pipeline_loops = true;
+    FuncSchedule schedule = scheduleOnly(m, "f", options);
+    ASSERT_EQ(schedule.loops.size(), 1u);
+    const LoopConstraints &lc = schedule.loops.begin()->second;
+    EXPECT_TRUE(lc.pipelined);
+    EXPECT_EQ(lc.ii, 1);
+    EXPECT_GE(lc.latency, 2);
+    ASSERT_TRUE(lc.trip.has_value());
+    EXPECT_EQ(*lc.trip, 100);
+    // A: one access to each of two arrays.
+    EXPECT_EQ(lc.accesses.size(), 2u);
+}
+
+TEST(HlsScheduleTest, BaselineDoesNotPipeline)
+{
+    Module m = parseModule(kElementwise);
+    HlsOptions options;
+    options.schedule.pipeline_loops = false;
+    FuncSchedule schedule = scheduleOnly(m, "f", options);
+    const LoopConstraints &lc = schedule.loops.begin()->second;
+    EXPECT_FALSE(lc.pipelined);
+    EXPECT_EQ(lc.ii, lc.latency);
+}
+
+TEST(HlsScheduleTest, SinglePortBoundsII)
+{
+    // Two reads of the same array per iteration: II >= 2.
+    const char *text = R"(
+func.func @f(%a: memref<100xi32>, %b: memref<100xi32>) {
+  %c1 = arith.constant 1 : index
+  affine.for %i = 1 to 99 {
+    %v = memref.load %a[%i] : memref<100xi32>
+    %im = arith.subi %i, %c1 : index
+    %u = memref.load %a[%im] : memref<100xi32>
+    %w = arith.addi %v, %u : i32
+    memref.store %w, %b[%i] : memref<100xi32>
+  }
+})";
+    Module m = parseModule(text);
+    HlsOptions options;
+    options.schedule.pipeline_loops = true;
+    FuncSchedule schedule = scheduleOnly(m, "f", options);
+    const LoopConstraints &lc = schedule.loops.begin()->second;
+    EXPECT_TRUE(lc.pipelined);
+    EXPECT_EQ(lc.ii, 2);
+}
+
+TEST(HlsScheduleTest, ScalarRecurrenceBlocksPipelining)
+{
+    // The byte_enable pattern: read-modify-write of one cell.
+    const char *text = R"(
+func.func @f(%a: memref<100xi32>, %s: memref<1xi32>) {
+  %z = arith.constant 0 : index
+  affine.for %i = 0 to 100 {
+    %acc = memref.load %s[%z] : memref<1xi32>
+    %v = memref.load %a[%i] : memref<100xi32>
+    %n = arith.addi %acc, %v : i32
+    memref.store %n, %s[%z] : memref<1xi32>
+  }
+})";
+    Module m = parseModule(text);
+    HlsOptions options;
+    options.schedule.pipeline_loops = true;
+    FuncSchedule schedule = scheduleOnly(m, "f", options);
+    const LoopConstraints &lc = schedule.loops.begin()->second;
+    // Distance-1 recurrence spanning the body: II grows toward l.
+    EXPECT_GT(lc.ii, 1);
+}
+
+TEST(HlsScheduleTest, OuterLoopWithInnerLoopNotPipelined)
+{
+    const char *text = R"(
+func.func @f(%a: memref<8x8xi32>) {
+  affine.for %i = 0 to 8 {
+    affine.for %j = 0 to 8 {
+      %v = memref.load %a[%i, %j] : memref<8x8xi32>
+      memref.store %v, %a[%i, %j] : memref<8x8xi32>
+    }
+  }
+})";
+    Module m = parseModule(text);
+    HlsOptions options;
+    options.schedule.pipeline_loops = true;
+    FuncSchedule schedule = scheduleOnly(m, "f", options);
+    ASSERT_EQ(schedule.loops.size(), 2u);
+    int pipelined = 0;
+    for (const auto &[op, lc] : schedule.loops)
+        pipelined += lc.pipelined ? 1 : 0;
+    EXPECT_EQ(pipelined, 1); // only the inner loop
+}
+
+TEST(HlsScheduleTest, MultiCycleDividerStretchesLatency)
+{
+    const char *add_only = R"(
+func.func @f(%a: memref<16xi32>) {
+  affine.for %i = 0 to 16 {
+    %v = memref.load %a[%i] : memref<16xi32>
+    %w = arith.addi %v, %v : i32
+    memref.store %w, %a[%i] : memref<16xi32>
+  }
+})";
+    const char *with_div = R"(
+func.func @f(%a: memref<16xi32>) {
+  %c3 = arith.constant 3 : i32
+  affine.for %i = 0 to 16 {
+    %v = memref.load %a[%i] : memref<16xi32>
+    %w = arith.divsi %v, %c3 : i32
+    memref.store %w, %a[%i] : memref<16xi32>
+  }
+})";
+    HlsOptions options;
+    Module m1 = parseModule(add_only);
+    Module m2 = parseModule(with_div);
+    auto l1 = scheduleOnly(m1, "f", options).loops.begin()->second;
+    auto l2 = scheduleOnly(m2, "f", options).loops.begin()->second;
+    EXPECT_GT(l2.latency, l1.latency + 4);
+}
+
+TEST(HlsScheduleTest, OverrideReplacesDerivedConstraints)
+{
+    Module m = parseModule(R"(
+func.func @f(%a: memref<100xi32>) {
+  affine.for %i = 0 to 100 {
+    %v = memref.load %a[%i] : memref<100xi32>
+    memref.store %v, %a[%i] : memref<100xi32>
+  }
+})");
+    // Attach a loop id, then override.
+    walk(*m.firstFunc(), [](Operation &op) {
+        if (isa(op, opnames::kAffineFor))
+            op.setAttr("seer.loop_id", Attribute("L99"));
+    });
+    HlsOptions options;
+    options.schedule.pipeline_loops = false;
+    LoopOverride ov;
+    ov.ii = 3;
+    ov.latency = 9;
+    ov.pipelined = true;
+    options.schedule.overrides["L99"] = ov;
+    FuncSchedule schedule = scheduleOnly(m, "f", options);
+    const LoopConstraints &lc = schedule.loops.begin()->second;
+    EXPECT_EQ(lc.ii, 3);
+    EXPECT_EQ(lc.latency, 9);
+    EXPECT_TRUE(lc.pipelined);
+}
+
+TEST(HlsEvaluateTest, PipeliningCutsCyclesAndAddsArea)
+{
+    HlsReport base = evalText(kElementwise, /*pipeline=*/false);
+    HlsReport piped = evalText(kElementwise, /*pipeline=*/true);
+    EXPECT_LT(piped.total_cycles, base.total_cycles / 2);
+    EXPECT_GT(piped.area_um2, base.area_um2);
+    EXPECT_GT(base.total_cycles, 100u); // at least l per iteration
+    EXPECT_GT(piped.power_mw, base.power_mw); // busier datapath
+}
+
+TEST(HlsEvaluateTest, CyclesFollowTheLatencyLaw)
+{
+    HlsReport piped = evalText(kElementwise, /*pipeline=*/true);
+    ASSERT_EQ(piped.loops.size(), 1u);
+    const LoopReport &lr = piped.loops.begin()->second;
+    // (N-1)*P + l plus small fixed overhead outside the loop.
+    uint64_t law = (lr.iterations - 1) * lr.constraints.ii +
+                   lr.constraints.latency;
+    EXPECT_GE(piped.total_cycles, law);
+    EXPECT_LE(piped.total_cycles, law + 8);
+}
+
+TEST(HlsEvaluateTest, CriticalPathReflectsOperatorMix)
+{
+    const char *mul_chain = R"(
+func.func @f(%a: memref<16xi32>) {
+  affine.for %i = 0 to 16 {
+    %v = memref.load %a[%i] : memref<16xi32>
+    %w = arith.muli %v, %v : i32
+    memref.store %w, %a[%i] : memref<16xi32>
+  }
+})";
+    HlsReport with_mul = evalText(mul_chain, true);
+    HlsReport add_only = evalText(kElementwise, true);
+    EXPECT_GT(with_mul.critical_path_ns, add_only.critical_path_ns);
+    // i32 multiplier: 0.30 + 0.027*32 = 1.164ns, chained as a long path.
+    EXPECT_NEAR(with_mul.critical_path_ns, 1.164, 0.2);
+}
+
+TEST(HlsEvaluateTest, WhileLoopCostedDynamically)
+{
+    const char *text = R"(
+func.func @f(%s: memref<1xi32>) {
+  %z = arith.constant 0 : index
+  %limit = arith.constant 50 : i32
+  %one = arith.constant 1 : i32
+  scf.while {
+    %v = memref.load %s[%z] : memref<1xi32>
+    %cond = arith.cmpi slt, %v, %limit : i32
+    scf.condition %cond
+  } do {
+    %v = memref.load %s[%z] : memref<1xi32>
+    %n = arith.addi %v, %one : i32
+    memref.store %n, %s[%z] : memref<1xi32>
+  }
+})";
+    HlsReport report = evalText(text, false);
+    // 50 iterations, each costing cond+body cycles.
+    EXPECT_GT(report.total_cycles, 100u);
+    EXPECT_LT(report.total_cycles, 1000u);
+}
+
+TEST(HlsEvaluateTest, MemoryDominatesAreaForLargeArrays)
+{
+    const char *big = R"(
+func.func @f(%a: memref<4096xi32>) {
+  affine.for %i = 0 to 4096 {
+    %v = memref.load %a[%i] : memref<4096xi32>
+    memref.store %v, %a[%i] : memref<4096xi32>
+  }
+})";
+    HlsReport report = evalText(big, false);
+    // 4096 * 32 bits * 0.65 ~ 85k um^2 floor.
+    EXPECT_GT(report.area_um2, 80000.0);
+}
+
+TEST(HlsPragmaTest, CoalesceFlattensAndTrusts)
+{
+    Module m = parseModule(R"(
+func.func @f(%a: memref<16x16xi32>) {
+  affine.for %i = 0 to 16 {
+    affine.for %j = 0 to 16 {
+      %v = memref.load %a[%i, %j] : memref<16x16xi32>
+      %w = arith.addi %v, %v : i32
+      memref.store %w, %a[%i, %j] : memref<16x16xi32>
+    }
+  }
+})");
+    applyPragmas(m);
+    verifyOrDie(m);
+    size_t loop_count = 0;
+    bool trusted = false;
+    walk(m, [&](Operation &op) {
+        if (isa(op, opnames::kAffineFor)) {
+            ++loop_count;
+            trusted |= op.hasAttr("seer.coalesced");
+            EXPECT_TRUE(op.hasAttr("seer.pipeline"));
+        }
+    });
+    EXPECT_EQ(loop_count, 1u);
+    EXPECT_TRUE(trusted);
+
+    // The coalesced loop must pipeline at II bounded by ports only.
+    HlsOptions options;
+    FuncSchedule schedule = scheduleOnly(m, "f", options);
+    const LoopConstraints &lc = schedule.loops.begin()->second;
+    EXPECT_TRUE(lc.pipelined);
+    EXPECT_EQ(lc.ii, 2); // load + store on the same array
+    ASSERT_TRUE(lc.trip.has_value());
+    EXPECT_EQ(*lc.trip, 256);
+}
+
+TEST(HlsPragmaTest, ReductionNestCoalescesWithCarriedMarker)
+{
+    // A scalar accumulation nest is a same-address reduction: coalesce
+    // succeeds but the loop carries a distance-1 recurrence, so the
+    // scheduler must bound II by the store-to-load span, not ports.
+    Module m = parseModule(R"(
+func.func @f(%a: memref<16x16xi32>, %s: memref<1xi32>) {
+  %z = arith.constant 0 : index
+  affine.for %i = 0 to 16 {
+    affine.for %j = 0 to 16 {
+      %acc = memref.load %s[%z] : memref<1xi32>
+      %v = memref.load %a[%i, %j] : memref<16x16xi32>
+      %n = arith.addi %acc, %v : i32
+      memref.store %n, %s[%z] : memref<1xi32>
+    }
+  }
+})");
+    applyPragmas(m);
+    verifyOrDie(m);
+    size_t loop_count = 0;
+    bool carried = false;
+    walk(m, [&](Operation &op) {
+        if (isa(op, opnames::kAffineFor)) {
+            ++loop_count;
+            carried |= op.hasAttr("seer.coalesced.carried");
+        }
+    });
+    EXPECT_EQ(loop_count, 1u);
+    EXPECT_TRUE(carried);
+    HlsOptions options;
+    FuncSchedule schedule = scheduleOnly(m, "f", options);
+    const LoopConstraints &lc = schedule.loops.begin()->second;
+    EXPECT_TRUE(lc.pipelined);
+    EXPECT_GT(lc.ii, 1); // recurrence-bound, not just the two ports
+}
+
+TEST(HlsPragmaTest, CoalesceRefusedOnMismatchedAddresses)
+{
+    // Transposed store/load: address functions differ, coalescing is
+    // genuinely unsafe and must be refused.
+    Module m = parseModule(R"(
+func.func @f(%a: memref<16x16xi32>) {
+  affine.for %i = 0 to 16 {
+    affine.for %j = 0 to 16 {
+      %v = memref.load %a[%i, %j] : memref<16x16xi32>
+      memref.store %v, %a[%j, %i] : memref<16x16xi32>
+    }
+  }
+})");
+    PragmaOptions options;
+    options.pipeline = false;
+    applyPragmas(m, options);
+    size_t loop_count = 0;
+    walk(m, [&](Operation &op) {
+        if (isa(op, opnames::kAffineFor))
+            ++loop_count;
+    });
+    EXPECT_EQ(loop_count, 2u); // untouched
+}
+
+TEST(HlsPragmaTest, ThreeLevelNestCoalesces)
+{
+    Module m = parseModule(R"(
+func.func @f(%a: memref<4x4x4xi32>) {
+  affine.for %i = 0 to 4 {
+    affine.for %j = 0 to 4 {
+      affine.for %k = 0 to 4 {
+        %v = memref.load %a[%i, %j, %k] : memref<4x4x4xi32>
+        %w = arith.addi %v, %v : i32
+        memref.store %w, %a[%i, %j, %k] : memref<4x4x4xi32>
+      }
+    }
+  }
+})");
+    applyPragmas(m);
+    verifyOrDie(m);
+    size_t loop_count = 0;
+    walk(m, [&](Operation &op) {
+        if (isa(op, opnames::kAffineFor))
+            ++loop_count;
+    });
+    EXPECT_EQ(loop_count, 1u);
+    HlsOptions options;
+    FuncSchedule schedule = scheduleOnly(m, "f", options);
+    EXPECT_EQ(*schedule.loops.begin()->second.trip, 64);
+}
+
+} // namespace
+} // namespace seer::hls

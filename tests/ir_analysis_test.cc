@@ -1,0 +1,341 @@
+/** Tests for affine analysis, dependence tests, and fusion legality. */
+#include <gtest/gtest.h>
+
+#include "ir/analysis.h"
+#include "ir/parser.h"
+
+namespace seer::ir {
+namespace {
+
+/** Find the n-th load/store under the first function. */
+Operation *
+findAccess(Module &m, size_t n)
+{
+    std::vector<Operation *> accesses;
+    walk(*m.firstFunc(), [&](Operation &op) {
+        if (isa(op, opnames::kLoad) || isa(op, opnames::kStore))
+            accesses.push_back(&op);
+    });
+    return n < accesses.size() ? accesses[n] : nullptr;
+}
+
+std::vector<Operation *>
+functionLoops(Module &m)
+{
+    return topLevelLoops(m.firstFunc()->region(0).block());
+}
+
+TEST(AffineAnalysisTest, UnderstandsLinearForms)
+{
+    Module m = parseModule(R"(
+func.func @f(%a: memref<100xi32>) {
+  %c3 = arith.constant 3 : index
+  affine.for %i = 0 to 10 {
+    %t = arith.muli %i, %c3 : index
+    %idx = arith.addi %t, %c3 : index
+    %v = memref.load %a[%idx] : memref<100xi32>
+    memref.store %v, %a[%idx] : memref<100xi32>
+  }
+})");
+    Operation *load = findAccess(m, 0);
+    auto expr = analyzeAffine(load->operand(1));
+    ASSERT_TRUE(expr.has_value());
+    EXPECT_EQ(expr->constant, 3);
+    ASSERT_EQ(expr->coeffs.size(), 1u);
+    EXPECT_EQ(expr->coeffs.begin()->second, 3);
+}
+
+TEST(AffineAnalysisTest, RefusesShifts)
+{
+    // (i << 1) + i is 3*i, but a strict polyhedral analyzer refuses it
+    // (the Figure 9 tension).
+    Module m = parseModule(R"(
+func.func @f(%a: memref<100xi32>) {
+  %c1 = arith.constant 1 : index
+  affine.for %i = 0 to 10 {
+    %sh = arith.shli %i, %c1 : index
+    %idx = arith.addi %sh, %i : index
+    %v = memref.load %a[%idx] : memref<100xi32>
+    memref.store %v, %a[%idx] : memref<100xi32>
+  }
+})");
+    Operation *load = findAccess(m, 0);
+    EXPECT_FALSE(analyzeAffine(load->operand(1)).has_value());
+}
+
+TEST(AffineAnalysisTest, RefusesVariableProducts)
+{
+    Module m = parseModule(R"(
+func.func @f(%a: memref<100xi32>) {
+  affine.for %i = 0 to 10 {
+    %sq = arith.muli %i, %i : index
+    %v = memref.load %a[%sq] : memref<100xi32>
+    memref.store %v, %a[%sq] : memref<100xi32>
+  }
+})");
+    Operation *load = findAccess(m, 0);
+    EXPECT_FALSE(analyzeAffine(load->operand(1)).has_value());
+}
+
+TEST(AffineAnalysisTest, LinearExprAlgebra)
+{
+    LinearExpr a, b;
+    a.constant = 2;
+    b.constant = 5;
+    LinearExpr sum = a + b;
+    EXPECT_EQ(sum.constant, 7);
+    EXPECT_TRUE(sum.isConstant());
+    LinearExpr scaled = sum.scaled(3);
+    EXPECT_EQ(scaled.constant, 21);
+    LinearExpr diff = scaled - sum;
+    EXPECT_EQ(diff.constant, 14);
+}
+
+TEST(FusionTest, IndependentLoopsFuse)
+{
+    Module m = parseModule(R"(
+func.func @f(%a: memref<10xi32>, %b: memref<10xi32>) {
+  affine.for %i = 0 to 10 {
+    %v = memref.load %a[%i] : memref<10xi32>
+    memref.store %v, %a[%i] : memref<10xi32>
+  }
+  affine.for %j = 0 to 10 {
+    %v = memref.load %b[%j] : memref<10xi32>
+    memref.store %v, %b[%j] : memref<10xi32>
+  }
+})");
+    auto loops = functionLoops(m);
+    ASSERT_EQ(loops.size(), 2u);
+    EXPECT_TRUE(canFuseLoops(*loops[0], *loops[1]));
+}
+
+TEST(FusionTest, ForwardDependenceFuses)
+{
+    // Producer x[i], consumer reads x[i]: distance 0, legal.
+    Module m = parseModule(R"(
+func.func @f(%a: memref<10xi32>, %x: memref<10xi32>,
+             %y: memref<10xi32>) {
+  affine.for %i = 0 to 10 {
+    %v = memref.load %a[%i] : memref<10xi32>
+    memref.store %v, %x[%i] : memref<10xi32>
+  }
+  affine.for %j = 0 to 10 {
+    %v = memref.load %x[%j] : memref<10xi32>
+    memref.store %v, %y[%j] : memref<10xi32>
+  }
+})");
+    auto loops = functionLoops(m);
+    EXPECT_TRUE(canFuseLoops(*loops[0], *loops[1]));
+}
+
+TEST(FusionTest, BackwardDependenceBlocksFusion)
+{
+    // Consumer reads x[i+1], produced later by the first loop: fusing
+    // would read stale data.
+    Module m = parseModule(R"(
+func.func @f(%a: memref<16xi32>, %x: memref<16xi32>,
+             %y: memref<10xi32>) {
+  affine.for %i = 0 to 10 {
+    %v = memref.load %a[%i] : memref<16xi32>
+    memref.store %v, %x[%i] : memref<16xi32>
+  }
+  affine.for %j = 0 to 10 {
+    %c1 = arith.constant 1 : index
+    %jp = arith.addi %j, %c1 : index
+    %v = memref.load %x[%jp] : memref<16xi32>
+    memref.store %v, %y[%j] : memref<10xi32>
+  }
+})");
+    auto loops = functionLoops(m);
+    EXPECT_FALSE(canFuseLoops(*loops[0], *loops[1]));
+}
+
+TEST(FusionTest, ShiftedReadWithinPastIsSafe)
+{
+    // Second loop reads x[j-1] (already produced when fused): legal.
+    Module m = parseModule(R"(
+func.func @f(%a: memref<16xi32>, %x: memref<16xi32>,
+             %y: memref<16xi32>) {
+  affine.for %i = 0 to 10 {
+    %v = memref.load %a[%i] : memref<16xi32>
+    memref.store %v, %x[%i] : memref<16xi32>
+  }
+  affine.for %j = 1 to 11 {
+    %c1 = arith.constant 1 : index
+    %jm = arith.subi %j, %c1 : index
+    %v = memref.load %x[%jm] : memref<16xi32>
+    memref.store %v, %y[%jm] : memref<16xi32>
+  }
+})");
+    auto loops = functionLoops(m);
+    // Bounds differ (0..10 vs 1..11): our conservative fusion refuses.
+    EXPECT_FALSE(canFuseLoops(*loops[0], *loops[1]));
+}
+
+TEST(FusionTest, NonAffineConflictBlocksFusion)
+{
+    Module m = parseModule(R"(
+func.func @f(%x: memref<64xi32>, %y: memref<64xi32>) {
+  %c1 = arith.constant 1 : index
+  affine.for %i = 0 to 10 {
+    %sh = arith.shli %i, %c1 : index
+    %idx = arith.addi %sh, %i : index
+    %v = memref.load %x[%idx] : memref<64xi32>
+    memref.store %v, %x[%idx] : memref<64xi32>
+  }
+  affine.for %j = 0 to 10 {
+    %v = memref.load %x[%j] : memref<64xi32>
+    memref.store %v, %y[%j] : memref<64xi32>
+  }
+})");
+    auto loops = functionLoops(m);
+    EXPECT_FALSE(canFuseLoops(*loops[0], *loops[1]));
+}
+
+TEST(FusionTest, MismatchedTripCountsBlockFusion)
+{
+    Module m = parseModule(R"(
+func.func @f(%a: memref<20xi32>) {
+  affine.for %i = 0 to 10 {
+    %v = memref.load %a[%i] : memref<20xi32>
+    memref.store %v, %a[%i] : memref<20xi32>
+  }
+  affine.for %j = 0 to 20 {
+    %v = memref.load %a[%j] : memref<20xi32>
+    memref.store %v, %a[%j] : memref<20xi32>
+  }
+})");
+    auto loops = functionLoops(m);
+    EXPECT_FALSE(canFuseLoops(*loops[0], *loops[1]));
+}
+
+TEST(InterchangeTest, PerfectNestDetected)
+{
+    Module m = parseModule(R"(
+func.func @f(%a: memref<4x4xi32>) {
+  affine.for %i = 0 to 4 {
+    affine.for %j = 0 to 4 {
+      %v = memref.load %a[%i, %j] : memref<4x4xi32>
+      memref.store %v, %a[%i, %j] : memref<4x4xi32>
+    }
+  }
+})");
+    auto loops = functionLoops(m);
+    Operation *inner = perfectlyNestedInner(*loops[0]);
+    ASSERT_NE(inner, nullptr);
+    EXPECT_TRUE(canInterchangeLoops(*loops[0], *inner));
+}
+
+TEST(InterchangeTest, ImperfectNestRejected)
+{
+    Module m = parseModule(R"(
+func.func @f(%a: memref<4x4xi32>, %s: memref<1xi32>) {
+  %z = arith.constant 0 : index
+  %c = arith.constant 0 : i32
+  affine.for %i = 0 to 4 {
+    memref.store %c, %s[%z] : memref<1xi32>
+    affine.for %j = 0 to 4 {
+      %v = memref.load %a[%i, %j] : memref<4x4xi32>
+      memref.store %v, %a[%i, %j] : memref<4x4xi32>
+    }
+  }
+})");
+    auto loops = functionLoops(m);
+    EXPECT_EQ(perfectlyNestedInner(*loops[0]), nullptr);
+}
+
+TEST(InterchangeTest, TriangularBoundsRejected)
+{
+    Module m = parseModule(R"(
+func.func @f(%a: memref<16xi32>) {
+  affine.for %i = 0 to 4 {
+    affine.for %j = %i to 4 {
+      %v = memref.load %a[%j] : memref<16xi32>
+      memref.store %v, %a[%j] : memref<16xi32>
+    }
+  }
+})");
+    auto loops = functionLoops(m);
+    Operation *inner = perfectlyNestedInner(*loops[0]);
+    ASSERT_NE(inner, nullptr);
+    EXPECT_FALSE(canInterchangeLoops(*loops[0], *inner));
+}
+
+TEST(CarriedDependenceTest, ScalarCellRecurrence)
+{
+    // acc[0] updated every iteration: carried, distance 1.
+    Module m = parseModule(R"(
+func.func @f(%acc: memref<1xi32>) {
+  %z = arith.constant 0 : index
+  affine.for %i = 0 to 10 {
+    %v = memref.load %acc[%z] : memref<1xi32>
+    %ii = arith.index_cast %i : index to i32
+    %n = arith.addi %v, %ii : i32
+    memref.store %n, %acc[%z] : memref<1xi32>
+  }
+})");
+    auto loops = functionLoops(m);
+    EXPECT_TRUE(hasLoopCarriedDependence(*loops[0]));
+    auto distance = minCarriedDependenceDistance(*loops[0]);
+    ASSERT_TRUE(distance.has_value());
+    EXPECT_EQ(*distance, 1);
+}
+
+TEST(CarriedDependenceTest, ElementwiseLoopIsFree)
+{
+    Module m = parseModule(R"(
+func.func @f(%a: memref<10xi32>, %b: memref<10xi32>) {
+  affine.for %i = 0 to 10 {
+    %v = memref.load %a[%i] : memref<10xi32>
+    memref.store %v, %b[%i] : memref<10xi32>
+  }
+})");
+    auto loops = functionLoops(m);
+    EXPECT_FALSE(hasLoopCarriedDependence(*loops[0]));
+}
+
+TEST(CarriedDependenceTest, DistanceKRecurrence)
+{
+    // b[i+3] = f(b[i]): distance 3.
+    Module m = parseModule(R"(
+func.func @f(%b: memref<32xi32>) {
+  %c3 = arith.constant 3 : index
+  affine.for %i = 0 to 20 {
+    %v = memref.load %b[%i] : memref<32xi32>
+    %ip3 = arith.addi %i, %c3 : index
+    memref.store %v, %b[%ip3] : memref<32xi32>
+  }
+})");
+    auto loops = functionLoops(m);
+    EXPECT_TRUE(hasLoopCarriedDependence(*loops[0]));
+    auto distance = minCarriedDependenceDistance(*loops[0]);
+    ASSERT_TRUE(distance.has_value());
+    EXPECT_EQ(*distance, 3);
+}
+
+TEST(AnalysisTest, IsDefinedOutside)
+{
+    Module m = parseModule(R"(
+func.func @f(%a: memref<10xi32>) {
+  %c = arith.constant 1 : index
+  affine.for %i = 0 to 10 {
+    %t = arith.addi %i, %c : index
+    %v = memref.load %a[%t] : memref<10xi32>
+    memref.store %v, %a[%t] : memref<10xi32>
+  }
+})");
+    auto loops = functionLoops(m);
+    Operation &loop = *loops[0];
+    Operation *load = nullptr;
+    walk(loop, [&](Operation &op) {
+        if (isa(op, opnames::kLoad))
+            load = &op;
+    });
+    ASSERT_NE(load, nullptr);
+    EXPECT_TRUE(isDefinedOutside(load->operand(0), loop));  // %a
+    EXPECT_FALSE(isDefinedOutside(load->operand(1), loop)); // %t
+    EXPECT_FALSE(isDefinedOutside(inductionVar(loop), loop));
+}
+
+} // namespace
+} // namespace seer::ir

@@ -1,0 +1,296 @@
+/** Interpreter tests: functional semantics, traps, and profiling. */
+#include <gtest/gtest.h>
+
+#include "ir/interp.h"
+#include "ir/parser.h"
+#include "support/error.h"
+
+namespace seer::ir {
+namespace {
+
+int64_t
+runScalar(const std::string &text, std::vector<RtValue> args = {},
+          const std::string &func = "f")
+{
+    Module m = parseModule(text);
+    InterpResult r = interpret(m, func, std::move(args));
+    EXPECT_EQ(r.results.size(), 1u);
+    return std::get<int64_t>(r.results[0]);
+}
+
+TEST(InterpTest, ConstantsAndArith)
+{
+    EXPECT_EQ(runScalar(R"(
+func.func @f() -> i32 {
+  %a = arith.constant 20 : i32
+  %b = arith.constant 22 : i32
+  %c = arith.addi %a, %b : i32
+  func.return %c : i32
+})"),
+              42);
+}
+
+TEST(InterpTest, WidthWrapping)
+{
+    // i8: 127 + 1 wraps to -128.
+    EXPECT_EQ(runScalar(R"(
+func.func @f() -> i8 {
+  %a = arith.constant 127 : i8
+  %b = arith.constant 1 : i8
+  %c = arith.addi %a, %b : i8
+  func.return %c : i8
+})"),
+              -128);
+}
+
+TEST(InterpTest, ShiftAndMaskOps)
+{
+    EXPECT_EQ(runScalar(R"(
+func.func @f() -> i32 {
+  %a = arith.constant 3 : i32
+  %one = arith.constant 1 : i32
+  %sh = arith.shli %a, %one : i32
+  %r = arith.addi %sh, %a : i32
+  func.return %r : i32
+})"),
+              9); // (3<<1)+3
+}
+
+TEST(InterpTest, SignedUnsignedDivision)
+{
+    EXPECT_EQ(runScalar(R"(
+func.func @f() -> i32 {
+  %a = arith.constant -7 : i32
+  %b = arith.constant 2 : i32
+  %r = arith.divsi %a, %b : i32
+  func.return %r : i32
+})"),
+              -3);
+    EXPECT_EQ(runScalar(R"(
+func.func @f() -> i8 {
+  %a = arith.constant -1 : i8
+  %b = arith.constant 16 : i8
+  %r = arith.divui %a, %b : i8
+  func.return %r : i8
+})"),
+              15); // 255 / 16
+}
+
+TEST(InterpTest, CmpAndSelect)
+{
+    EXPECT_EQ(runScalar(R"(
+func.func @f(%a: i32, %b: i32) -> i32 {
+  %c = arith.cmpi slt, %a, %b : i32
+  %r = arith.select %c, %a, %b : i32
+  func.return %r : i32
+})",
+                        {int64_t{4}, int64_t{9}}),
+              4);
+}
+
+TEST(InterpTest, UnsignedCompareUsesWidth)
+{
+    // -1 as u8 is 255 > 1.
+    EXPECT_EQ(runScalar(R"(
+func.func @f() -> i1 {
+  %a = arith.constant -1 : i8
+  %b = arith.constant 1 : i8
+  %c = arith.cmpi ugt, %a, %b : i8
+  func.return %c : i1
+})"),
+              1);
+}
+
+TEST(InterpTest, AffineLoopAccumulatesThroughMemory)
+{
+    // sum 0..9 into acc[0].
+    Module m = parseModule(R"(
+func.func @f(%acc: memref<1xi32>) {
+  %z = arith.constant 0 : index
+  affine.for %i = 0 to 10 {
+    %v = memref.load %acc[%z] : memref<1xi32>
+    %ii = arith.index_cast %i : index to i32
+    %n = arith.addi %v, %ii : i32
+    memref.store %n, %acc[%z] : memref<1xi32>
+  }
+})");
+    Buffer acc(Type::memref({1}, Type::i32()));
+    interpret(m, "f", {&acc});
+    EXPECT_EQ(acc.ints[0], 45);
+}
+
+TEST(InterpTest, DynamicBoundsLoop)
+{
+    Module m = parseModule(R"(
+func.func @f(%a: memref<64xi32>) {
+  %one = arith.constant 1 : i32
+  affine.for %jj = 0 to 64 step 8 {
+    affine.for %j = %jj to %jj + 8 {
+      %v = memref.load %a[%j] : memref<64xi32>
+      %n = arith.addi %v, %one : i32
+      memref.store %n, %a[%j] : memref<64xi32>
+    }
+  }
+})");
+    Buffer a(Type::memref({64}, Type::i32()));
+    interpret(m, "f", {&a});
+    for (int i = 0; i < 64; ++i)
+        EXPECT_EQ(a.ints[i], 1);
+}
+
+TEST(InterpTest, ScfIfBranches)
+{
+    EXPECT_EQ(runScalar(R"(
+func.func @f(%c: i1) -> i32 {
+  %a = arith.constant 10 : i32
+  %b = arith.constant 20 : i32
+  %r = scf.if %c -> (i32) {
+    scf.yield %a : i32
+  } else {
+    scf.yield %b : i32
+  }
+  func.return %r : i32
+})",
+                        {int64_t{1}}),
+              10);
+}
+
+TEST(InterpTest, ScfWhileCountsToLimit)
+{
+    Module m = parseModule(R"(
+func.func @f(%s: memref<1xi32>) {
+  %z = arith.constant 0 : index
+  %limit = arith.constant 10 : i32
+  %one = arith.constant 1 : i32
+  scf.while {
+    %v = memref.load %s[%z] : memref<1xi32>
+    %cond = arith.cmpi slt, %v, %limit : i32
+    scf.condition %cond
+  } do {
+    %v = memref.load %s[%z] : memref<1xi32>
+    %n = arith.addi %v, %one : i32
+    memref.store %n, %s[%z] : memref<1xi32>
+  }
+})");
+    Buffer s(Type::memref({1}, Type::i32()));
+    interpret(m, "f", {&s});
+    EXPECT_EQ(s.ints[0], 10);
+}
+
+TEST(InterpTest, FloatArithmetic)
+{
+    Module m = parseModule(R"(
+func.func @f(%a: memref<1xf64>) {
+  %z = arith.constant 0 : index
+  %x = arith.constant 1.5 : f64
+  %y = arith.constant 2.0 : f64
+  %p = arith.mulf %x, %y : f64
+  %q = arith.addf %p, %x : f64
+  memref.store %q, %a[%z] : memref<1xf64>
+})");
+    Buffer a(Type::memref({1}, Type::f64()));
+    interpret(m, "f", {&a});
+    EXPECT_DOUBLE_EQ(a.floats[0], 4.5);
+}
+
+TEST(InterpTest, FunctionCalls)
+{
+    EXPECT_EQ(runScalar(R"(
+func.func @sq(%x: i32) -> i32 {
+  %r = arith.muli %x, %x : i32
+  func.return %r : i32
+}
+func.func @f(%a: i32) -> i32 {
+  %r = func.call @sq(%a) : (i32) -> (i32)
+  func.return %r : i32
+})",
+                        {int64_t{6}}),
+              36);
+}
+
+TEST(InterpTest, OutOfBoundsTraps)
+{
+    Module m = parseModule(R"(
+func.func @f(%a: memref<4xi32>) {
+  %i = arith.constant 4 : index
+  %v = memref.load %a[%i] : memref<4xi32>
+})");
+    Buffer a(Type::memref({4}, Type::i32()));
+    EXPECT_THROW(interpret(m, "f", {&a}), FatalError);
+}
+
+TEST(InterpTest, DivisionByZeroTraps)
+{
+    EXPECT_THROW(runScalar(R"(
+func.func @f() -> i32 {
+  %a = arith.constant 1 : i32
+  %b = arith.constant 0 : i32
+  %r = arith.divsi %a, %b : i32
+  func.return %r : i32
+})"),
+                 FatalError);
+}
+
+TEST(InterpTest, StepLimitGuards)
+{
+    Module m = parseModule(R"(
+func.func @f(%a: memref<1xi32>) {
+  %z = arith.constant 0 : index
+  affine.for %i = 0 to 1000000 {
+    %v = memref.load %a[%z] : memref<1xi32>
+    memref.store %v, %a[%z] : memref<1xi32>
+  }
+})");
+    Buffer a(Type::memref({1}, Type::i32()));
+    InterpOptions options;
+    options.max_steps = 1000;
+    EXPECT_THROW(interpret(m, "f", {&a}, options), FatalError);
+}
+
+TEST(InterpTest, ProfileCountsLoopIterations)
+{
+    Module m = parseModule(R"(
+func.func @f(%a: memref<24xi32>) {
+  affine.for %i = 0 to 4 {
+    affine.for %j = 0 to 6 {
+      %idx = arith.muli %i, %j : index
+      %v = memref.load %a[%j] : memref<24xi32>
+      memref.store %v, %a[%j] : memref<24xi32>
+    }
+  }
+})");
+    Buffer a(Type::memref({24}, Type::i32()));
+    InterpOptions options;
+    options.profile = true;
+    InterpResult r = interpret(m, "f", {&a}, options);
+    ASSERT_EQ(r.profile.loops.size(), 2u);
+    uint64_t entries_total = 0, iters_total = 0;
+    for (const auto &[op, counts] : r.profile.loops) {
+        entries_total += counts.first;
+        iters_total += counts.second;
+    }
+    // Outer: entered once, 4 iters. Inner: entered 4 times, 24 iters.
+    EXPECT_EQ(entries_total, 5u);
+    EXPECT_EQ(iters_total, 28u);
+}
+
+TEST(InterpTest, CastSemantics)
+{
+    EXPECT_EQ(runScalar(R"(
+func.func @f() -> i32 {
+  %a = arith.constant -1 : i8
+  %u = arith.extui %a : i8 to i32
+  func.return %u : i32
+})"),
+              255);
+    EXPECT_EQ(runScalar(R"(
+func.func @f() -> i8 {
+  %a = arith.constant 257 : i32
+  %t = arith.trunci %a : i32 to i8
+  func.return %t : i8
+})"),
+              1);
+}
+
+} // namespace
+} // namespace seer::ir

@@ -1,0 +1,251 @@
+/** Parser/printer round-trip tests for the textual IR format. */
+#include <gtest/gtest.h>
+
+#include "ir/parser.h"
+#include "ir/printer.h"
+#include "ir/verifier.h"
+#include "support/error.h"
+
+namespace seer::ir {
+namespace {
+
+/** Parse, verify, print, re-parse, re-print: both prints must agree. */
+std::string
+roundTrip(const std::string &text)
+{
+    Module first = parseModule(text);
+    EXPECT_EQ(verify(first), "");
+    std::string printed = toString(first);
+    Module second = parseModule(printed);
+    EXPECT_EQ(verify(second), "");
+    EXPECT_EQ(toString(second), printed);
+    return printed;
+}
+
+TEST(ParserTest, EmptyFunction)
+{
+    std::string printed = roundTrip("func.func @f() {}");
+    EXPECT_NE(printed.find("func.func @f()"), std::string::npos);
+}
+
+TEST(ParserTest, ArithAndConstants)
+{
+    std::string printed = roundTrip(R"(
+func.func @f(%a: i32, %b: i32) -> i32 {
+  %c = arith.constant 41 : i32
+  %neg = arith.constant -3 : i32
+  %s = arith.addi %a, %b : i32
+  %m = arith.muli %s, %c : i32
+  %x = arith.xori %m, %neg : i32
+  func.return %x : i32
+})");
+    EXPECT_NE(printed.find("arith.constant -3 : i32"), std::string::npos);
+    EXPECT_NE(printed.find("arith.addi %a, %b : i32"), std::string::npos);
+}
+
+TEST(ParserTest, FloatConstants)
+{
+    std::string printed = roundTrip(R"(
+func.func @f() -> f64 {
+  %c = arith.constant 2.5 : f64
+  %d = arith.constant 1.0 : f64
+  %e = arith.mulf %c, %d : f64
+  func.return %e : f64
+})");
+    EXPECT_NE(printed.find("2.5"), std::string::npos);
+    EXPECT_NE(printed.find("1.0"), std::string::npos);
+}
+
+TEST(ParserTest, MemRefOps)
+{
+    roundTrip(R"(
+func.func @f(%a: memref<8x8xi32>) {
+  %m = memref.alloc() : memref<16xi32>
+  %i = arith.constant 3 : index
+  %j = arith.constant 4 : index
+  %v = memref.load %a[%i, %j] : memref<8x8xi32>
+  memref.store %v, %m[%i] : memref<16xi32>
+})");
+}
+
+TEST(ParserTest, AffineForConstantBounds)
+{
+    std::string printed = roundTrip(R"(
+func.func @f(%a: memref<100xi32>) {
+  affine.for %i = 0 to 100 {
+    %v = memref.load %a[%i] : memref<100xi32>
+    memref.store %v, %a[%i] : memref<100xi32>
+  }
+})");
+    EXPECT_NE(printed.find("affine.for %i = 0 to 100 {"),
+              std::string::npos);
+}
+
+TEST(ParserTest, AffineForDynamicBounds)
+{
+    std::string printed = roundTrip(R"(
+func.func @f(%a: memref<64xi32>) {
+  affine.for %jj = 0 to 64 step 8 {
+    affine.for %j = %jj to %jj + 8 {
+      %v = memref.load %a[%j] : memref<64xi32>
+      memref.store %v, %a[%j] : memref<64xi32>
+    }
+  }
+})");
+    EXPECT_NE(printed.find("step 8"), std::string::npos);
+    EXPECT_NE(printed.find("%jj to %jj + 8"), std::string::npos);
+}
+
+TEST(ParserTest, AffineForScaledBound)
+{
+    std::string printed = roundTrip(R"(
+func.func @f(%a: memref<64xi32>) {
+  affine.for %i = 0 to 8 {
+    affine.for %j = 2 * %i to 2 * %i + 4 {
+      %v = memref.load %a[%j] : memref<64xi32>
+      memref.store %v, %a[%j] : memref<64xi32>
+    }
+  }
+})");
+    EXPECT_NE(printed.find("2 * %i"), std::string::npos);
+}
+
+TEST(ParserTest, ScfIfWithoutResults)
+{
+    std::string printed = roundTrip(R"(
+func.func @f(%a: memref<4xi32>, %c: i1) {
+  %i = arith.constant 0 : index
+  %v = arith.constant 7 : i32
+  scf.if %c {
+    memref.store %v, %a[%i] : memref<4xi32>
+  }
+})");
+    // Empty else branch must not be printed.
+    EXPECT_EQ(printed.find("else"), std::string::npos);
+}
+
+TEST(ParserTest, ScfIfWithResultsAndElse)
+{
+    std::string printed = roundTrip(R"(
+func.func @f(%c: i1, %a: i32, %b: i32) -> i32 {
+  %r = scf.if %c -> (i32) {
+    scf.yield %a : i32
+  } else {
+    scf.yield %b : i32
+  }
+  func.return %r : i32
+})");
+    EXPECT_NE(printed.find("scf.if %c -> (i32)"), std::string::npos);
+    EXPECT_NE(printed.find("else"), std::string::npos);
+}
+
+TEST(ParserTest, ScfWhile)
+{
+    roundTrip(R"(
+func.func @f(%s: memref<1xi32>) {
+  %z = arith.constant 0 : index
+  %limit = arith.constant 10 : i32
+  %one = arith.constant 1 : i32
+  scf.while {
+    %v = memref.load %s[%z] : memref<1xi32>
+    %cond = arith.cmpi slt, %v, %limit : i32
+    scf.condition %cond
+  } do {
+    %v2 = memref.load %s[%z] : memref<1xi32>
+    %n = arith.addi %v2, %one : i32
+    memref.store %n, %s[%z] : memref<1xi32>
+  }
+})");
+}
+
+TEST(ParserTest, CastsPrintBothTypes)
+{
+    std::string printed = roundTrip(R"(
+func.func @f(%a: i8) -> i32 {
+  %w = arith.extsi %a : i8 to i32
+  func.return %w : i32
+})");
+    EXPECT_NE(printed.find("arith.extsi %a : i8 to i32"),
+              std::string::npos);
+}
+
+TEST(ParserTest, CallBetweenFunctions)
+{
+    roundTrip(R"(
+func.func @callee(%x: i32) -> i32 {
+  func.return %x : i32
+}
+
+func.func @caller(%a: i32) -> i32 {
+  %r = func.call @callee(%a) : (i32) -> (i32)
+  func.return %r : i32
+})");
+}
+
+TEST(ParserTest, CommentsAreSkipped)
+{
+    roundTrip(R"(
+// a leading comment
+func.func @f() {
+  // inside
+}
+)");
+}
+
+TEST(ParserTest, NameCollisionsGetSuffixes)
+{
+    // Two scopes can reuse %v; printing must disambiguate.
+    std::string printed = roundTrip(R"(
+func.func @f(%a: memref<4xi32>) {
+  affine.for %i = 0 to 4 {
+    %v = memref.load %a[%i] : memref<4xi32>
+    memref.store %v, %a[%i] : memref<4xi32>
+  }
+  affine.for %j = 0 to 4 {
+    %v = memref.load %a[%j] : memref<4xi32>
+    memref.store %v, %a[%j] : memref<4xi32>
+  }
+})");
+    EXPECT_NE(printed.find("%v_1"), std::string::npos);
+}
+
+TEST(ParserTest, Errors)
+{
+    EXPECT_THROW(parseModule("func.func f() {}"), FatalError);
+    EXPECT_THROW(parseModule("garbage"), FatalError);
+    EXPECT_THROW(parseModule("func.func @f() { %x = arith.addi %y, %y "
+                             ": i32 }"),
+                 FatalError); // undefined %y
+    EXPECT_THROW(parseModule("func.func @f() { %x = bogus.op : i32 }"),
+                 FatalError);
+    EXPECT_THROW(
+        parseModule("func.func @f() { affine.for %i = 0 too 4 { } }"),
+        FatalError);
+}
+
+TEST(ParserTest, ResultCountMismatchRejected)
+{
+    EXPECT_THROW(parseModule(R"(
+func.func @f(%a: i32) {
+  %x, %y = arith.addi %a, %a : i32
+})"),
+                 FatalError);
+}
+
+TEST(ParserTest, ValueScopeEndsWithBlock)
+{
+    // %v defined in the first loop must not be visible in the second.
+    EXPECT_THROW(parseModule(R"(
+func.func @f(%a: memref<4xi32>) {
+  affine.for %i = 0 to 4 {
+    %v = memref.load %a[%i] : memref<4xi32>
+  }
+  affine.for %j = 0 to 4 {
+    memref.store %v, %a[%j] : memref<4xi32>
+  }
+})"),
+                 FatalError);
+}
+
+} // namespace
+} // namespace seer::ir

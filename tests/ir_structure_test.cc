@@ -1,0 +1,178 @@
+/** Structural IR utilities: cloning, walking, block surgery, printing
+ *  stability. */
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+#include "ir/parser.h"
+#include "ir/printer.h"
+#include "ir/verifier.h"
+
+namespace seer::ir {
+namespace {
+
+const char *kNested = R"(
+func.func @f(%a: memref<8xi32>, %s: memref<1xi32>) {
+  %z = arith.constant 0 : index
+  %zero = arith.constant 0 : i32
+  memref.store %zero, %s[%z] : memref<1xi32>
+  affine.for %i = 0 to 8 {
+    %v = memref.load %a[%i] : memref<8xi32>
+    %c = arith.cmpi sgt, %v, %zero : i32
+    scf.if %c {
+      %acc = memref.load %s[%z] : memref<1xi32>
+      %n = arith.addi %acc, %v : i32
+      memref.store %n, %s[%z] : memref<1xi32>
+    }
+  }
+})";
+
+TEST(CloneTest, DeepCloneIsIndependent)
+{
+    Module original = parseModule(kNested);
+    Module clone = cloneModule(original);
+    EXPECT_EQ(verify(clone), "");
+    EXPECT_EQ(toString(original), toString(clone));
+    // Mutating the clone must not affect the original.
+    Operation *loop = nullptr;
+    walk(clone, [&](Operation &op) {
+        if (isa(op, opnames::kAffineFor))
+            loop = &op;
+    });
+    ASSERT_NE(loop, nullptr);
+    setLoopBounds(*loop, AffineBound::fromConstant(0),
+                  AffineBound::fromConstant(4), 1);
+    EXPECT_NE(toString(original), toString(clone));
+    EXPECT_NE(toString(original).find("0 to 8"), std::string::npos);
+}
+
+TEST(CloneTest, CloneRemapsInternalValuesOnly)
+{
+    Module original = parseModule(kNested);
+    Module clone = cloneModule(original);
+    // No value impl may be shared between the two modules.
+    std::set<ValueImpl *> original_values;
+    walk(original, [&](Operation &op) {
+        for (size_t i = 0; i < op.numResults(); ++i)
+            original_values.insert(op.result(i).impl());
+    });
+    walk(clone, [&](Operation &op) {
+        for (Value operand : op.operands())
+            EXPECT_FALSE(original_values.count(operand.impl()));
+    });
+}
+
+TEST(WalkTest, PreOrderCoversEverything)
+{
+    Module m = parseModule(kNested);
+    std::vector<std::string> order;
+    walk(m, [&](Operation &op) { order.push_back(op.nameStr()); });
+    // func first, loop before its contents, if before its stores.
+    ASSERT_FALSE(order.empty());
+    EXPECT_EQ(order[0], "func.func");
+    auto loop_pos = std::find(order.begin(), order.end(), "affine.for");
+    auto if_pos = std::find(order.begin(), order.end(), "scf.if");
+    ASSERT_NE(loop_pos, order.end());
+    ASSERT_NE(if_pos, order.end());
+    EXPECT_LT(loop_pos - order.begin(), if_pos - order.begin());
+}
+
+TEST(WalkTest, PrunedWalkSkipsSubtrees)
+{
+    Module m = parseModule(kNested);
+    size_t seen_inside_if = 0;
+    walkPruned(*m.firstFunc(), [&](Operation &op) {
+        if (isa(op, opnames::kIf))
+            return false; // do not descend
+        if (isa(op, opnames::kAddI))
+            ++seen_inside_if;
+        return true;
+    });
+    EXPECT_EQ(seen_inside_if, 0u);
+}
+
+TEST(BlockSurgeryTest, TakeAndReinsert)
+{
+    Module m = parseModule(kNested);
+    Block &body = m.firstFunc()->region(0).block();
+    Operation *store = nullptr;
+    for (auto &op : body.ops()) {
+        if (isa(*op, opnames::kStore))
+            store = op.get();
+    }
+    ASSERT_NE(store, nullptr);
+    size_t before = body.size();
+    Operation::Ptr taken = body.take(body.find(store));
+    EXPECT_EQ(body.size(), before - 1);
+    EXPECT_EQ(taken->parentBlock(), nullptr);
+    body.insert(body.find(&body.back()), std::move(taken));
+    EXPECT_EQ(body.size(), before);
+    EXPECT_EQ(verify(m), "");
+}
+
+TEST(BlockSurgeryTest, BuilderInsertionPoints)
+{
+    Module m = parseModule("func.func @f() {}");
+    Block &body = m.firstFunc()->region(0).block();
+    // body currently holds only func.return.
+    Operation *ret = &body.back();
+    OpBuilder before = OpBuilder::before(ret);
+    Value c1 = before.intConstant(Type::i32(), 1);
+    OpBuilder after_c1 = OpBuilder::after(c1.definingOp());
+    after_c1.intConstant(Type::i32(), 2);
+    std::vector<int64_t> values;
+    for (auto &op : body.ops()) {
+        if (isa(*op, opnames::kConstant))
+            values.push_back(op->intAttr("value"));
+    }
+    EXPECT_EQ(values, (std::vector<int64_t>{1, 2}));
+    EXPECT_TRUE(isa(body.back(), opnames::kReturn));
+}
+
+TEST(PrintStabilityTest, PrintParsePrintIsFixpoint)
+{
+    Module first = parseModule(kNested);
+    std::string once = toString(first);
+    Module second = parseModule(once);
+    std::string twice = toString(second);
+    EXPECT_EQ(once, twice);
+}
+
+TEST(ParentChainTest, IsInsideAndParentOp)
+{
+    Module m = parseModule(kNested);
+    Operation *func = m.firstFunc();
+    Operation *loop = nullptr, *if_op = nullptr, *inner_store = nullptr;
+    walk(m, [&](Operation &op) {
+        if (isa(op, opnames::kAffineFor))
+            loop = &op;
+        if (isa(op, opnames::kIf))
+            if_op = &op;
+        if (isa(op, opnames::kStore) && op.parentOp() &&
+            isa(*op.parentOp(), opnames::kIf)) {
+            inner_store = &op;
+        }
+    });
+    ASSERT_NE(inner_store, nullptr);
+    EXPECT_TRUE(inner_store->isInside(if_op));
+    EXPECT_TRUE(inner_store->isInside(loop));
+    EXPECT_TRUE(inner_store->isInside(func));
+    EXPECT_FALSE(loop->isInside(if_op));
+    EXPECT_EQ(inner_store->parentOp(), if_op);
+    EXPECT_EQ(if_op->parentOp(), loop);
+    EXPECT_EQ(loop->parentOp(), func);
+    EXPECT_EQ(func->parentOp(), nullptr);
+}
+
+TEST(ModuleTest, LookupFunc)
+{
+    Module m = parseModule(R"(
+func.func @one() {}
+func.func @two() {})");
+    EXPECT_NE(m.lookupFunc("one"), nullptr);
+    EXPECT_NE(m.lookupFunc("two"), nullptr);
+    EXPECT_EQ(m.lookupFunc("three"), nullptr);
+    EXPECT_EQ(m.firstFunc(), m.lookupFunc("one"));
+}
+
+} // namespace
+} // namespace seer::ir

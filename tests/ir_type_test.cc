@@ -1,0 +1,110 @@
+/** Tests for the IR type system and attributes. */
+#include <gtest/gtest.h>
+
+#include "ir/attribute.h"
+#include "ir/parser.h"
+#include "ir/type.h"
+#include "support/error.h"
+
+namespace seer::ir {
+namespace {
+
+TEST(TypeTest, IntegerBasics)
+{
+    Type t = Type::i32();
+    EXPECT_TRUE(t.isInteger());
+    EXPECT_EQ(t.bitwidth(), 32u);
+    EXPECT_EQ(t.str(), "i32");
+    EXPECT_EQ(Type::integer(7).str(), "i7");
+}
+
+TEST(TypeTest, IndexAndFloat)
+{
+    EXPECT_TRUE(Type::index().isIndex());
+    EXPECT_EQ(Type::index().str(), "index");
+    EXPECT_EQ(Type::index().bitwidth(), 64u);
+    EXPECT_TRUE(Type::f64().isFloat());
+    EXPECT_EQ(Type::f64().str(), "f64");
+}
+
+TEST(TypeTest, MemRefShapeAndElements)
+{
+    Type m = Type::memref({8, 8}, Type::i32());
+    EXPECT_TRUE(m.isMemRef());
+    EXPECT_EQ(m.shape(), (std::vector<int64_t>{8, 8}));
+    EXPECT_EQ(m.elementType(), Type::i32());
+    EXPECT_EQ(m.numElements(), 64);
+    EXPECT_EQ(m.str(), "memref<8x8xi32>");
+}
+
+TEST(TypeTest, Equality)
+{
+    EXPECT_EQ(Type::i32(), Type::i32());
+    EXPECT_NE(Type::i32(), Type::integer(31));
+    EXPECT_NE(Type::i32(), Type::index());
+    EXPECT_EQ(Type::memref({4}, Type::i1()), Type::memref({4}, Type::i1()));
+    EXPECT_NE(Type::memref({4}, Type::i1()), Type::memref({5}, Type::i1()));
+    EXPECT_NE(Type::memref({4}, Type::i1()),
+              Type::memref({4}, Type::i32()));
+}
+
+TEST(TypeTest, ParseTypeSpellings)
+{
+    EXPECT_EQ(parseType("i17"), Type::integer(17));
+    EXPECT_EQ(parseType("index"), Type::index());
+    EXPECT_EQ(parseType("f64"), Type::f64());
+    EXPECT_EQ(parseType("memref<100xi32>"),
+              Type::memref({100}, Type::i32()));
+    EXPECT_EQ(parseType("memref<2x3x4xf64>"),
+              Type::memref({2, 3, 4}, Type::f64()));
+    EXPECT_THROW(parseType("i32x"), FatalError);
+    EXPECT_THROW(parseType("memref<xi32>"), FatalError);
+}
+
+TEST(TypeTest, RoundTripThroughStr)
+{
+    for (const char *spelling :
+         {"i1", "i8", "i32", "i64", "index", "f64", "memref<16xi8>",
+          "memref<4x4x4xi32>", "memref<7xf64>"}) {
+        EXPECT_EQ(parseType(spelling).str(), spelling);
+    }
+}
+
+TEST(TypeTest, InvalidConstructionsDie)
+{
+    EXPECT_DEATH(Type::integer(0), "bad integer width");
+    EXPECT_DEATH(Type::integer(65), "bad integer width");
+    EXPECT_DEATH(Type::memref({}, Type::i32()), "at least one");
+    EXPECT_DEATH(Type::memref({-1}, Type::i32()), "positive");
+    EXPECT_DEATH(Type::memref({4}, Type::memref({4}, Type::i32())),
+                 "scalar");
+}
+
+TEST(AttributeTest, Variants)
+{
+    EXPECT_TRUE(Attribute().isNull());
+    EXPECT_EQ(Attribute(int64_t{5}).asInt(), 5);
+    EXPECT_EQ(Attribute(2.5).asFloat(), 2.5);
+    EXPECT_EQ(Attribute("slt").asString(), "slt");
+    EXPECT_EQ(Attribute(std::vector<int64_t>{1, 2}).asIntArray().size(),
+              2u);
+    EXPECT_EQ(Attribute(Type::i32()).asType(), Type::i32());
+}
+
+TEST(AttributeTest, StrRendering)
+{
+    EXPECT_EQ(Attribute(int64_t{-3}).str(), "-3");
+    EXPECT_EQ(Attribute(1.0).str(), "1.0");
+    EXPECT_EQ(Attribute("abc").str(), "\"abc\"");
+    EXPECT_EQ(Attribute(std::vector<int64_t>{1, 2}).str(), "[1, 2]");
+}
+
+TEST(AttributeTest, Equality)
+{
+    EXPECT_EQ(Attribute(int64_t{5}), Attribute(int64_t{5}));
+    EXPECT_FALSE(Attribute(int64_t{5}) == Attribute(int64_t{6}));
+    EXPECT_FALSE(Attribute(int64_t{5}) == Attribute(5.0));
+}
+
+} // namespace
+} // namespace seer::ir

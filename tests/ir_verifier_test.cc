@@ -1,0 +1,179 @@
+/** Verifier tests: structural and type violations must be diagnosed. */
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+#include "ir/parser.h"
+#include "ir/verifier.h"
+#include "support/error.h"
+
+namespace seer::ir {
+namespace {
+
+Module
+funcWithBody(const std::function<void(OpBuilder &, Block &)> &fill)
+{
+    Module module;
+    auto func = std::make_unique<Operation>(Symbol(opnames::kFunc));
+    func->setAttr("sym_name", Attribute("f"));
+    Block &body = func->addRegion().block();
+    OpBuilder builder = OpBuilder::atEnd(body);
+    fill(builder, body);
+    builder.create(opnames::kReturn, {}, {});
+    module.push_back(std::move(func));
+    return module;
+}
+
+TEST(VerifierTest, AcceptsWellFormed)
+{
+    Module m = funcWithBody([](OpBuilder &b, Block &) {
+        Value c = b.intConstant(Type::i32(), 1);
+        b.binary(opnames::kAddI, c, c);
+    });
+    EXPECT_EQ(verify(m), "");
+}
+
+TEST(VerifierTest, RejectsTypeMismatchInBinary)
+{
+    Module m = funcWithBody([](OpBuilder &b, Block &) {
+        Value a = b.intConstant(Type::i32(), 1);
+        Value c = b.intConstant(Type::i64(), 1);
+        b.create(opnames::kAddI, {a, c}, {Type::i32()});
+    });
+    EXPECT_NE(verify(m).find("operand types differ"), std::string::npos);
+}
+
+TEST(VerifierTest, RejectsWrongOperandCount)
+{
+    Module m = funcWithBody([](OpBuilder &b, Block &) {
+        Value a = b.intConstant(Type::i32(), 1);
+        b.create(opnames::kAddI, {a}, {Type::i32()});
+    });
+    EXPECT_NE(verify(m).find("expected 2 operands"), std::string::npos);
+}
+
+TEST(VerifierTest, RejectsCmpResultNotI1)
+{
+    Module m = funcWithBody([](OpBuilder &b, Block &) {
+        Value a = b.intConstant(Type::i32(), 1);
+        Operation *cmp =
+            b.create(opnames::kCmpI, {a, a}, {Type::i32()});
+        cmp->setAttr("predicate", Attribute("slt"));
+    });
+    EXPECT_NE(verify(m).find("cmp result must be i1"), std::string::npos);
+}
+
+TEST(VerifierTest, RejectsBadSelect)
+{
+    Module m = funcWithBody([](OpBuilder &b, Block &) {
+        Value a = b.intConstant(Type::i32(), 1);
+        b.create(opnames::kSelect, {a, a, a}, {Type::i32()});
+    });
+    EXPECT_NE(verify(m).find("select condition"), std::string::npos);
+}
+
+TEST(VerifierTest, RejectsLoadRankMismatch)
+{
+    Module m = funcWithBody([](OpBuilder &b, Block &) {
+        Value mem = b.alloc(Type::memref({4, 4}, Type::i32()));
+        Value i = b.indexConstant(0);
+        b.create(opnames::kLoad, {mem, i}, {Type::i32()});
+    });
+    EXPECT_NE(verify(m).find("index count"), std::string::npos);
+}
+
+TEST(VerifierTest, RejectsNonIndexSubscript)
+{
+    Module m = funcWithBody([](OpBuilder &b, Block &) {
+        Value mem = b.alloc(Type::memref({4}, Type::i32()));
+        Value i = b.intConstant(Type::i32(), 0);
+        b.create(opnames::kLoad, {mem, i}, {Type::i32()});
+    });
+    EXPECT_NE(verify(m).find("index-typed"), std::string::npos);
+}
+
+TEST(VerifierTest, RejectsUseBeforeDef)
+{
+    // Build f() { %x = addi %y, %y } where %y is defined later.
+    Module m = funcWithBody([](OpBuilder &b, Block &block) {
+        Value c = b.intConstant(Type::i32(), 1);
+        Operation *add = b.create(opnames::kAddI, {c, c}, {Type::i32()});
+        // Rewire the add to use a value defined after it.
+        Value late = b.intConstant(Type::i32(), 2);
+        add->setOperand(0, late);
+        (void)block;
+    });
+    EXPECT_NE(verify(m).find("dominate"), std::string::npos);
+}
+
+TEST(VerifierTest, RejectsUseOfInnerValueOutside)
+{
+    // A value defined inside a loop used after the loop.
+    Module m = funcWithBody([](OpBuilder &b, Block &) {
+        Operation *loop = b.affineFor(0, 4);
+        OpBuilder inner = OpBuilder::atEnd(loop->region(0).block());
+        Value v = inner.intConstant(Type::i32(), 3);
+        inner.create(opnames::kAffineYield, {}, {});
+        b.create(opnames::kAddI, {v, v}, {Type::i32()});
+    });
+    EXPECT_NE(verify(m).find("dominate"), std::string::npos);
+}
+
+TEST(VerifierTest, RejectsMissingTerminator)
+{
+    Module m = funcWithBody([](OpBuilder &b, Block &) {
+        Operation *loop = b.affineFor(0, 4);
+        (void)loop; // body left empty: no affine.yield
+    });
+    EXPECT_NE(verify(m).find("empty block"), std::string::npos);
+}
+
+TEST(VerifierTest, RejectsWrongTerminatorKind)
+{
+    Module m = funcWithBody([](OpBuilder &b, Block &) {
+        Operation *loop = b.affineFor(0, 4);
+        OpBuilder inner = OpBuilder::atEnd(loop->region(0).block());
+        inner.create(opnames::kYield, {}, {}); // should be affine.yield
+    });
+    EXPECT_NE(verify(m).find("affine.yield"), std::string::npos);
+}
+
+TEST(VerifierTest, RejectsScfIfYieldMismatch)
+{
+    Module m = parseModule(R"(
+func.func @f(%c: i1, %a: i32) -> i32 {
+  %r = scf.if %c -> (i32) {
+    scf.yield %a : i32
+  } else {
+    scf.yield
+  }
+  func.return %r : i32
+})");
+    EXPECT_NE(verify(m).find("scf.yield operand count"),
+              std::string::npos);
+}
+
+TEST(VerifierTest, RejectsScfWhileWithoutCondition)
+{
+    Module m = funcWithBody([](OpBuilder &b, Block &) {
+        Operation *loop = b.scfWhile();
+        OpBuilder::atEnd(loop->region(0).block())
+            .create(opnames::kYield, {}, {});
+        OpBuilder::atEnd(loop->region(1).block())
+            .create(opnames::kYield, {}, {});
+    });
+    EXPECT_NE(verify(m).find("scf.condition"), std::string::npos);
+}
+
+TEST(VerifierTest, RejectsNonPositiveStep)
+{
+    Module m = funcWithBody([](OpBuilder &b, Block &) {
+        Operation *loop = b.affineFor(0, 4);
+        loop->setAttr("step", Attribute(int64_t{0}));
+        OpBuilder::atEnd(loop->region(0).block())
+            .create(opnames::kAffineYield, {}, {});
+    });
+    EXPECT_NE(verify(m).find("step"), std::string::npos);
+}
+
+} // namespace
+} // namespace seer::ir

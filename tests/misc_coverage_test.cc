@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Odds and ends: runner stop reasons, term-equivalence edge cases,
+ * while-loop programs through the full SEER pipeline, and support
+ * formatting helpers.
+ */
+#include <gtest/gtest.h>
+
+#include "core/seer.h"
+#include "core/verify.h"
+#include "egraph/runner.h"
+#include "ir/parser.h"
+#include "ir/printer.h"
+#include "ir/verifier.h"
+#include "support/error.h"
+#include "support/table.h"
+
+namespace seer {
+namespace {
+
+TEST(RunnerStopTest, TimeLimitTriggers)
+{
+    eg::EGraph egraph;
+    egraph.addTerm(eg::parseTerm("(f x)"));
+    eg::RunnerOptions options;
+    options.max_iters = 1000000;
+    options.max_nodes = 100000000;
+    options.time_limit_seconds = 0.0; // expire immediately after iter 1
+    eg::Runner runner(egraph, options);
+    runner.addRule(eg::makeRewrite("explode", "(f ?x)", "(f (g ?x))"));
+    eg::RunnerReport report = runner.run();
+    EXPECT_EQ(report.stop, eg::StopReason::TimeLimit);
+    EXPECT_EQ(eg::stopReasonName(report.stop), "time-limit");
+}
+
+TEST(RunnerStopTest, AllStopReasonsHaveNames)
+{
+    for (auto reason :
+         {eg::StopReason::Saturated, eg::StopReason::IterLimit,
+          eg::StopReason::NodeLimit, eg::StopReason::TimeLimit}) {
+        EXPECT_FALSE(eg::stopReasonName(reason).empty());
+        EXPECT_NE(eg::stopReasonName(reason), "?");
+    }
+}
+
+TEST(TermEquivalenceEdgeTest, TypeMismatchedArgsFail)
+{
+    // Same arg name at two types across the sides: must be rejected,
+    // not crash.
+    auto lhs = eg::parseTerm("(arith.addi:i32 arg:x:i32 arg:x:i32)");
+    auto rhs = eg::parseTerm(
+        "(arith.addi:i32 (arith.trunci:i64:i32 arg:x:i64) "
+        "(arith.trunci:i64:i32 arg:x:i64))");
+    std::string diag;
+    EXPECT_FALSE(core::checkTermEquivalence(lhs, rhs, {}, &diag));
+    EXPECT_FALSE(diag.empty());
+}
+
+TEST(TermEquivalenceEdgeTest, FloatTermsCompare)
+{
+    auto lhs = eg::parseTerm("(arith.addf:f64 arg:x:f64 arg:y:f64)");
+    auto rhs = eg::parseTerm("(arith.addf:f64 arg:y:f64 arg:x:f64)");
+    EXPECT_TRUE(core::checkTermEquivalence(lhs, rhs));
+    auto wrong = eg::parseTerm("(arith.subf:f64 arg:x:f64 arg:y:f64)");
+    EXPECT_FALSE(core::checkTermEquivalence(lhs, wrong));
+}
+
+TEST(SeerWhileTest, WhileLoopsSurviveTheFullPipeline)
+{
+    // A while-based accumulator: SEER must keep it sound even though
+    // whiles never pipeline.
+    const char *text = R"(
+func.func @wl(%a: memref<16xi32>, %s: memref<1xi32>) {
+  %z = arith.constant 0 : index
+  %zero = arith.constant 0 : i32
+  %one = arith.constant 1 : i32
+  %n = arith.constant 16 : i32
+  memref.store %zero, %s[%z] : memref<1xi32>
+  scf.while {
+    %v = memref.load %s[%z] : memref<1xi32>
+    %cond = arith.cmpi slt, %v, %n : i32
+    scf.condition %cond
+  } do {
+    %v = memref.load %s[%z] : memref<1xi32>
+    %vi = arith.index_cast %v : i32 to index
+    %x = memref.load %a[%vi] : memref<16xi32>
+    %x2 = arith.addi %x, %x : i32
+    memref.store %x2, %a[%vi] : memref<16xi32>
+    %vp = arith.addi %v, %one : i32
+    memref.store %vp, %s[%z] : memref<1xi32>
+  }
+})";
+    ir::Module input = ir::parseModule(text);
+    core::SeerResult result = core::optimize(input, "wl");
+    std::string diag;
+    EXPECT_TRUE(core::checkModuleEquivalence(input, result.module, "wl",
+                                             {}, &diag))
+        << diag << "\n" << ir::toString(result.module);
+    // The while survived (no unsound while-to-for conversion exists).
+    bool has_while = false;
+    ir::walk(result.module, [&](ir::Operation &op) {
+        if (ir::isa(op, ir::opnames::kWhile))
+            has_while = true;
+    });
+    EXPECT_TRUE(has_while);
+}
+
+TEST(TableFormatTest, NumFormatsRanges)
+{
+    EXPECT_EQ(TextTable::num(0), "0");
+    EXPECT_EQ(TextTable::num(1.5), "1.5");
+    // Very large and very small switch to scientific.
+    EXPECT_NE(TextTable::num(1.5e7).find("e"), std::string::npos);
+    EXPECT_NE(TextTable::num(1.5e-7).find("e"), std::string::npos);
+}
+
+TEST(SeerStatsTest, TimeSplitIsConsistent)
+{
+    ir::Module input = ir::parseModule(R"(
+func.func @f(%a: memref<8xi32>) {
+  affine.for %i = 0 to 8 {
+    %v = memref.load %a[%i] : memref<8xi32>
+    %w = arith.addi %v, %v : i32
+    memref.store %w, %a[%i] : memref<8xi32>
+  }
+})");
+    core::SeerResult result = core::optimize(input, "f");
+    EXPECT_GE(result.stats.time_in_passes_seconds, 0.0);
+    EXPECT_GE(result.stats.time_in_egraph_seconds, 0.0);
+    EXPECT_LE(result.stats.time_in_passes_seconds +
+                  result.stats.time_in_egraph_seconds,
+              result.stats.total_seconds + 1e-6);
+}
+
+TEST(SeerRobustnessTest, MissingFunctionIsFatal)
+{
+    ir::Module input = ir::parseModule("func.func @f() {}");
+    EXPECT_THROW(core::optimize(input, "nope"), FatalError);
+}
+
+TEST(SeerRobustnessTest, EmptyFunctionOptimizes)
+{
+    ir::Module input = ir::parseModule("func.func @f() {}");
+    core::SeerResult result = core::optimize(input, "f");
+    EXPECT_EQ(ir::verify(result.module), "");
+}
+
+} // namespace
+} // namespace seer

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Property tests over random programs: every pass, the pragma flow and
+ * the full SEER pipeline must preserve interpreter semantics; the
+ * SeerLang round trip must be lossless; extraction must stay inside the
+ * source e-class.
+ */
+#include <gtest/gtest.h>
+
+#include "core/seer.h"
+#include "core/verify.h"
+#include "hls/pragmas.h"
+#include "ir/parser.h"
+#include "ir/printer.h"
+#include "ir/verifier.h"
+#include "passes/passes.h"
+#include "random_program.h"
+#include "seerlang/from_term.h"
+#include "seerlang/to_term.h"
+#include "support/error.h"
+
+namespace seer {
+namespace {
+
+using testing::GeneratorOptions;
+using testing::RandomProgram;
+
+class FuzzSeeds : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+ir::Module
+generate(uint64_t seed, GeneratorOptions options = {})
+{
+    RandomProgram generator(seed, options);
+    std::string source = generator.generate();
+    ir::Module module = ir::parseModule(source);
+    ir::verifyOrDie(module);
+    return module;
+}
+
+TEST_P(FuzzSeeds, EveryPassPreservesSemantics)
+{
+    ir::Module input = generate(GetParam());
+    for (const std::string &name : passes::allPassNames()) {
+        ir::Module transformed = ir::cloneModule(input);
+        bool changed = false;
+        try {
+            changed =
+                passes::createPass(name)->run(*transformed.firstFunc());
+        } catch (const FatalError &err) {
+            FAIL() << "pass " << name << " threw: " << err.what();
+        }
+        std::string diag = ir::verify(transformed);
+        ASSERT_EQ(diag, "")
+            << "pass " << name << " broke verification\n"
+            << ir::toString(transformed);
+        if (!changed)
+            continue;
+        std::string eq_diag;
+        EXPECT_TRUE(core::checkModuleEquivalence(input, transformed,
+                                                 "fuzz", {}, &eq_diag))
+            << "pass " << name << " changed semantics: " << eq_diag
+            << "\n--- input\n" << ir::toString(input) << "--- output\n"
+            << ir::toString(transformed);
+    }
+}
+
+TEST_P(FuzzSeeds, CanonicalizeAndCleanupPreserveSemantics)
+{
+    ir::Module input = generate(GetParam());
+    ir::Module transformed = ir::cloneModule(input);
+    passes::canonicalize(*transformed.firstFunc());
+    ASSERT_EQ(ir::verify(transformed), "")
+        << ir::toString(transformed);
+    std::string diag;
+    EXPECT_TRUE(core::checkModuleEquivalence(input, transformed, "fuzz",
+                                             {}, &diag))
+        << diag << "\n" << ir::toString(transformed);
+}
+
+TEST_P(FuzzSeeds, SeerLangRoundTripIsLossless)
+{
+    ir::Module input = generate(GetParam());
+    sl::Translation translation = sl::funcToTerm(*input.firstFunc());
+    sl::EmitSpec spec{translation.func_name, translation.args};
+    ir::Module emitted = sl::termToFunc(translation.term, spec);
+    ASSERT_EQ(ir::verify(emitted), "") << ir::toString(emitted);
+    std::string diag;
+    EXPECT_TRUE(core::checkModuleEquivalence(input, emitted, "fuzz", {},
+                                             &diag))
+        << diag << "\nterm: " << translation.term->str();
+}
+
+TEST_P(FuzzSeeds, PragmaFlowPreservesSemantics)
+{
+    ir::Module input = generate(GetParam());
+    ir::Module transformed = ir::cloneModule(input);
+    hls::applyPragmas(transformed);
+    ASSERT_EQ(ir::verify(transformed), "")
+        << ir::toString(transformed);
+    std::string diag;
+    EXPECT_TRUE(core::checkModuleEquivalence(input, transformed, "fuzz",
+                                             {}, &diag))
+        << diag << "\n" << ir::toString(transformed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Passes, FuzzSeeds,
+                         ::testing::Range<uint64_t>(1, 33));
+
+class SeerFuzzSeeds : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(SeerFuzzSeeds, FullSeerPipelinePreservesSemantics)
+{
+    ir::Module input = generate(GetParam());
+    core::SeerOptions options;
+    options.runner.max_nodes = 12000; // keep the fuzz fast
+    options.unroll_max_trip = GetParam() % 3 == 0 ? 8 : 0;
+    core::SeerResult result;
+    try {
+        result = core::optimize(input, "fuzz", options);
+    } catch (const FatalError &err) {
+        FAIL() << "optimize threw: " << err.what() << "\n"
+               << ir::toString(input);
+    }
+    ASSERT_EQ(ir::verify(result.module), "")
+        << ir::toString(result.module);
+    std::string diag;
+    EXPECT_TRUE(core::checkModuleEquivalence(input, result.module,
+                                             "fuzz", {}, &diag))
+        << diag << "\n--- input\n" << ir::toString(input)
+        << "--- output\n" << ir::toString(result.module);
+
+    // Every applied rewrite must also validate individually.
+    core::VerifyOptions verify_options;
+    verify_options.runs = 2;
+    core::VerifyReport report =
+        core::verifyRecords(result.stats.records, verify_options);
+    EXPECT_TRUE(report.ok())
+        << (report.failures.empty() ? std::string()
+                                    : report.failures[0]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seer, SeerFuzzSeeds,
+                         ::testing::Range<uint64_t>(100, 112));
+
+TEST_P(FuzzSeeds, PrintParseIsFixpoint)
+{
+    RandomProgram generator(GetParam());
+    ir::Module first = ir::parseModule(generator.generate());
+    std::string once = ir::toString(first);
+    ir::Module second = ir::parseModule(once);
+    EXPECT_EQ(ir::toString(second), once);
+}
+
+TEST(FuzzGeneratorTest, ProducesParseableVariety)
+{
+    // The generator itself must produce verifying programs across
+    // shapes, including the degenerate-options corners.
+    GeneratorOptions no_control;
+    no_control.allow_if = false;
+    no_control.allow_while = false;
+    for (uint64_t seed = 500; seed < 520; ++seed) {
+        EXPECT_NO_THROW(generate(seed));
+        EXPECT_NO_THROW(generate(seed, no_control));
+    }
+}
+
+} // namespace
+} // namespace seer

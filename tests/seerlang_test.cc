@@ -1,0 +1,362 @@
+/** SeerLang translation tests: IR -> term -> IR round trips. */
+#include <gtest/gtest.h>
+
+#include "ir/interp.h"
+#include "ir/ops.h"
+#include "ir/parser.h"
+#include "ir/printer.h"
+#include "ir/verifier.h"
+#include "seerlang/encoding.h"
+#include "seerlang/from_term.h"
+#include "seerlang/to_term.h"
+#include "support/error.h"
+#include "support/rng.h"
+
+namespace seer::sl {
+namespace {
+
+using namespace ir;
+
+std::vector<int64_t>
+runWithSeed(const Module &module, uint64_t seed)
+{
+    Operation *func = module.firstFunc();
+    Block &body = func->region(0).block();
+    std::vector<Buffer> buffers;
+    std::vector<RtValue> args;
+    Rng rng(seed);
+    for (size_t i = 0; i < body.numArgs(); ++i) {
+        Type t = body.arg(i).type();
+        if (t.isMemRef()) {
+            buffers.emplace_back(t);
+        } else if (t.isIndex() || t.isInteger()) {
+            args.push_back(rng.nextRange(0, 3));
+        } else {
+            args.push_back(rng.nextDouble());
+        }
+    }
+    // Fill buffers and assemble args in order.
+    size_t buffer_index = 0;
+    std::vector<RtValue> final_args;
+    size_t scalar_index = 0;
+    for (size_t i = 0; i < body.numArgs(); ++i) {
+        Type t = body.arg(i).type();
+        if (t.isMemRef()) {
+            Buffer &buffer = buffers[buffer_index++];
+            for (auto &v : buffer.ints)
+                v = rng.nextRange(-50, 50);
+            for (auto &v : buffer.floats)
+                v = rng.nextDouble();
+            final_args.push_back(&buffer);
+        } else {
+            final_args.push_back(args[scalar_index++]);
+        }
+    }
+    interpret(module, func->strAttr("sym_name"), std::move(final_args));
+    std::vector<int64_t> out;
+    for (const Buffer &buffer : buffers) {
+        out.insert(out.end(), buffer.ints.begin(), buffer.ints.end());
+        for (double d : buffer.floats)
+            out.push_back(static_cast<int64_t>(d * 4096));
+    }
+    return out;
+}
+
+/** IR -> term -> IR round trip with equivalence checking. */
+void
+roundTrip(const std::string &text)
+{
+    Module before = parseModule(text);
+    verifyOrDie(before);
+    Translation translation = funcToTerm(*before.firstFunc());
+
+    EmitSpec spec;
+    spec.func_name = translation.func_name;
+    spec.args = translation.args;
+    Module after = termToFunc(translation.term, spec);
+    std::string diag = verify(after);
+    ASSERT_EQ(diag, "") << toString(after) << "\nterm: "
+                        << translation.term->str();
+    for (uint64_t seed : {1u, 7u, 99u}) {
+        EXPECT_EQ(runWithSeed(before, seed), runWithSeed(after, seed))
+            << "--- before\n" << toString(before) << "--- after\n"
+            << toString(after) << "\nterm: " << translation.term->str();
+    }
+}
+
+TEST(SeerLangEncodingTest, ConstRoundTrip)
+{
+    Symbol s = encodeIntConst(-7, Type::i32());
+    auto decoded = decodeIntConst(s);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->first, -7);
+    EXPECT_EQ(decoded->second, Type::i32());
+    EXPECT_FALSE(decodeIntConst(Symbol("var:x")).has_value());
+}
+
+TEST(SeerLangEncodingTest, FloatConstExactRoundTrip)
+{
+    for (double value : {0.0, 1.5, -2.25, 0.1, 3.141592653589793}) {
+        auto decoded = decodeFloatConst(encodeFloatConst(value));
+        ASSERT_TRUE(decoded.has_value());
+        EXPECT_EQ(*decoded, value); // exact via hex-float
+    }
+}
+
+TEST(SeerLangEncodingTest, ArgVarHelpers)
+{
+    auto arg = decodeArg(encodeArg("x", Type::memref({4}, Type::i32())));
+    ASSERT_TRUE(arg.has_value());
+    EXPECT_EQ(arg->first, "x");
+    EXPECT_EQ(arg->second.str(), "memref<4xi32>");
+    EXPECT_EQ(decodeVar(encodeVar("i")), "i");
+    EXPECT_FALSE(decodeVar(Symbol("arg:a:i32")).has_value());
+}
+
+TEST(SeerLangEncodingTest, TagsAreUnique)
+{
+    EXPECT_NE(freshTag(), freshTag());
+    EXPECT_NE(freshLoopId(), freshLoopId());
+}
+
+TEST(SeerLangEncodingTest, LoopSymbolFields)
+{
+    Symbol s = encodeFor("i", "L7");
+    EXPECT_TRUE(isForSymbol(s));
+    EXPECT_EQ(loopIdOf(s), "L7");
+    EXPECT_FALSE(isForSymbol(Symbol("seq")));
+}
+
+TEST(SeerLangRoundTripTest, StraightLineArith)
+{
+    roundTrip(R"(
+func.func @f(%a: memref<4xi32>) {
+  %z = arith.constant 0 : index
+  %v = memref.load %a[%z] : memref<4xi32>
+  %c3 = arith.constant 3 : i32
+  %w = arith.muli %v, %c3 : i32
+  %x = arith.addi %w, %v : i32
+  memref.store %x, %a[%z] : memref<4xi32>
+})");
+}
+
+TEST(SeerLangRoundTripTest, MemoryOrderPreserved)
+{
+    // Two loads around a store of the same cell: the tagged encoding
+    // must keep them distinct.
+    roundTrip(R"(
+func.func @f(%a: memref<2xi32>) {
+  %z = arith.constant 0 : index
+  %one = arith.constant 1 : index
+  %v1 = memref.load %a[%z] : memref<2xi32>
+  %c9 = arith.constant 9 : i32
+  memref.store %c9, %a[%z] : memref<2xi32>
+  %v2 = memref.load %a[%z] : memref<2xi32>
+  %s = arith.addi %v1, %v2 : i32
+  memref.store %s, %a[%one] : memref<2xi32>
+})");
+}
+
+TEST(SeerLangRoundTripTest, SimpleLoop)
+{
+    roundTrip(R"(
+func.func @f(%a: memref<10xi32>) {
+  affine.for %i = 0 to 10 {
+    %v = memref.load %a[%i] : memref<10xi32>
+    %w = arith.addi %v, %v : i32
+    memref.store %w, %a[%i] : memref<10xi32>
+  }
+})");
+}
+
+TEST(SeerLangRoundTripTest, NestedDynamicBoundLoops)
+{
+    roundTrip(R"(
+func.func @f(%a: memref<64xi32>) {
+  affine.for %jj = 0 to 64 step 8 {
+    affine.for %j = %jj to %jj + 8 {
+      %v = memref.load %a[%j] : memref<64xi32>
+      %w = arith.addi %v, %v : i32
+      memref.store %w, %a[%j] : memref<64xi32>
+    }
+  }
+})");
+}
+
+TEST(SeerLangRoundTripTest, MultiDimAccess)
+{
+    roundTrip(R"(
+func.func @f(%a: memref<4x6xi32>) {
+  affine.for %i = 0 to 4 {
+    affine.for %j = 0 to 6 {
+      %v = memref.load %a[%i, %j] : memref<4x6xi32>
+      %w = arith.addi %v, %v : i32
+      memref.store %w, %a[%i, %j] : memref<4x6xi32>
+    }
+  }
+})");
+}
+
+TEST(SeerLangRoundTripTest, IfStatement)
+{
+    roundTrip(R"(
+func.func @f(%a: memref<8xi32>, %b: memref<8xi32>) {
+  affine.for %i = 0 to 8 {
+    %v = memref.load %a[%i] : memref<8xi32>
+    %zero = arith.constant 0 : i32
+    %c = arith.cmpi sgt, %v, %zero : i32
+    scf.if %c {
+      memref.store %v, %b[%i] : memref<8xi32>
+    } else {
+      %n = arith.subi %zero, %v : i32
+      memref.store %n, %b[%i] : memref<8xi32>
+    }
+  }
+})");
+}
+
+TEST(SeerLangRoundTripTest, WhileLoop)
+{
+    roundTrip(R"(
+func.func @f(%s: memref<1xi32>) {
+  %z = arith.constant 0 : index
+  %limit = arith.constant 12 : i32
+  %one = arith.constant 1 : i32
+  scf.while {
+    %v = memref.load %s[%z] : memref<1xi32>
+    %cond = arith.cmpi slt, %v, %limit : i32
+    scf.condition %cond
+  } do {
+    %v = memref.load %s[%z] : memref<1xi32>
+    %n = arith.addi %v, %one : i32
+    memref.store %n, %s[%z] : memref<1xi32>
+  }
+})");
+}
+
+TEST(SeerLangRoundTripTest, AllocAndFloats)
+{
+    roundTrip(R"(
+func.func @f(%out: memref<4xf64>) {
+  %tmp = memref.alloc() : memref<4xf64>
+  %half = arith.constant 0.5 : f64
+  affine.for %i = 0 to 4 {
+    %v = memref.load %out[%i] : memref<4xf64>
+    %w = arith.mulf %v, %half : f64
+    memref.store %w, %tmp[%i] : memref<4xf64>
+  }
+  affine.for %j = 0 to 4 {
+    %v = memref.load %tmp[%j] : memref<4xf64>
+    memref.store %v, %out[%j] : memref<4xf64>
+  }
+})");
+}
+
+TEST(SeerLangRoundTripTest, CastsAndSelect)
+{
+    roundTrip(R"(
+func.func @f(%a: memref<8xi8>, %b: memref<8xi32>) {
+  affine.for %i = 0 to 8 {
+    %v = memref.load %a[%i] : memref<8xi8>
+    %w = arith.extsi %v : i8 to i32
+    %u = memref.load %b[%i] : memref<8xi32>
+    %zero = arith.constant 0 : i32
+    %c = arith.cmpi slt, %w, %zero : i32
+    %r = arith.select %c, %u, %w : i32
+    memref.store %r, %b[%i] : memref<8xi32>
+  }
+})");
+}
+
+TEST(SeerLangTest, ValueIfIsRejected)
+{
+    Module m = parseModule(R"(
+func.func @f(%a: memref<4xi32>, %c: i1) {
+  %z = arith.constant 0 : index
+  %x = arith.constant 1 : i32
+  %y = arith.constant 2 : i32
+  %r = scf.if %c -> (i32) {
+    scf.yield %x : i32
+  } else {
+    scf.yield %y : i32
+  }
+  memref.store %r, %a[%z] : memref<4xi32>
+})");
+    EXPECT_THROW(funcToTerm(*m.firstFunc()), FatalError);
+}
+
+TEST(SeerLangTest, SnippetSpecInference)
+{
+    Module m = parseModule(R"(
+func.func @f(%a: memref<16xi32>) {
+  affine.for %jj = 0 to 16 step 4 {
+    affine.for %j = %jj to %jj + 4 {
+      %v = memref.load %a[%j] : memref<16xi32>
+      memref.store %v, %a[%j] : memref<16xi32>
+    }
+  }
+})");
+    Translation translation = funcToTerm(*m.firstFunc());
+    // The inner loop term has a free var (jj) and the arg a.
+    const auto &func_term = translation.term;
+    const auto &outer = func_term->child(0); // affine.for jj
+    ASSERT_TRUE(isForSymbol(outer->op()));
+    const auto &inner = outer->child(3);
+    ASSERT_TRUE(isForSymbol(inner->op()));
+    EmitSpec spec = inferSpec(inner, "snippet");
+    ASSERT_EQ(spec.args.size(), 2u);
+    EXPECT_EQ(spec.args[0].first, "a");
+    EXPECT_TRUE(spec.args[0].second.isMemRef());
+    EXPECT_EQ(spec.args[1].first, "jj");
+    EXPECT_TRUE(spec.args[1].second.isIndex());
+
+    // Emitting the snippet must verify.
+    Module snippet = termToFunc(inner, spec);
+    EXPECT_EQ(verify(snippet), "") << toString(snippet);
+}
+
+TEST(SeerLangTest, LoopRegistryPopulated)
+{
+    Module m = parseModule(R"(
+func.func @f(%a: memref<8xi32>) {
+  affine.for %i = 0 to 8 {
+    %v = memref.load %a[%i] : memref<8xi32>
+    memref.store %v, %a[%i] : memref<8xi32>
+  }
+  affine.for %j = 0 to 8 {
+    %v = memref.load %a[%j] : memref<8xi32>
+    memref.store %v, %a[%j] : memref<8xi32>
+  }
+})");
+    Translation translation = funcToTerm(*m.firstFunc());
+    EXPECT_EQ(translation.loops.size(), 2u);
+    for (const auto &[loop_id, op] : translation.loops) {
+        EXPECT_TRUE(isa(*op, ir::opnames::kAffineFor));
+        EXPECT_EQ(loop_id[0], 'L');
+    }
+}
+
+TEST(SeerLangTest, EmittedLoopsCarryLoopIdAttr)
+{
+    Module m = parseModule(R"(
+func.func @f(%a: memref<8xi32>) {
+  affine.for %i = 0 to 8 {
+    %v = memref.load %a[%i] : memref<8xi32>
+    memref.store %v, %a[%i] : memref<8xi32>
+  }
+})");
+    Translation translation = funcToTerm(*m.firstFunc());
+    EmitSpec spec{translation.func_name, translation.args};
+    Module out = termToFunc(translation.term, spec);
+    bool found = false;
+    walk(out, [&](Operation &op) {
+        if (isa(op, ir::opnames::kAffineFor)) {
+            EXPECT_TRUE(op.hasAttr("seer.loop_id"));
+            found = true;
+        }
+    });
+    EXPECT_TRUE(found);
+}
+
+} // namespace
+} // namespace seer::sl

@@ -1,0 +1,261 @@
+/**
+ * @file
+ * seer-opt: the command-line driver for the SEER super-optimizer.
+ *
+ *   seer-opt kernel.seer                 optimize and print the result
+ *   seer-opt --verify kernel.seer        + translation validation
+ *   seer-opt --report kernel.seer        + before/after HLS PPA report
+ *   seer-opt --passes "loop-fusion,canonicalize" kernel.seer
+ *                                        run a fixed pass pipeline
+ *                                        instead (the Figure 1 baseline)
+ *
+ * The input format is this repo's textual IR (see ir/parser.h); write
+ * kernels the way `examples/quickstart.cpp` does.
+ */
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/seer.h"
+#include "core/verify.h"
+#include "hls/hls.h"
+#include "ir/parser.h"
+#include "ir/printer.h"
+#include "ir/verifier.h"
+#include "passes/pass.h"
+#include "support/error.h"
+
+namespace {
+
+struct CliOptions
+{
+    std::string input_file;
+    std::string func_name; // empty: first function
+    std::string fixed_passes; // non-empty: run a pipeline, not SEER
+    bool verify = false;
+    bool report = false;
+    bool quiet = false;
+    seer::core::SeerOptions seer;
+};
+
+void
+usage()
+{
+    std::cerr <<
+        "usage: seer-opt [options] <input.seer>\n"
+        "\n"
+        "options:\n"
+        "  --func NAME        function to optimize (default: first)\n"
+        "  --no-rover         disable datapath rules (the paper's "
+        "SEER (C))\n"
+        "  --no-control       disable control rules (ROVER only)\n"
+        "  --greedy-datapath  greedy instead of exact Eqn-4 extraction\n"
+        "  --oracle           re-invoke the scheduler for new loops\n"
+        "                     instead of the Section 4.6 laws\n"
+        "  --unroll N         explore complete unrolling up to trip N\n"
+        "  --phases N         interleaved control/data phases\n"
+        "  --passes LIST      run a fixed comma-separated pass pipeline\n"
+        "                     instead of the e-graph (phase-order "
+        "baseline)\n"
+        "  --verify           translation-validate every rewrite and\n"
+        "                     co-simulate end to end\n"
+        "  --report           print before/after HLS PPA estimates\n"
+        "  --quiet            suppress the output program\n";
+}
+
+std::vector<std::string>
+splitList(const std::string &text)
+{
+    std::vector<std::string> out;
+    std::stringstream stream(text);
+    std::string piece;
+    while (std::getline(stream, piece, ',')) {
+        if (!piece.empty())
+            out.push_back(piece);
+    }
+    return out;
+}
+
+bool
+parseArgs(int argc, char **argv, CliOptions &options)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::cerr << "missing value for " << arg << "\n";
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--func") {
+            options.func_name = next();
+        } else if (arg == "--no-rover") {
+            options.seer.use_rover = false;
+        } else if (arg == "--no-control") {
+            options.seer.use_control = false;
+        } else if (arg == "--greedy-datapath") {
+            options.seer.exact_datapath = false;
+        } else if (arg == "--oracle") {
+            options.seer.use_laws = false;
+        } else if (arg == "--unroll") {
+            options.seer.unroll_max_trip = std::stoll(next());
+        } else if (arg == "--phases") {
+            options.seer.max_phases = std::stoi(next());
+        } else if (arg == "--passes") {
+            options.fixed_passes = next();
+        } else if (arg == "--verify") {
+            options.verify = true;
+        } else if (arg == "--report") {
+            options.report = true;
+        } else if (arg == "--quiet") {
+            options.quiet = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            std::exit(0);
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::cerr << "unknown option " << arg << "\n";
+            return false;
+        } else if (options.input_file.empty()) {
+            options.input_file = arg;
+        } else {
+            std::cerr << "multiple input files given\n";
+            return false;
+        }
+    }
+    return !options.input_file.empty();
+}
+
+seer::hls::HlsReport
+evaluateWithZeros(const seer::ir::Module &module,
+                  const std::string &func_name, bool pipeline)
+{
+    using namespace seer;
+    ir::Block &body =
+        module.lookupFunc(func_name)->region(0).block();
+    std::vector<ir::Buffer> buffers;
+    std::vector<ir::RtValue> args;
+    for (size_t i = 0; i < body.numArgs(); ++i) {
+        ir::Type t = body.arg(i).type();
+        if (!t.isMemRef())
+            fatal("--report requires memref-only signatures");
+        buffers.emplace_back(t);
+    }
+    // A deterministic non-trivial workload.
+    for (auto &buffer : buffers) {
+        for (size_t j = 0; j < buffer.ints.size(); ++j)
+            buffer.ints[j] = static_cast<int64_t>((j * 31 + 7) % 97);
+        for (size_t j = 0; j < buffer.floats.size(); ++j)
+            buffer.floats[j] = 0.25 * static_cast<double>(j % 17) - 2;
+    }
+    for (auto &buffer : buffers)
+        args.push_back(&buffer);
+    hls::HlsOptions hls_options;
+    hls_options.schedule.pipeline_loops = pipeline;
+    return hls::evaluate(module, func_name, std::move(args),
+                         hls_options);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace seer;
+
+    CliOptions options;
+    if (!parseArgs(argc, argv, options)) {
+        usage();
+        return 2;
+    }
+
+    std::ifstream file(options.input_file);
+    if (!file) {
+        std::cerr << "cannot open " << options.input_file << "\n";
+        return 2;
+    }
+    std::stringstream text;
+    text << file.rdbuf();
+
+    try {
+        ir::Module input = ir::parseModule(text.str());
+        ir::verifyOrDie(input);
+        if (options.func_name.empty()) {
+            ir::Operation *first = input.firstFunc();
+            if (!first)
+                fatal("no function in input");
+            options.func_name = first->strAttr("sym_name");
+        }
+
+        ir::Module output;
+        core::SeerResult result;
+        if (!options.fixed_passes.empty()) {
+            // The phase-ordered baseline: a fixed pipeline.
+            output = ir::cloneModule(input);
+            passes::runPipeline(output,
+                                splitList(options.fixed_passes));
+            ir::verifyOrDie(output);
+        } else {
+            result = core::optimize(input, options.func_name,
+                                    options.seer);
+            output = ir::cloneModule(result.module);
+            std::cerr << "; e-graph: " << result.stats.egraph_nodes
+                      << " nodes, " << result.stats.egraph_classes
+                      << " classes, " << result.stats.unions_applied
+                      << " rewrites, "
+                      << result.stats.total_seconds << "s total ("
+                      << result.stats.time_in_passes_seconds
+                      << "s in passes)\n";
+        }
+
+        if (!options.quiet)
+            ir::print(output, std::cout);
+
+        if (options.verify) {
+            std::string diag;
+            bool ok = core::checkModuleEquivalence(
+                input, output, options.func_name, {}, &diag);
+            std::cerr << "; end-to-end equivalence: "
+                      << (ok ? "PASS" : "FAIL " + diag) << "\n";
+            if (!options.fixed_passes.empty()) {
+                if (!ok)
+                    return 1;
+            } else {
+                core::VerifyReport report =
+                    core::verifyRecords(result.stats.records);
+                std::cerr << "; translation validation: "
+                          << report.passed << "/"
+                          << report.total_checks << " passed, "
+                          << report.inconclusive << " inconclusive, "
+                          << report.failures.size() << " failed\n";
+                for (const std::string &failure : report.failures)
+                    std::cerr << ";   " << failure << "\n";
+                if (!ok || !report.ok())
+                    return 1;
+            }
+        }
+
+        if (options.report) {
+            hls::HlsReport before =
+                evaluateWithZeros(input, options.func_name, false);
+            hls::HlsReport after =
+                evaluateWithZeros(output, options.func_name, true);
+            std::cerr << "; baseline: " << before.total_cycles
+                      << " cycles, " << before.area_um2 << " um2, "
+                      << before.power_mw << " mW\n";
+            std::cerr << "; optimized: " << after.total_cycles
+                      << " cycles, " << after.area_um2 << " um2, "
+                      << after.power_mw << " mW\n";
+            std::cerr << "; speedup: "
+                      << static_cast<double>(before.total_cycles) /
+                             static_cast<double>(after.total_cycles)
+                      << "x\n";
+        }
+    } catch (const FatalError &err) {
+        std::cerr << "seer-opt: " << err.what() << "\n";
+        return 1;
+    }
+    return 0;
+}
