@@ -69,6 +69,68 @@ BM_UnionRebuildCongruence(benchmark::State &state)
 BENCHMARK(BM_UnionRebuildCongruence)->Arg(64)->Arg(512)->Arg(4096);
 
 void
+BM_FindAfterDeepUnions(benchmark::State &state)
+{
+    // Deep-union workload: merging each fresh leaf *onto* the previous
+    // chain head makes the fresh id the root, so the union-find degrades
+    // into a length-n chain. Canonicalization-heavy phases (repeated
+    // find over original ids, as ematch/rebuild do) are then quadratic
+    // without path compression and near-linear with it.
+    int64_t n = state.range(0);
+    for (auto _ : state) {
+        state.PauseTiming();
+        EGraph egraph;
+        std::vector<EClassId> leaves;
+        leaves.reserve(static_cast<size_t>(n));
+        for (int64_t i = 0; i < n; ++i)
+            leaves.push_back(
+                egraph.addTerm(makeTerm("leaf" + std::to_string(i))));
+        for (int64_t i = 1; i < n; ++i)
+            egraph.merge(leaves[static_cast<size_t>(i)],
+                         leaves[static_cast<size_t>(i - 1)]);
+        state.ResumeTiming();
+        uint64_t acc = 0;
+        for (int pass = 0; pass < 16; ++pass) {
+            for (EClassId id : leaves)
+                acc += egraph.find(id);
+        }
+        benchmark::DoNotOptimize(acc);
+    }
+    state.SetItemsProcessed(state.iterations() * n * 16);
+}
+BENCHMARK(BM_FindAfterDeepUnions)->Arg(256)->Arg(2048)->Arg(8192);
+
+void
+BM_FindAfterDeepUnionsConstWalk(benchmark::State &state)
+{
+    // Same workload through the const (non-compressing) overload: the
+    // baseline the mutable find's path halving is measured against.
+    int64_t n = state.range(0);
+    for (auto _ : state) {
+        state.PauseTiming();
+        EGraph egraph;
+        std::vector<EClassId> leaves;
+        leaves.reserve(static_cast<size_t>(n));
+        for (int64_t i = 0; i < n; ++i)
+            leaves.push_back(
+                egraph.addTerm(makeTerm("leaf" + std::to_string(i))));
+        for (int64_t i = 1; i < n; ++i)
+            egraph.merge(leaves[static_cast<size_t>(i)],
+                         leaves[static_cast<size_t>(i - 1)]);
+        state.ResumeTiming();
+        const EGraph &frozen = egraph;
+        uint64_t acc = 0;
+        for (int pass = 0; pass < 16; ++pass) {
+            for (EClassId id : leaves)
+                acc += frozen.find(id);
+        }
+        benchmark::DoNotOptimize(acc);
+    }
+    state.SetItemsProcessed(state.iterations() * n * 16);
+}
+BENCHMARK(BM_FindAfterDeepUnionsConstWalk)->Arg(256)->Arg(2048)->Arg(8192);
+
+void
 BM_EMatch(benchmark::State &state)
 {
     EGraph egraph;

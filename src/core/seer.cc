@@ -1,5 +1,6 @@
 #include "core/seer.h"
 
+#include <algorithm>
 #include <chrono>
 
 #include "ir/verifier.h"
@@ -94,6 +95,34 @@ refineDatapath(const EGraph &egraph, const TermPtr &term,
     return extraction->term;
 }
 
+/** Fold one runner report's per-rule stats into the run-wide aggregate
+ *  (keyed by rule name, since each phase constructs fresh runners). */
+void
+mergeRuleStats(std::vector<eg::RuleStats> &into,
+               const std::vector<eg::RuleStats> &from)
+{
+    for (const eg::RuleStats &stats : from) {
+        if (stats.matches == 0 && stats.bans == 0 &&
+            stats.search_seconds == 0) {
+            continue; // rule never even searched; keep the aggregate lean
+        }
+        auto it = std::find_if(into.begin(), into.end(),
+                               [&](const eg::RuleStats &existing) {
+                                   return existing.name == stats.name;
+                               });
+        if (it == into.end()) {
+            into.push_back(stats);
+            continue;
+        }
+        it->matches += stats.matches;
+        it->applications += stats.applications;
+        it->bans += stats.bans;
+        it->times_banned = stats.times_banned;
+        it->search_seconds += stats.search_seconds;
+        it->apply_seconds += stats.apply_seconds;
+    }
+}
+
 /** Apply trusted-coalesced markers to emitted loops. */
 void
 markTrustedLoops(ir::Module &module, const LoopRegistry &registry)
@@ -148,24 +177,25 @@ optimize(const ir::Module &input, const std::string &func_name,
         // Rover rounds change class contents, so retry external rules
         // freshly each phase.
         context->attempted.clear();
+        auto absorb = [&](eg::RunnerReport report) {
+            applied_this_phase += report.total_applied;
+            result.stats.unions_applied += report.total_applied;
+            for (auto &record : report.records)
+                result.stats.records.push_back(std::move(record));
+            mergeRuleStats(result.stats.rule_stats, report.rules);
+            for (const eg::IterationStats &stats : report.iterations)
+                result.stats.iterations.push_back(stats);
+        };
         if (options.use_control) {
             eg::Runner control(egraph, options.runner);
             control.addRules(seqRules());
             control.addRules(controlRules(context));
-            eg::RunnerReport report = control.run();
-            applied_this_phase += report.total_applied;
-            result.stats.unions_applied += report.total_applied;
-            for (auto &record : report.records)
-                result.stats.records.push_back(std::move(record));
+            absorb(control.run());
         }
         if (options.use_rover) {
             eg::Runner data(egraph, options.runner);
             data.addRules(rover::roverRules());
-            eg::RunnerReport report = data.run();
-            applied_this_phase += report.total_applied;
-            result.stats.unions_applied += report.total_applied;
-            for (auto &record : report.records)
-                result.stats.records.push_back(std::move(record));
+            absorb(data.run());
         }
         if (applied_this_phase == 0)
             break; // joint saturation
@@ -200,6 +230,27 @@ optimize(const ir::Module &input, const std::string &func_name,
         0.0,
         result.stats.total_seconds - result.stats.time_in_passes_seconds);
     return result;
+}
+
+json::Value
+toJson(const SeerStats &stats)
+{
+    json::Value out{json::Object{}};
+    out.set("egraph_nodes", stats.egraph_nodes);
+    out.set("egraph_classes", stats.egraph_classes);
+    out.set("unions_applied", stats.unions_applied);
+    out.set("time_in_passes_seconds", stats.time_in_passes_seconds);
+    out.set("time_in_egraph_seconds", stats.time_in_egraph_seconds);
+    out.set("total_seconds", stats.total_seconds);
+    json::Value rules{json::Array{}};
+    for (const eg::RuleStats &rule : stats.rule_stats)
+        rules.push(eg::toJson(rule));
+    out.set("rules", std::move(rules));
+    json::Value iterations{json::Array{}};
+    for (const eg::IterationStats &iteration : stats.iterations)
+        iterations.push(eg::toJson(iteration));
+    out.set("iterations", std::move(iterations));
+    return out;
 }
 
 } // namespace seer::core

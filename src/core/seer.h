@@ -46,10 +46,13 @@ struct SeerOptions
 
     SeerOptions()
     {
+        // Budgets sized for the now-honest backoff scheduler: explosive
+        // rules apply their first match_limit matches instead of being
+        // silently discarded, so the graph genuinely reaches these caps.
         runner.max_iters = 4;
-        runner.max_nodes = 60000;
-        runner.time_limit_seconds = 20;
-        runner.match_limit = 3000;
+        runner.max_nodes = 16000;
+        runner.time_limit_seconds = 10;
+        runner.match_limit = 1000;
     }
 };
 
@@ -64,7 +67,15 @@ struct SeerStats
     size_t unions_applied = 0;
     /** Every applied rewrite, for translation validation. */
     std::vector<eg::RewriteRecord> records;
+    /** Per-rule scheduler/profiling stats, aggregated by rule name over
+     *  every runner invocation of the interleaved phases. */
+    std::vector<eg::RuleStats> rule_stats;
+    /** The concatenated iteration trajectory across all phases. */
+    std::vector<eg::IterationStats> iterations;
 };
+
+/** JSON view of the statistics (records omitted; they carry terms). */
+json::Value toJson(const SeerStats &stats);
 
 /** Result of optimizing one function. */
 struct SeerResult

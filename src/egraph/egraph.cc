@@ -16,8 +16,30 @@ EGraph::find(EClassId id) const
     return id;
 }
 
+EClassId
+EGraph::find(EClassId id)
+{
+    SEER_ASSERT(id < parents_.size(), "find on invalid eclass id " << id);
+    // Path halving: point every visited id at its grandparent. Each find
+    // halves the chain it walks, so repeated finds flatten union chains
+    // and canonicalization stays near-constant as the graph grows.
+    while (parents_[id] != id) {
+        parents_[id] = parents_[parents_[id]];
+        id = parents_[id];
+    }
+    return id;
+}
+
 ENode
 EGraph::canonicalize(ENode node) const
+{
+    for (EClassId &child : node.children)
+        child = find(child);
+    return node;
+}
+
+ENode
+EGraph::canonicalize(ENode node)
 {
     for (EClassId &child : node.children)
         child = find(child);
@@ -29,8 +51,11 @@ EGraph::add(ENode node)
 {
     node = canonicalize(std::move(node));
     auto it = memo_.find(node);
-    if (it != memo_.end())
-        return find(it->second);
+    if (it != memo_.end()) {
+        // Hashcons canonicalization: refresh the stored id so the next
+        // hit returns without any union-find walk at all.
+        return it->second = find(it->second);
+    }
 
     EClassId id = static_cast<EClassId>(parents_.size());
     parents_.push_back(id);
@@ -147,9 +172,12 @@ EGraph::repair(EClassId id)
         }
         memo_[canon] = find(parent_canon);
     }
-    EClass &cls = classes_[find(id)];
     for (auto &[node, parent_id] : seen) {
-        cls.parents.emplace_back(node, find(parent_id));
+        // Re-resolve the class inside the loop: propagateConstant may
+        // fold a constant, add its literal, and merge — which can erase
+        // this very class (invalidating any cached reference) and move
+        // its parents to a new root.
+        classes_[find(id)].parents.emplace_back(node, find(parent_id));
         // Analysis propagation: a child constant may now determine the
         // parent's constant (egg's analysis_pending worklist).
         propagateConstant(node, find(parent_id));

@@ -88,8 +88,21 @@ class EGraph
     /** Add a whole ground term bottom-up. */
     EClassId addTerm(const TermPtr &term);
 
-    /** Canonical representative of an id. */
+    /**
+     * Canonical representative of an id — read-only walk. This overload
+     * never mutates the union-find, so it is safe from the concurrent
+     * (read-only) e-matching phase and from proof code that must not
+     * perturb ids while reconstructing explanations.
+     */
     EClassId find(EClassId id) const;
+
+    /**
+     * Canonical representative with path compression (path halving).
+     * Amortizes deep union chains away so canonicalize/rebuild stay
+     * O(α) per lookup as the graph grows; the mutating hot path
+     * (add/merge/rebuild) resolves to this overload automatically.
+     */
+    EClassId find(EClassId id);
 
     /** Union two classes; true if they were distinct. `reason` feeds
      *  proof production (egg's explanation feature, which the paper's
@@ -132,6 +145,7 @@ class EGraph
 
   private:
     ENode canonicalize(ENode node) const;
+    ENode canonicalize(ENode node); ///< compressing-find variant
     void repair(EClassId id);
     void propagateConstant(const ENode &node, EClassId parent);
     void makeAnalysis(EClassId id, const ENode &node);

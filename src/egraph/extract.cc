@@ -1,6 +1,7 @@
 #include "egraph/extract.h"
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 #include <set>
 
@@ -16,6 +17,33 @@ struct ClassCost
     double size = CostModel::kInfinity; // tie-break: term size
     int node_index = -1;
 };
+
+/**
+ * Scale-aware float equality for cost comparison. Costs are sums of
+ * per-node model values, so exact `==` ties depend on summation order
+ * and platform FP contraction; treating near-equal costs as ties keeps
+ * the greedy tie-break (smaller term size, then first node in class
+ * order) deterministic across platforms.
+ */
+bool
+approxEq(double a, double b)
+{
+    if (a == CostModel::kInfinity || b == CostModel::kInfinity)
+        return a == b;
+    double scale = std::max({1.0, std::abs(a), std::abs(b)});
+    return std::abs(a - b) <= 1e-9 * scale;
+}
+
+/** Lexicographic (cost, size) improvement test with epsilon ties. */
+bool
+improves(double cost, double size, const ClassCost &best)
+{
+    if (best.cost == CostModel::kInfinity)
+        return cost < CostModel::kInfinity;
+    if (!approxEq(cost, best.cost))
+        return cost < best.cost;
+    return !approxEq(size, best.size) && size < best.size;
+}
 
 /** Classes reachable from `root` through any node's children. */
 std::vector<EClassId>
@@ -72,8 +100,7 @@ computeGreedyCosts(const EGraph &egraph, const CostModel &cost,
                 }
                 if (!feasible)
                     continue;
-                if (total < best.cost ||
-                    (total == best.cost && size < best.size)) {
+                if (improves(total, size, best)) {
                     best.cost = total;
                     best.size = size;
                     best.node_index = static_cast<int>(n);

@@ -1,7 +1,9 @@
 #include "egraph/runner.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <map>
 #include <thread>
 
@@ -18,8 +20,74 @@ stopReasonName(StopReason reason)
       case StopReason::IterLimit: return "iteration-limit";
       case StopReason::NodeLimit: return "node-limit";
       case StopReason::TimeLimit: return "time-limit";
+      case StopReason::BannedOut: return "banned-out";
     }
     return "?";
+}
+
+json::Value
+toJson(const RuleStats &stats)
+{
+    json::Value out{json::Object{}};
+    out.set("name", stats.name);
+    out.set("matches", stats.matches);
+    out.set("applications", stats.applications);
+    out.set("bans", stats.bans);
+    out.set("times_banned", stats.times_banned);
+    out.set("search_seconds", stats.search_seconds);
+    out.set("apply_seconds", stats.apply_seconds);
+    return out;
+}
+
+json::Value
+toJson(const IterationStats &stats)
+{
+    json::Value out{json::Object{}};
+    out.set("iter", stats.iter);
+    out.set("matches", stats.matches);
+    out.set("applied", stats.applied);
+    out.set("banned_rules", stats.banned_rules);
+    out.set("nodes", stats.nodes);
+    out.set("classes", stats.classes);
+    out.set("seconds", stats.seconds);
+    return out;
+}
+
+json::Value
+toJson(const RunnerReport &report)
+{
+    json::Value out{json::Object{}};
+    out.set("stop", stopReasonName(report.stop));
+    out.set("total_applied", report.total_applied);
+    out.set("total_seconds", report.total_seconds);
+    json::Value iterations{json::Array{}};
+    for (const IterationStats &stats : report.iterations)
+        iterations.push(toJson(stats));
+    out.set("iterations", std::move(iterations));
+    json::Value rules{json::Array{}};
+    for (const RuleStats &stats : report.rules) {
+        // Idle rules would drown the interesting ones in large rule sets.
+        if (stats.matches > 0 || stats.bans > 0)
+            rules.push(toJson(stats));
+    }
+    out.set("rules", std::move(rules));
+    return out;
+}
+
+size_t
+Runner::thresholdFor(const RuleState &state) const
+{
+    // Cap the shift: past 2^20x the budget is effectively unlimited and
+    // further shifting would overflow.
+    size_t shift = std::min<size_t>(state.times_banned, 20);
+    return options_.match_limit << shift;
+}
+
+size_t
+Runner::banSpanFor(const RuleState &state) const
+{
+    size_t shift = std::min<size_t>(state.times_banned, 20);
+    return std::max<size_t>(1, options_.ban_length << shift);
 }
 
 RunnerReport
@@ -30,9 +98,15 @@ Runner::run()
     auto elapsed = [&] {
         return std::chrono::duration<double>(Clock::now() - start).count();
     };
+    auto since = [](Clock::time_point t0) {
+        return std::chrono::duration<double>(Clock::now() - t0).count();
+    };
 
     states_.assign(rules_.size(), RuleState{});
     RunnerReport report;
+    report.rules.resize(rules_.size());
+    for (size_t r = 0; r < rules_.size(); ++r)
+        report.rules[r].name = rules_[r].name;
     egraph_.rebuild();
 
     // Proof records are resolved lazily at the end of the run: resolving
@@ -46,40 +120,85 @@ Runner::run()
     };
     std::vector<PendingRecord> pending_records;
 
-    for (size_t iter = 1; iter <= options_.max_iters; ++iter) {
+    bool timed_out = false;
+    report.stop = StopReason::IterLimit;
+    for (size_t iter = 1; iter <= options_.max_iters;) {
         auto iter_start = Clock::now();
         IterationStats stats;
+        stats.iter = iter;
+
+        std::vector<size_t> active;
+        size_t banned_now = 0;
+        for (size_t r = 0; r < rules_.size(); ++r) {
+            if (states_[r].banned_until_iter < iter)
+                active.push_back(r);
+            else
+                ++banned_now;
+        }
+        stats.banned_rules = banned_now;
+
+        if (active.empty()) {
+            if (banned_now == 0) {
+                // No rules at all: trivially saturated.
+                report.stop = StopReason::Saturated;
+                break;
+            }
+            // Every rule is banned. Fast-forward to the earliest unban
+            // instead of spinning through empty iterations; if that lies
+            // beyond the horizon, the run is throttled out, which is
+            // *not* saturation.
+            size_t next = SIZE_MAX;
+            for (const RuleState &state : states_)
+                next = std::min(next, state.banned_until_iter + 1);
+            if (next > options_.max_iters) {
+                report.stop = StopReason::BannedOut;
+                break;
+            }
+            iter = next;
+            continue;
+        }
 
         // Phase 1: read-only matching of every active rule, optionally
         // spread across worker threads (the e-graph is not mutated).
+        // Each rule searches up to its budget + 1 so overflow is
+        // detectable without enumerating every match of an explosive
+        // rule. The time limit is enforced *between* rules so one long
+        // e-match phase cannot blow far past the budget.
         struct PendingApply
         {
             size_t rule_index;
             Match match;
         };
         std::vector<std::vector<Match>> per_rule(rules_.size());
-        std::vector<size_t> active;
-        for (size_t r = 0; r < rules_.size(); ++r) {
-            if (states_[r].banned_until_iter < iter)
-                active.push_back(r);
-        }
+        std::atomic<bool> out_of_time{false};
         auto match_rule = [&](size_t r) {
+            auto t0 = Clock::now();
             per_rule[r] = ematch(egraph_, *rules_[r].lhs,
-                                 options_.match_limit + 1);
+                                 thresholdFor(states_[r]) + 1);
+            report.rules[r].search_seconds += since(t0);
         };
         unsigned threads = std::max(1u, options_.match_threads);
         if (threads <= 1 || active.size() <= 1) {
-            for (size_t r : active)
+            for (size_t r : active) {
+                if (elapsed() > options_.time_limit_seconds) {
+                    out_of_time = true;
+                    break;
+                }
                 match_rule(r);
+            }
         } else {
             std::atomic<size_t> cursor{0};
             std::vector<std::thread> workers;
             for (unsigned t = 0; t < threads; ++t) {
                 workers.emplace_back([&] {
-                    while (true) {
+                    while (!out_of_time.load(std::memory_order_relaxed)) {
                         size_t slot = cursor.fetch_add(1);
                         if (slot >= active.size())
                             return;
+                        if (elapsed() > options_.time_limit_seconds) {
+                            out_of_time = true;
+                            return;
+                        }
                         match_rule(active[slot]);
                     }
                 });
@@ -87,35 +206,63 @@ Runner::run()
             for (auto &worker : workers)
                 worker.join();
         }
+        if (out_of_time) {
+            // Partial match phase: applying it would make the explored
+            // graph depend on scheduling, so discard and stop here.
+            timed_out = true;
+            report.stop = StopReason::TimeLimit;
+            break;
+        }
+
+        // Backoff scheduling (egg's BackoffScheduler semantics): an
+        // over-budget rule still applies its first budget-many matches
+        // and is banned *afterwards*; a clean streak decays the ban
+        // level so the budget recovers.
         std::vector<PendingApply> pending;
         for (size_t r : active) {
             RuleState &state = states_[r];
             std::vector<Match> &matches = per_rule[r];
-            if (matches.size() > options_.match_limit) {
-                // Backoff: exponential ban.
+            size_t threshold = thresholdFor(state);
+            if (matches.size() > threshold) {
+                matches.resize(threshold);
+                state.banned_until_iter = iter + banSpanFor(state);
                 state.times_banned++;
-                state.banned_until_iter =
-                    iter + (size_t{1} << state.times_banned);
-                continue;
+                state.clean_streak = 0;
+                report.rules[r].bans++;
+            } else if (state.times_banned > 0 &&
+                       ++state.clean_streak >= options_.ban_decay_iters) {
+                state.times_banned--;
+                state.clean_streak = 0;
             }
             stats.matches += matches.size();
+            report.rules[r].matches += matches.size();
             for (Match &match : matches)
                 pending.push_back({r, std::move(match)});
         }
 
         // Phase 2: apply.
         for (PendingApply &pa : pending) {
+            if (elapsed() > options_.time_limit_seconds) {
+                timed_out = true;
+                break;
+            }
+            auto t0 = Clock::now();
             const Rewrite &rule = rules_[pa.rule_index];
-            if (rule.condition && !rule.condition(egraph_, pa.match))
+            RuleStats &rule_stats = report.rules[pa.rule_index];
+            if (rule.condition && !rule.condition(egraph_, pa.match)) {
+                rule_stats.apply_seconds += since(t0);
                 continue;
+            }
 
             EClassId root = egraph_.find(pa.match.root);
             TermPtr rhs_term;
             EClassId rhs_id;
             if (rule.isDynamic()) {
                 auto produced = rule.dyn(egraph_, pa.match);
-                if (!produced)
+                if (!produced) {
+                    rule_stats.apply_seconds += since(t0);
                     continue;
+                }
                 rhs_term = *produced;
                 rhs_id = egraph_.addTerm(rhs_term);
             } else {
@@ -124,12 +271,14 @@ Runner::run()
             bool changed = egraph_.merge(root, rhs_id, rule.name);
             if (changed) {
                 ++stats.applied;
+                ++rule_stats.applications;
                 if (options_.record_proofs) {
                     pending_records.push_back({pa.rule_index,
                                                pa.match.subst,
                                                rhs_term});
                 }
             }
+            rule_stats.apply_seconds += since(t0);
             if (egraph_.numNodes() > options_.max_nodes)
                 break;
         }
@@ -138,27 +287,38 @@ Runner::run()
 
         stats.nodes = egraph_.numNodes();
         stats.classes = egraph_.numClasses();
-        stats.seconds =
-            std::chrono::duration<double>(Clock::now() - iter_start)
-                .count();
+        stats.seconds = since(iter_start);
         report.iterations.push_back(stats);
         report.total_applied += stats.applied;
 
-        if (stats.applied == 0) {
-            report.stop = StopReason::Saturated;
+        if (timed_out || elapsed() > options_.time_limit_seconds) {
+            report.stop = StopReason::TimeLimit;
             break;
         }
         if (egraph_.numNodes() > options_.max_nodes) {
             report.stop = StopReason::NodeLimit;
             break;
         }
-        if (elapsed() > options_.time_limit_seconds) {
-            report.stop = StopReason::TimeLimit;
-            break;
+        if (stats.applied == 0) {
+            // A quiet iteration only proves saturation when every rule
+            // fully participated: none sat out banned (banned_now), and
+            // none was banned during the iteration with matches beyond
+            // its budget dropped (banned_until >= iter + 1).
+            size_t banned_next = 0;
+            for (const RuleState &state : states_) {
+                if (state.banned_until_iter >= iter + 1)
+                    ++banned_next;
+            }
+            if (banned_now == 0 && banned_next == 0) {
+                report.stop = StopReason::Saturated;
+                break;
+            }
         }
-        if (iter == options_.max_iters)
-            report.stop = StopReason::IterLimit;
+        ++iter;
     }
+
+    for (size_t r = 0; r < rules_.size(); ++r)
+        report.rules[r].times_banned = states_[r].times_banned;
 
     // Resolve proof records with a shared per-class memo.
     if (options_.record_proofs && !pending_records.empty()) {

@@ -4,26 +4,40 @@
  * unions, and rebuild, until saturation or a limit is reached.
  *
  * Includes a backoff scheduler (egg's BackoffScheduler): a rule whose
- * match count explodes is banned for exponentially growing spans so one
- * explosive rule cannot starve the rest.
+ * match count exceeds its budget still applies its first budget-many
+ * matches, then sits out an exponentially growing ban span so one
+ * explosive rule cannot starve the rest. The budget itself doubles with
+ * every ban (match_limit << times_banned), and bans decay again after a
+ * run of clean iterations. Saturation is only reported when zero unions
+ * happened *and* no rule is banned — a quiet iteration with pending bans
+ * keeps iterating (or stops as StopReason::BannedOut when every rule is
+ * banned past the iteration horizon).
  *
  * Every applied union is recorded with concrete lhs/rhs terms; the
  * verification flow (core/verify.h) replays these records through the
  * equivalence checker — the paper's translation-validation decomposition.
+ *
+ * The runner also keeps per-rule statistics (matches, applications, bans,
+ * search/apply seconds) for the bench harnesses; reports serialize to
+ * JSON (support/json.h) so bench runs emit machine-readable trajectories.
  */
 #ifndef SEER_EGRAPH_RUNNER_H_
 #define SEER_EGRAPH_RUNNER_H_
 
 #include "egraph/rewrite.h"
+#include "support/json.h"
 
 namespace seer::eg {
 
 /** Why the runner stopped. */
 enum class StopReason {
-    Saturated, ///< no rule produced a new union
+    Saturated, ///< no rule produced a new union and no rule was banned
     IterLimit,
     NodeLimit,
     TimeLimit,
+    /** Every rule is banned past the iteration horizon: exploration is
+     *  throttled out, not saturated. */
+    BannedOut,
 };
 
 std::string stopReasonName(StopReason reason);
@@ -39,11 +53,25 @@ struct RewriteRecord
 /** Per-iteration statistics. */
 struct IterationStats
 {
+    size_t iter = 0; ///< 1-based; gaps appear when banned spans are skipped
     size_t matches = 0;
     size_t applied = 0; ///< unions that changed the e-graph
+    size_t banned_rules = 0; ///< rules sitting out this iteration
     size_t nodes = 0;
     size_t classes = 0;
     double seconds = 0;
+};
+
+/** Per-rule scheduler and profiling statistics for one run. */
+struct RuleStats
+{
+    std::string name;
+    size_t matches = 0;      ///< matches kept (after backoff truncation)
+    size_t applications = 0; ///< unions that changed the e-graph
+    size_t bans = 0;         ///< times the backoff scheduler banned it
+    size_t times_banned = 0; ///< scheduler ban level at end of run
+    double search_seconds = 0;
+    double apply_seconds = 0;
 };
 
 struct RunnerOptions
@@ -51,8 +79,15 @@ struct RunnerOptions
     size_t max_iters = 30;
     size_t max_nodes = 100000;
     double time_limit_seconds = 20.0;
-    /** Per-rule per-iteration match budget before backoff banning. */
+    /** Per-rule per-iteration match budget before backoff banning; the
+     *  effective budget is match_limit << times_banned (egg). */
     size_t match_limit = 1000;
+    /** Base ban span in iterations; a rule's n-th ban lasts
+     *  ban_length << n iterations (egg's ban_length). */
+    size_t ban_length = 5;
+    /** Clean (under-budget) iterations after which a rule's ban level
+     *  decays one step, restoring its original budget over time. */
+    size_t ban_decay_iters = 3;
     /** Record lhs/rhs terms for each union (needed for verification). */
     bool record_proofs = true;
     /** Worker threads for the (read-only) e-matching phase. 1 =
@@ -67,10 +102,16 @@ struct RunnerReport
 {
     StopReason stop = StopReason::Saturated;
     std::vector<IterationStats> iterations;
+    std::vector<RuleStats> rules; ///< one entry per registered rule
     std::vector<RewriteRecord> records;
     double total_seconds = 0;
     size_t total_applied = 0;
 };
+
+/** JSON views of the statistics (records are deliberately omitted). */
+json::Value toJson(const RuleStats &stats);
+json::Value toJson(const IterationStats &stats);
+json::Value toJson(const RunnerReport &report);
 
 /** Drives a rule set over an e-graph. */
 class Runner
@@ -99,7 +140,14 @@ class Runner
     {
         size_t times_banned = 0;
         size_t banned_until_iter = 0;
+        size_t clean_streak = 0; ///< consecutive under-budget iterations
     };
+
+    /** Effective match budget: match_limit << times_banned, saturating. */
+    size_t thresholdFor(const RuleState &state) const;
+
+    /** Ban span for the *next* ban: ban_length << times_banned. */
+    size_t banSpanFor(const RuleState &state) const;
 
     EGraph &egraph_;
     RunnerOptions options_;

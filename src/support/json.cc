@@ -1,0 +1,133 @@
+#include "support/json.h"
+
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+#include "support/error.h"
+
+namespace seer::json {
+
+std::string
+escape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size() + 2);
+    for (char c : text) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+void
+Value::set(std::string key, Value value)
+{
+    Object *object = std::get_if<Object>(&data_);
+    SEER_ASSERT(object, "json::Value::set on a non-object value");
+    object->emplace_back(std::move(key), std::move(value));
+}
+
+void
+Value::push(Value value)
+{
+    Array *array = std::get_if<Array>(&data_);
+    SEER_ASSERT(array, "json::Value::push on a non-array value");
+    array->push_back(std::move(value));
+}
+
+namespace {
+
+void
+newline(std::ostream &os, int indent, int depth)
+{
+    if (indent <= 0)
+        return;
+    os << '\n';
+    for (int i = 0; i < indent * depth; ++i)
+        os << ' ';
+}
+
+} // namespace
+
+void
+Value::writeAt(std::ostream &os, int indent, int depth) const
+{
+    if (std::holds_alternative<std::nullptr_t>(data_)) {
+        os << "null";
+    } else if (const bool *b = std::get_if<bool>(&data_)) {
+        os << (*b ? "true" : "false");
+    } else if (const int64_t *i = std::get_if<int64_t>(&data_)) {
+        os << *i;
+    } else if (const double *d = std::get_if<double>(&data_)) {
+        if (std::isfinite(*d)) {
+            std::ostringstream num;
+            num.precision(12);
+            num << *d;
+            os << num.str();
+        } else {
+            os << "null"; // JSON has no inf/nan
+        }
+    } else if (const std::string *s = std::get_if<std::string>(&data_)) {
+        os << '"' << escape(*s) << '"';
+    } else if (const Array *array = std::get_if<Array>(&data_)) {
+        if (array->empty()) {
+            os << "[]";
+            return;
+        }
+        os << '[';
+        for (size_t i = 0; i < array->size(); ++i) {
+            if (i > 0)
+                os << (indent > 0 ? "," : ", ");
+            newline(os, indent, depth + 1);
+            (*array)[i].writeAt(os, indent, depth + 1);
+        }
+        newline(os, indent, depth);
+        os << ']';
+    } else if (const Object *object = std::get_if<Object>(&data_)) {
+        if (object->empty()) {
+            os << "{}";
+            return;
+        }
+        os << '{';
+        for (size_t i = 0; i < object->size(); ++i) {
+            if (i > 0)
+                os << (indent > 0 ? "," : ", ");
+            newline(os, indent, depth + 1);
+            os << '"' << escape((*object)[i].first) << "\": ";
+            (*object)[i].second.writeAt(os, indent, depth + 1);
+        }
+        newline(os, indent, depth);
+        os << '}';
+    }
+}
+
+void
+Value::write(std::ostream &os, int indent) const
+{
+    writeAt(os, indent, 0);
+}
+
+std::string
+Value::dump(int indent) const
+{
+    std::ostringstream os;
+    write(os, indent);
+    return os.str();
+}
+
+} // namespace seer::json

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * A minimal JSON document builder + writer.
+ *
+ * Bench binaries emit machine-readable run trajectories (per-rule and
+ * per-iteration e-graph statistics) next to their human-readable tables;
+ * this is the tiny value type they serialize through. Write-only on
+ * purpose: nothing in the system parses JSON, so there is no parser to
+ * keep sound.
+ *
+ * Objects preserve insertion order so emitted documents are stable and
+ * diffable across runs.
+ */
+#ifndef SEER_SUPPORT_JSON_H_
+#define SEER_SUPPORT_JSON_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace seer::json {
+
+class Value;
+
+/** A JSON array. */
+using Array = std::vector<Value>;
+
+/** A JSON object, insertion-ordered. */
+using Object = std::vector<std::pair<std::string, Value>>;
+
+/** One JSON value: null, bool, integer, double, string, array, object. */
+class Value
+{
+  public:
+    Value() : data_(nullptr) {}
+    Value(std::nullptr_t) : data_(nullptr) {}
+    Value(bool value) : data_(value) {}
+    Value(int value) : data_(static_cast<int64_t>(value)) {}
+    Value(unsigned value) : data_(static_cast<int64_t>(value)) {}
+    Value(int64_t value) : data_(value) {}
+    Value(uint64_t value) : data_(static_cast<int64_t>(value)) {}
+    Value(double value) : data_(value) {}
+    Value(const char *value) : data_(std::string(value)) {}
+    Value(std::string value) : data_(std::move(value)) {}
+    Value(Array value) : data_(std::move(value)) {}
+    Value(Object value) : data_(std::move(value)) {}
+
+    /** Append a key/value pair; the value must hold an object. */
+    void set(std::string key, Value value);
+
+    /** Append an element; the value must hold an array. */
+    void push(Value value);
+
+    /** Render; `indent` > 0 pretty-prints with that many spaces. */
+    std::string dump(int indent = 0) const;
+
+    /** Stream the rendering (same formatting rules as dump). */
+    void write(std::ostream &os, int indent = 0) const;
+
+  private:
+    void writeAt(std::ostream &os, int indent, int depth) const;
+
+    std::variant<std::nullptr_t, bool, int64_t, double, std::string,
+                 Array, Object>
+        data_;
+};
+
+/** JSON string escaping (quotes, backslashes, control characters). */
+std::string escape(const std::string &text);
+
+} // namespace seer::json
+
+#endif // SEER_SUPPORT_JSON_H_

@@ -197,8 +197,12 @@ TEST(RunnerTest, BackoffBansExplosiveRules)
     Runner runner(eg, options);
     runner.addRule(makeRewrite("swap", "(h ?x)", "(h2 ?x)"));
     RunnerReport report = runner.run();
-    // The rule was banned before applying anything.
-    EXPECT_EQ(report.total_applied, 0u);
+    // Egg semantics: the first match_limit matches apply, then the rule
+    // is banned; with the ban outliving max_iters the run is banned
+    // out, not saturated.
+    EXPECT_EQ(report.total_applied, 10u);
+    EXPECT_EQ(report.rules[0].bans, 1u);
+    EXPECT_EQ(report.stop, StopReason::BannedOut);
 }
 
 // --- Extraction -------------------------------------------------------
@@ -271,6 +275,67 @@ TEST(ExtractTest, ZeroCostCycleNotSelected)
     auto extraction = extractGreedy(eg, x, cost);
     ASSERT_TRUE(extraction.has_value());
     EXPECT_EQ(extraction->term->str(), "x");
+}
+
+/** Costs whose sums differ only by float roundoff: 0.1 + 0.7 is one ulp
+ *  below the literal 0.8. */
+class RoundoffCost : public CostModel
+{
+  public:
+    double
+    nodeCost(const ENode &node) const override
+    {
+        const std::string &op = node.op.str();
+        if (op == "s") return 0.8;
+        if (op == "t") return 0.1;
+        if (op == "wrap") return 0.7;
+        return 0;
+    }
+};
+
+TEST(ExtractTest, RoundoffTiesBreakBySizeNotUlps)
+{
+    // (wrap t) sums to 0.7999999999999999 — one ulp below the leaf's
+    // 0.8. Exact float comparison would let the roundoff decide (and
+    // platforms with different FP contraction would disagree); the
+    // epsilon tie-break must treat the costs as equal and pick the
+    // smaller term.
+    EGraph eg;
+    EClassId s = eg.addTerm(parseTerm("s"));
+    EClassId big = eg.addTerm(parseTerm("(wrap t)"));
+    eg.merge(s, big);
+    eg.rebuild();
+    RoundoffCost cost;
+    auto extraction = extractGreedy(eg, s, cost);
+    ASSERT_TRUE(extraction.has_value());
+    EXPECT_EQ(extraction->term->str(), "s");
+}
+
+TEST(ExtractTest, GreedyExtractionIsDeterministic)
+{
+    // Two independently built copies of the same e-graph must extract
+    // the identical term, twice each (same graph, same answer).
+    auto build = [] {
+        EGraph eg;
+        EClassId root = eg.addTerm(
+            parseTerm("(add (mul a const:2) (mul a const:2))"));
+        EClassId m = *eg.lookupTerm(parseTerm("(mul a const:2)"));
+        EClassId shifted = eg.addTerm(parseTerm("(shl a const:1)"));
+        eg.merge(m, shifted);
+        eg.rebuild();
+        return std::pair{std::move(eg), root};
+    };
+    ToyCost cost;
+    auto [eg1, root1] = build();
+    auto [eg2, root2] = build();
+    auto first = extractGreedy(eg1, root1, cost);
+    auto again = extractGreedy(eg1, root1, cost);
+    auto other = extractGreedy(eg2, root2, cost);
+    ASSERT_TRUE(first.has_value());
+    EXPECT_EQ(first->term->str(), again->term->str());
+    EXPECT_EQ(first->term->str(), other->term->str());
+    EXPECT_EQ(first->tree_cost, other->tree_cost);
+    EXPECT_EQ(first->dag_cost, other->dag_cost);
 }
 
 TEST(ExtractTest, SmallestTermExtraction)

@@ -92,6 +92,44 @@ TEST(ExplainTest, MultiStepRewriteChain)
         EXPECT_FALSE(step.empty());
 }
 
+TEST(ProofRecordTest, RecordsStayResolvableAfterHeavyMerging)
+{
+    // Saturate a graph that merges aggressively (commutativity +
+    // associativity over a shared-subterm add tree), then check every
+    // recorded union still references canonical classes: both recorded
+    // ground terms resolve into the e-graph, land in the same class,
+    // and explain() yields a justification path for them.
+    EGraph eg;
+    EClassId a = eg.addTerm(parseTerm("(add x y)"));
+    EClassId b = eg.addTerm(parseTerm("(add y x)"));
+    eg.addTerm(parseTerm("(add (add x y) (add (add x y) z))"));
+    RunnerOptions options;
+    options.max_iters = 4;
+    options.max_nodes = 5000;
+    Runner runner(eg, options);
+    runner.addRule(makeRewrite("comm", "(add ?a ?b)", "(add ?b ?a)"));
+    runner.addRule(makeRewrite("assoc", "(add (add ?a ?b) ?c)",
+                               "(add ?a (add ?b ?c))"));
+    RunnerReport report = runner.run();
+    ASSERT_GE(report.records.size(), 5u);
+    for (const RewriteRecord &record : report.records) {
+        EXPECT_TRUE(record.rule == "comm" || record.rule == "assoc");
+        auto lhs = eg.lookupTerm(record.lhs);
+        auto rhs = eg.lookupTerm(record.rhs);
+        ASSERT_TRUE(lhs.has_value()) << record.rule;
+        ASSERT_TRUE(rhs.has_value()) << record.rule;
+        EXPECT_EQ(eg.find(*lhs), eg.find(*rhs)) << record.rule;
+        auto path = eg.explain(*lhs, *rhs);
+        ASSERT_TRUE(path.has_value()) << record.rule;
+    }
+    // The pre-registered original ids survived the merge storm with a
+    // non-trivial explanation chain between them.
+    ASSERT_EQ(eg.find(a), eg.find(b));
+    auto path = eg.explain(a, b);
+    ASSERT_TRUE(path.has_value());
+    EXPECT_FALSE(path->empty());
+}
+
 TEST(ThreadedMatchTest, SameExplorationAsSerial)
 {
     auto run = [](unsigned threads) {

@@ -1,0 +1,237 @@
+/**
+ * Scheduler-focused runner tests: egg-faithful backoff (over-budget
+ * rules still apply their first budget-many matches), no false
+ * saturation while bans are pending, ban expiry/decay, in-phase time
+ * limits, and per-rule statistics.
+ *
+ * The first two tests are regressions against the seed scheduler, which
+ * (a) discarded *all* matches of an over-limit rule (starving it
+ * forever) and (b) reported Saturated whenever an iteration applied
+ * zero unions, even when that was only because every rule was banned.
+ */
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "egraph/runner.h"
+
+namespace seer::eg {
+namespace {
+
+/** An e-graph holding n distinct (h leaf_i) terms: the rule
+ *  (h ?x) -> (h2 ?x) then has exactly n matches, each yielding one
+ *  fresh union, and stays at n matches forever (h2 nodes don't match). */
+EGraph
+fanoutGraph(int n)
+{
+    EGraph eg;
+    for (int i = 0; i < n; ++i)
+        eg.addTerm(parseTerm("(h leaf" + std::to_string(i) + ")"));
+    return eg;
+}
+
+Rewrite
+swapRule()
+{
+    return makeRewrite("swap", "(h ?x)", "(h2 ?x)");
+}
+
+TEST(BackoffTest, OverBudgetRuleStillAppliesItsBudget)
+{
+    // Seed behavior: 50 matches > limit 10 -> everything discarded,
+    // total_applied == 0. Egg semantics: the first 10 matches apply,
+    // *then* the rule is banned.
+    EGraph eg = fanoutGraph(50);
+    RunnerOptions options;
+    options.match_limit = 10;
+    options.max_iters = 1;
+    Runner runner(eg, options);
+    runner.addRule(swapRule());
+    RunnerReport report = runner.run();
+    EXPECT_EQ(report.total_applied, 10u);
+    ASSERT_EQ(report.rules.size(), 1u);
+    EXPECT_EQ(report.rules[0].name, "swap");
+    EXPECT_EQ(report.rules[0].matches, 10u);
+    EXPECT_EQ(report.rules[0].applications, 10u);
+    EXPECT_EQ(report.rules[0].bans, 1u);
+}
+
+TEST(BackoffTest, AlwaysExplosiveRuleStillContributesUnions)
+{
+    // match_limit=1: the rule is over budget every single iteration it
+    // runs, yet must keep contributing unions between bans.
+    EGraph eg = fanoutGraph(50);
+    RunnerOptions options;
+    options.match_limit = 1;
+    options.ban_length = 1;
+    options.max_iters = 30;
+    Runner runner(eg, options);
+    runner.addRule(swapRule());
+    RunnerReport report = runner.run();
+    EXPECT_GE(report.total_applied, 4u);
+    EXPECT_GE(report.rules[0].bans, 2u);
+}
+
+TEST(BackoffTest, BannedOutRunIsNotReportedSaturated)
+{
+    // Regression: with one explosive rule and match_limit=1, iteration 2
+    // has zero active rules and zero unions; the seed reported that as
+    // Saturated. It must surface as BannedOut (bans pending past the
+    // iteration horizon), never as saturation.
+    EGraph eg = fanoutGraph(50);
+    RunnerOptions options;
+    options.match_limit = 1;
+    options.max_iters = 3; // ban span (default 5) outlives the horizon
+    Runner runner(eg, options);
+    runner.addRule(swapRule());
+    RunnerReport report = runner.run();
+    EXPECT_NE(report.stop, StopReason::Saturated);
+    EXPECT_EQ(report.stop, StopReason::BannedOut);
+    EXPECT_EQ(report.total_applied, 1u);
+    EXPECT_EQ(stopReasonName(report.stop), "banned-out");
+}
+
+TEST(BackoffTest, BansExpireAndRunConvergesToSaturation)
+{
+    // The escalating budget (match_limit << times_banned) must
+    // eventually cover all 50 matches, after which a genuinely quiet,
+    // ban-free iteration reports honest saturation.
+    EGraph eg = fanoutGraph(50);
+    RunnerOptions options;
+    options.match_limit = 8;
+    options.ban_length = 1;
+    options.max_iters = 30;
+    Runner runner(eg, options);
+    runner.addRule(swapRule());
+    RunnerReport report = runner.run();
+    EXPECT_EQ(report.total_applied, 50u);
+    EXPECT_EQ(report.stop, StopReason::Saturated);
+    // Skipped all-banned spans appear as gaps in the trajectory.
+    ASSERT_GE(report.iterations.size(), 2u);
+    for (size_t i = 1; i < report.iterations.size(); ++i) {
+        EXPECT_GT(report.iterations[i].iter,
+                  report.iterations[i - 1].iter);
+    }
+}
+
+TEST(BackoffTest, BanLevelDecaysAfterCleanIterations)
+{
+    // 6 matches with limit 4: one ban lifts the budget to 8, which then
+    // covers everything; ban_decay_iters clean iterations later the ban
+    // level must fall back to zero.
+    EGraph eg = fanoutGraph(6);
+    RunnerOptions options;
+    options.match_limit = 4;
+    options.ban_length = 1;
+    options.ban_decay_iters = 2;
+    options.max_iters = 30;
+    Runner runner(eg, options);
+    runner.addRule(swapRule());
+    RunnerReport report = runner.run();
+    EXPECT_EQ(report.total_applied, 6u);
+    EXPECT_EQ(report.rules[0].bans, 1u);
+    EXPECT_EQ(report.rules[0].times_banned, 0u); // decayed back down
+
+    // Control: with decay disabled the elevated ban level persists.
+    EGraph eg2 = fanoutGraph(6);
+    options.ban_decay_iters = 1000000;
+    Runner runner2(eg2, options);
+    runner2.addRule(swapRule());
+    RunnerReport report2 = runner2.run();
+    EXPECT_EQ(report2.rules[0].times_banned, 1u);
+}
+
+TEST(TimeLimitTest, EnforcedInsideTheMatchPhase)
+{
+    // Zero budget: the runner must stop during the first match phase,
+    // before applying anything — not after a full iteration.
+    EGraph eg = fanoutGraph(50);
+    RunnerOptions options;
+    options.time_limit_seconds = 0.0;
+    options.max_iters = 1000000;
+    Runner runner(eg, options);
+    runner.addRule(swapRule());
+    RunnerReport report = runner.run();
+    EXPECT_EQ(report.stop, StopReason::TimeLimit);
+    EXPECT_EQ(report.total_applied, 0u);
+    EXPECT_TRUE(report.iterations.empty());
+}
+
+TEST(TimeLimitTest, ThreadedMatchPhaseAlsoHonorsTheLimit)
+{
+    EGraph eg = fanoutGraph(50);
+    RunnerOptions options;
+    options.time_limit_seconds = 0.0;
+    options.match_threads = 4;
+    Runner runner(eg, options);
+    runner.addRule(swapRule());
+    runner.addRule(makeRewrite("swap2", "(h2 ?x)", "(h3 ?x)"));
+    RunnerReport report = runner.run();
+    EXPECT_EQ(report.stop, StopReason::TimeLimit);
+    EXPECT_EQ(report.total_applied, 0u);
+}
+
+TEST(RuleStatsTest, PerRuleCountersAndTimesAreTracked)
+{
+    EGraph eg;
+    eg.addTerm(parseTerm("(add x y)"));
+    Runner runner(eg);
+    runner.addRule(makeRewrite("comm", "(add ?a ?b)", "(add ?b ?a)"));
+    runner.addRule(makeRewrite("never", "(sub ?a ?b)", "(sub ?b ?a)"));
+    RunnerReport report = runner.run();
+    ASSERT_EQ(report.rules.size(), 2u);
+    EXPECT_EQ(report.rules[0].name, "comm");
+    EXPECT_GE(report.rules[0].matches, 1u);
+    EXPECT_EQ(report.rules[0].applications, 1u);
+    EXPECT_EQ(report.rules[0].bans, 0u);
+    EXPECT_GE(report.rules[0].search_seconds, 0.0);
+    EXPECT_EQ(report.rules[1].name, "never");
+    EXPECT_EQ(report.rules[1].matches, 0u);
+    EXPECT_EQ(report.rules[1].applications, 0u);
+    // The iteration trajectory carries the scheduler view too.
+    ASSERT_FALSE(report.iterations.empty());
+    EXPECT_EQ(report.iterations[0].iter, 1u);
+    EXPECT_EQ(report.iterations[0].banned_rules, 0u);
+}
+
+TEST(RuleStatsTest, ReportSerializesToJson)
+{
+    EGraph eg = fanoutGraph(5);
+    RunnerOptions options;
+    options.match_limit = 2;
+    options.max_iters = 2;
+    Runner runner(eg, options);
+    runner.addRule(swapRule());
+    RunnerReport report = runner.run();
+    std::string text = toJson(report).dump();
+    EXPECT_NE(text.find("\"stop\""), std::string::npos);
+    EXPECT_NE(text.find("\"rules\""), std::string::npos);
+    EXPECT_NE(text.find("\"swap\""), std::string::npos);
+    EXPECT_NE(text.find("\"iterations\""), std::string::npos);
+    EXPECT_NE(text.find("\"bans\": 1"), std::string::npos);
+}
+
+TEST(SchedulerInteractionTest, CleanRulesKeepRunningWhileOneIsBanned)
+{
+    // A banned explosive rule must not freeze the rest of the rule set:
+    // the chain f -> g -> k only completes via the second rule firing in
+    // an iteration where the first sits banned.
+    EGraph eg = fanoutGraph(50);
+    eg.addTerm(parseTerm("(f x)"));
+    RunnerOptions options;
+    options.match_limit = 5;
+    options.ban_length = 2;
+    options.max_iters = 10;
+    Runner runner(eg, options);
+    runner.addRule(swapRule()); // explosive: banned in iteration 1
+    runner.addRule(makeRewrite("f-to-g", "(f ?a)", "(g ?a)"));
+    runner.addRule(makeRewrite("g-to-k", "(g ?a)", "(k ?a)"));
+    RunnerReport report = runner.run();
+    auto k = eg.lookupTerm(parseTerm("(k x)"));
+    ASSERT_TRUE(k.has_value());
+    EXPECT_EQ(eg.find(*k), eg.find(*eg.lookupTerm(parseTerm("(f x)"))));
+    EXPECT_GE(report.rules[0].bans, 1u);
+}
+
+} // namespace
+} // namespace seer::eg

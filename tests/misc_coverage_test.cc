@@ -37,7 +37,8 @@ TEST(RunnerStopTest, AllStopReasonsHaveNames)
 {
     for (auto reason :
          {eg::StopReason::Saturated, eg::StopReason::IterLimit,
-          eg::StopReason::NodeLimit, eg::StopReason::TimeLimit}) {
+          eg::StopReason::NodeLimit, eg::StopReason::TimeLimit,
+          eg::StopReason::BannedOut}) {
         EXPECT_FALSE(eg::stopReasonName(reason).empty());
         EXPECT_NE(eg::stopReasonName(reason), "?");
     }

@@ -1,16 +1,66 @@
-/** Tests for the support library: symbols, errors, tables, RNG. */
+/** Tests for the support library: symbols, errors, tables, RNG, JSON. */
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <sstream>
 #include <thread>
 
 #include "support/error.h"
+#include "support/json.h"
 #include "support/rng.h"
 #include "support/symbol.h"
 #include "support/table.h"
 
 namespace seer {
 namespace {
+
+TEST(JsonTest, ScalarsRender)
+{
+    EXPECT_EQ(json::Value().dump(), "null");
+    EXPECT_EQ(json::Value(true).dump(), "true");
+    EXPECT_EQ(json::Value(42).dump(), "42");
+    EXPECT_EQ(json::Value(int64_t{-7}).dump(), "-7");
+    EXPECT_EQ(json::Value(1.5).dump(), "1.5");
+    EXPECT_EQ(json::Value("hi").dump(), "\"hi\"");
+}
+
+TEST(JsonTest, StringsAreEscaped)
+{
+    EXPECT_EQ(json::Value("a\"b\\c\nd").dump(),
+              "\"a\\\"b\\\\c\\nd\"");
+    EXPECT_EQ(json::escape(std::string("\x01", 1)), "\\u0001");
+}
+
+TEST(JsonTest, ObjectsPreserveInsertionOrder)
+{
+    json::Value obj{json::Object{}};
+    obj.set("z", 1);
+    obj.set("a", 2);
+    EXPECT_EQ(obj.dump(), "{\"z\": 1, \"a\": 2}");
+}
+
+TEST(JsonTest, NestedStructuresAndIndent)
+{
+    json::Value arr{json::Array{}};
+    arr.push(1);
+    arr.push("two");
+    json::Value obj{json::Object{}};
+    obj.set("items", std::move(arr));
+    EXPECT_EQ(obj.dump(), "{\"items\": [1, \"two\"]}");
+    EXPECT_EQ(obj.dump(2), "{\n  \"items\": [\n    1,\n    \"two\"\n  ]\n}");
+}
+
+TEST(JsonTest, EmptyContainersRenderCompact)
+{
+    EXPECT_EQ(json::Value(json::Array{}).dump(2), "[]");
+    EXPECT_EQ(json::Value(json::Object{}).dump(2), "{}");
+}
+
+TEST(JsonTest, NonFiniteDoublesBecomeNull)
+{
+    EXPECT_EQ(json::Value(std::numeric_limits<double>::infinity()).dump(),
+              "null");
+}
 
 TEST(SymbolTest, InterningGivesEqualIds)
 {

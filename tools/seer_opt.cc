@@ -34,6 +34,7 @@ struct CliOptions
     std::string input_file;
     std::string func_name; // empty: first function
     std::string fixed_passes; // non-empty: run a pipeline, not SEER
+    std::string stats_file;   // non-empty: dump JSON stats ("-" = stderr)
     bool verify = false;
     bool report = false;
     bool quiet = false;
@@ -62,6 +63,8 @@ usage()
         "  --verify           translation-validate every rewrite and\n"
         "                     co-simulate end to end\n"
         "  --report           print before/after HLS PPA estimates\n"
+        "  --stats FILE       write per-rule/per-iteration scheduler\n"
+        "                     stats as JSON (FILE '-' = stderr)\n"
         "  --quiet            suppress the output program\n";
 }
 
@@ -110,6 +113,8 @@ parseArgs(int argc, char **argv, CliOptions &options)
             options.verify = true;
         } else if (arg == "--report") {
             options.report = true;
+        } else if (arg == "--stats") {
+            options.stats_file = next();
         } else if (arg == "--quiet") {
             options.quiet = true;
         } else if (arg == "--help" || arg == "-h") {
@@ -193,6 +198,9 @@ main(int argc, char **argv)
         core::SeerResult result;
         if (!options.fixed_passes.empty()) {
             // The phase-ordered baseline: a fixed pipeline.
+            if (!options.stats_file.empty())
+                std::cerr << "; note: --stats ignored with --passes "
+                             "(no e-graph runs)\n";
             output = ir::cloneModule(input);
             passes::runPipeline(output,
                                 splitList(options.fixed_passes));
@@ -208,6 +216,18 @@ main(int argc, char **argv)
                       << result.stats.total_seconds << "s total ("
                       << result.stats.time_in_passes_seconds
                       << "s in passes)\n";
+            if (!options.stats_file.empty()) {
+                std::string text = core::toJson(result.stats).dump(2);
+                text += "\n";
+                if (options.stats_file == "-") {
+                    std::cerr << text;
+                } else {
+                    std::ofstream stats_out(options.stats_file);
+                    if (!stats_out)
+                        fatal("cannot open " + options.stats_file);
+                    stats_out << text;
+                }
+            }
         }
 
         if (!options.quiet)
