@@ -3,9 +3,11 @@
 #include <chrono>
 #include <set>
 
+#include "core/verify.h"
 #include "hls/pragmas.h"
 #include "ir/analysis.h"
 #include "ir/builder.h"
+#include "ir/verifier.h"
 #include "passes/passes.h"
 #include "rover/rover.h"
 #include "seerlang/encoding.h"
@@ -151,6 +153,38 @@ renameArgsToVars(const TermPtr &term, const std::set<std::string> &vars)
 }
 
 /**
+ * Validation gate (fault isolation): before an external-pass result is
+ * handed back for unioning, the transformed snippet must pass the
+ * structural verifier and the before/after terms must co-simulate on
+ * deterministic pseudo-random inputs. Returns true to accept; records
+ * the rejection in the context otherwise.
+ */
+bool
+validateReplacement(const ContextPtr &ctx, const ir::Module &snippet,
+                    const TermPtr &before, const TermPtr &after)
+{
+    std::string diag = ir::verify(snippet);
+    if (diag.empty()) {
+        VerifyOptions verify_options;
+        verify_options.runs = ctx->validation_runs;
+        verify_options.seed = ctx->validation_seed;
+        verify_options.max_steps = 2'000'000;
+        std::string eq_diag;
+        if (checkTermEquivalence(before, after, verify_options,
+                                 &eq_diag)) {
+            return true; // equivalent (or inconclusive: nothing falsified)
+        }
+        diag = "co-simulation mismatch: " + eq_diag;
+    } else {
+        diag = "verifier rejected pass output: " + diag;
+    }
+    ++ctx->rejected_results;
+    if (ctx->rejections.size() < 16)
+        ctx->rejections.push_back(diag);
+    return false;
+}
+
+/**
  * Run `transform` on a snippet built from `term`; translate back and
  * derive registry entries for new loops. `law` selects the paper's
  * approximation law ("fuse") or nullptr for the schedule oracle.
@@ -161,6 +195,10 @@ runOnSnippet(const ContextPtr &ctx, const TermPtr &term,
              const char *law)
 {
     using Clock = std::chrono::steady_clock;
+    // Deadline propagation: once the driver's whole-run budget is
+    // spent, stop launching snippet/pass work entirely.
+    if (ctx->deadline && Clock::now() >= *ctx->deadline)
+        return std::nullopt;
     auto start = Clock::now();
     auto charge = [&] {
         ctx->mlir_seconds +=
@@ -200,6 +238,14 @@ runOnSnippet(const ContextPtr &ctx, const TermPtr &term,
         sl::Translation translation = sl::funcToTerm(func);
         TermPtr replacement = translation.term->child(0);
         replacement = renameArgsToVars(replacement, var_args);
+
+        // Gate the result before any registry state is touched: a
+        // rejected replacement must leave no trace.
+        if (ctx->validate_results &&
+            !validateReplacement(ctx, snippet, term, replacement)) {
+            charge();
+            return std::nullopt;
+        }
 
         // Registry maintenance for loops in the transformed snippet.
         std::vector<std::string> output_ids;
@@ -246,12 +292,29 @@ runOnSnippet(const ContextPtr &ctx, const TermPtr &term,
 }
 
 
-/** Per-phase memo: skip (rule, class) pairs that were already tried. */
+/**
+ * Per-phase memo: skip (rule, class) pairs that were already tried.
+ * The key is re-canonicalized at lookup time and versioned by the
+ * class's node count: a hit recorded before the class absorbed another
+ * (or grew new representatives) must not skip a rule that never saw
+ * the merged contents, and entries under merged-away ids can never
+ * alias a surviving class (ids are not reused).
+ */
 bool
 alreadyAttempted(const ContextPtr &ctx, const EGraph &egraph,
                  const char *rule, EClassId root)
 {
-    return !ctx->attempted.emplace(rule, egraph.find(root)).second;
+    EClassId canon = egraph.find(root);
+    size_t version = egraph.eclass(canon).nodes.size();
+    auto [it, inserted] = ctx->attempted.emplace(
+        std::make_pair(std::string(rule), canon), version);
+    if (inserted)
+        return false;
+    if (it->second != version) {
+        it->second = version; // class changed since the attempt: retry
+        return false;
+    }
+    return true;
 }
 
 /** First top-level loop of a snippet function. */

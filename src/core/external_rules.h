@@ -14,8 +14,10 @@
 #ifndef SEER_CORE_EXTERNAL_RULES_H_
 #define SEER_CORE_EXTERNAL_RULES_H_
 
+#include <chrono>
+#include <map>
 #include <memory>
-#include <set>
+#include <optional>
 
 #include "core/cost.h"
 #include "egraph/rewrite.h"
@@ -43,12 +45,37 @@ struct ExternalRuleContext
      *  Figure 9 fusion then never finds the affine form). */
     bool analysis_friendly = true;
     /**
-     * Attempt memo: (rule name, canonical class) pairs already tried, so
-     * re-matching the same class across runner iterations does not
-     * re-run the whole snippet/pass machinery. Cleared per phase by the
-     * driver (rover rounds change class contents between phases).
+     * Attempt memo: (rule name, canonical class) -> class node count at
+     * attempt time, so re-matching the same class across runner
+     * iterations does not re-run the whole snippet/pass machinery. Ids
+     * are re-canonicalized and the node count re-checked at lookup
+     * time: a class that absorbed new representatives since the last
+     * attempt is retried, and stale (merged-away) ids can never alias a
+     * surviving class. Cleared per phase by the driver (rover rounds
+     * change class contents between phases).
      */
-    std::set<std::pair<std::string, uint32_t>> attempted;
+    std::map<std::pair<std::string, uint32_t>, size_t> attempted;
+
+    /**
+     * Fault isolation: gate every external-pass result through the
+     * structural verifier and a before/after co-simulation on
+     * deterministic pseudo-random inputs before it is unioned. A
+     * semantics-breaking pass is contained — rejected and recorded —
+     * instead of poisoning the e-graph (a union is irreversible within
+     * a phase).
+     */
+    bool validate_results = true;
+    /** Co-simulation budget for the validation gate. */
+    int validation_runs = 2;
+    uint64_t validation_seed = 0x5EEE;
+    /** Pass results rejected by the validation gate. */
+    size_t rejected_results = 0;
+    /** Diagnostics for the first few rejections (health reporting). */
+    std::vector<std::string> rejections;
+
+    /** Whole-run wall-clock deadline: once expired, external rules stop
+     *  launching new snippet/pass work and report "does not apply". */
+    std::optional<std::chrono::steady_clock::time_point> deadline;
 };
 
 using ContextPtr = std::shared_ptr<ExternalRuleContext>;

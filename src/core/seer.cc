@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <functional>
+#include <optional>
 
 #include "ir/verifier.h"
 #include "passes/passes.h"
@@ -140,95 +142,273 @@ markTrustedLoops(ir::Module &module, const LoopRegistry &registry)
 
 } // namespace
 
+namespace {
+
+/** Append a recovered-error note (bounded; degraded runs stay cheap). */
+void
+recordRecovered(SeerStats &stats, const std::string &what)
+{
+    constexpr size_t kCap = 64;
+    if (stats.recovered_errors.size() < kCap)
+        stats.recovered_errors.push_back(what);
+    stats.degraded = true;
+}
+
+} // namespace
+
 SeerResult
 optimize(const ir::Module &input, const std::string &func_name,
          const SeerOptions &options)
 {
     using Clock = std::chrono::steady_clock;
     auto start = Clock::now();
+    std::optional<Clock::time_point> deadline;
+    if (options.deadline_seconds > 0) {
+        deadline = start + std::chrono::duration_cast<Clock::duration>(
+                               std::chrono::duration<double>(
+                                   options.deadline_seconds));
+    }
+    auto past_deadline = [&] {
+        return deadline && Clock::now() >= *deadline;
+    };
+    auto finish = [&](SeerResult &result) {
+        result.stats.total_seconds =
+            std::chrono::duration<double>(Clock::now() - start).count();
+        result.stats.time_in_egraph_seconds =
+            std::max(0.0, result.stats.total_seconds -
+                              result.stats.time_in_passes_seconds);
+    };
 
     ir::Module working = ir::cloneModule(input);
     ir::Operation *func = working.lookupFunc(func_name);
     if (!func)
         fatal("seer: no function named '" + func_name + "'");
-    preNormalize(*func);
-    ir::verifyOrDie(working);
+
+    SeerResult result;
+
+    // Pre-normalization. Failure here (or anywhere later, in non-strict
+    // mode) degrades to the best module produced so far — worst case
+    // the unmodified input. Invalid *input* IR stays fatal in every
+    // mode: valid output cannot be conjured from an invalid program.
+    try {
+        preNormalize(*func);
+        ir::verifyOrDie(working);
+    } catch (const FatalError &err) {
+        if (options.strict)
+            throw;
+        result.module = ir::cloneModule(input);
+        ir::verifyOrDie(result.module);
+        recordRecovered(result.stats,
+                        std::string("pre-normalization failed: ") +
+                            err.what());
+        finish(result);
+        return result;
+    }
 
     // Translate and seed.
-    sl::Translation translation = sl::funcToTerm(*func);
+    sl::Translation translation;
     auto context = std::make_shared<ExternalRuleContext>();
     context->use_laws = options.use_laws;
     context->analysis_friendly = options.analysis_friendly_extraction;
     context->unroll_max_trip = options.unroll_max_trip;
     context->hls = options.hls;
-    context->registry =
-        seedRegistry(translation, *func, options.hls);
+    context->validate_results = options.validate_external;
+    context->deadline = deadline;
+    try {
+        translation = sl::funcToTerm(*func);
+        context->registry = seedRegistry(translation, *func, options.hls);
+    } catch (const FatalError &err) {
+        if (options.strict)
+            throw;
+        result.module = std::move(working); // pre-normalized, verified
+        recordRecovered(result.stats,
+                        std::string("translation failed: ") + err.what());
+        finish(result);
+        return result;
+    }
 
     EGraph egraph(rover::roverAnalysisHooks());
     EClassId root = egraph.addTerm(translation.term);
     egraph.rebuild();
 
-    SeerResult result;
     result.original_term = translation.term;
+
+    eg::RunnerOptions runner_options = options.runner;
+    runner_options.catch_rule_errors = !options.strict;
+    runner_options.quarantine_after = options.quarantine_after;
+    runner_options.deadline = deadline;
+
+    // The health trail of a runner report (recovered errors, quarantined
+    // rules). Absorbed even from a phase that is later rolled back: the
+    // faults genuinely happened, only their e-graph effects are undone.
+    auto absorb_health = [&](const eg::RunnerReport &report) {
+        for (const std::string &error : report.recovered_errors)
+            recordRecovered(result.stats, error);
+        for (const eg::RuleStats &rule : report.rules) {
+            if (!rule.quarantined)
+                continue;
+            auto &names = result.stats.quarantined_rules;
+            if (std::find(names.begin(), names.end(), rule.name) ==
+                names.end())
+                names.push_back(rule.name);
+            result.stats.degraded = true;
+        }
+    };
+
+    auto absorb = [&](eg::RunnerReport &report,
+                      size_t &applied_this_phase) {
+        applied_this_phase += report.total_applied;
+        result.stats.unions_applied += report.total_applied;
+        for (auto &record : report.records)
+            result.stats.records.push_back(std::move(record));
+        mergeRuleStats(result.stats.rule_stats, report.rules);
+        for (const eg::IterationStats &stats : report.iterations)
+            result.stats.iterations.push_back(stats);
+        absorb_health(report);
+    };
+
+    // One transactional runner invocation: checkpoint → run →
+    // validate-or-rollback. A phase that crashes, or leaves the e-graph
+    // inconsistent or blown far past its node budget, is undone
+    // wholesale; exploration continues with whatever the healthy phases
+    // produced.
+    auto run_transactional = [&](const char *label,
+                                 const std::function<void(eg::Runner &)>
+                                     &add_rules,
+                                 size_t &applied_this_phase) {
+        EGraph::Checkpoint cp = egraph.checkpoint();
+        std::optional<eg::RunnerReport> report;
+        try {
+            eg::Runner runner(egraph, runner_options);
+            add_rules(runner);
+            report = runner.run();
+            // Budget sanity: the runner stops *at* max_nodes, but one
+            // pathological dynamic result can overshoot hugely.
+            if (egraph.numNodes() > 4 * runner_options.max_nodes)
+                fatal(MsgBuilder()
+                      << "phase exploded to " << egraph.numNodes()
+                      << " nodes (budget " << runner_options.max_nodes
+                      << ")");
+            std::string diag = egraph.debugCheckInvariants();
+            if (!diag.empty())
+                fatal("e-graph invariants broken: " + diag);
+            egraph.commit(cp);
+            absorb(*report, applied_this_phase);
+        } catch (const FatalError &err) {
+            if (options.strict)
+                throw;
+            egraph.rollback(cp);
+            ++result.stats.phase_rollbacks;
+            if (report)
+                absorb_health(*report);
+            recordRecovered(result.stats,
+                            std::string(label) +
+                                " phase rolled back: " + err.what());
+        }
+    };
 
     // Interleaved exploration (Section 4.4).
     for (int phase = 0; phase < options.max_phases; ++phase) {
+        if (past_deadline()) {
+            result.stats.deadline_hit = true;
+            break;
+        }
         size_t applied_this_phase = 0;
         // Rover rounds change class contents, so retry external rules
         // freshly each phase.
         context->attempted.clear();
-        auto absorb = [&](eg::RunnerReport report) {
-            applied_this_phase += report.total_applied;
-            result.stats.unions_applied += report.total_applied;
-            for (auto &record : report.records)
-                result.stats.records.push_back(std::move(record));
-            mergeRuleStats(result.stats.rule_stats, report.rules);
-            for (const eg::IterationStats &stats : report.iterations)
-                result.stats.iterations.push_back(stats);
-        };
         if (options.use_control) {
-            eg::Runner control(egraph, options.runner);
-            control.addRules(seqRules());
-            control.addRules(controlRules(context));
-            absorb(control.run());
+            run_transactional(
+                "control",
+                [&](eg::Runner &runner) {
+                    runner.addRules(seqRules());
+                    runner.addRules(controlRules(context));
+                    runner.addRules(options.extra_control_rules);
+                },
+                applied_this_phase);
         }
         if (options.use_rover) {
-            eg::Runner data(egraph, options.runner);
-            data.addRules(rover::roverRules());
-            absorb(data.run());
+            run_transactional(
+                "datapath",
+                [&](eg::Runner &runner) {
+                    runner.addRules(rover::roverRules());
+                },
+                applied_this_phase);
         }
         if (applied_this_phase == 0)
             break; // joint saturation
     }
+    result.stats.rejected_externals = context->rejected_results;
+    result.stats.rejection_details = context->rejections;
+    if (past_deadline())
+        result.stats.deadline_hit = true;
 
     // Two-phase extraction (Section 4.6).
     LatencyCost latency(context->registry);
     auto control_choice = eg::extractGreedy(egraph, root, latency);
-    SEER_ASSERT(control_choice.has_value(),
-                "seer: extraction found no implementation");
-    rover::RoverAreaCost area(&egraph);
-    TermPtr final_term = refineDatapath(egraph, control_choice->term,
-                                        area, options.exact_datapath);
+    TermPtr final_term;
+    if (control_choice) {
+        if (past_deadline()) {
+            // No budget left for datapath refinement.
+            result.stats.deadline_hit = true;
+            final_term = control_choice->term;
+        } else {
+            rover::RoverAreaCost area(&egraph);
+            final_term =
+                refineDatapath(egraph, control_choice->term, area,
+                               options.exact_datapath);
+        }
+    } else {
+        if (options.strict)
+            fatal("seer: extraction found no implementation");
+        recordRecovered(result.stats,
+                        "extraction found no implementation; emitting "
+                        "the original program");
+        final_term = translation.term;
+    }
     result.extracted_term = final_term;
 
-    // Emit.
-    sl::EmitSpec spec;
-    spec.func_name = translation.func_name;
-    spec.args = translation.args;
-    result.module = sl::termToFunc(final_term, spec);
-    markTrustedLoops(result.module, context->registry);
-    passes::canonicalize(*result.module.firstFunc());
-    ir::verifyOrDie(result.module);
+    // Emit, degrading stepwise on failure: extracted term → original
+    // term → pre-normalized input module. The last rung cannot fail
+    // (`working` was verified above), so optimize() always returns
+    // valid IR in non-strict mode.
+    auto emit = [&](const TermPtr &term) {
+        sl::EmitSpec spec;
+        spec.func_name = translation.func_name;
+        spec.args = translation.args;
+        ir::Module module = sl::termToFunc(term, spec);
+        markTrustedLoops(module, context->registry);
+        passes::canonicalize(*module.firstFunc());
+        ir::verifyOrDie(module);
+        return module;
+    };
+    try {
+        result.module = emit(final_term);
+    } catch (const FatalError &err) {
+        if (options.strict)
+            throw;
+        recordRecovered(result.stats,
+                        std::string("emission of the extracted term "
+                                    "failed: ") +
+                            err.what());
+        try {
+            result.module = emit(translation.term);
+            result.extracted_term = translation.term;
+        } catch (const FatalError &err2) {
+            recordRecovered(result.stats,
+                            std::string("emission of the original term "
+                                        "failed: ") +
+                                err2.what());
+            result.module = std::move(working);
+            result.extracted_term = nullptr;
+        }
+    }
 
     result.registry = std::move(context->registry);
     result.stats.egraph_nodes = egraph.numNodes();
     result.stats.egraph_classes = egraph.numClasses();
-    result.stats.total_seconds =
-        std::chrono::duration<double>(Clock::now() - start).count();
     result.stats.time_in_passes_seconds = context->mlir_seconds;
-    result.stats.time_in_egraph_seconds = std::max(
-        0.0,
-        result.stats.total_seconds - result.stats.time_in_passes_seconds);
+    finish(result);
     return result;
 }
 
@@ -250,6 +430,25 @@ toJson(const SeerStats &stats)
     for (const eg::IterationStats &iteration : stats.iterations)
         iterations.push(eg::toJson(iteration));
     out.set("iterations", std::move(iterations));
+    out.set("degraded", stats.degraded);
+    json::Value health{json::Object{}};
+    health.set("degraded", stats.degraded);
+    health.set("phase_rollbacks", stats.phase_rollbacks);
+    health.set("deadline_hit", stats.deadline_hit);
+    health.set("rejected_externals", stats.rejected_externals);
+    json::Value quarantined{json::Array{}};
+    for (const std::string &name : stats.quarantined_rules)
+        quarantined.push(json::Value{name});
+    health.set("quarantined_rules", std::move(quarantined));
+    json::Value recovered{json::Array{}};
+    for (const std::string &error : stats.recovered_errors)
+        recovered.push(json::Value{error});
+    health.set("recovered_errors", std::move(recovered));
+    json::Value rejections{json::Array{}};
+    for (const std::string &rejection : stats.rejection_details)
+        rejections.push(json::Value{rejection});
+    health.set("rejections", std::move(rejections));
+    out.set("health", std::move(health));
     return out;
 }
 

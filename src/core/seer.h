@@ -44,6 +44,28 @@ struct SeerOptions
     /** HLS oracle options (clock period etc.). */
     hls::HlsOptions hls;
 
+    // --- fault isolation -------------------------------------------------
+    /**
+     * Fail-fast mode: the first FatalError anywhere in the rewrite
+     * stack propagates out of optimize() (the pre-fault-isolation
+     * behavior). When false (default), errors are recovered: rules are
+     * guarded and quarantined, phases roll back, and optimize() always
+     * returns valid IR with stats.degraded set when it had to recover.
+     */
+    bool strict = false;
+    /** Whole-run wall-clock budget in seconds (0 = none). Propagated
+     *  into every runner phase and into external pass execution. */
+    double deadline_seconds = 0;
+    /** Gate every external-pass result through the verifier + a
+     *  before/after co-simulation before unioning it. */
+    bool validate_external = true;
+    /** Consecutive recovered failures before a rule is quarantined for
+     *  the rest of a phase (the runner's circuit breaker). */
+    size_t quarantine_after = 3;
+    /** Test/chaos hook: extra rules appended to every control phase
+     *  (used to inject faulty rules in robustness tests). */
+    std::vector<eg::Rewrite> extra_control_rules;
+
     SeerOptions()
     {
         // Budgets sized for the now-honest backoff scheduler: explosive
@@ -72,6 +94,25 @@ struct SeerStats
     std::vector<eg::RuleStats> rule_stats;
     /** The concatenated iteration trajectory across all phases. */
     std::vector<eg::IterationStats> iterations;
+
+    // --- health (fault isolation) ---------------------------------------
+    /** True when the run had to recover from a fault (guarded-rule
+     *  failure, quarantine, phase rollback, or fallback emission); the
+     *  output is still valid, verified IR. */
+    bool degraded = false;
+    /** Phases whose e-graph changes were rolled back. */
+    size_t phase_rollbacks = 0;
+    /** True when the whole-run deadline cut exploration short. */
+    bool deadline_hit = false;
+    /** Errors caught and recovered from, "rule: what" / phase notes. */
+    std::vector<std::string> recovered_errors;
+    /** Rules the circuit breaker quarantined in any phase. */
+    std::vector<std::string> quarantined_rules;
+    /** External-pass results rejected by the validation gate (not
+     *  counted as degradation: the gate preserves semantics). */
+    size_t rejected_externals = 0;
+    /** Diagnostics for the first few rejected external results. */
+    std::vector<std::string> rejection_details;
 };
 
 /** JSON view of the statistics (records omitted; they carry terms). */
@@ -90,8 +131,17 @@ struct SeerResult
 };
 
 /**
- * Optimize `func_name` within `input`. The input module is cloned; on
- * untranslatable inputs a FatalError is thrown.
+ * Optimize `func_name` within `input`. The input module is cloned.
+ *
+ * Robustness contract: unless options.strict is set, optimize() always
+ * returns verifier-clean IR. Faults inside the rewrite stack (a
+ * crashing dynamic rule, a semantics-breaking external pass, a phase
+ * blowing its budget, an inextractable e-graph) are contained —
+ * quarantined, rolled back, or degraded to a weaker result, worst case
+ * the pre-normalized input — and reported in stats (degraded flag +
+ * health fields). Only unrecoverable user errors still throw: a missing
+ * function, or input IR that does not verify. With options.strict, the
+ * first FatalError propagates unchanged (fail-fast).
  */
 SeerResult optimize(const ir::Module &input, const std::string &func_name,
                     const SeerOptions &options = {});

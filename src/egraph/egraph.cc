@@ -54,11 +54,20 @@ EGraph::add(ENode node)
     if (it != memo_.end()) {
         // Hashcons canonicalization: refresh the stored id so the next
         // hit returns without any union-find walk at all.
+        if (journaling() && it->second != find(it->second))
+            journalMemoSet(node);
         return it->second = find(it->second);
     }
 
     EClassId id = static_cast<EClassId>(parents_.size());
     parents_.push_back(id);
+    if (journaling()) {
+        JournalEntry entry;
+        entry.kind = JournalEntry::Kind::AddClass;
+        entry.id = id;
+        entry.node = node;
+        journal_.push_back(std::move(entry));
+    }
     EClass &cls = classes_[id];
     cls.nodes.push_back(node);
     for (EClassId child : node.children)
@@ -126,11 +135,26 @@ EGraph::merge(EClassId a, EClassId b, std::string reason)
 
     EClass &into = classes_[a];
     EClass &from = classes_[b];
+    JournalEntry entry;
+    if (journaling()) {
+        entry.kind = JournalEntry::Kind::Merge;
+        entry.id = a;
+        entry.id2 = b;
+        entry.orig_a = a_orig;
+        entry.orig_b = b_orig;
+        entry.nodes_size = into.nodes.size();
+        entry.parents_size = into.parents.size();
+        entry.constant_old = into.constant;
+    }
     mergeAnalysis(a, b);
     into.nodes.insert(into.nodes.end(), from.nodes.begin(),
                       from.nodes.end());
     into.parents.insert(into.parents.end(), from.parents.begin(),
                         from.parents.end());
+    if (journaling()) {
+        entry.saved_class = std::move(from);
+        journal_.push_back(std::move(entry));
+    }
     classes_.erase(b);
     worklist_.push_back(a);
     maybeAddFoldedConst(a);
@@ -155,9 +179,17 @@ EGraph::repair(EClassId id)
 {
     // Re-canonicalize parent nodes; congruent parents get merged.
     auto parents = classes_[id].parents;
+    if (journaling()) {
+        JournalEntry entry;
+        entry.kind = JournalEntry::Kind::ParentsClear;
+        entry.id = id;
+        entry.saved_parents = parents;
+        journal_.push_back(std::move(entry));
+    }
     classes_[id].parents.clear();
     std::unordered_map<ENode, EClassId, ENodeHash> seen;
     for (auto &[node, parent_id] : parents) {
+        journalMemoErase(node);
         memo_.erase(node);
         ENode canon = canonicalize(node);
         EClassId parent_canon = find(parent_id);
@@ -170,6 +202,7 @@ EGraph::repair(EClassId id)
         } else {
             seen.emplace(canon, parent_canon);
         }
+        journalMemoSet(canon);
         memo_[canon] = find(parent_canon);
     }
     for (auto &[node, parent_id] : seen) {
@@ -177,7 +210,14 @@ EGraph::repair(EClassId id)
         // fold a constant, add its literal, and merge — which can erase
         // this very class (invalidating any cached reference) and move
         // its parents to a new root.
-        classes_[find(id)].parents.emplace_back(node, find(parent_id));
+        EClassId root = find(id);
+        if (journaling()) {
+            JournalEntry entry;
+            entry.kind = JournalEntry::Kind::ParentsAppend;
+            entry.id = root;
+            journal_.push_back(std::move(entry));
+        }
+        classes_[root].parents.emplace_back(node, find(parent_id));
         // Analysis propagation: a child constant may now determine the
         // parent's constant (egg's analysis_pending worklist).
         propagateConstant(node, find(parent_id));
@@ -191,6 +231,13 @@ EGraph::repair(EClassId id)
         if (!unique_nodes.emplace(canon, true).second)
             continue;
         nodes.push_back(std::move(canon));
+    }
+    if (journaling()) {
+        JournalEntry entry;
+        entry.kind = JournalEntry::Kind::NodesReplace;
+        entry.id = find(id);
+        entry.saved_nodes = self.nodes;
+        journal_.push_back(std::move(entry));
     }
     self.nodes = std::move(nodes);
 }
@@ -325,6 +372,13 @@ EGraph::propagateConstant(const ENode &node, EClassId parent)
     auto value = hooks_.parse_const(*folded);
     if (!value)
         return;
+    if (journaling()) {
+        JournalEntry entry;
+        entry.kind = JournalEntry::Kind::ConstantSet;
+        entry.id = parent;
+        entry.constant_old = cls.constant;
+        journal_.push_back(std::move(entry));
+    }
     cls.constant = value;
     maybeAddFoldedConst(parent);
     worklist_.push_back(parent); // keep propagating upward
@@ -343,6 +397,170 @@ EGraph::mergeAnalysis(EClassId into, EClassId from)
               << *a.constant << " and " << *b.constant
               << " (an unsound rewrite was applied)");
     }
+}
+
+void
+EGraph::journalMemoSet(const ENode &key)
+{
+    if (!journaling())
+        return;
+    JournalEntry entry;
+    entry.kind = JournalEntry::Kind::MemoSet;
+    entry.node = key;
+    auto it = memo_.find(key);
+    if (it != memo_.end())
+        entry.memo_old = it->second;
+    journal_.push_back(std::move(entry));
+}
+
+void
+EGraph::journalMemoErase(const ENode &key)
+{
+    if (!journaling())
+        return;
+    auto it = memo_.find(key);
+    if (it == memo_.end())
+        return; // nothing will be erased: nothing to undo
+    JournalEntry entry;
+    entry.kind = JournalEntry::Kind::MemoErase;
+    entry.node = key;
+    entry.memo_old = it->second;
+    journal_.push_back(std::move(entry));
+}
+
+EGraph::Checkpoint
+EGraph::checkpoint()
+{
+    Checkpoint cp;
+    cp.token = ++checkpoint_serial_;
+    cp.journal_mark = journal_.size();
+    cp.proof_size = proof_edges_.size();
+    cp.parents = parents_;
+    cp.worklist = worklist_;
+    open_tokens_.push_back(cp.token);
+    return cp;
+}
+
+void
+EGraph::undo(JournalEntry &entry)
+{
+    switch (entry.kind) {
+      case JournalEntry::Kind::AddClass: {
+        memo_.erase(entry.node);
+        for (EClassId child : entry.node.children)
+            classes_[child].parents.pop_back();
+        classes_.erase(entry.id);
+        break;
+      }
+      case JournalEntry::Kind::Merge: {
+        EClass &into = classes_[entry.id];
+        into.nodes.resize(entry.nodes_size);
+        into.parents.resize(entry.parents_size);
+        into.constant = entry.constant_old;
+        classes_[entry.id2] = std::move(entry.saved_class);
+        proof_edges_[entry.orig_a].pop_back();
+        proof_edges_[entry.orig_b].pop_back();
+        break;
+      }
+      case JournalEntry::Kind::MemoSet: {
+        if (entry.memo_old)
+            memo_[entry.node] = *entry.memo_old;
+        else
+            memo_.erase(entry.node);
+        break;
+      }
+      case JournalEntry::Kind::MemoErase: {
+        memo_[entry.node] = *entry.memo_old;
+        break;
+      }
+      case JournalEntry::Kind::ParentsClear: {
+        classes_[entry.id].parents = std::move(entry.saved_parents);
+        break;
+      }
+      case JournalEntry::Kind::ParentsAppend: {
+        classes_[entry.id].parents.pop_back();
+        break;
+      }
+      case JournalEntry::Kind::NodesReplace: {
+        classes_[entry.id].nodes = std::move(entry.saved_nodes);
+        break;
+      }
+      case JournalEntry::Kind::ConstantSet: {
+        classes_[entry.id].constant = entry.constant_old;
+        break;
+      }
+    }
+}
+
+void
+EGraph::rollback(const Checkpoint &cp)
+{
+    SEER_ASSERT(!open_tokens_.empty() && open_tokens_.back() == cp.token,
+                "e-graph rollback out of LIFO checkpoint order");
+    // Undo in strict reverse order: each entry captured the exact prior
+    // state at its mutation point, so by induction the graph passes
+    // through every intermediate state back to the checkpoint.
+    while (journal_.size() > cp.journal_mark) {
+        undo(journal_.back());
+        journal_.pop_back();
+    }
+    parents_ = cp.parents;
+    worklist_ = cp.worklist;
+    proof_edges_.resize(cp.proof_size);
+    open_tokens_.pop_back();
+}
+
+void
+EGraph::commit(const Checkpoint &cp)
+{
+    SEER_ASSERT(!open_tokens_.empty() && open_tokens_.back() == cp.token,
+                "e-graph commit out of LIFO checkpoint order");
+    open_tokens_.pop_back();
+    if (open_tokens_.empty()) {
+        journal_.clear();
+        journal_.shrink_to_fit();
+    }
+}
+
+std::string
+EGraph::debugCheckInvariants() const
+{
+    for (EClassId id = 0; id < parents_.size(); ++id) {
+        if (parents_[id] >= parents_.size()) {
+            return MsgBuilder() << "union-find entry " << id
+                                << " points past the id space";
+        }
+        if (!classes_.count(find(id))) {
+            return MsgBuilder()
+                   << "id " << id << " resolves to dead class "
+                   << find(id);
+        }
+    }
+    for (const auto &[id, cls] : classes_) {
+        if (find(id) != id)
+            return MsgBuilder() << "class key " << id << " not canonical";
+    }
+    for (const auto &[node, id] : memo_) {
+        if (id >= parents_.size() || !classes_.count(find(id)))
+            return "hashcons value maps to a dead class";
+    }
+    if (!worklist_.empty())
+        return ""; // node-level checks need a rebuilt graph
+    for (const auto &[id, cls] : classes_) {
+        for (const ENode &node : cls.nodes) {
+            auto found = lookup(node);
+            if (!found) {
+                return MsgBuilder() << "node of class " << id
+                                    << " missing from the hashcons";
+            }
+            if (*found != id) {
+                return MsgBuilder()
+                       << "node of class " << id
+                       << " hashconses to class " << *found;
+            }
+        }
+    }
+    return "";
 }
 
 void

@@ -143,7 +143,87 @@ class EGraph
     std::optional<std::vector<std::string>> explain(EClassId a,
                                                     EClassId b) const;
 
+    /**
+     * Transactional snapshot token for phase rollback. While at least
+     * one checkpoint is open, every structural mutation (hashcons
+     * insert/update, class creation, merge, repair rewrite, analysis
+     * constant) is recorded in an undo journal; the flat union-find
+     * array and the pending worklist are snapshotted wholesale (they
+     * are small and mutate too often to journal profitably, e.g. on
+     * every path-halving find). Treat the contents as opaque.
+     */
+    struct Checkpoint
+    {
+        uint64_t token = 0;
+        size_t journal_mark = 0;
+        size_t proof_size = 0;
+        std::vector<EClassId> parents;
+        std::vector<EClassId> worklist;
+    };
+
+    /** Open a checkpoint. Checkpoints nest with strict LIFO discipline:
+     *  each must be resolved (rollback or commit) before any checkpoint
+     *  opened earlier. */
+    Checkpoint checkpoint();
+
+    /**
+     * Restore the e-graph to the exact state it had when `cp` was
+     * opened: the journal is undone in reverse, then the union-find /
+     * worklist snapshots are reinstated and the proof graph truncated.
+     * Ids created after the checkpoint become invalid again.
+     */
+    void rollback(const Checkpoint &cp);
+
+    /** Close `cp` keeping all changes; drops the undo state (and stops
+     *  journaling once no checkpoint remains open). */
+    void commit(const Checkpoint &cp);
+
+    /** Number of open (unresolved) checkpoints. */
+    size_t numOpenCheckpoints() const { return open_tokens_.size(); }
+
+    /**
+     * Self-check of the core invariants (canonical class keys, hashcons
+     * consistency, live memo values, every id resolving to a live
+     * class). Returns an empty string when consistent, else a
+     * diagnostic. Node-level hashcons checks require a clean graph
+     * (rebuild first). Intended for tests — O(graph) per call.
+     */
+    std::string debugCheckInvariants() const;
+
   private:
+    /** One undoable mutation (see rollback()). */
+    struct JournalEntry
+    {
+        enum class Kind {
+            AddClass,    ///< add() created class `id` from `node`
+            Merge,       ///< merge() absorbed `id2` into `id`
+            MemoSet,     ///< memo_[node] written (old value or absent)
+            MemoErase,   ///< memo_[node] erased (held `memo_old`)
+            ParentsClear,   ///< classes_[id].parents cleared (repair)
+            ParentsAppend,  ///< classes_[id].parents grew by one
+            NodesReplace,   ///< classes_[id].nodes rewritten (repair)
+            ConstantSet,    ///< classes_[id].constant written
+        };
+        Kind kind;
+        EClassId id = 0;
+        EClassId id2 = 0;
+        /** Merge: the original (pre-find) ids whose proof adjacency
+         *  lists received the union edge. */
+        EClassId orig_a = 0, orig_b = 0;
+        ENode node;
+        std::optional<EClassId> memo_old;
+        size_t nodes_size = 0;
+        size_t parents_size = 0;
+        std::optional<int64_t> constant_old;
+        EClass saved_class;
+        std::vector<std::pair<ENode, EClassId>> saved_parents;
+        std::vector<ENode> saved_nodes;
+    };
+
+    bool journaling() const { return !open_tokens_.empty(); }
+    void undo(JournalEntry &entry);
+    void journalMemoSet(const ENode &key);
+    void journalMemoErase(const ENode &key);
     ENode canonicalize(ENode node) const;
     ENode canonicalize(ENode node); ///< compressing-find variant
     void repair(EClassId id);
@@ -153,6 +233,9 @@ class EGraph
     void maybeAddFoldedConst(EClassId id);
 
     AnalysisHooks hooks_;
+    std::vector<JournalEntry> journal_;
+    std::vector<uint64_t> open_tokens_;
+    uint64_t checkpoint_serial_ = 0;
     std::vector<EClassId> parents_; // union-find
     /** Proof graph: one adjacency list entry per union, labelled with
      *  the justification. */

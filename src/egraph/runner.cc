@@ -21,6 +21,7 @@ stopReasonName(StopReason reason)
       case StopReason::NodeLimit: return "node-limit";
       case StopReason::TimeLimit: return "time-limit";
       case StopReason::BannedOut: return "banned-out";
+      case StopReason::Quarantined: return "quarantined";
     }
     return "?";
 }
@@ -34,6 +35,8 @@ toJson(const RuleStats &stats)
     out.set("applications", stats.applications);
     out.set("bans", stats.bans);
     out.set("times_banned", stats.times_banned);
+    out.set("failures", stats.failures);
+    out.set("quarantined", stats.quarantined);
     out.set("search_seconds", stats.search_seconds);
     out.set("apply_seconds", stats.apply_seconds);
     return out;
@@ -60,6 +63,16 @@ toJson(const RunnerReport &report)
     out.set("stop", stopReasonName(report.stop));
     out.set("total_applied", report.total_applied);
     out.set("total_seconds", report.total_seconds);
+    out.set("rules_quarantined", report.rules_quarantined);
+    if (!report.recovered_errors.empty() ||
+        report.recovered_errors_dropped > 0) {
+        json::Value errors{json::Array{}};
+        for (const std::string &error : report.recovered_errors)
+            errors.push(error);
+        out.set("recovered_errors", std::move(errors));
+        out.set("recovered_errors_dropped",
+                report.recovered_errors_dropped);
+    }
     json::Value iterations{json::Array{}};
     for (const IterationStats &stats : report.iterations)
         iterations.push(toJson(stats));
@@ -101,6 +114,15 @@ Runner::run()
     auto since = [](Clock::time_point t0) {
         return std::chrono::duration<double>(Clock::now() - t0).count();
     };
+    // The per-run time budget, tightened by the driver's whole-run
+    // deadline when that expires sooner.
+    double time_limit = options_.time_limit_seconds;
+    if (options_.deadline) {
+        double remaining = std::chrono::duration<double>(
+                               *options_.deadline - start)
+                               .count();
+        time_limit = std::min(time_limit, std::max(0.0, remaining));
+    }
 
     states_.assign(rules_.size(), RuleState{});
     RunnerReport report;
@@ -120,17 +142,43 @@ Runner::run()
     };
     std::vector<PendingRecord> pending_records;
 
+    // Fault-isolation accounting shared by the search and apply guards.
+    constexpr size_t kMaxRecoveredErrors = 32;
+    size_t failures_this_iter = 0;
+    auto record_failure = [&](size_t r, const std::string &what) {
+        ++failures_this_iter;
+        RuleState &state = states_[r];
+        RuleStats &rule_stats = report.rules[r];
+        ++rule_stats.failures;
+        ++state.consecutive_failures;
+        if (report.recovered_errors.size() < kMaxRecoveredErrors) {
+            report.recovered_errors.push_back(rules_[r].name + ": " +
+                                              what);
+        } else {
+            ++report.recovered_errors_dropped;
+        }
+        if (state.consecutive_failures >= options_.quarantine_after &&
+            !state.quarantined) {
+            state.quarantined = true;
+            rule_stats.quarantined = true;
+        }
+    };
+
     bool timed_out = false;
     report.stop = StopReason::IterLimit;
     for (size_t iter = 1; iter <= options_.max_iters;) {
         auto iter_start = Clock::now();
         IterationStats stats;
         stats.iter = iter;
+        failures_this_iter = 0;
 
         std::vector<size_t> active;
         size_t banned_now = 0;
+        size_t quarantined_now = 0;
         for (size_t r = 0; r < rules_.size(); ++r) {
-            if (states_[r].banned_until_iter < iter)
+            if (states_[r].quarantined)
+                ++quarantined_now;
+            else if (states_[r].banned_until_iter < iter)
                 active.push_back(r);
             else
                 ++banned_now;
@@ -138,18 +186,25 @@ Runner::run()
         stats.banned_rules = banned_now;
 
         if (active.empty()) {
+            if (!rules_.empty() && quarantined_now == rules_.size()) {
+                // Every rule tripped the circuit breaker.
+                report.stop = StopReason::Quarantined;
+                break;
+            }
             if (banned_now == 0) {
                 // No rules at all: trivially saturated.
                 report.stop = StopReason::Saturated;
                 break;
             }
-            // Every rule is banned. Fast-forward to the earliest unban
-            // instead of spinning through empty iterations; if that lies
-            // beyond the horizon, the run is throttled out, which is
-            // *not* saturation.
+            // Every runnable rule is banned. Fast-forward to the
+            // earliest unban instead of spinning through empty
+            // iterations; if that lies beyond the horizon, the run is
+            // throttled out, which is *not* saturation.
             size_t next = SIZE_MAX;
-            for (const RuleState &state : states_)
-                next = std::min(next, state.banned_until_iter + 1);
+            for (const RuleState &state : states_) {
+                if (!state.quarantined)
+                    next = std::min(next, state.banned_until_iter + 1);
+            }
             if (next > options_.max_iters) {
                 report.stop = StopReason::BannedOut;
                 break;
@@ -170,17 +225,26 @@ Runner::run()
             Match match;
         };
         std::vector<std::vector<Match>> per_rule(rules_.size());
+        // Search failures are captured per rule (a worker thread must
+        // never let an exception escape: that would terminate) and
+        // accounted for on this thread after the joins.
+        std::vector<std::exception_ptr> search_errors(rules_.size());
         std::atomic<bool> out_of_time{false};
         auto match_rule = [&](size_t r) {
             auto t0 = Clock::now();
-            per_rule[r] = ematch(egraph_, *rules_[r].lhs,
-                                 thresholdFor(states_[r]) + 1);
+            try {
+                per_rule[r] = ematch(egraph_, *rules_[r].lhs,
+                                     thresholdFor(states_[r]) + 1);
+            } catch (const FatalError &) {
+                per_rule[r].clear();
+                search_errors[r] = std::current_exception();
+            }
             report.rules[r].search_seconds += since(t0);
         };
         unsigned threads = std::max(1u, options_.match_threads);
         if (threads <= 1 || active.size() <= 1) {
             for (size_t r : active) {
-                if (elapsed() > options_.time_limit_seconds) {
+                if (elapsed() > time_limit) {
                     out_of_time = true;
                     break;
                 }
@@ -195,7 +259,7 @@ Runner::run()
                         size_t slot = cursor.fetch_add(1);
                         if (slot >= active.size())
                             return;
-                        if (elapsed() > options_.time_limit_seconds) {
+                        if (elapsed() > time_limit) {
                             out_of_time = true;
                             return;
                         }
@@ -205,6 +269,17 @@ Runner::run()
             }
             for (auto &worker : workers)
                 worker.join();
+        }
+        for (size_t r : active) {
+            if (!search_errors[r])
+                continue;
+            if (!options_.catch_rule_errors)
+                std::rethrow_exception(search_errors[r]);
+            try {
+                std::rethrow_exception(search_errors[r]);
+            } catch (const FatalError &err) {
+                record_failure(r, err.what());
+            }
         }
         if (out_of_time) {
             // Partial match phase: applying it would make the explored
@@ -240,43 +315,78 @@ Runner::run()
                 pending.push_back({r, std::move(match)});
         }
 
-        // Phase 2: apply.
+        // Phase 2: apply. Each application runs inside a guard: a
+        // FatalError from a (dynamic) rule is recovered and counted,
+        // and the circuit breaker drops the rule's remaining matches
+        // once it trips.
         for (PendingApply &pa : pending) {
-            if (elapsed() > options_.time_limit_seconds) {
+            if (elapsed() > time_limit) {
                 timed_out = true;
                 break;
             }
+            RuleState &state = states_[pa.rule_index];
+            if (state.quarantined)
+                continue;
             auto t0 = Clock::now();
             const Rewrite &rule = rules_[pa.rule_index];
             RuleStats &rule_stats = report.rules[pa.rule_index];
-            if (rule.condition && !rule.condition(egraph_, pa.match)) {
-                rule_stats.apply_seconds += since(t0);
-                continue;
-            }
-
-            EClassId root = egraph_.find(pa.match.root);
-            TermPtr rhs_term;
-            EClassId rhs_id;
-            if (rule.isDynamic()) {
-                auto produced = rule.dyn(egraph_, pa.match);
-                if (!produced) {
+            // Guarded dynamic applications are transactional: the
+            // applier gets a mutable e-graph, so a crash mid-mutation
+            // would otherwise leave half-added junk behind. A failed
+            // application must leave no trace.
+            std::optional<EGraph::Checkpoint> app_cp;
+            try {
+                if (rule.condition &&
+                    !rule.condition(egraph_, pa.match)) {
                     rule_stats.apply_seconds += since(t0);
                     continue;
                 }
-                rhs_term = *produced;
-                rhs_id = egraph_.addTerm(rhs_term);
-            } else {
-                rhs_id = instantiate(egraph_, *rule.rhs, pa.match.subst);
-            }
-            bool changed = egraph_.merge(root, rhs_id, rule.name);
-            if (changed) {
-                ++stats.applied;
-                ++rule_stats.applications;
-                if (options_.record_proofs) {
-                    pending_records.push_back({pa.rule_index,
-                                               pa.match.subst,
-                                               rhs_term});
+
+                EClassId root = egraph_.find(pa.match.root);
+                TermPtr rhs_term;
+                EClassId rhs_id;
+                if (rule.isDynamic()) {
+                    if (options_.catch_rule_errors)
+                        app_cp = egraph_.checkpoint();
+                    auto produced = rule.dyn(egraph_, pa.match);
+                    if (!produced) {
+                        if (app_cp) {
+                            egraph_.commit(*app_cp);
+                            app_cp.reset();
+                        }
+                        state.consecutive_failures = 0;
+                        rule_stats.apply_seconds += since(t0);
+                        continue;
+                    }
+                    rhs_term = *produced;
+                    rhs_id = egraph_.addTerm(rhs_term);
+                } else {
+                    rhs_id =
+                        instantiate(egraph_, *rule.rhs, pa.match.subst);
                 }
+                bool changed = egraph_.merge(root, rhs_id, rule.name);
+                if (app_cp) {
+                    egraph_.commit(*app_cp);
+                    app_cp.reset();
+                }
+                state.consecutive_failures = 0;
+                if (changed) {
+                    ++stats.applied;
+                    ++rule_stats.applications;
+                    if (options_.record_proofs) {
+                        pending_records.push_back({pa.rule_index,
+                                                   pa.match.subst,
+                                                   rhs_term});
+                    }
+                }
+            } catch (const FatalError &err) {
+                if (!options_.catch_rule_errors)
+                    throw;
+                if (app_cp) {
+                    egraph_.rollback(*app_cp);
+                    app_cp.reset();
+                }
+                record_failure(pa.rule_index, err.what());
             }
             rule_stats.apply_seconds += since(t0);
             if (egraph_.numNodes() > options_.max_nodes)
@@ -291,7 +401,7 @@ Runner::run()
         report.iterations.push_back(stats);
         report.total_applied += stats.applied;
 
-        if (timed_out || elapsed() > options_.time_limit_seconds) {
+        if (timed_out || elapsed() > time_limit) {
             report.stop = StopReason::TimeLimit;
             break;
         }
@@ -301,15 +411,19 @@ Runner::run()
         }
         if (stats.applied == 0) {
             // A quiet iteration only proves saturation when every rule
-            // fully participated: none sat out banned (banned_now), and
-            // none was banned during the iteration with matches beyond
-            // its budget dropped (banned_until >= iter + 1).
+            // fully participated: none sat out banned (banned_now), none
+            // was banned during the iteration with matches beyond its
+            // budget dropped (banned_until >= iter + 1), and no
+            // application failed and was recovered (a guarded rule that
+            // crashed did match — its fate is quarantine, not a
+            // saturation verdict).
             size_t banned_next = 0;
             for (const RuleState &state : states_) {
                 if (state.banned_until_iter >= iter + 1)
                     ++banned_next;
             }
-            if (banned_now == 0 && banned_next == 0) {
+            if (banned_now == 0 && banned_next == 0 &&
+                failures_this_iter == 0) {
                 report.stop = StopReason::Saturated;
                 break;
             }
@@ -317,8 +431,11 @@ Runner::run()
         ++iter;
     }
 
-    for (size_t r = 0; r < rules_.size(); ++r)
+    for (size_t r = 0; r < rules_.size(); ++r) {
         report.rules[r].times_banned = states_[r].times_banned;
+        if (states_[r].quarantined)
+            ++report.rules_quarantined;
+    }
 
     // Resolve proof records with a shared per-class memo.
     if (options_.record_proofs && !pending_records.empty()) {

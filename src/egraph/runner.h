@@ -20,9 +20,19 @@
  * The runner also keeps per-rule statistics (matches, applications, bans,
  * search/apply seconds) for the bench harnesses; reports serialize to
  * JSON (support/json.h) so bench runs emit machine-readable trajectories.
+ *
+ * Fault isolation: every rule application runs inside a guard. A
+ * FatalError thrown by a (dynamic) rule is recovered — logged in the
+ * report, counted per rule — and a circuit breaker quarantines the rule
+ * for the rest of the run after `quarantine_after` consecutive failures,
+ * so one misbehaving external pass cannot take down the exploration.
+ * Strict mode (catch_rule_errors = false) restores fail-fast semantics.
  */
 #ifndef SEER_EGRAPH_RUNNER_H_
 #define SEER_EGRAPH_RUNNER_H_
+
+#include <chrono>
+#include <optional>
 
 #include "egraph/rewrite.h"
 #include "support/json.h"
@@ -38,6 +48,10 @@ enum class StopReason {
     /** Every rule is banned past the iteration horizon: exploration is
      *  throttled out, not saturated. */
     BannedOut,
+    /** Every rule tripped the failure circuit breaker: nothing left to
+     *  run. The e-graph is still consistent (failed applications never
+     *  union). */
+    Quarantined,
 };
 
 std::string stopReasonName(StopReason reason);
@@ -70,6 +84,8 @@ struct RuleStats
     size_t applications = 0; ///< unions that changed the e-graph
     size_t bans = 0;         ///< times the backoff scheduler banned it
     size_t times_banned = 0; ///< scheduler ban level at end of run
+    size_t failures = 0;     ///< recovered FatalErrors while applying
+    bool quarantined = false; ///< circuit breaker tripped this run
     double search_seconds = 0;
     double apply_seconds = 0;
 };
@@ -96,6 +112,22 @@ struct RunnerOptions
      *  so the explored e-graph is identical to the serial run. This is
      *  the paper's "parallel e-graph exploration" future-work item. */
     unsigned match_threads = 1;
+    /**
+     * Fault isolation: when true (default) a FatalError thrown while
+     * searching or applying one rule is caught, logged in the report,
+     * and counted against that rule instead of aborting the whole run.
+     * Strict mode (seer-opt --strict) disables this and lets the first
+     * error propagate.
+     */
+    bool catch_rule_errors = true;
+    /** Circuit breaker: permanently quarantine a rule for the rest of
+     *  the run after this many *consecutive* recovered failures
+     *  (distinct from backoff bans, which always expire). */
+    size_t quarantine_after = 3;
+    /** Absolute wall-clock deadline for the whole run; tightens
+     *  time_limit_seconds when it expires sooner (the driver threads
+     *  its --deadline through every phase this way). */
+    std::optional<std::chrono::steady_clock::time_point> deadline;
 };
 
 struct RunnerReport
@@ -106,6 +138,12 @@ struct RunnerReport
     std::vector<RewriteRecord> records;
     double total_seconds = 0;
     size_t total_applied = 0;
+    /** Errors caught and recovered from during the run, "rule: what"
+     *  (capped; see recovered_errors_dropped). */
+    std::vector<std::string> recovered_errors;
+    /** Recovered errors beyond the log cap (counted, not stored). */
+    size_t recovered_errors_dropped = 0;
+    size_t rules_quarantined = 0;
 };
 
 /** JSON views of the statistics (records are deliberately omitted). */
@@ -141,6 +179,8 @@ class Runner
         size_t times_banned = 0;
         size_t banned_until_iter = 0;
         size_t clean_streak = 0; ///< consecutive under-budget iterations
+        size_t consecutive_failures = 0; ///< recovered errors in a row
+        bool quarantined = false; ///< circuit breaker tripped
     };
 
     /** Effective match budget: match_limit << times_banned, saturating. */

@@ -229,12 +229,20 @@ class Lexer
         std::string text(text_.substr(start, pos_ - start));
         current_.text = text;
         col_ += static_cast<int>(pos_ - start);
-        if (is_float) {
-            current_.kind = Tok::Float;
-            current_.float_value = std::stod(text);
-        } else {
-            current_.kind = Tok::Int;
-            current_.int_value = std::stoll(text);
+        // stod/stoll throw std::out_of_range on out-of-range literals
+        // (e.g. fuzzer-generated 100-digit numbers); surface those as
+        // ordinary parse errors, never as foreign exception types.
+        try {
+            if (is_float) {
+                current_.kind = Tok::Float;
+                current_.float_value = std::stod(text);
+            } else {
+                current_.kind = Tok::Int;
+                current_.int_value = std::stoll(text);
+            }
+        } catch (const std::exception &) {
+            fatal(MsgBuilder() << "numeric literal out of range at line "
+                               << line_ << ": '" << text << "'");
         }
     }
 
@@ -262,8 +270,12 @@ typeFromSpelling(const std::string &spelling)
             if (!std::isdigit(static_cast<unsigned char>(spelling[i])))
                 fatal("unknown type '" + spelling + "'");
         }
-        unsigned width =
-            static_cast<unsigned>(std::stoul(spelling.substr(1)));
+        unsigned width = 0;
+        try {
+            width = static_cast<unsigned>(std::stoul(spelling.substr(1)));
+        } catch (const std::exception &) {
+            fatal("unsupported integer width in '" + spelling + "'");
+        }
         if (width < 1 || width > 64)
             fatal("unsupported integer width in '" + spelling + "'");
         return Type::integer(width);
@@ -284,7 +296,11 @@ typeFromSpelling(const std::string &spelling)
             }
             if (!all_digits)
                 break;
-            shape.push_back(std::stoll(piece));
+            try {
+                shape.push_back(std::stoll(piece));
+            } catch (const std::exception &) {
+                fatal("dimension out of range in '" + spelling + "'");
+            }
             pos = x + 1;
         }
         if (shape.empty())

@@ -11,9 +11,12 @@
  */
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <memory>
 #include <string>
 
 #include "egraph/runner.h"
+#include "support/error.h"
 
 namespace seer::eg {
 namespace {
@@ -231,6 +234,135 @@ TEST(SchedulerInteractionTest, CleanRulesKeepRunningWhileOneIsBanned)
     ASSERT_TRUE(k.has_value());
     EXPECT_EQ(eg.find(*k), eg.find(*eg.lookupTerm(parseTerm("(f x)"))));
     EXPECT_GE(report.rules[0].bans, 1u);
+}
+
+// --- Fault isolation (PR 2) -------------------------------------------
+
+/** A dynamic rule whose applier always throws. */
+Rewrite
+crashingRule()
+{
+    return makeDynRewrite(
+        "crasher", "(h ?x)",
+        [](EGraph &, const Match &) -> std::optional<TermPtr> {
+            fatal("boom");
+        });
+}
+
+TEST(QuarantineTest, CrashingRuleIsQuarantinedAndRunContinues)
+{
+    // The crashing rule trips the circuit breaker after
+    // quarantine_after consecutive failures; the healthy rule keeps
+    // rewriting and the run completes normally.
+    EGraph eg = fanoutGraph(10);
+    RunnerOptions options;
+    options.max_iters = 10;
+    options.quarantine_after = 3;
+    Runner runner(eg, options);
+    runner.addRule(crashingRule());
+    runner.addRule(swapRule());
+    RunnerReport report = runner.run();
+
+    EXPECT_GT(report.total_applied, 0u); // swap still fired
+    EXPECT_EQ(report.rules_quarantined, 1u);
+    ASSERT_EQ(report.rules.size(), 2u);
+    EXPECT_TRUE(report.rules[0].quarantined);
+    EXPECT_GE(report.rules[0].failures, 3u);
+    EXPECT_FALSE(report.rules[1].quarantined);
+    EXPECT_FALSE(report.recovered_errors.empty());
+    EXPECT_NE(report.recovered_errors[0].find("crasher"),
+              std::string::npos);
+    EXPECT_NE(report.recovered_errors[0].find("boom"),
+              std::string::npos);
+    EXPECT_EQ(eg.debugCheckInvariants(), "");
+}
+
+TEST(QuarantineTest, AllRulesQuarantinedStopsTheRun)
+{
+    EGraph eg = fanoutGraph(5);
+    RunnerOptions options;
+    options.max_iters = 100;
+    options.quarantine_after = 2;
+    Runner runner(eg, options);
+    runner.addRule(crashingRule());
+    RunnerReport report = runner.run();
+    EXPECT_EQ(report.stop, StopReason::Quarantined);
+    EXPECT_EQ(report.total_applied, 0u);
+    EXPECT_EQ(eg.debugCheckInvariants(), "");
+}
+
+TEST(QuarantineTest, StrictModeRethrowsTheFirstFailure)
+{
+    EGraph eg = fanoutGraph(5);
+    RunnerOptions options;
+    options.catch_rule_errors = false;
+    Runner runner(eg, options);
+    runner.addRule(crashingRule());
+    EXPECT_THROW(runner.run(), FatalError);
+    // The failed application never unioned anything.
+    EXPECT_EQ(eg.debugCheckInvariants(), "");
+}
+
+TEST(QuarantineTest, IntermittentFailuresDoNotTripTheBreaker)
+{
+    // Failures must be *consecutive* to quarantine: a rule that
+    // recovers in between keeps running (only backoff applies).
+    EGraph eg = fanoutGraph(1);
+    auto calls = std::make_shared<int>(0);
+    Rewrite flaky = makeDynRewrite(
+        "flaky", "(h ?x)",
+        [calls](EGraph &, const Match &) -> std::optional<TermPtr> {
+            if (++*calls <= 2)
+                fatal("transient failure");
+            return std::nullopt; // applies nothing, but succeeds
+        });
+    RunnerOptions options;
+    options.max_iters = 8;
+    options.quarantine_after = 3;
+    Runner runner(eg, options);
+    runner.addRule(flaky);
+    RunnerReport report = runner.run();
+    ASSERT_EQ(report.rules.size(), 1u);
+    EXPECT_FALSE(report.rules[0].quarantined);
+    EXPECT_GE(report.rules[0].failures, 2u);
+    EXPECT_EQ(report.rules_quarantined, 0u);
+}
+
+TEST(QuarantineTest, FailedApplicationsLeaveNoTrace)
+{
+    // A guarded dynamic application is transactional: junk the applier
+    // added to the e-graph before crashing must be rolled back, not
+    // left to poison later matching/extraction.
+    EGraph eg = fanoutGraph(3);
+    size_t nodes_before = eg.numNodes();
+    Rewrite dirty = makeDynRewrite(
+        "dirty-crasher", "(h ?x)",
+        [](EGraph &egraph, const Match &) -> std::optional<TermPtr> {
+            egraph.addTerm(parseTerm("(junk junk-leaf)"));
+            fatal("crash after mutating");
+        });
+    RunnerOptions options;
+    options.max_iters = 5;
+    Runner runner(eg, options);
+    runner.addRule(dirty);
+    RunnerReport report = runner.run();
+    EXPECT_GE(report.rules[0].failures, 1u);
+    EXPECT_EQ(eg.numNodes(), nodes_before);
+    EXPECT_FALSE(eg.lookupTerm(parseTerm("(junk junk-leaf)")));
+    EXPECT_EQ(eg.debugCheckInvariants(), "");
+}
+
+TEST(DeadlineTest, ExpiredDeadlineStopsTheRunImmediately)
+{
+    EGraph eg = fanoutGraph(50);
+    RunnerOptions options;
+    options.max_iters = 100;
+    options.deadline = std::chrono::steady_clock::now();
+    Runner runner(eg, options);
+    runner.addRule(swapRule());
+    RunnerReport report = runner.run();
+    EXPECT_EQ(report.stop, StopReason::TimeLimit);
+    EXPECT_EQ(report.total_applied, 0u);
 }
 
 } // namespace

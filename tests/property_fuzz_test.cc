@@ -7,6 +7,10 @@
  */
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <sstream>
+#include <typeinfo>
+
 #include "core/seer.h"
 #include "core/verify.h"
 #include "hls/pragmas.h"
@@ -153,6 +157,157 @@ TEST_P(FuzzSeeds, PrintParseIsFixpoint)
     std::string once = ir::toString(first);
     ir::Module second = ir::parseModule(once);
     EXPECT_EQ(ir::toString(second), once);
+}
+
+// --- Malformed-input fuzzing (PR 2) -----------------------------------
+//
+// The parser must reject arbitrary corruption with FatalError — never a
+// crash, a foreign exception type (std::out_of_range from number
+// conversion), or UB. Each round takes a valid generated program and
+// applies random byte- and token-level mutations.
+
+/** SplitMix64: deterministic mutation stream. */
+uint64_t
+nextRand(uint64_t &state)
+{
+    state += 0x9E3779B97F4A7C15ULL;
+    uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+}
+
+/** Parse arbitrary text: OK if it parses+verifies or raises FatalError;
+ *  anything else (other exception, crash) fails the test. */
+void
+expectGracefulParse(const std::string &text)
+{
+    try {
+        ir::Module module = ir::parseModule(text);
+        ir::verifyOrDie(module);
+    } catch (const FatalError &) {
+        // rejected cleanly: fine
+    } catch (const std::exception &err) {
+        FAIL() << "non-FatalError exception "
+               << typeid(err).name() << ": " << err.what()
+               << "\n--- input\n" << text;
+    }
+}
+
+class MalformedFuzzSeeds : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(MalformedFuzzSeeds, ByteMutationsNeverCrashTheParser)
+{
+    uint64_t rng = GetParam() * 0xA076'1D64'78BD'642FULL + 1;
+    RandomProgram generator(GetParam());
+    std::string base = generator.generate();
+    for (int round = 0; round < 40; ++round) {
+        std::string text = base;
+        int edits = 1 + static_cast<int>(nextRand(rng) % 4);
+        for (int e = 0; e < edits && !text.empty(); ++e) {
+            size_t pos = nextRand(rng) % text.size();
+            switch (nextRand(rng) % 3) {
+            case 0: // flip to a random printable-or-not byte
+                text[pos] = static_cast<char>(nextRand(rng) % 256);
+                break;
+            case 1: // delete
+                text.erase(pos, 1 + nextRand(rng) % 5);
+                break;
+            case 2: // duplicate a slice
+                text.insert(pos,
+                            text.substr(pos, 1 + nextRand(rng) % 8));
+                break;
+            }
+        }
+        expectGracefulParse(text);
+    }
+}
+
+TEST_P(MalformedFuzzSeeds, TokenMutationsNeverCrashTheParser)
+{
+    // Token-level corruption reaches deeper than byte flips: swapping
+    // and duplicating whitespace-delimited tokens produces structurally
+    // plausible but ill-formed programs.
+    uint64_t rng = GetParam() * 0x2545'F491'4F6C'DD1DULL + 1;
+    RandomProgram generator(GetParam());
+    std::string base = generator.generate();
+    std::vector<std::string> tokens;
+    std::stringstream stream(base);
+    std::string token;
+    while (stream >> token)
+        tokens.push_back(token);
+    ASSERT_GT(tokens.size(), 4u);
+    for (int round = 0; round < 40; ++round) {
+        std::vector<std::string> mutated = tokens;
+        switch (nextRand(rng) % 4) {
+        case 0:
+            mutated.erase(mutated.begin() +
+                          nextRand(rng) % mutated.size());
+            break;
+        case 1:
+            std::swap(mutated[nextRand(rng) % mutated.size()],
+                      mutated[nextRand(rng) % mutated.size()]);
+            break;
+        case 2:
+            mutated.insert(mutated.begin() +
+                               nextRand(rng) % mutated.size(),
+                           mutated[nextRand(rng) % mutated.size()]);
+            break;
+        case 3:
+            mutated[nextRand(rng) % mutated.size()] = "%";
+            break;
+        }
+        std::string text;
+        for (const std::string &t : mutated)
+            text += t + " ";
+        expectGracefulParse(text);
+    }
+}
+
+TEST_P(MalformedFuzzSeeds, TruncationsNeverCrashTheParser)
+{
+    // Truncation at every prefix length exercises EOF-in-the-middle of
+    // every token kind the program contains.
+    RandomProgram generator(GetParam());
+    std::string base = generator.generate();
+    size_t step = std::max<size_t>(1, base.size() / 120);
+    for (size_t len = 0; len < base.size(); len += step)
+        expectGracefulParse(base.substr(0, len));
+}
+
+INSTANTIATE_TEST_SUITE_P(Parser, MalformedFuzzSeeds,
+                         ::testing::Range<uint64_t>(1, 9));
+
+TEST(MalformedInputTest, KnownEdgeCasesRaiseFatalError)
+{
+    // Hand-picked regressions: inputs that historically hit foreign
+    // exception types or lexer corner cases.
+    const char *cases[] = {
+        // numeric literals out of range for stoll/stod
+        "func.func @f() { %c = arith.constant "
+        "99999999999999999999999999999999999 : i64 }",
+        "func.func @f() { %c = arith.constant 1.0e99999 : i64 }",
+        // integer width out of range for stoul
+        "func.func @f(%a: i99999999999999999999) { }",
+        // memref dimension out of range
+        "func.func @f(%a: memref<99999999999999999999999xi32>) { }",
+        // EOF mid-token
+        "func.func @f() { %c = arith.cons",
+        "func.func @f() { %c = arith.constant 4",
+        "func.func @",
+        "%",
+        "func.func @f(%a: memref<",
+        // unterminated comment at EOF
+        "func.func @f() { } // trailing comment with no newline",
+        "// only a comment",
+        // stray bytes
+        "\x01\x02\xff",
+        "func.func @f() { \x7f }",
+    };
+    for (const char *text : cases)
+        expectGracefulParse(text);
 }
 
 TEST(FuzzGeneratorTest, ProducesParseableVariety)

@@ -14,6 +14,7 @@
  */
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -65,7 +66,19 @@ usage()
         "  --report           print before/after HLS PPA estimates\n"
         "  --stats FILE       write per-rule/per-iteration scheduler\n"
         "                     stats as JSON (FILE '-' = stderr)\n"
-        "  --quiet            suppress the output program\n";
+        "  --deadline S       whole-run wall-clock budget in seconds;\n"
+        "                     exploration is cut short when it expires\n"
+        "  --strict           fail fast on the first internal error\n"
+        "                     instead of recovering (pre-PR2 behavior)\n"
+        "  --quiet            suppress the output program\n"
+        "\n"
+        "exit codes:\n"
+        "  0  success\n"
+        "  1  failure (bad input IR, verification failure, --strict "
+        "fault)\n"
+        "  2  usage error\n"
+        "  3  success, but the run degraded (recovered faults; output\n"
+        "     is still verified IR — see the --stats health section)\n";
 }
 
 std::vector<std::string>
@@ -81,17 +94,97 @@ splitList(const std::string &text)
     return out;
 }
 
+/** Faulty dynamic rule (hidden --inject-crash-rule flag): the chaos
+ *  hook used by the robustness tests and the CI fuzz-smoke job. It
+ *  throws on every application except the second, where it returns a
+ *  giant junk term instead, so one run exercises the full containment
+ *  chain: per-application failure recovery, budget-explosion phase
+ *  rollback, circuit-breaker quarantine, and degraded-mode emission
+ *  (and under --strict, the very first application fails the run with
+ *  the original error). */
+seer::eg::Rewrite
+crashRule()
+{
+    auto calls = std::make_shared<size_t>(0);
+    return seer::eg::makeDynRewrite(
+        "inject-crash", "?x",
+        [calls](seer::eg::EGraph &, const seer::eg::Match &)
+            -> std::optional<seer::eg::TermPtr> {
+            if ((*calls)++ == 1) {
+                // Balanced binary tree of ~80k distinct junk nodes:
+                // far beyond 4 x the default 16k node budget.
+                std::vector<seer::eg::TermPtr> level;
+                level.reserve(40000);
+                for (size_t i = 0; i < 40000; ++i) {
+                    level.push_back(seer::eg::makeTerm(
+                        seer::Symbol("junk" + std::to_string(i)), {}));
+                }
+                while (level.size() > 1) {
+                    std::vector<seer::eg::TermPtr> next;
+                    next.reserve(level.size() / 2 + 1);
+                    for (size_t i = 0; i + 1 < level.size(); i += 2) {
+                        next.push_back(seer::eg::makeTerm(
+                            seer::Symbol("junkpair"),
+                            {level[i], level[i + 1]}));
+                    }
+                    if (level.size() % 2)
+                        next.push_back(level.back());
+                    level = std::move(next);
+                }
+                return level[0];
+            }
+            seer::fatal("injected crash (--inject-crash-rule)");
+        });
+}
+
 bool
 parseArgs(int argc, char **argv, CliOptions &options)
 {
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
+        bool bad_value = false;
         auto next = [&]() -> std::string {
             if (i + 1 >= argc) {
-                std::cerr << "missing value for " << arg << "\n";
-                std::exit(2);
+                std::cerr << "seer-opt: missing value for " << arg
+                          << "\n";
+                bad_value = true;
+                return "";
             }
             return argv[++i];
+        };
+        auto next_int = [&]() -> int64_t {
+            std::string text = next();
+            if (bad_value)
+                return 0;
+            try {
+                size_t used = 0;
+                int64_t value = std::stoll(text, &used);
+                if (used != text.size())
+                    throw std::invalid_argument(text);
+                return value;
+            } catch (const std::exception &) {
+                std::cerr << "seer-opt: bad integer '" << text
+                          << "' for " << arg << "\n";
+                bad_value = true;
+                return 0;
+            }
+        };
+        auto next_double = [&]() -> double {
+            std::string text = next();
+            if (bad_value)
+                return 0;
+            try {
+                size_t used = 0;
+                double value = std::stod(text, &used);
+                if (used != text.size())
+                    throw std::invalid_argument(text);
+                return value;
+            } catch (const std::exception &) {
+                std::cerr << "seer-opt: bad number '" << text
+                          << "' for " << arg << "\n";
+                bad_value = true;
+                return 0;
+            }
         };
         if (arg == "--func") {
             options.func_name = next();
@@ -104,9 +197,9 @@ parseArgs(int argc, char **argv, CliOptions &options)
         } else if (arg == "--oracle") {
             options.seer.use_laws = false;
         } else if (arg == "--unroll") {
-            options.seer.unroll_max_trip = std::stoll(next());
+            options.seer.unroll_max_trip = next_int();
         } else if (arg == "--phases") {
-            options.seer.max_phases = std::stoi(next());
+            options.seer.max_phases = static_cast<int>(next_int());
         } else if (arg == "--passes") {
             options.fixed_passes = next();
         } else if (arg == "--verify") {
@@ -115,22 +208,35 @@ parseArgs(int argc, char **argv, CliOptions &options)
             options.report = true;
         } else if (arg == "--stats") {
             options.stats_file = next();
+        } else if (arg == "--deadline") {
+            options.seer.deadline_seconds = next_double();
+        } else if (arg == "--strict") {
+            options.seer.strict = true;
+        } else if (arg == "--inject-crash-rule") {
+            // Hidden: chaos-inject an always-throwing dynamic rule.
+            options.seer.extra_control_rules.push_back(crashRule());
         } else if (arg == "--quiet") {
             options.quiet = true;
         } else if (arg == "--help" || arg == "-h") {
             usage();
             std::exit(0);
         } else if (!arg.empty() && arg[0] == '-') {
-            std::cerr << "unknown option " << arg << "\n";
+            std::cerr << "seer-opt: unknown option " << arg << "\n";
             return false;
         } else if (options.input_file.empty()) {
             options.input_file = arg;
         } else {
-            std::cerr << "multiple input files given\n";
+            std::cerr << "seer-opt: multiple input files given\n";
             return false;
         }
+        if (bad_value)
+            return false;
     }
-    return !options.input_file.empty();
+    if (options.input_file.empty()) {
+        std::cerr << "seer-opt: no input file given\n";
+        return false;
+    }
+    return true;
 }
 
 seer::hls::HlsReport
@@ -196,6 +302,7 @@ main(int argc, char **argv)
 
         ir::Module output;
         core::SeerResult result;
+        bool degraded = false;
         if (!options.fixed_passes.empty()) {
             // The phase-ordered baseline: a fixed pipeline.
             if (!options.stats_file.empty())
@@ -209,6 +316,19 @@ main(int argc, char **argv)
             result = core::optimize(input, options.func_name,
                                     options.seer);
             output = ir::cloneModule(result.module);
+            degraded = result.stats.degraded;
+            if (degraded) {
+                std::cerr << "; DEGRADED: recovered from "
+                          << result.stats.recovered_errors.size()
+                          << " error(s), "
+                          << result.stats.phase_rollbacks
+                          << " phase rollback(s), "
+                          << result.stats.quarantined_rules.size()
+                          << " quarantined rule(s); output is still "
+                             "verified IR\n";
+            }
+            if (result.stats.deadline_hit)
+                std::cerr << "; deadline hit: exploration cut short\n";
             std::cerr << "; e-graph: " << result.stats.egraph_nodes
                       << " nodes, " << result.stats.egraph_classes
                       << " classes, " << result.stats.unions_applied
@@ -273,8 +393,16 @@ main(int argc, char **argv)
                              static_cast<double>(after.total_cycles)
                       << "x\n";
         }
+        if (degraded)
+            return 3;
     } catch (const FatalError &err) {
         std::cerr << "seer-opt: " << err.what() << "\n";
+        return 1;
+    } catch (const std::exception &err) {
+        // Nothing below main should leak a non-FatalError exception;
+        // if one does, still fail with a one-line diagnostic instead
+        // of std::terminate.
+        std::cerr << "seer-opt: internal error: " << err.what() << "\n";
         return 1;
     }
     return 0;
