@@ -146,6 +146,108 @@ BM_EMatch(benchmark::State &state)
 }
 BENCHMARK(BM_EMatch);
 
+/** Chain of width mul-by-constant summands: a ROVER-style arithmetic
+ *  expression whose saturation grows a matching-heavy e-graph (strength
+ *  reduction, reassociation, and shift rewrites all fire). */
+TermPtr
+mulAddChain(int width)
+{
+    const int64_t consts[] = {12, 6, 24, 5, 16, 3, 48, 7};
+    TermPtr acc = makeTerm("var:x");
+    for (int i = 0; i < width; ++i) {
+        TermPtr mul = makeTerm(
+            Symbol("arith.muli:i32"),
+            {makeTerm("var:v" + std::to_string(i % 6)),
+             makeTerm("const:" + std::to_string(consts[i % 8]) +
+                      ":i32")});
+        acc = makeTerm(Symbol("arith.addi:i32"), {acc, mul});
+    }
+    return acc;
+}
+
+/**
+ * The tentpole benchmark: the full ~46-rule ROVER set saturating a wide
+ * arithmetic expression. naive:1 runs the pre-index whole-graph
+ * reference matcher; naive:0 runs the default indexed + incremental
+ * path. Both explore the identical e-graph (the match lists are equal),
+ * so the ratio isolates the matcher.
+ */
+void
+BM_ManyRuleSaturation(benchmark::State &state)
+{
+    bool naive = state.range(0) == 1;
+    TermPtr expr = mulAddChain(16);
+    for (auto _ : state) {
+        EGraph egraph(rover::roverAnalysisHooks());
+        egraph.addTerm(expr);
+        RunnerOptions options;
+        options.max_iters = 20;
+        options.max_nodes = 100000;
+        options.match_limit = 200;
+        options.record_proofs = false;
+        options.naive_match = naive;
+        options.incremental_match = !naive;
+        Runner runner(egraph, options);
+        runner.addRules(rover::roverRules());
+        benchmark::DoNotOptimize(runner.run().total_applied);
+    }
+}
+BENCHMARK(BM_ManyRuleSaturation)->Arg(0)->Arg(1)->ArgNames({"naive"});
+
+/** Deep pattern over a large mixed-op graph: most classes have the
+ *  wrong head op, which is exactly what the (op, arity) index prunes. */
+void
+BM_DeepPatternMatch(benchmark::State &state)
+{
+    bool naive = state.range(0) == 1;
+    EGraph egraph;
+    int counter = 0;
+    egraph.addTerm(addTree(12, counter));
+    for (int i = 0; i < 4000; ++i) {
+        egraph.addTerm(makeTerm(
+            Symbol("wrap"), {makeTerm("leaf" + std::to_string(i))}));
+    }
+    egraph.rebuild();
+    PatternPtr deep = parsePattern(
+        "(arith.addi:i32 (arith.addi:i32 (arith.addi:i32 ?a ?b) ?c) "
+        "(arith.addi:i32 ?d (arith.addi:i32 ?e ?f)))");
+    for (auto _ : state) {
+        auto matches = naive ? ematchNaive(egraph, *deep)
+                             : ematch(egraph, *deep);
+        benchmark::DoNotOptimize(matches.size());
+    }
+}
+BENCHMARK(BM_DeepPatternMatch)->Arg(0)->Arg(1)->ArgNames({"naive"});
+
+/** Greedy extraction over a ~16k-class balanced reduction tree. */
+void
+BM_ExtractGreedy10k(benchmark::State &state)
+{
+    EGraph egraph;
+    std::vector<EClassId> layer;
+    for (int i = 0; i < 8192; ++i)
+        layer.push_back(
+            egraph.addTerm(makeTerm("leaf" + std::to_string(i))));
+    while (layer.size() > 1) {
+        std::vector<EClassId> next;
+        for (size_t i = 0; i + 1 < layer.size(); i += 2)
+            next.push_back(egraph.add(
+                ENode{Symbol("arith.addi:i32"),
+                      {layer[i], layer[i + 1]}}));
+        if (layer.size() % 2)
+            next.push_back(layer.back());
+        layer = std::move(next);
+    }
+    egraph.rebuild();
+    TermSizeCost cost;
+    for (auto _ : state) {
+        auto extraction = extractGreedy(egraph, layer[0], cost);
+        benchmark::DoNotOptimize(extraction->dag_cost);
+    }
+    state.SetLabel(std::to_string(egraph.numClasses()) + " classes");
+}
+BENCHMARK(BM_ExtractGreedy10k);
+
 void
 BM_RoverSaturation(benchmark::State &state)
 {

@@ -264,6 +264,13 @@ optimize(const ir::Module &input, const std::string &func_name,
         mergeRuleStats(result.stats.rule_stats, report.rules);
         for (const eg::IterationStats &stats : report.iterations)
             result.stats.iterations.push_back(stats);
+        eg::MatchPhaseStats &mp = result.stats.match_phase;
+        mp.candidates_visited += report.match_phase.candidates_visited;
+        mp.skipped_clean += report.match_phase.skipped_clean;
+        mp.cached_matches_reused += report.match_phase.cached_matches_reused;
+        mp.index_scans += report.match_phase.index_scans;
+        mp.full_scans += report.match_phase.full_scans;
+        mp.incremental_scans += report.match_phase.incremental_scans;
         absorb_health(report);
     };
 
@@ -430,6 +437,7 @@ toJson(const SeerStats &stats)
     for (const eg::IterationStats &iteration : stats.iterations)
         iterations.push(eg::toJson(iteration));
     out.set("iterations", std::move(iterations));
+    out.set("match_phase", eg::toJson(stats.match_phase));
     out.set("degraded", stats.degraded);
     json::Value health{json::Object{}};
     health.set("degraded", stats.degraded);

@@ -94,6 +94,9 @@ struct SeerStats
     std::vector<eg::RuleStats> rule_stats;
     /** The concatenated iteration trajectory across all phases. */
     std::vector<eg::IterationStats> iterations;
+    /** Match-phase counters (index hits, watermark skips, cache reuse)
+     *  summed over every runner invocation. */
+    eg::MatchPhaseStats match_phase;
 
     // --- health (fault isolation) ---------------------------------------
     /** True when the run had to recover from a fault (guarded-rule

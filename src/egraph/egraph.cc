@@ -61,6 +61,7 @@ EGraph::add(ENode node)
 
     EClassId id = static_cast<EClassId>(parents_.size());
     parents_.push_back(id);
+    modified_.push_back(++tick_);
     if (journaling()) {
         JournalEntry entry;
         entry.kind = JournalEntry::Kind::AddClass;
@@ -70,6 +71,8 @@ EGraph::add(ENode node)
     }
     EClass &cls = classes_[id];
     cls.nodes.push_back(node);
+    ++num_nodes_;
+    op_index_[opKeyOf(node)].push_back(id);
     for (EClassId child : node.children)
         classes_[child].parents.emplace_back(node, id);
     memo_.emplace(node, id);
@@ -155,6 +158,12 @@ EGraph::merge(EClassId a, EClassId b, std::string reason)
         entry.saved_class = std::move(from);
         journal_.push_back(std::move(entry));
     }
+    // Stamp the winner now (it changed: it absorbed b's nodes); the
+    // ancestor cone is stamped in bulk by propagateDirty() at rebuild.
+    // The winner's pre-merge stamp is deliberately not journaled: after
+    // rollback a stale-high stamp merely triggers a spurious re-scan.
+    modified_[a] = ++tick_;
+    dirty_since_rebuild_.push_back(a);
     classes_.erase(b);
     worklist_.push_back(a);
     maybeAddFoldedConst(a);
@@ -172,6 +181,49 @@ EGraph::rebuild()
         for (EClassId id : todo)
             repair(find(id));
     }
+    propagateDirty();
+}
+
+void
+EGraph::propagateDirty()
+{
+    // A pattern match rooted at class C depends on every class in C's
+    // reachable child cone: a node added to, or a merge applied at, any
+    // descendant can create a new match at C. Walking *up* the parent
+    // lists from every merge winner and stamping the whole ancestor cone
+    // makes "modified <= watermark" a sound reason to skip a class
+    // during incremental e-matching. (Fresh adds need no propagation:
+    // a new class sits above its children, never below an existing one.)
+    if (dirty_since_rebuild_.empty())
+        return;
+    uint64_t stamp = ++tick_;
+    std::vector<EClassId> queue;
+    queue.reserve(dirty_since_rebuild_.size());
+    for (EClassId id : dirty_since_rebuild_)
+        queue.push_back(find(id));
+    dirty_since_rebuild_.clear();
+    while (!queue.empty()) {
+        EClassId id = queue.back();
+        queue.pop_back();
+        if (modified_[id] == stamp)
+            continue; // already visited this propagation
+        modified_[id] = stamp;
+        for (const auto &[node, parent] : classes_[id].parents) {
+            EClassId canon = find(parent);
+            if (modified_[canon] != stamp)
+                queue.push_back(canon);
+        }
+    }
+}
+
+const std::vector<EClassId> *
+EGraph::opCandidates(Symbol op, size_t arity) const
+{
+    auto it = op_index_.find(
+        OpKey{op.id(), static_cast<uint32_t>(arity)});
+    if (it == op_index_.end())
+        return nullptr;
+    return &it->second;
 }
 
 void
@@ -239,6 +291,7 @@ EGraph::repair(EClassId id)
         entry.saved_nodes = self.nodes;
         journal_.push_back(std::move(entry));
     }
+    num_nodes_ -= self.nodes.size() - nodes.size();
     self.nodes = std::move(nodes);
 }
 
@@ -316,10 +369,9 @@ EGraph::numClasses() const
 size_t
 EGraph::numNodes() const
 {
-    size_t n = 0;
-    for (const auto &[id, cls] : classes_)
-        n += cls.nodes.size();
-    return n;
+    // Maintained incrementally: the runner consults this inside its
+    // per-application node-limit check, so it must not walk the graph.
+    return num_nodes_;
 }
 
 void
@@ -437,6 +489,7 @@ EGraph::checkpoint()
     cp.proof_size = proof_edges_.size();
     cp.parents = parents_;
     cp.worklist = worklist_;
+    cp.dirty = dirty_since_rebuild_;
     open_tokens_.push_back(cp.token);
     return cp;
 }
@@ -449,11 +502,24 @@ EGraph::undo(JournalEntry &entry)
         memo_.erase(entry.node);
         for (EClassId child : entry.node.children)
             classes_[child].parents.pop_back();
+        num_nodes_ -= classes_[entry.id].nodes.size();
         classes_.erase(entry.id);
+        // The add appended exactly one operator-index entry; undoing in
+        // reverse journal order means it is still the last one.
+        auto it = op_index_.find(opKeyOf(entry.node));
+        SEER_ASSERT(it != op_index_.end() && !it->second.empty() &&
+                        it->second.back() == entry.id,
+                    "op index out of sync with journal on class "
+                        << entry.id);
+        it->second.pop_back();
+        if (it->second.empty())
+            op_index_.erase(it);
         break;
       }
       case JournalEntry::Kind::Merge: {
         EClass &into = classes_[entry.id];
+        num_nodes_ -= into.nodes.size() - entry.nodes_size;
+        num_nodes_ += entry.saved_class.nodes.size();
         into.nodes.resize(entry.nodes_size);
         into.parents.resize(entry.parents_size);
         into.constant = entry.constant_old;
@@ -482,6 +548,8 @@ EGraph::undo(JournalEntry &entry)
         break;
       }
       case JournalEntry::Kind::NodesReplace: {
+        num_nodes_ += entry.saved_nodes.size() -
+                      classes_[entry.id].nodes.size();
         classes_[entry.id].nodes = std::move(entry.saved_nodes);
         break;
       }
@@ -505,9 +573,15 @@ EGraph::rollback(const Checkpoint &cp)
         journal_.pop_back();
     }
     parents_ = cp.parents;
+    modified_.resize(parents_.size());
     worklist_ = cp.worklist;
+    dirty_since_rebuild_ = cp.dirty;
     proof_edges_.resize(cp.proof_size);
     open_tokens_.pop_back();
+    // Timestamps are monotonic and deliberately not journaled, so a
+    // rollback can only be signalled out-of-band: bump the generation so
+    // incremental matchers drop their caches and fully re-scan.
+    ++rollback_generation_;
 }
 
 void
@@ -543,6 +617,37 @@ EGraph::debugCheckInvariants() const
     for (const auto &[node, id] : memo_) {
         if (id >= parents_.size() || !classes_.count(find(id)))
             return "hashcons value maps to a dead class";
+    }
+    {
+        size_t counted = 0;
+        for (const auto &[id, cls] : classes_)
+            counted += cls.nodes.size();
+        if (counted != num_nodes_) {
+            return MsgBuilder()
+                   << "incremental node count " << num_nodes_
+                   << " != actual " << counted;
+        }
+    }
+    // Operator-index completeness: every live node must be reachable
+    // through some (possibly stale) candidate entry for its (op, arity).
+    for (const auto &[id, cls] : classes_) {
+        for (const ENode &node : cls.nodes) {
+            auto it = op_index_.find(opKeyOf(node));
+            bool reachable = false;
+            if (it != op_index_.end()) {
+                for (EClassId entry : it->second) {
+                    if (find(entry) == id) {
+                        reachable = true;
+                        break;
+                    }
+                }
+            }
+            if (!reachable) {
+                return MsgBuilder()
+                       << "node '" << node.op.str() << "' of class "
+                       << id << " unreachable through the op index";
+            }
+        }
     }
     if (!worklist_.empty())
         return ""; // node-level checks need a rebuilt graph

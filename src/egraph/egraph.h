@@ -130,6 +130,39 @@ class EGraph
     size_t numClasses() const;
     size_t numNodes() const;
 
+    /**
+     * Operator index: the raw candidate list for nodes with this
+     * (op, arity) head, or nullptr when no such node was ever added.
+     * Entries are the class ids *at add time*: after merges they may be
+     * non-canonical and may resolve to duplicate canonical classes, so
+     * callers must canonicalize through find() and deduplicate. The list
+     * is append-only between rollbacks (bounded by the number of adds),
+     * which is what keeps it trivially coherent with the checkpoint
+     * journal: rolling back an add pops its entry again.
+     */
+    const std::vector<EClassId> *opCandidates(Symbol op,
+                                              size_t arity) const;
+
+    /**
+     * Monotonic modification clock. Every structural change (class
+     * creation, merge, dirty-cone propagation in rebuild) stamps the
+     * affected classes with a fresh tick. Never decreases, not even
+     * across rollback — a stale-high stamp only causes a spurious
+     * re-scan, never a missed match.
+     */
+    uint64_t tick() const { return tick_; }
+
+    /** Modification stamp of a class (canonical representative's). */
+    uint64_t timestampOf(EClassId id) const { return modified_[find(id)]; }
+
+    /**
+     * Bumped by every rollback(). Incremental matchers must discard
+     * watermark state and cached matches when this changes: rollback is
+     * the one mutation that can make matches *disappear*, which
+     * timestamps (monotonic) cannot express.
+     */
+    uint64_t rollbackGeneration() const { return rollback_generation_; }
+
     /** True when no merges are pending rebuild. */
     bool isClean() const { return worklist_.empty(); }
 
@@ -159,6 +192,7 @@ class EGraph
         size_t proof_size = 0;
         std::vector<EClassId> parents;
         std::vector<EClassId> worklist;
+        std::vector<EClassId> dirty;
     };
 
     /** Open a checkpoint. Checkpoints nest with strict LIFO discipline:
@@ -220,6 +254,29 @@ class EGraph
         std::vector<ENode> saved_nodes;
     };
 
+    /** Key of the operator index: interned op id + arity. */
+    struct OpKey
+    {
+        uint32_t op = 0;
+        uint32_t arity = 0;
+        bool operator==(const OpKey &o) const
+        {
+            return op == o.op && arity == o.arity;
+        }
+    };
+    struct OpKeyHash
+    {
+        size_t operator()(const OpKey &k) const noexcept
+        {
+            return (static_cast<size_t>(k.op) << 20) ^ k.arity;
+        }
+    };
+    static OpKey opKeyOf(const ENode &node)
+    {
+        return OpKey{node.op.id(),
+                     static_cast<uint32_t>(node.children.size())};
+    }
+
     bool journaling() const { return !open_tokens_.empty(); }
     void undo(JournalEntry &entry);
     void journalMemoSet(const ENode &key);
@@ -227,6 +284,8 @@ class EGraph
     ENode canonicalize(ENode node) const;
     ENode canonicalize(ENode node); ///< compressing-find variant
     void repair(EClassId id);
+    /** Stamp the ancestor cone of merge-dirtied classes (rebuild tail). */
+    void propagateDirty();
     void propagateConstant(const ENode &node, EClassId parent);
     void makeAnalysis(EClassId id, const ENode &node);
     void mergeAnalysis(EClassId into, EClassId from);
@@ -237,6 +296,18 @@ class EGraph
     std::vector<uint64_t> open_tokens_;
     uint64_t checkpoint_serial_ = 0;
     std::vector<EClassId> parents_; // union-find
+    /**
+     * Modification stamps, indexed by class id in lockstep with
+     * parents_ (see tick()): the tick at which the class last changed
+     * in a way that can affect e-matching — creation, absorbing another
+     * class, or (transitively, via rebuild's dirty-cone propagation)
+     * any change in its reachable child cone. A dense array rather than
+     * an EClass field so the incremental matcher's per-candidate
+     * timestamp filter is an array read, not a hash lookup. Stamps are
+     * monotonic and never journaled; rollback merely truncates to the
+     * restored id space (re-added ids get fresh stamps anyway).
+     */
+    std::vector<uint64_t> modified_;
     /** Proof graph: one adjacency list entry per union, labelled with
      *  the justification. */
     std::vector<std::vector<std::pair<EClassId, std::string>>>
@@ -244,6 +315,16 @@ class EGraph
     std::unordered_map<ENode, EClassId, ENodeHash> memo_;
     std::unordered_map<EClassId, EClass> classes_;
     std::vector<EClassId> worklist_;
+    /** (op, arity) -> class ids at add time (see opCandidates()). */
+    std::unordered_map<OpKey, std::vector<EClassId>, OpKeyHash> op_index_;
+    /** Winners of merges since the last rebuild: the seeds of the
+     *  dirty-cone timestamp propagation. */
+    std::vector<EClassId> dirty_since_rebuild_;
+    uint64_t tick_ = 0;
+    uint64_t rollback_generation_ = 0;
+    /** Live node count across all classes, maintained incrementally so
+     *  numNodes() is O(1) (the runner polls it per application). */
+    size_t num_nodes_ = 0;
 };
 
 } // namespace seer::eg

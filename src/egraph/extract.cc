@@ -45,76 +45,154 @@ improves(double cost, double size, const ClassCost &best)
     return !approxEq(size, best.size) && size < best.size;
 }
 
-/** Classes reachable from `root` through any node's children. */
-std::vector<EClassId>
-reachableClasses(const EGraph &egraph, EClassId root)
+/**
+ * Dense greedy cost table for the classes reachable from one root:
+ * class ids map to contiguous slots so the fixpoint below runs on flat
+ * vectors instead of a std::map per lookup.
+ */
+class GreedyCosts
 {
-    std::set<EClassId> seen;
-    std::vector<EClassId> stack{egraph.find(root)};
-    std::vector<EClassId> order;
-    while (!stack.empty()) {
-        EClassId id = stack.back();
-        stack.pop_back();
-        if (!seen.insert(id).second)
-            continue;
-        order.push_back(id);
-        for (const ENode &node : egraph.eclass(id).nodes) {
-            for (EClassId child : node.children)
-                stack.push_back(egraph.find(child));
-        }
+  public:
+    const ClassCost &
+    at(EClassId id) const
+    {
+        return costs_[slots_.at(id)];
     }
-    return order;
-}
 
-/** Fixpoint computation of greedy per-class costs, restricted to the
- *  classes reachable from `root` (extraction never needs the rest). */
-std::map<EClassId, ClassCost>
+    /** Reachable classes (the table's keys), root first. */
+    const std::vector<EClassId> &ids() const { return ids_; }
+
+  private:
+    friend GreedyCosts computeGreedyCosts(const EGraph &egraph,
+                                          const CostModel &cost,
+                                          EClassId root);
+    std::vector<EClassId> ids_;
+    std::vector<ClassCost> costs_; ///< parallel to ids_
+    std::unordered_map<EClassId, uint32_t> slots_;
+};
+
+/**
+ * Greedy per-class costs, restricted to the classes reachable from
+ * `root` (extraction never needs the rest). Instead of sweeping the
+ * whole cone to a fixpoint, classes sit on a worklist and a class is
+ * recomputed only when one of its children improved, driven through a
+ * reverse (child -> users) adjacency — the standard chaotic-iteration
+ * shortest-term computation.
+ */
+GreedyCosts
 computeGreedyCosts(const EGraph &egraph, const CostModel &cost,
                    EClassId root)
 {
-    std::map<EClassId, ClassCost> costs;
-    for (EClassId id : reachableClasses(egraph, root))
-        costs[id] = ClassCost{};
-
-    bool changed = true;
-    while (changed) {
-        changed = false;
-        for (auto &[id, best] : costs) {
-            const EClass &cls = egraph.eclass(id);
-            for (size_t n = 0; n < cls.nodes.size(); ++n) {
-                const ENode &node = cls.nodes[n];
-                double self = cost.nodeCost(node);
-                if (self == CostModel::kInfinity)
-                    continue;
-                double total = self;
-                double size = 1;
-                bool feasible = true;
-                for (EClassId child : node.children) {
-                    const ClassCost &cc = costs[egraph.find(child)];
-                    if (cc.cost == CostModel::kInfinity) {
-                        feasible = false;
-                        break;
-                    }
-                    total += cc.cost;
-                    size += cc.size;
-                }
-                if (!feasible)
-                    continue;
-                if (improves(total, size, best)) {
-                    best.cost = total;
-                    best.size = size;
-                    best.node_index = static_cast<int>(n);
-                    changed = true;
-                }
+    GreedyCosts table;
+    {
+        std::vector<EClassId> stack{egraph.find(root)};
+        while (!stack.empty()) {
+            EClassId id = stack.back();
+            stack.pop_back();
+            if (!table.slots_
+                     .emplace(id,
+                              static_cast<uint32_t>(table.ids_.size()))
+                     .second)
+                continue;
+            table.ids_.push_back(id);
+            for (const ENode &node : egraph.eclass(id).nodes) {
+                for (EClassId child : node.children)
+                    stack.push_back(egraph.find(child));
             }
         }
     }
-    return costs;
+    const size_t n = table.ids_.size();
+    table.costs_.assign(n, ClassCost{});
+
+    // Flatten the cone: per-node self costs and canonical child slots,
+    // so the recompute loop touches no map and performs no find().
+    std::vector<uint32_t> class_node_begin(n + 1, 0);
+    std::vector<double> node_self;
+    std::vector<uint32_t> node_child_begin{0};
+    std::vector<uint32_t> child_slots;
+    std::vector<std::vector<uint32_t>> users(n);
+    for (size_t s = 0; s < n; ++s) {
+        class_node_begin[s] = static_cast<uint32_t>(node_self.size());
+        for (const ENode &node : egraph.eclass(table.ids_[s]).nodes) {
+            node_self.push_back(cost.nodeCost(node));
+            for (EClassId child : node.children) {
+                uint32_t cs = table.slots_.at(egraph.find(child));
+                child_slots.push_back(cs);
+                users[cs].push_back(static_cast<uint32_t>(s));
+            }
+            node_child_begin.push_back(
+                static_cast<uint32_t>(child_slots.size()));
+        }
+    }
+    class_node_begin[n] = static_cast<uint32_t>(node_self.size());
+    for (std::vector<uint32_t> &u : users) {
+        std::sort(u.begin(), u.end());
+        u.erase(std::unique(u.begin(), u.end()), u.end());
+    }
+
+    // Re-derive the best (cost, size, node) of class slot `s` from its
+    // current child costs; true when it improved.
+    auto recompute = [&](uint32_t s) {
+        ClassCost &best = table.costs_[s];
+        bool changed = false;
+        for (uint32_t ni = class_node_begin[s];
+             ni < class_node_begin[s + 1]; ++ni) {
+            double self = node_self[ni];
+            if (self == CostModel::kInfinity)
+                continue;
+            double total = self;
+            double size = 1;
+            bool feasible = true;
+            for (uint32_t ci = node_child_begin[ni];
+                 ci < node_child_begin[ni + 1]; ++ci) {
+                const ClassCost &cc = table.costs_[child_slots[ci]];
+                if (cc.cost == CostModel::kInfinity) {
+                    feasible = false;
+                    break;
+                }
+                total += cc.cost;
+                size += cc.size;
+            }
+            if (!feasible)
+                continue;
+            if (improves(total, size, best)) {
+                best.cost = total;
+                best.size = size;
+                best.node_index =
+                    static_cast<int>(ni - class_node_begin[s]);
+                changed = true;
+            }
+        }
+        return changed;
+    };
+
+    // Seed every class once in ascending-id order (the sweep order of
+    // the previous fixpoint, for deterministic epsilon-tie breaks),
+    // then let improvements ripple upward through `users`.
+    std::vector<uint32_t> queue(n);
+    for (size_t s = 0; s < n; ++s)
+        queue[s] = static_cast<uint32_t>(s);
+    std::sort(queue.begin(), queue.end(), [&](uint32_t a, uint32_t b) {
+        return table.ids_[a] < table.ids_[b];
+    });
+    std::vector<char> queued(n, 1);
+    for (size_t head = 0; head < queue.size(); ++head) {
+        uint32_t s = queue[head];
+        queued[s] = 0;
+        if (!recompute(s))
+            continue;
+        for (uint32_t u : users[s]) {
+            if (!queued[u]) {
+                queued[u] = 1;
+                queue.push_back(u);
+            }
+        }
+    }
+    return table;
 }
 
 TermPtr
-buildTerm(const EGraph &egraph, EClassId id,
-          const std::map<EClassId, ClassCost> &costs,
+buildTerm(const EGraph &egraph, EClassId id, const GreedyCosts &costs,
           std::set<EClassId> &visiting)
 {
     id = egraph.find(id);
@@ -223,7 +301,8 @@ class ExactSolver
 
         // Seed the incumbent with the greedy choice evaluated as a DAG.
         std::map<EClassId, int> greedy_choice;
-        for (const auto &[id, cc] : greedy_) {
+        for (EClassId id : greedy_.ids()) {
+            const ClassCost &cc = greedy_.at(id);
             if (cc.node_index >= 0)
                 greedy_choice[id] = cc.node_index;
         }
@@ -231,7 +310,7 @@ class ExactSolver
         best_cost_ = dagCostOf(egraph_, root, greedy_choice, cost_);
 
         // Min self-cost per class: admissible bound contribution.
-        for (const auto &[id, cc] : greedy_) {
+        for (EClassId id : greedy_.ids()) {
             double m = CostModel::kInfinity;
             for (const ENode &node : egraph_.eclass(id).nodes)
                 m = std::min(m, cost_.nodeCost(node));
@@ -328,8 +407,8 @@ class ExactSolver
     const CostModel &cost_;
     size_t budget_;
     size_t expansions_ = 0;
-    std::map<EClassId, ClassCost> greedy_;
-    std::map<EClassId, double> min_self_;
+    GreedyCosts greedy_;
+    std::unordered_map<EClassId, double> min_self_;
     std::map<EClassId, int> best_choice_;
     double best_cost_ = CostModel::kInfinity;
 };
@@ -349,7 +428,8 @@ extractGreedy(const EGraph &egraph, EClassId root, const CostModel &cost)
     out.term = buildTerm(egraph, canonical, costs, visiting);
     out.tree_cost = best.cost;
     std::map<EClassId, int> choice;
-    for (const auto &[id, cc] : costs) {
+    for (EClassId id : costs.ids()) {
+        const ClassCost &cc = costs.at(id);
         if (cc.node_index >= 0)
             choice[id] = cc.node_index;
     }

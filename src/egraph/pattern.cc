@@ -1,5 +1,6 @@
 #include "egraph/pattern.h"
 
+#include <algorithm>
 #include <sstream>
 
 #include "support/error.h"
@@ -24,24 +25,10 @@ fromTerm(const TermPtr &term)
     return std::make_shared<Pattern>(term->op(), std::move(children));
 }
 
-void
-collectVars(const Pattern &pattern, std::vector<Symbol> &out)
-{
-    if (pattern.isVar()) {
-        for (Symbol existing : out) {
-            if (existing == pattern.var())
-                return;
-        }
-        out.push_back(pattern.var());
-        return;
-    }
-    for (const auto &child : pattern.children())
-        collectVars(*child, out);
-}
-
 /**
- * Continuation-passing backtracking matcher. The continuation fires once
- * per complete extension of the working substitution.
+ * Continuation-passing backtracking matcher: the pre-index reference
+ * implementation (see ematchNaive). The compiled machine below must
+ * produce exactly this match set in exactly this order.
  */
 class Matcher
 {
@@ -120,12 +107,253 @@ class Matcher
 
 } // namespace
 
-std::vector<Symbol>
+// --- Compiled pattern machine -----------------------------------------
+
+CompiledPattern::CompiledPattern(const Pattern &pattern)
+{
+    if (pattern.isVar()) {
+        root_is_var_ = true;
+        vars_.push_back(pattern.var());
+        var_regs_.push_back(0);
+        return;
+    }
+    root_op_ = pattern.op();
+    root_arity_ = pattern.children().size();
+    std::unordered_map<Symbol, uint32_t> var_regs;
+    compile(pattern, 0, var_regs);
+}
+
+void
+CompiledPattern::compile(const Pattern &pattern, uint32_t reg,
+                         std::unordered_map<Symbol, uint32_t> &var_regs)
+{
+    Instr bind;
+    bind.kind = Instr::Kind::Bind;
+    bind.op = pattern.op();
+    bind.arity = static_cast<uint32_t>(pattern.children().size());
+    bind.in = reg;
+    bind.out = num_regs_;
+    instrs_.push_back(bind);
+    uint32_t base = num_regs_;
+    num_regs_ += bind.arity;
+
+    // Variable slots and consistency checks first: a repeated-variable
+    // Compare only reads registers the Bind above already wrote, and
+    // placing it before the sub-Binds prunes earlier. Sub-patterns are
+    // then compiled in child order, so the backtracking stack enumerates
+    // choices exactly like the reference matcher (later children vary
+    // fastest).
+    for (uint32_t i = 0; i < bind.arity; ++i) {
+        const Pattern &child = *pattern.children()[i];
+        if (!child.isVar())
+            continue;
+        auto it = var_regs.find(child.var());
+        if (it == var_regs.end()) {
+            var_regs.emplace(child.var(), base + i);
+            vars_.push_back(child.var());
+            var_regs_.push_back(base + i);
+            continue;
+        }
+        Instr cmp;
+        cmp.kind = Instr::Kind::Compare;
+        cmp.in = base + i;
+        cmp.other = it->second;
+        instrs_.push_back(cmp);
+    }
+    for (uint32_t i = 0; i < bind.arity; ++i) {
+        const Pattern &child = *pattern.children()[i];
+        if (!child.isVar())
+            compile(child, base + i, var_regs);
+    }
+}
+
+/**
+ * Executes a CompiledPattern against one class. The register file and
+ * the backtracking stack live in the machine and are reused across
+ * candidate classes, so matching a class allocates only when it yields
+ * a match (the Subst of the emitted Match).
+ */
+class MatchMachine
+{
+  public:
+    MatchMachine(const EGraph &egraph, const CompiledPattern &pattern)
+        : egraph_(egraph), cp_(pattern)
+    {
+        regs_.resize(std::max<size_t>(1, cp_.num_regs_));
+        stack_.reserve(cp_.instrs_.size());
+    }
+
+    /** Append all matches rooted at canonical class `root`; returns
+     *  false once `limit` (0 = unlimited) is reached. */
+    bool
+    matchAt(EClassId root, std::vector<Match> &out, size_t limit)
+    {
+        auto full = [&] { return limit != 0 && out.size() >= limit; };
+        if (cp_.root_is_var_) {
+            if (full())
+                return false;
+            Match m;
+            m.root = root;
+            m.subst.emplace(cp_.vars_[0], root);
+            out.push_back(std::move(m));
+            return !full();
+        }
+        regs_[0] = root;
+        stack_.clear();
+        uint32_t pc = 0;
+        uint32_t node_idx = 0;
+        const auto &instrs = cp_.instrs_;
+        while (true) {
+            bool fail = false;
+            if (pc == instrs.size()) {
+                Match m;
+                m.root = root;
+                m.subst.reserve(cp_.vars_.size());
+                for (size_t v = 0; v < cp_.vars_.size(); ++v)
+                    m.subst.emplace(cp_.vars_[v],
+                                    regs_[cp_.var_regs_[v]]);
+                out.push_back(std::move(m));
+                if (full())
+                    return false;
+                fail = true; // exhaust remaining choices
+            } else if (instrs[pc].kind ==
+                       CompiledPattern::Instr::Kind::Compare) {
+                const auto &ins = instrs[pc];
+                if (egraph_.find(regs_[ins.in]) ==
+                    egraph_.find(regs_[ins.other])) {
+                    ++pc;
+                    node_idx = 0;
+                } else {
+                    fail = true;
+                }
+            } else {
+                const auto &ins = instrs[pc];
+                const std::vector<ENode> &nodes =
+                    egraph_.eclass(regs_[ins.in]).nodes;
+                uint32_t i = node_idx;
+                for (; i < nodes.size(); ++i) {
+                    if (nodes[i].op == ins.op &&
+                        nodes[i].children.size() == ins.arity)
+                        break;
+                }
+                if (i < nodes.size()) {
+                    const ENode &node = nodes[i];
+                    for (uint32_t c = 0; c < ins.arity; ++c)
+                        regs_[ins.out + c] =
+                            egraph_.find(node.children[c]);
+                    stack_.push_back({pc, i + 1});
+                    ++pc;
+                    node_idx = 0;
+                } else {
+                    fail = true;
+                }
+            }
+            if (fail) {
+                if (stack_.empty())
+                    return true;
+                pc = stack_.back().pc;
+                node_idx = stack_.back().next_node;
+                stack_.pop_back();
+            }
+        }
+    }
+
+  private:
+    struct Choice
+    {
+        uint32_t pc;
+        uint32_t next_node;
+    };
+
+    const EGraph &egraph_;
+    const CompiledPattern &cp_;
+    std::vector<EClassId> regs_;
+    std::vector<Choice> stack_;
+};
+
+namespace {
+
+std::vector<Match>
+ematchImpl(const EGraph &egraph, const Pattern &pattern,
+           uint64_t watermark, bool use_watermark, size_t limit,
+           EMatchStats *stats)
+{
+    EMatchStats local;
+    EMatchStats &st = stats ? *stats : local;
+    const CompiledPattern &cp = pattern.compiled();
+    std::vector<Match> out;
+    MatchMachine machine(egraph, cp);
+
+    auto consider = [&](EClassId id) {
+        if (use_watermark && egraph.timestampOf(id) <= watermark) {
+            ++st.skipped_clean;
+            return true;
+        }
+        ++st.candidates_visited;
+        return machine.matchAt(id, out, limit);
+    };
+
+    if (cp.rootIsVar()) {
+        // A bare variable matches every class: nothing to index by.
+        for (EClassId id : egraph.classIds()) {
+            if (!consider(id))
+                break;
+        }
+        return out;
+    }
+
+    st.used_index = true;
+    const std::vector<EClassId> *raw =
+        egraph.opCandidates(cp.rootOp(), cp.rootArity());
+    if (!raw)
+        return out;
+    // Canonicalize, sort, and deduplicate the raw candidate entries so
+    // iteration order (ascending canonical id) matches a full scan. On
+    // incremental scans the watermark filter runs *before* the sort:
+    // on a mostly-quiet graph that reduces the per-call cost from
+    // sorting every entry ever added to sorting just the dirty few.
+    std::vector<EClassId> candidates;
+    candidates.reserve(raw->size());
+    if (use_watermark) {
+        for (EClassId entry : *raw) {
+            EClassId id = egraph.find(entry);
+            if (egraph.timestampOf(id) <= watermark) {
+                ++st.skipped_clean;
+                continue;
+            }
+            candidates.push_back(id);
+        }
+    } else {
+        for (EClassId entry : *raw)
+            candidates.push_back(egraph.find(entry));
+    }
+    std::sort(candidates.begin(), candidates.end());
+    candidates.erase(
+        std::unique(candidates.begin(), candidates.end()),
+        candidates.end());
+    for (EClassId id : candidates) {
+        ++st.candidates_visited;
+        if (!machine.matchAt(id, out, limit))
+            break;
+    }
+    return out;
+}
+
+} // namespace
+
+const std::vector<Symbol> &
 Pattern::variables() const
 {
-    std::vector<Symbol> out;
-    collectVars(*this, out);
-    return out;
+    return compiled().variables();
+}
+
+const CompiledPattern &
+Pattern::compiled() const
+{
+    std::call_once(compile_once_, [&] {
+        compiled_ = std::make_unique<const CompiledPattern>(*this);
+    });
+    return *compiled_;
 }
 
 std::string
@@ -150,7 +378,21 @@ parsePattern(std::string_view text)
 }
 
 std::vector<Match>
-ematch(const EGraph &egraph, const Pattern &pattern, size_t limit)
+ematch(const EGraph &egraph, const Pattern &pattern, size_t limit,
+       EMatchStats *stats)
+{
+    return ematchImpl(egraph, pattern, 0, false, limit, stats);
+}
+
+std::vector<Match>
+ematchDirty(const EGraph &egraph, const Pattern &pattern,
+            uint64_t watermark, size_t limit, EMatchStats *stats)
+{
+    return ematchImpl(egraph, pattern, watermark, true, limit, stats);
+}
+
+std::vector<Match>
+ematchNaive(const EGraph &egraph, const Pattern &pattern, size_t limit)
 {
     std::vector<Match> out;
     for (EClassId id : egraph.classIds()) {
@@ -181,6 +423,7 @@ instantiate(EGraph &egraph, const Pattern &pattern, const Subst &subst)
     }
     ENode node;
     node.op = pattern.op();
+    node.children.reserve(pattern.children().size());
     for (const auto &child : pattern.children())
         node.children.push_back(instantiate(egraph, *child, subst));
     return egraph.add(std::move(node));

@@ -39,6 +39,25 @@ toJson(const RuleStats &stats)
     out.set("quarantined", stats.quarantined);
     out.set("search_seconds", stats.search_seconds);
     out.set("apply_seconds", stats.apply_seconds);
+    out.set("search_candidates", stats.search_candidates);
+    out.set("search_skipped_clean", stats.search_skipped_clean);
+    return out;
+}
+
+json::Value
+toJson(const MatchPhaseStats &stats)
+{
+    json::Value out{json::Object{}};
+    out.set("candidates_visited", stats.candidates_visited);
+    out.set("skipped_clean", stats.skipped_clean);
+    out.set("cached_matches_reused", stats.cached_matches_reused);
+    out.set("index_scans", stats.index_scans);
+    out.set("full_scans", stats.full_scans);
+    out.set("incremental_scans", stats.incremental_scans);
+    size_t scans = stats.index_scans + stats.full_scans;
+    out.set("index_hit_rate",
+            scans == 0 ? 0.0
+                       : static_cast<double>(stats.index_scans) / scans);
     return out;
 }
 
@@ -64,6 +83,7 @@ toJson(const RunnerReport &report)
     out.set("total_applied", report.total_applied);
     out.set("total_seconds", report.total_seconds);
     out.set("rules_quarantined", report.rules_quarantined);
+    out.set("match_phase", toJson(report.match_phase));
     if (!report.recovered_errors.empty() ||
         report.recovered_errors_dropped > 0) {
         json::Value errors{json::Array{}};
@@ -164,6 +184,15 @@ Runner::run()
         }
     };
 
+    // Per-rule match instrumentation, accumulated across iterations
+    // (worker threads write disjoint slots) and folded into the report
+    // at the end of the run.
+    std::vector<MatchPhaseStats> phase_accum(rules_.size());
+    // Incremental caches are only sound while no rollback happened:
+    // a rollback can make matches disappear, which monotonic timestamps
+    // cannot express. Any generation change forces a full rescan.
+    uint64_t last_generation = egraph_.rollbackGeneration();
+
     bool timed_out = false;
     report.stop = StopReason::IterLimit;
     for (size_t iter = 1; iter <= options_.max_iters;) {
@@ -171,6 +200,14 @@ Runner::run()
         IterationStats stats;
         stats.iter = iter;
         failures_this_iter = 0;
+
+        if (egraph_.rollbackGeneration() != last_generation) {
+            last_generation = egraph_.rollbackGeneration();
+            for (RuleState &state : states_) {
+                state.cache_valid = false;
+                state.cache.clear();
+            }
+        }
 
         std::vector<size_t> active;
         size_t banned_now = 0;
@@ -230,13 +267,94 @@ Runner::run()
         // accounted for on this thread after the joins.
         std::vector<std::exception_ptr> search_errors(rules_.size());
         std::atomic<bool> out_of_time{false};
+        // Every stamp written after this point is greater than
+        // scan_tick, so it is a sound watermark for any cache refreshed
+        // this iteration (phase 1 never mutates the e-graph).
+        const uint64_t scan_tick = egraph_.tick();
         auto match_rule = [&](size_t r) {
             auto t0 = Clock::now();
+            RuleState &state = states_[r];
+            MatchPhaseStats &mp = phase_accum[r];
+            const size_t limit = thresholdFor(state) + 1;
             try {
-                per_rule[r] = ematch(egraph_, *rules_[r].lhs,
-                                     thresholdFor(states_[r]) + 1);
+                if (options_.naive_match) {
+                    per_rule[r] =
+                        ematchNaive(egraph_, *rules_[r].lhs, limit);
+                    ++mp.full_scans;
+                } else if (!options_.incremental_match ||
+                           !state.cache_valid) {
+                    EMatchStats ms;
+                    per_rule[r] =
+                        ematch(egraph_, *rules_[r].lhs, limit, &ms);
+                    mp.candidates_visited += ms.candidates_visited;
+                    ms.used_index ? ++mp.index_scans : ++mp.full_scans;
+                    if (options_.incremental_match &&
+                        per_rule[r].size() < limit) {
+                        // Untruncated: this is the complete match set.
+                        state.cache = per_rule[r];
+                        state.watermark = scan_tick;
+                        state.cache_valid = true;
+                    } else {
+                        state.cache_valid = false;
+                        state.cache.clear();
+                    }
+                } else {
+                    // Incremental scan. A class whose stamp is at or
+                    // below the watermark can neither gain nor lose
+                    // matches (rebuild stamps the whole ancestor cone
+                    // of every change), so cached matches rooted at
+                    // still-canonical clean classes are reused verbatim
+                    // and only dirty classes are re-searched. Both
+                    // lists are ordered by ascending root id and their
+                    // root sets are disjoint (clean vs. dirty), so the
+                    // two-way merge reproduces the full-scan order —
+                    // and therefore backoff/ban behavior — exactly.
+                    EMatchStats ms;
+                    std::vector<Match> fresh =
+                        ematchDirty(egraph_, *rules_[r].lhs,
+                                    state.watermark, limit, &ms);
+                    mp.candidates_visited += ms.candidates_visited;
+                    mp.skipped_clean += ms.skipped_clean;
+                    ++mp.incremental_scans;
+                    ms.used_index ? ++mp.index_scans : ++mp.full_scans;
+                    const bool fresh_complete = fresh.size() < limit;
+                    std::vector<Match> merged;
+                    merged.reserve(state.cache.size() + fresh.size());
+                    size_t fi = 0;
+                    for (const Match &cached : state.cache) {
+                        if (egraph_.find(cached.root) != cached.root ||
+                            egraph_.timestampOf(cached.root) >
+                                state.watermark) {
+                            // Dirty or absorbed root: re-found (or
+                            // legitimately gone) in `fresh`.
+                            continue;
+                        }
+                        while (fi < fresh.size() &&
+                               fresh[fi].root < cached.root)
+                            merged.push_back(std::move(fresh[fi++]));
+                        merged.push_back(cached);
+                        ++mp.cached_matches_reused;
+                    }
+                    while (fi < fresh.size())
+                        merged.push_back(std::move(fresh[fi++]));
+                    if (fresh_complete) {
+                        state.cache = merged;
+                        state.watermark = scan_tick;
+                    } else {
+                        // `fresh` was truncated at the budget: the
+                        // merged prefix below is still exact, but the
+                        // complete set is unknown — rescan next time.
+                        state.cache_valid = false;
+                        state.cache.clear();
+                    }
+                    if (merged.size() > limit)
+                        merged.resize(limit);
+                    per_rule[r] = std::move(merged);
+                }
             } catch (const FatalError &) {
                 per_rule[r].clear();
+                state.cache_valid = false;
+                state.cache.clear();
                 search_errors[r] = std::current_exception();
             }
             report.rules[r].search_seconds += since(t0);
@@ -435,6 +553,16 @@ Runner::run()
         report.rules[r].times_banned = states_[r].times_banned;
         if (states_[r].quarantined)
             ++report.rules_quarantined;
+        const MatchPhaseStats &mp = phase_accum[r];
+        report.rules[r].search_candidates = mp.candidates_visited;
+        report.rules[r].search_skipped_clean = mp.skipped_clean;
+        report.match_phase.candidates_visited += mp.candidates_visited;
+        report.match_phase.skipped_clean += mp.skipped_clean;
+        report.match_phase.cached_matches_reused +=
+            mp.cached_matches_reused;
+        report.match_phase.index_scans += mp.index_scans;
+        report.match_phase.full_scans += mp.full_scans;
+        report.match_phase.incremental_scans += mp.incremental_scans;
     }
 
     // Resolve proof records with a shared per-class memo.

@@ -88,6 +88,30 @@ struct RuleStats
     bool quarantined = false; ///< circuit breaker tripped this run
     double search_seconds = 0;
     double apply_seconds = 0;
+    size_t search_candidates = 0; ///< classes actually matched against
+    size_t search_skipped_clean = 0; ///< skipped via watermark
+};
+
+/**
+ * Aggregate e-matching instrumentation for one run: how much work the
+ * operator index, the watermarks, and the match cache saved.
+ */
+struct MatchPhaseStats
+{
+    /** Candidate classes actually run through the match machine. */
+    size_t candidates_visited = 0;
+    /** Candidates skipped because their class was unmodified since the
+     *  rule's watermark. */
+    size_t skipped_clean = 0;
+    /** Previously found matches reused verbatim (clean roots). */
+    size_t cached_matches_reused = 0;
+    /** ematch calls where the (op, arity) index pruned candidates. */
+    size_t index_scans = 0;
+    /** ematch calls that had to scan every class (bare-variable
+     *  patterns, or the naive reference matcher). */
+    size_t full_scans = 0;
+    /** Watermark-filtered (incremental) searches. */
+    size_t incremental_scans = 0;
 };
 
 struct RunnerOptions
@@ -124,6 +148,21 @@ struct RunnerOptions
      *  the run after this many *consecutive* recovered failures
      *  (distinct from backoff bans, which always expire). */
     size_t quarantine_after = 3;
+    /** Use the pre-index whole-graph reference matcher (ematchNaive)
+     *  instead of the indexed compiled one. For differential testing;
+     *  implies no incremental matching. */
+    bool naive_match = false;
+    /**
+     * Reuse each rule's previous full match set and re-search only
+     * classes modified since that rule's last scan (timestamp
+     * watermarks). Produces exactly the same per-iteration match lists
+     * as a full scan — clean classes can neither gain nor lose matches
+     * — so scheduler behavior is unchanged. Falls back to a full rescan
+     * whenever the e-graph's rollback generation changes (fault
+     * isolation can make matches disappear, which watermarks cannot
+     * see).
+     */
+    bool incremental_match = true;
     /** Absolute wall-clock deadline for the whole run; tightens
      *  time_limit_seconds when it expires sooner (the driver threads
      *  its --deadline through every phase this way). */
@@ -144,11 +183,13 @@ struct RunnerReport
     /** Recovered errors beyond the log cap (counted, not stored). */
     size_t recovered_errors_dropped = 0;
     size_t rules_quarantined = 0;
+    MatchPhaseStats match_phase;
 };
 
 /** JSON views of the statistics (records are deliberately omitted). */
 json::Value toJson(const RuleStats &stats);
 json::Value toJson(const IterationStats &stats);
+json::Value toJson(const MatchPhaseStats &stats);
 json::Value toJson(const RunnerReport &report);
 
 /** Drives a rule set over an e-graph. */
@@ -181,6 +222,13 @@ class Runner
         size_t clean_streak = 0; ///< consecutive under-budget iterations
         size_t consecutive_failures = 0; ///< recovered errors in a row
         bool quarantined = false; ///< circuit breaker tripped
+        /** Incremental matching: the tick at which `cache` was last
+         *  refreshed (valid only while cache_valid). */
+        uint64_t watermark = 0;
+        /** True when `cache` holds this rule's complete, untruncated
+         *  match set as of `watermark`. */
+        bool cache_valid = false;
+        std::vector<Match> cache;
     };
 
     /** Effective match budget: match_limit << times_banned, saturating. */

@@ -195,6 +195,13 @@ TEST(SeerTest, StatsArePopulated)
     EXPECT_GT(result.stats.total_seconds, 0.0);
     EXPECT_GE(result.stats.time_in_passes_seconds, 0.0);
     EXPECT_FALSE(result.stats.records.empty());
+    // The indexed matcher drives every phase: the aggregated
+    // match-phase counters must show index-pruned scans.
+    EXPECT_GT(result.stats.match_phase.index_scans, 0u);
+    EXPECT_GT(result.stats.match_phase.candidates_visited, 0u);
+    std::string text = toJson(result.stats).dump();
+    EXPECT_NE(text.find("\"match_phase\""), std::string::npos);
+    EXPECT_NE(text.find("\"index_hit_rate\""), std::string::npos);
     EXPECT_NE(result.original_term, nullptr);
     EXPECT_NE(result.extracted_term, nullptr);
 }

@@ -1,0 +1,274 @@
+/**
+ * Differential tests for the indexed / incremental e-matcher: the
+ * compiled, index-driven path (ematch / ematchDirty) must produce the
+ * exact match list — same set, same order — as the pre-index reference
+ * matcher (ematchNaive), on randomized e-graphs, across random union
+ * sequences, and across checkpoint/rollback.
+ */
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "egraph/pattern.h"
+#include "egraph/runner.h"
+#include "rover/rover.h"
+
+namespace seer::eg {
+namespace {
+
+/** Canonicalize a match so lists taken at different times compare. */
+Match
+canon(const EGraph &eg, const Match &m)
+{
+    Match out;
+    out.root = eg.find(m.root);
+    for (const auto &[var, id] : m.subst)
+        out.subst[var] = eg.find(id);
+    return out;
+}
+
+bool
+sameMatch(const Match &a, const Match &b)
+{
+    return a.root == b.root && a.subst == b.subst;
+}
+
+/** Exact list equality: same matches in the same order. */
+void
+expectSameMatchList(const std::vector<Match> &got,
+                    const std::vector<Match> &want, const char *what)
+{
+    ASSERT_EQ(got.size(), want.size()) << what;
+    for (size_t i = 0; i < got.size(); ++i) {
+        EXPECT_TRUE(sameMatch(got[i], want[i]))
+            << what << ": mismatch at index " << i << " (root " << got[i].root
+            << " vs " << want[i].root << ")";
+    }
+}
+
+/** The pattern pool every differential test matches with: linear,
+ *  non-linear, nested, wide, and the bare-variable full scan. */
+std::vector<PatternPtr>
+patternPool()
+{
+    return {
+        parsePattern("(f ?x ?y)"),
+        parsePattern("(f ?x ?x)"),
+        parsePattern("(f (g ?x) ?y)"),
+        parsePattern("(g (f ?x ?y))"),
+        parsePattern("(k ?a ?b ?a)"),
+        parsePattern("(f (f ?a ?b) (g ?c))"),
+        parsePattern("?v"),
+    };
+}
+
+/** Grow a random e-graph: random nodes over a small op pool wired to
+ *  random existing classes, then a burst of random unions + rebuild. */
+struct RandomGraph
+{
+    EGraph eg;
+    std::vector<EClassId> ids;
+
+    explicit RandomGraph(uint32_t seed, size_t adds = 120,
+                         size_t unions = 25)
+    {
+        std::mt19937 rng(seed);
+        const std::pair<const char *, size_t> ops[] = {
+            {"f", 2}, {"g", 1}, {"h", 2}, {"k", 3},
+            {"a", 0}, {"b", 0}, {"c", 0}, {"d", 0},
+        };
+        // Seed with leaves so early nodes have children to pick.
+        for (size_t i = 4; i < 8; ++i)
+            ids.push_back(eg.add(ENode{Symbol(ops[i].first), {}}));
+        for (size_t i = 0; i < adds; ++i) {
+            const auto &[op, arity] = ops[rng() % 8];
+            ENode node{Symbol(op), {}};
+            for (size_t c = 0; c < arity; ++c)
+                node.children.push_back(ids[rng() % ids.size()]);
+            ids.push_back(eg.add(node));
+        }
+        for (size_t i = 0; i < unions; ++i) {
+            eg.merge(ids[rng() % ids.size()], ids[rng() % ids.size()]);
+            if (rng() % 4 == 0)
+                eg.rebuild();
+        }
+        eg.rebuild();
+    }
+};
+
+TEST(EMatchDifferentialTest, IndexedEqualsNaiveOnRandomGraphs)
+{
+    for (uint32_t seed = 1; seed <= 8; ++seed) {
+        RandomGraph g(seed);
+        ASSERT_EQ(g.eg.debugCheckInvariants(), "") << "seed " << seed;
+        for (const PatternPtr &p : patternPool()) {
+            auto indexed = ematch(g.eg, *p);
+            auto naive = ematchNaive(g.eg, *p);
+            expectSameMatchList(indexed, naive, p->str().c_str());
+        }
+    }
+}
+
+TEST(EMatchDifferentialTest, LimitTruncatesIdenticalPrefix)
+{
+    RandomGraph g(42);
+    for (const PatternPtr &p : patternPool()) {
+        auto full = ematch(g.eg, *p);
+        for (size_t limit : {size_t(1), size_t(3), full.size() + 1}) {
+            auto capped = ematch(g.eg, *p, limit);
+            auto capped_naive = ematchNaive(g.eg, *p, limit);
+            size_t want = std::min(limit, full.size());
+            ASSERT_EQ(capped.size(), want);
+            expectSameMatchList(capped, capped_naive, "limit");
+            for (size_t i = 0; i < capped.size(); ++i)
+                EXPECT_TRUE(sameMatch(capped[i], full[i]));
+        }
+    }
+}
+
+/** ematchDirty(watermark) + the surviving clean-rooted old matches must
+ *  reassemble exactly the fresh full match list (the runner's cache
+ *  merge invariant). */
+TEST(EMatchDifferentialTest, DirtyPlusCleanCacheEqualsFullRescan)
+{
+    for (uint32_t seed = 100; seed < 104; ++seed) {
+        RandomGraph g(seed);
+        std::mt19937 rng(seed * 7 + 1);
+        for (const PatternPtr &p : patternPool()) {
+            auto before = ematch(g.eg, *p);
+            uint64_t watermark = g.eg.tick();
+
+            // Mutate: a few adds and unions, then rebuild (dirtiness
+            // propagates to ancestor cones only at rebuild).
+            for (int i = 0; i < 6; ++i) {
+                ENode node{Symbol("f"),
+                           {g.ids[rng() % g.ids.size()],
+                            g.ids[rng() % g.ids.size()]}};
+                g.ids.push_back(g.eg.add(node));
+            }
+            g.eg.merge(g.ids[rng() % g.ids.size()],
+                       g.ids[rng() % g.ids.size()]);
+            g.eg.rebuild();
+
+            auto full = ematch(g.eg, *p);
+            auto dirty = ematchDirty(g.eg, *p, watermark);
+
+            std::vector<Match> merged;
+            size_t di = 0;
+            for (const Match &m : before) {
+                if (g.eg.find(m.root) != m.root)
+                    continue; // root lost its canonicity: superseded
+                if (g.eg.timestampOf(m.root) > watermark)
+                    continue; // dirty root: re-found by ematchDirty
+                while (di < dirty.size() && dirty[di].root < m.root)
+                    merged.push_back(canon(g.eg, dirty[di++]));
+                merged.push_back(canon(g.eg, m));
+            }
+            while (di < dirty.size())
+                merged.push_back(canon(g.eg, dirty[di++]));
+
+            std::vector<Match> full_canon;
+            for (const Match &m : full)
+                full_canon.push_back(canon(g.eg, m));
+            expectSameMatchList(merged, full_canon, p->str().c_str());
+        }
+    }
+}
+
+TEST(EMatchDifferentialTest, MatchesRestoredAcrossRollback)
+{
+    for (uint32_t seed = 7; seed < 10; ++seed) {
+        RandomGraph g(seed);
+        std::mt19937 rng(seed);
+        auto pool = patternPool();
+
+        std::vector<std::vector<Match>> before;
+        for (const PatternPtr &p : pool)
+            before.push_back(ematch(g.eg, *p));
+        uint64_t generation = g.eg.rollbackGeneration();
+
+        auto cp = g.eg.checkpoint();
+        for (int i = 0; i < 10; ++i) {
+            ENode node{Symbol("g"), {g.ids[rng() % g.ids.size()]}};
+            g.eg.add(node);
+        }
+        g.eg.merge(g.ids[rng() % g.ids.size()],
+                   g.ids[rng() % g.ids.size()]);
+        g.eg.rebuild();
+        g.eg.rollback(cp);
+
+        ASSERT_EQ(g.eg.debugCheckInvariants(), "") << "seed " << seed;
+        EXPECT_GT(g.eg.rollbackGeneration(), generation)
+            << "rollback must invalidate incremental caches";
+        for (size_t i = 0; i < pool.size(); ++i) {
+            auto after = ematch(g.eg, *pool[i]);
+            auto naive = ematchNaive(g.eg, *pool[i]);
+            expectSameMatchList(after, before[i], "restored after rollback");
+            expectSameMatchList(after, naive, "vs naive after rollback");
+        }
+    }
+}
+
+TEST(EMatchDifferentialTest, StatsReflectIndexAndWatermark)
+{
+    RandomGraph g(3);
+    PatternPtr p = parsePattern("(f ?x ?y)");
+
+    EMatchStats stats;
+    ematch(g.eg, *p, 0, &stats);
+    EXPECT_TRUE(stats.used_index);
+    EXPECT_GT(stats.candidates_visited, 0u);
+
+    // Nothing changed since the current tick: the watermark filters
+    // every candidate out.
+    EMatchStats clean;
+    auto none = ematchDirty(g.eg, *p, g.eg.tick(), 0, &clean);
+    EXPECT_TRUE(none.empty());
+    EXPECT_EQ(clean.candidates_visited, 0u);
+    EXPECT_GT(clean.skipped_clean, 0u);
+
+    // Bare variable: no head operator to index on.
+    EMatchStats bare;
+    ematch(g.eg, *parsePattern("?v"), 0, &bare);
+    EXPECT_FALSE(bare.used_index);
+}
+
+/** End-to-end: a rover saturation run must be bit-identical between the
+ *  naive reference matcher and the indexed + incremental default. */
+TEST(RunnerDifferentialTest, NaiveAndIndexedRunsAreIdentical)
+{
+    auto runOnce = [](bool naive) {
+        EGraph eg(rover::roverAnalysisHooks());
+        eg.addTerm(parseTerm(
+            "(arith.addi:i32 (arith.muli:i32 var:x const:12:i32) "
+            "(arith.addi:i32 (arith.muli:i32 var:y const:6:i32) "
+            "(arith.muli:i32 var:x const:3:i32)))"));
+        RunnerOptions options;
+        options.max_iters = 6;
+        options.max_nodes = 20000;
+        options.record_proofs = false;
+        options.naive_match = naive;
+        options.incremental_match = !naive;
+        Runner runner(eg, options);
+        runner.addRules(rover::roverRules());
+        RunnerReport report = runner.run();
+        std::vector<size_t> per_rule;
+        for (const RuleStats &rule : report.rules)
+            per_rule.push_back(rule.matches);
+        return std::make_tuple(report.total_applied,
+                               report.iterations.size(), eg.numNodes(),
+                               eg.numClasses(), per_rule);
+    };
+
+    auto naive = runOnce(true);
+    auto indexed = runOnce(false);
+    EXPECT_EQ(std::get<0>(naive), std::get<0>(indexed));
+    EXPECT_EQ(std::get<1>(naive), std::get<1>(indexed));
+    EXPECT_EQ(std::get<2>(naive), std::get<2>(indexed));
+    EXPECT_EQ(std::get<3>(naive), std::get<3>(indexed));
+    EXPECT_EQ(std::get<4>(naive), std::get<4>(indexed))
+        << "per-rule match counts must not depend on the matcher";
+}
+
+} // namespace
+} // namespace seer::eg

@@ -212,6 +212,19 @@ TEST(RuleStatsTest, ReportSerializesToJson)
     EXPECT_NE(text.find("\"swap\""), std::string::npos);
     EXPECT_NE(text.find("\"iterations\""), std::string::npos);
     EXPECT_NE(text.find("\"bans\": 1"), std::string::npos);
+    // Match-phase instrumentation: per-rule search counters plus the
+    // aggregated match_phase block. Existing keys above must stay
+    // stable — downstream consumers parse this schema.
+    EXPECT_NE(text.find("\"search_candidates\""), std::string::npos);
+    EXPECT_NE(text.find("\"search_skipped_clean\""), std::string::npos);
+    EXPECT_NE(text.find("\"match_phase\""), std::string::npos);
+    EXPECT_NE(text.find("\"candidates_visited\""), std::string::npos);
+    EXPECT_NE(text.find("\"skipped_clean\""), std::string::npos);
+    EXPECT_NE(text.find("\"cached_matches_reused\""), std::string::npos);
+    EXPECT_NE(text.find("\"index_scans\""), std::string::npos);
+    EXPECT_NE(text.find("\"full_scans\""), std::string::npos);
+    EXPECT_NE(text.find("\"incremental_scans\""), std::string::npos);
+    EXPECT_NE(text.find("\"index_hit_rate\""), std::string::npos);
 }
 
 TEST(SchedulerInteractionTest, CleanRulesKeepRunningWhileOneIsBanned)

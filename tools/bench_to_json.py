@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Run the e-graph microbenchmarks and write BENCH_egraph.json.
+
+Wraps google-benchmark's --benchmark_format=json output and adds a
+summary section with before/after speedups: benchmarks parameterized
+with a naive:{0,1} argument run the pre-index reference matcher
+(naive:1, the "before") and the indexed + incremental matcher (naive:0,
+the "after") on the same workload, and the summary reports the ratio.
+
+Usage:
+    tools/bench_to_json.py --bench build/bench/micro_egraph \
+        [--out BENCH_egraph.json] [--min-time 0.05s] \
+        [--filter REGEX]
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+
+
+def run_benchmarks(bench, min_time, bench_filter):
+    def command(value):
+        cmd = [bench, "--benchmark_format=json",
+               f"--benchmark_min_time={value}"]
+        if bench_filter:
+            cmd.append(f"--benchmark_filter={bench_filter}")
+        return cmd
+
+    proc = subprocess.run(command(min_time), stdout=subprocess.PIPE)
+    if proc.returncode != 0 and min_time.endswith("s"):
+        # Older google-benchmark wants a plain double (no "s" suffix).
+        proc = subprocess.run(command(min_time[:-1]),
+                              stdout=subprocess.PIPE)
+    if proc.returncode != 0:
+        raise SystemExit(f"benchmark run failed ({proc.returncode})")
+    return json.loads(proc.stdout)
+
+
+def summarize(benchmarks):
+    """Pair <base>/naive:1 with <base>/naive:0 and report speedups."""
+    times = {}
+    for bench in benchmarks:
+        if bench.get("run_type") == "aggregate":
+            continue
+        times[bench["name"]] = bench["real_time"]
+    summary = {}
+    for name, naive_time in times.items():
+        if not name.endswith("/naive:1"):
+            continue
+        base = name[: -len("/naive:1")]
+        indexed = times.get(base + "/naive:0")
+        if indexed is None or indexed <= 0:
+            continue
+        summary[base] = {
+            "naive_time": naive_time,
+            "indexed_time": indexed,
+            "speedup": naive_time / indexed,
+        }
+    return summary
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--bench", required=True,
+                        help="path to the micro_egraph binary")
+    parser.add_argument("--out", default="BENCH_egraph.json")
+    parser.add_argument("--min-time", default="0.05s")
+    parser.add_argument("--filter", default=None,
+                        help="--benchmark_filter regex")
+    args = parser.parse_args()
+
+    raw = run_benchmarks(args.bench, args.min_time, args.filter)
+    benchmarks = [
+        {key: bench[key]
+         for key in ("name", "real_time", "cpu_time", "time_unit",
+                     "iterations", "items_per_second", "label")
+         if key in bench}
+        for bench in raw.get("benchmarks", [])
+        if bench.get("run_type") != "aggregate"
+    ]
+    out = {
+        "generated_by": "tools/bench_to_json.py",
+        "context": {
+            key: raw.get("context", {}).get(key)
+            for key in ("date", "host_name", "num_cpus", "mhz_per_cpu",
+                        "library_build_type")
+        },
+        "benchmarks": benchmarks,
+        "summary": summarize(raw.get("benchmarks", [])),
+    }
+    with open(args.out, "w") as f:
+        json.dump(out, f, indent=2)
+        f.write("\n")
+
+    for base, entry in sorted(out["summary"].items()):
+        print(f"{base}: {entry['speedup']:.2f}x "
+              f"(naive {entry['naive_time']:.0f} -> "
+              f"indexed {entry['indexed_time']:.0f})")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
