@@ -1,6 +1,7 @@
 #include "core/external_rules.h"
 
 #include <chrono>
+#include <cstring>
 #include <set>
 
 #include "core/verify.h"
@@ -10,10 +11,13 @@
 #include "ir/verifier.h"
 #include "passes/passes.h"
 #include "rover/rover.h"
+#include "seerlang/canonical.h"
 #include "seerlang/encoding.h"
 #include "seerlang/from_term.h"
 #include "seerlang/to_term.h"
 #include "support/error.h"
+#include "support/hashing.h"
+#include "support/parallel.h"
 
 namespace seer::core {
 
@@ -26,6 +30,8 @@ using eg::Rewrite;
 using eg::TermPtr;
 
 namespace {
+
+using Clock = std::chrono::steady_clock;
 
 using SymbolPred = bool (*)(Symbol);
 
@@ -113,185 +119,6 @@ extractRooted(const EGraph &egraph, EClassId id, SymbolPred pred,
     return candidates[0];
 }
 
-void
-collectLoopIds(const TermPtr &term, std::vector<std::string> &out)
-{
-    if (sl::isForSymbol(term->op()))
-        out.push_back(sl::loopIdOf(term->op()));
-    for (const auto &child : term->children())
-        collectLoopIds(child, out);
-}
-
-void
-collectArgNames(const TermPtr &term, std::set<std::string> &out)
-{
-    if (auto arg = sl::decodeArg(term->op()))
-        out.insert(arg->first);
-    for (const auto &child : term->children())
-        collectArgNames(child, out);
-}
-
-/** Rewrite arg:<v>:index leaves back into var:<v> for snippet re-entry. */
-TermPtr
-renameArgsToVars(const TermPtr &term, const std::set<std::string> &vars)
-{
-    if (auto arg = sl::decodeArg(term->op())) {
-        if (arg->second.isIndex() && vars.count(arg->first))
-            return eg::makeTerm(sl::encodeVar(arg->first));
-    }
-    if (term->isLeaf())
-        return term;
-    std::vector<TermPtr> children;
-    children.reserve(term->arity());
-    bool changed = false;
-    for (const auto &child : term->children()) {
-        TermPtr renamed = renameArgsToVars(child, vars);
-        changed |= renamed != child;
-        children.push_back(std::move(renamed));
-    }
-    return changed ? eg::makeTerm(term->op(), std::move(children)) : term;
-}
-
-/**
- * Validation gate (fault isolation): before an external-pass result is
- * handed back for unioning, the transformed snippet must pass the
- * structural verifier and the before/after terms must co-simulate on
- * deterministic pseudo-random inputs. Returns true to accept; records
- * the rejection in the context otherwise.
- */
-bool
-validateReplacement(const ContextPtr &ctx, const ir::Module &snippet,
-                    const TermPtr &before, const TermPtr &after)
-{
-    std::string diag = ir::verify(snippet);
-    if (diag.empty()) {
-        VerifyOptions verify_options;
-        verify_options.runs = ctx->validation_runs;
-        verify_options.seed = ctx->validation_seed;
-        verify_options.max_steps = 2'000'000;
-        std::string eq_diag;
-        if (checkTermEquivalence(before, after, verify_options,
-                                 &eq_diag)) {
-            return true; // equivalent (or inconclusive: nothing falsified)
-        }
-        diag = "co-simulation mismatch: " + eq_diag;
-    } else {
-        diag = "verifier rejected pass output: " + diag;
-    }
-    ++ctx->rejected_results;
-    if (ctx->rejections.size() < 16)
-        ctx->rejections.push_back(diag);
-    return false;
-}
-
-/**
- * Run `transform` on a snippet built from `term`; translate back and
- * derive registry entries for new loops. `law` selects the paper's
- * approximation law ("fuse") or nullptr for the schedule oracle.
- */
-std::optional<TermPtr>
-runOnSnippet(const ContextPtr &ctx, const TermPtr &term,
-             const std::function<bool(ir::Operation &)> &transform,
-             const char *law)
-{
-    using Clock = std::chrono::steady_clock;
-    // Deadline propagation: once the driver's whole-run budget is
-    // spent, stop launching snippet/pass work entirely.
-    if (ctx->deadline && Clock::now() >= *ctx->deadline)
-        return std::nullopt;
-    auto start = Clock::now();
-    auto charge = [&] {
-        ctx->mlir_seconds +=
-            std::chrono::duration<double>(Clock::now() - start).count();
-    };
-
-    std::optional<TermPtr> out;
-    try {
-        sl::EmitSpec spec = sl::inferSpec(term, "snippet");
-        std::set<std::string> arg_names;
-        collectArgNames(term, arg_names);
-        std::set<std::string> var_args;
-        for (const auto &[name, type] : spec.args) {
-            if (!arg_names.count(name))
-                var_args.insert(name);
-        }
-        ir::Module snippet = sl::termToFunc(term, spec);
-        ir::Operation &func = *snippet.firstFunc();
-        if (!transform(func)) {
-            charge();
-            return std::nullopt;
-        }
-        passes::runDce(func);
-        // The pass may have rewritten loop bodies in place; stale
-        // registry ids must not survive (a fused loop keeping loop1's
-        // id would inherit loop1's scheduling constraints). Strip all
-        // ids: back-translation assigns fresh ones and the law/oracle
-        // below re-derives their constraints.
-        ir::walk(func, [](ir::Operation &op) {
-            if (ir::isa(op, ir::opnames::kAffineFor))
-                op.removeAttr("seer.loop_id");
-        });
-
-        std::vector<std::string> input_ids;
-        collectLoopIds(term, input_ids);
-
-        sl::Translation translation = sl::funcToTerm(func);
-        TermPtr replacement = translation.term->child(0);
-        replacement = renameArgsToVars(replacement, var_args);
-
-        // Gate the result before any registry state is touched: a
-        // rejected replacement must leave no trace.
-        if (ctx->validate_results &&
-            !validateReplacement(ctx, snippet, term, replacement)) {
-            charge();
-            return std::nullopt;
-        }
-
-        // Registry maintenance for loops in the transformed snippet.
-        std::vector<std::string> output_ids;
-        collectLoopIds(replacement, output_ids);
-        std::vector<std::string> new_ids;
-        for (const std::string &id : output_ids) {
-            if (!ctx->registry.count(id))
-                new_ids.push_back(id);
-        }
-        bool law_applied = false;
-        if (ctx->use_laws && law && std::string(law) == "fuse" &&
-            input_ids.size() == 2 && output_ids.size() == 1 &&
-            new_ids.size() == 1 &&
-            ctx->registry.count(input_ids[0]) &&
-            ctx->registry.count(input_ids[1])) {
-            ctx->registry[new_ids[0]] =
-                fuseLaw(ctx->registry[input_ids[0]],
-                        ctx->registry[input_ids[1]]);
-            law_applied = true;
-        }
-        if (!law_applied && (!new_ids.empty() || law == nullptr)) {
-            // Oracle: schedule the snippet and refresh every loop in it.
-            hls::OperatorLibrary lib;
-            hls::ScheduleOptions sched_options = ctx->hls.schedule;
-            sched_options.pipeline_loops = true;
-            hls::FuncSchedule schedule =
-                hls::scheduleFunc(func, lib, sched_options);
-            for (const auto &[id, op] : translation.loops) {
-                auto it = schedule.loops.find(op);
-                if (it == schedule.loops.end())
-                    continue;
-                LoopRegistryEntry entry;
-                entry.constraints = it->second;
-                entry.coalesced = op->hasAttr("seer.coalesced");
-                ctx->registry[id] = entry;
-            }
-        }
-        out = replacement;
-    } catch (const FatalError &) {
-        out = std::nullopt; // untranslatable shape: rule does not apply
-    }
-    charge();
-    return out;
-}
-
-
 /**
  * Per-phase memo: skip (rule, class) pairs that were already tried.
  * The key is re-canonicalized at lookup time and versioned by the
@@ -315,6 +142,290 @@ alreadyAttempted(const ContextPtr &ctx, const EGraph &egraph,
         return false;
     }
     return true;
+}
+
+/**
+ * Non-recording variant for the prepare stage: would the apply-time
+ * check skip this class? Recording here would make the apply-time
+ * check itself answer "already attempted" and skip the rule.
+ */
+bool
+attemptedPeek(const ContextPtr &ctx, const EGraph &egraph,
+              const char *rule, EClassId root)
+{
+    EClassId canon = egraph.find(root);
+    auto it =
+        ctx->attempted.find(std::make_pair(std::string(rule), canon));
+    return it != ctx->attempted.end() &&
+           it->second == egraph.eclass(canon).nodes.size();
+}
+
+// --- cache keys -----------------------------------------------------------
+
+/** Bump when key semantics change: persisted caches must not alias. */
+constexpr uint64_t kPassCacheKeyVersion = 1;
+
+/** Evaluation-relevant context configuration, hashed into every key. */
+uint64_t
+configFingerprint(const ContextPtr &ctx)
+{
+    uint64_t h = hashValue(kPassCacheKeyVersion);
+    h = hashValue(static_cast<uint64_t>(ctx->validate_results), h);
+    h = hashValue(static_cast<uint64_t>(ctx->validation_runs), h);
+    h = hashValue(ctx->validation_seed, h);
+    h = hashValue(static_cast<uint64_t>(ctx->unroll_max_trip), h);
+    uint64_t clock_bits = 0;
+    static_assert(sizeof clock_bits ==
+                  sizeof ctx->hls.schedule.clock_period_ns);
+    std::memcpy(&clock_bits, &ctx->hls.schedule.clock_period_ns,
+                sizeof clock_bits);
+    h = hashValue(clock_bits, h);
+    return h;
+}
+
+/**
+ * Content-addressed key of one (snippet, rule, config) evaluation. The
+ * snippet hashes alpha-canonically (bound loop names/ids abstracted,
+ * memory tags kept — they are program-order payload), so renamed but
+ * structurally identical candidates share an outcome. Schedule
+ * overrides are keyed by concrete loop ids, so any override that names
+ * a loop of this snippet is folded in.
+ */
+uint64_t
+passKeyFor(const ContextPtr &ctx, const char *rule, const TermPtr &term)
+{
+    uint64_t h = sl::canonicalTermHash(term);
+    h = hashCombine(h, hashString(rule));
+    h = hashCombine(h, configFingerprint(ctx));
+    const auto &overrides = ctx->hls.schedule.overrides;
+    if (!overrides.empty()) {
+        std::vector<std::string> ids;
+        collectLoopIds(term, ids);
+        for (const std::string &id : ids) {
+            auto it = overrides.find(id);
+            if (it == overrides.end())
+                continue;
+            h = hashCombine(h, hashString(id));
+            const hls::LoopOverride &o = it->second;
+            h = hashValue(o.ii ? static_cast<uint64_t>(*o.ii) + 1 : 0,
+                          h);
+            h = hashValue(
+                o.latency ? static_cast<uint64_t>(*o.latency) + 1 : 0,
+                h);
+            h = hashValue(o.pipelined ? uint64_t(*o.pipelined) + 1 : 0,
+                          h);
+        }
+    }
+    return h;
+}
+
+SnippetEvalConfig
+evalConfig(const ContextPtr &ctx)
+{
+    SnippetEvalConfig config;
+    config.validate_results = ctx->validate_results;
+    config.validation_runs = ctx->validation_runs;
+    config.validation_seed = ctx->validation_seed;
+    config.hls = ctx->hls;
+    config.deadline = ctx->deadline;
+    return config;
+}
+
+/**
+ * Serial consult: fetch (or inline-evaluate) the outcome for `term`
+ * and apply its effects — rejection accounting and loop-registry
+ * maintenance happen *here*, at consult time, so they are identical
+ * whether the outcome came from the worker pool, the cache, a disk
+ * load, or a cold inline evaluation. `law` selects the paper's
+ * approximation law ("fuse") or nullptr for the schedule oracle.
+ */
+std::optional<TermPtr>
+consultSnippet(const ContextPtr &ctx, const char *rule,
+               const TermPtr &term,
+               const std::function<bool(ir::Operation &)> &transform,
+               const char *law)
+{
+    // Deadline propagation: once the driver's whole-run budget is
+    // spent, stop launching snippet/pass work entirely.
+    if (ctx->deadline && Clock::now() >= *ctx->deadline)
+        return std::nullopt;
+
+    uint64_t key = passKeyFor(ctx, rule, term);
+    std::optional<PassOutcome> outcome;
+    if (ctx->eval_cache) {
+        outcome = ctx->eval_cache->lookupPass(key);
+        if (!outcome) {
+            // The prepare stage missed this candidate (extraction can
+            // drift as earlier applications mutate the e-graph):
+            // evaluate inline. Same key, same name scope — the result
+            // is byte-identical to what the pool would have produced.
+            ctx->eval_cache->countMiss();
+            auto t0 = Clock::now();
+            outcome = evaluateSnippet(term, key, transform,
+                                      evalConfig(ctx), *ctx->eval_cache);
+            ctx->mlir_seconds +=
+                std::chrono::duration<double>(Clock::now() - t0).count();
+            if (outcome)
+                ctx->eval_cache->insertPass(key, *outcome);
+        }
+    } else {
+        // Legacy/unit contexts without an attached cache: evaluate
+        // through a throwaway staging cache and charge the context
+        // directly, preserving the pre-layer behavior.
+        ExternalEvalCache scratch(false);
+        auto t0 = Clock::now();
+        outcome =
+            evaluateSnippet(term, key, transform, evalConfig(ctx),
+                            scratch);
+        ctx->mlir_seconds +=
+            std::chrono::duration<double>(Clock::now() - t0).count();
+    }
+    if (!outcome)
+        return std::nullopt; // canceled by the deadline: not an outcome
+
+    switch (outcome->status) {
+    case PassOutcome::Status::NotApplied:
+        return std::nullopt;
+    case PassOutcome::Status::Rejected:
+        // Fault isolation: a rejected replacement leaves no trace
+        // beyond its diagnostic.
+        ++ctx->rejected_results;
+        if (ctx->rejections.size() < 16)
+            ctx->rejections.push_back(outcome->detail);
+        return std::nullopt;
+    case PassOutcome::Status::Replaced:
+        break;
+    }
+
+    // Registry maintenance for loops in the transformed snippet.
+    std::vector<std::string> input_ids;
+    collectLoopIds(term, input_ids);
+    std::vector<std::string> output_ids;
+    collectLoopIds(outcome->replacement, output_ids);
+    std::vector<std::string> new_ids;
+    for (const std::string &id : output_ids) {
+        if (!ctx->registry.count(id))
+            new_ids.push_back(id);
+    }
+    bool law_applied = false;
+    if (ctx->use_laws && law && std::string(law) == "fuse" &&
+        input_ids.size() == 2 && output_ids.size() == 1 &&
+        new_ids.size() == 1 && ctx->registry.count(input_ids[0]) &&
+        ctx->registry.count(input_ids[1])) {
+        ctx->registry[new_ids[0]] = fuseLaw(ctx->registry[input_ids[0]],
+                                            ctx->registry[input_ids[1]]);
+        law_applied = true;
+    }
+    if (!law_applied && (!new_ids.empty() || law == nullptr)) {
+        // Oracle: adopt the schedule computed in the pure stage.
+        for (const auto &[id, entry] : outcome->schedule)
+            ctx->registry[id] = entry;
+    }
+    return outcome->replacement;
+}
+
+// --- spec-driven rule construction ---------------------------------------
+
+/**
+ * One external rule, split along the serial/parallel seam:
+ * `precheck` + `extract` run serially (they read the e-graph);
+ * `transform` runs in the pure evaluation stage (worker pool or
+ * inline). The same spec builds both the dyn applier and the prepare
+ * hook, so the two stages can never disagree about candidates.
+ */
+struct SnippetRuleSpec
+{
+    const char *name;
+    const char *pattern;
+    std::function<bool(const EGraph &, const Match &)> precheck;
+    std::function<std::vector<TermPtr>(const EGraph &, const Match &)>
+        extract;
+    std::function<bool(ir::Operation &)> transform;
+    const char *law = nullptr;
+};
+
+Rewrite
+makeSnippetRule(ContextPtr ctx, SnippetRuleSpec spec)
+{
+    Rewrite rule = makeDynRewrite(
+        spec.name, spec.pattern,
+        [ctx, spec](EGraph &egraph,
+                    const Match &match) -> std::optional<TermPtr> {
+            if (!spec.precheck(egraph, match))
+                return std::nullopt;
+            if (alreadyAttempted(ctx, egraph, spec.name, match.root))
+                return std::nullopt;
+            for (const TermPtr &term : spec.extract(egraph, match)) {
+                auto result = consultSnippet(ctx, spec.name, term,
+                                             spec.transform, spec.law);
+                if (result)
+                    return result;
+            }
+            return std::nullopt;
+        });
+    rule.prepare = [ctx, spec](const EGraph &egraph,
+                               const std::vector<Match> &matches) {
+        const EvalCachePtr &cache = ctx->eval_cache;
+        if (!cache)
+            return;
+        // Ephemeral staging (cache-off mode) drops outcomes at each
+        // iteration boundary. The e-graph is frozen from match through
+        // apply, so its tick only moves between iterations — a cheap,
+        // rollback-safe boundary signal shared by all rules.
+        if (!cache->persistent() &&
+            egraph.tick() != ctx->last_staging_tick) {
+            cache->clearOutcomes();
+            ctx->last_staging_tick = egraph.tick();
+        }
+        auto past = [&ctx] {
+            return ctx->deadline && Clock::now() >= *ctx->deadline;
+        };
+        if (past())
+            return;
+        // Collect this iteration's unique, uncached candidates.
+        std::vector<std::pair<uint64_t, TermPtr>> batch;
+        std::set<uint64_t> seen;
+        for (const Match &match : matches) {
+            if (!spec.precheck(egraph, match))
+                continue;
+            if (attemptedPeek(ctx, egraph, spec.name, match.root))
+                continue;
+            for (const TermPtr &term : spec.extract(egraph, match)) {
+                uint64_t key = passKeyFor(ctx, spec.name, term);
+                if (!seen.insert(key).second) {
+                    cache->countDeduped(1);
+                    continue;
+                }
+                if (!cache->probePass(key))
+                    batch.emplace_back(key, term);
+            }
+        }
+        if (batch.empty())
+            return;
+        cache->countBatch(batch.size());
+        SnippetEvalConfig config = evalConfig(ctx);
+        // Pure fan-out: each job touches only the (thread-safe) cache.
+        // Union order is untouched — the apply phase stays serial — so
+        // any jobs count produces bit-identical e-graphs.
+        auto t0 = Clock::now();
+        parallelFor(
+            batch.size(), ctx->jobs,
+            [&](size_t i) {
+                auto outcome =
+                    evaluateSnippet(batch[i].second, batch[i].first,
+                                    spec.transform, config, *cache);
+                if (outcome) {
+                    cache->insertPass(batch[i].first,
+                                      std::move(*outcome));
+                }
+            },
+            past);
+        // "Time in MLIR" is wall-clock: the batch blocks the main loop,
+        // so the elapsed span (not summed thread-seconds) is charged.
+        ctx->mlir_seconds +=
+            std::chrono::duration<double>(Clock::now() - t0).count();
+    };
+    return rule;
 }
 
 /** First top-level loop of a snippet function. */
@@ -360,66 +471,59 @@ controlRules(ContextPtr context)
     Symbol var_a("a"), var_b("b");
 
     // --- loop fusion over adjacent statements --------------------------
-    rules.push_back(makeDynRewrite(
-        "loop-fusion", "(seq ?a ?b)",
-        [context, var_a, var_b](
-            EGraph &egraph,
-            const Match &match) -> std::optional<TermPtr> {
-            EClassId a = match.subst.at(var_a);
-            EClassId b = match.subst.at(var_b);
-            if (!classHas(egraph, a, isForNode) ||
-                !classHas(egraph, b, isForNode)) {
-                return std::nullopt;
-            }
-            if (alreadyAttempted(context, egraph, "loop-fusion",
-                                 match.root)) {
-                return std::nullopt;
-            }
-            auto ta = extractRooted(egraph, a, isForNode,
+    {
+        SnippetRuleSpec spec;
+        spec.name = "loop-fusion";
+        spec.pattern = "(seq ?a ?b)";
+        spec.precheck = [var_a, var_b](const EGraph &egraph,
+                                       const Match &match) {
+            return classHas(egraph, match.subst.at(var_a), isForNode) &&
+                   classHas(egraph, match.subst.at(var_b), isForNode);
+        };
+        spec.extract = [context, var_a, var_b](const EGraph &egraph,
+                                               const Match &match) {
+            std::vector<TermPtr> out;
+            auto ta = extractRooted(egraph, match.subst.at(var_a),
+                                    isForNode,
                                     context->analysis_friendly);
-            auto tb = extractRooted(egraph, b, isForNode,
+            auto tb = extractRooted(egraph, match.subst.at(var_b),
+                                    isForNode,
                                     context->analysis_friendly);
-            if (!ta || !tb)
-                return std::nullopt;
-            TermPtr pair =
-                eg::makeTerm(sl::seqSymbol(), {*ta, *tb});
-            return runOnSnippet(
-                context, pair,
-                [](ir::Operation &func) {
-                    auto loops =
-                        ir::topLevelLoops(func.region(0).block());
-                    if (loops.size() < 2)
-                        return false;
-                    return passes::fuseLoopPair(*loops[0], *loops[1]);
-                },
-                "fuse");
-        }));
+            if (ta && tb)
+                out.push_back(eg::makeTerm(sl::seqSymbol(), {*ta, *tb}));
+            return out;
+        };
+        spec.transform = [](ir::Operation &func) {
+            auto loops = ir::topLevelLoops(func.region(0).block());
+            if (loops.size() < 2)
+                return false;
+            return passes::fuseLoopPair(*loops[0], *loops[1]);
+        };
+        spec.law = "fuse";
+        rules.push_back(makeSnippetRule(context, spec));
+    }
 
     // --- single-class loop rules ------------------------------------
-    struct LoopRule
-    {
-        const char *name;
-        std::function<bool(ir::Operation &)> transform;
-    };
     auto add_loop_rule = [&](const char *name,
                              std::function<bool(ir::Operation &)>
                                  transform) {
-        rules.push_back(makeDynRewrite(
-            name, "?x",
-            [context, transform, name](
-                EGraph &egraph,
-                const Match &match) -> std::optional<TermPtr> {
-                if (!classHas(egraph, match.root, isForNode))
-                    return std::nullopt;
-                if (alreadyAttempted(context, egraph, name, match.root))
-                    return std::nullopt;
-                auto term =
-                    extractRooted(egraph, match.root, isForNode,
-                                  context->analysis_friendly);
-                if (!term)
-                    return std::nullopt;
-                return runOnSnippet(context, *term, transform, nullptr);
-            }));
+        SnippetRuleSpec spec;
+        spec.name = name;
+        spec.pattern = "?x";
+        spec.precheck = [](const EGraph &egraph, const Match &match) {
+            return classHas(egraph, match.root, isForNode);
+        };
+        spec.extract = [context](const EGraph &egraph,
+                                 const Match &match) {
+            std::vector<TermPtr> out;
+            auto term = extractRooted(egraph, match.root, isForNode,
+                                      context->analysis_friendly);
+            if (term)
+                out.push_back(*term);
+            return out;
+        };
+        spec.transform = std::move(transform);
+        rules.push_back(makeSnippetRule(context, spec));
     };
 
     if (context->unroll_max_trip > 0) {
@@ -509,26 +613,27 @@ controlRules(ContextPtr context)
     auto add_if_rule = [&](const char *name,
                            std::function<bool(ir::Operation &)>
                                transform) {
-        rules.push_back(makeDynRewrite(
-            name, "?x",
-            [context, transform, name](
-                EGraph &egraph,
-                const Match &match) -> std::optional<TermPtr> {
-                if (alreadyAttempted(context, egraph, name, match.root))
-                    return std::nullopt;
-                SymbolPred pred = nullptr;
-                if (classHas(egraph, match.root, isIfNode))
-                    pred = isIfNode;
-                else if (classHas(egraph, match.root, isForNode))
-                    pred = isForNode;
-                else
-                    return std::nullopt;
-                auto term = extractRooted(egraph, match.root, pred,
-                                          context->analysis_friendly);
-                if (!term)
-                    return std::nullopt;
-                return runOnSnippet(context, *term, transform, nullptr);
-            }));
+        SnippetRuleSpec spec;
+        spec.name = name;
+        spec.pattern = "?x";
+        spec.precheck = [](const EGraph &egraph, const Match &match) {
+            return classHas(egraph, match.root, isIfNode) ||
+                   classHas(egraph, match.root, isForNode);
+        };
+        spec.extract = [context](const EGraph &egraph,
+                                 const Match &match) {
+            SymbolPred pred = classHas(egraph, match.root, isIfNode)
+                                  ? isIfNode
+                                  : isForNode;
+            std::vector<TermPtr> out;
+            auto term = extractRooted(egraph, match.root, pred,
+                                      context->analysis_friendly);
+            if (term)
+                out.push_back(*term);
+            return out;
+        };
+        spec.transform = std::move(transform);
+        rules.push_back(makeSnippetRule(context, spec));
     };
     add_if_rule("if-conversion", [](ir::Operation &func) {
         ir::Operation *if_op = firstIf(func);
@@ -540,72 +645,62 @@ controlRules(ContextPtr context)
     });
 
     // --- if correlation over adjacent statements ----------------------
-    rules.push_back(makeDynRewrite(
-        "if-correlation", "(seq ?a ?b)",
-        [context, var_a, var_b](
-            EGraph &egraph,
-            const Match &match) -> std::optional<TermPtr> {
-            EClassId a = match.subst.at(var_a);
-            EClassId b = match.subst.at(var_b);
-            if (!classHas(egraph, a, isIfNode) ||
-                !classHas(egraph, b, isIfNode)) {
-                return std::nullopt;
-            }
-            if (alreadyAttempted(context, egraph, "if-correlation",
-                                 match.root)) {
-                return std::nullopt;
-            }
-            auto ta = extractRooted(egraph, a, isIfNode,
+    {
+        SnippetRuleSpec spec;
+        spec.name = "if-correlation";
+        spec.pattern = "(seq ?a ?b)";
+        spec.precheck = [var_a, var_b](const EGraph &egraph,
+                                       const Match &match) {
+            return classHas(egraph, match.subst.at(var_a), isIfNode) &&
+                   classHas(egraph, match.subst.at(var_b), isIfNode);
+        };
+        spec.extract = [context, var_a, var_b](const EGraph &egraph,
+                                               const Match &match) {
+            std::vector<TermPtr> out;
+            auto ta = extractRooted(egraph, match.subst.at(var_a),
+                                    isIfNode,
                                     context->analysis_friendly);
-            auto tb = extractRooted(egraph, b, isIfNode,
+            auto tb = extractRooted(egraph, match.subst.at(var_b),
+                                    isIfNode,
                                     context->analysis_friendly);
-            if (!ta || !tb)
-                return std::nullopt;
-            TermPtr pair = eg::makeTerm(sl::seqSymbol(), {*ta, *tb});
-            return runOnSnippet(
-                context, pair,
-                [](ir::Operation &func) {
-                    // Hoist interleaved constants first so replicated
-                    // ifs become adjacent.
-                    passes::canonicalize(func);
-                    std::vector<ir::Operation *> ifs;
-                    for (auto &op :
-                         func.region(0).block().ops()) {
-                        if (ir::isa(*op, ir::opnames::kIf))
-                            ifs.push_back(op.get());
-                    }
-                    if (ifs.size() < 2)
-                        return false;
-                    return passes::correlateIfs(*ifs[0], *ifs[1]);
-                },
-                nullptr);
-        }));
+            if (ta && tb)
+                out.push_back(eg::makeTerm(sl::seqSymbol(), {*ta, *tb}));
+            return out;
+        };
+        spec.transform = [](ir::Operation &func) {
+            // Hoist interleaved constants first so replicated ifs
+            // become adjacent.
+            passes::canonicalize(func);
+            std::vector<ir::Operation *> ifs;
+            for (auto &op : func.region(0).block().ops()) {
+                if (ir::isa(*op, ir::opnames::kIf))
+                    ifs.push_back(op.get());
+            }
+            if (ifs.size() < 2)
+                return false;
+            return passes::correlateIfs(*ifs[0], *ifs[1]);
+        };
+        rules.push_back(makeSnippetRule(context, spec));
+    }
 
     // --- memory forwarding over statement chains ------------------------
-    rules.push_back(makeDynRewrite(
-        "memory-forward", "?x",
-        [context](EGraph &egraph,
-                  const Match &match) -> std::optional<TermPtr> {
-            if (!classHas(egraph, match.root, isStatementRoot))
-                return std::nullopt;
-            if (alreadyAttempted(context, egraph, "memory-forward",
-                                 match.root)) {
-                return std::nullopt;
-            }
-            for (const TermPtr &term : extractAllRooted(
-                     egraph, match.root, isStatementRoot,
-                     context->analysis_friendly)) {
-                auto result = runOnSnippet(
-                    context, term,
-                    [](ir::Operation &func) {
-                        return passes::forwardMemory(func);
-                    },
-                    nullptr);
-                if (result)
-                    return result;
-            }
-            return std::nullopt;
-        }));
+    {
+        SnippetRuleSpec spec;
+        spec.name = "memory-forward";
+        spec.pattern = "?x";
+        spec.precheck = [](const EGraph &egraph, const Match &match) {
+            return classHas(egraph, match.root, isStatementRoot);
+        };
+        spec.extract = [context](const EGraph &egraph,
+                                 const Match &match) {
+            return extractAllRooted(egraph, match.root, isStatementRoot,
+                                    context->analysis_friendly);
+        };
+        spec.transform = [](ir::Operation &func) {
+            return passes::forwardMemory(func);
+        };
+        rules.push_back(makeSnippetRule(context, spec));
+    }
 
     return rules;
 }

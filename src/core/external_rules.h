@@ -20,6 +20,7 @@
 #include <optional>
 
 #include "core/cost.h"
+#include "core/pass_eval.h"
 #include "egraph/rewrite.h"
 #include "hls/hls.h"
 
@@ -74,8 +75,28 @@ struct ExternalRuleContext
     std::vector<std::string> rejections;
 
     /** Whole-run wall-clock deadline: once expired, external rules stop
-     *  launching new snippet/pass work and report "does not apply". */
+     *  launching new snippet/pass work and report "does not apply".
+     *  Propagated into running evaluations as a cooperative cancel:
+     *  long co-simulations stop shortly after expiry instead of
+     *  draining their full step budget, and a canceled evaluation is
+     *  never cached. */
     std::optional<std::chrono::steady_clock::time_point> deadline;
+
+    /**
+     * The memoized-evaluation layer. When set, every rule gains a
+     * prepare hook that batches the iteration's candidate snippets,
+     * dedupes them structurally, and evaluates cold ones on `jobs`
+     * worker threads; the serial apply phase then only consults
+     * recorded outcomes. Unset (legacy/unit contexts): rules evaluate
+     * inline through a throwaway staging cache, exactly as before this
+     * layer existed.
+     */
+    EvalCachePtr eval_cache;
+    /** Worker threads for the prepare stage (1 = evaluate inline on
+     *  the runner thread; results are identical either way). */
+    unsigned jobs = 1;
+    /** E-graph tick at the last ephemeral staging flush (internal). */
+    uint64_t last_staging_tick = ~uint64_t{0};
 };
 
 using ContextPtr = std::shared_ptr<ExternalRuleContext>;

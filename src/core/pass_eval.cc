@@ -1,0 +1,696 @@
+#include "core/pass_eval.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "core/verify.h"
+#include "ir/analysis.h"
+#include "ir/verifier.h"
+#include "passes/passes.h"
+#include "seerlang/canonical.h"
+#include "seerlang/encoding.h"
+#include "seerlang/from_term.h"
+#include "seerlang/to_term.h"
+#include "support/error.h"
+#include "support/hashing.h"
+
+namespace seer::core {
+
+using eg::TermPtr;
+
+namespace {
+
+/** Interpreter budget of the validation gate (as before this layer). */
+constexpr uint64_t kValidationMaxSteps = 2'000'000;
+
+void
+collectArgNames(const TermPtr &term, std::set<std::string> &out)
+{
+    if (auto arg = sl::decodeArg(term->op()))
+        out.insert(arg->first);
+    for (const auto &child : term->children())
+        collectArgNames(child, out);
+}
+
+/** Rewrite arg:<v>:index leaves back into var:<v> for snippet re-entry. */
+TermPtr
+renameArgsToVars(const TermPtr &term, const std::set<std::string> &vars)
+{
+    if (auto arg = sl::decodeArg(term->op())) {
+        if (arg->second.isIndex() && vars.count(arg->first))
+            return eg::makeTerm(sl::encodeVar(arg->first));
+    }
+    if (term->isLeaf())
+        return term;
+    std::vector<TermPtr> children;
+    children.reserve(term->arity());
+    bool changed = false;
+    for (const auto &child : term->children()) {
+        TermPtr renamed = renameArgsToVars(child, vars);
+        changed |= renamed != child;
+        children.push_back(std::move(renamed));
+    }
+    return changed ? eg::makeTerm(term->op(), std::move(children)) : term;
+}
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point &stamp)
+{
+    Clock::time_point now = Clock::now();
+    double s = std::chrono::duration<double>(now - stamp).count();
+    stamp = now;
+    return s;
+}
+
+/**
+ * The pipeline body. Runs inside the caller's NameScope; plain returns
+ * for control flow, per-stage timing accumulated into `charge`.
+ */
+PassOutcome
+evaluateImpl(const TermPtr &term,
+             const std::function<bool(ir::Operation &)> &transform,
+             const SnippetEvalConfig &config, ExternalEvalCache &cache,
+             ExternalEvalCache::EvalCharge &charge)
+{
+    PassOutcome out;
+    Clock::time_point stamp = Clock::now();
+    auto expired = [&config] {
+        return config.deadline && Clock::now() >= *config.deadline;
+    };
+
+    sl::EmitSpec spec = sl::inferSpec(term, "snippet");
+    std::set<std::string> arg_names;
+    collectArgNames(term, arg_names);
+    std::set<std::string> var_args;
+    for (const auto &[name, type] : spec.args) {
+        if (!arg_names.count(name))
+            var_args.insert(name);
+    }
+    ir::Module snippet = sl::termToFunc(term, spec);
+    ir::Operation &func = *snippet.firstFunc();
+    charge.emit_seconds += secondsSince(stamp);
+
+    if (!transform(func)) {
+        charge.pass_seconds += secondsSince(stamp);
+        return out; // NotApplied
+    }
+    passes::runDce(func);
+    // The pass may have rewritten loop bodies in place; stale registry
+    // ids must not survive (a fused loop keeping loop1's id would
+    // inherit loop1's scheduling constraints). Strip all ids:
+    // back-translation assigns fresh — and, under the NameScope,
+    // content-determined — ones, and the consult-time law/oracle
+    // re-derives their constraints.
+    ir::walk(func, [](ir::Operation &op) {
+        if (ir::isa(op, ir::opnames::kAffineFor))
+            op.removeAttr("seer.loop_id");
+    });
+    charge.pass_seconds += secondsSince(stamp);
+
+    sl::Translation translation = sl::funcToTerm(func);
+    TermPtr replacement =
+        renameArgsToVars(translation.term->child(0), var_args);
+    charge.translate_seconds += secondsSince(stamp);
+
+    // Validation gate (fault isolation): the transformed snippet must
+    // pass the structural verifier and the before/after terms must
+    // co-simulate on deterministic pseudo-random inputs. Equivalence
+    // verdicts are memoized: structurally identical (before, after)
+    // pairs under the same simulation budget share one co-simulation.
+    if (config.validate_results && !expired()) {
+        std::string diag = ir::verify(snippet);
+        if (!diag.empty()) {
+            out.status = PassOutcome::Status::Rejected;
+            out.detail = "verifier rejected pass output: " + diag;
+            charge.verify_seconds += secondsSince(stamp);
+            return out;
+        }
+        uint64_t vkey =
+            verifyKey(term, replacement, config.validation_runs,
+                      config.validation_seed, kValidationMaxSteps);
+        std::optional<VerifyVerdict> verdict = cache.lookupVerify(vkey);
+        if (!verdict) {
+            VerifyOptions verify_options;
+            verify_options.runs = config.validation_runs;
+            verify_options.seed = config.validation_seed;
+            verify_options.max_steps = kValidationMaxSteps;
+            verify_options.deadline = config.deadline;
+            std::string eq_diag;
+            bool ok = checkTermEquivalence(term, replacement,
+                                           verify_options, &eq_diag);
+            VerifyVerdict fresh;
+            fresh.result = !ok ? VerifyVerdict::Result::Mismatch
+                          : eq_diag == "<inconclusive>"
+                              ? VerifyVerdict::Result::Inconclusive
+                              : VerifyVerdict::Result::Equivalent;
+            fresh.diag = eq_diag;
+            // A verdict reached under an expired deadline reflects the
+            // budget, not the programs: never memoize it.
+            if (!expired())
+                cache.insertVerify(vkey, fresh);
+            verdict = fresh;
+        }
+        if (!verdict->accepted()) {
+            out.status = PassOutcome::Status::Rejected;
+            out.detail = "co-simulation mismatch: " + verdict->diag;
+            charge.verify_seconds += secondsSince(stamp);
+            return out;
+        }
+    }
+    charge.verify_seconds += secondsSince(stamp);
+
+    // Schedule oracle over every loop of the transformed snippet,
+    // computed here (in the pure, parallel stage) so the serial consult
+    // only decides law-vs-oracle and writes the registry. Cheap next to
+    // the co-simulation, and always needed when no law applies.
+    hls::OperatorLibrary lib;
+    hls::ScheduleOptions sched_options = config.hls.schedule;
+    sched_options.pipeline_loops = true;
+    hls::FuncSchedule schedule =
+        hls::scheduleFunc(func, lib, sched_options);
+    for (const auto &[id, op] : translation.loops) {
+        auto it = schedule.loops.find(op);
+        if (it == schedule.loops.end())
+            continue;
+        LoopRegistryEntry entry;
+        entry.constraints = it->second;
+        entry.coalesced = op->hasAttr("seer.coalesced");
+        out.schedule.emplace_back(id, entry);
+    }
+    charge.schedule_seconds += secondsSince(stamp);
+
+    out.status = PassOutcome::Status::Replaced;
+    out.replacement = replacement;
+    return out;
+}
+
+} // namespace
+
+std::optional<PassOutcome>
+evaluateSnippet(const TermPtr &term, uint64_t key,
+                const std::function<bool(ir::Operation &)> &transform,
+                const SnippetEvalConfig &config, ExternalEvalCache &cache)
+{
+    // Purity: all fresh names drawn below (back-translation tags, loop
+    // ids, the equivalence checker's synthetic outputs) come from a
+    // scope seeded with the cache key, so the outcome is a
+    // deterministic function of (term, rule, config) — on any thread,
+    // in any process.
+    sl::NameScope scope(key);
+    ExternalEvalCache::EvalCharge charge;
+    PassOutcome out;
+    try {
+        out = evaluateImpl(term, transform, config, cache, charge);
+    } catch (const FatalError &) {
+        out = PassOutcome{}; // untranslatable shape: rule does not apply
+    }
+    bool canceled =
+        config.deadline && Clock::now() >= *config.deadline;
+    charge.canceled = canceled;
+    cache.chargeEvaluation(charge);
+    if (canceled)
+        return std::nullopt; // budget-dependent: never cache or use
+    return out;
+}
+
+void
+collectLoopIds(const TermPtr &term, std::vector<std::string> &out)
+{
+    if (sl::isForSymbol(term->op()))
+        out.push_back(sl::loopIdOf(term->op()));
+    for (const auto &child : term->children())
+        collectLoopIds(child, out);
+}
+
+uint64_t
+verifyKey(const TermPtr &lhs, const TermPtr &rhs, int runs, uint64_t seed,
+          uint64_t max_steps)
+{
+    uint64_t h = hashString("seer.verify");
+    h = hashCombine(h, sl::canonicalTermHash(lhs));
+    h = hashCombine(h, sl::canonicalTermHash(rhs));
+    h = hashCombine(h, hashValue(static_cast<uint64_t>(runs)));
+    h = hashCombine(h, hashValue(seed));
+    h = hashCombine(h, hashValue(max_steps));
+    return h;
+}
+
+// --- ExternalEvalCache ----------------------------------------------------
+
+std::optional<PassOutcome>
+ExternalEvalCache::lookupPass(uint64_t key, bool count)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = pass_.find(key);
+    if (it == pass_.end())
+        return std::nullopt;
+    if (count)
+        ++stats_.pass_cache_hits;
+    return it->second;
+}
+
+bool
+ExternalEvalCache::probePass(uint64_t key)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    bool present = pass_.count(key) != 0;
+    if (present)
+        ++stats_.pass_cache_hits;
+    else
+        ++stats_.pass_cache_misses;
+    return present;
+}
+
+void
+ExternalEvalCache::insertPass(uint64_t key, PassOutcome outcome)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    pass_.insert_or_assign(key, std::move(outcome));
+}
+
+std::optional<VerifyVerdict>
+ExternalEvalCache::lookupVerify(uint64_t key)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = verify_.find(key);
+    if (it == verify_.end()) {
+        ++stats_.verify_cache_misses;
+        return std::nullopt;
+    }
+    ++stats_.verify_cache_hits;
+    return it->second;
+}
+
+void
+ExternalEvalCache::insertVerify(uint64_t key, VerifyVerdict verdict)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    verify_.insert_or_assign(key, std::move(verdict));
+}
+
+void
+ExternalEvalCache::clearOutcomes()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    pass_.clear();
+    verify_.clear();
+}
+
+void
+ExternalEvalCache::countMiss()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.pass_cache_misses;
+}
+
+void
+ExternalEvalCache::countDeduped(size_t n)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_.candidates_deduped += n;
+}
+
+void
+ExternalEvalCache::countBatch(size_t jobs)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.batches;
+    stats_.batch_jobs += jobs;
+}
+
+void
+ExternalEvalCache::chargeEvaluation(const EvalCharge &charge)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.evaluations;
+    if (charge.canceled)
+        ++stats_.canceled;
+    stats_.emit_seconds += charge.emit_seconds;
+    stats_.pass_seconds += charge.pass_seconds;
+    stats_.translate_seconds += charge.translate_seconds;
+    stats_.verify_seconds += charge.verify_seconds;
+    stats_.schedule_seconds += charge.schedule_seconds;
+}
+
+double
+ExternalEvalCache::evalSeconds() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_.emit_seconds + stats_.pass_seconds +
+           stats_.translate_seconds + stats_.verify_seconds +
+           stats_.schedule_seconds;
+}
+
+ExternalEvalStats
+ExternalEvalCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+// --- persistence ----------------------------------------------------------
+//
+// A deliberately boring line-oriented format (support/json is write-only
+// by design — adding a JSON parser for this would mean a parser to keep
+// sound). One record per line, space-separated fields, strings
+// percent-escaped. Any malformed line discards the whole file: a pass
+// cache is an optimization, so the only safe recovery is a cold start.
+
+namespace {
+
+constexpr const char *kCacheHeader = "seer-pass-cache v1";
+
+std::string
+escapeField(const std::string &text)
+{
+    if (text.empty())
+        return "%e";
+    std::string out;
+    out.reserve(text.size());
+    for (unsigned char c : text) {
+        if (c == '%' || c == ' ' || c < 0x20) {
+            char buf[4];
+            std::snprintf(buf, sizeof buf, "%%%02X", c);
+            out += buf;
+        } else {
+            out += static_cast<char>(c);
+        }
+    }
+    return out;
+}
+
+bool
+unescapeField(const std::string &text, std::string *out)
+{
+    if (text == "%e") {
+        out->clear();
+        return true;
+    }
+    out->clear();
+    out->reserve(text.size());
+    for (size_t i = 0; i < text.size(); ++i) {
+        if (text[i] != '%') {
+            *out += text[i];
+            continue;
+        }
+        if (i + 2 >= text.size())
+            return false;
+        auto hex = [](char c) -> int {
+            if (c >= '0' && c <= '9')
+                return c - '0';
+            if (c >= 'A' && c <= 'F')
+                return c - 'A' + 10;
+            if (c >= 'a' && c <= 'f')
+                return c - 'a' + 10;
+            return -1;
+        };
+        int hi = hex(text[i + 1]), lo = hex(text[i + 2]);
+        if (hi < 0 || lo < 0)
+            return false;
+        *out += static_cast<char>(hi * 16 + lo);
+        i += 2;
+    }
+    return true;
+}
+
+std::string
+keyHex(uint64_t key)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(key));
+    return buf;
+}
+
+bool
+parseU64Hex(const std::string &text, uint64_t *out)
+{
+    if (text.empty())
+        return false;
+    char *end = nullptr;
+    *out = std::strtoull(text.c_str(), &end, 16);
+    return end && *end == '\0';
+}
+
+bool
+parseI64(const std::string &text, int64_t *out)
+{
+    if (text.empty())
+        return false;
+    char *end = nullptr;
+    *out = std::strtoll(text.c_str(), &end, 10);
+    return end && *end == '\0';
+}
+
+void
+writeEntry(std::ostream &os, const std::string &id,
+           const LoopRegistryEntry &entry)
+{
+    const hls::LoopConstraints &c = entry.constraints;
+    os << "L " << escapeField(id) << ' ' << c.ii << ' ' << c.latency
+       << ' ' << c.full_latency << ' '
+       << (c.trip ? std::to_string(*c.trip) : std::string("-")) << ' '
+       << (c.pipelined ? 1 : 0) << ' ' << (entry.coalesced ? 1 : 0)
+       << ' ' << escapeField(c.loop_id) << ' ' << c.accesses.size();
+    for (const auto &[name, count] : c.accesses)
+        os << ' ' << escapeField(name) << ' ' << count;
+    os << '\n';
+}
+
+bool
+readEntry(std::istringstream &in, std::string *id,
+          LoopRegistryEntry *entry)
+{
+    std::string id_field, trip_field, loop_id_field;
+    int pipelined = 0, coalesced = 0;
+    size_t naccess = 0;
+    hls::LoopConstraints &c = entry->constraints;
+    if (!(in >> id_field >> c.ii >> c.latency >> c.full_latency >>
+          trip_field >> pipelined >> coalesced >> loop_id_field >>
+          naccess))
+        return false;
+    if (!unescapeField(id_field, id))
+        return false;
+    if (trip_field == "-") {
+        c.trip.reset();
+    } else {
+        int64_t trip = 0;
+        if (!parseI64(trip_field, &trip))
+            return false;
+        c.trip = trip;
+    }
+    c.pipelined = pipelined != 0;
+    entry->coalesced = coalesced != 0;
+    if (!unescapeField(loop_id_field, &c.loop_id))
+        return false;
+    for (size_t i = 0; i < naccess; ++i) {
+        std::string name_field, name;
+        int64_t count = 0;
+        if (!(in >> name_field >> count))
+            return false;
+        if (!unescapeField(name_field, &name))
+            return false;
+        c.accesses[name] = count;
+    }
+    return true;
+}
+
+} // namespace
+
+size_t
+ExternalEvalCache::loadFile(const std::string &path, std::string *error)
+{
+    if (error)
+        error->clear();
+    std::ifstream in(path);
+    if (!in)
+        return 0; // absent: a cold start, not an error
+
+    auto corrupt = [&](const std::string &why) -> size_t {
+        std::lock_guard<std::mutex> lock(mutex_);
+        pass_.clear();
+        verify_.clear();
+        stats_.disk_load_failed = true;
+        stats_.disk_entries_loaded = 0;
+        if (error)
+            *error = "pass cache '" + path + "': " + why;
+        return 0;
+    };
+
+    std::string line;
+    if (!std::getline(in, line) || line != kCacheHeader)
+        return corrupt("bad header");
+
+    std::unordered_map<uint64_t, PassOutcome> pass;
+    std::unordered_map<uint64_t, VerifyVerdict> verify;
+    size_t line_no = 1;
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (line.empty())
+            continue;
+        std::istringstream fields(line);
+        std::string tag;
+        fields >> tag;
+        auto bad = [&]() {
+            return corrupt("malformed line " + std::to_string(line_no));
+        };
+        if (tag == "P") {
+            std::string key_field, detail_field, term_field;
+            int status = 0;
+            size_t nsched = 0;
+            if (!(fields >> key_field >> status >> detail_field >>
+                  term_field >> nsched))
+                return bad();
+            uint64_t key = 0;
+            if (!parseU64Hex(key_field, &key) || status < 0 ||
+                status > 2)
+                return bad();
+            PassOutcome outcome;
+            outcome.status = static_cast<PassOutcome::Status>(status);
+            if (!unescapeField(detail_field, &outcome.detail))
+                return bad();
+            if (term_field != "-") {
+                std::string term_text;
+                if (!unescapeField(term_field, &term_text))
+                    return bad();
+                try {
+                    outcome.replacement = eg::parseTerm(term_text);
+                } catch (const FatalError &) {
+                    return bad();
+                }
+            }
+            if (outcome.status == PassOutcome::Status::Replaced &&
+                !outcome.replacement)
+                return bad();
+            for (size_t i = 0; i < nsched; ++i) {
+                if (!std::getline(in, line))
+                    return bad();
+                ++line_no;
+                std::istringstream sched_fields(line);
+                std::string sched_tag;
+                sched_fields >> sched_tag;
+                if (sched_tag != "L")
+                    return bad();
+                std::string id;
+                LoopRegistryEntry entry;
+                if (!readEntry(sched_fields, &id, &entry))
+                    return bad();
+                outcome.schedule.emplace_back(id, entry);
+            }
+            pass.insert_or_assign(key, std::move(outcome));
+        } else if (tag == "V") {
+            std::string key_field, diag_field;
+            int result = 0;
+            if (!(fields >> key_field >> result >> diag_field))
+                return bad();
+            uint64_t key = 0;
+            if (!parseU64Hex(key_field, &key) || result < 0 ||
+                result > 2)
+                return bad();
+            VerifyVerdict verdict;
+            verdict.result = static_cast<VerifyVerdict::Result>(result);
+            if (!unescapeField(diag_field, &verdict.diag))
+                return bad();
+            verify.insert_or_assign(key, verdict);
+        } else {
+            return bad();
+        }
+    }
+
+    size_t loaded = pass.size() + verify.size();
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto &[key, outcome] : pass)
+        pass_.insert_or_assign(key, std::move(outcome));
+    for (auto &[key, verdict] : verify)
+        verify_.insert_or_assign(key, verdict);
+    stats_.disk_entries_loaded = loaded;
+    return loaded;
+}
+
+bool
+ExternalEvalCache::saveFile(const std::string &path,
+                            std::string *error) const
+{
+    if (error)
+        error->clear();
+    std::unordered_map<uint64_t, PassOutcome> pass;
+    std::unordered_map<uint64_t, VerifyVerdict> verify;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        pass = pass_;
+        verify = verify_;
+    }
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) {
+        if (error)
+            *error = "cannot write pass cache '" + path + "'";
+        return false;
+    }
+    out << kCacheHeader << '\n';
+    // Sorted keys: the artifact is byte-stable across runs.
+    std::vector<uint64_t> keys;
+    keys.reserve(pass.size());
+    for (const auto &[key, outcome] : pass)
+        keys.push_back(key);
+    std::sort(keys.begin(), keys.end());
+    for (uint64_t key : keys) {
+        const PassOutcome &outcome = pass.at(key);
+        out << "P " << keyHex(key) << ' '
+            << static_cast<int>(outcome.status) << ' '
+            << escapeField(outcome.detail) << ' '
+            << (outcome.replacement
+                    ? escapeField(outcome.replacement->str())
+                    : std::string("-"))
+            << ' ' << outcome.schedule.size() << '\n';
+        for (const auto &[id, entry] : outcome.schedule)
+            writeEntry(out, id, entry);
+    }
+    keys.clear();
+    for (const auto &[key, verdict] : verify)
+        keys.push_back(key);
+    std::sort(keys.begin(), keys.end());
+    for (uint64_t key : keys) {
+        const VerifyVerdict &verdict = verify.at(key);
+        out << "V " << keyHex(key) << ' '
+            << static_cast<int>(verdict.result) << ' '
+            << escapeField(verdict.diag) << '\n';
+    }
+    out.flush();
+    if (!out) {
+        if (error)
+            *error = "short write to pass cache '" + path + "'";
+        return false;
+    }
+    return true;
+}
+
+json::Value
+toJson(const ExternalEvalStats &stats)
+{
+    json::Value out{json::Object{}};
+    out.set("pass_cache_hits", stats.pass_cache_hits);
+    out.set("pass_cache_misses", stats.pass_cache_misses);
+    out.set("verify_cache_hits", stats.verify_cache_hits);
+    out.set("verify_cache_misses", stats.verify_cache_misses);
+    out.set("candidates_deduped", stats.candidates_deduped);
+    out.set("evaluations", stats.evaluations);
+    out.set("batches", stats.batches);
+    out.set("batch_jobs", stats.batch_jobs);
+    out.set("canceled", stats.canceled);
+    out.set("emit_seconds", stats.emit_seconds);
+    out.set("pass_seconds", stats.pass_seconds);
+    out.set("translate_seconds", stats.translate_seconds);
+    out.set("verify_seconds", stats.verify_seconds);
+    out.set("schedule_seconds", stats.schedule_seconds);
+    out.set("disk_entries_loaded", stats.disk_entries_loaded);
+    out.set("disk_load_failed", stats.disk_load_failed);
+    return out;
+}
+
+} // namespace seer::core

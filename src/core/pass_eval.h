@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Memoized, parallel-ready evaluation of external-pass snippets.
+ *
+ * SEER's dominant exploration cost (Table 5's "Time in MLIR") is the
+ * external rule pipeline: term -> IR snippet emission, an MLIR-style
+ * pass, IR -> term back-translation, and a simulation-based equivalence
+ * gate — repeated serially on structurally identical snippets across
+ * runner iterations and phases. This layer makes that stage a *pure
+ * function* of its inputs and exploits it twice over:
+ *
+ *  - a content-addressed, two-level cache: pass outcomes keyed by the
+ *    alpha-canonical snippet hash (+ rule + evaluation config), and
+ *    equivalence verdicts keyed by (before, after, seed, runs), with
+ *    optional on-disk persistence so repeated benchmark runs start
+ *    warm;
+ *  - a deterministic worker pool: per runner iteration, candidate
+ *    snippets are collected, deduped, and evaluated on N threads, then
+ *    consumed serially in canonical candidate order.
+ *
+ * Purity is engineered, not assumed: evaluation runs under an
+ * sl::NameScope seeded with the cache key, so the fresh memory tags and
+ * loop ids drawn during back-translation are a deterministic function
+ * of the snippet content. Re-evaluating a snippet — cold, warm, on any
+ * thread, in any process — reproduces a byte-identical replacement
+ * term. That is the determinism contract behind `-j 1` == `-j N` and
+ * cache-on == cache-off explorations.
+ */
+#ifndef SEER_CORE_PASS_EVAL_H_
+#define SEER_CORE_PASS_EVAL_H_
+
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/cost.h"
+#include "hls/hls.h"
+#include "support/json.h"
+
+namespace seer::ir {
+class Operation;
+}
+
+namespace seer::core {
+
+/** Outcome of one pure snippet -> pass -> verify evaluation. */
+struct PassOutcome
+{
+    enum class Status : uint8_t {
+        NotApplied = 0, ///< pass declined / untranslatable shape
+        Rejected = 1,   ///< pass applied but the validation gate refused
+        Replaced = 2,   ///< validated replacement available
+    };
+    Status status = Status::NotApplied;
+    /** Rejection diagnostic (Status::Rejected). */
+    std::string detail;
+    /** The validated replacement term (Status::Replaced). */
+    eg::TermPtr replacement;
+    /**
+     * Schedule-oracle results for every loop of the transformed
+     * snippet (loop id -> registry entry), computed in the pure stage
+     * so the serial consult only has to pick law vs. oracle and write
+     * the registry.
+     */
+    std::vector<std::pair<std::string, LoopRegistryEntry>> schedule;
+};
+
+/** Cached tri-state verdict of one equivalence check. */
+struct VerifyVerdict
+{
+    enum class Result : uint8_t {
+        Equivalent = 0,
+        Inconclusive = 1, ///< nothing falsified (every run trapped)
+        Mismatch = 2,
+    };
+    Result result = Result::Equivalent;
+    std::string diag; ///< counterexample / trap diagnostic
+
+    /** The validation gate accepts anything not falsified. */
+    bool accepted() const { return result != Result::Mismatch; }
+};
+
+/** Counters and per-stage timing of the evaluation layer. */
+struct ExternalEvalStats
+{
+    size_t pass_cache_hits = 0;
+    size_t pass_cache_misses = 0;
+    size_t verify_cache_hits = 0;
+    size_t verify_cache_misses = 0;
+    /** Structurally identical candidates folded within one batch. */
+    size_t candidates_deduped = 0;
+    /** Cold pipelines actually run (pass executions). */
+    size_t evaluations = 0;
+    /** Prepare-stage batches handed to the worker pool. */
+    size_t batches = 0;
+    /** Jobs evaluated inside those batches. */
+    size_t batch_jobs = 0;
+    /** Evaluations cut short by the cooperative deadline (uncached). */
+    size_t canceled = 0;
+    // Per-stage seconds, summed over evaluations (CPU-parallel stages
+    // can sum to more than the wall clock).
+    double emit_seconds = 0;      ///< term -> IR snippet emission
+    double pass_seconds = 0;      ///< the external pass + cleanup
+    double translate_seconds = 0; ///< IR -> term back-translation
+    double verify_seconds = 0;    ///< validation-gate co-simulation
+    double schedule_seconds = 0;  ///< oracle schedule of the result
+    /** Entries adopted from --pass-cache at startup. */
+    size_t disk_entries_loaded = 0;
+    /** The persistence file existed but failed to parse (cold start). */
+    bool disk_load_failed = false;
+};
+
+json::Value toJson(const ExternalEvalStats &stats);
+
+/**
+ * The two-level evaluation cache. Thread-safe: the prepare stage's
+ * worker pool inserts concurrently while stats accumulate.
+ *
+ * Persistent mode memoizes across iterations, phases, optimize() calls
+ * and (via load/save) processes. Ephemeral mode (--no-pass-cache) is an
+ * iteration-scoped staging buffer: the prepare stage still needs a
+ * channel to hand parallel results to the serial consult, but entries
+ * are dropped at the next iteration boundary so nothing is ever reused
+ * across iterations.
+ */
+class ExternalEvalCache
+{
+  public:
+    explicit ExternalEvalCache(bool persistent = true)
+        : persistent_(persistent)
+    {}
+
+    bool persistent() const { return persistent_; }
+
+    /** Pass-outcome lookup. `count` tallies a hit in the stats. */
+    std::optional<PassOutcome> lookupPass(uint64_t key,
+                                          bool count = false);
+    /** True when `key` has an outcome; counts a hit or a miss. */
+    bool probePass(uint64_t key);
+    void insertPass(uint64_t key, PassOutcome outcome);
+
+    std::optional<VerifyVerdict> lookupVerify(uint64_t key);
+    void insertVerify(uint64_t key, VerifyVerdict verdict);
+
+    /** Drop memoized outcomes (ephemeral mode's iteration boundary). */
+    void clearOutcomes();
+
+    // --- stats ----------------------------------------------------------
+    void countMiss();
+    void countDeduped(size_t n);
+    void countBatch(size_t jobs);
+    struct EvalCharge
+    {
+        double emit_seconds = 0;
+        double pass_seconds = 0;
+        double translate_seconds = 0;
+        double verify_seconds = 0;
+        double schedule_seconds = 0;
+        bool canceled = false;
+    };
+    void chargeEvaluation(const EvalCharge &charge);
+    /** Total seconds across all evaluation stages so far. */
+    double evalSeconds() const;
+    ExternalEvalStats stats() const;
+
+    // --- persistence ----------------------------------------------------
+    /**
+     * Load a persisted cache. Returns the number of entries adopted;
+     * 0 with *error set when the file is unreadable or corrupt — the
+     * cache is then left empty (cold start), never half-loaded.
+     */
+    size_t loadFile(const std::string &path, std::string *error);
+    bool saveFile(const std::string &path, std::string *error) const;
+
+  private:
+    mutable std::mutex mutex_;
+    bool persistent_;
+    std::unordered_map<uint64_t, PassOutcome> pass_;
+    std::unordered_map<uint64_t, VerifyVerdict> verify_;
+    ExternalEvalStats stats_;
+};
+
+using EvalCachePtr = std::shared_ptr<ExternalEvalCache>;
+
+/** The pure-stage inputs of one snippet evaluation. */
+struct SnippetEvalConfig
+{
+    bool validate_results = true;
+    int validation_runs = 2;
+    uint64_t validation_seed = 0x5EEE;
+    /** Scheduling options for the oracle stage. */
+    hls::HlsOptions hls;
+    /** Cooperative cancellation: checked between stages and inside the
+     *  co-simulation; an expired evaluation is discarded, not cached. */
+    std::optional<std::chrono::steady_clock::time_point> deadline;
+};
+
+/**
+ * Run the pure snippet -> pass -> verify -> schedule pipeline on
+ * `term`. `key` seeds the deterministic name scope (pass the full
+ * cache key so distinct rules/configs draw distinct name streams) and
+ * `cache` serves the verification sub-cache and accumulates stats.
+ *
+ * Returns nullopt when the deadline expired mid-evaluation: a
+ * truncated result is budget-dependent, not content-dependent, and
+ * must never be cached. Thread-safe; called from the worker pool.
+ */
+std::optional<PassOutcome>
+evaluateSnippet(const eg::TermPtr &term, uint64_t key,
+                const std::function<bool(ir::Operation &)> &transform,
+                const SnippetEvalConfig &config,
+                ExternalEvalCache &cache);
+
+/** Append the loop ids of every affine.for in `term`, pre-order. */
+void collectLoopIds(const eg::TermPtr &term,
+                    std::vector<std::string> &out);
+
+/**
+ * Equivalence-verdict key: alpha-canonical hashes of both sides plus
+ * the simulation budget. Alpha-equivalent pairs share verdicts — a
+ * bound-name renaming cannot change interpreter semantics.
+ */
+uint64_t verifyKey(const eg::TermPtr &lhs, const eg::TermPtr &rhs,
+                   int runs, uint64_t seed, uint64_t max_steps);
+
+} // namespace seer::core
+
+#endif // SEER_CORE_PASS_EVAL_H_

@@ -5,6 +5,7 @@
 #include <functional>
 #include <optional>
 
+#include "ir/printer.h"
 #include "ir/verifier.h"
 #include "passes/passes.h"
 #include "rover/rover.h"
@@ -12,6 +13,7 @@
 #include "seerlang/from_term.h"
 #include "seerlang/to_term.h"
 #include "support/error.h"
+#include "support/hashing.h"
 
 namespace seer::core {
 
@@ -41,6 +43,32 @@ preNormalize(ir::Operation &func)
         }
     }
     passes::canonicalize(func);
+}
+
+/**
+ * Per-run view of a (possibly shared, cross-run) evaluation cache:
+ * counters report this run's delta; the disk fields describe the cache
+ * itself and pass through.
+ */
+ExternalEvalStats
+evalStatsDelta(const ExternalEvalStats &now, const ExternalEvalStats &base)
+{
+    ExternalEvalStats d = now;
+    d.pass_cache_hits -= base.pass_cache_hits;
+    d.pass_cache_misses -= base.pass_cache_misses;
+    d.verify_cache_hits -= base.verify_cache_hits;
+    d.verify_cache_misses -= base.verify_cache_misses;
+    d.candidates_deduped -= base.candidates_deduped;
+    d.evaluations -= base.evaluations;
+    d.batches -= base.batches;
+    d.batch_jobs -= base.batch_jobs;
+    d.canceled -= base.canceled;
+    d.emit_seconds -= base.emit_seconds;
+    d.pass_seconds -= base.pass_seconds;
+    d.translate_seconds -= base.translate_seconds;
+    d.verify_seconds -= base.verify_seconds;
+    d.schedule_seconds -= base.schedule_seconds;
+    return d;
 }
 
 /** Seed the registry from the initial HLS schedule (called once). */
@@ -213,7 +241,45 @@ optimize(const ir::Module &input, const std::string &func_name,
     context->unroll_max_trip = options.unroll_max_trip;
     context->hls = options.hls;
     context->validate_results = options.validate_external;
+    context->validation_runs = options.validation_runs;
+    context->validation_seed = options.validation_seed;
     context->deadline = deadline;
+    // Memoized + parallel external-pass evaluation. A shared cache (a
+    // sweep over one kernel) wins over per-run construction; otherwise
+    // the cache is persistent (memoizing) or an iteration-scoped
+    // staging buffer, per use_pass_cache. Either way the exploration
+    // result is identical — the cache memoizes a pure function and
+    // unions stay serial.
+    EvalCachePtr eval_cache = options.shared_eval_cache;
+    if (!eval_cache) {
+        eval_cache =
+            std::make_shared<ExternalEvalCache>(options.use_pass_cache);
+        if (options.use_pass_cache && !options.pass_cache_file.empty()) {
+            std::string cache_error;
+            eval_cache->loadFile(options.pass_cache_file, &cache_error);
+            if (!cache_error.empty()) {
+                // Corrupt persistence is recovered by a cold start; the
+                // run itself is unaffected.
+                recordRecovered(result.stats, cache_error);
+            }
+        }
+    }
+    context->eval_cache = eval_cache;
+    context->jobs = options.jobs > 0 ? options.jobs : 1;
+    // Stats snapshots: a shared cache accumulates across optimize()
+    // calls, so this run reports deltas against entry values.
+    const ExternalEvalStats eval_stats_base = eval_cache->stats();
+
+    // Deterministic run-level name scope: every fresh tag / loop id
+    // drawn anywhere in this run (translation, exploration, emission)
+    // comes from a stream seeded by the *content* of the normalized
+    // input. Two runs over the same function — in this process, another
+    // process, or against a --pass-cache file from last week — generate
+    // identical names, so snippet content hashes (and therefore cache
+    // keys) are stable across runs instead of depending on how far the
+    // process-global name counters happened to have advanced.
+    sl::NameScope run_scope(hashString(func_name) ^
+                            hashString(ir::toString(working)));
     try {
         translation = sl::funcToTerm(*func);
         context->registry = seedRegistry(translation, *func, options.hls);
@@ -237,6 +303,9 @@ optimize(const ir::Module &input, const std::string &func_name,
     runner_options.catch_rule_errors = !options.strict;
     runner_options.quarantine_after = options.quarantine_after;
     runner_options.deadline = deadline;
+    // One -j knob drives both parallel stages: e-matching and the
+    // external-pass worker pool (both deterministic by construction).
+    runner_options.match_threads = context->jobs;
 
     // The health trail of a runner report (recovered errors, quarantined
     // rules). Absorbed even from a phase that is later rolled back: the
@@ -414,7 +483,20 @@ optimize(const ir::Module &input, const std::string &func_name,
     result.registry = std::move(context->registry);
     result.stats.egraph_nodes = egraph.numNodes();
     result.stats.egraph_classes = egraph.numClasses();
+    // "Time in MLIR": wall-clock spent evaluating external passes this
+    // run (batches block the main loop, so wall time is the honest
+    // figure under -j; per-stage thread-seconds live in external_eval).
     result.stats.time_in_passes_seconds = context->mlir_seconds;
+    result.stats.external_eval =
+        evalStatsDelta(eval_cache->stats(), eval_stats_base);
+    if (!options.shared_eval_cache && options.use_pass_cache &&
+        !options.pass_cache_file.empty()) {
+        std::string cache_error;
+        if (!eval_cache->saveFile(options.pass_cache_file,
+                                  &cache_error)) {
+            recordRecovered(result.stats, cache_error);
+        }
+    }
     finish(result);
     return result;
 }
@@ -438,6 +520,7 @@ toJson(const SeerStats &stats)
         iterations.push(eg::toJson(iteration));
     out.set("iterations", std::move(iterations));
     out.set("match_phase", eg::toJson(stats.match_phase));
+    out.set("external_eval", toJson(stats.external_eval));
     out.set("degraded", stats.degraded);
     json::Value health{json::Object{}};
     health.set("degraded", stats.degraded);

@@ -59,12 +59,43 @@ struct SeerOptions
     /** Gate every external-pass result through the verifier + a
      *  before/after co-simulation before unioning it. */
     bool validate_external = true;
+    /** Co-simulation runs per validation (more runs = a stronger gate
+     *  and more interpreter time; the verification cache is keyed on
+     *  this, so changing it never reuses stale verdicts). */
+    int validation_runs = 2;
+    /** Seed of the validation input generator (cache-keyed). */
+    uint64_t validation_seed = 0x5EEE;
     /** Consecutive recovered failures before a rule is quarantined for
      *  the rest of a phase (the runner's circuit breaker). */
     size_t quarantine_after = 3;
     /** Test/chaos hook: extra rules appended to every control phase
      *  (used to inject faulty rules in robustness tests). */
     std::vector<eg::Rewrite> extra_control_rules;
+
+    // --- memoized + parallel external-pass evaluation --------------------
+    /**
+     * Worker threads for external-pass evaluation (and the runner's
+     * match phase). Snippet evaluation is a pure function under a
+     * content-seeded name scope and unions stay strictly serial in
+     * canonical order, so any value of `jobs` produces bit-identical
+     * results — e-graphs, stats, extracted terms (`seer-opt -j N`).
+     */
+    unsigned jobs = 1;
+    /**
+     * Memoize pass outcomes and equivalence verdicts across iterations,
+     * phases and optimize() calls. Off: outcomes are staged per
+     * iteration only (the honest cold baseline). The exploration result
+     * is identical either way — the cache is a transparent memo over a
+     * pure function.
+     */
+    bool use_pass_cache = true;
+    /** Load/save the pass-outcome cache here (empty = in-memory only;
+     *  `seer-opt --pass-cache <path>`). A corrupt file cold-starts. */
+    std::string pass_cache_file;
+    /** Share one evaluation cache across optimize() calls (e.g. a
+     *  design-space sweep over one kernel); overrides use_pass_cache
+     *  and pass_cache_file when set. */
+    EvalCachePtr shared_eval_cache;
 
     SeerOptions()
     {
@@ -116,6 +147,10 @@ struct SeerStats
     size_t rejected_externals = 0;
     /** Diagnostics for the first few rejected external results. */
     std::vector<std::string> rejection_details;
+
+    /** Cache hit rates and per-stage timing of the memoized
+     *  external-pass evaluation layer ("external_eval" in --stats). */
+    ExternalEvalStats external_eval;
 };
 
 /** JSON view of the statistics (records omitted; they carry terms). */

@@ -119,7 +119,7 @@ enum class RunStatus { Ok, Trap };
 /** Execute a statement term on the given argument seed. */
 RunStatus
 runTerm(const TermPtr &statement, const sl::EmitSpec &spec, uint64_t seed,
-        uint64_t max_steps, std::vector<int64_t> &state)
+        const VerifyOptions &verify_options, std::vector<int64_t> &state)
 {
     ir::Module module;
     try {
@@ -131,7 +131,8 @@ runTerm(const TermPtr &statement, const sl::EmitSpec &spec, uint64_t seed,
     Rng rng(seed);
     std::vector<ir::RtValue> args = buildArgs(spec, buffers, rng);
     ir::InterpOptions options;
-    options.max_steps = max_steps;
+    options.max_steps = verify_options.max_steps;
+    options.deadline = verify_options.deadline;
     try {
         ir::interpret(module, spec.func_name, std::move(args), options);
     } catch (const FatalError &) {
@@ -168,12 +169,17 @@ checkTermEquivalence(const TermPtr &lhs, const TermPtr &rhs,
 
     int conclusive = 0;
     for (int run = 0; run < options.runs; ++run) {
+        // Cooperative cancellation between runs (and, via
+        // InterpOptions::deadline, inside them).
+        if (options.deadline &&
+            std::chrono::steady_clock::now() >= *options.deadline)
+            break;
         uint64_t seed = options.seed + 7919 * run;
         std::vector<int64_t> lhs_state, rhs_state;
-        RunStatus ls = runTerm(lhs_statement, *spec, seed,
-                               options.max_steps, lhs_state);
-        RunStatus rs = runTerm(rhs_statement, *spec, seed,
-                               options.max_steps, rhs_state);
+        RunStatus ls =
+            runTerm(lhs_statement, *spec, seed, options, lhs_state);
+        RunStatus rs =
+            runTerm(rhs_statement, *spec, seed, options, rhs_state);
         if (ls == RunStatus::Trap || rs == RunStatus::Trap)
             continue; // inconclusive input (e.g. a free index went OOB)
         ++conclusive;
@@ -292,6 +298,7 @@ checkModuleEquivalence(const ir::Module &lhs, const ir::Module &rhs,
         }
         ir::InterpOptions interp_options;
         interp_options.max_steps = options.max_steps;
+        interp_options.deadline = options.deadline;
         try {
             ir::interpret(lhs, func_name, std::move(lhs_args),
                           interp_options);

@@ -12,6 +12,9 @@
 #ifndef SEER_CORE_VERIFY_H_
 #define SEER_CORE_VERIFY_H_
 
+#include <chrono>
+#include <optional>
+
 #include "core/seer.h"
 #include "support/rng.h"
 
@@ -23,6 +26,16 @@ struct VerifyOptions
     uint64_t seed = 0x5EEE;   ///< base RNG seed
     uint64_t max_steps = 20'000'000; ///< interpreter budget per run
     size_t max_failures = 8;  ///< stop collecting after this many
+    /**
+     * Cooperative cancellation: checked before each run and polled
+     * inside the interpreter, so a check never outlives the caller's
+     * wall-clock budget by more than a few thousand interpreter steps.
+     * An expired check can report acceptance with zero conclusive runs
+     * ("<inconclusive>") — callers with a deadline must re-check the
+     * clock before treating the verdict as meaningful (and must never
+     * cache it).
+     */
+    std::optional<std::chrono::steady_clock::time_point> deadline;
 };
 
 struct VerifyReport

@@ -32,6 +32,21 @@ using Condition = std::function<bool(const EGraph &, const Match &)>;
 using DynApplier =
     std::function<std::optional<TermPtr>(EGraph &, const Match &)>;
 
+/**
+ * A batching hook for dynamic rules: called once per runner iteration,
+ * after scheduler truncation and before any match of this rule is
+ * applied, with exactly the matches the apply phase will consume. The
+ * e-graph is immutable at that point, so the hook may precompute
+ * expensive per-match work — SEER's external-pass layer uses it to
+ * collect, dedupe and evaluate candidate snippets on a worker pool, so
+ * the (serial, order-preserving) apply phase only consults a cache.
+ * The hook must not mutate the e-graph and must leave any shared state
+ * it updates consistent even if it is skipped entirely: it is an
+ * accelerator, never a semantic dependency.
+ */
+using PrepareHook =
+    std::function<void(const EGraph &, const std::vector<Match> &)>;
+
 /** A rewrite rule. */
 struct Rewrite
 {
@@ -40,6 +55,7 @@ struct Rewrite
     PatternPtr rhs;     ///< set for syntactic rules
     Condition condition; ///< optional guard
     DynApplier dyn;      ///< set for dynamic rules
+    PrepareHook prepare; ///< optional batch stage for dynamic rules
 
     bool isDynamic() const { return static_cast<bool>(dyn); }
 };

@@ -411,7 +411,6 @@ Runner::run()
         // over-budget rule still applies its first budget-many matches
         // and is banned *afterwards*; a clean streak decays the ban
         // level so the budget recovers.
-        std::vector<PendingApply> pending;
         for (size_t r : active) {
             RuleState &state = states_[r];
             std::vector<Match> &matches = per_rule[r];
@@ -429,7 +428,33 @@ Runner::run()
             }
             stats.matches += matches.size();
             report.rules[r].matches += matches.size();
-            for (Match &match : matches)
+        }
+
+        // Batch stage: after truncation the iteration's work-list is
+        // final, and the e-graph is immutable until the apply phase
+        // below. Each rule's prepare hook sees exactly the matches that
+        // will be consumed — the external-pass layer uses this window
+        // to evaluate deduped snippet candidates on a worker pool while
+        // unions stay strictly serial. Guarded like an application: a
+        // crashing hook is this rule's failure, not the runner's.
+        for (size_t r : active) {
+            if (!rules_[r].prepare || per_rule[r].empty() ||
+                states_[r].quarantined)
+                continue;
+            auto t0 = Clock::now();
+            try {
+                rules_[r].prepare(egraph_, per_rule[r]);
+            } catch (const FatalError &err) {
+                if (!options_.catch_rule_errors)
+                    throw;
+                record_failure(r, err.what());
+            }
+            report.rules[r].apply_seconds += since(t0);
+        }
+
+        std::vector<PendingApply> pending;
+        for (size_t r : active) {
+            for (Match &match : per_rule[r])
                 pending.push_back({r, std::move(match)});
         }
 

@@ -88,6 +88,13 @@ class Interp
             fatal(MsgBuilder() << "interpret: step limit exceeded at op "
                                << op.nameStr());
         }
+        // Cooperative cancellation: poll the deadline cheaply (clock
+        // reads amortized over 4096 steps) so one multi-million-step
+        // simulation cannot blow far past the driver's --deadline.
+        if (options_.deadline && (steps_ & 0xfff) == 0 &&
+            std::chrono::steady_clock::now() >= *options_.deadline) {
+            fatal("interpret: deadline exceeded (cooperative cancel)");
+        }
         if (options_.profile)
             ++profile_.ops[&op];
     }

@@ -12,9 +12,11 @@
 #ifndef SEER_IR_INTERP_H_
 #define SEER_IR_INTERP_H_
 
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
 #include <variant>
 #include <vector>
 
@@ -64,6 +66,15 @@ struct InterpOptions
     uint64_t max_steps = 500'000'000;
     /** Collect the Profile (slightly slower). */
     bool profile = false;
+    /**
+     * Cooperative wall-clock cancellation: checked every few thousand
+     * steps, so a long-running simulation (e.g. an equivalence check's
+     * co-execution) stops shortly after the deadline instead of running
+     * its full step budget. Expiry traps with a FatalError whose
+     * message starts with "interpret: deadline" — callers that must
+     * distinguish cancellation from a genuine trap re-check the clock.
+     */
+    std::optional<std::chrono::steady_clock::time_point> deadline;
 };
 
 /**

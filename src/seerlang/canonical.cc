@@ -1,0 +1,149 @@
+#include "seerlang/canonical.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "seerlang/encoding.h"
+#include "support/hashing.h"
+
+namespace seer::sl {
+
+using eg::TermPtr;
+
+namespace {
+
+/** Bound-name environment: name -> stack of binder numbers. */
+using Env = std::map<std::string, std::vector<uint64_t>>;
+
+bool
+isForWithBinder(Symbol op, std::string *iv_name)
+{
+    auto fields = eg::splitSymbol(op);
+    if (fields.size() != 3 || fields[0] != "affine.for")
+        return false;
+    if (iv_name)
+        *iv_name = fields[1];
+    return true;
+}
+
+uint64_t
+hashRec(const TermPtr &term, Env &env, uint64_t &binder_count)
+{
+    Symbol op = term->op();
+    uint64_t hash = kHashSeed;
+
+    std::string iv_name;
+    if (isForWithBinder(op, &iv_name)) {
+        // Binder: op name + binder number stand in for the iv name and
+        // the loop id. lb/ub/step are evaluated outside the binding;
+        // only the body (child 3) sees the iv.
+        uint64_t binder = binder_count++;
+        hash = hashString("affine.for#", hash);
+        hash = hashValue(binder, hash);
+        hash = hashValue(term->arity(), hash);
+        size_t body_index = term->arity() - 1;
+        for (size_t i = 0; i < term->arity(); ++i) {
+            if (i != body_index) {
+                hash = hashCombine(
+                    hash, hashRec(term->child(i), env, binder_count));
+            }
+        }
+        env[iv_name].push_back(binder);
+        hash = hashCombine(
+            hash, hashRec(term->child(body_index), env, binder_count));
+        env[iv_name].pop_back();
+        return hash;
+    }
+
+    if (auto var = decodeVar(op)) {
+        auto it = env.find(*var);
+        if (it != env.end() && !it->second.empty()) {
+            hash = hashString("%bvar", hash);
+            return hashValue(it->second.back(), hash);
+        }
+        // Free variable: semantic payload, hash by name.
+    }
+
+    hash = hashString(op.str(), hash);
+    hash = hashValue(term->arity(), hash);
+    for (const TermPtr &child : term->children())
+        hash = hashCombine(hash, hashRec(child, env, binder_count));
+    return hash;
+}
+
+bool
+alphaRec(const TermPtr &a, const TermPtr &b, Env &env_a, Env &env_b,
+         uint64_t &binder_count)
+{
+    if (a->arity() != b->arity())
+        return false;
+    std::string iv_a, iv_b;
+    bool for_a = isForWithBinder(a->op(), &iv_a);
+    bool for_b = isForWithBinder(b->op(), &iv_b);
+    if (for_a != for_b)
+        return false;
+    if (for_a) {
+        if (a->arity() < 1)
+            return false;
+        size_t body_index = a->arity() - 1;
+        for (size_t i = 0; i < a->arity(); ++i) {
+            if (i == body_index)
+                continue;
+            if (!alphaRec(a->child(i), b->child(i), env_a, env_b,
+                          binder_count))
+                return false;
+        }
+        uint64_t binder = binder_count++;
+        env_a[iv_a].push_back(binder);
+        env_b[iv_b].push_back(binder);
+        bool ok = alphaRec(a->child(body_index), b->child(body_index),
+                           env_a, env_b, binder_count);
+        env_a[iv_a].pop_back();
+        env_b[iv_b].pop_back();
+        return ok;
+    }
+    auto var_a = decodeVar(a->op());
+    auto var_b = decodeVar(b->op());
+    if (static_cast<bool>(var_a) != static_cast<bool>(var_b))
+        return false;
+    if (var_a) {
+        auto it_a = env_a.find(*var_a);
+        auto it_b = env_b.find(*var_b);
+        bool bound_a = it_a != env_a.end() && !it_a->second.empty();
+        bool bound_b = it_b != env_b.end() && !it_b->second.empty();
+        if (bound_a != bound_b)
+            return false;
+        if (bound_a)
+            return it_a->second.back() == it_b->second.back();
+        return *var_a == *var_b; // free: names are payload
+    }
+    if (a->op() != b->op())
+        return false;
+    for (size_t i = 0; i < a->arity(); ++i) {
+        if (!alphaRec(a->child(i), b->child(i), env_a, env_b,
+                      binder_count))
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+uint64_t
+canonicalTermHash(const TermPtr &term)
+{
+    Env env;
+    uint64_t binder_count = 0;
+    return hashRec(term, env, binder_count);
+}
+
+bool
+alphaEquivalent(const TermPtr &a, const TermPtr &b)
+{
+    Env env_a, env_b;
+    uint64_t binder_count = 0;
+    return alphaRec(a, b, env_a, env_b, binder_count);
+}
+
+} // namespace seer::sl

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Alpha-canonical structural hashing of SeerLang terms.
+ *
+ * The external-pass evaluation layer keys its caches on term *content*.
+ * Two snippets that differ only in bound names — loop induction
+ * variables and loop ids, both of which back-translation replaces with
+ * fresh names anyway — are the same input to a pass, so they must hash
+ * equal (a cache hit). Everything else (op names, types, constants,
+ * predicates, memory tags, free variables, argument names) is semantic
+ * payload and hashes verbatim (a miss).
+ *
+ * Memory tags are deliberately NOT canonicalized: tags realize the
+ * program-order discipline (encoding.h), and two tag-distinct but
+ * otherwise identical sub-programs are different program points whose
+ * classes must never be merged through a shared cached replacement.
+ *
+ * Hashes are computed from symbol *text*, never interned ids, so they
+ * are stable across processes — the requirement for the on-disk cache.
+ */
+#ifndef SEER_SEERLANG_CANONICAL_H_
+#define SEER_SEERLANG_CANONICAL_H_
+
+#include <cstdint>
+
+#include "egraph/term.h"
+
+namespace seer::sl {
+
+/**
+ * Alpha-canonical 64-bit structural hash: affine.for binders are
+ * numbered in pre-order, their loop ids and induction-variable names
+ * hash as that number, and bound var:<name> references hash as the
+ * binder number they resolve to (innermost shadowing outermost). Free
+ * variables and every other symbol hash by full text.
+ */
+uint64_t canonicalTermHash(const eg::TermPtr &term);
+
+/** True when the two terms are alpha-equivalent in the above sense.
+ *  (Exact, not hash-based: used by tests and collision diagnostics.) */
+bool alphaEquivalent(const eg::TermPtr &a, const eg::TermPtr &b);
+
+} // namespace seer::sl
+
+#endif // SEER_SEERLANG_CANONICAL_H_

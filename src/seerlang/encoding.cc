@@ -16,7 +16,34 @@ namespace {
 std::atomic<uint64_t> tag_counter{0};
 std::atomic<uint64_t> loop_counter{0};
 
+/** Innermost active NameScope of this thread (nullptr: global stream). */
+thread_local NameScope *active_scope = nullptr;
+
+/** "<seed-hex>x<n>": scoped names embed their stream so independent
+ *  scopes can never collide with each other or with the decimal global
+ *  stream. */
+std::string
+scopedName(uint64_t seed, uint64_t n)
+{
+    char buffer[40];
+    std::snprintf(buffer, sizeof buffer, "%016llxx%llu",
+                  static_cast<unsigned long long>(seed),
+                  static_cast<unsigned long long>(n));
+    return buffer;
+}
+
 } // namespace
+
+NameScope::NameScope(uint64_t seed)
+    : previous_(active_scope), seed_(seed)
+{
+    active_scope = this;
+}
+
+NameScope::~NameScope()
+{
+    active_scope = previous_;
+}
 
 Symbol
 encodeIntConst(int64_t value, ir::Type type)
@@ -107,12 +134,18 @@ fieldsOf(Symbol symbol)
 std::string
 freshTag()
 {
+    if (active_scope)
+        return "t" + scopedName(active_scope->seed_,
+                                active_scope->next_++);
     return "t" + std::to_string(tag_counter++);
 }
 
 std::string
 freshLoopId()
 {
+    if (active_scope)
+        return "L" + scopedName(active_scope->seed_,
+                                active_scope->next_++);
     return "L" + std::to_string(loop_counter++);
 }
 

@@ -77,6 +77,43 @@ std::string freshTag();
 /** Fresh loop id (L0, L1, ...). */
 std::string freshLoopId();
 
+/**
+ * Deterministic fresh-name scope (RAII, per thread).
+ *
+ * While a scope is active on the current thread, freshTag()/
+ * freshLoopId() draw from a stream derived from the scope's seed
+ * ("t<seed-hex>x<n>" / "L<seed-hex>x<n>") instead of the process-global
+ * counters. Seeding the scope with the *content hash* of the term being
+ * worked on makes snippet evaluation a pure function of its inputs:
+ * re-evaluating the same snippet — on any thread, in any order, in any
+ * process — reproduces byte-identical tags and loop ids. That is what
+ * lets the pass-outcome cache hand back a recorded replacement as if it
+ * had just been computed, and what makes -j 1 and -j N explorations
+ * bit-identical.
+ *
+ * Uniqueness discipline: global names are pure decimals ("t42"), scoped
+ * names always contain the 'x' separator, and two scopes only share a
+ * stream when their seeds collide — i.e. (for content-hash seeds) when
+ * the snippets themselves are identical, in which case identical names
+ * are exactly the intent. Scopes nest; the innermost wins.
+ */
+class NameScope
+{
+  public:
+    explicit NameScope(uint64_t seed);
+    ~NameScope();
+
+    NameScope(const NameScope &) = delete;
+    NameScope &operator=(const NameScope &) = delete;
+
+  private:
+    NameScope *previous_;
+    uint64_t seed_;
+    uint64_t next_ = 0;
+    friend std::string freshTag();
+    friend std::string freshLoopId();
+};
+
 Symbol encodeLoad(const std::string &tag);
 Symbol encodeStore(const std::string &tag);
 Symbol encodeAlloc(ir::Type type, const std::string &tag);

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Stable 64-bit hashing primitives.
+ *
+ * The external-pass evaluation layer keys its caches on *content*
+ * hashes that must be stable across processes (the pass-outcome cache
+ * can persist to disk), so everything here hashes bytes — never
+ * pointer values or interning-order-dependent symbol ids.
+ */
+#ifndef SEER_SUPPORT_HASHING_H_
+#define SEER_SUPPORT_HASHING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace seer {
+
+/** FNV-1a offset basis; the default seed for hash chains. */
+inline constexpr uint64_t kHashSeed = 0xcbf29ce484222325ull;
+
+/** FNV-1a over a byte range, continuing from `seed`. */
+inline uint64_t
+hashBytes(const void *data, size_t size, uint64_t seed = kHashSeed)
+{
+    const unsigned char *bytes = static_cast<const unsigned char *>(data);
+    uint64_t hash = seed;
+    for (size_t i = 0; i < size; ++i) {
+        hash ^= bytes[i];
+        hash *= 0x100000001b3ull;
+    }
+    return hash;
+}
+
+/** Hash a string's characters (not its address). */
+inline uint64_t
+hashString(std::string_view text, uint64_t seed = kHashSeed)
+{
+    return hashBytes(text.data(), text.size(), seed);
+}
+
+/** splitmix64 finalizer: decorrelates structured integer inputs. */
+inline uint64_t
+hashMix(uint64_t value)
+{
+    value += 0x9e3779b97f4a7c15ull;
+    value = (value ^ (value >> 30)) * 0xbf58476d1ce4e5b9ull;
+    value = (value ^ (value >> 27)) * 0x94d049bb133111ebull;
+    return value ^ (value >> 31);
+}
+
+/** Order-dependent combination of two hashes. */
+inline uint64_t
+hashCombine(uint64_t a, uint64_t b)
+{
+    return hashMix(a ^ (hashMix(b) + 0x9e3779b97f4a7c15ull + (a << 6) +
+                        (a >> 2)));
+}
+
+/** Fold an integer into a hash chain. */
+inline uint64_t
+hashValue(uint64_t value, uint64_t seed = kHashSeed)
+{
+    return hashCombine(seed, hashMix(value));
+}
+
+} // namespace seer
+
+#endif // SEER_SUPPORT_HASHING_H_

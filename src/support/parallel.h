@@ -1,0 +1,40 @@
+/**
+ * @file
+ * A deterministic fork-join worker pool.
+ *
+ * parallelFor() runs `count` independent jobs on up to `threads`
+ * workers and joins them all before returning. Completion *order* is
+ * unspecified, so callers that need determinism must make each job a
+ * pure function of its index writing to a disjoint slot — exactly the
+ * discipline the runner's parallel match phase and the external-pass
+ * evaluation batches follow. With threads <= 1 (or a single job) the
+ * jobs run inline on the calling thread, so `-j 1` exercises the same
+ * code path minus the threads.
+ *
+ * Jobs must not throw: an exception escaping a worker thread would
+ * std::terminate the process. Callers catch inside the job and report
+ * through their result slots.
+ */
+#ifndef SEER_SUPPORT_PARALLEL_H_
+#define SEER_SUPPORT_PARALLEL_H_
+
+#include <cstddef>
+#include <functional>
+
+namespace seer {
+
+/**
+ * Run fn(0..count-1), spread over up to `threads` workers. When
+ * `cancel` is provided and returns true, remaining *unstarted* jobs are
+ * skipped (in-flight jobs always finish: cancellation is cooperative).
+ */
+void parallelFor(size_t count, unsigned threads,
+                 const std::function<void(size_t)> &fn,
+                 const std::function<bool()> &cancel = nullptr);
+
+/** Worker count for "use every core" requests (never 0). */
+unsigned hardwareThreads();
+
+} // namespace seer
+
+#endif // SEER_SUPPORT_PARALLEL_H_

@@ -1,39 +1,77 @@
 #include "support/symbol.h"
 
-#include <deque>
+#include <atomic>
 #include <mutex>
+#include <shared_mutex>
 #include <unordered_map>
 
 namespace seer {
 namespace {
 
-/** Process-global intern table, guarded for thread safety. */
+/**
+ * Process-global intern table.
+ *
+ * The table is tuned for the parallel external-pass workers, which
+ * intern and stringify symbols on every term they touch — a plainly
+ * mutex-guarded table serializes the whole pool:
+ *
+ *  - str() is lock-free: strings live in fixed-size blocks that never
+ *    move once allocated, and a thread holding a valid Symbol id
+ *    received it through some synchronizing handoff (a task launch, a
+ *    cache mutex), which also publishes the block its string lives in.
+ *  - intern() of an existing string takes only a shared (reader) lock;
+ *    the exclusive lock is reserved for first-time insertions.
+ *  - on top of that, each thread memoizes its intern results, so the
+ *    hot emission loops (the same operator texts over and over) skip
+ *    the shared table entirely after first contact.
+ */
 struct InternTable
 {
-    std::mutex mutex;
-    std::deque<std::string> strings;
-    std::unordered_map<std::string_view, uint32_t> ids;
+    static constexpr uint32_t kBlockBits = 16;
+    static constexpr uint32_t kBlockSize = uint32_t{1} << kBlockBits;
+    static constexpr uint32_t kMaxBlocks = uint32_t{1}
+                                           << (32 - kBlockBits);
+
+    std::shared_mutex mutex;
+    std::unordered_map<std::string_view, uint32_t> ids; // guarded
+    uint32_t count = 0;                                 // guarded
+    std::atomic<std::string *> blocks[kMaxBlocks] = {};
 
     InternTable() { intern(""); }
 
     uint32_t
     intern(std::string_view text)
     {
-        std::lock_guard<std::mutex> lock(mutex);
-        auto it = ids.find(text);
+        {
+            std::shared_lock<std::shared_mutex> lock(mutex);
+            auto it = ids.find(text);
+            if (it != ids.end())
+                return it->second;
+        }
+        std::unique_lock<std::shared_mutex> lock(mutex);
+        auto it = ids.find(text); // racing inserter may have won
         if (it != ids.end())
             return it->second;
-        strings.emplace_back(text);
-        uint32_t id = static_cast<uint32_t>(strings.size() - 1);
-        ids.emplace(strings.back(), id);
+        uint32_t id = count++;
+        uint32_t block = id >> kBlockBits;
+        std::string *storage =
+            blocks[block].load(std::memory_order_relaxed);
+        if (!storage) {
+            storage = new std::string[kBlockSize];
+            blocks[block].store(storage, std::memory_order_release);
+        }
+        std::string &slot = storage[id & (kBlockSize - 1)];
+        slot = std::string(text);
+        ids.emplace(slot, id);
         return id;
     }
 
     const std::string &
     str(uint32_t id)
     {
-        std::lock_guard<std::mutex> lock(mutex);
-        return strings[id];
+        std::string *storage =
+            blocks[id >> kBlockBits].load(std::memory_order_acquire);
+        return storage[id & (kBlockSize - 1)];
     }
 };
 
@@ -44,11 +82,25 @@ table()
     return instance;
 }
 
+uint32_t
+internCached(std::string_view text)
+{
+    // Keys are views into the table's block storage: stable for the
+    // process lifetime, so the memo never dangles.
+    thread_local std::unordered_map<std::string_view, uint32_t> memo;
+    auto it = memo.find(text);
+    if (it != memo.end())
+        return it->second;
+    uint32_t id = table().intern(text);
+    memo.emplace(table().str(id), id);
+    return id;
+}
+
 } // namespace
 
 Symbol::Symbol() : id_(0) {}
 
-Symbol::Symbol(std::string_view text) : id_(table().intern(text)) {}
+Symbol::Symbol(std::string_view text) : id_(internCached(text)) {}
 
 const std::string &
 Symbol::str() const

@@ -1,0 +1,475 @@
+/**
+ * Tests for the memoized + parallel external-pass evaluation layer
+ * (PR 4): alpha-canonical cache keys, the two-level cache with on-disk
+ * persistence, the deterministic name scope, cooperative deadline
+ * cancellation, and the determinism contract of the worker pool —
+ * `-j 1` == `-j N` and cache-on == cache-off, bit for bit.
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/pass_eval.h"
+#include "core/seer.h"
+#include "ir/parser.h"
+#include "ir/printer.h"
+#include "seerlang/canonical.h"
+#include "seerlang/encoding.h"
+#include "support/parallel.h"
+
+namespace seer::core {
+namespace {
+
+// ---------------------------------------------------------------------
+// Cache key canonicalization
+// ---------------------------------------------------------------------
+
+TEST(CanonicalHashTest, AlphaEquivalentLoopsHitTheSameKey)
+{
+    // Same loop up to the induction variable name and the loop id —
+    // both are rebound by back-translation, so they must share a key.
+    auto a = eg::parseTerm("(affine.for:i:L0 const:0:index const:8:index"
+                           " const:1:index (use var:i))");
+    auto b = eg::parseTerm("(affine.for:j:L7 const:0:index const:8:index"
+                           " const:1:index (use var:j))");
+    EXPECT_EQ(sl::canonicalTermHash(a), sl::canonicalTermHash(b));
+    EXPECT_TRUE(sl::alphaEquivalent(a, b));
+}
+
+TEST(CanonicalHashTest, DifferingAttributesMiss)
+{
+    auto base = eg::parseTerm("(affine.for:i:L0 const:0:index"
+                              " const:8:index const:1:index"
+                              " (use var:i))");
+    // A different trip count is a different snippet.
+    auto other_ub = eg::parseTerm("(affine.for:i:L0 const:0:index"
+                                  " const:9:index const:1:index"
+                                  " (use var:i))");
+    EXPECT_NE(sl::canonicalTermHash(base),
+              sl::canonicalTermHash(other_ub));
+    EXPECT_FALSE(sl::alphaEquivalent(base, other_ub));
+}
+
+TEST(CanonicalHashTest, FreeVariablesAndTagsHashVerbatim)
+{
+    // Free (unbound) variables are semantic payload.
+    auto x = eg::parseTerm("(use var:x)");
+    auto y = eg::parseTerm("(use var:y)");
+    EXPECT_NE(sl::canonicalTermHash(x), sl::canonicalTermHash(y));
+
+    // Memory tags realize program order and must never be merged.
+    auto tag_a = eg::parseTerm("(store:tagA const:1:i32 var:p)");
+    auto tag_b = eg::parseTerm("(store:tagB const:1:i32 var:p)");
+    EXPECT_NE(sl::canonicalTermHash(tag_a),
+              sl::canonicalTermHash(tag_b));
+    EXPECT_FALSE(sl::alphaEquivalent(tag_a, tag_b));
+}
+
+TEST(CanonicalHashTest, ShadowingResolvesInnermost)
+{
+    // The inner loop rebinds %i; the renamed twin rebinds consistently.
+    auto a = eg::parseTerm(
+        "(affine.for:i:L0 const:0:index const:4:index const:1:index"
+        " (affine.for:i:L1 const:0:index var:i const:1:index"
+        "  (use var:i)))");
+    auto b = eg::parseTerm(
+        "(affine.for:p:L8 const:0:index const:4:index const:1:index"
+        " (affine.for:q:L9 const:0:index var:p const:1:index"
+        "  (use var:q)))");
+    EXPECT_EQ(sl::canonicalTermHash(a), sl::canonicalTermHash(b));
+    EXPECT_TRUE(sl::alphaEquivalent(a, b));
+}
+
+TEST(CanonicalHashTest, VerifyKeyRespectsAlphaAndBudget)
+{
+    auto lhs = eg::parseTerm("(affine.for:i:L0 const:0:index"
+                             " const:8:index const:1:index"
+                             " (use var:i))");
+    auto lhs_renamed = eg::parseTerm("(affine.for:z:L5 const:0:index"
+                                     " const:8:index const:1:index"
+                                     " (use var:z))");
+    auto rhs = eg::parseTerm("(use var:x)");
+    uint64_t key = verifyKey(lhs, rhs, 2, 77, 1000);
+    EXPECT_EQ(key, verifyKey(lhs_renamed, rhs, 2, 77, 1000));
+    // Different simulation budget or seed = a different verdict.
+    EXPECT_NE(key, verifyKey(lhs, rhs, 3, 77, 1000));
+    EXPECT_NE(key, verifyKey(lhs, rhs, 2, 78, 1000));
+    // Orientation matters: (before, after) is not (after, before).
+    EXPECT_NE(key, verifyKey(rhs, lhs, 2, 77, 1000));
+}
+
+// ---------------------------------------------------------------------
+// Deterministic name scope
+// ---------------------------------------------------------------------
+
+TEST(NameScopeTest, SameSeedSameStream)
+{
+    std::vector<std::string> first, second;
+    {
+        sl::NameScope scope(0xABCDEF);
+        for (int i = 0; i < 4; ++i)
+            first.push_back(sl::freshTag());
+        first.push_back(sl::freshLoopId());
+    }
+    {
+        sl::NameScope scope(0xABCDEF);
+        for (int i = 0; i < 4; ++i)
+            second.push_back(sl::freshTag());
+        second.push_back(sl::freshLoopId());
+    }
+    EXPECT_EQ(first, second);
+
+    sl::NameScope other(0x123456);
+    EXPECT_NE(first[0], sl::freshTag());
+}
+
+TEST(NameScopeTest, NestingRestoresTheOuterStream)
+{
+    sl::NameScope outer(1);
+    std::string a = sl::freshTag();
+    {
+        sl::NameScope inner(2);
+        std::string inner_tag = sl::freshTag();
+        EXPECT_NE(inner_tag, a);
+    }
+    // Back on the outer stream: the next draw continues it, and a
+    // rerun of the same nesting reproduces it exactly.
+    std::string b = sl::freshTag();
+    sl::NameScope replay(1);
+    EXPECT_EQ(a, sl::freshTag());
+    EXPECT_EQ(b, sl::freshTag());
+}
+
+// ---------------------------------------------------------------------
+// The two-level cache: memoization + persistence
+// ---------------------------------------------------------------------
+
+PassOutcome
+replacedOutcome()
+{
+    PassOutcome outcome;
+    outcome.status = PassOutcome::Status::Replaced;
+    outcome.replacement = eg::parseTerm(
+        "(affine.for:i:L0 const:0:index const:8:index const:1:index"
+        " (store:t1 (load:t0 var:i) var:i))");
+    LoopRegistryEntry entry;
+    entry.constraints.ii = 2;
+    entry.constraints.latency = 5;
+    entry.constraints.full_latency = 21;
+    entry.constraints.trip = 8;
+    entry.constraints.pipelined = true;
+    entry.constraints.loop_id = "L0";
+    entry.constraints.accesses["mem a"] = 3; // space needs escaping
+    entry.coalesced = true;
+    outcome.schedule.emplace_back("L0", entry);
+    return outcome;
+}
+
+std::string
+tempPath(const char *name)
+{
+    return std::string(::testing::TempDir()) + name;
+}
+
+TEST(EvalCacheTest, DiskRoundTripPreservesOutcomesAndVerdicts)
+{
+    ExternalEvalCache cache;
+    cache.insertPass(1, PassOutcome{}); // NotApplied
+    PassOutcome rejected;
+    rejected.status = PassOutcome::Status::Rejected;
+    rejected.detail = "co-simulation mismatch: out[3] 1% vs 2";
+    cache.insertPass(2, rejected);
+    cache.insertPass(3, replacedOutcome());
+    VerifyVerdict verdict;
+    verdict.result = VerifyVerdict::Result::Mismatch;
+    verdict.diag = "run 1 diverged";
+    cache.insertVerify(9, verdict);
+
+    std::string path = tempPath("pass_cache_roundtrip.txt");
+    std::string error;
+    ASSERT_TRUE(cache.saveFile(path, &error)) << error;
+
+    ExternalEvalCache loaded;
+    ASSERT_EQ(loaded.loadFile(path, &error), 4u) << error;
+    EXPECT_EQ(loaded.stats().disk_entries_loaded, 4u);
+    EXPECT_FALSE(loaded.stats().disk_load_failed);
+
+    auto not_applied = loaded.lookupPass(1);
+    ASSERT_TRUE(not_applied.has_value());
+    EXPECT_EQ(not_applied->status, PassOutcome::Status::NotApplied);
+
+    auto rej = loaded.lookupPass(2);
+    ASSERT_TRUE(rej.has_value());
+    EXPECT_EQ(rej->status, PassOutcome::Status::Rejected);
+    EXPECT_EQ(rej->detail, rejected.detail);
+
+    auto rep = loaded.lookupPass(3);
+    ASSERT_TRUE(rep.has_value());
+    ASSERT_EQ(rep->status, PassOutcome::Status::Replaced);
+    ASSERT_TRUE(rep->replacement != nullptr);
+    EXPECT_EQ(rep->replacement->str(),
+              replacedOutcome().replacement->str());
+    ASSERT_EQ(rep->schedule.size(), 1u);
+    EXPECT_EQ(rep->schedule[0].first, "L0");
+    const LoopRegistryEntry &entry = rep->schedule[0].second;
+    EXPECT_EQ(entry.constraints.ii, 2);
+    EXPECT_EQ(entry.constraints.latency, 5);
+    EXPECT_EQ(entry.constraints.full_latency, 21);
+    ASSERT_TRUE(entry.constraints.trip.has_value());
+    EXPECT_EQ(*entry.constraints.trip, 8);
+    EXPECT_TRUE(entry.constraints.pipelined);
+    EXPECT_TRUE(entry.coalesced);
+    ASSERT_EQ(entry.constraints.accesses.size(), 1u);
+    EXPECT_EQ(entry.constraints.accesses.at("mem a"), 3);
+
+    auto v = loaded.lookupVerify(9);
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(v->result, VerifyVerdict::Result::Mismatch);
+    EXPECT_EQ(v->diag, verdict.diag);
+}
+
+TEST(EvalCacheTest, SaveIsByteStableAcrossInsertionOrder)
+{
+    ExternalEvalCache forward, backward;
+    PassOutcome rejected;
+    rejected.status = PassOutcome::Status::Rejected;
+    rejected.detail = "nope";
+    forward.insertPass(1, PassOutcome{});
+    forward.insertPass(2, rejected);
+    backward.insertPass(2, rejected);
+    backward.insertPass(1, PassOutcome{});
+
+    std::string pa = tempPath("pass_cache_a.txt");
+    std::string pb = tempPath("pass_cache_b.txt");
+    std::string error;
+    ASSERT_TRUE(forward.saveFile(pa, &error)) << error;
+    ASSERT_TRUE(backward.saveFile(pb, &error)) << error;
+    std::ifstream fa(pa), fb(pb);
+    std::string ca((std::istreambuf_iterator<char>(fa)),
+                   std::istreambuf_iterator<char>());
+    std::string cb((std::istreambuf_iterator<char>(fb)),
+                   std::istreambuf_iterator<char>());
+    EXPECT_EQ(ca, cb);
+    EXPECT_NE(ca.find("seer-pass-cache"), std::string::npos);
+}
+
+TEST(EvalCacheTest, CorruptFileColdStartsInsteadOfHalfLoading)
+{
+    std::string path = tempPath("pass_cache_corrupt.txt");
+    {
+        ExternalEvalCache cache;
+        cache.insertPass(1, PassOutcome{});
+        std::string error;
+        ASSERT_TRUE(cache.saveFile(path, &error)) << error;
+    }
+    // Truncate/garble the tail: the loader must discard everything.
+    std::ofstream out(path, std::ios::app);
+    out << "P deadbeef not-a-valid-record\n";
+    out.close();
+
+    ExternalEvalCache loaded;
+    std::string error;
+    EXPECT_EQ(loaded.loadFile(path, &error), 0u);
+    EXPECT_FALSE(error.empty());
+    EXPECT_TRUE(loaded.stats().disk_load_failed);
+    EXPECT_FALSE(loaded.lookupPass(1).has_value());
+}
+
+TEST(EvalCacheTest, MissingFileIsASilentColdStart)
+{
+    ExternalEvalCache cache;
+    std::string error;
+    EXPECT_EQ(cache.loadFile(tempPath("no_such_cache.txt"), &error), 0u);
+    EXPECT_TRUE(error.empty()) << error;
+    EXPECT_FALSE(cache.stats().disk_load_failed);
+}
+
+TEST(EvalCacheTest, EphemeralModeDropsOutcomesButKeepsStats)
+{
+    ExternalEvalCache cache(false);
+    EXPECT_FALSE(cache.persistent());
+    cache.insertPass(5, PassOutcome{});
+    EXPECT_TRUE(cache.probePass(5));
+    cache.clearOutcomes();
+    EXPECT_FALSE(cache.lookupPass(5).has_value());
+    // One hit (the probe) and one miss (the post-clear probe).
+    EXPECT_FALSE(cache.probePass(5));
+    EXPECT_EQ(cache.stats().pass_cache_hits, 1u);
+    EXPECT_EQ(cache.stats().pass_cache_misses, 1u);
+}
+
+// ---------------------------------------------------------------------
+// Cooperative deadline cancellation
+// ---------------------------------------------------------------------
+
+TEST(DeadlineTest, ExpiredEvaluationIsDiscardedNotCached)
+{
+    auto term = eg::parseTerm(
+        "(affine.for:i:L0 const:0:index const:8:index const:1:index"
+        " (store:t0 (load:t0 var:i) var:i))");
+    ExternalEvalCache cache;
+    SnippetEvalConfig config;
+    config.deadline = std::chrono::steady_clock::now() -
+                      std::chrono::seconds(1); // already expired
+    std::atomic<int> pass_runs{0};
+    auto outcome = evaluateSnippet(
+        term, 42,
+        [&](ir::Operation &) {
+            ++pass_runs;
+            return false;
+        },
+        config, cache);
+    EXPECT_FALSE(outcome.has_value());
+    EXPECT_EQ(cache.stats().canceled, 1u);
+    // A canceled result is budget-dependent; nothing may be memoized.
+    EXPECT_FALSE(cache.lookupPass(42).has_value());
+}
+
+// ---------------------------------------------------------------------
+// End-to-end determinism: -j 1 == -j N, cache-on == cache-off
+// ---------------------------------------------------------------------
+
+const char *kFusable = R"(
+func.func @fusable(%a: memref<64xi32>, %b: memref<64xi32>,
+                   %c: memref<64xi32>) {
+  affine.for %i = 0 to 32 {
+    %v = memref.load %a[%i] : memref<64xi32>
+    %w = arith.addi %v, %v : i32
+    memref.store %w, %b[%i] : memref<64xi32>
+  }
+  affine.for %j = 0 to 32 {
+    %v = memref.load %b[%j] : memref<64xi32>
+    %c2 = arith.constant 2 : i32
+    %w = arith.muli %v, %c2 : i32
+    memref.store %w, %c[%j] : memref<64xi32>
+  }
+})";
+
+struct RunSnapshot
+{
+    std::string module;
+    std::string extracted;
+    size_t unions;
+    size_t nodes;
+    size_t classes;
+    size_t rejected;
+
+    bool
+    operator==(const RunSnapshot &other) const
+    {
+        return module == other.module && extracted == other.extracted &&
+               unions == other.unions && nodes == other.nodes &&
+               classes == other.classes && rejected == other.rejected;
+    }
+};
+
+RunSnapshot
+runWith(const SeerOptions &options)
+{
+    ir::Module input = ir::parseModule(kFusable);
+    SeerResult result = optimize(input, "fusable", options);
+    RunSnapshot snap;
+    snap.module = ir::toString(result.module);
+    snap.extracted =
+        result.extracted_term ? result.extracted_term->str() : "";
+    snap.unions = result.stats.unions_applied;
+    snap.nodes = result.stats.egraph_nodes;
+    snap.classes = result.stats.egraph_classes;
+    snap.rejected = result.stats.rejected_externals;
+    return snap;
+}
+
+TEST(DeterminismTest, JobsOneEqualsJobsEight)
+{
+    SeerOptions serial;
+    RunSnapshot base = runWith(serial);
+    EXPECT_GT(base.unions, 0u);
+
+    for (unsigned jobs : {2u, 8u}) {
+        SeerOptions parallel;
+        parallel.jobs = jobs;
+        EXPECT_TRUE(base == runWith(parallel))
+            << "-j " << jobs << " diverged from -j 1";
+    }
+}
+
+TEST(DeterminismTest, CacheOnEqualsCacheOff)
+{
+    SeerOptions cached; // default: cache on
+    SeerOptions cold;
+    cold.use_pass_cache = false;
+    EXPECT_TRUE(runWith(cached) == runWith(cold));
+}
+
+TEST(DeterminismTest, WarmSharedCacheReplaysWithoutEvaluating)
+{
+    SeerOptions options;
+    options.shared_eval_cache = std::make_shared<ExternalEvalCache>();
+    RunSnapshot cold = runWith(options);
+    ir::Module input = ir::parseModule(kFusable);
+    SeerResult warm = optimize(input, "fusable", options);
+
+    // Identical exploration, zero cold evaluations the second time.
+    EXPECT_EQ(cold.module, ir::toString(warm.module));
+    EXPECT_EQ(cold.unions, warm.stats.unions_applied);
+    EXPECT_EQ(warm.stats.external_eval.evaluations, 0u);
+    EXPECT_GT(warm.stats.external_eval.pass_cache_hits, 0u);
+}
+
+TEST(DeterminismTest, DiskCacheWarmsAcrossRuns)
+{
+    std::string path = tempPath("pass_cache_disk_warm.txt");
+    std::remove(path.c_str());
+    SeerOptions options;
+    options.pass_cache_file = path;
+    RunSnapshot first = runWith(options);
+
+    ir::Module input = ir::parseModule(kFusable);
+    SeerResult second = optimize(input, "fusable", options);
+    EXPECT_EQ(first.module, ir::toString(second.module));
+    EXPECT_GT(second.stats.external_eval.disk_entries_loaded, 0u);
+    EXPECT_EQ(second.stats.external_eval.evaluations, 0u);
+    std::remove(path.c_str());
+}
+
+TEST(DeterminismTest, StatsJsonCarriesExternalEvalSection)
+{
+    SeerOptions options;
+    ir::Module input = ir::parseModule(kFusable);
+    SeerResult result = optimize(input, "fusable", options);
+    std::string dumped = toJson(result.stats).dump();
+    EXPECT_NE(dumped.find("external_eval"), std::string::npos);
+    EXPECT_NE(dumped.find("pass_cache_hits"), std::string::npos);
+    EXPECT_NE(dumped.find("verify_cache_hits"), std::string::npos);
+    EXPECT_NE(dumped.find("candidates_deduped"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Thread-safe symbol interner (the worker pool's shared table)
+// ---------------------------------------------------------------------
+
+TEST(InternerTest, ConcurrentInternAndStrAgree)
+{
+    // 8 workers intern an overlapping set of fresh strings while
+    // reading others back; every text must map to one stable id.
+    constexpr size_t kNames = 512;
+    std::vector<std::string> texts;
+    for (size_t i = 0; i < kNames; ++i)
+        texts.push_back("intern-stress-" + std::to_string(i));
+    std::vector<uint32_t> ids(kNames * 8);
+    parallelFor(kNames * 8, 8, [&](size_t i) {
+        Symbol symbol(texts[i % kNames]);
+        EXPECT_EQ(symbol.str(), texts[i % kNames]);
+        ids[i] = symbol.id();
+    });
+    for (size_t i = 0; i < ids.size(); ++i)
+        EXPECT_EQ(ids[i], ids[i % kNames]);
+}
+
+} // namespace
+} // namespace seer::core

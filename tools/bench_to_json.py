@@ -1,20 +1,29 @@
 #!/usr/bin/env python3
-"""Run the e-graph microbenchmarks and write BENCH_egraph.json.
+"""Run the microbenchmarks and write a BENCH_*.json artifact.
 
 Wraps google-benchmark's --benchmark_format=json output and adds a
-summary section with before/after speedups: benchmarks parameterized
-with a naive:{0,1} argument run the pre-index reference matcher
-(naive:1, the "before") and the indexed + incremental matcher (naive:0,
-the "after") on the same workload, and the summary reports the ratio.
+summary section with before/after speedups. Two modes:
+
+  --mode egraph (default, micro_egraph): benchmarks parameterized with
+      a naive:{0,1} argument run the pre-index reference matcher
+      (naive:1, the "before") and the indexed + incremental matcher
+      (naive:0, the "after") on the same workload; the summary reports
+      the ratio. Writes BENCH_egraph.json.
+
+  --mode passes (micro_passes): benchmarks parameterized with
+      cache:{0,1}/jobs:N arms; the cold serial arm (cache:0/jobs:1) is
+      the baseline and every other arm reports its speedup against it.
+      Writes BENCH_passes.json.
 
 Usage:
     tools/bench_to_json.py --bench build/bench/micro_egraph \
-        [--out BENCH_egraph.json] [--min-time 0.05s] \
-        [--filter REGEX]
+        [--mode egraph|passes] [--out BENCH_egraph.json] \
+        [--min-time 0.05s] [--filter REGEX]
 """
 
 import argparse
 import json
+import re
 import subprocess
 import sys
 
@@ -37,13 +46,18 @@ def run_benchmarks(bench, min_time, bench_filter):
     return json.loads(proc.stdout)
 
 
-def summarize(benchmarks):
-    """Pair <base>/naive:1 with <base>/naive:0 and report speedups."""
+def real_times(benchmarks):
     times = {}
     for bench in benchmarks:
         if bench.get("run_type") == "aggregate":
             continue
         times[bench["name"]] = bench["real_time"]
+    return times
+
+
+def summarize_egraph(benchmarks):
+    """Pair <base>/naive:1 with <base>/naive:0 and report speedups."""
+    times = real_times(benchmarks)
     summary = {}
     for name, naive_time in times.items():
         if not name.endswith("/naive:1"):
@@ -60,27 +74,82 @@ def summarize(benchmarks):
     return summary
 
 
+ARM_RE = re.compile(r"^(?P<base>.*)/(?P<arm>cache:\d+/jobs:\d+)"
+                    r"(?P<suffix>/real_time)?$")
+
+
+def summarize_passes(benchmarks):
+    """Report each cache/jobs arm's speedup over cold-serial."""
+    groups = {}
+    for name, time in real_times(benchmarks).items():
+        match = ARM_RE.match(name)
+        if match is None:
+            continue
+        key = (match.group("base"), match.group("suffix") or "")
+        groups.setdefault(key, {})[match.group("arm")] = time
+    summary = {}
+    for (base, _suffix), arms in groups.items():
+        baseline = arms.get("cache:0/jobs:1")
+        if baseline is None or baseline <= 0:
+            continue
+        entry = {"baseline_time": baseline, "arms": {}}
+        for arm, time in sorted(arms.items()):
+            if arm == "cache:0/jobs:1" or time <= 0:
+                continue
+            entry["arms"][arm] = {
+                "time": time,
+                "speedup": baseline / time,
+            }
+        summary[base] = entry
+    return summary
+
+
+def print_summary(mode, summary):
+    if mode == "egraph":
+        for base, entry in sorted(summary.items()):
+            print(f"{base}: {entry['speedup']:.2f}x "
+                  f"(naive {entry['naive_time']:.0f} -> "
+                  f"indexed {entry['indexed_time']:.0f})")
+        return
+    for base, entry in sorted(summary.items()):
+        print(f"{base}: baseline cache:0/jobs:1 = "
+              f"{entry['baseline_time']:.1f}")
+        for arm, stats in sorted(entry["arms"].items()):
+            print(f"  {arm}: {stats['speedup']:.2f}x "
+                  f"({stats['time']:.1f})")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--bench", required=True,
-                        help="path to the micro_egraph binary")
-    parser.add_argument("--out", default="BENCH_egraph.json")
+                        help="path to the benchmark binary")
+    parser.add_argument("--mode", choices=("egraph", "passes"),
+                        default="egraph")
+    parser.add_argument("--out", default=None,
+                        help="output path (default BENCH_<mode>.json)")
     parser.add_argument("--min-time", default="0.05s")
     parser.add_argument("--filter", default=None,
                         help="--benchmark_filter regex")
     args = parser.parse_args()
+    out_path = args.out or f"BENCH_{args.mode}.json"
 
     raw = run_benchmarks(args.bench, args.min_time, args.filter)
     benchmarks = [
         {key: bench[key]
          for key in ("name", "real_time", "cpu_time", "time_unit",
-                     "iterations", "items_per_second", "label")
+                     "iterations", "items_per_second", "label",
+                     # micro_passes telemetry: cache behavior and the
+                     # egg/MLIR split of each arm.
+                     "unions", "evals", "hits", "mlir_s", "egg_s")
          if key in bench}
         for bench in raw.get("benchmarks", [])
         if bench.get("run_type") != "aggregate"
     ]
+    summarize = (summarize_egraph if args.mode == "egraph"
+                 else summarize_passes)
     out = {
         "generated_by": "tools/bench_to_json.py",
+        "mode": args.mode,
         "context": {
             key: raw.get("context", {}).get(key)
             for key in ("date", "host_name", "num_cpus", "mhz_per_cpu",
@@ -89,15 +158,12 @@ def main():
         "benchmarks": benchmarks,
         "summary": summarize(raw.get("benchmarks", [])),
     }
-    with open(args.out, "w") as f:
+    with open(out_path, "w") as f:
         json.dump(out, f, indent=2)
         f.write("\n")
 
-    for base, entry in sorted(out["summary"].items()):
-        print(f"{base}: {entry['speedup']:.2f}x "
-              f"(naive {entry['naive_time']:.0f} -> "
-              f"indexed {entry['indexed_time']:.0f})")
-    print(f"wrote {args.out}")
+    print_summary(args.mode, out["summary"])
+    print(f"wrote {out_path}")
     return 0
 
 

@@ -65,7 +65,18 @@ usage()
         "                     co-simulate end to end\n"
         "  --report           print before/after HLS PPA estimates\n"
         "  --stats FILE       write per-rule/per-iteration scheduler\n"
-        "                     stats as JSON (FILE '-' = stderr)\n"
+        "                     stats as JSON (FILE '-' = stderr); the\n"
+        "                     external_eval section reports pass/verify\n"
+        "                     cache hit rates and per-stage timing\n"
+        "  -j, --jobs N       worker threads for e-matching and\n"
+        "                     external-pass evaluation; results are\n"
+        "                     bit-identical for every N (default 1)\n"
+        "  --pass-cache FILE  persist the pass-outcome/verification\n"
+        "                     cache across runs (loaded at start, saved\n"
+        "                     at exit; a corrupt file cold-starts)\n"
+        "  --no-pass-cache    disable cross-iteration memoization of\n"
+        "                     external-pass outcomes (cold baseline;\n"
+        "                     the optimization result is identical)\n"
         "  --deadline S       whole-run wall-clock budget in seconds;\n"
         "                     exploration is cut short when it expires\n"
         "  --strict           fail fast on the first internal error\n"
@@ -208,6 +219,17 @@ parseArgs(int argc, char **argv, CliOptions &options)
             options.report = true;
         } else if (arg == "--stats") {
             options.stats_file = next();
+        } else if (arg == "-j" || arg == "--jobs") {
+            int64_t jobs = next_int();
+            if (!bad_value && jobs < 1) {
+                std::cerr << "seer-opt: --jobs must be >= 1\n";
+                return false;
+            }
+            options.seer.jobs = static_cast<unsigned>(jobs);
+        } else if (arg == "--pass-cache") {
+            options.seer.pass_cache_file = next();
+        } else if (arg == "--no-pass-cache") {
+            options.seer.use_pass_cache = false;
         } else if (arg == "--deadline") {
             options.seer.deadline_seconds = next_double();
         } else if (arg == "--strict") {
@@ -336,6 +358,14 @@ main(int argc, char **argv)
                       << result.stats.total_seconds << "s total ("
                       << result.stats.time_in_passes_seconds
                       << "s in passes)\n";
+            const core::ExternalEvalStats &ev =
+                result.stats.external_eval;
+            std::cerr << "; pass cache: " << ev.pass_cache_hits
+                      << " hits, " << ev.pass_cache_misses
+                      << " misses, " << ev.evaluations
+                      << " evaluations (" << ev.candidates_deduped
+                      << " deduped, " << ev.verify_cache_hits
+                      << " verify hits)\n";
             if (!options.stats_file.empty()) {
                 std::string text = core::toJson(result.stats).dump(2);
                 text += "\n";
