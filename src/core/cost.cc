@@ -1,8 +1,22 @@
 #include "core/cost.h"
 
+#include <set>
+
 #include "seerlang/encoding.h"
 
 namespace seer::core {
+
+std::vector<std::string>
+LoopRegistry::touchedSince(uint64_t since) const
+{
+    std::vector<std::string> out;
+    std::set<std::string> seen;
+    for (size_t i = since; i < touches_.size(); ++i) {
+        if (seen.insert(touches_[i]).second)
+            out.push_back(touches_[i]);
+    }
+    return out;
+}
 
 double
 loopLatency(const LoopRegistryEntry &entry)
@@ -46,6 +60,14 @@ LatencyCost::nodeCost(const eg::ENode &node) const
     if (name == "scf.if")
         return 2;
     return 0; // Eqn 2: everything else is free in phase 1
+}
+
+std::optional<std::string>
+LatencyCost::dependencyKey(const eg::ENode &node) const
+{
+    if (sl::opNameOf(node.op) == "affine.for")
+        return sl::loopIdOf(node.op);
+    return std::nullopt;
 }
 
 namespace {
@@ -110,8 +132,7 @@ unrollLaw(const LoopRegistryEntry &loop)
 {
     const hls::LoopConstraints &a = loop.constraints;
     LoopRegistryEntry out;
-    int64_t trips = a.trip.value_or(
-        static_cast<int64_t>(LatencyCost::kUnknownTrip));
+    int64_t trips = a.trip.value_or(LatencyCost::kUnknownTripInt);
     out.constraints.ii = 1;
     out.constraints.latency = std::max<int64_t>(1, trips * a.latency);
     out.constraints.full_latency =

@@ -74,17 +74,16 @@ classHas(const EGraph &egraph, EClassId id, SymbolPred pred)
  */
 std::vector<TermPtr>
 extractAllRooted(const EGraph &egraph, EClassId id, SymbolPred pred,
-                 bool analysis_friendly = true, size_t max_candidates = 3)
+                 const ContextPtr &ctx, size_t max_candidates = 3)
 {
     // Ablation: without the analysis-friendly cost, local extraction
     // hands the external pass the hardware-cheapest representative —
     // which for indices is the shift form no polyhedral analysis can
     // read (Figure 9's failure mode).
-    rover::AnalysisFriendlyCost friendly;
-    rover::RoverAreaCost area_cost(&egraph);
     const eg::CostModel &cost =
-        analysis_friendly ? static_cast<const eg::CostModel &>(friendly)
-                          : static_cast<const eg::CostModel &>(area_cost);
+        ctx->analysis_friendly
+            ? static_cast<const eg::CostModel &>(ctx->friendly_cost)
+            : static_cast<const eg::CostModel &>(ctx->area_cost);
     std::vector<TermPtr> out;
     const eg::EClass &cls = egraph.eclass(id);
     for (const eg::ENode &node : cls.nodes) {
@@ -110,10 +109,9 @@ extractAllRooted(const EGraph &egraph, EClassId id, SymbolPred pred,
 
 std::optional<TermPtr>
 extractRooted(const EGraph &egraph, EClassId id, SymbolPred pred,
-              bool analysis_friendly = true)
+              const ContextPtr &ctx)
 {
-    auto candidates = extractAllRooted(egraph, id, pred,
-                                       analysis_friendly, 1);
+    auto candidates = extractAllRooted(egraph, id, pred, ctx, 1);
     if (candidates.empty())
         return std::nullopt;
     return candidates[0];
@@ -312,8 +310,9 @@ consultSnippet(const ContextPtr &ctx, const char *rule,
         input_ids.size() == 2 && output_ids.size() == 1 &&
         new_ids.size() == 1 && ctx->registry.count(input_ids[0]) &&
         ctx->registry.count(input_ids[1])) {
-        ctx->registry[new_ids[0]] = fuseLaw(ctx->registry[input_ids[0]],
-                                            ctx->registry[input_ids[1]]);
+        ctx->registry[new_ids[0]] =
+            fuseLaw(ctx->registry.at(input_ids[0]),
+                    ctx->registry.at(input_ids[1]));
         law_applied = true;
     }
     if (!law_applied && (!new_ids.empty() || law == nullptr)) {
@@ -484,11 +483,9 @@ controlRules(ContextPtr context)
                                                const Match &match) {
             std::vector<TermPtr> out;
             auto ta = extractRooted(egraph, match.subst.at(var_a),
-                                    isForNode,
-                                    context->analysis_friendly);
+                                    isForNode, context);
             auto tb = extractRooted(egraph, match.subst.at(var_b),
-                                    isForNode,
-                                    context->analysis_friendly);
+                                    isForNode, context);
             if (ta && tb)
                 out.push_back(eg::makeTerm(sl::seqSymbol(), {*ta, *tb}));
             return out;
@@ -517,7 +514,7 @@ controlRules(ContextPtr context)
                                  const Match &match) {
             std::vector<TermPtr> out;
             auto term = extractRooted(egraph, match.root, isForNode,
-                                      context->analysis_friendly);
+                                      context);
             if (term)
                 out.push_back(*term);
             return out;
@@ -627,7 +624,7 @@ controlRules(ContextPtr context)
                                   : isForNode;
             std::vector<TermPtr> out;
             auto term = extractRooted(egraph, match.root, pred,
-                                      context->analysis_friendly);
+                                      context);
             if (term)
                 out.push_back(*term);
             return out;
@@ -658,11 +655,9 @@ controlRules(ContextPtr context)
                                                const Match &match) {
             std::vector<TermPtr> out;
             auto ta = extractRooted(egraph, match.subst.at(var_a),
-                                    isIfNode,
-                                    context->analysis_friendly);
+                                    isIfNode, context);
             auto tb = extractRooted(egraph, match.subst.at(var_b),
-                                    isIfNode,
-                                    context->analysis_friendly);
+                                    isIfNode, context);
             if (ta && tb)
                 out.push_back(eg::makeTerm(sl::seqSymbol(), {*ta, *tb}));
             return out;
@@ -694,7 +689,7 @@ controlRules(ContextPtr context)
         spec.extract = [context](const EGraph &egraph,
                                  const Match &match) {
             return extractAllRooted(egraph, match.root, isStatementRoot,
-                                    context->analysis_friendly);
+                                    context);
         };
         spec.transform = [](ir::Operation &func) {
             return passes::forwardMemory(func);

@@ -23,6 +23,7 @@
 #include "core/pass_eval.h"
 #include "egraph/rewrite.h"
 #include "hls/hls.h"
+#include "rover/rover.h"
 
 namespace seer::core {
 
@@ -45,6 +46,11 @@ struct ExternalRuleContext
      *  4.5); false extracts smallest terms instead (ablation: the
      *  Figure 9 fusion then never finds the affine form). */
     bool analysis_friendly = true;
+    /** Local-extraction cost models, shared by every rule invocation
+     *  (both are class-aware: extraction passes the e-graph itself, so
+     *  one stateless instance serves any graph). */
+    rover::AnalysisFriendlyCost friendly_cost;
+    rover::RoverAreaCost area_cost;
     /**
      * Attempt memo: (rule name, canonical class) -> class node count at
      * attempt time, so re-matching the same class across runner

@@ -1,0 +1,161 @@
+#include "core/extraction_pipeline.h"
+
+#include <chrono>
+
+#include "seerlang/encoding.h"
+#include "support/error.h"
+
+namespace seer::core {
+
+using eg::TermPtr;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+eg::ExtractOptions
+optionsFor(const ExtractionPhase &phase, eg::ExtractStats &stats)
+{
+    eg::ExtractOptions options;
+    options.naive = phase.extractor == ExtractorKind::Naive;
+    options.budget = phase.budget;
+    options.stats = &stats;
+    return options;
+}
+
+std::optional<eg::Extraction>
+extractOne(const eg::EGraph &egraph, eg::EClassId root,
+           const ExtractionPhase &phase, eg::ExtractStats &stats)
+{
+    eg::ExtractOptions options = optionsFor(phase, stats);
+    if (phase.extractor == ExtractorKind::Exact)
+        return eg::extractExact(egraph, root, *phase.model, options);
+    return eg::extractGreedy(egraph, root, *phase.model, options);
+}
+
+/**
+ * Refinement walk: keep the statement skeleton of `term` pinned and
+ * re-extract every maximal pure sub-expression under the phase's model.
+ * Sub-expressions unknown to the e-graph (or infeasible under the
+ * model) are kept as-is — refinement can only improve the term.
+ */
+TermPtr
+refineTerm(const eg::EGraph &egraph, const TermPtr &term,
+           const ExtractionPhase &phase, eg::ExtractStats &stats,
+           ExtractionPhaseStats &phase_stats)
+{
+    if (sl::isStatementSymbol(term->op())) {
+        std::vector<TermPtr> children;
+        children.reserve(term->arity());
+        bool changed = false;
+        for (const auto &child : term->children()) {
+            TermPtr refined =
+                refineTerm(egraph, child, phase, stats, phase_stats);
+            changed |= refined != child;
+            children.push_back(std::move(refined));
+        }
+        return changed ? eg::makeTerm(term->op(), std::move(children))
+                       : term;
+    }
+    // Pure expression: extract the best equivalent under this model.
+    auto id = egraph.lookupTerm(term);
+    if (!id)
+        return term;
+    ++phase_stats.extractions;
+    eg::ExtractStats one;
+    auto extraction = extractOne(egraph, *id, phase, one);
+    stats.classes_visited += one.classes_visited;
+    stats.classes_recomputed += one.classes_recomputed;
+    stats.bound_prunes += one.bound_prunes;
+    stats.expansions += one.expansions;
+    stats.used_analysis = stats.used_analysis || one.used_analysis;
+    if (one.budget_exhausted)
+        ++phase_stats.budget_exhaustions;
+    if (!extraction)
+        return term;
+    phase_stats.tree_cost += extraction->tree_cost;
+    phase_stats.dag_cost += extraction->dag_cost;
+    return extraction->term;
+}
+
+void
+foldStats(ExtractionPhaseStats &phase_stats, const eg::ExtractStats &stats,
+          Clock::time_point t0)
+{
+    phase_stats.classes_visited = stats.classes_visited;
+    phase_stats.classes_recomputed = stats.classes_recomputed;
+    phase_stats.bound_prunes = stats.bound_prunes;
+    phase_stats.expansions = stats.expansions;
+    phase_stats.used_analysis = stats.used_analysis;
+    phase_stats.seconds =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+} // namespace
+
+const char *
+toString(ExtractorKind kind)
+{
+    switch (kind) {
+    case ExtractorKind::Greedy:
+        return "greedy";
+    case ExtractorKind::Exact:
+        return "exact";
+    case ExtractorKind::Naive:
+        return "naive";
+    }
+    return "unknown";
+}
+
+ExtractionReport
+ExtractionPipeline::run(const eg::EGraph &egraph, eg::EClassId root,
+                        const std::function<bool()> &should_stop) const
+{
+    SEER_ASSERT(!phases_.empty(), "extraction pipeline has no phases");
+    SEER_ASSERT(!phases_.front().refine,
+                "the first extraction phase cannot be a refinement");
+    ExtractionReport report;
+    for (const ExtractionPhase &phase : phases_) {
+        SEER_ASSERT(phase.model != nullptr,
+                    "extraction phase '" << phase.name
+                                         << "' has no cost model");
+        ExtractionPhaseStats phase_stats;
+        phase_stats.name = phase.name;
+        phase_stats.extractor = toString(phase.extractor);
+        report.phases.push_back(std::move(phase_stats));
+    }
+
+    for (size_t i = 0; i < phases_.size(); ++i) {
+        const ExtractionPhase &phase = phases_[i];
+        ExtractionPhaseStats &phase_stats = report.phases[i];
+        if (i > 0 && should_stop && should_stop())
+            break; // remaining phases stay ran = false
+        auto t0 = Clock::now();
+        eg::ExtractStats stats;
+        phase_stats.ran = true;
+        if (!phase.refine) {
+            ++phase_stats.extractions;
+            auto extraction = extractOne(egraph, root, phase, stats);
+            if (!extraction) {
+                report.infeasible = true;
+                report.term = nullptr;
+                foldStats(phase_stats, stats, t0);
+                phase_stats.budget_exhaustions =
+                    stats.budget_exhausted ? 1 : 0;
+                return report;
+            }
+            report.term = extraction->term;
+            phase_stats.tree_cost = extraction->tree_cost;
+            phase_stats.dag_cost = extraction->dag_cost;
+            if (stats.budget_exhausted)
+                phase_stats.budget_exhaustions = 1;
+        } else {
+            report.term =
+                refineTerm(egraph, report.term, phase, stats, phase_stats);
+        }
+        foldStats(phase_stats, stats, t0);
+    }
+    return report;
+}
+
+} // namespace seer::core

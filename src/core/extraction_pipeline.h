@@ -1,0 +1,123 @@
+/**
+ * @file
+ * The composable two-phase (or N-phase) extraction pipeline
+ * (Section 4.6).
+ *
+ * SEER extracts in ordered phases, each pinning choices for the next:
+ * phase 1 picks the control skeleton (latency cost, Eqn 3), phase 2
+ * re-extracts every pure sub-expression of that fixed skeleton under the
+ * area cost (Eqn 4). This file generalizes the previously hard-coded
+ * latency→area sequence into an ExtractionPipeline: ordered phases, each
+ * with its own cost model, extractor kind and budget, reporting per-phase
+ * statistics (classes visited, bound prunes, budget exhaustions, wall
+ * seconds) that surface in `seer-opt --stats` under "extraction".
+ */
+#ifndef SEER_CORE_EXTRACTION_PIPELINE_H_
+#define SEER_CORE_EXTRACTION_PIPELINE_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "egraph/extract.h"
+
+namespace seer::core {
+
+/** Which extractor a phase runs. */
+enum class ExtractorKind
+{
+    /** Greedy, reading the incremental cost-bound analysis when the
+     *  model is registered. */
+    Greedy,
+    /** Branch-and-bound exact DAG extraction ("ILP" stand-in). */
+    Exact,
+    /** Greedy with from-scratch bounds and no analysis — the reference
+     *  arm (ExtractOptions::naive), for differential testing and as the
+     *  pre-incremental baseline. */
+    Naive,
+};
+
+const char *toString(ExtractorKind kind);
+
+/** One pipeline phase. The model must outlive the pipeline run. */
+struct ExtractionPhase
+{
+    std::string name;
+    const eg::CostModel *model = nullptr;
+    ExtractorKind extractor = ExtractorKind::Greedy;
+    /**
+     * Refinement phase: instead of extracting the root whole, walk the
+     * previous phase's term, keep its statement skeleton pinned, and
+     * re-extract every pure (non-statement) sub-expression under this
+     * phase's model. The first phase must not be a refinement.
+     */
+    bool refine = false;
+    /** Exact-extractor search budget (expansions). */
+    size_t budget = 200000;
+};
+
+/** Per-phase report (the "extraction" section of --stats). */
+struct ExtractionPhaseStats
+{
+    std::string name;
+    std::string extractor;
+    /** False when the pipeline stopped (deadline) before this phase. */
+    bool ran = false;
+    /** Extraction calls (1 for a root phase, one per refined
+     *  sub-expression for a refinement phase). */
+    size_t extractions = 0;
+    size_t classes_visited = 0;
+    size_t classes_recomputed = 0;
+    size_t bound_prunes = 0;
+    size_t expansions = 0;
+    /** Exact searches that ran out of budget (result then best-effort,
+     *  not proven optimal). */
+    size_t budget_exhaustions = 0;
+    /** Bounds came from a registered cost-bound analysis. */
+    bool used_analysis = false;
+    double seconds = 0;
+    /** Costs of this phase's result under its own model (root phase:
+     *  the extraction's costs; refinement: summed over refined
+     *  sub-expressions). */
+    double tree_cost = 0;
+    double dag_cost = 0;
+};
+
+/** Result of a pipeline run. */
+struct ExtractionReport
+{
+    /** Null iff infeasible. */
+    eg::TermPtr term;
+    /** The first phase found no finite-cost implementation. */
+    bool infeasible = false;
+    std::vector<ExtractionPhaseStats> phases;
+};
+
+/**
+ * An ordered sequence of extraction phases over one e-graph. Phases run
+ * in order; each refinement phase rewrites the previous result. The
+ * optional `should_stop` predicate is consulted before every phase after
+ * the first — when it fires, remaining phases are skipped (ran = false)
+ * and the best term so far is returned.
+ */
+class ExtractionPipeline
+{
+  public:
+    ExtractionPipeline &
+    addPhase(ExtractionPhase phase)
+    {
+        phases_.push_back(std::move(phase));
+        return *this;
+    }
+
+    ExtractionReport run(const eg::EGraph &egraph, eg::EClassId root,
+                         const std::function<bool()> &should_stop = {})
+        const;
+
+  private:
+    std::vector<ExtractionPhase> phases_;
+};
+
+} // namespace seer::core
+
+#endif // SEER_CORE_EXTRACTION_PIPELINE_H_

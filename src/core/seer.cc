@@ -93,38 +93,6 @@ seedRegistry(const sl::Translation &translation, ir::Operation &func,
     return registry;
 }
 
-/**
- * Phase-2 datapath refinement: re-extract every pure sub-expression of
- * the control skeleton with the ROVER area model (Eqn 4).
- */
-TermPtr
-refineDatapath(const EGraph &egraph, const TermPtr &term,
-               const eg::CostModel &area, bool exact)
-{
-    if (sl::isStatementSymbol(term->op())) {
-        std::vector<TermPtr> children;
-        children.reserve(term->arity());
-        bool changed = false;
-        for (const auto &child : term->children()) {
-            TermPtr refined = refineDatapath(egraph, child, area, exact);
-            changed |= refined != child;
-            children.push_back(std::move(refined));
-        }
-        return changed ? eg::makeTerm(term->op(), std::move(children))
-                       : term;
-    }
-    // Pure expression: extract the minimal-area equivalent.
-    auto id = egraph.lookupTerm(term);
-    if (!id)
-        return term;
-    std::optional<eg::Extraction> extraction =
-        exact ? eg::extractExact(egraph, *id, area)
-              : eg::extractGreedy(egraph, *id, area);
-    if (!extraction)
-        return term;
-    return extraction->term;
-}
-
 /** Fold one runner report's per-rule stats into the run-wide aggregate
  *  (keyed by rule name, since each phase constructs fresh runners). */
 void
@@ -293,7 +261,23 @@ optimize(const ir::Module &input, const std::string &func_name,
         return result;
     }
 
+    // Phase cost models. Declared before the e-graph (they must outlive
+    // it: registered cost-bound analyses hold references) and registered
+    // below so per-class cost bounds are maintained incrementally through
+    // the whole exploration instead of being recomputed per extraction.
+    LatencyCost latency(context->registry);
+    static const eg::TermSizeCost term_size;
+
     EGraph egraph(rover::roverAnalysisHooks());
+    if (!options.naive_extract) {
+        // Every cost model used anywhere in the run: the two extraction
+        // phases, analysis-friendly local extraction inside external
+        // rules, and the runner's record extraction (term-size).
+        eg::registerCostBound(egraph, latency);
+        eg::registerCostBound(egraph, context->area_cost);
+        eg::registerCostBound(egraph, context->friendly_cost);
+        eg::registerCostBound(egraph, term_size);
+    }
     EClassId root = egraph.addTerm(translation.term);
     egraph.rebuild();
 
@@ -419,21 +403,34 @@ optimize(const ir::Module &input, const std::string &func_name,
     if (past_deadline())
         result.stats.deadline_hit = true;
 
-    // Two-phase extraction (Section 4.6).
-    LatencyCost latency(context->registry);
-    auto control_choice = eg::extractGreedy(egraph, root, latency);
+    // Two-phase extraction (Section 4.6) as a composable pipeline:
+    // phase 1 pins the control skeleton under the latency cost (Eqn 3),
+    // phase 2 re-extracts every pure sub-expression of that skeleton
+    // under the ROVER area cost (Eqn 4).
+    ExtractorKind control_kind = options.naive_extract
+                                     ? ExtractorKind::Naive
+                                     : ExtractorKind::Greedy;
+    ExtractorKind datapath_kind =
+        options.naive_extract
+            ? ExtractorKind::Naive
+            : (options.exact_datapath ? ExtractorKind::Exact
+                                      : ExtractorKind::Greedy);
+    ExtractionPipeline pipeline;
+    pipeline.addPhase({"control-latency", &latency, control_kind,
+                       /*refine=*/false, /*budget=*/200000});
+    pipeline.addPhase({"datapath-area", &context->area_cost,
+                       datapath_kind, /*refine=*/true,
+                       /*budget=*/200000});
+    ExtractionReport extraction =
+        pipeline.run(egraph, root, past_deadline);
+    result.stats.extraction = extraction.phases;
     TermPtr final_term;
-    if (control_choice) {
-        if (past_deadline()) {
-            // No budget left for datapath refinement.
-            result.stats.deadline_hit = true;
-            final_term = control_choice->term;
-        } else {
-            rover::RoverAreaCost area(&egraph);
-            final_term =
-                refineDatapath(egraph, control_choice->term, area,
-                               options.exact_datapath);
+    if (!extraction.infeasible) {
+        for (const ExtractionPhaseStats &phase : extraction.phases) {
+            if (!phase.ran) // deadline cut refinement short
+                result.stats.deadline_hit = true;
         }
+        final_term = extraction.term;
     } else {
         if (options.strict)
             fatal("seer: extraction found no implementation");
@@ -521,6 +518,25 @@ toJson(const SeerStats &stats)
     out.set("iterations", std::move(iterations));
     out.set("match_phase", eg::toJson(stats.match_phase));
     out.set("external_eval", toJson(stats.external_eval));
+    json::Value extraction{json::Array{}};
+    for (const ExtractionPhaseStats &phase : stats.extraction) {
+        json::Value p{json::Object{}};
+        p.set("name", phase.name);
+        p.set("extractor", phase.extractor);
+        p.set("ran", phase.ran);
+        p.set("extractions", phase.extractions);
+        p.set("classes_visited", phase.classes_visited);
+        p.set("classes_recomputed", phase.classes_recomputed);
+        p.set("bound_prunes", phase.bound_prunes);
+        p.set("expansions", phase.expansions);
+        p.set("budget_exhaustions", phase.budget_exhaustions);
+        p.set("used_analysis", phase.used_analysis);
+        p.set("seconds", phase.seconds);
+        p.set("tree_cost", phase.tree_cost);
+        p.set("dag_cost", phase.dag_cost);
+        extraction.push(std::move(p));
+    }
+    out.set("extraction", std::move(extraction));
     out.set("degraded", stats.degraded);
     json::Value health{json::Object{}};
     health.set("degraded", stats.degraded);

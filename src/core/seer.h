@@ -15,6 +15,7 @@
 #define SEER_CORE_SEER_H_
 
 #include "core/external_rules.h"
+#include "core/extraction_pipeline.h"
 #include "egraph/runner.h"
 
 namespace seer::core {
@@ -33,6 +34,11 @@ struct SeerOptions
     /** Exact (branch-and-bound "ILP") datapath extraction; greedy
      *  fallback when disabled (ablation). */
     bool exact_datapath = true;
+    /** Reference extraction: from-scratch bounds, no incremental
+     *  cost-bound analyses, weak exact-search bound (`seer-opt
+     *  --extract=naive`). The extracted terms are bit-identical to the
+     *  incremental path — this is the differential/benchmark arm. */
+    bool naive_extract = false;
     /** Use the Section 4.6 approximation laws (false = oracle mode). */
     bool use_laws = true;
     /** Analysis-friendly local extraction (Section 4.5); disable for
@@ -151,6 +157,9 @@ struct SeerStats
     /** Cache hit rates and per-stage timing of the memoized
      *  external-pass evaluation layer ("external_eval" in --stats). */
     ExternalEvalStats external_eval;
+
+    /** Per-phase extraction telemetry ("extraction" in --stats). */
+    std::vector<ExtractionPhaseStats> extraction;
 };
 
 /** JSON view of the statistics (records omitted; they carry terms). */

@@ -1,0 +1,216 @@
+#include "egraph/analysis.h"
+
+#include <unordered_map>
+
+#include "support/error.h"
+
+namespace seer::eg {
+
+std::optional<int64_t>
+ConstFoldAnalysis::foldNode(const EGraph &egraph, const ENode &node) const
+{
+    if (!hooks_.fold || !hooks_.parse_const || node.children.empty())
+        return std::nullopt;
+    std::vector<int64_t> child_values;
+    child_values.reserve(node.children.size());
+    for (EClassId child : node.children) {
+        auto child_value = value(egraph.find(child));
+        if (!child_value)
+            return std::nullopt;
+        child_values.push_back(*child_value);
+    }
+    auto folded = hooks_.fold(node.op, child_values);
+    if (!folded)
+        return std::nullopt;
+    return hooks_.parse_const(*folded);
+}
+
+void
+ConstFoldAnalysis::onMake(EGraph &egraph, EClassId id, const ENode &node)
+{
+    ensure(id);
+    std::optional<int64_t> derived;
+    if (node.children.empty()) {
+        if (hooks_.parse_const)
+            derived = hooks_.parse_const(node.op);
+    } else {
+        derived = foldNode(egraph, node);
+    }
+    if (!derived)
+        return;
+    // A freshly created class: no pre-existing datum to journal (the
+    // AddClass rollback truncates its slot away wholesale).
+    values_[id] = derived;
+    egraph.notifyPeerAnalyses(*this, id);
+}
+
+void
+ConstFoldAnalysis::onMerge(
+    EGraph &egraph, EClassId into, EClassId from,
+    const std::vector<std::pair<ENode, EClassId>> &from_parents)
+{
+    (void)from_parents;
+    ensure(std::max(into, from));
+    const std::optional<int64_t> &winner = values_[into];
+    const std::optional<int64_t> &loser = values_[from];
+    if (!winner) {
+        if (loser) {
+            egraph.journalAnalysisDatum(*this, into);
+            values_[into] = loser;
+            egraph.notifyPeerAnalyses(*this, into);
+        }
+    } else if (loser && *winner != *loser) {
+        panic(MsgBuilder()
+              << "e-graph analysis contradiction: class holds constants "
+              << *winner << " and " << *loser
+              << " (an unsound rewrite was applied)");
+    }
+    // The loser's slot keeps its datum: rollback revives the class and
+    // expects it intact.
+}
+
+void
+ConstFoldAnalysis::onModify(EGraph &egraph, EClassId id)
+{
+    // Materialize the constant as a literal node (egg's modify step) so
+    // extraction can pick it and siblings fold through it.
+    if (!hooks_.fold || !hooks_.parse_const)
+        return;
+    id = egraph.find(id);
+    if (!value(id))
+        return;
+    const EClass &cls = egraph.eclass(id);
+    // Find a node to derive the constant's spelling (type encoding) from.
+    for (const ENode &node : cls.nodes) {
+        if (node.children.empty() && hooks_.parse_const(node.op))
+            return; // literal already present
+    }
+    for (const ENode &node : cls.nodes) {
+        std::vector<int64_t> child_values;
+        bool ok = !node.children.empty();
+        for (EClassId child : node.children) {
+            auto child_value = value(egraph.find(child));
+            if (!child_value) {
+                ok = false;
+                break;
+            }
+            child_values.push_back(*child_value);
+        }
+        if (!ok)
+            continue;
+        if (auto folded = hooks_.fold(node.op, child_values)) {
+            ENode literal{*folded, {}};
+            EClassId lit_id = egraph.add(std::move(literal));
+            egraph.merge(id, lit_id);
+            return;
+        }
+    }
+}
+
+void
+ConstFoldAnalysis::onRepairParent(EGraph &egraph, const ENode &node,
+                                  EClassId parent)
+{
+    parent = egraph.find(parent);
+    if (value(parent))
+        return;
+    auto derived = foldNode(egraph, node);
+    if (!derived)
+        return;
+    ensure(parent);
+    egraph.journalAnalysisDatum(*this, parent);
+    values_[parent] = derived;
+    egraph.notifyPeerAnalyses(*this, parent);
+    onModify(egraph, parent);
+    egraph.analysisRequeue(parent); // keep propagating upward
+}
+
+void
+ConstFoldAnalysis::onRollback(EGraph &egraph, size_t live_ids)
+{
+    (void)egraph;
+    if (values_.size() > live_ids)
+        values_.resize(live_ids);
+}
+
+std::shared_ptr<void>
+ConstFoldAnalysis::saveDatum(EClassId id) const
+{
+    return std::make_shared<std::optional<int64_t>>(value(id));
+}
+
+void
+ConstFoldAnalysis::restoreDatum(EClassId id,
+                                const std::shared_ptr<void> &datum)
+{
+    ensure(id);
+    values_[id] =
+        *std::static_pointer_cast<std::optional<int64_t>>(datum);
+}
+
+std::string
+ConstFoldAnalysis::checkInvariants(const EGraph &egraph) const
+{
+    if (!egraph.isClean())
+        return ""; // pending propagation is not incoherence
+    // From-scratch least fixpoint of the folding equations, compared
+    // with the maintained data for exact agreement.
+    std::vector<std::optional<int64_t>> derived(egraph.numIds());
+    std::vector<EClassId> ids = egraph.classIds();
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (EClassId id : ids) {
+            if (derived[id])
+                continue;
+            for (const ENode &node : egraph.eclass(id).nodes) {
+                std::optional<int64_t> node_value;
+                if (node.children.empty()) {
+                    if (hooks_.parse_const)
+                        node_value = hooks_.parse_const(node.op);
+                } else if (hooks_.fold && hooks_.parse_const) {
+                    std::vector<int64_t> child_values;
+                    bool ok = true;
+                    for (EClassId child : node.children) {
+                        auto child_value = derived[egraph.find(child)];
+                        if (!child_value) {
+                            ok = false;
+                            break;
+                        }
+                        child_values.push_back(*child_value);
+                    }
+                    if (ok) {
+                        if (auto folded =
+                                hooks_.fold(node.op, child_values))
+                            node_value = hooks_.parse_const(*folded);
+                    }
+                }
+                if (node_value) {
+                    derived[id] = node_value;
+                    changed = true;
+                    break;
+                }
+            }
+        }
+    }
+    for (EClassId id : ids) {
+        if (derived[id] != value(id)) {
+            MsgBuilder msg;
+            msg << "const-fold analysis incoherent at class " << id
+                << ": maintained ";
+            if (auto v = value(id))
+                msg << *v;
+            else
+                msg << "none";
+            msg << ", derivable ";
+            if (derived[id])
+                msg << *derived[id];
+            else
+                msg << "none";
+            return msg;
+        }
+    }
+    return "";
+}
+
+} // namespace seer::eg

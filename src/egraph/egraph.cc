@@ -3,9 +3,74 @@
 #include <algorithm>
 #include <optional>
 
+#include "egraph/analysis.h"
 #include "support/error.h"
 
 namespace seer::eg {
+
+EGraph::EGraph() = default;
+EGraph::~EGraph() = default;
+EGraph::EGraph(EGraph &&) noexcept = default;
+EGraph &EGraph::operator=(EGraph &&) noexcept = default;
+
+EGraph::EGraph(AnalysisHooks hooks)
+{
+    if (hooks.parse_const)
+        registerAnalysis(
+            std::make_unique<ConstFoldAnalysis>(std::move(hooks)));
+}
+
+Analysis &
+EGraph::registerAnalysis(std::unique_ptr<Analysis> analysis)
+{
+    SEER_ASSERT(!journaling(),
+                "registerAnalysis inside an open checkpoint");
+    SEER_ASSERT(findAnalysis(analysis->name()) == nullptr,
+                "duplicate analysis '" << analysis->name() << "'");
+    analysis->index_ = analyses_.size();
+    analyses_.push_back(std::move(analysis));
+    Analysis &registered = *analyses_.back();
+    if (registered.name() == "const-fold")
+        const_fold_ = static_cast<ConstFoldAnalysis *>(&registered);
+    registered.onAttach(*this);
+    return registered;
+}
+
+Analysis *
+EGraph::findAnalysis(const std::string &name) const
+{
+    for (const auto &analysis : analyses_)
+        if (analysis->name() == name)
+            return analysis.get();
+    return nullptr;
+}
+
+void
+EGraph::journalAnalysisDatum(const Analysis &analysis, EClassId id) const
+{
+    if (!journaling())
+        return;
+    JournalEntry entry;
+    entry.kind = JournalEntry::Kind::AnalysisSet;
+    entry.id = id;
+    entry.analysis_index = analysis.index();
+    entry.analysis_datum = analysis.saveDatum(id);
+    journal_.push_back(std::move(entry));
+}
+
+void
+EGraph::notifyPeerAnalyses(const Analysis &source, EClassId id)
+{
+    for (auto &analysis : analyses_)
+        if (analysis.get() != &source)
+            analysis->onPeerChanged(*this, id);
+}
+
+void
+EGraph::analysisRequeue(EClassId id)
+{
+    worklist_.push_back(id);
+}
 
 EClassId
 EGraph::find(EClassId id) const
@@ -76,8 +141,12 @@ EGraph::add(ENode node)
     for (EClassId child : node.children)
         classes_[child].parents.emplace_back(node, id);
     memo_.emplace(node, id);
-    makeAnalysis(id, node);
-    maybeAddFoldedConst(id);
+    for (auto &analysis : analyses_)
+        analysis->onMake(*this, id, node);
+    // Modify runs after every analysis made its datum: it may re-enter
+    // add()/merge() (constant folding materializing a literal).
+    for (auto &analysis : analyses_)
+        analysis->onModify(*this, id);
     return id;
 }
 
@@ -147,9 +216,11 @@ EGraph::merge(EClassId a, EClassId b, std::string reason)
         entry.orig_b = b_orig;
         entry.nodes_size = into.nodes.size();
         entry.parents_size = into.parents.size();
-        entry.constant_old = into.constant;
     }
-    mergeAnalysis(a, b);
+    // Join while the absorbed class's parent list is still intact: the
+    // hooks see exactly the nodes whose child ids re-canonicalize.
+    for (auto &analysis : analyses_)
+        analysis->onMerge(*this, a, b, from.parents);
     into.nodes.insert(into.nodes.end(), from.nodes.begin(),
                       from.nodes.end());
     into.parents.insert(into.parents.end(), from.parents.begin(),
@@ -166,7 +237,8 @@ EGraph::merge(EClassId a, EClassId b, std::string reason)
     dirty_since_rebuild_.push_back(a);
     classes_.erase(b);
     worklist_.push_back(a);
-    maybeAddFoldedConst(a);
+    for (auto &analysis : analyses_)
+        analysis->onModify(*this, a);
     return true;
 }
 
@@ -270,9 +342,10 @@ EGraph::repair(EClassId id)
             journal_.push_back(std::move(entry));
         }
         classes_[root].parents.emplace_back(node, find(parent_id));
-        // Analysis propagation: a child constant may now determine the
-        // parent's constant (egg's analysis_pending worklist).
-        propagateConstant(node, find(parent_id));
+        // Analysis propagation: a child datum may now determine the
+        // parent's datum (egg's analysis_pending worklist).
+        for (auto &analysis : analyses_)
+            analysis->onRepairParent(*this, node, find(parent_id));
     }
     // Deduplicate and canonicalize the class's own nodes.
     EClass &self = classes_[find(id)];
@@ -306,7 +379,9 @@ EGraph::eclass(EClassId id) const
 std::optional<int64_t>
 EGraph::constantOf(EClassId id) const
 {
-    return eclass(id).constant;
+    if (const_fold_ == nullptr)
+        return std::nullopt;
+    return const_fold_->value(find(id));
 }
 
 std::vector<EClassId>
@@ -375,83 +450,6 @@ EGraph::numNodes() const
 }
 
 void
-EGraph::makeAnalysis(EClassId id, const ENode &node)
-{
-    if (!hooks_.parse_const)
-        return;
-    EClass &cls = classes_[id];
-    if (node.children.empty()) {
-        if (auto value = hooks_.parse_const(node.op))
-            cls.constant = value;
-        return;
-    }
-    if (!hooks_.fold)
-        return;
-    std::vector<int64_t> child_values;
-    child_values.reserve(node.children.size());
-    for (EClassId child : node.children) {
-        auto value = constantOf(child);
-        if (!value)
-            return;
-        child_values.push_back(*value);
-    }
-    if (auto folded = hooks_.fold(node.op, child_values)) {
-        if (auto value = hooks_.parse_const(*folded))
-            cls.constant = value;
-    }
-}
-
-void
-EGraph::propagateConstant(const ENode &node, EClassId parent)
-{
-    if (!hooks_.fold || !hooks_.parse_const)
-        return;
-    parent = find(parent);
-    EClass &cls = classes_[parent];
-    if (cls.constant)
-        return;
-    std::vector<int64_t> child_values;
-    child_values.reserve(node.children.size());
-    for (EClassId child : node.children) {
-        auto value = constantOf(child);
-        if (!value)
-            return;
-        child_values.push_back(*value);
-    }
-    auto folded = hooks_.fold(node.op, child_values);
-    if (!folded)
-        return;
-    auto value = hooks_.parse_const(*folded);
-    if (!value)
-        return;
-    if (journaling()) {
-        JournalEntry entry;
-        entry.kind = JournalEntry::Kind::ConstantSet;
-        entry.id = parent;
-        entry.constant_old = cls.constant;
-        journal_.push_back(std::move(entry));
-    }
-    cls.constant = value;
-    maybeAddFoldedConst(parent);
-    worklist_.push_back(parent); // keep propagating upward
-}
-
-void
-EGraph::mergeAnalysis(EClassId into, EClassId from)
-{
-    EClass &a = classes_[into];
-    EClass &b = classes_[from];
-    if (!a.constant)
-        a.constant = b.constant;
-    else if (b.constant && *a.constant != *b.constant) {
-        panic(MsgBuilder()
-              << "e-graph analysis contradiction: class holds constants "
-              << *a.constant << " and " << *b.constant
-              << " (an unsound rewrite was applied)");
-    }
-}
-
-void
 EGraph::journalMemoSet(const ENode &key)
 {
     if (!journaling())
@@ -483,6 +481,11 @@ EGraph::journalMemoErase(const ENode &key)
 EGraph::Checkpoint
 EGraph::checkpoint()
 {
+    // Quiesce lazily-maintained analyses first so the snapshot (and the
+    // journal replayed against it) captures them with empty work queues:
+    // rollback restores data values, not pending recompute schedules.
+    for (auto &analysis : analyses_)
+        analysis->onCheckpoint(*this);
     Checkpoint cp;
     cp.token = ++checkpoint_serial_;
     cp.journal_mark = journal_.size();
@@ -522,7 +525,6 @@ EGraph::undo(JournalEntry &entry)
         num_nodes_ += entry.saved_class.nodes.size();
         into.nodes.resize(entry.nodes_size);
         into.parents.resize(entry.parents_size);
-        into.constant = entry.constant_old;
         classes_[entry.id2] = std::move(entry.saved_class);
         proof_edges_[entry.orig_a].pop_back();
         proof_edges_[entry.orig_b].pop_back();
@@ -553,8 +555,9 @@ EGraph::undo(JournalEntry &entry)
         classes_[entry.id].nodes = std::move(entry.saved_nodes);
         break;
       }
-      case JournalEntry::Kind::ConstantSet: {
-        classes_[entry.id].constant = entry.constant_old;
+      case JournalEntry::Kind::AnalysisSet: {
+        analyses_[entry.analysis_index]->restoreDatum(
+            entry.id, entry.analysis_datum);
         break;
       }
     }
@@ -577,6 +580,8 @@ EGraph::rollback(const Checkpoint &cp)
     worklist_ = cp.worklist;
     dirty_since_rebuild_ = cp.dirty;
     proof_edges_.resize(cp.proof_size);
+    for (auto &analysis : analyses_)
+        analysis->onRollback(*this, parents_.size());
     open_tokens_.pop_back();
     // Timestamps are monotonic and deliberately not journaled, so a
     // rollback can only be signalled out-of-band: bump the generation so
@@ -665,43 +670,15 @@ EGraph::debugCheckInvariants() const
             }
         }
     }
+    // Analysis coherence: each registered analysis recomputes its data
+    // from scratch and compares with the maintained state (clean graph
+    // only — propagation pending on the worklist is not incoherence).
+    for (const auto &analysis : analyses_) {
+        std::string error = analysis->checkInvariants(*this);
+        if (!error.empty())
+            return error;
+    }
     return "";
-}
-
-void
-EGraph::maybeAddFoldedConst(EClassId id)
-{
-    if (!hooks_.fold || !hooks_.parse_const)
-        return;
-    id = find(id);
-    EClass &cls = classes_[id];
-    if (!cls.constant)
-        return;
-    // Find a node to derive the constant's spelling (type encoding) from.
-    for (const ENode &node : cls.nodes) {
-        if (node.children.empty() && hooks_.parse_const(node.op))
-            return; // literal already present
-    }
-    for (const ENode &node : cls.nodes) {
-        std::vector<int64_t> child_values;
-        bool ok = !node.children.empty();
-        for (EClassId child : node.children) {
-            auto value = constantOf(child);
-            if (!value) {
-                ok = false;
-                break;
-            }
-            child_values.push_back(*value);
-        }
-        if (!ok)
-            continue;
-        if (auto folded = hooks_.fold(node.op, child_values)) {
-            ENode literal{*folded, {}};
-            EClassId lit_id = add(std::move(literal));
-            merge(id, lit_id);
-            return;
-        }
-    }
 }
 
 } // namespace seer::eg

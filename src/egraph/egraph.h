@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -20,6 +21,9 @@
 #include "egraph/term.h"
 
 namespace seer::eg {
+
+class Analysis;
+class ConstFoldAnalysis;
 
 using EClassId = uint32_t;
 
@@ -49,8 +53,10 @@ struct ENodeHash
 };
 
 /**
- * Constant-folding analysis hooks (the e-class analysis of egg). The
- * SeerLang layer supplies functions that understand its symbol encoding.
+ * Constant-folding hooks (the symbol-encoding half of the constant
+ * e-class analysis). The SeerLang layer supplies functions that
+ * understand its symbol encoding; EGraph(AnalysisHooks) wraps them in a
+ * registered ConstFoldAnalysis (analysis.h).
  */
 struct AnalysisHooks
 {
@@ -72,15 +78,18 @@ struct EClass
     std::vector<ENode> nodes;
     /** (parent node as last canonicalized, parent class) for repair. */
     std::vector<std::pair<ENode, EClassId>> parents;
-    /** Constant value when the analysis has derived one. */
-    std::optional<int64_t> constant;
 };
 
 class EGraph
 {
   public:
-    EGraph() = default;
-    explicit EGraph(AnalysisHooks hooks) : hooks_(std::move(hooks)) {}
+    EGraph();
+    /** Convenience: registers a ConstFoldAnalysis over `hooks`. */
+    explicit EGraph(AnalysisHooks hooks);
+    ~EGraph();
+    // Move-only (owns its registered analyses).
+    EGraph(EGraph &&) noexcept;
+    EGraph &operator=(EGraph &&) noexcept;
 
     /** Add an e-node (children must be existing class ids). */
     EClassId add(ENode node);
@@ -123,6 +132,47 @@ class EGraph
 
     /** Constant value of a class if the analysis derived one. */
     std::optional<int64_t> constantOf(EClassId id) const;
+
+    /**
+     * Register an e-class analysis. The analysis is told about all
+     * existing content via Analysis::onAttach, then kept coherent with
+     * every subsequent mutation (and with checkpoint rollback, through
+     * the journal). Registration itself never alters graph evolution —
+     * unless the analysis's modify hook adds nodes, exploration results
+     * are bit-identical with and without it. Must not be called while a
+     * checkpoint is open. Returns the registered analysis.
+     */
+    Analysis &registerAnalysis(std::unique_ptr<Analysis> analysis);
+
+    /** Registered analysis by name; nullptr when absent. */
+    Analysis *findAnalysis(const std::string &name) const;
+
+    /** All registered analyses, in registration order. */
+    const std::vector<std::unique_ptr<Analysis>> &analyses() const
+    {
+        return analyses_;
+    }
+
+    /** Size of the id space (live + merged-away ids); analyses size
+     *  their dense per-id tables with this. */
+    size_t numIds() const { return parents_.size(); }
+
+    /**
+     * Journal the current datum of (analysis, id) so rollback restores
+     * it. Analyses must call this *before* overwriting the datum of a
+     * pre-existing class. Const because lazily-maintained analyses
+     * (cost bounds) drain from read paths; the journal is mutable.
+     */
+    void journalAnalysisDatum(const Analysis &analysis, EClassId id) const;
+
+    /** Tell every other analysis that `source` changed its datum of
+     *  class `id` (cross-analysis dependencies, e.g. an area model
+     *  reading shift-amount constants). */
+    void notifyPeerAnalyses(const Analysis &source, EClassId id);
+
+    /** Schedule `id` for repair at the next rebuild — analyses use this
+     *  when a datum change may unlock folds in parent classes. */
+    void analysisRequeue(EClassId id);
 
     /** All canonical class ids. */
     std::vector<EClassId> classIds() const;
@@ -236,7 +286,7 @@ class EGraph
             ParentsClear,   ///< classes_[id].parents cleared (repair)
             ParentsAppend,  ///< classes_[id].parents grew by one
             NodesReplace,   ///< classes_[id].nodes rewritten (repair)
-            ConstantSet,    ///< classes_[id].constant written
+            AnalysisSet,    ///< analysis datum of class `id` overwritten
         };
         Kind kind;
         EClassId id = 0;
@@ -248,7 +298,9 @@ class EGraph
         std::optional<EClassId> memo_old;
         size_t nodes_size = 0;
         size_t parents_size = 0;
-        std::optional<int64_t> constant_old;
+        /** AnalysisSet: which analysis, and its saved datum. */
+        size_t analysis_index = 0;
+        std::shared_ptr<void> analysis_datum;
         EClass saved_class;
         std::vector<std::pair<ENode, EClassId>> saved_parents;
         std::vector<ENode> saved_nodes;
@@ -286,13 +338,13 @@ class EGraph
     void repair(EClassId id);
     /** Stamp the ancestor cone of merge-dirtied classes (rebuild tail). */
     void propagateDirty();
-    void propagateConstant(const ENode &node, EClassId parent);
-    void makeAnalysis(EClassId id, const ENode &node);
-    void mergeAnalysis(EClassId into, EClassId from);
-    void maybeAddFoldedConst(EClassId id);
 
-    AnalysisHooks hooks_;
-    std::vector<JournalEntry> journal_;
+    /** Registered analyses; const-fold (when hooked) is cached below. */
+    std::vector<std::unique_ptr<Analysis>> analyses_;
+    ConstFoldAnalysis *const_fold_ = nullptr;
+    /** Mutable so lazily-maintained analyses can journal datum
+     *  overwrites from const read paths (see journalAnalysisDatum). */
+    mutable std::vector<JournalEntry> journal_;
     std::vector<uint64_t> open_tokens_;
     uint64_t checkpoint_serial_ = 0;
     std::vector<EClassId> parents_; // union-find

@@ -11,6 +11,218 @@ namespace seer::eg {
 
 namespace {
 
+/**
+ * Exact lexicographic (cost, size) comparison — no epsilon. Used for
+ * everything that must be identical between the incremental analysis
+ * and the from-scratch path: both converge to the greatest fixpoint of
+ * the class-cost equations under this order, with identical
+ * floating-point operation order, so the maintained tables agree
+ * bitwise. The epsilon tie-break lives only in the final choice scan
+ * (below), which both paths share.
+ */
+bool
+lexLess(const CostBoundAnalysis::Value &a,
+        const CostBoundAnalysis::Value &b)
+{
+    if (a.cost != b.cost)
+        return a.cost < b.cost;
+    return a.size < b.size;
+}
+
+/**
+ * Evaluate one node against a child-value lookup: self + sum of child
+ * costs (left fold in child order — the FP summation order both the
+ * incremental and the scratch path must share), size 1 + child sizes.
+ * Infeasible (default Value) when any child is.
+ */
+template <typename Lookup>
+CostBoundAnalysis::Value
+evalNode(double self, const ENode &node, Lookup &&child_value)
+{
+    CostBoundAnalysis::Value value;
+    if (self == CostModel::kInfinity)
+        return value;
+    value.cost = self;
+    value.size = 1;
+    for (EClassId child : node.children) {
+        CostBoundAnalysis::Value cv = child_value(child);
+        if (cv.cost == CostModel::kInfinity)
+            return CostBoundAnalysis::Value{};
+        value.cost += cv.cost;
+        value.size += cv.size;
+    }
+    return value;
+}
+
+/**
+ * From-scratch greatest-fixpoint computation of the per-class (min tree
+ * cost, min size) values, restricted to the classes reachable from
+ * `roots`. Chaotic iteration on a worklist seeded in ascending class-id
+ * order, rippling through a child -> users adjacency. This is the
+ * reference ("naive") path; the registered CostBoundAnalysis maintains
+ * the same fixpoint incrementally.
+ */
+std::unordered_map<EClassId, CostBoundAnalysis::Value>
+scratchBounds(const EGraph &egraph, const CostModel &cost,
+              const std::vector<EClassId> &roots, ExtractStats &stats)
+{
+    using Value = CostBoundAnalysis::Value;
+    std::vector<EClassId> ids;
+    std::unordered_map<EClassId, uint32_t> slots;
+    {
+        std::vector<EClassId> stack;
+        for (EClassId root : roots)
+            stack.push_back(egraph.find(root));
+        while (!stack.empty()) {
+            EClassId id = stack.back();
+            stack.pop_back();
+            if (!slots.emplace(id, static_cast<uint32_t>(ids.size()))
+                     .second)
+                continue;
+            ids.push_back(id);
+            for (const ENode &node : egraph.eclass(id).nodes) {
+                for (EClassId child : node.children)
+                    stack.push_back(egraph.find(child));
+            }
+        }
+    }
+    const size_t n = ids.size();
+    std::vector<Value> values(n);
+
+    // Flatten the cone: per-node self costs and canonical child slots,
+    // so the recompute loop touches no map and performs no find().
+    std::vector<uint32_t> class_node_begin(n + 1, 0);
+    std::vector<double> node_self;
+    std::vector<uint32_t> node_child_begin{0};
+    std::vector<uint32_t> child_slots;
+    std::vector<std::vector<uint32_t>> users(n);
+    for (size_t s = 0; s < n; ++s) {
+        class_node_begin[s] = static_cast<uint32_t>(node_self.size());
+        for (const ENode &node : egraph.eclass(ids[s]).nodes) {
+            node_self.push_back(cost.nodeCostInClass(egraph, node));
+            for (EClassId child : node.children) {
+                uint32_t cs = slots.at(egraph.find(child));
+                child_slots.push_back(cs);
+                users[cs].push_back(static_cast<uint32_t>(s));
+            }
+            node_child_begin.push_back(
+                static_cast<uint32_t>(child_slots.size()));
+        }
+    }
+    class_node_begin[n] = static_cast<uint32_t>(node_self.size());
+    for (std::vector<uint32_t> &u : users) {
+        std::sort(u.begin(), u.end());
+        u.erase(std::unique(u.begin(), u.end()), u.end());
+    }
+
+    // Fresh best-over-nodes scan of slot `s` (same arithmetic as
+    // CostBoundAnalysis::recomputeClass); true when the value changed.
+    auto recompute = [&](uint32_t s) {
+        ++stats.classes_recomputed;
+        Value best;
+        for (uint32_t ni = class_node_begin[s];
+             ni < class_node_begin[s + 1]; ++ni) {
+            double self = node_self[ni];
+            if (self == CostModel::kInfinity)
+                continue;
+            Value v;
+            v.cost = self;
+            v.size = 1;
+            bool feasible = true;
+            for (uint32_t ci = node_child_begin[ni];
+                 ci < node_child_begin[ni + 1]; ++ci) {
+                const Value &cv = values[child_slots[ci]];
+                if (cv.cost == CostModel::kInfinity) {
+                    feasible = false;
+                    break;
+                }
+                v.cost += cv.cost;
+                v.size += cv.size;
+            }
+            if (!feasible)
+                continue;
+            if (lexLess(v, best))
+                best = v;
+        }
+        if (best == values[s])
+            return false;
+        values[s] = best;
+        return true;
+    };
+
+    // Seed every class once in ascending-id order, then let changes
+    // ripple upward through `users` until quiescent: the greatest
+    // fixpoint, reached from above.
+    std::vector<uint32_t> queue(n);
+    for (size_t s = 0; s < n; ++s)
+        queue[s] = static_cast<uint32_t>(s);
+    std::sort(queue.begin(), queue.end(), [&](uint32_t a, uint32_t b) {
+        return ids[a] < ids[b];
+    });
+    std::vector<char> queued(n, 1);
+    for (size_t head = 0; head < queue.size(); ++head) {
+        uint32_t s = queue[head];
+        queued[s] = 0;
+        if (!recompute(s))
+            continue;
+        for (uint32_t u : users[s]) {
+            if (!queued[u]) {
+                queued[u] = 1;
+                queue.push_back(u);
+            }
+        }
+    }
+    std::unordered_map<EClassId, Value> out;
+    out.reserve(n);
+    for (size_t s = 0; s < n; ++s)
+        out.emplace(ids[s], values[s]);
+    return out;
+}
+
+/**
+ * Bound lookup used by the extractors: either the registered analysis
+ * (incremental) or a from-scratch table. Unknown ids are infeasible.
+ */
+struct BoundTable
+{
+    const CostBoundAnalysis *analysis = nullptr;
+    std::unordered_map<EClassId, CostBoundAnalysis::Value> scratch;
+
+    CostBoundAnalysis::Value
+    at(EClassId canonical) const
+    {
+        if (analysis)
+            return analysis->value(canonical);
+        auto it = scratch.find(canonical);
+        if (it == scratch.end())
+            return CostBoundAnalysis::Value{};
+        return it->second;
+    }
+};
+
+/** Resolve the bound source for one extraction call. */
+BoundTable
+makeTable(const EGraph &egraph, const CostModel &cost, EClassId root,
+          const ExtractOptions &options, ExtractStats &stats)
+{
+    BoundTable table;
+    if (!options.naive && !cost.name().empty()) {
+        if (const Analysis *analysis =
+                egraph.findAnalysis("cost-bound:" + cost.name())) {
+            const auto *bound =
+                static_cast<const CostBoundAnalysis *>(analysis);
+            uint64_t before = bound->recomputes();
+            bound->ensureCurrent(egraph);
+            stats.classes_recomputed += bound->recomputes() - before;
+            stats.used_analysis = true;
+            table.analysis = bound;
+            return table;
+        }
+    }
+    table.scratch = scratchBounds(egraph, cost, {root}, stats);
+    return table;
+}
+
 struct ClassCost
 {
     double cost = CostModel::kInfinity;
@@ -46,173 +258,81 @@ improves(double cost, double size, const ClassCost &best)
 }
 
 /**
- * Dense greedy cost table for the classes reachable from one root:
- * class ids map to contiguous slots so the fixpoint below runs on flat
- * vectors instead of a std::map per lookup.
+ * The choice scan: pick the node of `id` minimizing self + child bound
+ * costs under the epsilon tie-break (smaller size, then first in class
+ * node order). A pure function of the *converged* bound table, shared
+ * by the incremental and the naive path — the epsilon never feeds back
+ * into maintained state, which is what keeps the two paths
+ * bit-identical despite history-dependent epsilon comparisons.
  */
-class GreedyCosts
+ClassCost
+chooseNode(const EGraph &egraph, const CostModel &cost,
+           const BoundTable &table, EClassId id)
 {
-  public:
-    const ClassCost &
-    at(EClassId id) const
-    {
-        return costs_[slots_.at(id)];
-    }
-
-    /** Reachable classes (the table's keys), root first. */
-    const std::vector<EClassId> &ids() const { return ids_; }
-
-  private:
-    friend GreedyCosts computeGreedyCosts(const EGraph &egraph,
-                                          const CostModel &cost,
-                                          EClassId root);
-    std::vector<EClassId> ids_;
-    std::vector<ClassCost> costs_; ///< parallel to ids_
-    std::unordered_map<EClassId, uint32_t> slots_;
-};
-
-/**
- * Greedy per-class costs, restricted to the classes reachable from
- * `root` (extraction never needs the rest). Instead of sweeping the
- * whole cone to a fixpoint, classes sit on a worklist and a class is
- * recomputed only when one of its children improved, driven through a
- * reverse (child -> users) adjacency — the standard chaotic-iteration
- * shortest-term computation.
- */
-GreedyCosts
-computeGreedyCosts(const EGraph &egraph, const CostModel &cost,
-                   EClassId root)
-{
-    GreedyCosts table;
-    {
-        std::vector<EClassId> stack{egraph.find(root)};
-        while (!stack.empty()) {
-            EClassId id = stack.back();
-            stack.pop_back();
-            if (!table.slots_
-                     .emplace(id,
-                              static_cast<uint32_t>(table.ids_.size()))
-                     .second)
-                continue;
-            table.ids_.push_back(id);
-            for (const ENode &node : egraph.eclass(id).nodes) {
-                for (EClassId child : node.children)
-                    stack.push_back(egraph.find(child));
-            }
-        }
-    }
-    const size_t n = table.ids_.size();
-    table.costs_.assign(n, ClassCost{});
-
-    // Flatten the cone: per-node self costs and canonical child slots,
-    // so the recompute loop touches no map and performs no find().
-    std::vector<uint32_t> class_node_begin(n + 1, 0);
-    std::vector<double> node_self;
-    std::vector<uint32_t> node_child_begin{0};
-    std::vector<uint32_t> child_slots;
-    std::vector<std::vector<uint32_t>> users(n);
-    for (size_t s = 0; s < n; ++s) {
-        class_node_begin[s] = static_cast<uint32_t>(node_self.size());
-        for (const ENode &node : egraph.eclass(table.ids_[s]).nodes) {
-            node_self.push_back(cost.nodeCost(node));
-            for (EClassId child : node.children) {
-                uint32_t cs = table.slots_.at(egraph.find(child));
-                child_slots.push_back(cs);
-                users[cs].push_back(static_cast<uint32_t>(s));
-            }
-            node_child_begin.push_back(
-                static_cast<uint32_t>(child_slots.size()));
-        }
-    }
-    class_node_begin[n] = static_cast<uint32_t>(node_self.size());
-    for (std::vector<uint32_t> &u : users) {
-        std::sort(u.begin(), u.end());
-        u.erase(std::unique(u.begin(), u.end()), u.end());
-    }
-
-    // Re-derive the best (cost, size, node) of class slot `s` from its
-    // current child costs; true when it improved.
-    auto recompute = [&](uint32_t s) {
-        ClassCost &best = table.costs_[s];
-        bool changed = false;
-        for (uint32_t ni = class_node_begin[s];
-             ni < class_node_begin[s + 1]; ++ni) {
-            double self = node_self[ni];
-            if (self == CostModel::kInfinity)
-                continue;
-            double total = self;
-            double size = 1;
-            bool feasible = true;
-            for (uint32_t ci = node_child_begin[ni];
-                 ci < node_child_begin[ni + 1]; ++ci) {
-                const ClassCost &cc = table.costs_[child_slots[ci]];
-                if (cc.cost == CostModel::kInfinity) {
-                    feasible = false;
-                    break;
-                }
-                total += cc.cost;
-                size += cc.size;
-            }
-            if (!feasible)
-                continue;
-            if (improves(total, size, best)) {
-                best.cost = total;
-                best.size = size;
-                best.node_index =
-                    static_cast<int>(ni - class_node_begin[s]);
-                changed = true;
-            }
-        }
-        return changed;
-    };
-
-    // Seed every class once in ascending-id order (the sweep order of
-    // the previous fixpoint, for deterministic epsilon-tie breaks),
-    // then let improvements ripple upward through `users`.
-    std::vector<uint32_t> queue(n);
-    for (size_t s = 0; s < n; ++s)
-        queue[s] = static_cast<uint32_t>(s);
-    std::sort(queue.begin(), queue.end(), [&](uint32_t a, uint32_t b) {
-        return table.ids_[a] < table.ids_[b];
-    });
-    std::vector<char> queued(n, 1);
-    for (size_t head = 0; head < queue.size(); ++head) {
-        uint32_t s = queue[head];
-        queued[s] = 0;
-        if (!recompute(s))
+    ClassCost best;
+    const EClass &cls = egraph.eclass(id);
+    for (size_t i = 0; i < cls.nodes.size(); ++i) {
+        const ENode &node = cls.nodes[i];
+        double self = cost.nodeCostInClass(egraph, node);
+        CostBoundAnalysis::Value v = evalNode(
+            self, node, [&](EClassId child) {
+                return table.at(egraph.find(child));
+            });
+        if (v.cost == CostModel::kInfinity)
             continue;
-        for (uint32_t u : users[s]) {
-            if (!queued[u]) {
-                queued[u] = 1;
-                queue.push_back(u);
-            }
+        if (improves(v.cost, v.size, best)) {
+            best.cost = v.cost;
+            best.size = v.size;
+            best.node_index = static_cast<int>(i);
         }
     }
-    return table;
+    return best;
+}
+
+/** Memoized chooseNode over a term's support. */
+int
+chosenNodeOf(const EGraph &egraph, const CostModel &cost,
+             const BoundTable &table, EClassId id,
+             std::map<EClassId, int> &choice)
+{
+    auto it = choice.find(id);
+    if (it != choice.end())
+        return it->second;
+    int n = chooseNode(egraph, cost, table, id).node_index;
+    choice.emplace(id, n);
+    return n;
 }
 
 TermPtr
-buildTerm(const EGraph &egraph, EClassId id, const GreedyCosts &costs,
-          std::set<EClassId> &visiting)
+buildGreedyTerm(const EGraph &egraph, const CostModel &cost,
+                const BoundTable &table, EClassId id,
+                std::map<EClassId, int> &choice,
+                std::map<EClassId, TermPtr> &memo,
+                std::set<EClassId> &visiting)
 {
     id = egraph.find(id);
+    auto done = memo.find(id);
+    if (done != memo.end())
+        return done->second;
     SEER_ASSERT(!visiting.count(id),
                 "cyclic extraction at class " << id
                     << " (cost model allows a zero-cost cycle)");
-    const ClassCost &best = costs.at(id);
-    SEER_ASSERT(best.node_index >= 0, "extracting infeasible class");
+    int n = chosenNodeOf(egraph, cost, table, id, choice);
+    SEER_ASSERT(n >= 0, "extracting infeasible class");
     visiting.insert(id);
-    const ENode &node =
-        egraph.eclass(id).nodes[static_cast<size_t>(best.node_index)];
+    const ENode &node = egraph.eclass(id).nodes[static_cast<size_t>(n)];
     std::vector<TermPtr> children;
     children.reserve(node.children.size());
     for (EClassId child : node.children)
-        children.push_back(buildTerm(egraph, child, costs, visiting));
+        children.push_back(buildGreedyTerm(egraph, cost, table, child,
+                                           choice, memo, visiting));
     visiting.erase(id);
-    return makeTerm(node.op, std::move(children));
+    TermPtr term = makeTerm(node.op, std::move(children));
+    memo[id] = term;
+    return term;
 }
 
-/** Classes reachable from the chosen node of each decided class. */
+/** DAG cost of a complete choice: each distinct class counted once. */
 double
 dagCostOf(const EGraph &egraph, EClassId root,
           const std::map<EClassId, int> &choice, const CostModel &cost)
@@ -227,11 +347,31 @@ dagCostOf(const EGraph &egraph, EClassId root,
             continue;
         const ENode &node = egraph.eclass(id).nodes[static_cast<size_t>(
             choice.at(id))];
-        total += cost.nodeCost(node);
+        total += cost.nodeCostInClass(egraph, node);
         for (EClassId child : node.children)
             stack.push_back(egraph.find(child));
     }
     return total;
+}
+
+/** Distinct classes in the support of a complete choice. */
+size_t
+supportSize(const EGraph &egraph, EClassId root,
+            const std::map<EClassId, int> &choice)
+{
+    std::set<EClassId> seen;
+    std::vector<EClassId> stack{egraph.find(root)};
+    while (!stack.empty()) {
+        EClassId id = stack.back();
+        stack.pop_back();
+        if (!seen.insert(id).second)
+            continue;
+        const ENode &node = egraph.eclass(id).nodes[static_cast<size_t>(
+            choice.at(id))];
+        for (EClassId child : node.children)
+            stack.push_back(egraph.find(child));
+    }
+    return seen.size();
 }
 
 /** Check the chosen-node graph reachable from root is acyclic. */
@@ -287,39 +427,35 @@ buildChoiceTerm(const EGraph &egraph, EClassId id,
 class ExactSolver
 {
   public:
-    ExactSolver(const EGraph &egraph, const CostModel &cost, size_t budget)
-        : egraph_(egraph), cost_(cost), budget_(budget)
+    ExactSolver(const EGraph &egraph, const CostModel &cost,
+                const ExtractOptions &options, ExtractStats &stats)
+        : egraph_(egraph), cost_(cost), naive_(options.naive),
+          budget_(options.budget), stats_(stats)
     {}
 
     std::optional<Extraction>
     solve(EClassId root)
     {
         root = egraph_.find(root);
-        greedy_ = computeGreedyCosts(egraph_, cost_, root);
-        if (greedy_.at(root).node_index < 0)
+        table_ = makeTable(egraph_, cost_, root, opts(), stats_);
+        if (table_.at(root).cost == CostModel::kInfinity)
             return std::nullopt;
 
         // Seed the incumbent with the greedy choice evaluated as a DAG.
         std::map<EClassId, int> greedy_choice;
-        for (EClassId id : greedy_.ids()) {
-            const ClassCost &cc = greedy_.at(id);
-            if (cc.node_index >= 0)
-                greedy_choice[id] = cc.node_index;
-        }
+        collectGreedyChoice(root, greedy_choice);
         best_choice_ = greedy_choice;
         best_cost_ = dagCostOf(egraph_, root, greedy_choice, cost_);
-
-        // Min self-cost per class: admissible bound contribution.
-        for (EClassId id : greedy_.ids()) {
-            double m = CostModel::kInfinity;
-            for (const ENode &node : egraph_.eclass(id).nodes)
-                m = std::min(m, cost_.nodeCost(node));
-            min_self_[id] = m;
-        }
 
         std::map<EClassId, int> choice;
         std::set<EClassId> pending{root};
         search(choice, pending, 0.0, root);
+
+        stats_.expansions += expansions_;
+        stats_.bound_prunes += prunes_;
+        stats_.budget_exhausted =
+            stats_.budget_exhausted || budget_exhausted_;
+        stats_.classes_visited += supportSize(egraph_, root, best_choice_);
 
         std::map<EClassId, TermPtr> memo;
         Extraction out;
@@ -330,6 +466,31 @@ class ExactSolver
     }
 
   private:
+    ExtractOptions
+    opts() const
+    {
+        ExtractOptions o;
+        o.naive = naive_;
+        o.budget = budget_;
+        return o;
+    }
+
+    /** Greedy choices over the support of `id` (the incumbent). */
+    void
+    collectGreedyChoice(EClassId id, std::map<EClassId, int> &choice)
+    {
+        id = egraph_.find(id);
+        if (choice.count(id))
+            return;
+        int n = chooseNode(egraph_, cost_, table_, id).node_index;
+        SEER_ASSERT(n >= 0, "greedy incumbent hit infeasible class");
+        choice.emplace(id, n);
+        const ENode &node =
+            egraph_.eclass(id).nodes[static_cast<size_t>(n)];
+        for (EClassId child : node.children)
+            collectGreedyChoice(child, choice);
+    }
+
     double
     treeCost(const Term &term) const
     {
@@ -340,19 +501,118 @@ class ExactSolver
         return total;
     }
 
+    /** Per-class search memo: self costs, min self cost, candidate
+     *  order, and the classes every feasible node needs (for the
+     *  inevitable-children bound). Computed once per class — the old
+     *  code re-sorted candidates on every visit. */
+    struct ClassMemo
+    {
+        std::vector<double> self;
+        std::vector<int> order;
+        double min_self = CostModel::kInfinity;
+        /** Intersection of canonical child sets over feasible nodes:
+         *  classes any completion through this class must also pay. */
+        std::vector<EClassId> required;
+    };
+
+    const ClassMemo &
+    classMemo(EClassId id)
+    {
+        auto [it, inserted] = memo_.try_emplace(id);
+        ClassMemo &m = it->second;
+        if (!inserted)
+            return m;
+        const EClass &cls = egraph_.eclass(id);
+        m.self.resize(cls.nodes.size());
+        m.order.resize(cls.nodes.size());
+        for (size_t i = 0; i < cls.nodes.size(); ++i) {
+            m.self[i] = cost_.nodeCostInClass(egraph_, cls.nodes[i]);
+            m.order[i] = static_cast<int>(i);
+            m.min_self = std::min(m.min_self, m.self[i]);
+        }
+        std::sort(m.order.begin(), m.order.end(), [&](int a, int b) {
+            return m.self[static_cast<size_t>(a)] <
+                   m.self[static_cast<size_t>(b)];
+        });
+        bool first = true;
+        std::set<EClassId> inter;
+        for (size_t i = 0; i < cls.nodes.size(); ++i) {
+            if (m.self[i] == CostModel::kInfinity)
+                continue;
+            std::set<EClassId> kids;
+            bool feasible = true;
+            for (EClassId child : cls.nodes[i].children) {
+                EClassId c = egraph_.find(child);
+                if (table_.at(c).cost == CostModel::kInfinity) {
+                    feasible = false;
+                    break;
+                }
+                kids.insert(c);
+            }
+            if (!feasible)
+                continue;
+            if (first) {
+                inter = std::move(kids);
+                first = false;
+            } else {
+                for (auto cur = inter.begin(); cur != inter.end();) {
+                    if (!kids.count(*cur))
+                        cur = inter.erase(cur);
+                    else
+                        ++cur;
+                }
+            }
+        }
+        m.required.assign(inter.begin(), inter.end());
+        return m;
+    }
+
+    /**
+     * Admissible lower bound on any completion of the current partial
+     * choice. Base: every pending class costs at least its cheapest
+     * node. Unless naive, additionally closes over *inevitable*
+     * children — classes every feasible node of a pending (or already
+     * counted) class must reference — which is what makes the bound
+     * bite before the budget on shared-subexpression graphs.
+     */
+    double
+    boundOf(double cost_so_far, const std::map<EClassId, int> &choice,
+            const std::set<EClassId> &pending)
+    {
+        double bound = cost_so_far;
+        for (EClassId id : pending)
+            bound += classMemo(id).min_self;
+        if (naive_)
+            return bound;
+        std::set<EClassId> counted;
+        std::vector<EClassId> walk(pending.begin(), pending.end());
+        while (!walk.empty()) {
+            EClassId id = walk.back();
+            walk.pop_back();
+            for (EClassId req : classMemo(id).required) {
+                if (choice.count(req) || pending.count(req))
+                    continue;
+                if (!counted.insert(req).second)
+                    continue;
+                bound += classMemo(req).min_self;
+                walk.push_back(req);
+            }
+        }
+        return bound;
+    }
+
     void
     search(std::map<EClassId, int> &choice, std::set<EClassId> &pending,
            double cost_so_far, EClassId root)
     {
-        if (expansions_++ > budget_)
+        if (expansions_++ > budget_) {
+            budget_exhausted_ = true;
             return;
-        // Admissible lower bound: every pending class costs at least its
-        // cheapest node.
-        double bound = cost_so_far;
-        for (EClassId id : pending)
-            bound += min_self_.at(id);
-        if (bound >= best_cost_)
+        }
+        if (boundOf(cost_so_far, choice, pending) >= best_cost_) {
+            ++prunes_;
             return;
+        }
         if (pending.empty()) {
             if (choiceAcyclic(egraph_, root, choice)) {
                 best_cost_ = cost_so_far;
@@ -363,25 +623,18 @@ class ExactSolver
         EClassId id = *pending.begin();
         pending.erase(pending.begin());
 
-        // Candidate nodes ordered by self cost.
         const EClass &cls = egraph_.eclass(id);
-        std::vector<int> order(cls.nodes.size());
-        for (size_t i = 0; i < order.size(); ++i)
-            order[i] = static_cast<int>(i);
-        std::sort(order.begin(), order.end(), [&](int a, int b) {
-            return cost_.nodeCost(cls.nodes[static_cast<size_t>(a)]) <
-                   cost_.nodeCost(cls.nodes[static_cast<size_t>(b)]);
-        });
-
-        for (int n : order) {
+        const ClassMemo &m = classMemo(id);
+        for (int n : m.order) {
             const ENode &node = cls.nodes[static_cast<size_t>(n)];
-            double self = cost_.nodeCost(node);
+            double self = m.self[static_cast<size_t>(n)];
             if (self == CostModel::kInfinity)
                 break;
             // Skip nodes with infeasible children.
             bool feasible = true;
             for (EClassId child : node.children) {
-                if (greedy_.at(egraph_.find(child)).node_index < 0) {
+                if (table_.at(egraph_.find(child)).cost ==
+                    CostModel::kInfinity) {
                     feasible = false;
                     break;
                 }
@@ -405,36 +658,281 @@ class ExactSolver
 
     const EGraph &egraph_;
     const CostModel &cost_;
+    bool naive_;
     size_t budget_;
+    ExtractStats &stats_;
     size_t expansions_ = 0;
-    GreedyCosts greedy_;
-    std::unordered_map<EClassId, double> min_self_;
+    size_t prunes_ = 0;
+    bool budget_exhausted_ = false;
+    BoundTable table_;
+    std::unordered_map<EClassId, ClassMemo> memo_;
     std::map<EClassId, int> best_choice_;
     double best_cost_ = CostModel::kInfinity;
 };
 
 } // namespace
 
+// ---------------------------------------------------------------------------
+// CostBoundAnalysis
+
+void
+CostBoundAnalysis::push(EClassId id) const
+{
+    ensure(id);
+    if (queued_[id])
+        return;
+    queued_[id] = 1;
+    pending_.push_back(id);
+}
+
+void
+CostBoundAnalysis::recomputeClass(const EGraph &egraph, EClassId id) const
+{
+    ensure(id);
+    ++recomputes_;
+    Value best;
+    const EClass &cls = egraph.eclass(id);
+    for (const ENode &node : cls.nodes) {
+        if (auto key = model_.dependencyKey(node)) {
+            std::vector<EClassId> &dependents = deps_[*key];
+            if (std::find(dependents.begin(), dependents.end(), id) ==
+                dependents.end())
+                dependents.push_back(id);
+        }
+        double self = model_.nodeCostInClass(egraph, node);
+        Value v = evalNode(self, node, [&](EClassId child) {
+            EClassId c = egraph.find(child);
+            return c < values_.size() ? values_[c] : Value{};
+        });
+        if (v.cost == CostModel::kInfinity)
+            continue;
+        if (lexLess(v, best))
+            best = v;
+    }
+    if (best == values_[id])
+        return;
+    egraph.journalAnalysisDatum(*this, id);
+    values_[id] = best;
+    for (const auto &[node, parent] : cls.parents)
+        push(parent);
+}
+
+void
+CostBoundAnalysis::syncModel(const EGraph &egraph) const
+{
+    uint64_t revision = model_.revision();
+    if (revision == model_revision_)
+        return;
+    std::vector<std::string> touched =
+        model_.touchedSince(model_revision_);
+    model_revision_ = revision;
+    if (touched.empty())
+        return;
+    // Invalidate the parent cone of every class whose nodes read a
+    // touched key: set to infeasible (journaled — these are raises, the
+    // one move the monotone drain cannot make) and re-drain. Classes
+    // outside the cones read none of the touched inputs and keep their
+    // exact fixpoint values.
+    std::vector<EClassId> stack;
+    for (const std::string &key : touched) {
+        auto it = deps_.find(key);
+        if (it == deps_.end())
+            continue;
+        for (EClassId id : it->second) {
+            if (id < egraph.numIds())
+                stack.push_back(egraph.find(id));
+        }
+    }
+    std::vector<uint8_t> visited(egraph.numIds(), 0);
+    while (!stack.empty()) {
+        EClassId id = stack.back();
+        stack.pop_back();
+        if (visited[id])
+            continue;
+        visited[id] = 1;
+        ensure(id);
+        if (!(values_[id] == Value{})) {
+            egraph.journalAnalysisDatum(*this, id);
+            values_[id] = Value{};
+        }
+        push(id);
+        for (const auto &[node, parent] : egraph.eclass(id).parents)
+            stack.push_back(egraph.find(parent));
+    }
+}
+
+void
+CostBoundAnalysis::ensureCurrent(const EGraph &egraph) const
+{
+    syncModel(egraph);
+    while (!pending_.empty()) {
+        EClassId raw = pending_.back();
+        pending_.pop_back();
+        if (raw < queued_.size())
+            queued_[raw] = 0;
+        if (raw >= egraph.numIds())
+            continue; // stale entry past a rollback (defensive)
+        recomputeClass(egraph, egraph.find(raw));
+    }
+}
+
+void
+CostBoundAnalysis::onMake(EGraph &egraph, EClassId id, const ENode &node)
+{
+    (void)egraph, (void)node;
+    ensure(id);
+    push(id); // value starts infeasible; the next drain computes it
+}
+
+void
+CostBoundAnalysis::onMerge(
+    EGraph &egraph, EClassId into, EClassId from,
+    const std::vector<std::pair<ENode, EClassId>> &from_parents)
+{
+    ensure(std::max(into, from));
+    Value winner = values_[into];
+    Value loser = values_[from];
+    // The union can only lower the class bound: seed the winner with
+    // the lexicographic min so the maintained state stays pointwise >=
+    // the new greatest fixpoint, then let the drain settle it.
+    Value merged = lexLess(loser, winner) ? loser : winner;
+    if (!(merged == winner)) {
+        egraph.journalAnalysisDatum(*this, into);
+        values_[into] = merged;
+        // The winner's value improved: its current parents re-derive.
+        for (const auto &[node, parent] : egraph.eclass(into).parents)
+            push(parent);
+    }
+    // The absorbed side's parents now resolve this child to `into`
+    // (and sibling analyses may have changed the merged class's data
+    // during their own hooks): always requeue them. This is the
+    // smaller parent list by the union-by-size rule.
+    for (const auto &[node, parent] : from_parents)
+        push(parent);
+    push(into);
+}
+
+void
+CostBoundAnalysis::onPeerChanged(EGraph &egraph, EClassId id)
+{
+    // Another analysis (e.g. constant folding) refined a fact nodes may
+    // read through nodeCostInClass: self-costs of this class's parents
+    // can change. Peer facts only become *more* defined as the graph
+    // grows, so this stays a monotone (lowering) update.
+    EClassId canonical = egraph.find(id);
+    for (const auto &[node, parent] : egraph.eclass(canonical).parents)
+        push(parent);
+}
+
+void
+CostBoundAnalysis::onCheckpoint(EGraph &egraph)
+{
+    ensureCurrent(egraph);
+}
+
+void
+CostBoundAnalysis::onRollback(EGraph &egraph, size_t live_ids)
+{
+    (void)egraph;
+    if (values_.size() > live_ids) {
+        values_.resize(live_ids);
+        queued_.resize(live_ids);
+    }
+    // The journal restored the quiesced checkpoint-time values; pending
+    // recomputes (which may reference dead ids) are moot.
+    std::fill(queued_.begin(), queued_.end(), 0);
+    pending_.clear();
+    // External model inputs (e.g. the loop registry) do NOT roll back
+    // with the e-graph: force a full resync so restored values are
+    // re-based onto the current inputs. Dependency entries for dead ids
+    // are filtered (or conservatively re-point to recycled ids, which
+    // only costs a spurious recompute).
+    model_revision_ = 0;
+}
+
+void
+CostBoundAnalysis::onAttach(EGraph &egraph)
+{
+    for (EClassId id : egraph.classIds())
+        push(id);
+}
+
+std::shared_ptr<void>
+CostBoundAnalysis::saveDatum(EClassId id) const
+{
+    return std::make_shared<Value>(value(id));
+}
+
+void
+CostBoundAnalysis::restoreDatum(EClassId id,
+                                const std::shared_ptr<void> &datum)
+{
+    ensure(id);
+    values_[id] = *std::static_pointer_cast<Value>(datum);
+}
+
+std::string
+CostBoundAnalysis::checkInvariants(const EGraph &egraph) const
+{
+    ensureCurrent(egraph);
+    ExtractStats scratch_stats;
+    std::vector<EClassId> ids = egraph.classIds();
+    auto scratch = scratchBounds(egraph, model_, ids, scratch_stats);
+    for (EClassId id : ids) {
+        Value maintained = value(id);
+        Value derived = scratch.at(id);
+        if (!(maintained == derived)) {
+            return MsgBuilder()
+                   << name() << " incoherent at class " << id
+                   << ": maintained (" << maintained.cost << ", "
+                   << maintained.size << "), from-scratch ("
+                   << derived.cost << ", " << derived.size << ")";
+        }
+    }
+    return "";
+}
+
+CostBoundAnalysis &
+registerCostBound(EGraph &egraph, const CostModel &model)
+{
+    SEER_ASSERT(!model.name().empty(),
+                "cost-bound analysis requires a named cost model");
+    std::string name = "cost-bound:" + model.name();
+    if (Analysis *existing = egraph.findAnalysis(name))
+        return *static_cast<CostBoundAnalysis *>(existing);
+    return static_cast<CostBoundAnalysis &>(egraph.registerAnalysis(
+        std::make_unique<CostBoundAnalysis>(model)));
+}
+
+// ---------------------------------------------------------------------------
+// Extractors
+
+std::optional<Extraction>
+extractGreedy(const EGraph &egraph, EClassId root, const CostModel &cost,
+              const ExtractOptions &options)
+{
+    ExtractStats local;
+    ExtractStats &stats = options.stats ? *options.stats : local;
+    EClassId canonical = egraph.find(root);
+    BoundTable table = makeTable(egraph, cost, canonical, options, stats);
+    if (table.at(canonical).cost == CostModel::kInfinity)
+        return std::nullopt;
+    std::map<EClassId, int> choice;
+    std::map<EClassId, TermPtr> memo;
+    std::set<EClassId> visiting;
+    Extraction out;
+    out.term = buildGreedyTerm(egraph, cost, table, canonical, choice,
+                               memo, visiting);
+    out.tree_cost = table.at(canonical).cost;
+    out.dag_cost = dagCostOf(egraph, canonical, choice, cost);
+    stats.classes_visited += choice.size();
+    return out;
+}
+
 std::optional<Extraction>
 extractGreedy(const EGraph &egraph, EClassId root, const CostModel &cost)
 {
-    EClassId canonical = egraph.find(root);
-    auto costs = computeGreedyCosts(egraph, cost, canonical);
-    const ClassCost &best = costs.at(canonical);
-    if (best.node_index < 0)
-        return std::nullopt;
-    std::set<EClassId> visiting;
-    Extraction out;
-    out.term = buildTerm(egraph, canonical, costs, visiting);
-    out.tree_cost = best.cost;
-    std::map<EClassId, int> choice;
-    for (EClassId id : costs.ids()) {
-        const ClassCost &cc = costs.at(id);
-        if (cc.node_index >= 0)
-            choice[id] = cc.node_index;
-    }
-    out.dag_cost = dagCostOf(egraph, canonical, choice, cost);
-    return out;
+    return extractGreedy(egraph, root, cost, ExtractOptions{});
 }
 
 TermPtr
@@ -449,9 +947,20 @@ extractSmallest(const EGraph &egraph, EClassId root)
 
 std::optional<Extraction>
 extractExact(const EGraph &egraph, EClassId root, const CostModel &cost,
+             const ExtractOptions &options)
+{
+    ExtractStats local;
+    ExtractStats &stats = options.stats ? *options.stats : local;
+    return ExactSolver(egraph, cost, options, stats).solve(root);
+}
+
+std::optional<Extraction>
+extractExact(const EGraph &egraph, EClassId root, const CostModel &cost,
              size_t budget)
 {
-    return ExactSolver(egraph, cost, budget).solve(root);
+    ExtractOptions options;
+    options.budget = budget;
+    return extractExact(egraph, root, cost, options);
 }
 
 } // namespace seer::eg

@@ -10,13 +10,32 @@
  *  - an exact DAG extractor with common-subexpression sharing, standing in
  *    for ROVER's ILP formulation (Eqn 4, solved with CBC in the paper),
  *    implemented as branch-and-bound with an admissible bound and a node
- *    budget, falling back to greedy when the budget is exhausted.
+ *    budget, falling back to greedy when the budget is exhausted (the
+ *    exhaustion is reported through ExtractStats::budget_exhausted).
+ *
+ * Both extractors read per-class (min tree cost, min term size) bounds.
+ * When the cost model is *named* and a matching cost-bound analysis is
+ * registered on the e-graph (registerCostBound), the bounds are
+ * maintained incrementally through unions and rebuilds — repeated
+ * extraction across runner iterations is amortized O(changed classes)
+ * instead of a fresh fixpoint per call. Otherwise (or under
+ * ExtractOptions::naive) they are recomputed from scratch. The two paths
+ * compute the identical greatest fixpoint with identical floating-point
+ * operation order, so extraction results are bit-identical — the
+ * differential guarantee egraph_extract_test enforces.
+ *
+ * Threading: extraction may lazily drain a registered cost-bound
+ * analysis (a logically-const cache update). It must only be called from
+ * serial contexts — never from the concurrent read-only e-matching
+ * phase, which by construction performs no extraction.
  */
 #ifndef SEER_EGRAPH_EXTRACT_H_
 #define SEER_EGRAPH_EXTRACT_H_
 
 #include <limits>
+#include <unordered_map>
 
+#include "egraph/analysis.h"
 #include "egraph/egraph.h"
 
 namespace seer::eg {
@@ -30,6 +49,51 @@ class CostModel
     /** Self cost of using this node (children costs are added). */
     virtual double nodeCost(const ENode &node) const = 0;
 
+    /**
+     * Class-aware refinement: self cost of `node` as a member of
+     * `egraph` — e.g. an area model reading sibling analysis facts such
+     * as shift-amount constants. Extraction always uses this form;
+     * defaults to the context-free nodeCost().
+     */
+    virtual double nodeCostInClass(const EGraph &egraph,
+                                   const ENode &node) const
+    {
+        (void)egraph;
+        return nodeCost(node);
+    }
+
+    /**
+     * Stable identity: a non-empty name lets extractors bind to a
+     * registered cost-bound analysis ("cost-bound:<name>"). Binding is
+     * by name, so two model instances sharing a name must be
+     * behaviorally identical. The default (empty) never binds — ad-hoc
+     * models silently take the from-scratch path.
+     */
+    virtual std::string name() const { return ""; }
+
+    /**
+     * Revision counter of the model's external inputs (e.g. the loop
+     * registry's touch log). A registered cost-bound analysis resyncs
+     * when this advances, invalidating only the dependent classes.
+     */
+    virtual uint64_t revision() const { return 0; }
+
+    /** External-input keys touched since revision `since`. */
+    virtual std::vector<std::string> touchedSince(uint64_t since) const
+    {
+        (void)since;
+        return {};
+    }
+
+    /** The external-input key `node`'s self-cost reads, when any (e.g.
+     *  the loop id of an affine.for node). */
+    virtual std::optional<std::string>
+    dependencyKey(const ENode &node) const
+    {
+        (void)node;
+        return std::nullopt;
+    }
+
     /** Cost used to forbid a node entirely. */
     static constexpr double kInfinity =
         std::numeric_limits<double>::infinity();
@@ -40,7 +104,112 @@ class TermSizeCost : public CostModel
 {
   public:
     double nodeCost(const ENode &) const override { return 1.0; }
+    std::string name() const override { return "term-size"; }
 };
+
+/**
+ * The cost lower-bound e-class analysis: per class, the exact
+ * lexicographic (min tree cost, min term size) pair under one cost
+ * model, maintained incrementally as the greatest fixpoint of the
+ * class-cost equations. Values only tighten while the graph grows;
+ * merges seed the winner with the lexicographic min of both halves and
+ * re-drain; external model-input updates (CostModel::revision) and
+ * checkpoint rollbacks raise values through targeted invalidation and
+ * the journal respectively. Quiescence at the greatest fixpoint — which
+ * the from-scratch path computes too, with the same FP operation order —
+ * is what makes incremental and naive extraction bit-identical.
+ *
+ * The bound is admissible for branch-and-bound: cost is the exact min
+ * *tree* cost of the class, a lower bound on any DAG realization's
+ * contribution.
+ */
+class CostBoundAnalysis final : public Analysis
+{
+  public:
+    explicit CostBoundAnalysis(const CostModel &model) : model_(model) {}
+
+    /** Per-class maintained value; kInfinity marks infeasible. */
+    struct Value
+    {
+        double cost = CostModel::kInfinity;
+        double size = CostModel::kInfinity;
+        bool operator==(const Value &other) const
+        {
+            return cost == other.cost && size == other.size;
+        }
+    };
+
+    std::string name() const override
+    {
+        return "cost-bound:" + model_.name();
+    }
+    const CostModel &model() const { return model_; }
+
+    /**
+     * Resync external model inputs and drain pending recomputes; after
+     * this, value() holds the exact greatest fixpoint for the current
+     * graph + model state. Logically const (cache maintenance); any
+     * datum overwrite is journaled, so it is safe inside checkpoints.
+     */
+    void ensureCurrent(const EGraph &egraph) const;
+
+    /** Maintained value of a *canonical* class id. Only meaningful
+     *  after ensureCurrent(). */
+    Value value(EClassId id) const
+    {
+        return id < values_.size() ? values_[id] : Value{};
+    }
+
+    /** Total class recomputations ever performed (telemetry: callers
+     *  diff around ensureCurrent to cost one extraction). */
+    uint64_t recomputes() const { return recomputes_; }
+
+    void onMake(EGraph &egraph, EClassId id, const ENode &node) override;
+    void onMerge(EGraph &egraph, EClassId into, EClassId from,
+                 const std::vector<std::pair<ENode, EClassId>>
+                     &from_parents) override;
+    void onPeerChanged(EGraph &egraph, EClassId id) override;
+    void onCheckpoint(EGraph &egraph) override;
+    void onRollback(EGraph &egraph, size_t live_ids) override;
+    void onAttach(EGraph &egraph) override;
+    std::shared_ptr<void> saveDatum(EClassId id) const override;
+    void restoreDatum(EClassId id,
+                      const std::shared_ptr<void> &datum) override;
+    std::string checkInvariants(const EGraph &egraph) const override;
+
+  private:
+    void ensure(EClassId id) const
+    {
+        if (id >= values_.size()) {
+            values_.resize(id + 1);
+            queued_.resize(id + 1, 0);
+        }
+    }
+    void push(EClassId id) const;
+    void recomputeClass(const EGraph &egraph, EClassId id) const;
+    void syncModel(const EGraph &egraph) const;
+
+    const CostModel &model_;
+    // All state is mutable: the analysis is a lazily-maintained cache
+    // drained from const read paths (see ensureCurrent).
+    mutable std::vector<Value> values_;
+    mutable std::vector<uint8_t> queued_; ///< dense pending flags
+    mutable std::vector<EClassId> pending_;
+    /** External-input key -> classes whose nodes read it (appended at
+     *  recompute; stale/duplicate entries are tolerated). */
+    mutable std::unordered_map<std::string, std::vector<EClassId>> deps_;
+    mutable uint64_t model_revision_ = 0;
+    mutable uint64_t recomputes_ = 0;
+};
+
+/**
+ * Register (or fetch the already-registered) cost-bound analysis for
+ * `model` on `egraph`. The model must be named and must outlive the
+ * e-graph. Registration never changes how the graph evolves — only how
+ * fast extraction reads it.
+ */
+CostBoundAnalysis &registerCostBound(EGraph &egraph,
+                                     const CostModel &model);
 
 /** Extraction result. */
 struct Extraction
@@ -52,6 +221,42 @@ struct Extraction
     double dag_cost = 0;
 };
 
+/** Telemetry of one extraction call (all counters additive so one
+ *  struct can aggregate several calls). */
+struct ExtractStats
+{
+    /** Distinct classes in the extracted term's support. */
+    size_t classes_visited = 0;
+    /** Cost-bound recomputations this call triggered (incremental path:
+     *  the amortized work; scratch path: the cone fixpoint size). */
+    size_t classes_recomputed = 0;
+    /** Branch-and-bound subtrees cut by the admissible bound. */
+    size_t bound_prunes = 0;
+    /** Branch-and-bound search-tree expansions. */
+    size_t expansions = 0;
+    /** The exact search ran out of budget: the result is the best
+     *  solution found (at worst greedy), not proven optimal. */
+    bool budget_exhausted = false;
+    /** A registered cost-bound analysis served the bounds. */
+    bool used_analysis = false;
+};
+
+/** Options shared by the extractors. */
+struct ExtractOptions
+{
+    /**
+     * Reference path: recompute bounds from scratch and (for the exact
+     * extractor) use the weak pending-classes-only bound, ignoring any
+     * registered analysis. Mirrors RunnerOptions::naive_match — the
+     * differential-testing arm.
+     */
+    bool naive = false;
+    /** Exact extractor search budget (expansions). */
+    size_t budget = 200000;
+    /** Optional telemetry sink (counters are added, not reset). */
+    ExtractStats *stats = nullptr;
+};
+
 /**
  * Greedy extraction: per class, pick the node minimizing
  * self-cost + sum(child class costs), ties broken by smaller term size.
@@ -60,6 +265,10 @@ struct Extraction
 std::optional<Extraction> extractGreedy(const EGraph &egraph,
                                         EClassId root,
                                         const CostModel &cost);
+std::optional<Extraction> extractGreedy(const EGraph &egraph,
+                                        EClassId root,
+                                        const CostModel &cost,
+                                        const ExtractOptions &options);
 
 /** Smallest-term extraction (greedy under TermSizeCost). */
 TermPtr extractSmallest(const EGraph &egraph, EClassId root);
@@ -68,11 +277,14 @@ TermPtr extractSmallest(const EGraph &egraph, EClassId root);
  * Exact DAG extraction: choose one node per needed class minimizing the
  * sum of chosen node self-costs with sharing. `budget` caps the search
  * tree; on exhaustion the best solution found so far (at worst the greedy
- * one) is returned.
+ * one) is returned — pass ExtractOptions::stats to detect this.
  */
 std::optional<Extraction> extractExact(const EGraph &egraph, EClassId root,
                                        const CostModel &cost,
                                        size_t budget = 200000);
+std::optional<Extraction> extractExact(const EGraph &egraph, EClassId root,
+                                       const CostModel &cost,
+                                       const ExtractOptions &options);
 
 } // namespace seer::eg
 

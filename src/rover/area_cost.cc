@@ -38,7 +38,8 @@ isConstLeaf(const eg::ENode &node)
 } // namespace
 
 double
-RoverAreaCost::nodeCost(const eg::ENode &node) const
+RoverAreaCost::costWith(const eg::EGraph *egraph,
+                        const eg::ENode &node) const
 {
     std::string name = sl::opNameOf(node.op);
     auto fields = sl::fieldsOf(node.op);
@@ -74,9 +75,9 @@ RoverAreaCost::nodeCost(const eg::ENode &node) const
         // Constant shifts are wiring (the ASIC argument of Figure 9);
         // variable shifts need a barrel shifter.
         bool constant_amount = true;
-        if (egraph_ && node.children.size() == 2) {
+        if (egraph && node.children.size() == 2) {
             constant_amount =
-                egraph_->constantOf(node.children[1]).has_value();
+                egraph->constantOf(node.children[1]).has_value();
         }
         if (constant_amount)
             return 0;

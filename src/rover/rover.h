@@ -55,9 +55,25 @@ class RoverAreaCost : public eg::CostModel
         : egraph_(egraph)
     {}
 
-    double nodeCost(const eg::ENode &node) const override;
+    double nodeCost(const eg::ENode &node) const override
+    {
+        return costWith(egraph_, node);
+    }
+
+    /** Class-aware form: reads shift-amount constancy from the graph the
+     *  node lives in, regardless of the graph bound at construction. */
+    double nodeCostInClass(const eg::EGraph &egraph,
+                           const eg::ENode &node) const override
+    {
+        return costWith(&egraph, node);
+    }
+
+    std::string name() const override { return "rover-area"; }
 
   private:
+    double costWith(const eg::EGraph *egraph,
+                    const eg::ENode &node) const;
+
     const eg::EGraph *egraph_;
 };
 
@@ -70,6 +86,7 @@ class AnalysisFriendlyCost : public eg::CostModel
 {
   public:
     double nodeCost(const eg::ENode &node) const override;
+    std::string name() const override { return "analysis-friendly"; }
 };
 
 } // namespace seer::rover

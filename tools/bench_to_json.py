@@ -15,6 +15,10 @@ summary section with before/after speedups. Two modes:
       the baseline and every other arm reports its speedup against it.
       Writes BENCH_passes.json.
 
+  --mode extract (micro_extract): same naive:{0,1} pairing as egraph —
+      naive:1 runs the from-scratch extraction bounds, naive:0 the
+      maintained cost-bound analysis. Writes BENCH_extract.json.
+
 Usage:
     tools/bench_to_json.py --bench build/bench/micro_egraph \
         [--mode egraph|passes] [--out BENCH_egraph.json] \
@@ -105,7 +109,7 @@ def summarize_passes(benchmarks):
 
 
 def print_summary(mode, summary):
-    if mode == "egraph":
+    if mode != "passes":
         for base, entry in sorted(summary.items()):
             print(f"{base}: {entry['speedup']:.2f}x "
                   f"(naive {entry['naive_time']:.0f} -> "
@@ -123,7 +127,7 @@ def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--bench", required=True,
                         help="path to the benchmark binary")
-    parser.add_argument("--mode", choices=("egraph", "passes"),
+    parser.add_argument("--mode", choices=("egraph", "passes", "extract"),
                         default="egraph")
     parser.add_argument("--out", default=None,
                         help="output path (default BENCH_<mode>.json)")
@@ -140,13 +144,18 @@ def main():
                      "iterations", "items_per_second", "label",
                      # micro_passes telemetry: cache behavior and the
                      # egg/MLIR split of each arm.
-                     "unions", "evals", "hits", "mlir_s", "egg_s")
+                     "unions", "evals", "hits", "mlir_s", "egg_s",
+                     # micro_extract telemetry: bound-analysis work and
+                     # branch-and-bound search effort per arm.
+                     "recomputed", "visited", "prunes", "expansions",
+                     "exhausted")
          if key in bench}
         for bench in raw.get("benchmarks", [])
         if bench.get("run_type") != "aggregate"
     ]
-    summarize = (summarize_egraph if args.mode == "egraph"
-                 else summarize_passes)
+    # "extract" uses the same naive:{0,1} arm pairing as "egraph".
+    summarize = (summarize_passes if args.mode == "passes"
+                 else summarize_egraph)
     out = {
         "generated_by": "tools/bench_to_json.py",
         "mode": args.mode,

@@ -54,6 +54,13 @@ usage()
         "SEER (C))\n"
         "  --no-control       disable control rules (ROVER only)\n"
         "  --greedy-datapath  greedy instead of exact Eqn-4 extraction\n"
+        "  --extract MODE     extraction mode: 'exact' (default;\n"
+        "                     branch-and-bound Eqn-4 datapath), 'greedy'\n"
+        "                     (same as --greedy-datapath), or 'naive'\n"
+        "                     (greedy with from-scratch bounds and no\n"
+        "                     incremental cost analyses — the reference\n"
+        "                     arm; extracted terms are bit-identical to\n"
+        "                     'greedy')\n"
         "  --oracle           re-invoke the scheduler for new loops\n"
         "                     instead of the Section 4.6 laws\n"
         "  --unroll N         explore complete unrolling up to trip N\n"
@@ -205,6 +212,24 @@ parseArgs(int argc, char **argv, CliOptions &options)
             options.seer.use_control = false;
         } else if (arg == "--greedy-datapath") {
             options.seer.exact_datapath = false;
+        } else if (arg == "--extract") {
+            std::string mode = next();
+            if (bad_value)
+                return false;
+            if (mode == "exact") {
+                options.seer.exact_datapath = true;
+                options.seer.naive_extract = false;
+            } else if (mode == "greedy") {
+                options.seer.exact_datapath = false;
+                options.seer.naive_extract = false;
+            } else if (mode == "naive") {
+                options.seer.exact_datapath = false;
+                options.seer.naive_extract = true;
+            } else {
+                std::cerr << "seer-opt: bad --extract mode '" << mode
+                          << "' (expected exact, greedy, or naive)\n";
+                return false;
+            }
         } else if (arg == "--oracle") {
             options.seer.use_laws = false;
         } else if (arg == "--unroll") {
@@ -351,6 +376,17 @@ main(int argc, char **argv)
             }
             if (result.stats.deadline_hit)
                 std::cerr << "; deadline hit: exploration cut short\n";
+            size_t exhausted = 0;
+            for (const core::ExtractionPhaseStats &phase :
+                 result.stats.extraction)
+                exhausted += phase.budget_exhaustions;
+            if (exhausted > 0) {
+                std::cerr << "; datapath extraction hit its search "
+                             "budget "
+                          << exhausted
+                          << " time(s): result is best-effort, not "
+                             "proven exact\n";
+            }
             std::cerr << "; e-graph: " << result.stats.egraph_nodes
                       << " nodes, " << result.stats.egraph_classes
                       << " classes, " << result.stats.unions_applied
