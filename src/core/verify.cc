@@ -114,7 +114,7 @@ unifySpecs(const sl::EmitSpec &a, const sl::EmitSpec &b)
     return out;
 }
 
-enum class RunStatus { Ok, Trap };
+enum class RunStatus { Ok, Trap, Canceled };
 
 /** Execute a statement term on the given argument seed. */
 RunStatus
@@ -135,6 +135,11 @@ runTerm(const TermPtr &statement, const sl::EmitSpec &spec, uint64_t seed,
     options.deadline = verify_options.deadline;
     try {
         ir::interpret(module, spec.func_name, std::move(args), options);
+    } catch (const ir::InterpError &err) {
+        // Cancellation is the *caller's* budget expiring, not evidence
+        // about the program: never let it count as a trap verdict.
+        return err.isCancellation() ? RunStatus::Canceled
+                                    : RunStatus::Trap;
     } catch (const FatalError &) {
         return RunStatus::Trap;
     }
@@ -180,6 +185,8 @@ checkTermEquivalence(const TermPtr &lhs, const TermPtr &rhs,
             runTerm(lhs_statement, *spec, seed, options, lhs_state);
         RunStatus rs =
             runTerm(rhs_statement, *spec, seed, options, rhs_state);
+        if (ls == RunStatus::Canceled || rs == RunStatus::Canceled)
+            break; // deadline expired mid-run: stop, stay inconclusive
         if (ls == RunStatus::Trap || rs == RunStatus::Trap)
             continue; // inconclusive input (e.g. a free index went OOB)
         ++conclusive;
@@ -266,6 +273,15 @@ checkModuleEquivalence(const ir::Module &lhs, const ir::Module &rhs,
     }
 
     for (int run = 0; run < options.runs; ++run) {
+        // Same discipline as checkTermEquivalence: an expired deadline
+        // stops before the next run, even when every run so far was
+        // too short to hit the interpreter's own cancellation poll.
+        if (options.deadline &&
+            std::chrono::steady_clock::now() >= *options.deadline) {
+            if (diagnostic)
+                *diagnostic = "<inconclusive>";
+            return true;
+        }
         uint64_t seed = options.seed + 104729 * run;
         std::vector<std::unique_ptr<ir::Buffer>> lhs_buffers,
             rhs_buffers;
@@ -304,6 +320,19 @@ checkModuleEquivalence(const ir::Module &lhs, const ir::Module &rhs,
                           interp_options);
             ir::interpret(rhs, func_name, std::move(rhs_args),
                           interp_options);
+        } catch (const ir::InterpError &err) {
+            if (err.isCancellation()) {
+                // The caller's deadline expired, not a program fault:
+                // report the documented inconclusive acceptance instead
+                // of a spurious FAIL (callers with a deadline re-check
+                // the clock before trusting the verdict).
+                if (diagnostic)
+                    *diagnostic = "<inconclusive>";
+                return true;
+            }
+            if (diagnostic)
+                *diagnostic = std::string("trap: ") + err.what();
+            return false;
         } catch (const FatalError &err) {
             if (diagnostic)
                 *diagnostic = std::string("trap: ") + err.what();

@@ -1,0 +1,298 @@
+#include "corpus/generator.h"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "support/rng.h"
+
+namespace seer::corpus {
+
+namespace {
+
+/** Options after in-bounds clamping (see GeneratorOptions docs). */
+GeneratorOptions
+clamped(GeneratorOptions options)
+{
+    options.num_buffers = std::max(options.num_buffers, 1);
+    options.max_top_statements = std::max(options.max_top_statements, 1);
+    options.max_loop_body = std::max(options.max_loop_body, 1);
+    options.max_expr_depth = std::max(options.max_expr_depth, 0);
+    // Trip counts draw from [4, max_trip]; masked accesses reach 7 + c.
+    options.max_trip = std::max(options.max_trip, 5);
+    options.buffer_size =
+        std::max({options.buffer_size, options.max_trip + 1, 9});
+    return options;
+}
+
+class RandomProgram
+{
+  public:
+    RandomProgram(uint64_t seed, const GeneratorOptions &options)
+        : rng_(seed), options_(clamped(options))
+    {}
+
+    std::string
+    generate()
+    {
+        os_ << "func.func @fuzz(";
+        for (int b = 0; b < options_.num_buffers; ++b) {
+            os_ << (b ? ", " : "") << "%buf" << b << ": memref<"
+                << options_.buffer_size << "xi32>";
+        }
+        os_ << ", %cell: memref<1xi32>) {\n";
+        indent_ = 1;
+        line("%zero = arith.constant 0 : i32");
+        line("%one = arith.constant 1 : i32");
+        line("%c0 = arith.constant 0 : index");
+        int statements =
+            1 + static_cast<int>(rng_.nextBelow(
+                    static_cast<uint64_t>(options_.max_top_statements)));
+        for (int s = 0; s < statements; ++s)
+            emitTopStatement();
+        os_ << "}\n";
+        return os_.str();
+    }
+
+  private:
+    std::string
+    fresh(const char *base)
+    {
+        return std::string("%") + base + std::to_string(names_++);
+    }
+
+    void
+    line(const std::string &text)
+    {
+        for (int i = 0; i < indent_; ++i)
+            os_ << "  ";
+        os_ << text << "\n";
+    }
+
+    std::string
+    randomBuffer()
+    {
+        return "%buf" + std::to_string(
+                            rng_.nextBelow(static_cast<uint64_t>(
+                                options_.num_buffers)));
+    }
+
+    std::string
+    bufferType() const
+    {
+        return "memref<" + std::to_string(options_.buffer_size) +
+               "xi32>";
+    }
+
+    /** An in-bounds index expression over iv `iv` (or constant). */
+    std::string
+    emitIndex(const std::string &iv)
+    {
+        // Loop ivs stay below max_trip; buffers hold buffer_size
+        // elements, so every branch below stays strictly in bounds.
+        uint64_t kind = rng_.nextBelow(
+            options_.allow_nonaffine_index && !iv.empty() ? 4 : 3);
+        if (iv.empty() || kind == 0) {
+            std::string name = fresh("ci");
+            line(name + " = arith.constant " +
+                 std::to_string(rng_.nextBelow(static_cast<uint64_t>(
+                     options_.max_trip))) +
+                 " : index");
+            return name;
+        }
+        if (kind == 1)
+            return iv;
+        if (kind == 2) {
+            // iv + c, c in [0, buffer_size - max_trip):
+            // max (max_trip - 1) + (buffer_size - max_trip - 1)
+            //   = buffer_size - 2 < buffer_size.
+            std::string c = fresh("ci");
+            line(c + " = arith.constant " +
+                 std::to_string(rng_.nextBelow(static_cast<uint64_t>(
+                     options_.buffer_size - options_.max_trip))) +
+                 " : index");
+            std::string sum = fresh("ix");
+            line(sum + " = arith.addi " + iv + ", " + c + " : index");
+            return sum;
+        }
+        // Non-affine in the polyhedral sense: (iv & 7) + c.
+        std::string mask = fresh("ci");
+        line(mask + " = arith.constant 7 : index");
+        std::string masked = fresh("ix");
+        line(masked + " = arith.andi " + iv + ", " + mask + " : index");
+        std::string c = fresh("ci");
+        line(c + " = arith.constant " +
+             std::to_string(rng_.nextBelow(static_cast<uint64_t>(
+                 options_.buffer_size - 8))) +
+             " : index");
+        std::string sum = fresh("ix");
+        line(sum + " = arith.addi " + masked + ", " + c + " : index");
+        return sum;
+    }
+
+    /** A random i32 expression; may load from buffers. */
+    std::string
+    emitExpr(const std::string &iv, int depth)
+    {
+        uint64_t kind = rng_.nextBelow(depth <= 0 ? 3 : 8);
+        if (kind == 0) {
+            std::string c = fresh("k");
+            line(c + " = arith.constant " +
+                 std::to_string(rng_.nextRange(-20, 20)) + " : i32");
+            return c;
+        }
+        if (kind == 1 || kind == 2) {
+            std::string index = emitIndex(iv);
+            std::string value = fresh("v");
+            line(value + " = memref.load " + randomBuffer() + "[" +
+                 index + "] : " + bufferType());
+            return value;
+        }
+        if (kind == 7) {
+            // select(cmp(a, b), a, b)
+            std::string a = emitExpr(iv, depth - 1);
+            std::string b = emitExpr(iv, depth - 1);
+            std::string cond = fresh("c");
+            const char *preds[] = {"slt", "sle", "eq", "ne", "sgt"};
+            line(cond + " = arith.cmpi " +
+                 preds[rng_.nextBelow(5)] + ", " + a + ", " + b +
+                 " : i32");
+            std::string sel = fresh("s");
+            line(sel + " = arith.select " + cond + ", " + a + ", " + b +
+                 " : i32");
+            return sel;
+        }
+        std::string a = emitExpr(iv, depth - 1);
+        if (rng_.nextBelow(5) == 0) {
+            // Shift by a small constant.
+            std::string amount = fresh("k");
+            line(amount + " = arith.constant " +
+                 std::to_string(rng_.nextBelow(4)) + " : i32");
+            std::string shifted = fresh("e");
+            line(shifted + " = arith.shli " + a + ", " + amount +
+                 " : i32");
+            return shifted;
+        }
+        const char *ops[] = {"addi", "subi", "muli",  "andi",
+                             "ori",  "xori", "minsi", "maxsi"};
+        std::string b = emitExpr(iv, depth - 1);
+        std::string result = fresh("e");
+        line(result + " = arith." +
+             ops[rng_.nextBelow(options_.allow_min_max ? 8 : 6)] + " " +
+             a + ", " + b + " : i32");
+        return result;
+    }
+
+    void
+    emitStore(const std::string &iv)
+    {
+        std::string value = emitExpr(iv, options_.max_expr_depth);
+        std::string index = emitIndex(iv);
+        line("memref.store " + value + ", " + randomBuffer() + "[" +
+             index + "] : " + bufferType());
+    }
+
+    void
+    emitIf(const std::string &iv)
+    {
+        std::string a = emitExpr(iv, 1);
+        std::string cond = fresh("c");
+        line(cond + " = arith.cmpi sgt, " + a + ", %zero : i32");
+        line("scf.if " + cond + " {");
+        ++indent_;
+        emitStore(iv);
+        --indent_;
+        if (rng_.nextBelow(2) == 0) {
+            line("} else {");
+            ++indent_;
+            emitStore(iv);
+            --indent_;
+        }
+        line("}");
+    }
+
+    void
+    emitLoop(int depth = 0)
+    {
+        std::string iv = fresh("i").substr(1); // strip %
+        int64_t trip =
+            4 + static_cast<int64_t>(rng_.nextBelow(
+                    static_cast<uint64_t>(options_.max_trip - 3)));
+        line("affine.for %" + iv + " = 0 to " + std::to_string(trip) +
+             " {");
+        ++indent_;
+        int body = 1 + static_cast<int>(rng_.nextBelow(
+                           static_cast<uint64_t>(options_.max_loop_body)));
+        bool nest = options_.allow_nested_loops && depth == 0;
+        uint64_t kinds = (options_.allow_if ? 3 : 2) + (nest ? 1 : 0);
+        for (int s = 0; s < body; ++s) {
+            uint64_t kind = rng_.nextBelow(kinds);
+            if (nest && kind == kinds - 1)
+                emitLoop(depth + 1);
+            else if (options_.allow_if && kind == 2)
+                emitIf("%" + iv);
+            else
+                emitStore("%" + iv);
+        }
+        --indent_;
+        line("}");
+    }
+
+    void
+    emitWhile()
+    {
+        // cell counts up to a bound; body also does a random store.
+        int64_t bound = 3 + static_cast<int64_t>(rng_.nextBelow(8));
+        std::string limit = fresh("k");
+        line(limit + " = arith.constant " + std::to_string(bound) +
+             " : i32");
+        line("memref.store %zero, %cell[%c0] : memref<1xi32>");
+        line("scf.while {");
+        ++indent_;
+        std::string v = fresh("w");
+        line(v + " = memref.load %cell[%c0] : memref<1xi32>");
+        std::string cond = fresh("c");
+        line(cond + " = arith.cmpi slt, " + v + ", " + limit + " : i32");
+        line("scf.condition " + cond);
+        --indent_;
+        line("} do {");
+        ++indent_;
+        emitStore("");
+        std::string v2 = fresh("w");
+        line(v2 + " = memref.load %cell[%c0] : memref<1xi32>");
+        std::string inc = fresh("w");
+        line(inc + " = arith.addi " + v2 + ", %one : i32");
+        line("memref.store " + inc + ", %cell[%c0] : memref<1xi32>");
+        --indent_;
+        line("}");
+    }
+
+    void
+    emitTopStatement()
+    {
+        uint64_t kind = rng_.nextBelow(10);
+        if (kind < 6) {
+            emitLoop();
+        } else if (kind < 8 && options_.allow_while) {
+            emitWhile();
+        } else {
+            emitStore("");
+        }
+    }
+
+    Rng rng_;
+    GeneratorOptions options_;
+    std::ostringstream os_;
+    int names_ = 0;
+    int indent_ = 1;
+};
+
+} // namespace
+
+std::string
+generateProgram(uint64_t seed, const GeneratorOptions &options)
+{
+    return RandomProgram(seed, options).generate();
+}
+
+} // namespace seer::corpus

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * A generator of random structured programs.
+ *
+ * Programs are built from the same material as the benchmarks — affine
+ * loops with (possibly shifted) affine accesses, guarded stores,
+ * bounded whiles over scalar cells, and random arithmetic — with the
+ * invariants the interpreter enforces kept by construction: indices in
+ * bounds, no division, bounded iteration.
+ *
+ * The generator backs both the property tests (tests/random_program.h
+ * is a thin alias header) and the corpus-scale differential harness
+ * (`seer-corpus`), which is why it lives in src/ rather than tests/.
+ * Given a seed and a fixed set of options the emitted program is
+ * byte-identical across platforms and processes.
+ */
+#ifndef SEER_CORPUS_GENERATOR_H_
+#define SEER_CORPUS_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+
+namespace seer::corpus {
+
+/**
+ * Shape knobs for the generator.
+ *
+ * The defaults reproduce the historical tests/random_program.h
+ * distribution draw-for-draw, so property-test seeds keep generating
+ * the exact programs they always did. The corpus tool widens the knobs
+ * (bigger programs, nested loops, min/max) for coverage.
+ *
+ * Invariant kept by construction: every memory access is in bounds.
+ * Loop ivs range over [0, max_trip), constant indices over
+ * [0, max_trip), shifted accesses add at most buffer_size - max_trip,
+ * so buffer_size must exceed max_trip (enforced by clamping).
+ */
+struct GeneratorOptions
+{
+    int num_buffers = 3;       ///< memref<buffer_size x i32> arguments
+    int buffer_size = 24;      ///< elements per buffer argument
+    int max_trip = 16;         ///< exclusive bound on ivs and indices
+    int max_top_statements = 4;
+    int max_loop_body = 3;
+    int max_expr_depth = 3;
+    bool allow_if = true;
+    bool allow_while = true;
+    bool allow_nonaffine_index = true; ///< (i&7)+c style accesses
+    /** Nest a loop inside a loop body (one extra level). Off by
+     *  default: the historical distribution had flat loops only. */
+    bool allow_nested_loops = false;
+    /** Draw arith.minsi/maxsi in expressions (widens the op set; off
+     *  by default to preserve the historical draw stream). */
+    bool allow_min_max = false;
+};
+
+/** Generate the textual IR of one random function @fuzz. */
+std::string generateProgram(uint64_t seed,
+                            const GeneratorOptions &options = {});
+
+} // namespace seer::corpus
+
+#endif // SEER_CORPUS_GENERATOR_H_

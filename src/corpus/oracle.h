@@ -1,0 +1,109 @@
+/**
+ * @file
+ * The differential oracle behind the corpus harness.
+ *
+ * One program is judged the way write_a_c_compiler judges a compiler
+ * against clang ground truth: run the whole `optimize()` pipeline, then
+ * diff its output against independent references —
+ *
+ *  1. the IR verifier (the output must be well-formed),
+ *  2. the interpreter (`ir/interp`), co-executing the input and output
+ *     modules on matched randomized workloads and comparing final
+ *     memory states, and
+ *  3. the naive reference arms: a second optimize() run with
+ *     `--extract=naive` extraction bounds and the pre-index
+ *     `naive_match` matcher must produce byte-identical output (the
+ *     PR 3/PR 5 bit-identity contracts, enforced end to end).
+ *
+ * Every abnormal outcome is classified into a small failure taxonomy so
+ * corpus runs can be tracked as a trajectory (pass rate per kind) and
+ * failing programs can be bucketed before minimization.
+ */
+#ifndef SEER_CORPUS_ORACLE_H_
+#define SEER_CORPUS_ORACLE_H_
+
+#include <string>
+
+#include "core/seer.h"
+
+namespace seer::corpus {
+
+/** Why a corpus case failed (or "None"/"Timeout" when it did not). */
+enum class FailureKind
+{
+    None,          ///< all checks passed
+    ParseError,    ///< generated program failed to parse/verify
+    OptimizeError, ///< optimize() threw
+    Degraded,      ///< optimize() recovered from internal faults
+    InvalidOutput, ///< output IR fails the verifier
+    Miscompile,    ///< final memory state diverges from ground truth
+    TrapMismatch,  ///< one side traps where the other runs clean
+    ReferenceDivergence, ///< naive extract/match arm output differs
+    Timeout,       ///< per-case deadline expired (not a correctness bug)
+};
+
+/** Stable lowercase name (report/JSON keys, repro file headers). */
+const char *failureKindName(FailureKind kind);
+
+/** Options of one oracle evaluation. */
+struct OracleOptions
+{
+    /** Pipeline configuration under test. */
+    core::SeerOptions seer;
+    /** Randomized workloads co-executed per case. */
+    int input_runs = 3;
+    /** Base seed of the workload generator (mixed with the run index;
+     *  the per-case program seed is mixed in by the corpus runner). */
+    uint64_t input_seed = 0xC0FFEE;
+    /** Interpreter step budget per execution. */
+    uint64_t max_steps = 50'000'000;
+    /** Check the naive-extraction + naive-match reference arm for
+     *  byte-identical output (slower: runs the pipeline twice more). */
+    bool check_reference = true;
+    /** Count a degraded (recovered-fault) run as a failure. Off by
+     *  default: degradation is reported separately in the taxonomy. */
+    bool fail_on_degraded = false;
+    /** Per-case wall-clock budget in seconds (0 = none). Applied to
+     *  optimize() via SeerOptions::deadline_seconds and to every
+     *  interpreter execution. */
+    double deadline_seconds = 0;
+};
+
+/** One oracle verdict. */
+struct OracleVerdict
+{
+    FailureKind kind = FailureKind::None;
+    /** Human-readable failure description (first divergence found). */
+    std::string detail;
+    /** The optimize() run recovered from internal faults. */
+    bool degraded = false;
+    /** Wall-clock seconds spent on this case. */
+    double seconds = 0;
+
+    /** True when the case counts against the pass rate. */
+    bool
+    failed() const
+    {
+        return kind != FailureKind::None && kind != FailureKind::Timeout;
+    }
+};
+
+/**
+ * Judge one textual program against the oracle. Never throws: every
+ * outcome (including internal errors) is folded into the verdict.
+ */
+OracleVerdict checkSource(const std::string &source,
+                          const OracleOptions &options = {});
+
+/**
+ * The unsound rewrite used to exercise the harness end to end (tests,
+ * `seer-corpus --inject-unsound`): a dynamic rule that rewrites every
+ * memref.store statement to `nop`, silently deleting live stores — a
+ * realistic miscompile shape (over-eager dead-store elimination) that
+ * the interpreter diff must catch and the shrinker must minimize.
+ */
+eg::Rewrite makeUnsoundStoreDropRule();
+
+} // namespace seer::corpus
+
+#endif // SEER_CORPUS_ORACLE_H_

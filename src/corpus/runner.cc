@@ -1,0 +1,257 @@
+#include "corpus/runner.h"
+
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+
+#include "ir/op.h"
+#include "ir/parser.h"
+#include "support/error.h"
+#include "support/parallel.h"
+
+namespace seer::corpus {
+
+namespace {
+
+/** Op count of a (known-valid) program, 0 when it does not parse. */
+size_t
+countOps(const std::string &source)
+{
+    try {
+        ir::Module module = ir::parseModule(source);
+        size_t n = 0;
+        ir::walk(module, [&](ir::Operation &) { ++n; });
+        return n;
+    } catch (const FatalError &) {
+        return 0;
+    }
+}
+
+/** Workload base seed of program seed `seed`: decorrelated from the
+ *  program bits so shape knobs and inputs vary independently. */
+uint64_t
+mixInputSeed(uint64_t base, uint64_t seed)
+{
+    return base ^ (seed * 0x9E3779B97F4A7C15ull);
+}
+
+/** Raw per-case outcome filled by the worker jobs (disjoint slots). */
+struct CaseSlot
+{
+    OracleVerdict verdict;
+    std::string source;    ///< kept only for non-passing cases
+    std::string minimized; ///< shrunk form ("" when minimize is off)
+    ShrinkStats shrink_stats;
+};
+
+} // namespace
+
+CorpusReport
+runCorpus(const CorpusOptions &options)
+{
+    auto start = std::chrono::steady_clock::now();
+    std::vector<CaseSlot> slots(options.count);
+
+    // Ordered progress: workers flush the longest fully-judged prefix
+    // under a lock, so the callback sees cases strictly in seed order
+    // no matter how jobs interleave.
+    std::mutex progress_mutex;
+    std::vector<bool> done(options.count, false);
+    size_t next_report = 0;
+    auto report_done = [&](size_t index) {
+        if (!options.progress)
+            return;
+        std::lock_guard<std::mutex> lock(progress_mutex);
+        done[index] = true;
+        while (next_report < options.count && done[next_report]) {
+            options.progress(options.first_seed + next_report,
+                             slots[next_report].verdict);
+            ++next_report;
+        }
+    };
+
+    parallelFor(options.count, options.jobs, [&](size_t index) {
+        // parallelFor jobs must not throw; fold everything into the
+        // slot so one broken case cannot take down the run.
+        CaseSlot &slot = slots[index];
+        uint64_t seed = options.first_seed + index;
+        try {
+            std::string source = generateProgram(seed, options.shape);
+            OracleOptions oracle = options.oracle;
+            oracle.input_seed =
+                mixInputSeed(options.oracle.input_seed, seed);
+            slot.verdict = checkSource(source, oracle);
+            if (slot.verdict.kind != FailureKind::None)
+                slot.source = source;
+            if (slot.verdict.failed() && options.minimize) {
+                FailureKind kind = slot.verdict.kind;
+                Predicate still_fails =
+                    [&](const std::string &candidate) {
+                        return checkSource(candidate, oracle).kind ==
+                               kind;
+                    };
+                slot.minimized = shrink(source, still_fails,
+                                        options.shrink,
+                                        &slot.shrink_stats);
+            }
+        } catch (const std::exception &err) {
+            slot.verdict.kind = FailureKind::OptimizeError;
+            slot.verdict.detail =
+                std::string("harness error: ") + err.what();
+            if (slot.source.empty())
+                slot.source = "// <program generation failed>";
+        } catch (...) {
+            slot.verdict.kind = FailureKind::OptimizeError;
+            slot.verdict.detail = "harness error: unknown exception";
+        }
+        report_done(index);
+    });
+
+    // Serial aggregation in seed order (deterministic report).
+    CorpusReport report;
+    report.first_seed = options.first_seed;
+    report.total = options.count;
+    for (size_t index = 0; index < options.count; ++index) {
+        const CaseSlot &slot = slots[index];
+        report.case_seconds.push_back(slot.verdict.seconds);
+        if (slot.verdict.degraded)
+            ++report.degraded;
+        if (slot.verdict.kind == FailureKind::None) {
+            ++report.passed;
+            continue;
+        }
+        ++report.taxonomy[failureKindName(slot.verdict.kind)];
+        if (slot.verdict.kind == FailureKind::Timeout) {
+            ++report.timeouts;
+            continue;
+        }
+        ++report.failed;
+        CaseFailure failure;
+        failure.seed = options.first_seed + index;
+        failure.kind = slot.verdict.kind;
+        failure.detail = slot.verdict.detail;
+        failure.program_ops = countOps(slot.source);
+        failure.minimized =
+            slot.minimized.empty() ? slot.source : slot.minimized;
+        failure.minimized_ops = countOps(failure.minimized);
+        failure.shrink_stats = slot.shrink_stats;
+        report.failures.push_back(std::move(failure));
+    }
+
+    if (!options.repro_dir.empty() && !report.failures.empty()) {
+        std::filesystem::create_directories(options.repro_dir);
+        for (CaseFailure &failure : report.failures) {
+            std::filesystem::path path =
+                std::filesystem::path(options.repro_dir) /
+                (MsgBuilder() << "seed" << failure.seed << "_"
+                              << failureKindName(failure.kind) << ".seer")
+                    .str();
+            std::ofstream out(path, std::ios::trunc);
+            out << renderRepro(failure, options);
+            failure.repro_path = path.string();
+        }
+    }
+
+    report.total_seconds = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - start)
+                               .count();
+    return report;
+}
+
+std::string
+renderRepro(const CaseFailure &failure, const CorpusOptions &options)
+{
+    std::ostringstream out;
+    out << "// seer-corpus repro\n";
+    out << "// seed: " << failure.seed << "\n";
+    out << "// kind: " << failureKindName(failure.kind) << "\n";
+    std::istringstream detail(failure.detail);
+    for (std::string line; std::getline(detail, line);)
+        out << "// detail: " << line << "\n";
+    out << "// ops: " << failure.program_ops << " generated, "
+        << failure.minimized_ops << " minimized";
+    if (!failure.shrink_stats.converged &&
+        failure.minimized_ops != failure.program_ops)
+        out << " (budget hit; may not be minimal)";
+    out << "\n";
+    out << "// reproduce: seer-corpus --check <this file>";
+    if (!options.oracle.check_reference)
+        out << " --no-reference";
+    if (options.oracle.fail_on_degraded)
+        out << " --fail-degraded";
+    if (options.oracle.seer.exact_datapath)
+        out << " --exact";
+    if (!options.oracle.seer.extra_control_rules.empty())
+        out << " --inject-unsound";
+    out << "\n";
+    out << failure.minimized;
+    if (failure.minimized.empty() || failure.minimized.back() != '\n')
+        out << "\n";
+    return out.str();
+}
+
+json::Value
+toJson(const CorpusReport &report, const CorpusOptions &options)
+{
+    json::Value root{json::Object{}};
+    root.set("schema", "seer-corpus-v1");
+    root.set("first_seed", report.first_seed);
+    root.set("total", report.total);
+    root.set("passed", report.passed);
+    root.set("failed", report.failed);
+    root.set("degraded", report.degraded);
+    root.set("timeouts", report.timeouts);
+    root.set("pass_rate", report.passRate());
+    root.set("total_seconds", report.total_seconds);
+
+    json::Value config{json::Object{}};
+    config.set("input_runs", options.oracle.input_runs);
+    config.set("check_reference", options.oracle.check_reference);
+    config.set("fail_on_degraded", options.oracle.fail_on_degraded);
+    config.set("minimize", options.minimize);
+    config.set("deadline_seconds", options.oracle.deadline_seconds);
+    config.set("jobs", options.jobs);
+    root.set("config", std::move(config));
+
+    json::Value taxonomy{json::Object{}};
+    for (const auto &[name, count] : report.taxonomy)
+        taxonomy.set(name, count);
+    root.set("taxonomy", std::move(taxonomy));
+
+    double sum = 0, worst = 0;
+    for (double s : report.case_seconds) {
+        sum += s;
+        worst = std::max(worst, s);
+    }
+    json::Value timing{json::Object{}};
+    timing.set("case_seconds_sum", sum);
+    timing.set("case_seconds_max", worst);
+    timing.set("case_seconds_mean",
+               report.case_seconds.empty()
+                   ? 0.0
+                   : sum / report.case_seconds.size());
+    root.set("timing", std::move(timing));
+
+    json::Value failures{json::Array{}};
+    for (const CaseFailure &failure : report.failures) {
+        json::Value entry{json::Object{}};
+        entry.set("seed", failure.seed);
+        entry.set("kind", failureKindName(failure.kind));
+        entry.set("detail", failure.detail);
+        entry.set("program_ops", failure.program_ops);
+        entry.set("minimized_ops", failure.minimized_ops);
+        entry.set("repro_path", failure.repro_path);
+        json::Value shrunk{json::Object{}};
+        shrunk.set("checks", failure.shrink_stats.checks);
+        shrunk.set("accepted", failure.shrink_stats.accepted);
+        shrunk.set("rounds", failure.shrink_stats.rounds);
+        shrunk.set("converged", failure.shrink_stats.converged);
+        entry.set("shrink", std::move(shrunk));
+        failures.push(std::move(entry));
+    }
+    root.set("failures", std::move(failures));
+    return root;
+}
+
+} // namespace seer::corpus

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * The corpus runner: thousands of generated kernels through the
+ * differential oracle, failures minimized and written as repro files,
+ * everything aggregated into a machine-readable run report.
+ *
+ * The run is deterministic: case i uses seed first_seed + i for both
+ * its program and (mixed) its workloads, cases are judged independently
+ * (so `jobs` workers change wall time, never verdicts), and the report
+ * orders results by seed.
+ */
+#ifndef SEER_CORPUS_RUNNER_H_
+#define SEER_CORPUS_RUNNER_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "corpus/generator.h"
+#include "corpus/oracle.h"
+#include "corpus/shrink.h"
+#include "support/json.h"
+
+namespace seer::corpus {
+
+/** Configuration of one corpus run. */
+struct CorpusOptions
+{
+    uint64_t first_seed = 1;
+    size_t count = 100;
+    /** Program shape. */
+    GeneratorOptions shape;
+    /** Oracle configuration (pipeline options, workload runs, ...). */
+    OracleOptions oracle;
+    /** Minimize failing programs before reporting them. */
+    bool minimize = true;
+    ShrinkOptions shrink;
+    /** Directory for minimized repro files (empty = don't write). */
+    std::string repro_dir;
+    /** Worker threads over cases (verdicts independent of N). */
+    unsigned jobs = 1;
+    /** Serial progress callback, invoked in seed order. */
+    std::function<void(uint64_t seed, const OracleVerdict &)> progress;
+};
+
+/** Outcome of one failing (or degraded/timed-out) case. */
+struct CaseFailure
+{
+    uint64_t seed = 0;
+    FailureKind kind = FailureKind::None;
+    std::string detail;
+    /** Pre-/post-minimization program sizes in ops. */
+    size_t program_ops = 0;
+    size_t minimized_ops = 0;
+    /** The minimized failing program (the repro file body). */
+    std::string minimized;
+    /** Where the repro was written ("" when repro_dir is empty). */
+    std::string repro_path;
+    ShrinkStats shrink_stats;
+};
+
+/** Aggregated run report. */
+struct CorpusReport
+{
+    uint64_t first_seed = 0;
+    size_t total = 0;
+    size_t passed = 0;
+    size_t failed = 0;
+    size_t degraded = 0; ///< passed-but-degraded (unless fail_on_degraded)
+    size_t timeouts = 0;
+    /** failureKindName -> count over all non-passing cases. */
+    std::map<std::string, size_t> taxonomy;
+    std::vector<CaseFailure> failures;
+    /** Per-kernel wall time (seconds), indexed by case. */
+    std::vector<double> case_seconds;
+    double total_seconds = 0;
+
+    double passRate() const
+    {
+        return total ? static_cast<double>(passed) / total : 1.0;
+    }
+};
+
+/** Run the corpus. Repro files land in options.repro_dir. */
+CorpusReport runCorpus(const CorpusOptions &options);
+
+/** Machine-readable view of a run (consumed by bench_to_json.py
+ *  --mode corpus, uploaded by the CI corpus-smoke job). */
+json::Value toJson(const CorpusReport &report,
+                   const CorpusOptions &options);
+
+/**
+ * Render a self-contained repro file: a header of `//` comments
+ * (seed, failure kind, detail, reproduction command) followed by the
+ * minimized program. `seer-corpus --check FILE` re-judges such a file.
+ */
+std::string renderRepro(const CaseFailure &failure,
+                        const CorpusOptions &options);
+
+} // namespace seer::corpus
+
+#endif // SEER_CORPUS_RUNNER_H_

@@ -1,0 +1,271 @@
+#include "corpus/shrink.h"
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "ir/builder.h"
+#include "ir/op.h"
+#include "ir/ops.h"
+#include "ir/parser.h"
+#include "ir/printer.h"
+#include "ir/verifier.h"
+#include "support/error.h"
+
+namespace seer::corpus {
+
+namespace {
+
+/** The kinds of reducing edits, tried biggest-cut-first. */
+enum class EditKind
+{
+    RemoveOp,      ///< erase an op with unused results
+    UnwrapRegion,  ///< replace a loop/if/while by its hoisted body
+    HalveBound,    ///< halve a constant affine.for trip count
+    ZeroValue,     ///< replace a computed value's uses with 0
+    ShrinkLiteral, ///< move a constant literal toward 0
+};
+
+constexpr EditKind kEditKinds[] = {
+    EditKind::RemoveOp, EditKind::UnwrapRegion, EditKind::HalveBound,
+    EditKind::ZeroValue, EditKind::ShrinkLiteral,
+};
+
+/** Pre-order list of every op in the module (stable candidate index). */
+std::vector<ir::Operation *>
+allOps(const ir::Module &module)
+{
+    std::vector<ir::Operation *> ops;
+    ir::walk(module, [&](ir::Operation &op) { ops.push_back(&op); });
+    return ops;
+}
+
+/** Use counts of every value in the module. */
+std::map<ir::ValueImpl *, size_t>
+countUses(const ir::Module &module)
+{
+    std::map<ir::ValueImpl *, size_t> uses;
+    ir::walk(module, [&](ir::Operation &op) {
+        for (ir::Value operand : op.operands())
+            ++uses[operand.impl()];
+    });
+    return uses;
+}
+
+bool
+resultsUnused(const ir::Operation &op,
+              const std::map<ir::ValueImpl *, size_t> &uses)
+{
+    for (size_t i = 0; i < op.numResults(); ++i) {
+        auto it = uses.find(op.result(i).impl());
+        if (it != uses.end() && it->second > 0)
+            return false;
+    }
+    return true;
+}
+
+/** The function op enclosing `op` (top-level ancestor). */
+ir::Operation *
+enclosingFunc(ir::Operation *op)
+{
+    while (op->parentOp())
+        op = op->parentOp();
+    return op;
+}
+
+/** Erase `op` from its parent block. */
+void
+eraseOp(ir::Operation *op)
+{
+    ir::Block *block = op->parentBlock();
+    block->erase(block->find(op));
+}
+
+/** Hoist the non-terminator ops of `body` to just before `op`,
+ *  remapping `iv` (if provided) to a fresh `constant 0 : index`. */
+void
+hoistBody(ir::Operation *op, ir::Block &body,
+          std::optional<ir::Value> iv)
+{
+    ir::Block *parent = op->parentBlock();
+    ir::Block::iterator pos = parent->find(op);
+    if (iv) {
+        ir::OpBuilder builder = ir::OpBuilder::before(op);
+        ir::Value zero = builder.indexConstant(0);
+        ir::replaceAllUsesIn(body, *iv, zero);
+    }
+    while (!body.empty() && !ir::isTerminator(body.front())) {
+        ir::Operation::Ptr moved = body.take(body.ops().begin());
+        parent->insert(pos, std::move(moved));
+    }
+}
+
+/**
+ * Apply candidate edit (kind, index) to `module`. Returns false when
+ * the candidate does not apply there (wrong op kind, value in use, …);
+ * the caller then moves on to the next index.
+ */
+bool
+applyEdit(ir::Module &module, EditKind kind, size_t index)
+{
+    std::vector<ir::Operation *> ops = allOps(module);
+    if (index >= ops.size())
+        return false;
+    ir::Operation *op = ops[index];
+    const std::string &name = op->nameStr();
+    if (name == "func.func")
+        return false;
+
+    switch (kind) {
+    case EditKind::RemoveOp: {
+        if (ir::isTerminator(*op))
+            return false;
+        if (!resultsUnused(*op, countUses(module)))
+            return false;
+        eraseOp(op);
+        return true;
+    }
+    case EditKind::UnwrapRegion: {
+        if (op->numResults() > 0)
+            return false;
+        if (name == std::string(ir::opnames::kIf)) {
+            hoistBody(op, op->region(0).block(), std::nullopt);
+            eraseOp(op);
+            return true;
+        }
+        if (name == std::string(ir::opnames::kAffineFor)) {
+            hoistBody(op, op->region(0).block(),
+                      ir::inductionVar(*op));
+            eraseOp(op);
+            return true;
+        }
+        if (name == std::string(ir::opnames::kWhile)) {
+            // One body iteration in place; the condition-region
+            // effects (loads only, in generated programs) vanish.
+            hoistBody(op, op->region(1).block(), std::nullopt);
+            eraseOp(op);
+            return true;
+        }
+        return false;
+    }
+    case EditKind::HalveBound: {
+        if (name != std::string(ir::opnames::kAffineFor))
+            return false;
+        ir::AffineBound lb = ir::getLowerBound(*op);
+        ir::AffineBound ub = ir::getUpperBound(*op);
+        if (!lb.isConstant() || !ub.isConstant())
+            return false;
+        int64_t span = ub.constant - lb.constant;
+        if (span <= 1)
+            return false;
+        ub.constant = lb.constant + (span + 1) / 2;
+        ir::setLoopBounds(*op, lb, ub, ir::getStep(*op));
+        return true;
+    }
+    case EditKind::ZeroValue: {
+        if (op->numResults() != 1 ||
+            name == std::string(ir::opnames::kConstant))
+            return false;
+        ir::Type type = op->result().type();
+        if (!type.isInteger() && !type.isIndex())
+            return false;
+        if (resultsUnused(*op, countUses(module)))
+            return false; // RemoveOp's job
+        ir::OpBuilder builder = ir::OpBuilder::before(op);
+        ir::Value zero = type.isIndex()
+                             ? builder.indexConstant(0)
+                             : builder.intConstant(type, 0);
+        ir::replaceAllUsesIn(*enclosingFunc(op), op->result(), zero);
+        eraseOp(op);
+        return true;
+    }
+    case EditKind::ShrinkLiteral: {
+        if (name != std::string(ir::opnames::kConstant))
+            return false;
+        const ir::Attribute &value = op->attr("value");
+        if (!value.isInt())
+            return false;
+        int64_t v = value.asInt();
+        if (v == 0)
+            return false;
+        // Toward zero: -1/1 -> 0, else halve (keeps indices in
+        // bounds: |v/2| <= |v|).
+        op->setAttr("value", ir::Attribute(v / 2));
+        return true;
+    }
+    }
+    return false;
+}
+
+} // namespace
+
+std::string
+shrink(const std::string &source, const Predicate &still_fails,
+       const ShrinkOptions &options, ShrinkStats *stats)
+{
+    ShrinkStats local;
+    ShrinkStats &s = stats ? *stats : local;
+    s = ShrinkStats{};
+
+    if (!still_fails(source)) {
+        s.converged = false;
+        return source;
+    }
+
+    std::string current = source;
+    bool out_of_budget = false;
+    for (s.rounds = 0; s.rounds < options.max_rounds && !out_of_budget;
+         ++s.rounds) {
+        bool any_accepted = false;
+        for (EditKind kind : kEditKinds) {
+            // The op list changes under accepted edits; scanning by
+            // index over a freshly parsed module keeps enumeration
+            // deterministic without pointer bookkeeping.
+            for (size_t index = 0;; ++index) {
+                ir::Module module;
+                try {
+                    module = ir::parseModule(current);
+                } catch (const FatalError &) {
+                    return current; // cannot happen: current parsed before
+                }
+                if (index >= allOps(module).size())
+                    break;
+                if (!applyEdit(module, kind, index))
+                    continue;
+                std::string candidate = ir::toString(module);
+                if (candidate == current)
+                    continue;
+                // Guard: the predicate only ever sees valid programs.
+                try {
+                    ir::Module reparsed = ir::parseModule(candidate);
+                    ir::verifyOrDie(reparsed);
+                } catch (const FatalError &) {
+                    continue;
+                }
+                if (s.checks >= options.max_checks) {
+                    out_of_budget = true;
+                    break;
+                }
+                ++s.checks;
+                if (still_fails(candidate)) {
+                    current = candidate;
+                    ++s.accepted;
+                    any_accepted = true;
+                    // Same index again: the edit list shifted under us.
+                    --index;
+                }
+            }
+            if (out_of_budget)
+                break;
+        }
+        if (!any_accepted)
+            break;
+    }
+    if (out_of_budget)
+        s.converged = false;
+    else if (s.rounds >= options.max_rounds)
+        s.converged = false;
+    return current;
+}
+
+} // namespace seer::corpus

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Automatic failing-case minimization (delta debugging over the IR).
+ *
+ * Given a program that fails some predicate (e.g. "the corpus oracle
+ * rejects it"), the shrinker searches for a smaller program that still
+ * fails, by repeatedly applying semantic-size-reducing edits and
+ * re-checking the predicate after each:
+ *
+ *   - drop a statement (any op whose results are unused),
+ *   - unwrap a control region (loop/if/while body hoisted in its
+ *     place, induction variables pinned to 0),
+ *   - halve a constant loop bound,
+ *   - replace a computed value's uses with the constant 0,
+ *   - shrink a constant literal toward 0.
+ *
+ * Edits that break parsing or verification are discarded before the
+ * predicate ever runs, so the predicate only sees valid programs. The
+ * search is greedy-to-fixpoint and fully deterministic: candidates are
+ * enumerated in a fixed order, the first accepted edit restarts the
+ * scan, and two runs over the same input and predicate produce the
+ * same minimized program.
+ */
+#ifndef SEER_CORPUS_SHRINK_H_
+#define SEER_CORPUS_SHRINK_H_
+
+#include <cstddef>
+#include <functional>
+#include <string>
+
+namespace seer::corpus {
+
+/** Returns true when `source` still exhibits the failure. */
+using Predicate = std::function<bool(const std::string &source)>;
+
+struct ShrinkOptions
+{
+    /** Fixpoint rounds (each round scans every candidate edit once). */
+    size_t max_rounds = 64;
+    /** Total predicate evaluations across all rounds. */
+    size_t max_checks = 3000;
+};
+
+struct ShrinkStats
+{
+    size_t checks = 0;   ///< predicate evaluations spent
+    size_t accepted = 0; ///< edits that kept the failure
+    size_t rounds = 0;   ///< fixpoint rounds executed
+    /** False when a budget expired before the edit set was exhausted
+     *  (the result still fails, it just may not be minimal). */
+    bool converged = true;
+};
+
+/**
+ * Minimize `source` while `still_fails` holds. Requires
+ * still_fails(source); returns `source` unchanged (converged = false)
+ * when it does not. The returned program always fails the predicate.
+ */
+std::string shrink(const std::string &source,
+                   const Predicate &still_fails,
+                   const ShrinkOptions &options = {},
+                   ShrinkStats *stats = nullptr);
+
+} // namespace seer::corpus
+
+#endif // SEER_CORPUS_SHRINK_H_

@@ -34,6 +34,31 @@ wrapToWidth(int64_t value, unsigned width)
     return static_cast<int64_t>(shifted) >> (64 - width);
 }
 
+const char *
+trapKindName(TrapKind kind)
+{
+    switch (kind) {
+    case TrapKind::Deadline: return "deadline";
+    case TrapKind::StepLimit: return "step_limit";
+    case TrapKind::OutOfBounds: return "out_of_bounds";
+    case TrapKind::DivideByZero: return "divide_by_zero";
+    case TrapKind::BadCall: return "bad_call";
+    case TrapKind::Unsupported: return "unsupported";
+    }
+    return "unknown";
+}
+
+namespace {
+
+/** Raise a typed interpreter trap (fatal() with a TrapKind). */
+[[noreturn]] void
+trap(TrapKind kind, const std::string &msg)
+{
+    throw InterpError(kind, msg);
+}
+
+} // namespace
+
 namespace {
 
 class Interp
@@ -48,7 +73,8 @@ class Interp
     {
         Operation *func = module_.lookupFunc(func_name);
         if (!func)
-            fatal("interpret: no function named '" + func_name + "'");
+            trap(TrapKind::BadCall,
+                 "interpret: no function named '" + func_name + "'");
         InterpResult out;
         out.results = callFunc(*func, std::move(args));
         out.steps = steps_;
@@ -71,9 +97,10 @@ class Interp
     {
         Block &body = func.region(0).block();
         if (args.size() != body.numArgs())
-            fatal(MsgBuilder()
-                  << "interpret: function expects " << body.numArgs()
-                  << " args, got " << args.size());
+            trap(TrapKind::BadCall,
+                 MsgBuilder()
+                     << "interpret: function expects " << body.numArgs()
+                     << " args, got " << args.size());
         Env env;
         for (size_t i = 0; i < args.size(); ++i)
             env[body.arg(i).impl()] = args[i];
@@ -85,15 +112,17 @@ class Interp
     tick(const Operation &op)
     {
         if (++steps_ > options_.max_steps) {
-            fatal(MsgBuilder() << "interpret: step limit exceeded at op "
-                               << op.nameStr());
+            trap(TrapKind::StepLimit,
+                 MsgBuilder() << "interpret: step limit exceeded at op "
+                              << op.nameStr());
         }
         // Cooperative cancellation: poll the deadline cheaply (clock
         // reads amortized over 4096 steps) so one multi-million-step
         // simulation cannot blow far past the driver's --deadline.
         if (options_.deadline && (steps_ & 0xfff) == 0 &&
             std::chrono::steady_clock::now() >= *options_.deadline) {
-            fatal("interpret: deadline exceeded (cooperative cancel)");
+            trap(TrapKind::Deadline,
+                 "interpret: deadline exceeded (cooperative cancel)");
         }
         if (options_.profile)
             ++profile_.ops[&op];
@@ -152,7 +181,8 @@ class Interp
         } else if (name == opnames::kCall) {
             Operation *callee = module_.lookupFunc(op.strAttr("callee"));
             if (!callee)
-                fatal("interpret: unknown callee " + op.strAttr("callee"));
+                trap(TrapKind::BadCall,
+                     "interpret: unknown callee " + op.strAttr("callee"));
             std::vector<RtValue> args;
             for (Value operand : op.operands())
                 args.push_back(get(env, operand));
@@ -219,7 +249,8 @@ class Interp
                 break;
             runBlock(body, env);
             if (++iters > options_.max_steps)
-                fatal("interpret: scf.while iteration limit exceeded");
+                trap(TrapKind::StepLimit,
+                     "interpret: scf.while iteration limit exceeded");
         }
         if (options_.profile) {
             auto &entry = profile_.loops[&op];
@@ -238,10 +269,11 @@ class Interp
             int64_t idx =
                 intOf(get(env, op.operand(mem_operand + 1 + d)));
             if (idx < 0 || idx >= shape[d]) {
-                fatal(MsgBuilder()
-                      << "interpret: out-of-bounds access: index " << idx
-                      << " not in [0, " << shape[d] << ") at op "
-                      << toString(op));
+                trap(TrapKind::OutOfBounds,
+                     MsgBuilder()
+                         << "interpret: out-of-bounds access: index "
+                         << idx << " not in [0, " << shape[d]
+                         << ") at op " << toString(op));
             }
             flat = flat * shape[d] + idx;
         }
@@ -313,7 +345,8 @@ class Interp
             else if (pred == "ole") r = lhs <= rhs;
             else if (pred == "ogt") r = lhs > rhs;
             else if (pred == "oge") r = lhs >= rhs;
-            else fatal("interpret: unknown cmpf predicate " + pred);
+            else trap(TrapKind::Unsupported,
+                      "interpret: unknown cmpf predicate " + pred);
             set(static_cast<int64_t>(r));
             return;
         }
@@ -384,19 +417,19 @@ class Interp
                                      static_cast<uint64_t>(rhs));
         } else if (name == opnames::kDivSI) {
             if (rhs == 0)
-                fatal("interpret: division by zero");
+                trap(TrapKind::DivideByZero, "interpret: division by zero");
             r = lhs / rhs;
         } else if (name == opnames::kDivUI) {
             if (ur == 0)
-                fatal("interpret: division by zero");
+                trap(TrapKind::DivideByZero, "interpret: division by zero");
             r = static_cast<int64_t>(ul / ur);
         } else if (name == opnames::kRemSI) {
             if (rhs == 0)
-                fatal("interpret: remainder by zero");
+                trap(TrapKind::DivideByZero, "interpret: remainder by zero");
             r = lhs % rhs;
         } else if (name == opnames::kRemUI) {
             if (ur == 0)
-                fatal("interpret: remainder by zero");
+                trap(TrapKind::DivideByZero, "interpret: remainder by zero");
             r = static_cast<int64_t>(ul % ur);
         } else if (name == opnames::kAndI) {
             r = lhs & rhs;
@@ -419,7 +452,7 @@ class Interp
         } else if (name == opnames::kMaxSI) {
             r = std::max(lhs, rhs);
         } else {
-            fatal("interpret: unimplemented op " + name);
+            trap(TrapKind::Unsupported, "interpret: unimplemented op " + name);
         }
         set(wrapToWidth(r, w));
     }

@@ -21,8 +21,52 @@
 #include <vector>
 
 #include "ir/op.h"
+#include "support/error.h"
 
 namespace seer::ir {
+
+/**
+ * Why an interpretation stopped abnormally. The distinction that
+ * matters to callers is cancellation (Deadline: the *caller's* budget
+ * expired, says nothing about the program) versus a genuine trap (the
+ * *program* faulted). Everything else refines the trap taxonomy for
+ * reporting (e.g. the corpus harness's failure buckets).
+ */
+enum class TrapKind
+{
+    Deadline,     ///< cooperative wall-clock cancellation, not a fault
+    StepLimit,    ///< max_steps / iteration budget exhausted
+    OutOfBounds,  ///< memref access outside the buffer
+    DivideByZero, ///< integer division/remainder by zero
+    BadCall,      ///< missing function / argument arity mismatch
+    Unsupported,  ///< op or attribute the interpreter cannot execute
+};
+
+/** Stable lowercase name for a trap kind (report/JSON keys). */
+const char *trapKindName(TrapKind kind);
+
+/**
+ * The error thrown for every interpreter trap. Derives from FatalError
+ * so existing catch sites keep working and messages keep their
+ * "interpret: ..." prefixes; callers that must distinguish cancellation
+ * from a genuine fault catch InterpError and switch on kind() instead
+ * of string-matching the message.
+ */
+class InterpError : public FatalError
+{
+  public:
+    InterpError(TrapKind kind, const std::string &msg)
+        : FatalError(msg), kind_(kind)
+    {}
+
+    TrapKind kind() const { return kind_; }
+
+    /** True when the trap is cooperative cancellation, not a fault. */
+    bool isCancellation() const { return kind_ == TrapKind::Deadline; }
+
+  private:
+    TrapKind kind_;
+};
 
 /** A runtime buffer backing one memref value. */
 struct Buffer
@@ -70,9 +114,10 @@ struct InterpOptions
      * Cooperative wall-clock cancellation: checked every few thousand
      * steps, so a long-running simulation (e.g. an equivalence check's
      * co-execution) stops shortly after the deadline instead of running
-     * its full step budget. Expiry traps with a FatalError whose
-     * message starts with "interpret: deadline" — callers that must
-     * distinguish cancellation from a genuine trap re-check the clock.
+     * its full step budget. Expiry traps with an InterpError of kind
+     * TrapKind::Deadline (message prefix "interpret: deadline" kept for
+     * compatibility) — catch InterpError and test isCancellation() to
+     * distinguish cancellation from a genuine trap.
      */
     std::optional<std::chrono::steady_clock::time_point> deadline;
 };
@@ -80,8 +125,9 @@ struct InterpOptions
 /**
  * Interpret `func_name` in `module` with the given arguments. Buffer
  * arguments are mutated in place (caller observes final memory state).
- * Throws FatalError on traps: out-of-bounds access, division by zero,
- * step-limit exhaustion.
+ * Throws InterpError (a FatalError carrying a TrapKind) on traps:
+ * out-of-bounds access, division by zero, step-limit exhaustion,
+ * deadline cancellation.
  */
 InterpResult interpret(const Module &module, const std::string &func_name,
                        std::vector<RtValue> args,

@@ -1,0 +1,249 @@
+/**
+ * Corpus-harness tests: generator determinism, the differential
+ * oracle's failure taxonomy (exercised with a seeded unsound rewrite),
+ * shrinker convergence/determinism, and the repro round trip.
+ */
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "corpus/generator.h"
+#include "corpus/oracle.h"
+#include "corpus/runner.h"
+#include "corpus/shrink.h"
+#include "ir/op.h"
+#include "ir/parser.h"
+
+namespace seer::corpus {
+namespace {
+
+/** A small kernel with one live store: the unsound store-dropping rule
+ *  turns it into a miscompile the oracle must catch. */
+const char *kStoreKernel = R"(
+func.func @fuzz(%a: memref<8xi32>, %b: memref<8xi32>) {
+  %c7 = arith.constant 7 : i32
+  affine.for %i = 0 to 4 {
+    %v = memref.load %a[%i] : memref<8xi32>
+    %s = arith.addi %v, %c7 : i32
+    memref.store %s, %b[%i] : memref<8xi32>
+  }
+  func.return
+})";
+
+/** Oracle options tuned for unit-test speed: no reference arms
+ *  (covered by their own test), greedy extraction. Workload runs stay
+ *  at 3: the interpreter is cheap next to optimize(), and one workload
+ *  can miss a divergence by luck. */
+OracleOptions
+fastOracle()
+{
+    OracleOptions options;
+    options.seer.exact_datapath = false;
+    options.check_reference = false;
+    return options;
+}
+
+size_t
+opCount(const std::string &source)
+{
+    ir::Module module = ir::parseModule(source);
+    size_t n = 0;
+    ir::walk(module, [&](ir::Operation &) { ++n; });
+    return n;
+}
+
+TEST(CorpusGeneratorTest, DeterministicPerSeed)
+{
+    GeneratorOptions options;
+    EXPECT_EQ(generateProgram(7, options), generateProgram(7, options));
+    EXPECT_NE(generateProgram(7, options), generateProgram(8, options));
+}
+
+TEST(CorpusGeneratorTest, ShapeKnobsStayInBounds)
+{
+    // Tight buffers + wide trips must still generate valid programs
+    // (the generator clamps to keep every access in bounds).
+    GeneratorOptions options;
+    options.buffer_size = 4;
+    options.max_trip = 40;
+    options.allow_nested_loops = true;
+    options.allow_min_max = true;
+    for (uint64_t seed = 1; seed <= 10; ++seed) {
+        std::string source = generateProgram(seed, options);
+        EXPECT_NO_THROW(ir::parseModule(source)) << source;
+    }
+}
+
+TEST(CorpusOracleTest, CleanKernelPasses)
+{
+    OracleVerdict verdict = checkSource(kStoreKernel, fastOracle());
+    EXPECT_EQ(verdict.kind, FailureKind::None) << verdict.detail;
+    EXPECT_FALSE(verdict.failed());
+}
+
+TEST(CorpusOracleTest, GarbageIsAParseError)
+{
+    OracleVerdict verdict = checkSource("not a program", fastOracle());
+    EXPECT_EQ(verdict.kind, FailureKind::ParseError);
+    EXPECT_TRUE(verdict.failed());
+}
+
+TEST(CorpusOracleTest, InjectedUnsoundRuleIsCaught)
+{
+    OracleOptions options = fastOracle();
+    options.seer.extra_control_rules.push_back(
+        makeUnsoundStoreDropRule());
+    OracleVerdict verdict = checkSource(kStoreKernel, options);
+    EXPECT_EQ(verdict.kind, FailureKind::Miscompile) << verdict.detail;
+    EXPECT_NE(verdict.detail.find("diverges"), std::string::npos);
+}
+
+TEST(CorpusOracleTest, ReferenceArmAgreesOnCleanKernel)
+{
+    OracleOptions options = fastOracle();
+    options.check_reference = true;
+    OracleVerdict verdict = checkSource(kStoreKernel, options);
+    EXPECT_EQ(verdict.kind, FailureKind::None) << verdict.detail;
+}
+
+TEST(CorpusShrinkTest, RequiresAFailingInput)
+{
+    ShrinkStats stats;
+    std::string out = shrink(
+        kStoreKernel, [](const std::string &) { return false; }, {},
+        &stats);
+    EXPECT_EQ(out, kStoreKernel);
+    EXPECT_FALSE(stats.converged);
+    EXPECT_EQ(stats.accepted, 0u);
+}
+
+TEST(CorpusShrinkTest, ConvergesOnInjectedMiscompile)
+{
+    OracleOptions oracle = fastOracle();
+    oracle.seer.extra_control_rules.push_back(
+        makeUnsoundStoreDropRule());
+    ASSERT_EQ(checkSource(kStoreKernel, oracle).kind,
+              FailureKind::Miscompile);
+
+    Predicate still_fails = [&](const std::string &candidate) {
+        return checkSource(candidate, oracle).kind ==
+               FailureKind::Miscompile;
+    };
+    ShrinkStats stats;
+    std::string minimized =
+        shrink(kStoreKernel, still_fails, {}, &stats);
+
+    EXPECT_TRUE(stats.converged);
+    EXPECT_GT(stats.accepted, 0u);
+    // The minimal miscompile here is a bare store: func + store +
+    // operands + return. Anything <= 6 ops means the loop, the load,
+    // and the arithmetic were all shrunk away.
+    EXPECT_LE(opCount(minimized), 6u) << minimized;
+    EXPECT_NE(minimized.find("memref.store"), std::string::npos);
+    // The result still fails, by contract.
+    EXPECT_TRUE(still_fails(minimized));
+}
+
+TEST(CorpusShrinkTest, DeterministicAcrossRuns)
+{
+    OracleOptions oracle = fastOracle();
+    oracle.seer.extra_control_rules.push_back(
+        makeUnsoundStoreDropRule());
+    Predicate still_fails = [&](const std::string &candidate) {
+        return checkSource(candidate, oracle).kind ==
+               FailureKind::Miscompile;
+    };
+    ShrinkStats first_stats, second_stats;
+    std::string first =
+        shrink(kStoreKernel, still_fails, {}, &first_stats);
+    std::string second =
+        shrink(kStoreKernel, still_fails, {}, &second_stats);
+    EXPECT_EQ(first, second);
+    EXPECT_EQ(first_stats.checks, second_stats.checks);
+    EXPECT_EQ(first_stats.accepted, second_stats.accepted);
+}
+
+TEST(CorpusRunnerTest, ReportAndReproRoundTrip)
+{
+    std::filesystem::path dir =
+        std::filesystem::temp_directory_path() /
+        "seer_corpus_test_repros";
+    std::filesystem::remove_all(dir);
+
+    CorpusOptions options;
+    options.first_seed = 6; // small program with a live store
+    options.count = 1;
+    options.oracle = fastOracle();
+    options.oracle.seer.extra_control_rules.push_back(
+        makeUnsoundStoreDropRule());
+    options.repro_dir = dir.string();
+
+    CorpusReport report = runCorpus(options);
+    ASSERT_EQ(report.total, 1u);
+    ASSERT_EQ(report.failed, 1u);
+    ASSERT_EQ(report.failures.size(), 1u);
+    const CaseFailure &failure = report.failures[0];
+    EXPECT_EQ(failure.seed, 6u);
+    EXPECT_EQ(failure.kind, FailureKind::Miscompile);
+    EXPECT_LE(failure.minimized_ops, failure.program_ops);
+    EXPECT_EQ(report.taxonomy.at("miscompile"), 1u);
+
+    // The repro file exists, parses (its // header is comment-only),
+    // and still fails the same oracle the run used.
+    ASSERT_FALSE(failure.repro_path.empty());
+    std::ifstream file(failure.repro_path);
+    ASSERT_TRUE(file.good());
+    std::stringstream text;
+    text << file.rdbuf();
+    EXPECT_NE(text.str().find("// kind: miscompile"),
+              std::string::npos);
+    EXPECT_EQ(checkSource(text.str(), options.oracle).kind,
+              FailureKind::Miscompile);
+
+    json::Value json = toJson(report, options);
+    std::string dumped = json.dump(2);
+    EXPECT_NE(dumped.find("\"schema\": \"seer-corpus-v1\""),
+              std::string::npos);
+    EXPECT_NE(dumped.find("\"miscompile\""), std::string::npos);
+
+    std::filesystem::remove_all(dir);
+}
+
+TEST(CorpusRunnerTest, VerdictsIndependentOfJobCount)
+{
+    CorpusOptions options;
+    options.first_seed = 1;
+    options.count = 4;
+    options.oracle = fastOracle();
+    options.minimize = false;
+
+    CorpusReport serial = runCorpus(options);
+    options.jobs = 4;
+    CorpusReport parallel = runCorpus(options);
+    EXPECT_EQ(serial.passed, parallel.passed);
+    EXPECT_EQ(serial.failed, parallel.failed);
+    EXPECT_EQ(serial.taxonomy, parallel.taxonomy);
+}
+
+TEST(CorpusRunnerTest, ProgressArrivesInSeedOrder)
+{
+    CorpusOptions options;
+    options.first_seed = 10;
+    options.count = 6;
+    options.oracle = fastOracle();
+    options.minimize = false;
+    options.jobs = 3;
+    std::vector<uint64_t> seen;
+    options.progress = [&](uint64_t seed, const OracleVerdict &) {
+        seen.push_back(seed);
+    };
+    runCorpus(options);
+    ASSERT_EQ(seen.size(), 6u);
+    for (size_t i = 0; i < seen.size(); ++i)
+        EXPECT_EQ(seen[i], 10u + i);
+}
+
+} // namespace
+} // namespace seer::corpus

@@ -292,5 +292,103 @@ func.func @f() -> i8 {
               1);
 }
 
+/** Run `text` expecting a trap; returns the structured kind. */
+TrapKind
+trapKindOf(const std::string &text, std::vector<RtValue> args = {},
+           InterpOptions options = {})
+{
+    Module m = parseModule(text);
+    try {
+        interpret(m, "f", std::move(args), options);
+    } catch (const InterpError &err) {
+        return err.kind();
+    }
+    ADD_FAILURE() << "expected a trap";
+    return TrapKind::Unsupported;
+}
+
+TEST(InterpTest, TrapKindsAreStructured)
+{
+    EXPECT_EQ(trapKindOf(R"(
+func.func @f() -> i32 {
+  %a = arith.constant 1 : i32
+  %z = arith.constant 0 : i32
+  %d = arith.divsi %a, %z : i32
+  func.return %d : i32
+})"),
+              TrapKind::DivideByZero);
+
+    Module oob = parseModule(R"(
+func.func @f(%a: memref<4xi32>) {
+  %i = arith.constant 9 : index
+  %v = memref.load %a[%i] : memref<4xi32>
+  func.return
+})");
+    Buffer buffer(Type::memref({4}, Type::i32()));
+    try {
+        interpret(oob, "f", {&buffer});
+        ADD_FAILURE() << "expected a trap";
+    } catch (const InterpError &err) {
+        EXPECT_EQ(err.kind(), TrapKind::OutOfBounds);
+        EXPECT_FALSE(err.isCancellation());
+        // The message text is unchanged by the structured kind.
+        EXPECT_NE(std::string(err.what()).find("out-of-bounds"),
+                  std::string::npos);
+    }
+}
+
+TEST(InterpTest, StepLimitAndDeadlineKindsDiffer)
+{
+    const std::string spin = R"(
+func.func @f() {
+  %c0 = arith.constant 0 : index
+  affine.for %i = 0 to 1000000 {
+    %x = arith.constant 1 : i32
+  }
+  func.return
+})";
+    InterpOptions tight;
+    tight.max_steps = 100;
+    EXPECT_EQ(trapKindOf(spin, {}, tight), TrapKind::StepLimit);
+
+    InterpOptions expired;
+    expired.deadline = std::chrono::steady_clock::now();
+    TrapKind kind = trapKindOf(spin, {}, expired);
+    EXPECT_EQ(kind, TrapKind::Deadline);
+
+    // Cancellation is the one kind callers may treat as benign.
+    try {
+        interpret(parseModule(spin), "f", {}, expired);
+        ADD_FAILURE() << "expected cancellation";
+    } catch (const InterpError &err) {
+        EXPECT_TRUE(err.isCancellation());
+    }
+}
+
+TEST(InterpTest, BadCallKind)
+{
+    Module m = parseModule(R"(
+func.func @f() {
+  func.return
+})");
+    try {
+        interpret(m, "nope", {});
+        ADD_FAILURE() << "expected a trap";
+    } catch (const InterpError &err) {
+        EXPECT_EQ(err.kind(), TrapKind::BadCall);
+    }
+}
+
+TEST(InterpTest, TrapKindNamesAreStable)
+{
+    EXPECT_STREQ(trapKindName(TrapKind::Deadline), "deadline");
+    EXPECT_STREQ(trapKindName(TrapKind::StepLimit), "step_limit");
+    EXPECT_STREQ(trapKindName(TrapKind::OutOfBounds), "out_of_bounds");
+    EXPECT_STREQ(trapKindName(TrapKind::DivideByZero),
+                 "divide_by_zero");
+    EXPECT_STREQ(trapKindName(TrapKind::BadCall), "bad_call");
+    EXPECT_STREQ(trapKindName(TrapKind::Unsupported), "unsupported");
+}
+
 } // namespace
 } // namespace seer::ir

@@ -1,277 +1,40 @@
 /**
  * @file
- * A generator of random structured programs for property testing.
+ * Compatibility alias for the random program generator.
  *
- * Programs are built from the same material as the benchmarks — affine
- * loops with (possibly shifted) affine accesses, guarded stores,
- * bounded whiles over scalar cells, and random arithmetic — with the
- * invariants the interpreter enforces kept by construction: indices in
- * bounds, no division, bounded iteration.
+ * The generator moved to src/corpus/generator.h so the corpus-scale
+ * differential harness (`seer-corpus`) and the property tests share one
+ * implementation. Tests keep using the historical seer::testing API;
+ * seeds generate byte-identical programs to the pre-move generator.
  */
 #ifndef SEER_TESTS_RANDOM_PROGRAM_H_
 #define SEER_TESTS_RANDOM_PROGRAM_H_
 
-#include <sstream>
 #include <string>
-#include <vector>
 
-#include "support/rng.h"
+#include "corpus/generator.h"
 
 namespace seer::testing {
 
-/** Shape knobs for the generator. */
-struct GeneratorOptions
-{
-    int num_buffers = 3;       ///< memref<24xi32> arguments
-    int max_top_statements = 4;
-    int max_loop_body = 3;
-    int max_expr_depth = 3;
-    bool allow_if = true;
-    bool allow_while = true;
-    bool allow_nonaffine_index = true; ///< (i<<1)+i style accesses
-};
+using GeneratorOptions = corpus::GeneratorOptions;
 
 class RandomProgram
 {
   public:
     RandomProgram(uint64_t seed, GeneratorOptions options = {})
-        : rng_(seed), options_(options)
+        : seed_(seed), options_(options)
     {}
 
     /** Generate the textual IR of one random function @fuzz. */
     std::string
     generate()
     {
-        os_.str("");
-        names_ = 0;
-        os_ << "func.func @fuzz(";
-        for (int b = 0; b < options_.num_buffers; ++b) {
-            os_ << (b ? ", " : "") << "%buf" << b << ": memref<24xi32>";
-        }
-        os_ << ", %cell: memref<1xi32>) {\n";
-        indent_ = 1;
-        line("%zero = arith.constant 0 : i32");
-        line("%one = arith.constant 1 : i32");
-        line("%c0 = arith.constant 0 : index");
-        int statements =
-            1 + static_cast<int>(rng_.nextBelow(
-                    static_cast<uint64_t>(options_.max_top_statements)));
-        for (int s = 0; s < statements; ++s)
-            emitTopStatement();
-        os_ << "}\n";
-        return os_.str();
+        return corpus::generateProgram(seed_, options_);
     }
 
   private:
-    std::string
-    fresh(const char *base)
-    {
-        return std::string("%") + base + std::to_string(names_++);
-    }
-
-    void
-    line(const std::string &text)
-    {
-        for (int i = 0; i < indent_; ++i)
-            os_ << "  ";
-        os_ << text << "\n";
-    }
-
-    std::string
-    randomBuffer()
-    {
-        return "%buf" + std::to_string(
-                            rng_.nextBelow(static_cast<uint64_t>(
-                                options_.num_buffers)));
-    }
-
-    /** An in-bounds index expression over iv `iv` (or constant). */
-    std::string
-    emitIndex(const std::string &iv)
-    {
-        // Loops run 0..16; buffers hold 24 elements.
-        uint64_t kind = rng_.nextBelow(
-            options_.allow_nonaffine_index && !iv.empty() ? 4 : 3);
-        if (iv.empty() || kind == 0) {
-            std::string name = fresh("ci");
-            line(name + " = arith.constant " +
-                 std::to_string(rng_.nextBelow(16)) + " : index");
-            return name;
-        }
-        if (kind == 1)
-            return iv;
-        if (kind == 2) {
-            // iv + c, c in [0, 8): max 15 + 7 = 22 < 24.
-            std::string c = fresh("ci");
-            line(c + " = arith.constant " +
-                 std::to_string(rng_.nextBelow(8)) + " : index");
-            std::string sum = fresh("ix");
-            line(sum + " = arith.addi " + iv + ", " + c + " : index");
-            return sum;
-        }
-        // Non-affine in the polyhedral sense: (iv & 7) + c.
-        std::string mask = fresh("ci");
-        line(mask + " = arith.constant 7 : index");
-        std::string masked = fresh("ix");
-        line(masked + " = arith.andi " + iv + ", " + mask + " : index");
-        std::string c = fresh("ci");
-        line(c + " = arith.constant " +
-             std::to_string(rng_.nextBelow(16)) + " : index");
-        std::string sum = fresh("ix");
-        line(sum + " = arith.addi " + masked + ", " + c + " : index");
-        return sum;
-    }
-
-    /** A random i32 expression; may load from buffers. */
-    std::string
-    emitExpr(const std::string &iv, int depth)
-    {
-        uint64_t kind = rng_.nextBelow(depth <= 0 ? 3 : 8);
-        if (kind == 0) {
-            std::string c = fresh("k");
-            line(c + " = arith.constant " +
-                 std::to_string(rng_.nextRange(-20, 20)) + " : i32");
-            return c;
-        }
-        if (kind == 1 || kind == 2) {
-            std::string index = emitIndex(iv);
-            std::string value = fresh("v");
-            line(value + " = memref.load " + randomBuffer() + "[" +
-                 index + "] : memref<24xi32>");
-            return value;
-        }
-        if (kind == 7) {
-            // select(cmp(a, b), a, b)
-            std::string a = emitExpr(iv, depth - 1);
-            std::string b = emitExpr(iv, depth - 1);
-            std::string cond = fresh("c");
-            const char *preds[] = {"slt", "sle", "eq", "ne", "sgt"};
-            line(cond + " = arith.cmpi " +
-                 preds[rng_.nextBelow(5)] + ", " + a + ", " + b +
-                 " : i32");
-            std::string sel = fresh("s");
-            line(sel + " = arith.select " + cond + ", " + a + ", " + b +
-                 " : i32");
-            return sel;
-        }
-        const char *ops[] = {"addi", "subi", "muli", "andi", "ori",
-                             "xori"};
-        std::string a = emitExpr(iv, depth - 1);
-        std::string b;
-        if (rng_.nextBelow(5) == 0) {
-            // Shift by a small constant.
-            std::string amount = fresh("k");
-            line(amount + " = arith.constant " +
-                 std::to_string(rng_.nextBelow(4)) + " : i32");
-            std::string shifted = fresh("e");
-            line(shifted + " = arith.shli " + a + ", " + amount +
-                 " : i32");
-            return shifted;
-        }
-        b = emitExpr(iv, depth - 1);
-        std::string result = fresh("e");
-        line(result + " = arith." + ops[rng_.nextBelow(6)] + " " + a +
-             ", " + b + " : i32");
-        return result;
-    }
-
-    void
-    emitStore(const std::string &iv)
-    {
-        std::string value = emitExpr(iv, options_.max_expr_depth);
-        std::string index = emitIndex(iv);
-        line("memref.store " + value + ", " + randomBuffer() + "[" +
-             index + "] : memref<24xi32>");
-    }
-
-    void
-    emitIf(const std::string &iv)
-    {
-        std::string a = emitExpr(iv, 1);
-        std::string cond = fresh("c");
-        line(cond + " = arith.cmpi sgt, " + a + ", %zero : i32");
-        line("scf.if " + cond + " {");
-        ++indent_;
-        emitStore(iv);
-        --indent_;
-        if (rng_.nextBelow(2) == 0) {
-            line("} else {");
-            ++indent_;
-            emitStore(iv);
-            --indent_;
-        }
-        line("}");
-    }
-
-    void
-    emitLoop()
-    {
-        std::string iv = fresh("i").substr(1); // strip %
-        int64_t trip = 4 + static_cast<int64_t>(rng_.nextBelow(13));
-        line("affine.for %" + iv + " = 0 to " + std::to_string(trip) +
-             " {");
-        ++indent_;
-        int body = 1 + static_cast<int>(rng_.nextBelow(
-                           static_cast<uint64_t>(options_.max_loop_body)));
-        for (int s = 0; s < body; ++s) {
-            uint64_t kind =
-                rng_.nextBelow(options_.allow_if ? 3 : 2);
-            if (kind == 2)
-                emitIf("%" + iv);
-            else
-                emitStore("%" + iv);
-        }
-        --indent_;
-        line("}");
-    }
-
-    void
-    emitWhile()
-    {
-        // cell counts up to a bound; body also does a random store.
-        int64_t bound = 3 + static_cast<int64_t>(rng_.nextBelow(8));
-        std::string limit = fresh("k");
-        line(limit + " = arith.constant " + std::to_string(bound) +
-             " : i32");
-        line("memref.store %zero, %cell[%c0] : memref<1xi32>");
-        line("scf.while {");
-        ++indent_;
-        std::string v = fresh("w");
-        line(v + " = memref.load %cell[%c0] : memref<1xi32>");
-        std::string cond = fresh("c");
-        line(cond + " = arith.cmpi slt, " + v + ", " + limit + " : i32");
-        line("scf.condition " + cond);
-        --indent_;
-        line("} do {");
-        ++indent_;
-        emitStore("");
-        std::string v2 = fresh("w");
-        line(v2 + " = memref.load %cell[%c0] : memref<1xi32>");
-        std::string inc = fresh("w");
-        line(inc + " = arith.addi " + v2 + ", %one : i32");
-        line("memref.store " + inc + ", %cell[%c0] : memref<1xi32>");
-        --indent_;
-        line("}");
-    }
-
-    void
-    emitTopStatement()
-    {
-        uint64_t kind = rng_.nextBelow(10);
-        if (kind < 6) {
-            emitLoop();
-        } else if (kind < 8 && options_.allow_while) {
-            emitWhile();
-        } else {
-            emitStore("");
-        }
-    }
-
-    Rng rng_;
+    uint64_t seed_;
     GeneratorOptions options_;
-    std::ostringstream os_;
-    int names_ = 0;
-    int indent_ = 1;
 };
 
 } // namespace seer::testing

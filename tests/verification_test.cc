@@ -9,6 +9,7 @@
 
 #include "core/verify.h"
 #include "egraph/runner.h"
+#include "ir/parser.h"
 #include "rover/rover.h"
 
 namespace seer::core {
@@ -97,6 +98,39 @@ TEST(SoundRuleTest, SoundRunsProduceCleanCertificates)
                                           : verification.failures[0]);
     EXPECT_EQ(verification.passed + verification.inconclusive,
               verification.total_checks);
+}
+
+TEST(DeadlineTest, ExpiredDeadlineIsInconclusiveNotFail)
+{
+    // Two genuinely different modules: a conclusive check would FAIL.
+    // With an already-expired deadline the interpreter cancels
+    // (ir::InterpError, TrapKind::Deadline) before any run finishes,
+    // and the check must report the documented inconclusive
+    // acceptance — never a spurious failure, never a thrown error.
+    ir::Module lhs = ir::parseModule(R"(
+func.func @f(%a: memref<8xi32>) {
+  %c0 = arith.constant 0 : index
+  %k = arith.constant 1 : i32
+  memref.store %k, %a[%c0] : memref<8xi32>
+  func.return
+})");
+    ir::Module rhs = ir::parseModule(R"(
+func.func @f(%a: memref<8xi32>) {
+  %c0 = arith.constant 0 : index
+  %k = arith.constant 2 : i32
+  memref.store %k, %a[%c0] : memref<8xi32>
+  func.return
+})");
+    VerifyOptions expired;
+    expired.deadline = std::chrono::steady_clock::now();
+    std::string diagnostic;
+    EXPECT_TRUE(
+        checkModuleEquivalence(lhs, rhs, "f", expired, &diagnostic));
+    EXPECT_EQ(diagnostic, "<inconclusive>");
+
+    // Sanity: without the deadline the same pair fails conclusively.
+    std::string diff;
+    EXPECT_FALSE(checkModuleEquivalence(lhs, rhs, "f", {}, &diff));
 }
 
 TEST(CertificateTest, RecordsCoverTheExtractionPath)

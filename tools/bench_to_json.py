@@ -19,17 +19,28 @@ summary section with before/after speedups. Two modes:
       naive:1 runs the from-scratch extraction bounds, naive:0 the
       maintained cost-bound analysis. Writes BENCH_extract.json.
 
+  --mode corpus (seer-corpus): runs the differential corpus harness
+      (--bench points at the seer-corpus binary; --seeds sets the
+      corpus size, extra harness flags go after "--"), or consumes an
+      existing run report with --report. The summary is the pass rate
+      and the failure taxonomy. Writes BENCH_corpus.json.
+
 Usage:
     tools/bench_to_json.py --bench build/bench/micro_egraph \
         [--mode egraph|passes] [--out BENCH_egraph.json] \
         [--min-time 0.05s] [--filter REGEX]
+    tools/bench_to_json.py --mode corpus --bench build/tools/seer-corpus \
+        --seeds 200 [--out BENCH_corpus.json] [-- --no-reference ...]
+    tools/bench_to_json.py --mode corpus --report corpus_run.json
 """
 
 import argparse
 import json
+import os
 import re
 import subprocess
 import sys
+import tempfile
 
 
 def run_benchmarks(bench, min_time, bench_filter):
@@ -108,7 +119,51 @@ def summarize_passes(benchmarks):
     return summary
 
 
+def run_corpus(bench, seeds, extra_args):
+    """Run seer-corpus and return its JSON run report."""
+    fd, path = tempfile.mkstemp(suffix=".json", prefix="seer_corpus_")
+    os.close(fd)
+    try:
+        cmd = [bench, "--seeds", str(seeds), "--out", path, "--quiet"]
+        cmd += extra_args
+        proc = subprocess.run(cmd)
+        # 0 = all passed, 1 = failures found (the report still exists
+        # and records them); anything else is a harness error.
+        if proc.returncode not in (0, 1):
+            raise SystemExit(
+                f"seer-corpus failed ({proc.returncode})")
+        with open(path) as f:
+            return json.load(f)
+    finally:
+        os.unlink(path)
+
+
+def summarize_corpus(report):
+    return {
+        "total": report.get("total", 0),
+        "passed": report.get("passed", 0),
+        "failed": report.get("failed", 0),
+        "degraded": report.get("degraded", 0),
+        "timeouts": report.get("timeouts", 0),
+        "pass_rate": report.get("pass_rate", 0.0),
+        "taxonomy": report.get("taxonomy", {}),
+        "total_seconds": report.get("total_seconds", 0.0),
+        "case_seconds_mean":
+            report.get("timing", {}).get("case_seconds_mean", 0.0),
+    }
+
+
 def print_summary(mode, summary):
+    if mode == "corpus":
+        print(f"corpus: {summary['passed']}/{summary['total']} passed "
+              f"(pass rate {summary['pass_rate']:.4f}), "
+              f"{summary['failed']} failed, "
+              f"{summary['timeouts']} timed out, "
+              f"{summary['degraded']} degraded "
+              f"in {summary['total_seconds']:.1f}s")
+        for kind, count in sorted(summary["taxonomy"].items()):
+            print(f"  {kind}: {count}")
+        return
     if mode != "passes":
         for base, entry in sorted(summary.items()):
             print(f"{base}: {entry['speedup']:.2f}x "
@@ -125,18 +180,53 @@ def print_summary(mode, summary):
 
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--bench", required=True,
-                        help="path to the benchmark binary")
-    parser.add_argument("--mode", choices=("egraph", "passes", "extract"),
+    parser.add_argument("--bench", default=None,
+                        help="path to the benchmark binary (or the "
+                             "seer-corpus binary with --mode corpus)")
+    parser.add_argument("--mode",
+                        choices=("egraph", "passes", "extract",
+                                 "corpus"),
                         default="egraph")
     parser.add_argument("--out", default=None,
                         help="output path (default BENCH_<mode>.json)")
     parser.add_argument("--min-time", default="0.05s")
     parser.add_argument("--filter", default=None,
                         help="--benchmark_filter regex")
+    parser.add_argument("--seeds", type=int, default=100,
+                        help="corpus size (--mode corpus)")
+    parser.add_argument("--report", default=None,
+                        help="existing seer-corpus run report to "
+                             "convert instead of running the harness "
+                             "(--mode corpus)")
+    parser.add_argument("extra", nargs="*",
+                        help="extra flags passed through to "
+                             "seer-corpus after '--'")
     args = parser.parse_args()
     out_path = args.out or f"BENCH_{args.mode}.json"
 
+    if args.mode == "corpus":
+        if args.report:
+            with open(args.report) as f:
+                report = json.load(f)
+        elif args.bench:
+            report = run_corpus(args.bench, args.seeds, args.extra)
+        else:
+            raise SystemExit("--mode corpus needs --bench or --report")
+        out = {
+            "generated_by": "tools/bench_to_json.py",
+            "mode": "corpus",
+            "corpus": report,
+            "summary": summarize_corpus(report),
+        }
+        with open(out_path, "w") as f:
+            json.dump(out, f, indent=2)
+            f.write("\n")
+        print_summary("corpus", out["summary"])
+        print(f"wrote {out_path}")
+        return 0
+
+    if not args.bench:
+        raise SystemExit("--bench is required")
     raw = run_benchmarks(args.bench, args.min_time, args.filter)
     benchmarks = [
         {key: bench[key]

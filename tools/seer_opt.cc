@@ -15,6 +15,7 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -48,7 +49,8 @@ usage()
     std::cerr <<
         "usage: seer-opt [options] <input.seer>\n"
         "\n"
-        "options:\n"
+        "options (value-taking flags accept both '--flag V' and "
+        "'--flag=V'):\n"
         "  --func NAME        function to optimize (default: first)\n"
         "  --no-rover         disable datapath rules (the paper's "
         "SEER (C))\n"
@@ -158,17 +160,34 @@ crashRule()
 bool
 parseArgs(int argc, char **argv, CliOptions &options)
 {
-    for (int i = 1; i < argc; ++i) {
-        std::string arg = argv[i];
+    std::vector<std::string> args(argv + 1, argv + argc);
+    for (size_t i = 0; i < args.size(); ++i) {
+        std::string arg = args[i];
+        // GNU-style --flag=value: split so both spellings hit the same
+        // validation (a bad number in either reports "bad number", not
+        // "unknown option").
+        std::optional<std::string> inline_value;
+        if (arg.size() > 2 && arg[0] == '-' && arg[1] == '-') {
+            size_t eq = arg.find('=');
+            if (eq != std::string::npos) {
+                inline_value = arg.substr(eq + 1);
+                arg.resize(eq);
+            }
+        }
         bool bad_value = false;
         auto next = [&]() -> std::string {
-            if (i + 1 >= argc) {
+            if (inline_value) {
+                std::string value = *inline_value;
+                inline_value.reset();
+                return value;
+            }
+            if (i + 1 >= args.size()) {
                 std::cerr << "seer-opt: missing value for " << arg
                           << "\n";
                 bad_value = true;
                 return "";
             }
-            return argv[++i];
+            return args[++i];
         };
         auto next_int = [&]() -> int64_t {
             std::string text = next();
@@ -278,6 +297,11 @@ parseArgs(int argc, char **argv, CliOptions &options)
         }
         if (bad_value)
             return false;
+        if (inline_value) {
+            std::cerr << "seer-opt: option " << arg
+                      << " does not take a value\n";
+            return false;
+        }
     }
     if (options.input_file.empty()) {
         std::cerr << "seer-opt: no input file given\n";
