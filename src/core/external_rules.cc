@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <cstring>
+#include <new>
 #include <set>
 
 #include "core/verify.h"
@@ -225,7 +226,7 @@ evalConfig(const ContextPtr &ctx)
     config.validation_runs = ctx->validation_runs;
     config.validation_seed = ctx->validation_seed;
     config.hls = ctx->hls;
-    config.deadline = ctx->deadline;
+    config.exec = ctx->exec;
     return config;
 }
 
@@ -243,9 +244,10 @@ consultSnippet(const ContextPtr &ctx, const char *rule,
                const std::function<bool(ir::Operation &)> &transform,
                const char *law)
 {
-    // Deadline propagation: once the driver's whole-run budget is
-    // spent, stop launching snippet/pass work entirely.
-    if (ctx->deadline && Clock::now() >= *ctx->deadline)
+    // Cancellation propagation: once the driver's whole-run budget
+    // (deadline, memory, signal) is spent, stop launching snippet/pass
+    // work entirely.
+    if (ctx->exec.canceled())
         return std::nullopt;
 
     uint64_t key = passKeyFor(ctx, rule, term);
@@ -279,7 +281,7 @@ consultSnippet(const ContextPtr &ctx, const char *rule,
             std::chrono::duration<double>(Clock::now() - t0).count();
     }
     if (!outcome)
-        return std::nullopt; // canceled by the deadline: not an outcome
+        return std::nullopt; // evaluation canceled: not an outcome
 
     switch (outcome->status) {
     case PassOutcome::Status::NotApplied:
@@ -376,9 +378,7 @@ makeSnippetRule(ContextPtr ctx, SnippetRuleSpec spec)
             cache->clearOutcomes();
             ctx->last_staging_tick = egraph.tick();
         }
-        auto past = [&ctx] {
-            return ctx->deadline && Clock::now() >= *ctx->deadline;
-        };
+        auto past = [&ctx] { return ctx->exec.canceled(); };
         if (past())
             return;
         // Collect this iteration's unique, uncached candidates.
@@ -410,12 +410,20 @@ makeSnippetRule(ContextPtr ctx, SnippetRuleSpec spec)
         parallelFor(
             batch.size(), ctx->jobs,
             [&](size_t i) {
-                auto outcome =
-                    evaluateSnippet(batch[i].second, batch[i].first,
-                                    spec.transform, config, *cache);
-                if (outcome) {
-                    cache->insertPass(batch[i].first,
-                                      std::move(*outcome));
+                // Jobs must not throw (worker-thread contract): an
+                // evaluation that crashes or fails to allocate is
+                // simply not cached — the serial consult re-evaluates
+                // inline, where the runner's containment applies.
+                try {
+                    auto outcome =
+                        evaluateSnippet(batch[i].second, batch[i].first,
+                                        spec.transform, config, *cache);
+                    if (outcome) {
+                        cache->insertPass(batch[i].first,
+                                          std::move(*outcome));
+                    }
+                } catch (const FatalError &) {
+                } catch (const std::bad_alloc &) {
                 }
             },
             past);

@@ -80,13 +80,13 @@ struct ExternalRuleContext
     /** Diagnostics for the first few rejections (health reporting). */
     std::vector<std::string> rejections;
 
-    /** Whole-run wall-clock deadline: once expired, external rules stop
-     *  launching new snippet/pass work and report "does not apply".
-     *  Propagated into running evaluations as a cooperative cancel:
-     *  long co-simulations stop shortly after expiry instead of
-     *  draining their full step budget, and a canceled evaluation is
-     *  never cached. */
-    std::optional<std::chrono::steady_clock::time_point> deadline;
+    /** Whole-run governance context (deadline, memory budget, signal):
+     *  once canceled, external rules stop launching new snippet/pass
+     *  work and report "does not apply". Propagated into running
+     *  evaluations as a cooperative cancel: long co-simulations stop
+     *  shortly after cancellation instead of draining their full step
+     *  budget, and a canceled evaluation is never cached. */
+    ExecContext exec;
 
     /**
      * The memoized-evaluation layer. When set, every rule gains a

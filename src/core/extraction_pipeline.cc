@@ -20,6 +20,7 @@ optionsFor(const ExtractionPhase &phase, eg::ExtractStats &stats)
     options.naive = phase.extractor == ExtractorKind::Naive;
     options.budget = phase.budget;
     options.stats = &stats;
+    options.exec = phase.exec;
     return options;
 }
 

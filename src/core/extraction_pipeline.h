@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "egraph/extract.h"
+#include "support/exec_context.h"
 
 namespace seer::core {
 
@@ -54,6 +55,9 @@ struct ExtractionPhase
     bool refine = false;
     /** Exact-extractor search budget (expansions). */
     size_t budget = 200000;
+    /** Governance threaded into the extractors (memory accounting +
+     *  cancellation mid-search); inert by default. */
+    ExecContext exec;
 };
 
 /** Per-phase report (the "extraction" section of --stats). */

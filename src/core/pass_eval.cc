@@ -4,8 +4,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <new>
 #include <set>
 #include <sstream>
+
+#include <fcntl.h>
+#include <unistd.h>
 
 #include "core/verify.h"
 #include "ir/analysis.h"
@@ -16,6 +20,7 @@
 #include "seerlang/from_term.h"
 #include "seerlang/to_term.h"
 #include "support/error.h"
+#include "support/fault_inject.h"
 #include "support/hashing.h"
 
 namespace seer::core {
@@ -80,9 +85,7 @@ evaluateImpl(const TermPtr &term,
 {
     PassOutcome out;
     Clock::time_point stamp = Clock::now();
-    auto expired = [&config] {
-        return config.deadline && Clock::now() >= *config.deadline;
-    };
+    auto expired = [&config] { return config.exec.canceled(); };
 
     sl::EmitSpec spec = sl::inferSpec(term, "snippet");
     std::set<std::string> arg_names;
@@ -118,6 +121,15 @@ evaluateImpl(const TermPtr &term,
         renameArgsToVars(translation.term->child(0), var_args);
     charge.translate_seconds += secondsSince(stamp);
 
+    // Chaos: a pass that "succeeded" but emitted nonsense. Fired before
+    // the validation gate, which is exactly the layer whose job it is
+    // to keep such output from ever reaching the e-graph; should the
+    // gate wave it through as inconclusive, downstream emission falls
+    // back to the original term — the degraded-mode contract holds
+    // either way.
+    if (faultFire(FaultPoint::PassEvalGarbage))
+        replacement = eg::makeTerm("chaos.garbage");
+
     // Validation gate (fault isolation): the transformed snippet must
     // pass the structural verifier and the before/after terms must
     // co-simulate on deterministic pseudo-random inputs. Equivalence
@@ -140,7 +152,7 @@ evaluateImpl(const TermPtr &term,
             verify_options.runs = config.validation_runs;
             verify_options.seed = config.validation_seed;
             verify_options.max_steps = kValidationMaxSteps;
-            verify_options.deadline = config.deadline;
+            verify_options.exec = config.exec;
             std::string eq_diag;
             bool ok = checkTermEquivalence(term, replacement,
                                            verify_options, &eq_diag);
@@ -203,15 +215,27 @@ evaluateSnippet(const TermPtr &term, uint64_t key,
     // deterministic function of (term, rule, config) — on any thread,
     // in any process.
     sl::NameScope scope(key);
+    // Chaos: a pass binary that crashes outright. Thrown before any
+    // pipeline work so it exercises the caller's containment (dynamic
+    // rules quarantine a repeatedly crashing pass).
+    if (faultFire(FaultPoint::PassEvalCrash))
+        throw FatalError("injected pass-evaluation crash");
     ExternalEvalCache::EvalCharge charge;
     PassOutcome out;
     try {
         out = evaluateImpl(term, transform, config, cache, charge);
     } catch (const FatalError &) {
         out = PassOutcome{}; // untranslatable shape: rule does not apply
+    } catch (const std::bad_alloc &) {
+        out = PassOutcome{}; // allocation failure: contained, not cached
+        charge.canceled = true;
+        cache.chargeEvaluation(charge);
+        return std::nullopt;
     }
-    bool canceled =
-        config.deadline && Clock::now() >= *config.deadline;
+    // Chaos: a pass that hangs until the watchdog gives up — modeled as
+    // a cancellation, so the outcome is discarded and never cached.
+    bool canceled = config.exec.canceled() ||
+                    faultFire(FaultPoint::PassEvalTimeout);
     charge.canceled = canceled;
     cache.chargeEvaluation(charge);
     if (canceled)
@@ -243,9 +267,45 @@ verifyKey(const TermPtr &lhs, const TermPtr &rhs, int runs, uint64_t seed,
 
 // --- ExternalEvalCache ----------------------------------------------------
 
+namespace {
+
+/** Approximate retained bytes of one memoized pass outcome. */
+int64_t
+outcomeBytes(const PassOutcome &outcome)
+{
+    int64_t bytes = static_cast<int64_t>(sizeof(PassOutcome)) + 64;
+    bytes += static_cast<int64_t>(outcome.detail.size());
+    if (outcome.replacement)
+        bytes += 256; // shared term DAG, order-of-magnitude estimate
+    bytes += static_cast<int64_t>(outcome.schedule.size()) * 128;
+    return bytes;
+}
+
+constexpr int64_t kVerdictBytes = 96;
+
+} // namespace
+
+void
+ExternalEvalCache::setExecContext(const ExecContext &exec)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    exec_ = exec;
+}
+
+void
+ExternalEvalCache::chargeLocked(int64_t delta)
+{
+    charged_bytes_ += delta;
+    exec_.chargeMem(MemSubsystem::Caches, delta);
+}
+
 std::optional<PassOutcome>
 ExternalEvalCache::lookupPass(uint64_t key, bool count)
 {
+    // Chaos: a corrupted cache read surfaces as a miss — the entry is
+    // re-evaluated from scratch, never trusted.
+    if (faultFire(FaultPoint::CacheRead))
+        return std::nullopt;
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = pass_.find(key);
     if (it == pass_.end())
@@ -271,7 +331,10 @@ void
 ExternalEvalCache::insertPass(uint64_t key, PassOutcome outcome)
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    pass_.insert_or_assign(key, std::move(outcome));
+    int64_t bytes = outcomeBytes(outcome);
+    auto [it, inserted] = pass_.insert_or_assign(key, std::move(outcome));
+    if (inserted)
+        chargeLocked(bytes);
 }
 
 std::optional<VerifyVerdict>
@@ -290,8 +353,18 @@ ExternalEvalCache::lookupVerify(uint64_t key)
 void
 ExternalEvalCache::insertVerify(uint64_t key, VerifyVerdict verdict)
 {
+    // Chaos: memoizing this verdict fails to allocate. Contained by
+    // evaluateSnippet's allocation guard — the evaluation is discarded
+    // (never half-cached) and the caller treats it as canceled.
+    if (faultFire(FaultPoint::CacheAlloc))
+        throw std::bad_alloc();
     std::lock_guard<std::mutex> lock(mutex_);
-    verify_.insert_or_assign(key, std::move(verdict));
+    int64_t bytes = kVerdictBytes +
+                    static_cast<int64_t>(verdict.diag.size());
+    auto [it, inserted] =
+        verify_.insert_or_assign(key, std::move(verdict));
+    if (inserted)
+        chargeLocked(bytes);
 }
 
 void
@@ -300,6 +373,7 @@ ExternalEvalCache::clearOutcomes()
     std::lock_guard<std::mutex> lock(mutex_);
     pass_.clear();
     verify_.clear();
+    chargeLocked(-charged_bytes_);
 }
 
 void
@@ -364,7 +438,24 @@ ExternalEvalCache::stats() const
 
 namespace {
 
-constexpr const char *kCacheHeader = "seer-pass-cache v1";
+constexpr const char *kCacheHeader = "seer-pass-cache v2";
+
+/**
+ * FNV-1a over the serialized body (header + records). Written as a
+ * trailing "C <hex>" line and re-checked on load, so a torn or
+ * truncated file — a crash mid-write, a partial copy — is rejected
+ * whole instead of silently adopting a prefix.
+ */
+uint64_t
+fnv1a(const std::string &text)
+{
+    uint64_t h = 14695981039346656037ull;
+    for (unsigned char c : text) {
+        h ^= c;
+        h *= 1099511628211ull;
+    }
+    return h;
+}
 
 std::string
 escapeField(const std::string &text)
@@ -508,14 +599,15 @@ ExternalEvalCache::loadFile(const std::string &path, std::string *error)
 {
     if (error)
         error->clear();
-    std::ifstream in(path);
-    if (!in)
+    std::ifstream file(path, std::ios::binary);
+    if (!file)
         return 0; // absent: a cold start, not an error
 
     auto corrupt = [&](const std::string &why) -> size_t {
         std::lock_guard<std::mutex> lock(mutex_);
         pass_.clear();
         verify_.clear();
+        chargeLocked(-charged_bytes_);
         stats_.disk_load_failed = true;
         stats_.disk_entries_loaded = 0;
         if (error)
@@ -523,6 +615,29 @@ ExternalEvalCache::loadFile(const std::string &path, std::string *error)
         return 0;
     };
 
+    std::string content{std::istreambuf_iterator<char>(file),
+                        std::istreambuf_iterator<char>()};
+    if (file.bad())
+        return corrupt("read error");
+
+    // The last line must be the whole-file checksum; everything before
+    // it is the body the checksum covers. A file that lost its tail —
+    // torn write, truncation — fails here before any entry is adopted.
+    if (content.empty() || content.back() != '\n')
+        return corrupt("truncated (missing trailing checksum)");
+    size_t nl = content.rfind('\n', content.size() - 2);
+    size_t tail = (nl == std::string::npos) ? 0 : nl + 1;
+    std::string check_line =
+        content.substr(tail, content.size() - 1 - tail);
+    uint64_t stored = 0;
+    if (check_line.size() < 3 || check_line.compare(0, 2, "C ") != 0 ||
+        !parseU64Hex(check_line.substr(2), &stored))
+        return corrupt("truncated (missing trailing checksum)");
+    std::string body = content.substr(0, tail);
+    if (fnv1a(body) != stored)
+        return corrupt("checksum mismatch");
+
+    std::istringstream in(body);
     std::string line;
     if (!std::getline(in, line) || line != kCacheHeader)
         return corrupt("bad header");
@@ -605,10 +720,19 @@ ExternalEvalCache::loadFile(const std::string &path, std::string *error)
 
     size_t loaded = pass.size() + verify.size();
     std::lock_guard<std::mutex> lock(mutex_);
-    for (auto &[key, outcome] : pass)
-        pass_.insert_or_assign(key, std::move(outcome));
-    for (auto &[key, verdict] : verify)
-        verify_.insert_or_assign(key, verdict);
+    for (auto &[key, outcome] : pass) {
+        int64_t bytes = outcomeBytes(outcome);
+        auto [it, inserted] =
+            pass_.insert_or_assign(key, std::move(outcome));
+        if (inserted)
+            chargeLocked(bytes);
+    }
+    for (auto &[key, verdict] : verify) {
+        auto [it, inserted] = verify_.insert_or_assign(key, verdict);
+        if (inserted)
+            chargeLocked(kVerdictBytes +
+                         static_cast<int64_t>(verdict.diag.size()));
+    }
     stats_.disk_entries_loaded = loaded;
     return loaded;
 }
@@ -626,12 +750,10 @@ ExternalEvalCache::saveFile(const std::string &path,
         pass = pass_;
         verify = verify_;
     }
-    std::ofstream out(path, std::ios::trunc);
-    if (!out) {
-        if (error)
-            *error = "cannot write pass cache '" + path + "'";
-        return false;
-    }
+    // Serialize the body in memory first: the checksum covers every
+    // byte that will precede it, and the file is then written in one
+    // stream without interleaved reads of mutable state.
+    std::ostringstream out;
     out << kCacheHeader << '\n';
     // Sorted keys: the artifact is byte-stable across runs.
     std::vector<uint64_t> keys;
@@ -661,12 +783,41 @@ ExternalEvalCache::saveFile(const std::string &path,
             << static_cast<int>(verdict.result) << ' '
             << escapeField(verdict.diag) << '\n';
     }
-    out.flush();
-    if (!out) {
+    std::string body = out.str();
+
+    // Atomic persistence: write body + checksum to a sibling temp file,
+    // fsync it, then rename over the target. A crash at any point
+    // leaves either the old cache or the new one — never a torn file
+    // (and a torn temp file can never pass the checksum anyway).
+    std::string tmp = path + ".tmp";
+    auto fail = [&](const std::string &why) {
+        std::remove(tmp.c_str());
         if (error)
-            *error = "short write to pass cache '" + path + "'";
+            *error = why + " '" + path + "'";
         return false;
+    };
+    {
+        std::ofstream file(tmp, std::ios::trunc | std::ios::binary);
+        if (!file)
+            return fail("cannot write pass cache");
+        file << body << "C " << keyHex(fnv1a(body)) << '\n';
+        file.flush();
+        if (!file)
+            return fail("short write to pass cache");
     }
+    int fd = ::open(tmp.c_str(), O_WRONLY);
+    if (fd < 0)
+        return fail("cannot reopen pass cache temp for");
+    bool synced = ::fsync(fd) == 0;
+    ::close(fd);
+    if (!synced)
+        return fail("fsync failed for pass cache");
+    // Chaos: the process dies between writing the temp file and
+    // publishing it — the visible cache must be the previous one.
+    if (faultFire(FaultPoint::CacheSave))
+        return fail("injected crash before pass cache rename");
+    if (std::rename(tmp.c_str(), path.c_str()) != 0)
+        return fail("cannot publish pass cache");
     return true;
 }
 

@@ -40,6 +40,7 @@
 
 #include "core/cost.h"
 #include "hls/hls.h"
+#include "support/exec_context.h"
 #include "support/json.h"
 
 namespace seer::ir {
@@ -137,6 +138,11 @@ class ExternalEvalCache
 
     bool persistent() const { return persistent_; }
 
+    /** Attach a governance context: memoized entries are accounted
+     *  against MemSubsystem::Caches on its governor (approximate
+     *  per-entry byte estimates; credited back on clearOutcomes). */
+    void setExecContext(const ExecContext &exec);
+
     /** Pass-outcome lookup. `count` tallies a hit in the stats. */
     std::optional<PassOutcome> lookupPass(uint64_t key,
                                           bool count = false);
@@ -172,17 +178,30 @@ class ExternalEvalCache
     /**
      * Load a persisted cache. Returns the number of entries adopted;
      * 0 with *error set when the file is unreadable or corrupt — the
-     * cache is then left empty (cold start), never half-loaded.
+     * cache is then left empty (cold start), never half-loaded. Files
+     * must carry a valid trailing checksum line; a truncated or torn
+     * file is rejected as corrupt, never partially adopted.
      */
     size_t loadFile(const std::string &path, std::string *error);
+    /**
+     * Persist atomically: the cache is serialized (with a trailing
+     * whole-file checksum) to `path + ".tmp"`, flushed and fsync'd,
+     * then renamed over `path`. A crash mid-save leaves the previous
+     * file intact; readers never observe a torn cache.
+     */
     bool saveFile(const std::string &path, std::string *error) const;
 
   private:
+    /** Account `delta` bytes to the Caches subsystem (mutex_ held). */
+    void chargeLocked(int64_t delta);
+
     mutable std::mutex mutex_;
     bool persistent_;
     std::unordered_map<uint64_t, PassOutcome> pass_;
     std::unordered_map<uint64_t, VerifyVerdict> verify_;
     ExternalEvalStats stats_;
+    ExecContext exec_;
+    int64_t charged_bytes_ = 0;
 };
 
 using EvalCachePtr = std::shared_ptr<ExternalEvalCache>;
@@ -196,8 +215,8 @@ struct SnippetEvalConfig
     /** Scheduling options for the oracle stage. */
     hls::HlsOptions hls;
     /** Cooperative cancellation: checked between stages and inside the
-     *  co-simulation; an expired evaluation is discarded, not cached. */
-    std::optional<std::chrono::steady_clock::time_point> deadline;
+     *  co-simulation; a canceled evaluation is discarded, not cached. */
+    ExecContext exec;
 };
 
 /**
@@ -206,9 +225,10 @@ struct SnippetEvalConfig
  * cache key so distinct rules/configs draw distinct name streams) and
  * `cache` serves the verification sub-cache and accumulates stats.
  *
- * Returns nullopt when the deadline expired mid-evaluation: a
- * truncated result is budget-dependent, not content-dependent, and
- * must never be cached. Thread-safe; called from the worker pool.
+ * Returns nullopt when the context was canceled mid-evaluation
+ * (deadline, memory budget, signal): a truncated result is
+ * budget-dependent, not content-dependent, and must never be cached.
+ * Thread-safe; called from the worker pool.
  */
 std::optional<PassOutcome>
 evaluateSnippet(const eg::TermPtr &term, uint64_t key,

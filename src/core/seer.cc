@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <functional>
+#include <new>
 #include <optional>
 
 #include "ir/printer.h"
@@ -13,6 +14,7 @@
 #include "seerlang/from_term.h"
 #include "seerlang/to_term.h"
 #include "support/error.h"
+#include "support/fault_inject.h"
 #include "support/hashing.h"
 
 namespace seer::core {
@@ -158,16 +160,49 @@ optimize(const ir::Module &input, const std::string &func_name,
 {
     using Clock = std::chrono::steady_clock;
     auto start = Clock::now();
-    std::optional<Clock::time_point> deadline;
-    if (options.deadline_seconds > 0) {
-        deadline = start + std::chrono::duration_cast<Clock::duration>(
-                               std::chrono::duration<double>(
-                                   options.deadline_seconds));
+
+    // Unified governance: one context carries the wall-clock deadline,
+    // the memory budget (via its ResourceGovernor) and any external
+    // cancellation (SIGINT through the process-global signal flag, or a
+    // caller-provided context). Everything downstream — runner phases,
+    // external-pass evaluation, the interpreter, extraction — polls
+    // this one object.
+    ExecContext exec =
+        options.exec.valid() ? options.exec : ExecContext::make();
+    if (options.deadline_seconds > 0)
+        exec.setDeadlineIn(options.deadline_seconds);
+    if (!exec.governor()) {
+        // Always attach a governor: budget 0 means accounting only, so
+        // the "resource" stats section is populated on every run.
+        exec.setGovernor(
+            std::make_shared<ResourceGovernor>(options.mem_budget_bytes));
     }
-    auto past_deadline = [&] {
-        return deadline && Clock::now() >= *deadline;
+
+    // Map a cancellation onto the health report. A plain deadline keeps
+    // its historical meaning (deadline_hit, not degraded: the budget
+    // was honored, the result is simply the best found in time); a
+    // memory-budget breach or an external cancel degrades the run.
+    auto note_cancellation = [&](SeerResult &result) {
+        CancelReason reason = exec.reason();
+        if (reason == CancelReason::None)
+            return;
+        bool first = result.stats.cancel_reason.empty();
+        result.stats.cancel_reason = cancelReasonName(reason);
+        if (reason == CancelReason::Deadline) {
+            result.stats.deadline_hit = true;
+        } else if (first && reason == CancelReason::MemBudget) {
+            recordRecovered(result.stats,
+                            "memory budget breached; degraded to the "
+                            "best result found within budget");
+        } else if (first && reason == CancelReason::External) {
+            recordRecovered(result.stats,
+                            "canceled by external request (signal)");
+        }
     };
     auto finish = [&](SeerResult &result) {
+        note_cancellation(result);
+        if (exec.governor())
+            result.stats.resource = exec.governor()->stats();
         result.stats.total_seconds =
             std::chrono::duration<double>(Clock::now() - start).count();
         result.stats.time_in_egraph_seconds =
@@ -211,7 +246,7 @@ optimize(const ir::Module &input, const std::string &func_name,
     context->validate_results = options.validate_external;
     context->validation_runs = options.validation_runs;
     context->validation_seed = options.validation_seed;
-    context->deadline = deadline;
+    context->exec = exec;
     // Memoized + parallel external-pass evaluation. A shared cache (a
     // sweep over one kernel) wins over per-run construction; otherwise
     // the cache is persistent (memoizing) or an iteration-scoped
@@ -233,6 +268,7 @@ optimize(const ir::Module &input, const std::string &func_name,
         }
     }
     context->eval_cache = eval_cache;
+    eval_cache->setExecContext(exec);
     context->jobs = options.jobs > 0 ? options.jobs : 1;
     // Stats snapshots: a shared cache accumulates across optimize()
     // calls, so this run reports deltas against entry values.
@@ -269,6 +305,7 @@ optimize(const ir::Module &input, const std::string &func_name,
     static const eg::TermSizeCost term_size;
 
     EGraph egraph(rover::roverAnalysisHooks());
+    egraph.setExecContext(exec);
     if (!options.naive_extract) {
         // Every cost model used anywhere in the run: the two extraction
         // phases, analysis-friendly local extraction inside external
@@ -278,15 +315,30 @@ optimize(const ir::Module &input, const std::string &func_name,
         eg::registerCostBound(egraph, context->friendly_cost);
         eg::registerCostBound(egraph, term_size);
     }
-    EClassId root = egraph.addTerm(translation.term);
-    egraph.rebuild();
+    EClassId root{};
+    try {
+        root = egraph.addTerm(translation.term);
+        egraph.rebuild();
+    } catch (const std::bad_alloc &) {
+        // Cannot even seed the e-graph: degrade to the pre-normalized
+        // (verified) input instead of propagating the failure.
+        if (options.strict)
+            throw;
+        result.module = std::move(working);
+        result.original_term = translation.term;
+        recordRecovered(result.stats,
+                        "initial e-graph construction failed: "
+                        "allocation failure (contained)");
+        finish(result);
+        return result;
+    }
 
     result.original_term = translation.term;
 
     eg::RunnerOptions runner_options = options.runner;
     runner_options.catch_rule_errors = !options.strict;
     runner_options.quarantine_after = options.quarantine_after;
-    runner_options.deadline = deadline;
+    runner_options.exec = exec;
     // One -j knob drives both parallel stages: e-matching and the
     // external-pass worker pool (both deterministic by construction).
     runner_options.match_threads = context->jobs;
@@ -342,6 +394,10 @@ optimize(const ir::Module &input, const std::string &func_name,
             eg::Runner runner(egraph, runner_options);
             add_rules(runner);
             report = runner.run();
+            // Chaos: a fault between exploration and commit — the
+            // whole phase must roll back, leaving no partial e-graph.
+            if (faultFire(FaultPoint::RollbackMidPhase))
+                fatal("injected mid-phase fault");
             // Budget sanity: the runner stops *at* max_nodes, but one
             // pathological dynamic result can overshoot hugely.
             if (egraph.numNodes() > 4 * runner_options.max_nodes)
@@ -364,15 +420,27 @@ optimize(const ir::Module &input, const std::string &func_name,
             recordRecovered(result.stats,
                             std::string(label) +
                                 " phase rolled back: " + err.what());
+        } catch (const std::bad_alloc &) {
+            // Allocation failure anywhere in the phase: the journal
+            // checkpoint still holds, so the phase is undone wholesale
+            // and optimize() keeps its no-throw contract.
+            if (options.strict)
+                throw;
+            egraph.rollback(cp);
+            ++result.stats.phase_rollbacks;
+            if (report)
+                absorb_health(*report);
+            recordRecovered(result.stats,
+                            std::string(label) +
+                                " phase rolled back: allocation "
+                                "failure (contained)");
         }
     };
 
     // Interleaved exploration (Section 4.4).
     for (int phase = 0; phase < options.max_phases; ++phase) {
-        if (past_deadline()) {
-            result.stats.deadline_hit = true;
-            break;
-        }
+        if (exec.canceled())
+            break; // reason reported by note_cancellation in finish()
         size_t applied_this_phase = 0;
         // Rover rounds change class contents, so retry external rules
         // freshly each phase.
@@ -400,8 +468,6 @@ optimize(const ir::Module &input, const std::string &func_name,
     }
     result.stats.rejected_externals = context->rejected_results;
     result.stats.rejection_details = context->rejections;
-    if (past_deadline())
-        result.stats.deadline_hit = true;
 
     // Two-phase extraction (Section 4.6) as a composable pipeline:
     // phase 1 pins the control skeleton under the latency cost (Eqn 3),
@@ -417,19 +483,35 @@ optimize(const ir::Module &input, const std::string &func_name,
                                       : ExtractorKind::Greedy);
     ExtractionPipeline pipeline;
     pipeline.addPhase({"control-latency", &latency, control_kind,
-                       /*refine=*/false, /*budget=*/200000});
+                       /*refine=*/false, /*budget=*/200000, exec});
     pipeline.addPhase({"datapath-area", &context->area_cost,
                        datapath_kind, /*refine=*/true,
-                       /*budget=*/200000});
-    ExtractionReport extraction =
-        pipeline.run(egraph, root, past_deadline);
+                       /*budget=*/200000, exec});
+    // Extraction under governance: a canceled context stops the
+    // pipeline between phases and bounds the exact search from inside
+    // (best-so-far, never optimal-or-nothing). A crash or allocation
+    // failure degrades to emitting the original program.
+    ExtractionReport extraction;
+    try {
+        extraction =
+            pipeline.run(egraph, root, [&] { return exec.canceled(); });
+    } catch (const FatalError &err) {
+        if (options.strict)
+            throw;
+        extraction.infeasible = true;
+        recordRecovered(result.stats,
+                        std::string("extraction failed: ") + err.what());
+    } catch (const std::bad_alloc &) {
+        if (options.strict)
+            throw;
+        extraction.infeasible = true;
+        recordRecovered(result.stats,
+                        "extraction failed: allocation failure "
+                        "(contained)");
+    }
     result.stats.extraction = extraction.phases;
     TermPtr final_term;
     if (!extraction.infeasible) {
-        for (const ExtractionPhaseStats &phase : extraction.phases) {
-            if (!phase.ran) // deadline cut refinement short
-                result.stats.deadline_hit = true;
-        }
         final_term = extraction.term;
     } else {
         if (options.strict)
@@ -455,23 +537,35 @@ optimize(const ir::Module &input, const std::string &func_name,
         ir::verifyOrDie(module);
         return module;
     };
-    try {
-        result.module = emit(final_term);
-    } catch (const FatalError &err) {
-        if (options.strict)
-            throw;
-        recordRecovered(result.stats,
-                        std::string("emission of the extracted term "
-                                    "failed: ") +
-                            err.what());
+    auto emit_guarded = [&](const TermPtr &term,
+                            std::string *why) -> std::optional<ir::Module> {
         try {
-            result.module = emit(translation.term);
+            return emit(term);
+        } catch (const FatalError &err) {
+            if (options.strict)
+                throw;
+            *why = err.what();
+        } catch (const std::bad_alloc &) {
+            if (options.strict)
+                throw;
+            *why = "allocation failure (contained)";
+        }
+        return std::nullopt;
+    };
+    std::string emit_why;
+    if (auto module = emit_guarded(final_term, &emit_why)) {
+        result.module = std::move(*module);
+    } else {
+        recordRecovered(result.stats,
+                        "emission of the extracted term failed: " +
+                            emit_why);
+        if (auto module = emit_guarded(translation.term, &emit_why)) {
+            result.module = std::move(*module);
             result.extracted_term = translation.term;
-        } catch (const FatalError &err2) {
+        } else {
             recordRecovered(result.stats,
-                            std::string("emission of the original term "
-                                        "failed: ") +
-                                err2.what());
+                            "emission of the original term failed: " +
+                                emit_why);
             result.module = std::move(working);
             result.extracted_term = nullptr;
         }
@@ -537,11 +631,13 @@ toJson(const SeerStats &stats)
         extraction.push(std::move(p));
     }
     out.set("extraction", std::move(extraction));
+    out.set("resource", toJson(stats.resource));
     out.set("degraded", stats.degraded);
     json::Value health{json::Object{}};
     health.set("degraded", stats.degraded);
     health.set("phase_rollbacks", stats.phase_rollbacks);
     health.set("deadline_hit", stats.deadline_hit);
+    health.set("cancel_reason", stats.cancel_reason);
     health.set("rejected_externals", stats.rejected_externals);
     json::Value quarantined{json::Array{}};
     for (const std::string &name : stats.quarantined_rules)

@@ -62,6 +62,24 @@ struct SeerOptions
     /** Whole-run wall-clock budget in seconds (0 = none). Propagated
      *  into every runner phase and into external pass execution. */
     double deadline_seconds = 0;
+    /**
+     * Whole-run memory budget in bytes (0 = accounting only, no limit).
+     * Tracked subsystems — e-graph storage, evaluation caches,
+     * interpreter buffers, exact-extraction memos — charge a shared
+     * ResourceGovernor; a breach cancels exploration cooperatively and
+     * degrades to best-so-far extraction instead of dying of OOM.
+     * Estimates are approximate (object-model bytes, not allocator
+     * truth): budget a margin below the hard limit.
+     */
+    uint64_t mem_budget_bytes = 0;
+    /**
+     * External governance context. When valid, optimize() threads it
+     * everywhere instead of making its own — the caller can share one
+     * context (and its governor/cancellation) across runs, and SIGINT
+     * handling installed by the CLI cancels mid-run. deadline_seconds
+     * and mem_budget_bytes are still applied to it when set.
+     */
+    ExecContext exec;
     /** Gate every external-pass result through the verifier + a
      *  before/after co-simulation before unioning it. */
     bool validate_external = true;
@@ -144,6 +162,12 @@ struct SeerStats
     size_t phase_rollbacks = 0;
     /** True when the whole-run deadline cut exploration short. */
     bool deadline_hit = false;
+    /** Why the run was canceled, if it was ("deadline", "mem-budget",
+     *  "external"); empty for an uncanceled run. */
+    std::string cancel_reason;
+    /** Per-subsystem memory accounting (the "resource" stats section);
+     *  budget breach implies degraded. */
+    ResourceStats resource;
     /** Errors caught and recovered from, "rule: what" / phase notes. */
     std::vector<std::string> recovered_errors;
     /** Rules the circuit breaker quarantined in any phase. */

@@ -116,6 +116,37 @@ unifySpecs(const sl::EmitSpec &a, const sl::EmitSpec &b)
 
 enum class RunStatus { Ok, Trap, Canceled };
 
+/** Approximate heap bytes of a set of runtime buffers. */
+int64_t
+bufferBytes(const std::vector<std::unique_ptr<ir::Buffer>> &buffers)
+{
+    int64_t total = 0;
+    for (const auto &buffer : buffers) {
+        total += static_cast<int64_t>(buffer->ints.size() * 8 +
+                                      buffer->floats.size() * 8 + 64);
+    }
+    return total;
+}
+
+/** RAII charge of interpreter-heap bytes against the context. */
+class ScopedInterpCharge
+{
+  public:
+    ScopedInterpCharge(const ExecContext &exec, int64_t bytes)
+        : exec_(exec), bytes_(bytes)
+    {
+        exec_.chargeMem(MemSubsystem::Interp, bytes_);
+    }
+    ~ScopedInterpCharge()
+    {
+        exec_.chargeMem(MemSubsystem::Interp, -bytes_);
+    }
+
+  private:
+    const ExecContext &exec_;
+    int64_t bytes_;
+};
+
 /** Execute a statement term on the given argument seed. */
 RunStatus
 runTerm(const TermPtr &statement, const sl::EmitSpec &spec, uint64_t seed,
@@ -129,11 +160,13 @@ runTerm(const TermPtr &statement, const sl::EmitSpec &spec, uint64_t seed,
     }
     std::vector<std::unique_ptr<ir::Buffer>> buffers;
     Rng rng(seed);
-    std::vector<ir::RtValue> args = buildArgs(spec, buffers, rng);
     ir::InterpOptions options;
     options.max_steps = verify_options.max_steps;
-    options.deadline = verify_options.deadline;
+    options.exec = verify_options.exec;
     try {
+        std::vector<ir::RtValue> args = buildArgs(spec, buffers, rng);
+        ScopedInterpCharge charge(verify_options.exec,
+                                  bufferBytes(buffers));
         ir::interpret(module, spec.func_name, std::move(args), options);
     } catch (const ir::InterpError &err) {
         // Cancellation is the *caller's* budget expiring, not evidence
@@ -141,6 +174,10 @@ runTerm(const TermPtr &statement, const sl::EmitSpec &spec, uint64_t seed,
         return err.isCancellation() ? RunStatus::Canceled
                                     : RunStatus::Trap;
     } catch (const FatalError &) {
+        return RunStatus::Trap;
+    } catch (const std::bad_alloc &) {
+        // Injected/genuine allocation failure while building buffers:
+        // an infrastructure fault, not evidence about the program.
         return RunStatus::Trap;
     }
     state = fingerprint(buffers);
@@ -175,9 +212,8 @@ checkTermEquivalence(const TermPtr &lhs, const TermPtr &rhs,
     int conclusive = 0;
     for (int run = 0; run < options.runs; ++run) {
         // Cooperative cancellation between runs (and, via
-        // InterpOptions::deadline, inside them).
-        if (options.deadline &&
-            std::chrono::steady_clock::now() >= *options.deadline)
+        // InterpOptions::exec, inside them).
+        if (options.exec.canceled())
             break;
         uint64_t seed = options.seed + 7919 * run;
         std::vector<int64_t> lhs_state, rhs_state;
@@ -273,11 +309,10 @@ checkModuleEquivalence(const ir::Module &lhs, const ir::Module &rhs,
     }
 
     for (int run = 0; run < options.runs; ++run) {
-        // Same discipline as checkTermEquivalence: an expired deadline
+        // Same discipline as checkTermEquivalence: a canceled context
         // stops before the next run, even when every run so far was
         // too short to hit the interpreter's own cancellation poll.
-        if (options.deadline &&
-            std::chrono::steady_clock::now() >= *options.deadline) {
+        if (options.exec.canceled()) {
             if (diagnostic)
                 *diagnostic = "<inconclusive>";
             return true;
@@ -286,6 +321,7 @@ checkModuleEquivalence(const ir::Module &lhs, const ir::Module &rhs,
         std::vector<std::unique_ptr<ir::Buffer>> lhs_buffers,
             rhs_buffers;
         std::vector<ir::RtValue> lhs_args, rhs_args;
+        try {
         if (prepare) {
             // Domain-aware workload: all arguments must be memrefs.
             std::vector<ir::Buffer> prepared;
@@ -314,7 +350,10 @@ checkModuleEquivalence(const ir::Module &lhs, const ir::Module &rhs,
         }
         ir::InterpOptions interp_options;
         interp_options.max_steps = options.max_steps;
-        interp_options.deadline = options.deadline;
+        interp_options.exec = options.exec;
+        ScopedInterpCharge charge(options.exec,
+                                  bufferBytes(lhs_buffers) +
+                                      bufferBytes(rhs_buffers));
         try {
             ir::interpret(lhs, func_name, std::move(lhs_args),
                           interp_options);
@@ -336,6 +375,13 @@ checkModuleEquivalence(const ir::Module &lhs, const ir::Module &rhs,
         } catch (const FatalError &err) {
             if (diagnostic)
                 *diagnostic = std::string("trap: ") + err.what();
+            return false;
+        }
+        } catch (const std::bad_alloc &) {
+            // Allocation failure while building the workload or running
+            // either side: contained as a trap, not a crash.
+            if (diagnostic)
+                *diagnostic = "trap: allocation failure (contained)";
             return false;
         }
         if (fingerprint(lhs_buffers) != fingerprint(rhs_buffers)) {

@@ -16,6 +16,7 @@
 #include <optional>
 
 #include "core/seer.h"
+#include "support/exec_context.h"
 #include "support/rng.h"
 
 namespace seer::core {
@@ -29,13 +30,14 @@ struct VerifyOptions
     /**
      * Cooperative cancellation: checked before each run and polled
      * inside the interpreter, so a check never outlives the caller's
-     * wall-clock budget by more than a few thousand interpreter steps.
-     * An expired check can report acceptance with zero conclusive runs
-     * ("<inconclusive>") — callers with a deadline must re-check the
-     * clock before treating the verdict as meaningful (and must never
-     * cache it).
+     * budget (deadline, memory, SIGINT) by more than a few thousand
+     * interpreter steps. A canceled check can report acceptance with
+     * zero conclusive runs ("<inconclusive>") — governed callers must
+     * re-check the context before treating the verdict as meaningful
+     * (and must never cache it). Runtime buffers are accounted against
+     * MemSubsystem::Interp on the context's governor.
      */
-    std::optional<std::chrono::steady_clock::time_point> deadline;
+    ExecContext exec;
 };
 
 struct VerifyReport

@@ -5,6 +5,8 @@
 
 #include "core/verify.h"
 #include "ir/interp.h"
+#include "support/exec_context.h"
+#include "support/fault_inject.h"
 #include "ir/parser.h"
 #include "ir/printer.h"
 #include "ir/verifier.h"
@@ -58,7 +60,7 @@ fingerprint(const std::vector<std::unique_ptr<ir::Buffer>> &buffers)
 ExecResult
 execute(const ir::Module &module, const std::string &func_name,
         uint64_t seed, const OracleOptions &options,
-        const std::optional<Clock::time_point> &deadline)
+        const ExecContext &judge)
 {
     ExecResult out;
     ir::Operation *func = module.lookupFunc(func_name);
@@ -83,7 +85,7 @@ execute(const ir::Module &module, const std::string &func_name,
     fillBuffers(buffers, seed);
     ir::InterpOptions interp_options;
     interp_options.max_steps = options.max_steps;
-    interp_options.deadline = deadline;
+    interp_options.exec = judge;
     try {
         ir::interpret(module, func_name, std::move(args),
                       interp_options);
@@ -137,12 +139,12 @@ checkSource(const std::string &source, const OracleOptions &options)
         return finish();
     };
 
-    std::optional<Clock::time_point> deadline;
-    if (options.deadline_seconds > 0) {
-        deadline = start + std::chrono::duration_cast<Clock::duration>(
-                               std::chrono::duration<double>(
-                                   options.deadline_seconds));
-    }
+    // The judge's own governance context: per-case deadline for the
+    // ground-truth and reference executions. Distinct from the context
+    // optimize() builds for itself, and never subject to chaos faults.
+    ExecContext judge = ExecContext::make();
+    if (options.deadline_seconds > 0)
+        judge.setDeadlineIn(options.deadline_seconds);
 
     // 1. The program itself must parse and verify.
     ir::Module input;
@@ -165,13 +167,23 @@ checkSource(const std::string &source, const OracleOptions &options)
          seer.deadline_seconds > options.deadline_seconds))
         seer.deadline_seconds = options.deadline_seconds;
     core::SeerResult result;
-    try {
-        result = core::optimize(input, func_name, seer);
-    } catch (const FatalError &err) {
-        return fail(FailureKind::OptimizeError, err.what());
-    } catch (const std::exception &err) {
-        return fail(FailureKind::OptimizeError,
-                    std::string("non-FatalError: ") + err.what());
+    {
+        // Chaos: faults are armed for the run under test only; every
+        // disarm path (normal return, any catch) goes through the
+        // scoped guard's destructor. A fault that escapes optimize()
+        // (it must not — that is the no-throw contract under test)
+        // is an OptimizeError, i.e. a reported contract violation.
+        std::optional<ScopedFaultPlan> chaos;
+        if (options.chaos_plan.enabled())
+            chaos.emplace(options.chaos_plan);
+        try {
+            result = core::optimize(input, func_name, seer);
+        } catch (const FatalError &err) {
+            return fail(FailureKind::OptimizeError, err.what());
+        } catch (const std::exception &err) {
+            return fail(FailureKind::OptimizeError,
+                        std::string("non-FatalError: ") + err.what());
+        }
     }
     verdict.degraded = result.stats.degraded;
 
@@ -185,9 +197,9 @@ checkSource(const std::string &source, const OracleOptions &options)
     for (int run = 0; run < options.input_runs; ++run) {
         uint64_t seed = options.input_seed + 0x9E3779B9u * run;
         ExecResult before =
-            execute(input, func_name, seed, options, deadline);
+            execute(input, func_name, seed, options, judge);
         ExecResult after =
-            execute(result.module, func_name, seed, options, deadline);
+            execute(result.module, func_name, seed, options, judge);
         if (before.status == ExecResult::Status::Canceled ||
             after.status == ExecResult::Status::Canceled)
             return fail(FailureKind::Timeout,
@@ -262,7 +274,7 @@ checkSource(const std::string &source, const OracleOptions &options)
             return fail(FailureKind::OptimizeError,
                         std::string("reference arm: ") + err.what());
         }
-        if (deadline && Clock::now() >= *deadline)
+        if (judge.canceled())
             return fail(FailureKind::Timeout,
                         "per-case deadline expired during the "
                         "reference arm");

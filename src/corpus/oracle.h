@@ -25,6 +25,7 @@
 #include <string>
 
 #include "core/seer.h"
+#include "support/fault_inject.h"
 
 namespace seer::corpus {
 
@@ -67,6 +68,16 @@ struct OracleOptions
      *  optimize() via SeerOptions::deadline_seconds and to every
      *  interpreter execution. */
     double deadline_seconds = 0;
+    /**
+     * Chaos mode: arm this fault plan around the optimize() call under
+     * test — and only around it: the judge arms (verifier, interpreter
+     * ground truth, reference runs) execute disarmed, so an injected
+     * interpreter fault can never masquerade as a miscompile. Inactive
+     * unless chaos_plan.enabled(). The injector is process-global:
+     * chaos runs must be single-threaded (the corpus runner enforces
+     * jobs = 1).
+     */
+    FaultPlan chaos_plan;
 };
 
 /** One oracle verdict. */

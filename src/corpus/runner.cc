@@ -42,6 +42,9 @@ struct CaseSlot
     OracleVerdict verdict;
     std::string source;    ///< kept only for non-passing cases
     std::string minimized; ///< shrunk form ("" when minimize is off)
+    std::string chaos_plan; ///< the plan the case ran under (chaos mode)
+    bool skipped = false;  ///< never judged: the run was canceled
+    bool judged = false;   ///< the worker actually ran this case
     ShrinkStats shrink_stats;
 };
 
@@ -52,6 +55,9 @@ runCorpus(const CorpusOptions &options)
 {
     auto start = std::chrono::steady_clock::now();
     std::vector<CaseSlot> slots(options.count);
+    // The fault injector is one per process: chaos cases must not
+    // overlap, so chaos mode runs strictly serially.
+    unsigned jobs = options.chaos ? 1 : options.jobs;
 
     // Ordered progress: workers flush the longest fully-judged prefix
     // under a lock, so the callback sees cases strictly in seed order
@@ -71,16 +77,34 @@ runCorpus(const CorpusOptions &options)
         }
     };
 
-    parallelFor(options.count, options.jobs, [&](size_t index) {
+    parallelFor(
+        options.count, jobs,
+        [&](size_t index) {
         // parallelFor jobs must not throw; fold everything into the
         // slot so one broken case cannot take down the run.
         CaseSlot &slot = slots[index];
         uint64_t seed = options.first_seed + index;
+        if (options.exec.canceled()) {
+            slot.skipped = true;
+            report_done(index);
+            return;
+        }
+        slot.judged = true;
         try {
             std::string source = generateProgram(seed, options.shape);
             OracleOptions oracle = options.oracle;
             oracle.input_seed =
                 mixInputSeed(options.oracle.input_seed, seed);
+            if (options.chaos) {
+                oracle.chaos_plan.seed =
+                    mixInputSeed(options.chaos_seed, seed);
+                oracle.chaos_plan.rate = options.chaos_rate;
+                // The reference arm would interleave extra optimize()
+                // calls into the same global hit counters, making
+                // plans non-replayable.
+                oracle.check_reference = false;
+                slot.chaos_plan = oracle.chaos_plan.str();
+            }
             slot.verdict = checkSource(source, oracle);
             if (slot.verdict.kind != FailureKind::None)
                 slot.source = source;
@@ -106,7 +130,8 @@ runCorpus(const CorpusOptions &options)
             slot.verdict.detail = "harness error: unknown exception";
         }
         report_done(index);
-    });
+        },
+        [&] { return options.exec.canceled(); });
 
     // Serial aggregation in seed order (deterministic report).
     CorpusReport report;
@@ -114,6 +139,10 @@ runCorpus(const CorpusOptions &options)
     report.total = options.count;
     for (size_t index = 0; index < options.count; ++index) {
         const CaseSlot &slot = slots[index];
+        if (slot.skipped || !slot.judged) {
+            ++report.skipped;
+            continue;
+        }
         report.case_seconds.push_back(slot.verdict.seconds);
         if (slot.verdict.degraded)
             ++report.degraded;
@@ -135,9 +164,11 @@ runCorpus(const CorpusOptions &options)
         failure.minimized =
             slot.minimized.empty() ? slot.source : slot.minimized;
         failure.minimized_ops = countOps(failure.minimized);
+        failure.chaos_plan = slot.chaos_plan;
         failure.shrink_stats = slot.shrink_stats;
         report.failures.push_back(std::move(failure));
     }
+    report.canceled = options.exec.canceled();
 
     if (!options.repro_dir.empty() && !report.failures.empty()) {
         std::filesystem::create_directories(options.repro_dir);
@@ -184,6 +215,8 @@ renderRepro(const CaseFailure &failure, const CorpusOptions &options)
         out << " --exact";
     if (!options.oracle.seer.extra_control_rules.empty())
         out << " --inject-unsound";
+    if (!failure.chaos_plan.empty())
+        out << " --chaos-plan '" << failure.chaos_plan << "'";
     out << "\n";
     out << failure.minimized;
     if (failure.minimized.empty() || failure.minimized.back() != '\n')
@@ -202,6 +235,8 @@ toJson(const CorpusReport &report, const CorpusOptions &options)
     root.set("failed", report.failed);
     root.set("degraded", report.degraded);
     root.set("timeouts", report.timeouts);
+    root.set("skipped", report.skipped);
+    root.set("canceled", report.canceled);
     root.set("pass_rate", report.passRate());
     root.set("total_seconds", report.total_seconds);
 
@@ -212,6 +247,11 @@ toJson(const CorpusReport &report, const CorpusOptions &options)
     config.set("minimize", options.minimize);
     config.set("deadline_seconds", options.oracle.deadline_seconds);
     config.set("jobs", options.jobs);
+    config.set("chaos", options.chaos);
+    if (options.chaos) {
+        config.set("chaos_seed", options.chaos_seed);
+        config.set("chaos_rate", options.chaos_rate);
+    }
     root.set("config", std::move(config));
 
     json::Value taxonomy{json::Object{}};
@@ -242,6 +282,8 @@ toJson(const CorpusReport &report, const CorpusOptions &options)
         entry.set("program_ops", failure.program_ops);
         entry.set("minimized_ops", failure.minimized_ops);
         entry.set("repro_path", failure.repro_path);
+        if (!failure.chaos_plan.empty())
+            entry.set("chaos_plan", failure.chaos_plan);
         json::Value shrunk{json::Object{}};
         shrunk.set("checks", failure.shrink_stats.checks);
         shrunk.set("accepted", failure.shrink_stats.accepted);

@@ -20,6 +20,7 @@
 #include "corpus/generator.h"
 #include "corpus/oracle.h"
 #include "corpus/shrink.h"
+#include "support/exec_context.h"
 #include "support/json.h"
 
 namespace seer::corpus {
@@ -42,6 +43,25 @@ struct CorpusOptions
     unsigned jobs = 1;
     /** Serial progress callback, invoked in seed order. */
     std::function<void(uint64_t seed, const OracleVerdict &)> progress;
+
+    // --- chaos mode ------------------------------------------------------
+    /**
+     * Judge every case under a per-case randomized fault plan (seed
+     * mixed from chaos_seed and the case seed, firing rate
+     * chaos_rate), asserting the degraded-mode contract holds for
+     * every schedule: no crash, no invalid output, no miscompile —
+     * degradation is allowed, corruption is not. Forces jobs = 1 (the
+     * fault injector is process-global) and disables the reference arm
+     * (its optimize() runs would share fault hit counters with the run
+     * under test).
+     */
+    bool chaos = false;
+    uint64_t chaos_seed = 0xC4A05;
+    double chaos_rate = 0.02;
+
+    /** Governance: once canceled (SIGINT/SIGTERM), unstarted cases are
+     *  skipped and the report is finalized from the judged prefix. */
+    ExecContext exec;
 };
 
 /** Outcome of one failing (or degraded/timed-out) case. */
@@ -57,6 +77,9 @@ struct CaseFailure
     std::string minimized;
     /** Where the repro was written ("" when repro_dir is empty). */
     std::string repro_path;
+    /** The fault plan the case ran under ("" outside chaos mode);
+     *  replayable via `seer-corpus --check FILE --chaos-plan '...'`. */
+    std::string chaos_plan;
     ShrinkStats shrink_stats;
 };
 
@@ -69,6 +92,10 @@ struct CorpusReport
     size_t failed = 0;
     size_t degraded = 0; ///< passed-but-degraded (unless fail_on_degraded)
     size_t timeouts = 0;
+    /** Cases skipped because the run was canceled (SIGINT). */
+    size_t skipped = 0;
+    /** The run was cut short by cancellation. */
+    bool canceled = false;
     /** failureKindName -> count over all non-passing cases. */
     std::map<std::string, size_t> taxonomy;
     std::vector<CaseFailure> failures;
@@ -76,9 +103,11 @@ struct CorpusReport
     std::vector<double> case_seconds;
     double total_seconds = 0;
 
+    /** Pass rate over the *judged* cases (skipped ones say nothing). */
     double passRate() const
     {
-        return total ? static_cast<double>(passed) / total : 1.0;
+        size_t judged = total - skipped;
+        return judged ? static_cast<double>(passed) / judged : 1.0;
     }
 };
 

@@ -1,10 +1,12 @@
 #include "egraph/egraph.h"
 
 #include <algorithm>
+#include <new>
 #include <optional>
 
 #include "egraph/analysis.h"
 #include "support/error.h"
+#include "support/fault_inject.h"
 
 namespace seer::eg {
 
@@ -111,9 +113,35 @@ EGraph::canonicalize(ENode node)
     return node;
 }
 
+size_t
+EGraph::approxBytes() const
+{
+    // Estimated, not malloc truth: an e-node costs its struct plus a
+    // hashcons entry, a parent-list entry per child, and an op-index
+    // slot (~192 bytes on 64-bit); every id costs union-find, stamp,
+    // and class-map overhead (~96 bytes). Good to within a small
+    // factor, which is all budget governance needs.
+    return num_nodes_ * 192 + parents_.size() * 96;
+}
+
+void
+EGraph::syncMemCharge(bool force)
+{
+    int64_t now = static_cast<int64_t>(approxBytes());
+    int64_t delta = now - charged_bytes_;
+    if (!force && delta > -4096 && delta < 4096)
+        return; // chunked: skip sub-page drift on the add() hot path
+    if (delta == 0)
+        return;
+    exec_.chargeMem(MemSubsystem::EGraph, delta);
+    charged_bytes_ = now;
+}
+
 EClassId
 EGraph::add(ENode node)
 {
+    if (faultFire(FaultPoint::EGraphAlloc))
+        throw std::bad_alloc();
     node = canonicalize(std::move(node));
     auto it = memo_.find(node);
     if (it != memo_.end()) {
@@ -147,6 +175,7 @@ EGraph::add(ENode node)
     // add()/merge() (constant folding materializing a literal).
     for (auto &analysis : analyses_)
         analysis->onModify(*this, id);
+    syncMemCharge();
     return id;
 }
 
@@ -254,6 +283,7 @@ EGraph::rebuild()
             repair(find(id));
     }
     propagateDirty();
+    syncMemCharge(/*force=*/true);
 }
 
 void
@@ -587,6 +617,7 @@ EGraph::rollback(const Checkpoint &cp)
     // rollback can only be signalled out-of-band: bump the generation so
     // incremental matchers drop their caches and fully re-scan.
     ++rollback_generation_;
+    syncMemCharge(/*force=*/true);
 }
 
 void

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "egraph/term.h"
+#include "support/exec_context.h"
 
 namespace seer::eg {
 
@@ -217,6 +218,19 @@ class EGraph
     bool isClean() const { return worklist_.empty(); }
 
     /**
+     * Attach the execution context whose governor accounts this
+     * graph's storage (MemSubsystem::EGraph). Accounting is
+     * approximate (estimated bytes per node/id, synced in chunks from
+     * add/rebuild/rollback); a budget breach never throws here — it
+     * latches cancellation on the context, and the runner winds down
+     * at its next poll point.
+     */
+    void setExecContext(const ExecContext &exec) { exec_ = exec; }
+
+    /** Approximate bytes of node/parent/hashcons storage. */
+    size_t approxBytes() const;
+
+    /**
      * Proof production: the chain of union justifications connecting
      * two ids (e.g. the class a term was first added under and the
      * class of the final extraction). Ids are the *original* ids
@@ -377,6 +391,11 @@ class EGraph
     /** Live node count across all classes, maintained incrementally so
      *  numNodes() is O(1) (the runner polls it per application). */
     size_t num_nodes_ = 0;
+    /** Memory governance (see setExecContext). */
+    ExecContext exec_;
+    /** Bytes last reported to the governor (sync is chunked). */
+    int64_t charged_bytes_ = 0;
+    void syncMemCharge(bool force = false);
 };
 
 } // namespace seer::eg

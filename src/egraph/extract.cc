@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <new>
 #include <set>
 
 #include "support/error.h"
+#include "support/fault_inject.h"
 
 namespace seer::eg {
 
@@ -430,8 +432,16 @@ class ExactSolver
     ExactSolver(const EGraph &egraph, const CostModel &cost,
                 const ExtractOptions &options, ExtractStats &stats)
         : egraph_(egraph), cost_(cost), naive_(options.naive),
-          budget_(options.budget), stats_(stats)
+          budget_(options.budget), exec_(options.exec), stats_(stats)
     {}
+
+    ~ExactSolver()
+    {
+        // Credit the search frontier/memo bytes back: extraction
+        // memory is transient, only its peak matters to the governor.
+        if (charged_ > 0)
+            exec_.chargeMem(MemSubsystem::Extraction, -charged_);
+    }
 
     std::optional<Extraction>
     solve(EClassId root)
@@ -523,6 +533,13 @@ class ExactSolver
         if (!inserted)
             return m;
         const EClass &cls = egraph_.eclass(id);
+        // Account the memo before filling it: the per-class memos are
+        // where exact-search memory actually accumulates.
+        int64_t bytes = static_cast<int64_t>(
+            sizeof(ClassMemo) + cls.nodes.size() * 16 + 64);
+        charged_ += bytes;
+        if (!exec_.chargeMem(MemSubsystem::Extraction, bytes))
+            budget_exhausted_ = true; // breach: finish with best-so-far
         m.self.resize(cls.nodes.size());
         m.order.resize(cls.nodes.size());
         for (size_t i = 0; i < cls.nodes.size(); ++i) {
@@ -609,6 +626,14 @@ class ExactSolver
             budget_exhausted_ = true;
             return;
         }
+        if (budget_exhausted_)
+            return; // latched by a memory-budget breach below
+        // Cooperative cancellation, amortized over 256 expansions:
+        // treated exactly like budget exhaustion (best-so-far wins).
+        if ((expansions_ & 0xff) == 0 && exec_.canceled()) {
+            budget_exhausted_ = true;
+            return;
+        }
         if (boundOf(cost_so_far, choice, pending) >= best_cost_) {
             ++prunes_;
             return;
@@ -660,6 +685,8 @@ class ExactSolver
     const CostModel &cost_;
     bool naive_;
     size_t budget_;
+    ExecContext exec_;
+    int64_t charged_ = 0;
     ExtractStats &stats_;
     size_t expansions_ = 0;
     size_t prunes_ = 0;
@@ -911,6 +938,8 @@ std::optional<Extraction>
 extractGreedy(const EGraph &egraph, EClassId root, const CostModel &cost,
               const ExtractOptions &options)
 {
+    if (faultFire(FaultPoint::ExtractAlloc))
+        throw std::bad_alloc();
     ExtractStats local;
     ExtractStats &stats = options.stats ? *options.stats : local;
     EClassId canonical = egraph.find(root);
@@ -949,6 +978,8 @@ std::optional<Extraction>
 extractExact(const EGraph &egraph, EClassId root, const CostModel &cost,
              const ExtractOptions &options)
 {
+    if (faultFire(FaultPoint::ExtractAlloc))
+        throw std::bad_alloc();
     ExtractStats local;
     ExtractStats &stats = options.stats ? *options.stats : local;
     return ExactSolver(egraph, cost, options, stats).solve(root);

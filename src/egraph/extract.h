@@ -255,6 +255,13 @@ struct ExtractOptions
     size_t budget = 200000;
     /** Optional telemetry sink (counters are added, not reset). */
     ExtractStats *stats = nullptr;
+    /**
+     * Governance: the exact search accounts its memo/frontier bytes
+     * against MemSubsystem::Extraction and treats cancellation
+     * (deadline, budget breach, SIGINT) like budget exhaustion — the
+     * best solution found so far is returned. Inert by default.
+     */
+    ExecContext exec;
 };
 
 /**

@@ -5,6 +5,7 @@
 #include <chrono>
 #include <cstdint>
 #include <map>
+#include <new>
 #include <thread>
 
 #include "egraph/extract.h"
@@ -22,6 +23,7 @@ stopReasonName(StopReason reason)
       case StopReason::TimeLimit: return "time-limit";
       case StopReason::BannedOut: return "banned-out";
       case StopReason::Quarantined: return "quarantined";
+      case StopReason::Canceled: return "canceled";
     }
     return "?";
 }
@@ -137,10 +139,9 @@ Runner::run()
     // The per-run time budget, tightened by the driver's whole-run
     // deadline when that expires sooner.
     double time_limit = options_.time_limit_seconds;
-    if (options_.deadline) {
-        double remaining = std::chrono::duration<double>(
-                               *options_.deadline - start)
-                               .count();
+    if (auto deadline = options_.exec.deadline()) {
+        double remaining =
+            std::chrono::duration<double>(*deadline - start).count();
         time_limit = std::min(time_limit, std::max(0.0, remaining));
     }
 
@@ -194,6 +195,7 @@ Runner::run()
     uint64_t last_generation = egraph_.rollbackGeneration();
 
     bool timed_out = false;
+    bool canceled = false;
     report.stop = StopReason::IterLimit;
     for (size_t iter = 1; iter <= options_.max_iters;) {
         auto iter_start = Clock::now();
@@ -356,12 +358,24 @@ Runner::run()
                 state.cache_valid = false;
                 state.cache.clear();
                 search_errors[r] = std::current_exception();
+            } catch (const std::bad_alloc &) {
+                // Allocation failure while searching one rule is that
+                // rule's failure, not the runner's: the e-graph was not
+                // mutated (phase 1 is read-only).
+                per_rule[r].clear();
+                state.cache_valid = false;
+                state.cache.clear();
+                search_errors[r] = std::current_exception();
             }
             report.rules[r].search_seconds += since(t0);
         };
         unsigned threads = std::max(1u, options_.match_threads);
         if (threads <= 1 || active.size() <= 1) {
             for (size_t r : active) {
+                if (options_.exec.canceled()) {
+                    canceled = true;
+                    break;
+                }
                 if (elapsed() > time_limit) {
                     out_of_time = true;
                     break;
@@ -377,6 +391,10 @@ Runner::run()
                         size_t slot = cursor.fetch_add(1);
                         if (slot >= active.size())
                             return;
+                        if (options_.exec.canceled()) {
+                            out_of_time = true;
+                            return;
+                        }
                         if (elapsed() > time_limit) {
                             out_of_time = true;
                             return;
@@ -397,7 +415,18 @@ Runner::run()
                 std::rethrow_exception(search_errors[r]);
             } catch (const FatalError &err) {
                 record_failure(r, err.what());
+            } catch (const std::bad_alloc &) {
+                record_failure(r, "allocation failure during search "
+                                  "(contained)");
             }
+        }
+        if (out_of_time && options_.exec.canceled())
+            canceled = true;
+        if (canceled) {
+            // Same discipline as out_of_time below: a partial match
+            // phase is never applied.
+            report.stop = StopReason::Canceled;
+            break;
         }
         if (out_of_time) {
             // Partial match phase: applying it would make the explored
@@ -448,6 +477,11 @@ Runner::run()
                 if (!options_.catch_rule_errors)
                     throw;
                 record_failure(r, err.what());
+            } catch (const std::bad_alloc &) {
+                if (!options_.catch_rule_errors)
+                    throw;
+                record_failure(r, "allocation failure in prepare hook "
+                                  "(contained)");
             }
             report.rules[r].apply_seconds += since(t0);
         }
@@ -463,6 +497,10 @@ Runner::run()
         // and the circuit breaker drops the rule's remaining matches
         // once it trips.
         for (PendingApply &pa : pending) {
+            if (options_.exec.canceled()) {
+                canceled = true;
+                break;
+            }
             if (elapsed() > time_limit) {
                 timed_out = true;
                 break;
@@ -503,6 +541,30 @@ Runner::run()
                     }
                     rhs_term = *produced;
                     rhs_id = egraph_.addTerm(rhs_term);
+                    // Node-budget enforcement *inside* the apply loop:
+                    // one dynamic application (an external pass can
+                    // return an arbitrarily large term) must not blow
+                    // far past max_nodes before the iteration-boundary
+                    // check sees it. A guarded application that would
+                    // land the graph over budget is rolled back and
+                    // counted as that rule's failure — rules that
+                    // repeatedly produce oversized terms quarantine out
+                    // honestly instead of stopping the whole run.
+                    if (app_cp &&
+                        egraph_.numNodes() > options_.max_nodes) {
+                        size_t nodes = egraph_.numNodes();
+                        egraph_.rollback(*app_cp);
+                        app_cp.reset();
+                        record_failure(
+                            pa.rule_index,
+                            MsgBuilder()
+                                << "application refused: would grow the "
+                                   "e-graph to "
+                                << nodes << " nodes (budget "
+                                << options_.max_nodes << ")");
+                        rule_stats.apply_seconds += since(t0);
+                        continue;
+                    }
                 } else {
                     rhs_id =
                         instantiate(egraph_, *rule.rhs, pa.match.subst);
@@ -530,6 +592,20 @@ Runner::run()
                     app_cp.reset();
                 }
                 record_failure(pa.rule_index, err.what());
+            } catch (const std::bad_alloc &) {
+                // The no-throw contract: an allocation failure inside
+                // one application must not leak a partial e-graph. The
+                // guard's checkpoint restores the pre-application
+                // state exactly as for a FatalError.
+                if (!options_.catch_rule_errors)
+                    throw;
+                if (app_cp) {
+                    egraph_.rollback(*app_cp);
+                    app_cp.reset();
+                }
+                record_failure(pa.rule_index,
+                               "allocation failure during application "
+                               "(contained)");
             }
             rule_stats.apply_seconds += since(t0);
             if (egraph_.numNodes() > options_.max_nodes)
@@ -544,6 +620,10 @@ Runner::run()
         report.iterations.push_back(stats);
         report.total_applied += stats.applied;
 
+        if (canceled) {
+            report.stop = StopReason::Canceled;
+            break;
+        }
         if (timed_out || elapsed() > time_limit) {
             report.stop = StopReason::TimeLimit;
             break;

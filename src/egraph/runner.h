@@ -35,6 +35,7 @@
 #include <optional>
 
 #include "egraph/rewrite.h"
+#include "support/exec_context.h"
 #include "support/json.h"
 
 namespace seer::eg {
@@ -52,6 +53,10 @@ enum class StopReason {
      *  run. The e-graph is still consistent (failed applications never
      *  union). */
     Quarantined,
+    /** The ExecContext was canceled (memory budget breach, SIGINT, or
+     *  an explicit request — a plain deadline still reports TimeLimit,
+     *  since it only tightens the per-run time budget). */
+    Canceled,
 };
 
 std::string stopReasonName(StopReason reason);
@@ -163,10 +168,13 @@ struct RunnerOptions
      * see).
      */
     bool incremental_match = true;
-    /** Absolute wall-clock deadline for the whole run; tightens
+    /** Unified governance: the context's deadline tightens
      *  time_limit_seconds when it expires sooner (the driver threads
-     *  its --deadline through every phase this way). */
-    std::optional<std::chrono::steady_clock::time_point> deadline;
+     *  its --deadline through every phase this way), and cancellation
+     *  (budget breach, SIGINT) stops the run between applications with
+     *  StopReason::Canceled. The default (inert) context imposes
+     *  nothing. */
+    ExecContext exec;
 };
 
 struct RunnerReport

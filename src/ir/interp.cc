@@ -1,17 +1,21 @@
 #include "ir/interp.h"
 
 #include <cmath>
+#include <new>
 #include <unordered_map>
 
 #include "ir/ops.h"
 #include "ir/printer.h"
 #include "support/error.h"
+#include "support/fault_inject.h"
 
 namespace seer::ir {
 
 Buffer::Buffer(Type memref_type) : type(memref_type)
 {
     SEER_ASSERT(memref_type.isMemRef(), "Buffer needs a memref type");
+    if (faultFire(FaultPoint::InterpAlloc))
+        throw std::bad_alloc();
     int64_t n = memref_type.numElements();
     if (isFloat())
         floats.assign(static_cast<size_t>(n), 0.0);
@@ -116,11 +120,11 @@ class Interp
                  MsgBuilder() << "interpret: step limit exceeded at op "
                               << op.nameStr());
         }
-        // Cooperative cancellation: poll the deadline cheaply (clock
+        // Cooperative cancellation: poll the context cheaply (clock
         // reads amortized over 4096 steps) so one multi-million-step
-        // simulation cannot blow far past the driver's --deadline.
-        if (options_.deadline && (steps_ & 0xfff) == 0 &&
-            std::chrono::steady_clock::now() >= *options_.deadline) {
+        // simulation cannot blow far past the driver's --deadline,
+        // memory budget, or a SIGINT.
+        if ((steps_ & 0xfff) == 0 && options_.exec.canceled()) {
             trap(TrapKind::Deadline,
                  "interpret: deadline exceeded (cooperative cancel)");
         }

@@ -22,6 +22,7 @@
 
 #include "ir/op.h"
 #include "support/error.h"
+#include "support/exec_context.h"
 
 namespace seer::ir {
 
@@ -111,15 +112,16 @@ struct InterpOptions
     /** Collect the Profile (slightly slower). */
     bool profile = false;
     /**
-     * Cooperative wall-clock cancellation: checked every few thousand
-     * steps, so a long-running simulation (e.g. an equivalence check's
-     * co-execution) stops shortly after the deadline instead of running
-     * its full step budget. Expiry traps with an InterpError of kind
-     * TrapKind::Deadline (message prefix "interpret: deadline" kept for
-     * compatibility) — catch InterpError and test isCancellation() to
-     * distinguish cancellation from a genuine trap.
+     * Cooperative cancellation: the context is polled every few
+     * thousand steps, so a long-running simulation (e.g. an
+     * equivalence check's co-execution) stops shortly after its
+     * deadline/budget/SIGINT instead of running its full step budget.
+     * Cancellation traps with an InterpError of kind
+     * TrapKind::Deadline (message prefix "interpret: deadline" kept
+     * for compatibility) — catch InterpError and test isCancellation()
+     * to distinguish cancellation from a genuine trap.
      */
-    std::optional<std::chrono::steady_clock::time_point> deadline;
+    ExecContext exec;
 };
 
 /**

@@ -1,0 +1,184 @@
+#include "support/fault_inject.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace seer {
+
+namespace {
+
+const char *const kPointNames[kNumFaultPoints] = {
+    "egraph-alloc",   "extract-alloc",     "interp-alloc",
+    "cache-alloc",    "pass-eval-crash",   "pass-eval-timeout",
+    "pass-eval-garbage", "cache-read",     "cache-save",
+    "rollback-mid-phase",
+};
+
+/** splitmix64: the decision function behind rate-mode firing. */
+uint64_t
+mix(uint64_t x)
+{
+    x += 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+const char *
+faultPointName(FaultPoint point)
+{
+    auto index = static_cast<size_t>(point);
+    return index < kNumFaultPoints ? kPointNames[index] : "unknown";
+}
+
+std::optional<FaultPoint>
+parseFaultPoint(const std::string &name)
+{
+    for (size_t i = 0; i < kNumFaultPoints; ++i)
+        if (name == kPointNames[i])
+            return static_cast<FaultPoint>(i);
+    return std::nullopt;
+}
+
+std::string
+FaultPlan::str() const
+{
+    std::ostringstream out;
+    bool first = true;
+    auto sep = [&]() -> std::ostream & {
+        if (!first)
+            out << ";";
+        first = false;
+        return out;
+    };
+    if (seed != 0)
+        sep() << "seed=" << seed;
+    if (rate > 0.0) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%g", rate);
+        sep() << "rate=" << buf;
+    }
+    if (!fixed.empty()) {
+        sep() << "fixed=";
+        for (size_t i = 0; i < fixed.size(); ++i) {
+            if (i)
+                out << ",";
+            out << faultPointName(fixed[i].first) << "@"
+                << fixed[i].second;
+        }
+    }
+    return out.str();
+}
+
+std::optional<FaultPlan>
+FaultPlan::parse(const std::string &text)
+{
+    FaultPlan plan;
+    std::istringstream in(text);
+    for (std::string token; std::getline(in, token, ';');) {
+        if (token.empty())
+            continue;
+        size_t eq = token.find('=');
+        if (eq == std::string::npos)
+            return std::nullopt;
+        std::string key = token.substr(0, eq);
+        std::string value = token.substr(eq + 1);
+        if (key == "seed") {
+            char *end = nullptr;
+            plan.seed = std::strtoull(value.c_str(), &end, 10);
+            if (!end || *end != '\0')
+                return std::nullopt;
+        } else if (key == "rate") {
+            char *end = nullptr;
+            plan.rate = std::strtod(value.c_str(), &end);
+            if (!end || *end != '\0' || plan.rate < 0.0 ||
+                plan.rate > 1.0)
+                return std::nullopt;
+        } else if (key == "fixed") {
+            std::istringstream entries(value);
+            for (std::string entry; std::getline(entries, entry, ',');) {
+                size_t at = entry.find('@');
+                if (at == std::string::npos)
+                    return std::nullopt;
+                auto point = parseFaultPoint(entry.substr(0, at));
+                if (!point)
+                    return std::nullopt;
+                char *end = nullptr;
+                uint64_t nth = std::strtoull(
+                    entry.c_str() + at + 1, &end, 10);
+                if (!end || *end != '\0' || nth == 0)
+                    return std::nullopt;
+                plan.fixed.emplace_back(*point, nth);
+            }
+        } else {
+            return std::nullopt;
+        }
+    }
+    return plan;
+}
+
+FaultInjector &
+FaultInjector::instance()
+{
+    static FaultInjector injector;
+    return injector;
+}
+
+void
+FaultInjector::arm(const FaultPlan &plan)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    plan_ = plan;
+    for (uint64_t &h : hits_)
+        h = 0;
+    armed_.store(plan.enabled(), std::memory_order_relaxed);
+}
+
+void
+FaultInjector::disarm()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    plan_ = FaultPlan{};
+    armed_.store(false, std::memory_order_relaxed);
+}
+
+bool
+FaultInjector::shouldFire(FaultPoint point)
+{
+    if (!armed_.load(std::memory_order_relaxed))
+        return false;
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!plan_.enabled())
+        return false;
+    auto index = static_cast<size_t>(point);
+    uint64_t hit = ++hits_[index];
+    for (const auto &[fixed_point, nth] : plan_.fixed)
+        if (fixed_point == point && nth == hit)
+            return true;
+    if (plan_.rate > 0.0) {
+        uint64_t h = mix(plan_.seed ^ mix(index * 1315423911ull) ^ hit);
+        double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+        if (u < plan_.rate)
+            return true;
+    }
+    return false;
+}
+
+uint64_t
+FaultInjector::hits(FaultPoint point) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return hits_[static_cast<size_t>(point)];
+}
+
+FaultPlan
+FaultInjector::plan() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return plan_;
+}
+
+} // namespace seer

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Seeded fault injection: named injection points across subsystems,
+ * driven by a replayable FaultPlan. Generalizes the two ad-hoc hooks
+ * (--inject-crash-rule, --inject-unsound) into a framework the chaos
+ * harness (`seer-corpus --chaos`) and the no-throw contract tests
+ * sweep systematically.
+ *
+ * Every fault a plan can trigger is *contract-preserving by design*:
+ * allocation points throw std::bad_alloc (which optimize() must
+ * contain), pass-eval points produce crashes/timeouts/garbage the
+ * validation gate must absorb, cache points drop or refuse entries
+ * (never silently corrupt a payload), and RollbackMidPhase raises a
+ * FatalError on the transactional-phase boundary. A run under any
+ * plan must therefore still deliver verifier-clean IR — that is the
+ * invariant the chaos sweep asserts.
+ *
+ * The injector is process-global (the production code it hooks must
+ * stay oblivious to test plumbing), so only one plan can be armed at
+ * a time and chaos runs are single-threaded per process.
+ */
+#ifndef SEER_SUPPORT_FAULT_INJECT_H_
+#define SEER_SUPPORT_FAULT_INJECT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace seer {
+
+/** Named injection points (point -> subsystem -> expected degradation
+ *  is tabulated in DESIGN.md's failure-handling policy). */
+enum class FaultPoint : uint8_t
+{
+    EGraphAlloc = 0,  ///< e-graph node admission throws bad_alloc
+    ExtractAlloc,     ///< extraction entry throws bad_alloc
+    InterpAlloc,      ///< runtime buffer allocation throws bad_alloc
+    CacheAlloc,       ///< eval-cache insertion throws bad_alloc
+    PassEvalCrash,    ///< external pass throws mid-transform
+    PassEvalTimeout,  ///< external pass evaluation "never finishes"
+    PassEvalGarbage,  ///< external pass returns a garbage replacement
+    CacheRead,        ///< cached entry reads back corrupt (dropped)
+    CacheSave,        ///< cache persistence fails before publish
+    RollbackMidPhase, ///< fault on the transactional-phase boundary
+};
+
+constexpr size_t kNumFaultPoints = 10;
+
+/** Stable kebab-case name (plan syntax / JSON / artifacts). */
+const char *faultPointName(FaultPoint point);
+
+std::optional<FaultPoint> parseFaultPoint(const std::string &name);
+
+/**
+ * A replayable fault schedule. Two composable mechanisms:
+ *  - `rate`: every hit of every point fires independently with this
+ *    probability, derived deterministically from (seed, point, hit
+ *    index) — same plan + same execution => same faults.
+ *  - `fixed`: fire exactly at the Nth hit (1-based) of a point —
+ *    the surgical mode the no-throw sweep uses.
+ */
+struct FaultPlan
+{
+    uint64_t seed = 0;
+    double rate = 0.0;
+    std::vector<std::pair<FaultPoint, uint64_t>> fixed;
+
+    bool enabled() const { return rate > 0.0 || !fixed.empty(); }
+
+    /** Round-trippable text form, e.g.
+     *  "seed=7;rate=0.02" or "fixed=egraph-alloc@3,cache-read@1". */
+    std::string str() const;
+    static std::optional<FaultPlan> parse(const std::string &text);
+};
+
+/**
+ * The process-global injector. Disarmed it costs one relaxed atomic
+ * load per query; armed it serializes hit counting behind a mutex
+ * (chaos runs are single-threaded, so this is not a hot path).
+ */
+class FaultInjector
+{
+  public:
+    static FaultInjector &instance();
+
+    /** Install `plan` and reset all hit counters. */
+    void arm(const FaultPlan &plan);
+    void disarm();
+    bool armed() const
+    {
+        return armed_.load(std::memory_order_relaxed);
+    }
+
+    /** Count a hit of `point`; true when the plan fires a fault. */
+    bool shouldFire(FaultPoint point);
+
+    /** Hits of `point` since the last arm(). */
+    uint64_t hits(FaultPoint point) const;
+
+    FaultPlan plan() const;
+
+  private:
+    FaultInjector() = default;
+
+    mutable std::mutex mutex_;
+    std::atomic<bool> armed_{false};
+    FaultPlan plan_;
+    uint64_t hits_[kNumFaultPoints] = {};
+};
+
+/** Convenience: should the armed plan (if any) fire at `point`? */
+inline bool
+faultFire(FaultPoint point)
+{
+    return FaultInjector::instance().shouldFire(point);
+}
+
+/** RAII arm/disarm (tests, per-case chaos scopes). */
+class ScopedFaultPlan
+{
+  public:
+    explicit ScopedFaultPlan(const FaultPlan &plan)
+    {
+        FaultInjector::instance().arm(plan);
+    }
+    ~ScopedFaultPlan() { FaultInjector::instance().disarm(); }
+    ScopedFaultPlan(const ScopedFaultPlan &) = delete;
+    ScopedFaultPlan &operator=(const ScopedFaultPlan &) = delete;
+};
+
+} // namespace seer
+
+#endif // SEER_SUPPORT_FAULT_INJECT_H_

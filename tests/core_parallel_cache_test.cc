@@ -314,8 +314,9 @@ TEST(DeadlineTest, ExpiredEvaluationIsDiscardedNotCached)
         " (store:t0 (load:t0 var:i) var:i))");
     ExternalEvalCache cache;
     SnippetEvalConfig config;
-    config.deadline = std::chrono::steady_clock::now() -
-                      std::chrono::seconds(1); // already expired
+    config.exec = ExecContext::make();
+    config.exec.setDeadline(std::chrono::steady_clock::now() -
+                            std::chrono::seconds(1)); // already expired
     std::atomic<int> pass_runs{0};
     auto outcome = evaluateSnippet(
         term, 42,

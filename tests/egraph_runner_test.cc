@@ -370,11 +370,12 @@ TEST(DeadlineTest, ExpiredDeadlineStopsTheRunImmediately)
     EGraph eg = fanoutGraph(50);
     RunnerOptions options;
     options.max_iters = 100;
-    options.deadline = std::chrono::steady_clock::now();
+    options.exec = ExecContext::make();
+    options.exec.setDeadline(std::chrono::steady_clock::now());
     Runner runner(eg, options);
     runner.addRule(swapRule());
     RunnerReport report = runner.run();
-    EXPECT_EQ(report.stop, StopReason::TimeLimit);
+    EXPECT_EQ(report.stop, StopReason::Canceled);
     EXPECT_EQ(report.total_applied, 0u);
 }
 

@@ -352,7 +352,8 @@ func.func @f() {
     EXPECT_EQ(trapKindOf(spin, {}, tight), TrapKind::StepLimit);
 
     InterpOptions expired;
-    expired.deadline = std::chrono::steady_clock::now();
+    expired.exec = seer::ExecContext::make();
+    expired.exec.setDeadline(std::chrono::steady_clock::now());
     TrapKind kind = trapKindOf(spin, {}, expired);
     EXPECT_EQ(kind, TrapKind::Deadline);
 

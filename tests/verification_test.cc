@@ -122,7 +122,8 @@ func.func @f(%a: memref<8xi32>) {
   func.return
 })");
     VerifyOptions expired;
-    expired.deadline = std::chrono::steady_clock::now();
+    expired.exec = ExecContext::make();
+    expired.exec.setDeadline(std::chrono::steady_clock::now());
     std::string diagnostic;
     EXPECT_TRUE(
         checkModuleEquivalence(lhs, rhs, "f", expired, &diagnostic));

@@ -25,6 +25,8 @@
 #include <vector>
 
 #include "corpus/runner.h"
+#include "support/exec_context.h"
+#include "support/fault_inject.h"
 #include "support/parallel.h"
 
 namespace {
@@ -83,12 +85,26 @@ usage()
         "  --inject-unsound   chaos hook: add an unsound store-dropping\n"
         "                     rewrite so the harness must catch the\n"
         "                     miscompiles it plants\n"
+        "  --chaos            judge every case under a per-case seeded\n"
+        "                     fault plan and assert the degraded-mode\n"
+        "                     contract (no crash/invalid output/\n"
+        "                     miscompile) for every schedule; forces\n"
+        "                     -j 1 and --no-reference\n"
+        "  --chaos-seed N     base seed of the chaos plans (default\n"
+        "                     0xC4A05); failing plans are replayable\n"
+        "  --chaos-rate R     per-hit fault probability (default 0.02)\n"
+        "  --chaos-plan P     with --check: re-judge the file under a\n"
+        "                     fixed fault plan (from a repro header)\n"
+        "  --mem-budget B     per-case optimize() memory budget in\n"
+        "                     bytes (k/m/g suffixes accepted)\n"
         "  --quiet            suppress per-failure progress lines\n"
         "\n"
         "exit codes:\n"
         "  0  every case passed (timeouts are reported but pass)\n"
         "  1  at least one case failed (or --check file fails)\n"
-        "  2  usage error\n";
+        "  2  usage error\n"
+        "  3  run canceled (SIGINT/SIGTERM): the report covers the\n"
+        "     judged prefix; skipped cases are counted, not failed\n";
 }
 
 bool
@@ -216,6 +232,56 @@ parseArgs(int argc, char **argv, CliOptions &options)
             corpus.shape.allow_nested_loops = true;
         } else if (arg == "--min-max") {
             corpus.shape.allow_min_max = true;
+        } else if (arg == "--chaos") {
+            corpus.chaos = true;
+        } else if (arg == "--chaos-seed") {
+            corpus.chaos_seed = static_cast<uint64_t>(next_int());
+        } else if (arg == "--chaos-rate") {
+            double rate = next_double();
+            if (!bad_value && (rate < 0 || rate > 1)) {
+                std::cerr
+                    << "seer-corpus: --chaos-rate must be in [0,1]\n";
+                bad_value = true;
+            }
+            corpus.chaos_rate = rate;
+        } else if (arg == "--chaos-plan") {
+            std::string text = next();
+            if (bad_value)
+                return false;
+            auto plan = seer::FaultPlan::parse(text);
+            if (!plan) {
+                std::cerr << "seer-corpus: bad --chaos-plan '" << text
+                          << "'\n";
+                return false;
+            }
+            corpus.oracle.chaos_plan = *plan;
+        } else if (arg == "--mem-budget") {
+            std::string text = next();
+            if (bad_value)
+                return false;
+            uint64_t scale = 1;
+            if (!text.empty()) {
+                char suffix = text.back();
+                if (suffix == 'k' || suffix == 'K')
+                    scale = 1024ull;
+                else if (suffix == 'm' || suffix == 'M')
+                    scale = 1024ull * 1024;
+                else if (suffix == 'g' || suffix == 'G')
+                    scale = 1024ull * 1024 * 1024;
+                if (scale != 1)
+                    text.pop_back();
+            }
+            try {
+                size_t used = 0;
+                uint64_t value = std::stoull(text, &used);
+                if (used != text.size() || text.empty())
+                    throw std::invalid_argument(text);
+                corpus.oracle.seer.mem_budget_bytes = value * scale;
+            } catch (const std::exception &) {
+                std::cerr << "seer-corpus: bad byte count '" << text
+                          << "' for " << arg << "\n";
+                return false;
+            }
         } else if (arg == "--inject-unsound") {
             corpus.oracle.seer.extra_control_rules.push_back(
                 seer::corpus::makeUnsoundStoreDropRule());
@@ -280,6 +346,10 @@ main(int argc, char **argv)
         usage();
         return 2;
     }
+    // Ctrl-C finalizes the report over the judged prefix (exit 3); a
+    // second signal kills the process outright.
+    installSignalCancellation();
+    options.corpus.exec = ExecContext::make();
     if (!options.check_file.empty())
         return checkOne(options);
 
@@ -296,7 +366,8 @@ main(int argc, char **argv)
 
     corpus::CorpusReport report = corpus::runCorpus(options.corpus);
 
-    std::cerr << "; corpus: " << report.passed << "/" << report.total
+    size_t judged = report.total - report.skipped;
+    std::cerr << "; corpus: " << report.passed << "/" << judged
               << " passed";
     if (report.failed)
         std::cerr << ", " << report.failed << " FAILED";
@@ -304,6 +375,8 @@ main(int argc, char **argv)
         std::cerr << ", " << report.timeouts << " timed out";
     if (report.degraded)
         std::cerr << ", " << report.degraded << " degraded";
+    if (report.skipped)
+        std::cerr << ", " << report.skipped << " skipped (canceled)";
     std::cerr << " in " << report.total_seconds << "s\n";
     for (const auto &[kind, count] : report.taxonomy)
         std::cerr << ";   " << kind << ": " << count << "\n";
@@ -332,5 +405,7 @@ main(int argc, char **argv)
             out << text;
         }
     }
-    return report.failed ? 1 : 0;
+    if (report.failed)
+        return 1;
+    return report.canceled ? 3 : 0;
 }

@@ -28,6 +28,8 @@
 #include "ir/verifier.h"
 #include "passes/pass.h"
 #include "support/error.h"
+#include "support/exec_context.h"
+#include "support/fault_inject.h"
 
 namespace {
 
@@ -40,6 +42,7 @@ struct CliOptions
     bool verify = false;
     bool report = false;
     bool quiet = false;
+    std::optional<seer::FaultPlan> fault_plan;
     seer::core::SeerOptions seer;
 };
 
@@ -88,6 +91,16 @@ usage()
         "                     the optimization result is identical)\n"
         "  --deadline S       whole-run wall-clock budget in seconds;\n"
         "                     exploration is cut short when it expires\n"
+        "  --mem-budget B     whole-run memory budget in bytes (k/m/g\n"
+        "                     suffixes accepted); a breach cancels\n"
+        "                     exploration and degrades to the best\n"
+        "                     result found within budget (exit 3), and\n"
+        "                     per-subsystem usage lands in the --stats\n"
+        "                     'resource' section\n"
+        "  --fault-plan P     chaos: arm a seeded fault-injection plan\n"
+        "                     (format seed=N;rate=R;fixed=point@n,...)\n"
+        "                     around the run; see DESIGN.md for the\n"
+        "                     injection-point matrix\n"
         "  --strict           fail fast on the first internal error\n"
         "                     instead of recovering (pre-PR2 behavior)\n"
         "  --quiet            suppress the output program\n"
@@ -97,8 +110,9 @@ usage()
         "  1  failure (bad input IR, verification failure, --strict "
         "fault)\n"
         "  2  usage error\n"
-        "  3  success, but the run degraded (recovered faults; output\n"
-        "     is still verified IR — see the --stats health section)\n";
+        "  3  success, but the run degraded (recovered faults, memory\n"
+        "     budget breach, or SIGINT/SIGTERM cancellation; output is\n"
+        "     still verified IR — see the --stats health section)\n";
 }
 
 std::vector<std::string>
@@ -276,6 +290,45 @@ parseArgs(int argc, char **argv, CliOptions &options)
             options.seer.use_pass_cache = false;
         } else if (arg == "--deadline") {
             options.seer.deadline_seconds = next_double();
+        } else if (arg == "--mem-budget") {
+            std::string text = next();
+            if (bad_value)
+                return false;
+            uint64_t scale = 1;
+            if (!text.empty()) {
+                char suffix = text.back();
+                if (suffix == 'k' || suffix == 'K')
+                    scale = 1024ull;
+                else if (suffix == 'm' || suffix == 'M')
+                    scale = 1024ull * 1024;
+                else if (suffix == 'g' || suffix == 'G')
+                    scale = 1024ull * 1024 * 1024;
+                if (scale != 1)
+                    text.pop_back();
+            }
+            try {
+                size_t used = 0;
+                uint64_t value = std::stoull(text, &used);
+                if (used != text.size() || text.empty())
+                    throw std::invalid_argument(text);
+                options.seer.mem_budget_bytes = value * scale;
+            } catch (const std::exception &) {
+                std::cerr << "seer-opt: bad byte count '" << text
+                          << "' for " << arg << "\n";
+                return false;
+            }
+        } else if (arg == "--fault-plan") {
+            std::string text = next();
+            if (bad_value)
+                return false;
+            auto plan = seer::FaultPlan::parse(text);
+            if (!plan) {
+                std::cerr << "seer-opt: bad --fault-plan '" << text
+                          << "' (expected "
+                             "seed=N;rate=R;fixed=point@n,...)\n";
+                return false;
+            }
+            options.fault_plan = *plan;
         } else if (arg == "--strict") {
             options.seer.strict = true;
         } else if (arg == "--inject-crash-rule") {
@@ -352,6 +405,10 @@ main(int argc, char **argv)
         usage();
         return 2;
     }
+    // Ctrl-C cancels cooperatively: the run winds down through the
+    // degraded path and still reports stats (exit 3), a second signal
+    // kills the process outright.
+    seer::installSignalCancellation();
 
     std::ifstream file(options.input_file);
     if (!file) {
@@ -384,8 +441,12 @@ main(int argc, char **argv)
                                 splitList(options.fixed_passes));
             ir::verifyOrDie(output);
         } else {
+            std::optional<ScopedFaultPlan> chaos;
+            if (options.fault_plan)
+                chaos.emplace(*options.fault_plan);
             result = core::optimize(input, options.func_name,
                                     options.seer);
+            chaos.reset();
             output = ir::cloneModule(result.module);
             degraded = result.stats.degraded;
             if (degraded) {
@@ -400,6 +461,12 @@ main(int argc, char **argv)
             }
             if (result.stats.deadline_hit)
                 std::cerr << "; deadline hit: exploration cut short\n";
+            if (!result.stats.cancel_reason.empty() &&
+                result.stats.cancel_reason != "deadline") {
+                std::cerr << "; canceled ("
+                          << result.stats.cancel_reason
+                          << "): degraded to the best result found\n";
+            }
             size_t exhausted = 0;
             for (const core::ExtractionPhaseStats &phase :
                  result.stats.extraction)
