@@ -55,7 +55,7 @@ main(int argc, char **argv)
     for (const char *name : suite) {
         const bench::Benchmark &benchmark = bench::findBenchmark(name);
         core::SeerOptions options;
-        options.runner.match_threads = threads;
+        options.runner.match_jobs = threads;
         core::SeerResult result = seerFlow(benchmark, options);
         const core::SeerStats &stats = result.stats;
         table.addRow({name, fmtInt(stats.egraph_nodes),

@@ -18,7 +18,7 @@
 #include "seerlang/to_term.h"
 #include "support/error.h"
 #include "support/hashing.h"
-#include "support/parallel.h"
+#include "support/worker_pool.h"
 
 namespace seer::core {
 

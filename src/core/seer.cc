@@ -341,7 +341,9 @@ optimize(const ir::Module &input, const std::string &func_name,
     runner_options.exec = exec;
     // One -j knob drives both parallel stages: e-matching and the
     // external-pass worker pool (both deterministic by construction).
-    runner_options.match_threads = context->jobs;
+    // --match-jobs decouples the search phase when set.
+    runner_options.match_jobs =
+        options.match_jobs ? options.match_jobs : context->jobs;
 
     // The health trail of a runner report (recovered errors, quarantined
     // rules). Absorbed even from a phase that is later rolled back: the
@@ -376,6 +378,10 @@ optimize(const ir::Module &input, const std::string &func_name,
         mp.index_scans += report.match_phase.index_scans;
         mp.full_scans += report.match_phase.full_scans;
         mp.incremental_scans += report.match_phase.incremental_scans;
+        mp.shards += report.match_phase.shards;
+        mp.shard_seconds += report.match_phase.shard_seconds;
+        mp.search_wall_seconds += report.match_phase.search_wall_seconds;
+        mp.jobs = std::max(mp.jobs, report.match_phase.jobs);
         absorb_health(report);
     };
 

@@ -106,6 +106,15 @@ struct SeerOptions
      */
     unsigned jobs = 1;
     /**
+     * Worker threads for the runner's sharded e-matching phase alone
+     * (`seer-opt --match-jobs`). 0 (default) inherits `jobs`, so one -j
+     * knob drives both parallel stages; setting it decouples search
+     * parallelism from pass-eval parallelism (e.g. for the bench
+     * saturation arms). Determinism contract is the same: any value
+     * produces bit-identical results.
+     */
+    unsigned match_jobs = 0;
+    /**
      * Memoize pass outcomes and equivalence verdicts across iterations,
      * phases and optimize() calls. Off: outcomes are staged per
      * iteration only (the honest cold baseline). The exploration result
@@ -127,7 +136,10 @@ struct SeerOptions
         // rules apply their first match_limit matches instead of being
         // silently discarded, so the graph genuinely reaches these caps.
         runner.max_iters = 4;
-        runner.max_nodes = 16000;
+        // Two orders of magnitude over the historical 16k cap: the flat
+        // SoA storage (egraph/storage.h) holds million-node graphs, so
+        // exploration depth is now bounded by time, not by node count.
+        runner.max_nodes = 1600000;
         runner.time_limit_seconds = 10;
         runner.match_limit = 1000;
     }

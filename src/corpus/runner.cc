@@ -8,7 +8,7 @@
 #include "ir/op.h"
 #include "ir/parser.h"
 #include "support/error.h"
-#include "support/parallel.h"
+#include "support/worker_pool.h"
 
 namespace seer::corpus {
 

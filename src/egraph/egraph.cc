@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <new>
 #include <optional>
+#include <unordered_map>
 
 #include "egraph/analysis.h"
 #include "support/error.h"
@@ -114,14 +115,40 @@ EGraph::canonicalize(ENode node)
 }
 
 size_t
+EGraph::exactBytes() const
+{
+    size_t bytes =
+        parents_.capacity() * sizeof(EClassId) +
+        modified_.capacity() * sizeof(uint64_t) +
+        worklist_.capacity() * sizeof(EClassId) +
+        dirty_since_rebuild_.capacity() * sizeof(EClassId) +
+        classes_.capacity() * sizeof(EClass) +
+        journal_.capacity() * sizeof(JournalEntry) +
+        memo_.storageBytes() + op_index_.storageBytes();
+    for (const EClass &cls : classes_) {
+        bytes += cls.nodes.heapBytes();
+        for (const ENode &node : cls.nodes)
+            bytes += node.children.heapBytes();
+        bytes += cls.parents.capacity() *
+                 sizeof(std::pair<ENode, EClassId>);
+        for (const auto &[node, parent] : cls.parents)
+            bytes += node.children.heapBytes();
+    }
+    bytes += proof_edges_.capacity() *
+             sizeof(std::vector<std::pair<EClassId, std::string>>);
+    for (const auto &edges : proof_edges_) {
+        bytes += edges.capacity() *
+                 sizeof(std::pair<EClassId, std::string>);
+        for (const auto &[id, reason] : edges)
+            bytes += reason.capacity();
+    }
+    return bytes;
+}
+
+size_t
 EGraph::approxBytes() const
 {
-    // Estimated, not malloc truth: an e-node costs its struct plus a
-    // hashcons entry, a parent-list entry per child, and an op-index
-    // slot (~192 bytes on 64-bit); every id costs union-find, stamp,
-    // and class-map overhead (~96 bytes). Good to within a small
-    // factor, which is all budget governance needs.
-    return num_nodes_ * 192 + parents_.size() * 96;
+    return exact_bytes_ + est_bytes_pending_;
 }
 
 void
@@ -143,18 +170,20 @@ EGraph::add(ENode node)
     if (faultFire(FaultPoint::EGraphAlloc))
         throw std::bad_alloc();
     node = canonicalize(std::move(node));
-    auto it = memo_.find(node);
-    if (it != memo_.end()) {
+    uint64_t hash = enodeHash(node);
+    if (EClassId *hit = memo_.find(node, hash)) {
         // Hashcons canonicalization: refresh the stored id so the next
         // hit returns without any union-find walk at all.
-        if (journaling() && it->second != find(it->second))
-            journalMemoSet(node);
-        return it->second = find(it->second);
+        if (journaling() && *hit != find(*hit))
+            journalMemoSet(node, hash);
+        return *hit = find(*hit);
     }
 
     EClassId id = static_cast<EClassId>(parents_.size());
     parents_.push_back(id);
     modified_.push_back(++tick_);
+    classes_.emplace_back();
+    ++num_classes_;
     if (journaling()) {
         JournalEntry entry;
         entry.kind = JournalEntry::Kind::AddClass;
@@ -162,13 +191,25 @@ EGraph::add(ENode node)
         entry.node = node;
         journal_.push_back(std::move(entry));
     }
-    EClass &cls = classes_[id];
-    cls.nodes.push_back(node);
+    classes_[id].nodes.push_back(node);
     ++num_nodes_;
-    op_index_[opKeyOf(node)].push_back(id);
+    op_index_
+        .getOrCreate(node.op.id(),
+                     static_cast<uint32_t>(node.children.size()))
+        .push_back(id);
+    // Marginal storage estimate for this add, re-anchored to an exact
+    // walk at every rebuild: the node copy in its class, a hashcons
+    // slot at ~3/4 load, one parent entry per child, and the id's
+    // union-find/stamp/class-slot/op-index overhead.
+    est_bytes_pending_ +=
+        sizeof(ENode) + 3 * node.children.heapBytes() +
+        (sizeof(ENode) + 16) * 4 / 3 +
+        node.children.size() * sizeof(std::pair<ENode, EClassId>) +
+        sizeof(EClassId) + sizeof(uint64_t) + sizeof(EClass) +
+        sizeof(EClassId);
     for (EClassId child : node.children)
         classes_[child].parents.emplace_back(node, id);
-    memo_.emplace(node, id);
+    memo_.insert(node, hash, id);
     for (auto &analysis : analyses_)
         analysis->onMake(*this, id, node);
     // Modify runs after every analysis made its datum: it may re-enter
@@ -193,10 +234,10 @@ std::optional<EClassId>
 EGraph::lookup(ENode node) const
 {
     node = canonicalize(std::move(node));
-    auto it = memo_.find(node);
-    if (it == memo_.end())
+    const EClassId *hit = memo_.find(node, enodeHash(node));
+    if (hit == nullptr)
         return std::nullopt;
-    return find(it->second);
+    return find(*hit);
 }
 
 std::optional<EClassId>
@@ -234,37 +275,44 @@ EGraph::merge(EClassId a, EClassId b, std::string reason)
         std::swap(a, b);
     parents_[b] = a;
 
-    EClass &into = classes_[a];
-    EClass &from = classes_[b];
-    JournalEntry entry;
+    // Detach the absorbed class into a stable local before any hook
+    // runs: the dense class vector reallocates on re-entrant adds, so
+    // neither a reference into it nor the hooks' from_parents view may
+    // point at live storage.
+    EClass from = std::move(classes_[b]);
+    classes_[b] = EClass{};
+    size_t into_nodes_size = classes_[a].nodes.size();
+    size_t into_parents_size = classes_[a].parents.size();
+    // Join while the absorbed class's parent list is still intact: the
+    // hooks see exactly the nodes whose child ids re-canonicalize.
+    for (auto &analysis : analyses_)
+        analysis->onMerge(*this, a, b, from.parents);
+    {
+        EClass &into = classes_[a];
+        into.nodes.insert(into.nodes.end(), from.nodes.begin(),
+                          from.nodes.end());
+        into.parents.insert(into.parents.end(), from.parents.begin(),
+                            from.parents.end());
+    }
     if (journaling()) {
+        JournalEntry entry;
         entry.kind = JournalEntry::Kind::Merge;
         entry.id = a;
         entry.id2 = b;
         entry.orig_a = a_orig;
         entry.orig_b = b_orig;
-        entry.nodes_size = into.nodes.size();
-        entry.parents_size = into.parents.size();
-    }
-    // Join while the absorbed class's parent list is still intact: the
-    // hooks see exactly the nodes whose child ids re-canonicalize.
-    for (auto &analysis : analyses_)
-        analysis->onMerge(*this, a, b, from.parents);
-    into.nodes.insert(into.nodes.end(), from.nodes.begin(),
-                      from.nodes.end());
-    into.parents.insert(into.parents.end(), from.parents.begin(),
-                        from.parents.end());
-    if (journaling()) {
+        entry.nodes_size = into_nodes_size;
+        entry.parents_size = into_parents_size;
         entry.saved_class = std::move(from);
         journal_.push_back(std::move(entry));
     }
+    --num_classes_;
     // Stamp the winner now (it changed: it absorbed b's nodes); the
     // ancestor cone is stamped in bulk by propagateDirty() at rebuild.
     // The winner's pre-merge stamp is deliberately not journaled: after
     // rollback a stale-high stamp merely triggers a spurious re-scan.
     modified_[a] = ++tick_;
     dirty_since_rebuild_.push_back(a);
-    classes_.erase(b);
     worklist_.push_back(a);
     for (auto &analysis : analyses_)
         analysis->onModify(*this, a);
@@ -283,6 +331,10 @@ EGraph::rebuild()
             repair(find(id));
     }
     propagateDirty();
+    // Re-anchor the byte accounting on malloc truth (satisfying the
+    // governor's honesty contract at million-node scale).
+    exact_bytes_ = exactBytes();
+    est_bytes_pending_ = 0;
     syncMemCharge(/*force=*/true);
 }
 
@@ -318,14 +370,10 @@ EGraph::propagateDirty()
     }
 }
 
-const std::vector<EClassId> *
+const OpBucket *
 EGraph::opCandidates(Symbol op, size_t arity) const
 {
-    auto it = op_index_.find(
-        OpKey{op.id(), static_cast<uint32_t>(arity)});
-    if (it == op_index_.end())
-        return nullptr;
-    return &it->second;
+    return op_index_.find(op.id(), static_cast<uint32_t>(arity));
 }
 
 void
@@ -343,9 +391,11 @@ EGraph::repair(EClassId id)
     classes_[id].parents.clear();
     std::unordered_map<ENode, EClassId, ENodeHash> seen;
     for (auto &[node, parent_id] : parents) {
-        journalMemoErase(node);
-        memo_.erase(node);
+        uint64_t hash = enodeHash(node);
+        journalMemoErase(node, hash);
+        memo_.erase(node, hash);
         ENode canon = canonicalize(node);
+        uint64_t canon_hash = enodeHash(canon);
         EClassId parent_canon = find(parent_id);
         auto it = seen.find(canon);
         if (it != seen.end()) {
@@ -356,12 +406,12 @@ EGraph::repair(EClassId id)
         } else {
             seen.emplace(canon, parent_canon);
         }
-        journalMemoSet(canon);
-        memo_[canon] = find(parent_canon);
+        journalMemoSet(canon, canon_hash);
+        memo_.set(canon, canon_hash, find(parent_canon));
     }
     for (auto &[node, parent_id] : seen) {
         // Re-resolve the class inside the loop: propagateConstant may
-        // fold a constant, add its literal, and merge — which can erase
+        // fold a constant, add its literal, and merge — which can empty
         // this very class (invalidating any cached reference) and move
         // its parents to a new root.
         EClassId root = find(id);
@@ -377,11 +427,13 @@ EGraph::repair(EClassId id)
         for (auto &analysis : analyses_)
             analysis->onRepairParent(*this, node, find(parent_id));
     }
-    // Deduplicate and canonicalize the class's own nodes.
-    EClass &self = classes_[find(id)];
+    // Deduplicate and canonicalize the class's own nodes. No reference
+    // into classes_ survives a canonicalize (const; no reallocation),
+    // but re-resolve after the loop above which may have merged.
+    EClassId root = find(id);
     std::unordered_map<ENode, bool, ENodeHash> unique_nodes;
-    std::vector<ENode> nodes;
-    for (ENode &node : self.nodes) {
+    NodeList nodes;
+    for (ENode &node : classes_[root].nodes) {
         ENode canon = canonicalize(node);
         if (!unique_nodes.emplace(canon, true).second)
             continue;
@@ -390,20 +442,21 @@ EGraph::repair(EClassId id)
     if (journaling()) {
         JournalEntry entry;
         entry.kind = JournalEntry::Kind::NodesReplace;
-        entry.id = find(id);
-        entry.saved_nodes = self.nodes;
+        entry.id = root;
+        entry.saved_nodes = classes_[root].nodes;
         journal_.push_back(std::move(entry));
     }
-    num_nodes_ -= self.nodes.size() - nodes.size();
-    self.nodes = std::move(nodes);
+    num_nodes_ -= classes_[root].nodes.size() - nodes.size();
+    classes_[root].nodes = std::move(nodes);
 }
 
 const EClass &
 EGraph::eclass(EClassId id) const
 {
-    auto it = classes_.find(find(id));
-    SEER_ASSERT(it != classes_.end(), "eclass() on missing id " << id);
-    return it->second;
+    EClassId canon = find(id);
+    SEER_ASSERT(canon < classes_.size(),
+                "eclass() on missing id " << id);
+    return classes_[canon];
 }
 
 std::optional<int64_t>
@@ -418,10 +471,10 @@ std::vector<EClassId>
 EGraph::classIds() const
 {
     std::vector<EClassId> ids;
-    ids.reserve(classes_.size());
-    for (const auto &[id, cls] : classes_)
-        ids.push_back(id);
-    std::sort(ids.begin(), ids.end());
+    ids.reserve(num_classes_);
+    for (EClassId id = 0; id < parents_.size(); ++id)
+        if (parents_[id] == id)
+            ids.push_back(id);
     return ids;
 }
 
@@ -468,7 +521,7 @@ EGraph::explain(EClassId a, EClassId b) const
 size_t
 EGraph::numClasses() const
 {
-    return classes_.size();
+    return num_classes_;
 }
 
 size_t
@@ -480,31 +533,30 @@ EGraph::numNodes() const
 }
 
 void
-EGraph::journalMemoSet(const ENode &key)
+EGraph::journalMemoSet(const ENode &key, uint64_t hash)
 {
     if (!journaling())
         return;
     JournalEntry entry;
     entry.kind = JournalEntry::Kind::MemoSet;
     entry.node = key;
-    auto it = memo_.find(key);
-    if (it != memo_.end())
-        entry.memo_old = it->second;
+    if (const EClassId *existing = memo_.find(key, hash))
+        entry.memo_old = *existing;
     journal_.push_back(std::move(entry));
 }
 
 void
-EGraph::journalMemoErase(const ENode &key)
+EGraph::journalMemoErase(const ENode &key, uint64_t hash)
 {
     if (!journaling())
         return;
-    auto it = memo_.find(key);
-    if (it == memo_.end())
+    const EClassId *existing = memo_.find(key, hash);
+    if (existing == nullptr)
         return; // nothing will be erased: nothing to undo
     JournalEntry entry;
     entry.kind = JournalEntry::Kind::MemoErase;
     entry.node = key;
-    entry.memo_old = it->second;
+    entry.memo_old = *existing;
     journal_.push_back(std::move(entry));
 }
 
@@ -532,21 +584,25 @@ EGraph::undo(JournalEntry &entry)
 {
     switch (entry.kind) {
       case JournalEntry::Kind::AddClass: {
-        memo_.erase(entry.node);
+        memo_.erase(entry.node, enodeHash(entry.node));
         for (EClassId child : entry.node.children)
             classes_[child].parents.pop_back();
+        SEER_ASSERT(entry.id + 1 == classes_.size(),
+                    "class storage out of sync with journal on class "
+                        << entry.id);
         num_nodes_ -= classes_[entry.id].nodes.size();
-        classes_.erase(entry.id);
+        classes_.pop_back();
+        --num_classes_;
         // The add appended exactly one operator-index entry; undoing in
         // reverse journal order means it is still the last one.
-        auto it = op_index_.find(opKeyOf(entry.node));
-        SEER_ASSERT(it != op_index_.end() && !it->second.empty() &&
-                        it->second.back() == entry.id,
+        OpBucket *bucket = op_index_.find(
+            entry.node.op.id(),
+            static_cast<uint32_t>(entry.node.children.size()));
+        SEER_ASSERT(bucket != nullptr && !bucket->empty() &&
+                        bucket->back() == entry.id,
                     "op index out of sync with journal on class "
                         << entry.id);
-        it->second.pop_back();
-        if (it->second.empty())
-            op_index_.erase(it);
+        bucket->pop_back();
         break;
       }
       case JournalEntry::Kind::Merge: {
@@ -556,19 +612,21 @@ EGraph::undo(JournalEntry &entry)
         into.nodes.resize(entry.nodes_size);
         into.parents.resize(entry.parents_size);
         classes_[entry.id2] = std::move(entry.saved_class);
+        ++num_classes_;
         proof_edges_[entry.orig_a].pop_back();
         proof_edges_[entry.orig_b].pop_back();
         break;
       }
       case JournalEntry::Kind::MemoSet: {
+        uint64_t hash = enodeHash(entry.node);
         if (entry.memo_old)
-            memo_[entry.node] = *entry.memo_old;
+            memo_.set(entry.node, hash, *entry.memo_old);
         else
-            memo_.erase(entry.node);
+            memo_.erase(entry.node, hash);
         break;
       }
       case JournalEntry::Kind::MemoErase: {
-        memo_[entry.node] = *entry.memo_old;
+        memo_.set(entry.node, enodeHash(entry.node), *entry.memo_old);
         break;
       }
       case JournalEntry::Kind::ParentsClear: {
@@ -606,6 +664,10 @@ EGraph::rollback(const Checkpoint &cp)
         journal_.pop_back();
     }
     parents_ = cp.parents;
+    SEER_ASSERT(classes_.size() == parents_.size(),
+                "journal replay left class storage at "
+                    << classes_.size() << " slots for "
+                    << parents_.size() << " ids");
     modified_.resize(parents_.size());
     worklist_ = cp.worklist;
     dirty_since_rebuild_ = cp.dirty;
@@ -617,6 +679,8 @@ EGraph::rollback(const Checkpoint &cp)
     // rollback can only be signalled out-of-band: bump the generation so
     // incremental matchers drop their caches and fully re-scan.
     ++rollback_generation_;
+    exact_bytes_ = exactBytes();
+    est_bytes_pending_ = 0;
     syncMemCharge(/*force=*/true);
 }
 
@@ -635,43 +699,65 @@ EGraph::commit(const Checkpoint &cp)
 std::string
 EGraph::debugCheckInvariants() const
 {
+    if (classes_.size() != parents_.size()) {
+        return MsgBuilder()
+               << "class storage holds " << classes_.size()
+               << " slots for " << parents_.size() << " ids";
+    }
     for (EClassId id = 0; id < parents_.size(); ++id) {
         if (parents_[id] >= parents_.size()) {
             return MsgBuilder() << "union-find entry " << id
                                 << " points past the id space";
         }
-        if (!classes_.count(find(id))) {
+        if (parents_[id] != id &&
+            (!classes_[id].nodes.empty() ||
+             !classes_[id].parents.empty())) {
             return MsgBuilder()
-                   << "id " << id << " resolves to dead class "
-                   << find(id);
+                   << "dead class slot " << id << " not empty";
         }
     }
-    for (const auto &[id, cls] : classes_) {
-        if (find(id) != id)
-            return MsgBuilder() << "class key " << id << " not canonical";
-    }
-    for (const auto &[node, id] : memo_) {
-        if (id >= parents_.size() || !classes_.count(find(id)))
-            return "hashcons value maps to a dead class";
+    {
+        std::string error;
+        memo_.forEach([&](const ENode &node, EClassId id) {
+            (void)node;
+            if (error.empty() && id >= parents_.size())
+                error = "hashcons value maps past the id space";
+        });
+        if (!error.empty())
+            return error;
     }
     {
         size_t counted = 0;
-        for (const auto &[id, cls] : classes_)
-            counted += cls.nodes.size();
+        size_t live = 0;
+        for (EClassId id = 0; id < parents_.size(); ++id) {
+            if (parents_[id] != id)
+                continue;
+            ++live;
+            counted += classes_[id].nodes.size();
+        }
         if (counted != num_nodes_) {
             return MsgBuilder()
                    << "incremental node count " << num_nodes_
                    << " != actual " << counted;
         }
+        if (live != num_classes_) {
+            return MsgBuilder()
+                   << "incremental class count " << num_classes_
+                   << " != actual " << live;
+        }
     }
     // Operator-index completeness: every live node must be reachable
     // through some (possibly stale) candidate entry for its (op, arity).
-    for (const auto &[id, cls] : classes_) {
-        for (const ENode &node : cls.nodes) {
-            auto it = op_index_.find(opKeyOf(node));
+    for (EClassId id = 0; id < parents_.size(); ++id) {
+        if (parents_[id] != id)
+            continue;
+        for (const ENode &node : classes_[id].nodes) {
+            const OpBucket *bucket = op_index_.find(
+                node.op.id(),
+                static_cast<uint32_t>(node.children.size()));
             bool reachable = false;
-            if (it != op_index_.end()) {
-                for (EClassId entry : it->second) {
+            if (bucket != nullptr) {
+                for (EClassId entry : *bucket) {
                     if (find(entry) == id) {
                         reachable = true;
                         break;
@@ -687,8 +773,10 @@ EGraph::debugCheckInvariants() const
     }
     if (!worklist_.empty())
         return ""; // node-level checks need a rebuilt graph
-    for (const auto &[id, cls] : classes_) {
-        for (const ENode &node : cls.nodes) {
+    for (EClassId id = 0; id < parents_.size(); ++id) {
+        if (parents_[id] != id)
+            continue;
+        for (const ENode &node : classes_[id].nodes) {
             auto found = lookup(node);
             if (!found) {
                 return MsgBuilder() << "node of class " << id

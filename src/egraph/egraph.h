@@ -7,6 +7,13 @@
  * This is the C++ stand-in for the Rust `egg` library the paper builds on.
  * The API mirrors egg's: add / union / rebuild / lookup, with e-matching
  * and extraction layered on top (pattern.h, extract.h).
+ *
+ * Storage is sized for million-node graphs (storage.h): a flat
+ * open-addressing hashcons, a dense class vector indexed by EClassId,
+ * small-vector children inline in every e-node, and a flattened op
+ * index. The journal/checkpoint machinery is storage-agnostic — every
+ * undo entry restores the same logical state it did under the original
+ * map-based layout.
  */
 #ifndef SEER_EGRAPH_EGRAPH_H_
 #define SEER_EGRAPH_EGRAPH_H_
@@ -15,9 +22,9 @@
 #include <functional>
 #include <memory>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
+#include "egraph/storage.h"
 #include "egraph/term.h"
 #include "support/exec_context.h"
 
@@ -25,33 +32,6 @@ namespace seer::eg {
 
 class Analysis;
 class ConstFoldAnalysis;
-
-using EClassId = uint32_t;
-
-/** An e-node: an operator applied to e-class ids. */
-struct ENode
-{
-    Symbol op;
-    std::vector<EClassId> children;
-
-    bool
-    operator==(const ENode &other) const
-    {
-        return op == other.op && children == other.children;
-    }
-};
-
-struct ENodeHash
-{
-    size_t
-    operator()(const ENode &node) const noexcept
-    {
-        size_t h = std::hash<Symbol>()(node.op);
-        for (EClassId child : node.children)
-            h = h * 1000003 + child;
-        return h;
-    }
-};
 
 /**
  * Constant-folding hooks (the symbol-encoding half of the constant
@@ -73,10 +53,17 @@ struct AnalysisHooks
         fold;
 };
 
+/**
+ * An e-class's node list. A freshly hashconsed class holds exactly one
+ * node and only grows when merges splice classes together, so a single
+ * inline slot keeps the common case allocation-free.
+ */
+using NodeList = SmallVec<ENode, 1>;
+
 /** One equivalence class. */
 struct EClass
 {
-    std::vector<ENode> nodes;
+    NodeList nodes;
     /** (parent node as last canonicalized, parent class) for repair. */
     std::vector<std::pair<ENode, EClassId>> parents;
 };
@@ -175,7 +162,7 @@ class EGraph
      *  when a datum change may unlock folds in parent classes. */
     void analysisRequeue(EClassId id);
 
-    /** All canonical class ids. */
+    /** All canonical class ids, ascending. */
     std::vector<EClassId> classIds() const;
 
     size_t numClasses() const;
@@ -191,8 +178,7 @@ class EGraph
      * which is what keeps it trivially coherent with the checkpoint
      * journal: rolling back an add pops its entry again.
      */
-    const std::vector<EClassId> *opCandidates(Symbol op,
-                                              size_t arity) const;
+    const OpBucket *opCandidates(Symbol op, size_t arity) const;
 
     /**
      * Monotonic modification clock. Every structural change (class
@@ -219,16 +205,30 @@ class EGraph
 
     /**
      * Attach the execution context whose governor accounts this
-     * graph's storage (MemSubsystem::EGraph). Accounting is
-     * approximate (estimated bytes per node/id, synced in chunks from
-     * add/rebuild/rollback); a budget breach never throws here — it
-     * latches cancellation on the context, and the runner winds down
-     * at its next poll point.
+     * graph's storage (MemSubsystem::EGraph). Between rebuilds the
+     * accounting is an incremental per-add estimate synced in chunks;
+     * every rebuild/rollback replaces it with an exact storage walk
+     * (exactBytes), so budget degradation stays honest at million-node
+     * scale. A budget breach never throws here — it latches
+     * cancellation on the context, and the runner winds down at its
+     * next poll point.
      */
     void setExecContext(const ExecContext &exec) { exec_ = exec; }
 
-    /** Approximate bytes of node/parent/hashcons storage. */
+    /**
+     * Bytes of node/parent/hashcons/index storage: the exact walk from
+     * the last rebuild/rollback plus a per-add marginal estimate for
+     * mutations since. O(1); self-corrects at every rebuild.
+     */
     size_t approxBytes() const;
+
+    /**
+     * Exact owned bytes of every storage structure (union-find, stamps,
+     * classes with spilled children, hashcons, op index, journal and
+     * proof arrays). O(graph) — rebuild/rollback call this to re-anchor
+     * the incremental estimate; tests and benches may call it directly.
+     */
+    size_t exactBytes() const;
 
     /**
      * Proof production: the chain of union justifications connecting
@@ -282,9 +282,10 @@ class EGraph
     /**
      * Self-check of the core invariants (canonical class keys, hashcons
      * consistency, live memo values, every id resolving to a live
-     * class). Returns an empty string when consistent, else a
-     * diagnostic. Node-level hashcons checks require a clean graph
-     * (rebuild first). Intended for tests — O(graph) per call.
+     * class, dead class slots left empty). Returns an empty string when
+     * consistent, else a diagnostic. Node-level hashcons checks require
+     * a clean graph (rebuild first). Intended for tests — O(graph) per
+     * call.
      */
     std::string debugCheckInvariants() const;
 
@@ -317,36 +318,13 @@ class EGraph
         std::shared_ptr<void> analysis_datum;
         EClass saved_class;
         std::vector<std::pair<ENode, EClassId>> saved_parents;
-        std::vector<ENode> saved_nodes;
+        NodeList saved_nodes;
     };
-
-    /** Key of the operator index: interned op id + arity. */
-    struct OpKey
-    {
-        uint32_t op = 0;
-        uint32_t arity = 0;
-        bool operator==(const OpKey &o) const
-        {
-            return op == o.op && arity == o.arity;
-        }
-    };
-    struct OpKeyHash
-    {
-        size_t operator()(const OpKey &k) const noexcept
-        {
-            return (static_cast<size_t>(k.op) << 20) ^ k.arity;
-        }
-    };
-    static OpKey opKeyOf(const ENode &node)
-    {
-        return OpKey{node.op.id(),
-                     static_cast<uint32_t>(node.children.size())};
-    }
 
     bool journaling() const { return !open_tokens_.empty(); }
     void undo(JournalEntry &entry);
-    void journalMemoSet(const ENode &key);
-    void journalMemoErase(const ENode &key);
+    void journalMemoSet(const ENode &key, uint64_t hash);
+    void journalMemoErase(const ENode &key, uint64_t hash);
     ENode canonicalize(ENode node) const;
     ENode canonicalize(ENode node); ///< compressing-find variant
     void repair(EClassId id);
@@ -378,11 +356,23 @@ class EGraph
      *  the justification. */
     std::vector<std::vector<std::pair<EClassId, std::string>>>
         proof_edges_;
-    std::unordered_map<ENode, EClassId, ENodeHash> memo_;
-    std::unordered_map<EClassId, EClass> classes_;
+    /** Flat open-addressing hashcons (storage.h); hashes are computed
+     *  once per add/canonicalize and threaded through. */
+    NodeTable memo_;
+    /**
+     * Dense class storage, indexed by EClassId in lockstep with
+     * parents_. The slot of a merged-away (non-canonical) id is left
+     * empty — liveness is `parents_[id] == id`, not slot presence.
+     * Because the vector reallocates on growth, no reference into it
+     * may be held across a call that can re-enter add()/merge()
+     * (analysis hooks materializing constants).
+     */
+    std::vector<EClass> classes_;
+    /** Live (canonical) class count; classes_.size() counts dead slots. */
+    size_t num_classes_ = 0;
     std::vector<EClassId> worklist_;
     /** (op, arity) -> class ids at add time (see opCandidates()). */
-    std::unordered_map<OpKey, std::vector<EClassId>, OpKeyHash> op_index_;
+    OpIndex op_index_;
     /** Winners of merges since the last rebuild: the seeds of the
      *  dirty-cone timestamp propagation. */
     std::vector<EClassId> dirty_since_rebuild_;
@@ -395,6 +385,10 @@ class EGraph
     ExecContext exec_;
     /** Bytes last reported to the governor (sync is chunked). */
     int64_t charged_bytes_ = 0;
+    /** exactBytes() at the last rebuild/rollback... */
+    size_t exact_bytes_ = 0;
+    /** ...plus the marginal estimate of adds since (see approxBytes). */
+    size_t est_bytes_pending_ = 0;
     void syncMemCharge(bool force = false);
 };
 

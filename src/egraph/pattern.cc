@@ -86,7 +86,7 @@ class Matcher
 
     void
     matchSeq(const std::vector<PatternPtr> &patterns,
-             const std::vector<EClassId> &ids, size_t index, Subst &subst,
+             const ChildList &ids, size_t index, Subst &subst,
              const Cont &k)
     {
         if (full())
@@ -228,7 +228,7 @@ class MatchMachine
                 }
             } else {
                 const auto &ins = instrs[pc];
-                const std::vector<ENode> &nodes =
+                const NodeList &nodes =
                     egraph_.eclass(regs_[ins.in]).nodes;
                 uint32_t i = node_idx;
                 for (; i < nodes.size(); ++i) {
@@ -271,48 +271,39 @@ class MatchMachine
     std::vector<Choice> stack_;
 };
 
-namespace {
-
-std::vector<Match>
-ematchImpl(const EGraph &egraph, const Pattern &pattern,
-           uint64_t watermark, bool use_watermark, size_t limit,
-           EMatchStats *stats)
+std::vector<EClassId>
+ematchCandidates(const EGraph &egraph, const Pattern &pattern,
+                 uint64_t watermark, bool use_watermark,
+                 EMatchStats *stats)
 {
     EMatchStats local;
     EMatchStats &st = stats ? *stats : local;
     const CompiledPattern &cp = pattern.compiled();
-    std::vector<Match> out;
-    MatchMachine machine(egraph, cp);
-
-    auto consider = [&](EClassId id) {
-        if (use_watermark && egraph.timestampOf(id) <= watermark) {
-            ++st.skipped_clean;
-            return true;
-        }
-        ++st.candidates_visited;
-        return machine.matchAt(id, out, limit);
-    };
+    std::vector<EClassId> candidates;
 
     if (cp.rootIsVar()) {
         // A bare variable matches every class: nothing to index by.
+        // classIds() is already ascending and duplicate-free.
         for (EClassId id : egraph.classIds()) {
-            if (!consider(id))
-                break;
+            if (use_watermark && egraph.timestampOf(id) <= watermark) {
+                ++st.skipped_clean;
+                continue;
+            }
+            candidates.push_back(id);
         }
-        return out;
+        return candidates;
     }
 
     st.used_index = true;
-    const std::vector<EClassId> *raw =
+    const OpBucket *raw =
         egraph.opCandidates(cp.rootOp(), cp.rootArity());
     if (!raw)
-        return out;
+        return candidates;
     // Canonicalize, sort, and deduplicate the raw candidate entries so
     // iteration order (ascending canonical id) matches a full scan. On
     // incremental scans the watermark filter runs *before* the sort:
     // on a mostly-quiet graph that reduces the per-call cost from
     // sorting every entry ever added to sorting just the dirty few.
-    std::vector<EClassId> candidates;
     candidates.reserve(raw->size());
     if (use_watermark) {
         for (EClassId entry : *raw) {
@@ -331,12 +322,37 @@ ematchImpl(const EGraph &egraph, const Pattern &pattern,
     candidates.erase(
         std::unique(candidates.begin(), candidates.end()),
         candidates.end());
-    for (EClassId id : candidates) {
+    return candidates;
+}
+
+std::vector<Match>
+ematchChunk(const EGraph &egraph, const Pattern &pattern,
+            const EClassId *candidates, size_t count, size_t limit,
+            EMatchStats *stats)
+{
+    EMatchStats local;
+    EMatchStats &st = stats ? *stats : local;
+    std::vector<Match> out;
+    MatchMachine machine(egraph, pattern.compiled());
+    for (size_t i = 0; i < count; ++i) {
         ++st.candidates_visited;
-        if (!machine.matchAt(id, out, limit))
+        if (!machine.matchAt(candidates[i], out, limit))
             break;
     }
     return out;
+}
+
+namespace {
+
+std::vector<Match>
+ematchImpl(const EGraph &egraph, const Pattern &pattern,
+           uint64_t watermark, bool use_watermark, size_t limit,
+           EMatchStats *stats)
+{
+    std::vector<EClassId> candidates = ematchCandidates(
+        egraph, pattern, watermark, use_watermark, stats);
+    return ematchChunk(egraph, pattern, candidates.data(),
+                       candidates.size(), limit, stats);
 }
 
 } // namespace

@@ -95,6 +95,7 @@ struct RuleStats
     double apply_seconds = 0;
     size_t search_candidates = 0; ///< classes actually matched against
     size_t search_skipped_clean = 0; ///< skipped via watermark
+    size_t search_shards = 0; ///< shard work items this rule's searches split into
 };
 
 /**
@@ -117,12 +118,27 @@ struct MatchPhaseStats
     size_t full_scans = 0;
     /** Watermark-filtered (incremental) searches. */
     size_t incremental_scans = 0;
+    /** Shard work items dispatched across the worker pool. Shard
+     *  boundaries are a fixed candidate-count constant, independent of
+     *  the job count, so this (like every non-timing field here) is
+     *  identical for -j1 and -jN. */
+    size_t shards = 0;
+    /** Summed busy time of all shard jobs; exceeds wall time when the
+     *  pool overlaps them on multiple cores. */
+    double shard_seconds = 0;
+    /** Wall-clock time spent inside the parallel search phases. */
+    double search_wall_seconds = 0;
+    /** Worker count the search phase ran with (match_jobs). */
+    size_t jobs = 1;
 };
 
 struct RunnerOptions
 {
     size_t max_iters = 30;
-    size_t max_nodes = 100000;
+    /** Node budget. The flat SoA storage (storage.h) holds million-node
+     *  graphs comfortably, so the default budget no longer caps
+     *  exploration at toy sizes. */
+    size_t max_nodes = 10000000;
     double time_limit_seconds = 20.0;
     /** Per-rule per-iteration match budget before backoff banning; the
      *  effective budget is match_limit << times_banned (egg). */
@@ -135,12 +151,17 @@ struct RunnerOptions
     size_t ban_decay_iters = 3;
     /** Record lhs/rhs terms for each union (needed for verification). */
     bool record_proofs = true;
-    /** Worker threads for the (read-only) e-matching phase. 1 =
-     *  serial. Matching is embarrassingly parallel across rules; apply
-     *  order stays deterministic (results are gathered in rule order),
-     *  so the explored e-graph is identical to the serial run. This is
-     *  the paper's "parallel e-graph exploration" future-work item. */
-    unsigned match_threads = 1;
+    /**
+     * Worker count for the (read-only) e-matching phase. 1 = serial.
+     * The search phase shards into (rule, candidate-chunk) work items
+     * over a persistent pool (support/worker_pool.h); workers fill
+     * disjoint result slots and the runner folds them in (rule, shard)
+     * order, so match lists, reports, and stats are bit-identical for
+     * any job count — `-j1 ≡ -jN` extends from pass eval to e-matching.
+     * This is the paper's "parallel e-graph exploration" future-work
+     * item.
+     */
+    unsigned match_jobs = 1;
     /**
      * Fault isolation: when true (default) a FatalError thrown while
      * searching or applying one rule is caught, logged in the report,

@@ -1,0 +1,350 @@
+/**
+ * @file
+ * Flat storage primitives for the million-node e-graph.
+ *
+ * The e-graph's original containers (`std::unordered_map` hashcons,
+ * per-class node maps, nested op-index maps) spend most of their bytes
+ * and cache misses on allocator metadata once the graph passes ~100k
+ * nodes. This header provides the storage-of-arrays replacements:
+ *
+ *  - ChildList: e-node children with up to four ids inline (SmallVec),
+ *    eliminating one heap allocation per e-node and per hashcons key —
+ *    the vast majority of HLS operators have arity <= 4.
+ *  - enodeHash(): the node hash, computed once per add/canonicalize and
+ *    threaded through lookup + insert (the old ENodeHash re-walked the
+ *    children vector on every probe and on every container touch).
+ *  - NodeTable: an open-addressing hashcons (linear probing, tombstone
+ *    erase, power-of-two capacity) storing slots in one flat array.
+ *  - OpIndex: the (op, arity) -> candidate-list index flattened to an
+ *    open-addressing key table plus a dense bucket arena.
+ *
+ * All three are deterministic: probe order depends only on the stored
+ * hashes, and no iteration order is ever exposed to exploration (the
+ * e-graph only iterates them for invariant checks and byte accounting).
+ */
+#ifndef SEER_EGRAPH_STORAGE_H_
+#define SEER_EGRAPH_STORAGE_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "egraph/term.h"
+#include "support/hashing.h"
+#include "support/small_vector.h"
+
+namespace seer::eg {
+
+using EClassId = uint32_t;
+
+/** E-node children; arity <= 4 stays inline (no heap). */
+using ChildList = SmallVec<EClassId, 4>;
+
+/**
+ * An op-index bucket: class ids (at add time) whose head matches one
+ * (op, arity) key. Most HLS workloads intern huge leaf alphabets —
+ * constants, array cells, loop-carried names — whose buckets hold a
+ * single id forever, so four inline slots remove one heap allocation
+ * per distinct leaf at million-node scale.
+ */
+using OpBucket = SmallVec<EClassId, 4>;
+
+/** An e-node: an operator applied to e-class ids. */
+struct ENode
+{
+    Symbol op;
+    ChildList children;
+
+    bool
+    operator==(const ENode &other) const
+    {
+        return op == other.op && children == other.children;
+    }
+};
+
+/**
+ * The e-node hash. Computed once on the add/lookup path and passed to
+ * every NodeTable operation; splitmix-mixed per child so the low bits
+ * (the open-addressing probe start) are well distributed even for the
+ * sequential class ids real graphs produce.
+ */
+inline uint64_t
+enodeHash(const ENode &node)
+{
+    uint64_t h =
+        hashMix(static_cast<uint64_t>(node.op.id()) |
+                (static_cast<uint64_t>(node.children.size()) << 32));
+    for (EClassId child : node.children)
+        h = hashMix(h ^ child);
+    return h;
+}
+
+/** Adapter for the few remaining unordered_map uses (repair scratch
+ *  tables); the hashcons itself uses NodeTable with a threaded hash. */
+struct ENodeHash
+{
+    size_t
+    operator()(const ENode &node) const noexcept
+    {
+        return static_cast<size_t>(enodeHash(node));
+    }
+};
+
+/**
+ * Open-addressing hashcons: ENode -> EClassId in one flat slot array.
+ *
+ * Linear probing over a power-of-two capacity; every slot stores its
+ * full 64-bit hash so probes compare one integer before touching the
+ * key, and rehashing never recomputes a node hash. erase() leaves a
+ * tombstone (probe chains stay intact); tombstones are purged on the
+ * next rehash. Callers supply the hash (enodeHash) to every operation —
+ * the table itself never hashes a key.
+ *
+ * Pointers returned by find() are invalidated by insert/rehash, like
+ * iterators of the unordered_map this replaces.
+ */
+class NodeTable
+{
+  public:
+    size_t size() const { return size_; }
+
+    EClassId *
+    find(const ENode &key, uint64_t hash)
+    {
+        if (slots_.empty())
+            return nullptr;
+        size_t i = static_cast<size_t>(hash) & mask_;
+        while (true) {
+            Slot &slot = slots_[i];
+            if (slot.state == kEmpty)
+                return nullptr;
+            if (slot.state == kFull && slot.hash == hash &&
+                slot.key == key) {
+                return &slot.value;
+            }
+            i = (i + 1) & mask_;
+        }
+    }
+
+    const EClassId *
+    find(const ENode &key, uint64_t hash) const
+    {
+        return const_cast<NodeTable *>(this)->find(key, hash);
+    }
+
+    /** Insert a key known to be absent. */
+    void
+    insert(const ENode &key, uint64_t hash, EClassId value)
+    {
+        if ((used_ + 1) * 4 > slots_.size() * 3)
+            rehash();
+        size_t i = static_cast<size_t>(hash) & mask_;
+        while (slots_[i].state == kFull)
+            i = (i + 1) & mask_;
+        Slot &slot = slots_[i];
+        if (slot.state == kEmpty)
+            ++used_;
+        slot.key = key;
+        slot.hash = hash;
+        slot.value = value;
+        slot.state = kFull;
+        ++size_;
+    }
+
+    /** Upsert: overwrite the mapping or insert a fresh one. */
+    void
+    set(const ENode &key, uint64_t hash, EClassId value)
+    {
+        if (EClassId *existing = find(key, hash))
+            *existing = value;
+        else
+            insert(key, hash, value);
+    }
+
+    bool
+    erase(const ENode &key, uint64_t hash)
+    {
+        if (slots_.empty())
+            return false;
+        size_t i = static_cast<size_t>(hash) & mask_;
+        while (true) {
+            Slot &slot = slots_[i];
+            if (slot.state == kEmpty)
+                return false;
+            if (slot.state == kFull && slot.hash == hash &&
+                slot.key == key) {
+                slot.state = kTombstone;
+                slot.key = ENode{}; // release any spilled child buffer
+                --size_;
+                return true;
+            }
+            i = (i + 1) & mask_;
+        }
+    }
+
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (const Slot &slot : slots_)
+            if (slot.state == kFull)
+                fn(slot.key, slot.value);
+    }
+
+    /** Exact owned bytes: the slot array plus spilled key children. */
+    size_t
+    storageBytes() const
+    {
+        size_t bytes = slots_.capacity() * sizeof(Slot);
+        for (const Slot &slot : slots_)
+            if (slot.state == kFull)
+                bytes += slot.key.children.heapBytes();
+        return bytes;
+    }
+
+  private:
+    enum State : uint8_t { kEmpty = 0, kFull = 1, kTombstone = 2 };
+    struct Slot
+    {
+        ENode key;
+        uint64_t hash = 0;
+        EClassId value = 0;
+        uint8_t state = kEmpty;
+    };
+
+    void
+    rehash()
+    {
+        // Size for the live count: growth doubles, while a table full
+        // of tombstones is rebuilt at the same capacity (purge).
+        size_t capacity = 16;
+        while (capacity * 3 < (size_ + 1) * 4)
+            capacity <<= 1;
+        std::vector<Slot> old;
+        old.swap(slots_);
+        slots_.resize(capacity);
+        mask_ = capacity - 1;
+        used_ = size_;
+        for (Slot &slot : old) {
+            if (slot.state != kFull)
+                continue;
+            size_t i = static_cast<size_t>(slot.hash) & mask_;
+            while (slots_[i].state == kFull)
+                i = (i + 1) & mask_;
+            slots_[i].key = std::move(slot.key);
+            slots_[i].hash = slot.hash;
+            slots_[i].value = slot.value;
+            slots_[i].state = kFull;
+        }
+    }
+
+    std::vector<Slot> slots_;
+    size_t mask_ = 0;
+    size_t size_ = 0; ///< live (kFull) slots
+    size_t used_ = 0; ///< live + tombstone slots (probe-chain load)
+};
+
+/**
+ * The flattened operator index: (op, arity) -> class ids at add time.
+ *
+ * An open-addressing key table maps the packed 64-bit key to an index
+ * into a dense bucket arena. Keys are never removed — rolling back an
+ * add pops the bucket's last entry and may leave the bucket empty,
+ * which reads identically to "no candidates". Buckets are append-only
+ * between rollbacks (the coherence contract opCandidates() documents).
+ */
+class OpIndex
+{
+  public:
+    OpBucket *
+    find(uint32_t op, uint32_t arity)
+    {
+        if (table_.empty())
+            return nullptr;
+        uint64_t key = keyOf(op, arity);
+        size_t i = static_cast<size_t>(hashMix(key)) & mask_;
+        while (true) {
+            Entry &entry = table_[i];
+            if (entry.key == kEmptyKey)
+                return nullptr;
+            if (entry.key == key)
+                return &buckets_[entry.bucket];
+            i = (i + 1) & mask_;
+        }
+    }
+
+    const OpBucket *
+    find(uint32_t op, uint32_t arity) const
+    {
+        return const_cast<OpIndex *>(this)->find(op, arity);
+    }
+
+    OpBucket &
+    getOrCreate(uint32_t op, uint32_t arity)
+    {
+        if (OpBucket *bucket = find(op, arity))
+            return *bucket;
+        if ((buckets_.size() + 1) * 4 > table_.size() * 3)
+            rehash();
+        uint64_t key = keyOf(op, arity);
+        size_t i = static_cast<size_t>(hashMix(key)) & mask_;
+        while (table_[i].key != kEmptyKey)
+            i = (i + 1) & mask_;
+        table_[i].key = key;
+        table_[i].bucket = static_cast<uint32_t>(buckets_.size());
+        buckets_.emplace_back();
+        return buckets_.back();
+    }
+
+    size_t
+    storageBytes() const
+    {
+        size_t bytes = table_.capacity() * sizeof(Entry) +
+                       buckets_.capacity() * sizeof(OpBucket);
+        for (const auto &bucket : buckets_)
+            bytes += bucket.heapBytes();
+        return bytes;
+    }
+
+  private:
+    static constexpr uint64_t kEmptyKey = ~uint64_t{0};
+    struct Entry
+    {
+        uint64_t key = kEmptyKey;
+        uint32_t bucket = 0;
+    };
+
+    static uint64_t
+    keyOf(uint32_t op, uint32_t arity)
+    {
+        return (static_cast<uint64_t>(op) << 32) | arity;
+    }
+
+    void
+    rehash()
+    {
+        size_t capacity = 16;
+        while (capacity * 3 < (buckets_.size() + 1) * 4)
+            capacity <<= 1;
+        std::vector<Entry> old;
+        old.swap(table_);
+        table_.resize(capacity);
+        mask_ = capacity - 1;
+        for (const Entry &entry : old) {
+            if (entry.key == kEmptyKey)
+                continue;
+            size_t i = static_cast<size_t>(hashMix(entry.key)) & mask_;
+            while (table_[i].key != kEmptyKey)
+                i = (i + 1) & mask_;
+            table_[i] = entry;
+        }
+    }
+
+    std::vector<Entry> table_;
+    std::vector<OpBucket> buckets_;
+    size_t mask_ = 0;
+};
+
+} // namespace seer::eg
+
+#endif // SEER_EGRAPH_STORAGE_H_

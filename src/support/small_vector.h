@@ -1,0 +1,322 @@
+/**
+ * @file
+ * A small-size-optimized vector.
+ *
+ * SmallVec<T, N> stores up to N elements inline (no heap allocation)
+ * and spills to a heap buffer beyond that. The e-graph stores e-node
+ * child lists with it (the vast majority of HLS/SeerLang operators have
+ * at most four operands), e-class node lists (most classes hold exactly
+ * one node until merges splice them), and op-index buckets — at
+ * million-node scale each inline buffer eliminates one heap allocation
+ * and one pointer chase per touch.
+ *
+ * Trivially copyable elements relocate with memcpy; other element types
+ * (e.g. ENode, which itself contains a SmallVec) are moved/copied and
+ * destroyed properly, chosen at compile time. Only the vector surface
+ * the e-graph actually uses is provided: push_back / emplace_back /
+ * pop_back / size / index / iteration / equality / clear / reserve /
+ * resize / append-style insert.
+ */
+#ifndef SEER_SUPPORT_SMALL_VECTOR_H_
+#define SEER_SUPPORT_SMALL_VECTOR_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <initializer_list>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "support/error.h"
+
+namespace seer {
+
+template <typename T, unsigned N>
+class SmallVec
+{
+    static_assert(N > 0, "inline capacity must be positive");
+
+  public:
+    using value_type = T;
+    using iterator = T *;
+    using const_iterator = const T *;
+
+    SmallVec() = default;
+
+    SmallVec(std::initializer_list<T> init)
+    {
+        reserve(static_cast<uint32_t>(init.size()));
+        for (const T &value : init)
+            unsafePushBack(value);
+    }
+
+    SmallVec(const SmallVec &other) { assignFrom(other); }
+
+    SmallVec(SmallVec &&other) noexcept { stealFrom(other); }
+
+    SmallVec &
+    operator=(const SmallVec &other)
+    {
+        if (this == &other)
+            return *this;
+        destroyAll();
+        assignFrom(other);
+        return *this;
+    }
+
+    SmallVec &
+    operator=(SmallVec &&other) noexcept
+    {
+        if (this == &other)
+            return *this;
+        destroyAll();
+        releaseHeap();
+        stealFrom(other);
+        return *this;
+    }
+
+    ~SmallVec()
+    {
+        destroyAll();
+        releaseHeap();
+    }
+
+    T *
+    data()
+    {
+        return capacity_ > N ? heap_ : reinterpret_cast<T *>(inline_);
+    }
+    const T *
+    data() const
+    {
+        return capacity_ > N ? heap_
+                             : reinterpret_cast<const T *>(inline_);
+    }
+
+    size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+    size_t capacity() const { return capacity_; }
+
+    /** True when the elements spilled to a heap buffer. */
+    bool spilled() const { return capacity_ > N; }
+
+    /** Heap bytes owned (0 while inline) — exact storage accounting.
+     *  Counts this vector's own buffer only, not heap owned by the
+     *  elements themselves. */
+    size_t heapBytes() const
+    {
+        return spilled() ? capacity_ * sizeof(T) : 0;
+    }
+
+    T &operator[](size_t i) { return data()[i]; }
+    const T &operator[](size_t i) const { return data()[i]; }
+
+    T &back() { return data()[size_ - 1]; }
+    const T &back() const { return data()[size_ - 1]; }
+
+    iterator begin() { return data(); }
+    iterator end() { return data() + size_; }
+    const_iterator begin() const { return data(); }
+    const_iterator end() const { return data() + size_; }
+
+    void
+    clear()
+    {
+        destroyAll();
+        size_ = 0;
+    }
+
+    void
+    reserve(size_t capacity)
+    {
+        if (capacity <= capacity_)
+            return;
+        grow(static_cast<uint32_t>(capacity));
+    }
+
+    /** Resize; new elements are value-initialized. */
+    void
+    resize(size_t size)
+    {
+        reserve(size);
+        if (size > size_) {
+            T *base = data();
+            for (size_t i = size_; i < size; ++i)
+                new (base + i) T();
+        } else if constexpr (!std::is_trivially_destructible_v<T>) {
+            T *base = data();
+            for (size_t i = size; i < size_; ++i)
+                base[i].~T();
+        }
+        size_ = static_cast<uint32_t>(size);
+    }
+
+    void
+    push_back(const T &value)
+    {
+        if (size_ == capacity_)
+            grow(capacity_ * 2);
+        unsafePushBack(value);
+    }
+
+    void
+    push_back(T &&value)
+    {
+        if (size_ == capacity_)
+            grow(capacity_ * 2);
+        new (data() + size_) T(std::move(value));
+        ++size_;
+    }
+
+    template <typename... Args>
+    T &
+    emplace_back(Args &&...args)
+    {
+        if (size_ == capacity_)
+            grow(capacity_ * 2);
+        T *slot = new (data() + size_) T(std::forward<Args>(args)...);
+        ++size_;
+        return *slot;
+    }
+
+    void
+    pop_back()
+    {
+        --size_;
+        if constexpr (!std::is_trivially_destructible_v<T>)
+            data()[size_].~T();
+    }
+
+    /** Append-only insert (the splice the e-graph merge uses): `pos`
+     *  must be end(). */
+    template <typename It>
+    void
+    insert(const_iterator pos, It first, It last)
+    {
+        SEER_ASSERT(pos == data() + size_,
+                    "SmallVec::insert only supports appending at end()");
+        (void)pos;
+        reserve(size_ + static_cast<size_t>(std::distance(first, last)));
+        for (; first != last; ++first)
+            unsafePushBack(*first);
+    }
+
+    bool
+    operator==(const SmallVec &other) const
+    {
+        if (size_ != other.size_)
+            return false;
+        return std::equal(begin(), end(), other.begin());
+    }
+
+    bool operator!=(const SmallVec &other) const
+    {
+        return !(*this == other);
+    }
+
+  private:
+    static T *
+    allocate(uint32_t capacity)
+    {
+        return static_cast<T *>(
+            ::operator new(static_cast<size_t>(capacity) * sizeof(T)));
+    }
+
+    void
+    releaseHeap()
+    {
+        if (capacity_ > N) {
+            ::operator delete(heap_);
+            capacity_ = N;
+        }
+    }
+
+    void
+    destroyAll()
+    {
+        if constexpr (!std::is_trivially_destructible_v<T>) {
+            T *base = data();
+            for (size_t i = 0; i < size_; ++i)
+                base[i].~T();
+        }
+    }
+
+    /** Copy-construct at the back; capacity must already suffice. */
+    void
+    unsafePushBack(const T &value)
+    {
+        new (data() + size_) T(value);
+        ++size_;
+    }
+
+    /** Relocate `count` elements from src to dst (raw) storage. */
+    static void
+    relocate(T *dst, T *src, size_t count)
+    {
+        if constexpr (std::is_trivially_copyable_v<T>) {
+            std::memcpy(dst, src, count * sizeof(T));
+        } else {
+            for (size_t i = 0; i < count; ++i) {
+                new (dst + i) T(std::move(src[i]));
+                src[i].~T();
+            }
+        }
+    }
+
+    void
+    grow(uint32_t capacity)
+    {
+        capacity = std::max<uint32_t>(capacity, N * 2);
+        T *heap = allocate(capacity);
+        relocate(heap, data(), size_);
+        if (capacity_ > N)
+            ::operator delete(heap_);
+        heap_ = heap;
+        capacity_ = capacity;
+    }
+
+    void
+    assignFrom(const SmallVec &other)
+    {
+        size_ = 0;
+        reserve(other.size_);
+        if constexpr (std::is_trivially_copyable_v<T>) {
+            std::memcpy(data(), other.data(),
+                        other.size_ * sizeof(T));
+            size_ = other.size_;
+        } else {
+            for (size_t i = 0; i < other.size_; ++i)
+                unsafePushBack(other.data()[i]);
+        }
+    }
+
+    /** Take `other`'s storage; leaves it empty. Own elements must be
+     *  destroyed and own heap released already. */
+    void
+    stealFrom(SmallVec &other)
+    {
+        size_ = other.size_;
+        if (other.capacity_ > N) {
+            heap_ = other.heap_;
+            capacity_ = other.capacity_;
+            other.capacity_ = N;
+        } else {
+            capacity_ = N;
+            relocate(reinterpret_cast<T *>(inline_),
+                     reinterpret_cast<T *>(other.inline_), size_);
+        }
+        other.size_ = 0;
+    }
+
+    uint32_t size_ = 0;
+    uint32_t capacity_ = N;
+    union {
+        alignas(T) unsigned char inline_[N * sizeof(T)];
+        T *heap_;
+    };
+};
+
+} // namespace seer
+
+#endif // SEER_SUPPORT_SMALL_VECTOR_H_

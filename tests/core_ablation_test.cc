@@ -120,7 +120,7 @@ TEST(AblationTest, ThreadedRunIsDeterministic)
         bench::findBenchmark("seq_loops");
     SeerOptions serial;
     SeerOptions threaded;
-    threaded.runner.match_threads = 4;
+    threaded.runner.match_jobs = 4;
     SeerResult a = run(benchmark, serial);
     SeerResult b = run(benchmark, threaded);
     // Identical exploration -> identical extraction (modulo fresh tag

@@ -20,7 +20,7 @@
 #include "ir/printer.h"
 #include "seerlang/canonical.h"
 #include "seerlang/encoding.h"
-#include "support/parallel.h"
+#include "support/worker_pool.h"
 
 namespace seer::core {
 namespace {

@@ -139,7 +139,7 @@ TEST(ThreadedMatchTest, SameExplorationAsSerial)
             "(arith.muli:i32 var:b const:6:i32))"));
         RunnerOptions options;
         options.max_iters = 5;
-        options.match_threads = threads;
+        options.match_jobs = threads;
         options.record_proofs = false;
         Runner runner(eg, options);
         runner.addRules(rover::roverRules());
@@ -157,7 +157,7 @@ TEST(ThreadedMatchTest, ThreadedRunStillSaturates)
     EGraph eg;
     EClassId root = eg.addTerm(parseTerm("(add x y)"));
     RunnerOptions options;
-    options.match_threads = 8;
+    options.match_jobs = 8;
     Runner runner(eg, options);
     runner.addRule(makeRewrite("comm", "(add ?a ?b)", "(add ?b ?a)"));
     RunnerReport report = runner.run();

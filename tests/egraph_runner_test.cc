@@ -165,7 +165,7 @@ TEST(TimeLimitTest, ThreadedMatchPhaseAlsoHonorsTheLimit)
     EGraph eg = fanoutGraph(50);
     RunnerOptions options;
     options.time_limit_seconds = 0.0;
-    options.match_threads = 4;
+    options.match_jobs = 4;
     Runner runner(eg, options);
     runner.addRule(swapRule());
     runner.addRule(makeRewrite("swap2", "(h2 ?x)", "(h3 ?x)"));

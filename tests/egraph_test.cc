@@ -8,7 +8,7 @@ namespace seer::eg {
 namespace {
 
 ENode
-node(std::string_view op, std::vector<EClassId> children = {})
+node(std::string_view op, ChildList children = {})
 {
     return ENode{Symbol(op), std::move(children)};
 }

@@ -27,7 +27,7 @@
 #include "corpus/runner.h"
 #include "support/exec_context.h"
 #include "support/fault_inject.h"
-#include "support/parallel.h"
+#include "support/worker_pool.h"
 
 namespace {
 

@@ -83,6 +83,9 @@ usage()
         "  -j, --jobs N       worker threads for e-matching and\n"
         "                     external-pass evaluation; results are\n"
         "                     bit-identical for every N (default 1)\n"
+        "  --match-jobs N     worker threads for the sharded e-matching\n"
+        "                     phase alone (default: inherit --jobs);\n"
+        "                     same bit-identical guarantee\n"
         "  --pass-cache FILE  persist the pass-outcome/verification\n"
         "                     cache across runs (loaded at start, saved\n"
         "                     at exit; a corrupt file cold-starts)\n"
@@ -277,6 +280,13 @@ parseArgs(int argc, char **argv, CliOptions &options)
             options.report = true;
         } else if (arg == "--stats") {
             options.stats_file = next();
+        } else if (arg == "--match-jobs") {
+            int64_t jobs = next_int();
+            if (!bad_value && jobs < 1) {
+                std::cerr << "seer-opt: --match-jobs must be >= 1\n";
+                return 2;
+            }
+            options.seer.match_jobs = static_cast<unsigned>(jobs);
         } else if (arg == "-j" || arg == "--jobs") {
             int64_t jobs = next_int();
             if (!bad_value && jobs < 1) {
