@@ -1,0 +1,354 @@
+/**
+ * @file
+ * micro_serve: the seer-optd load generator.
+ *
+ * Runs an in-process OptServer (or targets an external daemon via
+ * --socket) and replays the nine paper benchmarks from N concurrent
+ * clients for R rounds over real unix-socket connections. Round 1 hits
+ * a cold cache; later rounds replay the same requests against the warm
+ * shared store — the daemon's amortization claim measured end to end:
+ *
+ *   - per-round p50/p99 request latency and requests/sec,
+ *   - the cache-hit trajectory cold -> warm,
+ *   - a byte-identity check: every round's output per benchmark must
+ *     equal round 1's (the shared-cache determinism contract).
+ *
+ * The workload mirrors micro_passes: control rules only (external
+ * passes dominate) with a thorough validation gate, so the warm rounds
+ * isolate exactly the cost the shared cache exists to amortize.
+ * tools/bench_to_json.py --mode serve wraps the --out JSON into
+ * BENCH_serve.json.
+ */
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "benchmarks/benchmarks.h"
+#include "core/server.h"
+#include "core/session.h"
+#include "support/json.h"
+#include "support/socket.h"
+#include "support/worker_pool.h"
+#include "tools/cli_common.h"
+
+using namespace seer;
+
+namespace {
+
+struct BenchOptions
+{
+    std::string socket;   // empty: run an in-process server
+    std::string out_file; // empty: stdout summary only
+    unsigned clients = 4;
+    unsigned rounds = 3;
+    int validation_runs = 32;
+    unsigned server_workers = 2;
+    bool quiet = false;
+};
+
+void
+usage()
+{
+    std::cerr <<
+        "usage: micro_serve [options]\n"
+        "\n"
+        "options (value-taking flags accept both '--flag V' and "
+        "'--flag=V'):\n"
+        "  --socket PATH       target an already-running seer-optd\n"
+        "                      (default: spin up an in-process server\n"
+        "                      on a private socket)\n"
+        "  --clients N         concurrent client threads (default 4)\n"
+        "  --rounds N          replay rounds; round 1 is cold\n"
+        "                      (default 3)\n"
+        "  --validation-runs N co-simulation runs per validation\n"
+        "                      (default 32: the external-eval-dominant\n"
+        "                      regime)\n"
+        "  --workers N         in-process server session workers\n"
+        "                      (default 2)\n"
+        "  --out FILE          write the machine-readable report\n"
+        "                      ('-' = stdout)\n"
+        "  --quiet             suppress per-round progress\n";
+}
+
+bool
+parseArgs(int argc, char **argv, BenchOptions &options)
+{
+    cli::ArgCursor args("micro_serve", argc, argv);
+    while (args.nextArg()) {
+        const std::string &arg = args.arg();
+        if (arg == "--socket") {
+            options.socket = args.value();
+        } else if (arg == "--clients") {
+            options.clients = static_cast<unsigned>(
+                args.positiveValue("client count"));
+        } else if (arg == "--rounds") {
+            options.rounds = static_cast<unsigned>(
+                args.positiveValue("round count"));
+        } else if (arg == "--validation-runs") {
+            options.validation_runs = static_cast<int>(
+                args.positiveValue("validation runs"));
+        } else if (arg == "--workers") {
+            options.server_workers = static_cast<unsigned>(
+                args.positiveValue("worker count"));
+        } else if (arg == "--out") {
+            options.out_file = args.value();
+        } else if (arg == "--quiet") {
+            options.quiet = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            std::exit(0);
+        } else {
+            args.fail("unknown option " + arg);
+        }
+        if (!args.endArg())
+            return false;
+    }
+    return true;
+}
+
+struct RequestResult
+{
+    double seconds = 0;
+    int exit_code = -1;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evals = 0;
+    std::string output;
+    std::string error;
+};
+
+RequestResult
+oneRequest(const std::string &socket, const core::ServeRequest &request)
+{
+    RequestResult result;
+    auto begin = std::chrono::steady_clock::now();
+    std::string error;
+    net::Fd sock = net::connectUnix(socket, &error);
+    if (!sock.valid()) {
+        result.error = error;
+        return result;
+    }
+    if (net::sendFrame(sock.get(), core::serializeRequest(request),
+                       &error) != net::IoStatus::Ok) {
+        result.error = error;
+        return result;
+    }
+    std::string payload;
+    if (net::recvFrame(sock.get(), payload, &error) !=
+        net::IoStatus::Ok) {
+        result.error = error.empty() ? "connection closed" : error;
+        return result;
+    }
+    core::ServeResponse response;
+    if (!core::parseResponse(payload, &response, &error)) {
+        result.error = error;
+        return result;
+    }
+    result.seconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - begin)
+                         .count();
+    result.exit_code = response.exit_code;
+    result.hits = response.pass_cache_hits;
+    result.misses = response.pass_cache_misses;
+    result.evals = response.evaluations;
+    result.output = std::move(response.output_ir);
+    result.error = std::move(response.error);
+    return result;
+}
+
+double
+percentile(std::vector<double> sorted, double p)
+{
+    if (sorted.empty())
+        return 0;
+    std::sort(sorted.begin(), sorted.end());
+    double rank = p * static_cast<double>(sorted.size() - 1);
+    size_t lo = static_cast<size_t>(rank);
+    size_t hi = std::min(lo + 1, sorted.size() - 1);
+    double frac = rank - static_cast<double>(lo);
+    return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    BenchOptions options;
+    if (!parseArgs(argc, argv, options)) {
+        usage();
+        return 2;
+    }
+
+    // An in-process server unless pointed at an external daemon: the
+    // numbers include the full socket + framing + session path either
+    // way, and CI needs no process choreography.
+    std::unique_ptr<core::OptServer> server;
+    std::string socket = options.socket;
+    if (socket.empty()) {
+        core::ServerOptions server_options;
+        socket = "/tmp/seer-micro-serve-" +
+                 std::to_string(::getpid()) + ".sock";
+        server_options.socket_path = socket;
+        server_options.workers = options.server_workers;
+        server_options.quiet = true;
+        server = std::make_unique<core::OptServer>(server_options);
+        std::string error;
+        if (!server->start(&error)) {
+            std::cerr << "micro_serve: " << error << "\n";
+            return 1;
+        }
+    }
+
+    const std::vector<bench::Benchmark> &suite =
+        bench::allBenchmarks();
+    std::vector<core::ServeRequest> requests;
+    for (const bench::Benchmark &benchmark : suite) {
+        core::ServeRequest request;
+        request.func = benchmark.func;
+        request.ir_text = benchmark.source;
+        // The micro_passes regime: control rules only + a thorough
+        // validation gate, so external evaluation dominates and the
+        // warm rounds measure exactly what the shared cache amortizes.
+        request.use_rover = false;
+        request.validation_runs = options.validation_runs;
+        request.unroll_max_trip = benchmark.unroll_max_trip;
+        // Deterministic exploration: the default 10s egg-runner limit
+        // makes the explored set depend on machine speed and cache
+        // warmth (a warm run reaches further in the same seconds, so
+        // "warm" rounds would keep discovering work — and diverge).
+        // Saturation must run to its iteration/node budget instead.
+        request.time_limit_seconds = 1e6;
+        requests.push_back(std::move(request));
+    }
+
+    json::Value rounds_json{json::Array{}};
+    std::vector<std::string> first_outputs(requests.size());
+    bool deterministic = true;
+    bool failed = false;
+    double cold_p50 = 0, warm_p50 = 0;
+
+    for (unsigned round = 0; round < options.rounds; ++round) {
+        std::vector<RequestResult> results(requests.size());
+        auto begin = std::chrono::steady_clock::now();
+        parallelFor(requests.size(), options.clients, [&](size_t i) {
+            results[i] = oneRequest(socket, requests[i]);
+        });
+        double wall = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - begin)
+                          .count();
+
+        std::vector<double> latencies;
+        uint64_t hits = 0, misses = 0, evals = 0;
+        for (size_t i = 0; i < results.size(); ++i) {
+            const RequestResult &r = results[i];
+            if (r.exit_code != 0) {
+                std::cerr << "micro_serve: " << suite[i].name
+                          << " failed (exit " << r.exit_code << "): "
+                          << r.error << "\n";
+                failed = true;
+                continue;
+            }
+            latencies.push_back(r.seconds);
+            hits += r.hits;
+            misses += r.misses;
+            evals += r.evals;
+            if (first_outputs[i].empty()) {
+                // Round 1 normally; later if that round's request
+                // failed (the failure is already reported above).
+                first_outputs[i] = r.output;
+            } else if (r.output != first_outputs[i]) {
+                deterministic = false;
+                std::cerr << "micro_serve: " << suite[i].name
+                          << ": round " << (round + 1)
+                          << " output diverged from the first "
+                          << "successful round\n";
+            }
+        }
+        double p50 = percentile(latencies, 0.50);
+        double p99 = percentile(latencies, 0.99);
+        double hit_rate =
+            hits + misses == 0
+                ? 0
+                : static_cast<double>(hits) /
+                      static_cast<double>(hits + misses);
+        if (round == 0)
+            cold_p50 = p50;
+        warm_p50 = p50; // last round wins
+
+        json::Value entry{json::Object{}};
+        entry.set("round", static_cast<int64_t>(round + 1));
+        entry.set("cold", round == 0);
+        entry.set("requests",
+                  static_cast<int64_t>(latencies.size()));
+        entry.set("wall_s", wall);
+        entry.set("requests_per_s",
+                  wall > 0 ? static_cast<double>(latencies.size()) /
+                                 wall
+                           : 0.0);
+        entry.set("p50_ms", p50 * 1e3);
+        entry.set("p99_ms", p99 * 1e3);
+        entry.set("pass_cache_hits", hits);
+        entry.set("pass_cache_misses", misses);
+        entry.set("evaluations", evals);
+        entry.set("hit_rate", hit_rate);
+        rounds_json.push(std::move(entry));
+
+        if (!options.quiet) {
+            std::cerr << "; round " << (round + 1) << "/"
+                      << options.rounds << (round == 0 ? " (cold)" : "")
+                      << ": p50 " << p50 * 1e3 << " ms, p99 "
+                      << p99 * 1e3 << " ms, hit rate " << hit_rate
+                      << ", " << evals << " evals\n";
+        }
+    }
+
+    double speedup = warm_p50 > 0 ? cold_p50 / warm_p50 : 0;
+    std::cerr << "; serve: cold p50 " << cold_p50 * 1e3
+              << " ms -> warm p50 " << warm_p50 * 1e3 << " ms ("
+              << speedup << "x), outputs "
+              << (deterministic ? "byte-identical" : "DIVERGED")
+              << " across rounds\n";
+
+    json::Value report{json::Object{}};
+    report.set("mode", "serve");
+    report.set("clients", options.clients);
+    report.set("rounds", options.rounds);
+    report.set("validation_runs",
+               static_cast<int64_t>(options.validation_runs));
+    json::Value names{json::Array{}};
+    for (const bench::Benchmark &benchmark : suite)
+        names.push(benchmark.name);
+    report.set("benchmarks", std::move(names));
+    report.set("rounds_data", std::move(rounds_json));
+    report.set("cold_p50_ms", cold_p50 * 1e3);
+    report.set("warm_p50_ms", warm_p50 * 1e3);
+    report.set("warm_speedup", speedup);
+    report.set("deterministic", deterministic);
+
+    if (!options.out_file.empty()) {
+        std::string text = report.dump(2) + "\n";
+        if (options.out_file == "-") {
+            std::cout << text;
+        } else {
+            std::ofstream out(options.out_file, std::ios::trunc);
+            if (!out) {
+                std::cerr << "micro_serve: cannot open "
+                          << options.out_file << "\n";
+                return 1;
+            }
+            out << text;
+        }
+    }
+
+    if (server)
+        server->stop();
+    return failed || !deterministic ? 1 : 0;
+}

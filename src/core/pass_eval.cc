@@ -283,19 +283,45 @@ outcomeBytes(const PassOutcome &outcome)
 
 constexpr int64_t kVerdictBytes = 96;
 
+int64_t
+verdictBytes(const VerifyVerdict &verdict)
+{
+    return kVerdictBytes + static_cast<int64_t>(verdict.diag.size());
+}
+
 } // namespace
+
+ExternalEvalCache::ExternalEvalCache(bool persistent,
+                                     EvalCacheConfig config)
+    : persistent_(persistent),
+      pass_(config.shards,
+            config.max_bytes == 0 ? 0 : config.max_bytes / 4 * 3,
+            [this](int64_t delta) { charge(delta); }),
+      verify_(config.shards,
+              config.max_bytes == 0 ? 0 : config.max_bytes / 4,
+              [this](int64_t delta) { charge(delta); })
+{}
 
 void
 ExternalEvalCache::setExecContext(const ExecContext &exec)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    exec_ = exec;
+    std::lock_guard<std::mutex> lock(exec_mutex_);
+    if (!exec_pinned_)
+        exec_ = exec;
 }
 
 void
-ExternalEvalCache::chargeLocked(int64_t delta)
+ExternalEvalCache::pinExecContext(const ExecContext &exec)
 {
-    charged_bytes_ += delta;
+    std::lock_guard<std::mutex> lock(exec_mutex_);
+    exec_ = exec;
+    exec_pinned_ = true;
+}
+
+void
+ExternalEvalCache::charge(int64_t delta)
+{
+    std::lock_guard<std::mutex> lock(exec_mutex_);
     exec_.chargeMem(MemSubsystem::Caches, delta);
 }
 
@@ -306,20 +332,19 @@ ExternalEvalCache::lookupPass(uint64_t key, bool count)
     // re-evaluated from scratch, never trusted.
     if (faultFire(FaultPoint::CacheRead))
         return std::nullopt;
-    std::lock_guard<std::mutex> lock(mutex_);
-    auto it = pass_.find(key);
-    if (it == pass_.end())
-        return std::nullopt;
-    if (count)
+    std::optional<PassOutcome> found = pass_.lookup(key, count);
+    if (found && count) {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
         ++stats_.pass_cache_hits;
-    return it->second;
+    }
+    return found;
 }
 
 bool
 ExternalEvalCache::probePass(uint64_t key)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    bool present = pass_.count(key) != 0;
+    bool present = pass_.contains(key);
+    std::lock_guard<std::mutex> lock(stats_mutex_);
     if (present)
         ++stats_.pass_cache_hits;
     else
@@ -330,24 +355,20 @@ ExternalEvalCache::probePass(uint64_t key)
 void
 ExternalEvalCache::insertPass(uint64_t key, PassOutcome outcome)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
     int64_t bytes = outcomeBytes(outcome);
-    auto [it, inserted] = pass_.insert_or_assign(key, std::move(outcome));
-    if (inserted)
-        chargeLocked(bytes);
+    pass_.insert(key, std::move(outcome), bytes);
 }
 
 std::optional<VerifyVerdict>
 ExternalEvalCache::lookupVerify(uint64_t key)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    auto it = verify_.find(key);
-    if (it == verify_.end()) {
+    std::optional<VerifyVerdict> found = verify_.lookup(key);
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    if (found)
+        ++stats_.verify_cache_hits;
+    else
         ++stats_.verify_cache_misses;
-        return std::nullopt;
-    }
-    ++stats_.verify_cache_hits;
-    return it->second;
+    return found;
 }
 
 void
@@ -358,42 +379,35 @@ ExternalEvalCache::insertVerify(uint64_t key, VerifyVerdict verdict)
     // (never half-cached) and the caller treats it as canceled.
     if (faultFire(FaultPoint::CacheAlloc))
         throw std::bad_alloc();
-    std::lock_guard<std::mutex> lock(mutex_);
-    int64_t bytes = kVerdictBytes +
-                    static_cast<int64_t>(verdict.diag.size());
-    auto [it, inserted] =
-        verify_.insert_or_assign(key, std::move(verdict));
-    if (inserted)
-        chargeLocked(bytes);
+    int64_t bytes = verdictBytes(verdict);
+    verify_.insert(key, std::move(verdict), bytes);
 }
 
 void
 ExternalEvalCache::clearOutcomes()
 {
-    std::lock_guard<std::mutex> lock(mutex_);
     pass_.clear();
     verify_.clear();
-    chargeLocked(-charged_bytes_);
 }
 
 void
 ExternalEvalCache::countMiss()
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<std::mutex> lock(stats_mutex_);
     ++stats_.pass_cache_misses;
 }
 
 void
 ExternalEvalCache::countDeduped(size_t n)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<std::mutex> lock(stats_mutex_);
     stats_.candidates_deduped += n;
 }
 
 void
 ExternalEvalCache::countBatch(size_t jobs)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<std::mutex> lock(stats_mutex_);
     ++stats_.batches;
     stats_.batch_jobs += jobs;
 }
@@ -401,7 +415,7 @@ ExternalEvalCache::countBatch(size_t jobs)
 void
 ExternalEvalCache::chargeEvaluation(const EvalCharge &charge)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<std::mutex> lock(stats_mutex_);
     ++stats_.evaluations;
     if (charge.canceled)
         ++stats_.canceled;
@@ -415,7 +429,7 @@ ExternalEvalCache::chargeEvaluation(const EvalCharge &charge)
 double
 ExternalEvalCache::evalSeconds() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<std::mutex> lock(stats_mutex_);
     return stats_.emit_seconds + stats_.pass_seconds +
            stats_.translate_seconds + stats_.verify_seconds +
            stats_.schedule_seconds;
@@ -424,8 +438,33 @@ ExternalEvalCache::evalSeconds() const
 ExternalEvalStats
 ExternalEvalCache::stats() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return stats_;
+    ExternalEvalStats out;
+    {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        out = stats_;
+    }
+    LruMetrics pass_metrics = pass_.metrics();
+    LruMetrics verify_metrics = verify_.metrics();
+    out.cache_shards = pass_.shardCount();
+    out.pass_evictions = pass_metrics.evictions;
+    out.verify_evictions = verify_metrics.evictions;
+    out.evicted_bytes =
+        pass_metrics.evicted_bytes + verify_metrics.evicted_bytes;
+    out.resident_entries = pass_metrics.entries + verify_metrics.entries;
+    out.resident_bytes = pass_metrics.bytes + verify_metrics.bytes;
+    return out;
+}
+
+std::vector<LruMetrics>
+ExternalEvalCache::passShardMetrics() const
+{
+    return pass_.shardMetrics();
+}
+
+std::vector<LruMetrics>
+ExternalEvalCache::verifyShardMetrics() const
+{
+    return verify_.shardMetrics();
 }
 
 // --- persistence ----------------------------------------------------------
@@ -603,20 +642,36 @@ ExternalEvalCache::loadFile(const std::string &path, std::string *error)
     if (!file)
         return 0; // absent: a cold start, not an error
 
+    std::string content{std::istreambuf_iterator<char>(file),
+                        std::istreambuf_iterator<char>()};
+
     auto corrupt = [&](const std::string &why) -> size_t {
-        std::lock_guard<std::mutex> lock(mutex_);
         pass_.clear();
         verify_.clear();
-        chargeLocked(-charged_bytes_);
+        // Honest cold-start accounting: count the record lines the
+        // rejected file carried, so the stats section reports how much
+        // memoized work was thrown away instead of a silent zero.
+        size_t rejected = 0;
+        size_t pos = 0;
+        while (pos < content.size()) {
+            if (content.compare(pos, 2, "P ") == 0 ||
+                content.compare(pos, 2, "V ") == 0)
+                ++rejected;
+            size_t nl = content.find('\n', pos);
+            if (nl == std::string::npos)
+                break;
+            pos = nl + 1;
+        }
+        std::lock_guard<std::mutex> lock(stats_mutex_);
         stats_.disk_load_failed = true;
         stats_.disk_entries_loaded = 0;
+        stats_.disk_entries_rejected = rejected;
+        stats_.disk_load_error = why;
         if (error)
             *error = "pass cache '" + path + "': " + why;
         return 0;
     };
 
-    std::string content{std::istreambuf_iterator<char>(file),
-                        std::istreambuf_iterator<char>()};
     if (file.bad())
         return corrupt("read error");
 
@@ -719,21 +774,15 @@ ExternalEvalCache::loadFile(const std::string &path, std::string *error)
     }
 
     size_t loaded = pass.size() + verify.size();
-    std::lock_guard<std::mutex> lock(mutex_);
     for (auto &[key, outcome] : pass) {
         int64_t bytes = outcomeBytes(outcome);
-        auto [it, inserted] =
-            pass_.insert_or_assign(key, std::move(outcome));
-        if (inserted)
-            chargeLocked(bytes);
+        pass_.insert(key, std::move(outcome), bytes);
     }
-    for (auto &[key, verdict] : verify) {
-        auto [it, inserted] = verify_.insert_or_assign(key, verdict);
-        if (inserted)
-            chargeLocked(kVerdictBytes +
-                         static_cast<int64_t>(verdict.diag.size()));
-    }
+    for (auto &[key, verdict] : verify)
+        verify_.insert(key, verdict, verdictBytes(verdict));
+    std::lock_guard<std::mutex> lock(stats_mutex_);
     stats_.disk_entries_loaded = loaded;
+    stats_.disk_load_error.clear();
     return loaded;
 }
 
@@ -743,26 +792,15 @@ ExternalEvalCache::saveFile(const std::string &path,
 {
     if (error)
         error->clear();
-    std::unordered_map<uint64_t, PassOutcome> pass;
-    std::unordered_map<uint64_t, VerifyVerdict> verify;
-    {
-        std::lock_guard<std::mutex> lock(mutex_);
-        pass = pass_;
-        verify = verify_;
-    }
     // Serialize the body in memory first: the checksum covers every
     // byte that will precede it, and the file is then written in one
-    // stream without interleaved reads of mutable state.
+    // stream without interleaved reads of mutable state. forEachSorted
+    // snapshots each store and iterates in sorted key order, so the
+    // artifact is byte-stable across runs — and across save → load →
+    // save round trips, whatever LRU order the traffic left behind.
     std::ostringstream out;
     out << kCacheHeader << '\n';
-    // Sorted keys: the artifact is byte-stable across runs.
-    std::vector<uint64_t> keys;
-    keys.reserve(pass.size());
-    for (const auto &[key, outcome] : pass)
-        keys.push_back(key);
-    std::sort(keys.begin(), keys.end());
-    for (uint64_t key : keys) {
-        const PassOutcome &outcome = pass.at(key);
+    pass_.forEachSorted([&](uint64_t key, const PassOutcome &outcome) {
         out << "P " << keyHex(key) << ' '
             << static_cast<int>(outcome.status) << ' '
             << escapeField(outcome.detail) << ' '
@@ -772,17 +810,13 @@ ExternalEvalCache::saveFile(const std::string &path,
             << ' ' << outcome.schedule.size() << '\n';
         for (const auto &[id, entry] : outcome.schedule)
             writeEntry(out, id, entry);
-    }
-    keys.clear();
-    for (const auto &[key, verdict] : verify)
-        keys.push_back(key);
-    std::sort(keys.begin(), keys.end());
-    for (uint64_t key : keys) {
-        const VerifyVerdict &verdict = verify.at(key);
+    });
+    verify_.forEachSorted([&](uint64_t key,
+                              const VerifyVerdict &verdict) {
         out << "V " << keyHex(key) << ' '
             << static_cast<int>(verdict.result) << ' '
             << escapeField(verdict.diag) << '\n';
-    }
+    });
     std::string body = out.str();
 
     // Atomic persistence: write body + checksum to a sibling temp file,
@@ -841,6 +875,14 @@ toJson(const ExternalEvalStats &stats)
     out.set("schedule_seconds", stats.schedule_seconds);
     out.set("disk_entries_loaded", stats.disk_entries_loaded);
     out.set("disk_load_failed", stats.disk_load_failed);
+    out.set("disk_entries_rejected", stats.disk_entries_rejected);
+    out.set("disk_load_error", stats.disk_load_error);
+    out.set("cache_shards", stats.cache_shards);
+    out.set("pass_evictions", stats.pass_evictions);
+    out.set("verify_evictions", stats.verify_evictions);
+    out.set("evicted_bytes", stats.evicted_bytes);
+    out.set("resident_entries", stats.resident_entries);
+    out.set("resident_bytes", stats.resident_bytes);
     return out;
 }
 

@@ -70,6 +70,11 @@ evalStatsDelta(const ExternalEvalStats &now, const ExternalEvalStats &base)
     d.translate_seconds -= base.translate_seconds;
     d.verify_seconds -= base.verify_seconds;
     d.schedule_seconds -= base.schedule_seconds;
+    d.pass_evictions -= base.pass_evictions;
+    d.verify_evictions -= base.verify_evictions;
+    d.evicted_bytes -= base.evicted_bytes;
+    // cache_shards / resident_* / disk_* are levels describing the
+    // cache itself, not per-run counters: they pass through.
     return d;
 }
 

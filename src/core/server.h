@@ -1,0 +1,134 @@
+/**
+ * @file
+ * The seer-optd optimization server: a long-lived process sharing one
+ * warm, sharded evaluation cache across every request.
+ *
+ * Architecture (one connection = one request = one session):
+ *
+ *   accept loop (1 thread) --> TaskQueue (N workers) --> runSession()
+ *                                    |                       |
+ *                                    |            per-request ExecContext
+ *                                    |            (deadline, mem budget,
+ *                                    |             disconnect watcher)
+ *                                    +--> shared ExternalEvalCache
+ *                                         (mutex-striped, LRU + byte
+ *                                          budget, pinned to the server
+ *                                          governor, periodically saved
+ *                                          via the atomic persist path)
+ *
+ * Isolation riding the existing contracts: a request that faults is
+ * contained by optimize()'s checkpoint/rollback + degraded-mode
+ * machinery and cannot take the daemon down; a request that balloons
+ * is canceled by its own ExecContext budget; a client that disconnects
+ * mid-request cancels its session cooperatively (External reason) and
+ * the partial result is simply discarded. SIGTERM/SIGINT raise the
+ * process-wide cancel flag, which every active session's context
+ * already observes — shutdown is: stop accepting, let active sessions
+ * degrade out, drain the queue, save the cache, exit 0.
+ *
+ * The class is embeddable (tests run a real server in-process);
+ * tools/seer_optd.cc is a thin CLI around it.
+ */
+#ifndef SEER_CORE_SERVER_H_
+#define SEER_CORE_SERVER_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "core/session.h"
+#include "support/socket.h"
+#include "support/worker_pool.h"
+
+namespace seer::core {
+
+struct ServerOptions
+{
+    /** Unix socket path to listen on. */
+    std::string socket_path;
+    /** Concurrent sessions (TaskQueue workers). */
+    unsigned workers = 2;
+    /** Stripes of the shared cache. */
+    unsigned cache_shards = 16;
+    /** Byte budget of the shared cache (0 = unlimited). */
+    uint64_t cache_max_bytes = 256ull * 1024 * 1024;
+    /** Persist the cache here (loaded at start, saved periodically
+     *  and at shutdown via the atomic tmp+fsync+rename path). */
+    std::string cache_file;
+    /** Requests between periodic saves (0 = only at shutdown). */
+    unsigned save_every = 32;
+    /** Clamp client deadlines to this many seconds (0 = no clamp). */
+    double max_deadline_seconds = 0;
+    /** Server-wide memory budget (governor; 0 = accounting only). */
+    uint64_t mem_budget_bytes = 0;
+    /** Suppress per-request log lines. */
+    bool quiet = false;
+};
+
+/** Lifetime counters of one server (the shutdown summary). */
+struct ServerCounters
+{
+    uint64_t requests = 0;        ///< sessions completed
+    uint64_t failures = 0;        ///< sessions with exit 1
+    uint64_t degraded = 0;        ///< sessions with exit 3
+    uint64_t client_gone = 0;     ///< disconnects observed mid-request
+    uint64_t protocol_errors = 0; ///< unparsable/oversized frames
+    uint64_t cache_saves = 0;     ///< successful persistence passes
+};
+
+class OptServer
+{
+  public:
+    explicit OptServer(ServerOptions options);
+    ~OptServer();
+
+    OptServer(const OptServer &) = delete;
+    OptServer &operator=(const OptServer &) = delete;
+
+    /**
+     * Bind the socket, load the persisted cache (a corrupt file
+     * cold-starts and is reported, never fatal), and start the accept
+     * loop + workers. False with *error on a bind/listen failure.
+     */
+    bool start(std::string *error);
+
+    /**
+     * Stop accepting, cancel active sessions (External), drain the
+     * queue, join, and save the cache. Idempotent; called by the
+     * destructor if needed.
+     */
+    void stop();
+
+    /** True until stop() (or a fatal accept-loop error). */
+    bool running() const { return running_.load(); }
+
+    ServerCounters counters() const;
+    const ServerOptions &options() const { return options_; }
+    const EvalCachePtr &cache() const { return cache_; }
+
+  private:
+    void acceptLoop();
+    void handleClient(std::shared_ptr<net::Fd> client);
+    /** Persist the shared cache if configured; logs, never throws. */
+    void saveCache();
+
+    ServerOptions options_;
+    EvalCachePtr cache_;
+    ExecContext server_exec_;
+    net::Fd listen_fd_;
+    std::unique_ptr<TaskQueue> queue_;
+    std::thread accept_thread_;
+    std::atomic<bool> running_{false};
+    std::atomic<bool> stopping_{false};
+
+    mutable std::mutex counters_mutex_;
+    ServerCounters counters_;
+    unsigned requests_since_save_ = 0;
+    std::mutex save_mutex_;
+};
+
+} // namespace seer::core
+
+#endif // SEER_CORE_SERVER_H_

@@ -1,0 +1,258 @@
+#include "support/socket.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#ifndef POLLRDHUP
+#define POLLRDHUP 0x2000
+#endif
+
+namespace seer::net {
+
+namespace {
+
+void
+setError(std::string *error, const std::string &what)
+{
+    if (error)
+        *error = what + ": " + std::strerror(errno);
+}
+
+/** Fill a sockaddr_un; false when the path does not fit sun_path. */
+bool
+fillAddr(const std::string &path, sockaddr_un &addr)
+{
+    if (path.empty() || path.size() >= sizeof(addr.sun_path))
+        return false;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    return true;
+}
+
+} // namespace
+
+void
+Fd::reset()
+{
+    if (fd_ >= 0) {
+        // EINTR after close is unspecified; never retry close().
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+Fd
+listenUnix(const std::string &path, std::string *error)
+{
+    sockaddr_un addr;
+    if (!fillAddr(path, addr)) {
+        if (error)
+            *error = "socket path too long: " + path;
+        return Fd();
+    }
+    Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+    if (!fd.valid()) {
+        setError(error, "socket");
+        return Fd();
+    }
+    // The daemon owns its socket path: a stale file from a previous
+    // (crashed) instance must not block startup.
+    ::unlink(path.c_str());
+    if (::bind(fd.get(), reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        setError(error, "bind " + path);
+        return Fd();
+    }
+    if (::listen(fd.get(), 64) != 0) {
+        setError(error, "listen " + path);
+        return Fd();
+    }
+    return fd;
+}
+
+Fd
+connectUnix(const std::string &path, std::string *error)
+{
+    sockaddr_un addr;
+    if (!fillAddr(path, addr)) {
+        if (error)
+            *error = "socket path too long: " + path;
+        return Fd();
+    }
+    Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+    if (!fd.valid()) {
+        setError(error, "socket");
+        return Fd();
+    }
+    int rc;
+    do {
+        rc = ::connect(fd.get(), reinterpret_cast<sockaddr *>(&addr),
+                       sizeof(addr));
+    } while (rc != 0 && errno == EINTR);
+    if (rc != 0) {
+        setError(error, "connect " + path);
+        return Fd();
+    }
+    return fd;
+}
+
+Fd
+acceptClient(int listen_fd, std::string *error)
+{
+    for (;;) {
+        int fd = ::accept(listen_fd, nullptr, nullptr);
+        if (fd >= 0)
+            return Fd(fd);
+        if (errno == EINTR)
+            continue;
+        // A client that connected and vanished before accept() is a
+        // non-event, not a server failure.
+        if (errno == ECONNABORTED || errno == EAGAIN ||
+            errno == EWOULDBLOCK)
+            return Fd();
+        setError(error, "accept");
+        return Fd();
+    }
+}
+
+namespace {
+
+IoStatus
+sendAll(int fd, const char *data, size_t size, std::string *error)
+{
+    size_t sent = 0;
+    while (sent < size) {
+        ssize_t n =
+            ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            setError(error, "send");
+            return IoStatus::Error;
+        }
+        sent += static_cast<size_t>(n);
+    }
+    return IoStatus::Ok;
+}
+
+/** Read exactly `size` bytes; Eof only when nothing was read yet. */
+IoStatus
+recvAll(int fd, char *data, size_t size, std::string *error)
+{
+    size_t got = 0;
+    while (got < size) {
+        ssize_t n = ::recv(fd, data + got, size - got, 0);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            setError(error, "recv");
+            return IoStatus::Error;
+        }
+        if (n == 0) {
+            if (got == 0)
+                return IoStatus::Eof;
+            if (error)
+                *error = "connection closed mid-frame";
+            return IoStatus::Error;
+        }
+        got += static_cast<size_t>(n);
+    }
+    return IoStatus::Ok;
+}
+
+} // namespace
+
+IoStatus
+sendFrame(int fd, std::string_view payload, std::string *error)
+{
+    std::string header = std::to_string(payload.size());
+    header.push_back('\n');
+    IoStatus status =
+        sendAll(fd, header.data(), header.size(), error);
+    if (status != IoStatus::Ok)
+        return status;
+    return sendAll(fd, payload.data(), payload.size(), error);
+}
+
+IoStatus
+recvFrame(int fd, std::string &payload, std::string *error,
+          uint64_t max_bytes)
+{
+    // The header is a handful of digits: byte-at-a-time reads keep the
+    // code trivially correct and cost nothing against a pass pipeline.
+    std::string header;
+    for (;;) {
+        char c;
+        IoStatus status = recvAll(fd, &c, 1, error);
+        if (status == IoStatus::Eof)
+            return header.empty() ? IoStatus::Eof : IoStatus::Error;
+        if (status != IoStatus::Ok)
+            return status;
+        if (c == '\n')
+            break;
+        if (c < '0' || c > '9' || header.size() > 19) {
+            if (error)
+                *error = "malformed frame header";
+            return IoStatus::Error;
+        }
+        header.push_back(c);
+    }
+    if (header.empty()) {
+        if (error)
+            *error = "malformed frame header";
+        return IoStatus::Error;
+    }
+    uint64_t length = std::stoull(header);
+    if (length > max_bytes) {
+        if (error)
+            *error = "frame of " + header + " bytes exceeds the " +
+                     std::to_string(max_bytes) + "-byte limit";
+        return IoStatus::TooLarge;
+    }
+    payload.resize(length);
+    if (length == 0)
+        return IoStatus::Ok;
+    IoStatus status = recvAll(fd, payload.data(), length, error);
+    if (status == IoStatus::Eof) {
+        if (error)
+            *error = "connection closed mid-frame";
+        return IoStatus::Error;
+    }
+    return status;
+}
+
+bool
+waitReadable(int fd, int timeout_ms)
+{
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    int rc;
+    do {
+        rc = ::poll(&pfd, 1, timeout_ms);
+    } while (rc < 0 && errno == EINTR);
+    return rc > 0 &&
+           (pfd.revents & (POLLIN | POLLHUP | POLLERR)) != 0;
+}
+
+bool
+peerHungUp(int fd)
+{
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = static_cast<short>(POLLRDHUP);
+    int rc;
+    do {
+        rc = ::poll(&pfd, 1, 0);
+    } while (rc < 0 && errno == EINTR);
+    return rc > 0 && (pfd.revents &
+                      (POLLRDHUP | POLLHUP | POLLERR | POLLNVAL)) != 0;
+}
+
+} // namespace seer::net

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Minimal unix-domain socket + framing helpers for the seer-optd
+ * daemon and its clients.
+ *
+ * The wire protocol is deliberately dumb: one request frame, one
+ * response frame, connection closed. A frame is a decimal byte count
+ * terminated by '\n', followed by exactly that many payload bytes
+ * (the "length-prefixed line protocol"). Framing is transport-level
+ * only — payload structure lives in core/session.h — so these helpers
+ * stay free of any seer dependency and are trivially unit-testable
+ * over a socketpair.
+ *
+ * All calls retry EINTR, writes use MSG_NOSIGNAL (a vanished client
+ * must surface as an error return, never SIGPIPE), and oversized
+ * frames are rejected before any allocation so a malformed or
+ * malicious peer cannot balloon the daemon.
+ */
+#ifndef SEER_SUPPORT_SOCKET_H_
+#define SEER_SUPPORT_SOCKET_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace seer::net {
+
+/** Refuse frames beyond this many payload bytes (either direction). */
+constexpr uint64_t kMaxFrameBytes = 256ull * 1024 * 1024;
+
+/**
+ * Move-only RAII file descriptor. Closes on destruction; release()
+ * transfers ownership out.
+ */
+class Fd
+{
+  public:
+    Fd() = default;
+    explicit Fd(int fd) : fd_(fd) {}
+    ~Fd() { reset(); }
+    Fd(Fd &&other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+    Fd &operator=(Fd &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            fd_ = other.fd_;
+            other.fd_ = -1;
+        }
+        return *this;
+    }
+    Fd(const Fd &) = delete;
+    Fd &operator=(const Fd &) = delete;
+
+    bool valid() const { return fd_ >= 0; }
+    int get() const { return fd_; }
+    int release()
+    {
+        int fd = fd_;
+        fd_ = -1;
+        return fd;
+    }
+    void reset();
+
+  private:
+    int fd_ = -1;
+};
+
+/**
+ * Bind + listen on a unix socket at `path` (an existing socket file is
+ * unlinked first — the daemon owns its path). Invalid Fd with *error
+ * set on failure.
+ */
+Fd listenUnix(const std::string &path, std::string *error);
+
+/** Connect to a unix socket. Invalid Fd with *error set on failure. */
+Fd connectUnix(const std::string &path, std::string *error);
+
+/**
+ * Accept one client (blocking). Invalid Fd on error; *error stays
+ * empty when the failure is a plain would-block/shutdown race.
+ */
+Fd acceptClient(int listen_fd, std::string *error);
+
+/** Outcome of one frame-level I/O operation. */
+enum class IoStatus
+{
+    Ok = 0,
+    Eof,      ///< orderly close before/inside a frame
+    TooLarge, ///< frame length beyond max_bytes
+    Error,    ///< errno-level failure (message in *error)
+};
+
+/** Write one `<decimal length>\n<payload>` frame. */
+IoStatus sendFrame(int fd, std::string_view payload, std::string *error);
+
+/**
+ * Read one frame into `payload` (replaced). Eof before the first
+ * header byte is a clean end-of-stream; mid-frame EOF is an Error.
+ */
+IoStatus recvFrame(int fd, std::string &payload, std::string *error,
+                   uint64_t max_bytes = kMaxFrameBytes);
+
+/**
+ * Poll `fd` for readability for up to `timeout_ms` (0 = immediate).
+ * True when readable (or hung up — a read will then observe EOF).
+ */
+bool waitReadable(int fd, int timeout_ms);
+
+/**
+ * True when the peer has hung up (POLLRDHUP/POLLHUP/POLLERR) without
+ * consuming any pending data — the daemon's client-disconnect probe,
+ * polled while a request is being computed.
+ */
+bool peerHungUp(int fd);
+
+} // namespace seer::net
+
+#endif // SEER_SUPPORT_SOCKET_H_

@@ -1,0 +1,169 @@
+#include "tools/cli_common.h"
+
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace seer::cli {
+
+ArgCursor::ArgCursor(std::string prog, int argc, char **argv)
+    : prog_(std::move(prog)), args_(argv + 1, argv + argc)
+{
+}
+
+bool
+ArgCursor::nextArg()
+{
+    if (index_ >= args_.size())
+        return false;
+    arg_ = args_[index_++];
+    inline_value_.reset();
+    bad_value_ = false;
+    // GNU-style --flag=value: split so both spellings hit the same
+    // validation (a bad number in either reports "bad number", not
+    // "unknown option").
+    if (arg_.size() > 2 && arg_[0] == '-' && arg_[1] == '-') {
+        size_t eq = arg_.find('=');
+        if (eq != std::string::npos) {
+            inline_value_ = arg_.substr(eq + 1);
+            arg_.resize(eq);
+        }
+    }
+    return true;
+}
+
+bool
+ArgCursor::endArg()
+{
+    if (bad_value_)
+        return false;
+    if (inline_value_) {
+        std::cerr << prog_ << ": option " << arg_
+                  << " does not take a value\n";
+        bad_value_ = true;
+        return false;
+    }
+    return true;
+}
+
+void
+ArgCursor::fail(const std::string &message)
+{
+    std::cerr << prog_ << ": " << message << "\n";
+    bad_value_ = true;
+}
+
+std::string
+ArgCursor::value()
+{
+    if (inline_value_) {
+        std::string value = *inline_value_;
+        inline_value_.reset();
+        return value;
+    }
+    if (index_ >= args_.size()) {
+        std::cerr << prog_ << ": missing value for " << arg_ << "\n";
+        bad_value_ = true;
+        return "";
+    }
+    return args_[index_++];
+}
+
+int64_t
+ArgCursor::intValue()
+{
+    std::string text = value();
+    if (bad_value_)
+        return 0;
+    try {
+        size_t used = 0;
+        int64_t parsed = std::stoll(text, &used);
+        if (used != text.size())
+            throw std::invalid_argument(text);
+        return parsed;
+    } catch (const std::exception &) {
+        std::cerr << prog_ << ": bad integer '" << text << "' for "
+                  << arg_ << "\n";
+        bad_value_ = true;
+        return 0;
+    }
+}
+
+double
+ArgCursor::doubleValue()
+{
+    std::string text = value();
+    if (bad_value_)
+        return 0;
+    try {
+        size_t used = 0;
+        double parsed = std::stod(text, &used);
+        if (used != text.size())
+            throw std::invalid_argument(text);
+        return parsed;
+    } catch (const std::exception &) {
+        std::cerr << prog_ << ": bad number '" << text << "' for "
+                  << arg_ << "\n";
+        bad_value_ = true;
+        return 0;
+    }
+}
+
+std::optional<uint64_t>
+ArgCursor::byteValue()
+{
+    std::string text = value();
+    if (bad_value_)
+        return std::nullopt;
+    uint64_t scale = 1;
+    if (!text.empty()) {
+        char suffix = text.back();
+        if (suffix == 'k' || suffix == 'K')
+            scale = 1024ull;
+        else if (suffix == 'm' || suffix == 'M')
+            scale = 1024ull * 1024;
+        else if (suffix == 'g' || suffix == 'G')
+            scale = 1024ull * 1024 * 1024;
+        if (scale != 1)
+            text.pop_back();
+    }
+    try {
+        size_t used = 0;
+        uint64_t parsed = std::stoull(text, &used);
+        if (used != text.size() || text.empty())
+            throw std::invalid_argument(text);
+        return parsed * scale;
+    } catch (const std::exception &) {
+        std::cerr << prog_ << ": bad byte count '" << text << "' for "
+                  << arg_ << "\n";
+        bad_value_ = true;
+        return std::nullopt;
+    }
+}
+
+int64_t
+ArgCursor::positiveValue(const char *what)
+{
+    int64_t parsed = intValue();
+    if (!bad_value_ && parsed < 1) {
+        std::cerr << prog_ << ": " << arg_ << " must be >= 1 (" << what
+                  << ")\n";
+        bad_value_ = true;
+    }
+    return parsed;
+}
+
+std::vector<std::string>
+splitList(const std::string &text)
+{
+    std::vector<std::string> out;
+    std::stringstream stream(text);
+    std::string piece;
+    while (std::getline(stream, piece, ',')) {
+        if (!piece.empty())
+            out.push_back(piece);
+    }
+    return out;
+}
+
+} // namespace seer::cli

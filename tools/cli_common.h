@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Shared command-line machinery for the seer tool binaries.
+ *
+ * seer-opt, seer-corpus, and seer-optd all speak the same flag
+ * dialect: GNU-style `--flag value` and `--flag=value` are equivalent,
+ * a bad number in either spelling reports "bad integer"/"bad number"
+ * (never "unknown option"), byte counts accept k/m/g suffixes, and a
+ * value handed to a boolean flag ("--quiet=1") is a usage error. That
+ * contract used to be copy-pasted per binary; this cursor centralizes
+ * it so the three dispatch loops stay one `if` chain over flag names.
+ *
+ * Usage:
+ *
+ *   cli::ArgCursor args("seer-opt", argc, argv);
+ *   while (args.nextArg()) {
+ *       const std::string &arg = args.arg();
+ *       if (arg == "--func")
+ *           options.func = args.value();
+ *       else if (arg == "--jobs")
+ *           options.jobs = args.intValue();
+ *       else if (arg == "--quiet")
+ *           options.quiet = true;
+ *       else
+ *           ... positional / unknown ...
+ *       if (!args.endArg())   // bad value or leftover "--quiet=1"
+ *           return false;
+ *   }
+ */
+#ifndef SEER_TOOLS_CLI_COMMON_H_
+#define SEER_TOOLS_CLI_COMMON_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace seer::cli {
+
+/**
+ * A one-pass cursor over argv. Each nextArg() advances to the next
+ * argument and splits any inline `=value`; the value/intValue/...
+ * accessors consume the inline value or the following argument, and
+ * report uniform diagnostics ("<prog>: bad integer 'x' for --flag")
+ * on stderr. endArg() closes the per-argument protocol: it rejects an
+ * unconsumed inline value and reports whether anything failed.
+ */
+class ArgCursor
+{
+  public:
+    ArgCursor(std::string prog, int argc, char **argv);
+
+    /** Advance to the next argument; false at the end. */
+    bool nextArg();
+
+    /** The current flag name, inline value already split off. */
+    const std::string &arg() const { return arg_; }
+
+    /** True when the current argument failed validation. */
+    bool failed() const { return bad_value_; }
+
+    /**
+     * Close out the current argument: a leftover inline value (a
+     * boolean flag spelled "--flag=x") is a usage error. Returns
+     * false when this argument failed for any reason.
+     */
+    bool endArg();
+
+    /** Report "<prog>: <message>" and mark the argument failed. */
+    void fail(const std::string &message);
+
+    /** The raw value: inline `=value` or the next argument. */
+    std::string value();
+    /** A whole int64 ("bad integer" otherwise). */
+    int64_t intValue();
+    /** A whole double ("bad number" otherwise). */
+    double doubleValue();
+    /**
+     * A byte count with optional k/m/g suffix ("bad byte count"
+     * otherwise). Returns nullopt on failure.
+     */
+    std::optional<uint64_t> byteValue();
+    /** intValue(), additionally requiring >= 1 ("<arg> must be >= 1
+     *  (<what>)" otherwise). */
+    int64_t positiveValue(const char *what);
+
+  private:
+    std::string prog_;
+    std::vector<std::string> args_;
+    size_t index_ = 0;
+    std::string arg_;
+    std::optional<std::string> inline_value_;
+    bool bad_value_ = false;
+};
+
+/** Split a comma-separated list, dropping empty pieces. */
+std::vector<std::string> splitList(const std::string &text);
+
+} // namespace seer::cli
+
+#endif // SEER_TOOLS_CLI_COMMON_H_

@@ -28,6 +28,7 @@
 #include "support/exec_context.h"
 #include "support/fault_inject.h"
 #include "support/worker_pool.h"
+#include "tools/cli_common.h"
 
 namespace {
 
@@ -111,85 +112,21 @@ bool
 parseArgs(int argc, char **argv, CliOptions &options)
 {
     auto &corpus = options.corpus;
-    std::vector<std::string> args(argv + 1, argv + argc);
-    for (size_t i = 0; i < args.size(); ++i) {
-        std::string arg = args[i];
-        std::optional<std::string> inline_value;
-        if (arg.size() > 2 && arg[0] == '-' && arg[1] == '-') {
-            size_t eq = arg.find('=');
-            if (eq != std::string::npos) {
-                inline_value = arg.substr(eq + 1);
-                arg.resize(eq);
-            }
-        }
-        bool bad_value = false;
-        auto next = [&]() -> std::string {
-            if (inline_value) {
-                std::string value = *inline_value;
-                inline_value.reset();
-                return value;
-            }
-            if (i + 1 >= args.size()) {
-                std::cerr << "seer-corpus: missing value for " << arg
-                          << "\n";
-                bad_value = true;
-                return "";
-            }
-            return args[++i];
-        };
-        auto next_int = [&]() -> int64_t {
-            std::string text = next();
-            if (bad_value)
-                return 0;
-            try {
-                size_t used = 0;
-                int64_t value = std::stoll(text, &used);
-                if (used != text.size())
-                    throw std::invalid_argument(text);
-                return value;
-            } catch (const std::exception &) {
-                std::cerr << "seer-corpus: bad integer '" << text
-                          << "' for " << arg << "\n";
-                bad_value = true;
-                return 0;
-            }
-        };
-        auto next_double = [&]() -> double {
-            std::string text = next();
-            if (bad_value)
-                return 0;
-            try {
-                size_t used = 0;
-                double value = std::stod(text, &used);
-                if (used != text.size())
-                    throw std::invalid_argument(text);
-                return value;
-            } catch (const std::exception &) {
-                std::cerr << "seer-corpus: bad number '" << text
-                          << "' for " << arg << "\n";
-                bad_value = true;
-                return 0;
-            }
-        };
-        auto positive = [&](int64_t value, const char *what) {
-            if (!bad_value && value < 1) {
-                std::cerr << "seer-corpus: " << arg << " must be >= 1 ("
-                          << what << ")\n";
-                bad_value = true;
-            }
-            return value;
-        };
+    seer::cli::ArgCursor args("seer-corpus", argc, argv);
+    while (args.nextArg()) {
+        const std::string &arg = args.arg();
         if (arg == "--seeds") {
             corpus.count = static_cast<size_t>(
-                positive(next_int(), "corpus size"));
+                args.positiveValue("corpus size"));
         } else if (arg == "--first-seed") {
-            corpus.first_seed = static_cast<uint64_t>(next_int());
+            corpus.first_seed =
+                static_cast<uint64_t>(args.intValue());
         } else if (arg == "--check") {
-            options.check_file = next();
+            options.check_file = args.value();
         } else if (arg == "--out") {
-            options.out_file = next();
+            options.out_file = args.value();
         } else if (arg == "--repro-dir") {
-            corpus.repro_dir = next();
+            corpus.repro_dir = args.value();
         } else if (arg == "--no-minimize") {
             corpus.minimize = false;
         } else if (arg == "--no-reference") {
@@ -200,34 +137,30 @@ parseArgs(int argc, char **argv, CliOptions &options)
             corpus.oracle.seer.exact_datapath = true;
         } else if (arg == "--runs") {
             corpus.oracle.input_runs = static_cast<int>(
-                positive(next_int(), "workload runs"));
+                args.positiveValue("workload runs"));
         } else if (arg == "--input-seed") {
             corpus.oracle.input_seed =
-                static_cast<uint64_t>(next_int());
+                static_cast<uint64_t>(args.intValue());
         } else if (arg == "--deadline") {
-            double deadline = next_double();
-            if (!bad_value && deadline < 0) {
-                std::cerr << "seer-corpus: --deadline must be >= 0\n";
-                bad_value = true;
-            }
+            double deadline = args.doubleValue();
+            if (!args.failed() && deadline < 0)
+                args.fail("--deadline must be >= 0");
             corpus.oracle.deadline_seconds = deadline;
         } else if (arg == "-j" || arg == "--jobs") {
-            int64_t jobs = next_int();
-            if (!bad_value && jobs < 0) {
-                std::cerr << "seer-corpus: --jobs must be >= 0\n";
-                bad_value = true;
-            }
+            int64_t jobs = args.intValue();
+            if (!args.failed() && jobs < 0)
+                args.fail("--jobs must be >= 0");
             corpus.jobs = jobs == 0 ? seer::hardwareThreads()
                                     : static_cast<unsigned>(jobs);
         } else if (arg == "--max-stmts") {
             corpus.shape.max_top_statements = static_cast<int>(
-                positive(next_int(), "program size"));
+                args.positiveValue("program size"));
         } else if (arg == "--buffer-size") {
             corpus.shape.buffer_size = static_cast<int>(
-                positive(next_int(), "memref capacity"));
+                args.positiveValue("memref capacity"));
         } else if (arg == "--max-trip") {
             corpus.shape.max_trip = static_cast<int>(
-                positive(next_int(), "trip count"));
+                args.positiveValue("trip count"));
         } else if (arg == "--nested-loops") {
             corpus.shape.allow_nested_loops = true;
         } else if (arg == "--min-max") {
@@ -235,53 +168,25 @@ parseArgs(int argc, char **argv, CliOptions &options)
         } else if (arg == "--chaos") {
             corpus.chaos = true;
         } else if (arg == "--chaos-seed") {
-            corpus.chaos_seed = static_cast<uint64_t>(next_int());
+            corpus.chaos_seed =
+                static_cast<uint64_t>(args.intValue());
         } else if (arg == "--chaos-rate") {
-            double rate = next_double();
-            if (!bad_value && (rate < 0 || rate > 1)) {
-                std::cerr
-                    << "seer-corpus: --chaos-rate must be in [0,1]\n";
-                bad_value = true;
-            }
+            double rate = args.doubleValue();
+            if (!args.failed() && (rate < 0 || rate > 1))
+                args.fail("--chaos-rate must be in [0,1]");
             corpus.chaos_rate = rate;
         } else if (arg == "--chaos-plan") {
-            std::string text = next();
-            if (bad_value)
+            std::string text = args.value();
+            if (args.failed())
                 return false;
             auto plan = seer::FaultPlan::parse(text);
-            if (!plan) {
-                std::cerr << "seer-corpus: bad --chaos-plan '" << text
-                          << "'\n";
-                return false;
-            }
-            corpus.oracle.chaos_plan = *plan;
+            if (!plan)
+                args.fail("bad --chaos-plan '" + text + "'");
+            else
+                corpus.oracle.chaos_plan = *plan;
         } else if (arg == "--mem-budget") {
-            std::string text = next();
-            if (bad_value)
-                return false;
-            uint64_t scale = 1;
-            if (!text.empty()) {
-                char suffix = text.back();
-                if (suffix == 'k' || suffix == 'K')
-                    scale = 1024ull;
-                else if (suffix == 'm' || suffix == 'M')
-                    scale = 1024ull * 1024;
-                else if (suffix == 'g' || suffix == 'G')
-                    scale = 1024ull * 1024 * 1024;
-                if (scale != 1)
-                    text.pop_back();
-            }
-            try {
-                size_t used = 0;
-                uint64_t value = std::stoull(text, &used);
-                if (used != text.size() || text.empty())
-                    throw std::invalid_argument(text);
-                corpus.oracle.seer.mem_budget_bytes = value * scale;
-            } catch (const std::exception &) {
-                std::cerr << "seer-corpus: bad byte count '" << text
-                          << "' for " << arg << "\n";
-                return false;
-            }
+            if (auto bytes = args.byteValue())
+                corpus.oracle.seer.mem_budget_bytes = *bytes;
         } else if (arg == "--inject-unsound") {
             corpus.oracle.seer.extra_control_rules.push_back(
                 seer::corpus::makeUnsoundStoreDropRule());
@@ -291,16 +196,10 @@ parseArgs(int argc, char **argv, CliOptions &options)
             usage();
             std::exit(0);
         } else {
-            std::cerr << "seer-corpus: unknown option " << arg << "\n";
-            return false;
+            args.fail("unknown option " + arg);
         }
-        if (bad_value)
+        if (!args.endArg())
             return false;
-        if (inline_value) {
-            std::cerr << "seer-corpus: option " << arg
-                      << " does not take a value\n";
-            return false;
-        }
     }
     return true;
 }

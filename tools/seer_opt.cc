@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "core/seer.h"
+#include "core/session.h"
 #include "core/verify.h"
 #include "hls/hls.h"
 #include "ir/parser.h"
@@ -30,6 +31,8 @@
 #include "support/error.h"
 #include "support/exec_context.h"
 #include "support/fault_inject.h"
+#include "support/socket.h"
+#include "tools/cli_common.h"
 
 namespace {
 
@@ -39,6 +42,7 @@ struct CliOptions
     std::string func_name; // empty: first function
     std::string fixed_passes; // non-empty: run a pipeline, not SEER
     std::string stats_file;   // non-empty: dump JSON stats ("-" = stderr)
+    std::string connect_socket; // non-empty: dispatch to a seer-optd
     bool verify = false;
     bool report = false;
     bool quiet = false;
@@ -92,8 +96,19 @@ usage()
         "  --no-pass-cache    disable cross-iteration memoization of\n"
         "                     external-pass outcomes (cold baseline;\n"
         "                     the optimization result is identical)\n"
+        "  --connect SOCK     dispatch the request to a running\n"
+        "                     seer-optd on unix socket SOCK (shared\n"
+        "                     warm cache; byte-identical to running\n"
+        "                     in-process). Falls back to in-process\n"
+        "                     when SOCK does not exist. Incompatible\n"
+        "                     with --passes/--fault-plan/--pass-cache\n"
         "  --deadline S       whole-run wall-clock budget in seconds;\n"
         "                     exploration is cut short when it expires\n"
+        "  --time-limit S     egg-runner wall-clock limit per\n"
+        "                     saturation (default 10). Raise it when\n"
+        "                     results must not depend on machine\n"
+        "                     speed: a time-limited exploration stops\n"
+        "                     wherever the clock caught it\n"
         "  --mem-budget B     whole-run memory budget in bytes (k/m/g\n"
         "                     suffixes accepted); a breach cancels\n"
         "                     exploration and degrades to the best\n"
@@ -116,19 +131,6 @@ usage()
         "  3  success, but the run degraded (recovered faults, memory\n"
         "     budget breach, or SIGINT/SIGTERM cancellation; output is\n"
         "     still verified IR — see the --stats health section)\n";
-}
-
-std::vector<std::string>
-splitList(const std::string &text)
-{
-    std::vector<std::string> out;
-    std::stringstream stream(text);
-    std::string piece;
-    while (std::getline(stream, piece, ',')) {
-        if (!piece.empty())
-            out.push_back(piece);
-    }
-    return out;
 }
 
 /** Faulty dynamic rule (hidden --inject-crash-rule flag): the chaos
@@ -177,71 +179,11 @@ crashRule()
 bool
 parseArgs(int argc, char **argv, CliOptions &options)
 {
-    std::vector<std::string> args(argv + 1, argv + argc);
-    for (size_t i = 0; i < args.size(); ++i) {
-        std::string arg = args[i];
-        // GNU-style --flag=value: split so both spellings hit the same
-        // validation (a bad number in either reports "bad number", not
-        // "unknown option").
-        std::optional<std::string> inline_value;
-        if (arg.size() > 2 && arg[0] == '-' && arg[1] == '-') {
-            size_t eq = arg.find('=');
-            if (eq != std::string::npos) {
-                inline_value = arg.substr(eq + 1);
-                arg.resize(eq);
-            }
-        }
-        bool bad_value = false;
-        auto next = [&]() -> std::string {
-            if (inline_value) {
-                std::string value = *inline_value;
-                inline_value.reset();
-                return value;
-            }
-            if (i + 1 >= args.size()) {
-                std::cerr << "seer-opt: missing value for " << arg
-                          << "\n";
-                bad_value = true;
-                return "";
-            }
-            return args[++i];
-        };
-        auto next_int = [&]() -> int64_t {
-            std::string text = next();
-            if (bad_value)
-                return 0;
-            try {
-                size_t used = 0;
-                int64_t value = std::stoll(text, &used);
-                if (used != text.size())
-                    throw std::invalid_argument(text);
-                return value;
-            } catch (const std::exception &) {
-                std::cerr << "seer-opt: bad integer '" << text
-                          << "' for " << arg << "\n";
-                bad_value = true;
-                return 0;
-            }
-        };
-        auto next_double = [&]() -> double {
-            std::string text = next();
-            if (bad_value)
-                return 0;
-            try {
-                size_t used = 0;
-                double value = std::stod(text, &used);
-                if (used != text.size())
-                    throw std::invalid_argument(text);
-                return value;
-            } catch (const std::exception &) {
-                std::cerr << "seer-opt: bad number '" << text
-                          << "' for " << arg << "\n";
-                bad_value = true;
-                return 0;
-            }
-        };
+    seer::cli::ArgCursor args("seer-opt", argc, argv);
+    while (args.nextArg()) {
+        const std::string &arg = args.arg();
         if (arg == "--func") {
-            options.func_name = next();
+            options.func_name = args.value();
         } else if (arg == "--no-rover") {
             options.seer.use_rover = false;
         } else if (arg == "--no-control") {
@@ -249,8 +191,8 @@ parseArgs(int argc, char **argv, CliOptions &options)
         } else if (arg == "--greedy-datapath") {
             options.seer.exact_datapath = false;
         } else if (arg == "--extract") {
-            std::string mode = next();
-            if (bad_value)
+            std::string mode = args.value();
+            if (args.failed())
                 return false;
             if (mode == "exact") {
                 options.seer.exact_datapath = true;
@@ -262,83 +204,62 @@ parseArgs(int argc, char **argv, CliOptions &options)
                 options.seer.exact_datapath = false;
                 options.seer.naive_extract = true;
             } else {
-                std::cerr << "seer-opt: bad --extract mode '" << mode
-                          << "' (expected exact, greedy, or naive)\n";
-                return false;
+                args.fail("bad --extract mode '" + mode +
+                          "' (expected exact, greedy, or naive)");
             }
         } else if (arg == "--oracle") {
             options.seer.use_laws = false;
         } else if (arg == "--unroll") {
-            options.seer.unroll_max_trip = next_int();
+            options.seer.unroll_max_trip = args.intValue();
         } else if (arg == "--phases") {
-            options.seer.max_phases = static_cast<int>(next_int());
+            options.seer.max_phases =
+                static_cast<int>(args.intValue());
         } else if (arg == "--passes") {
-            options.fixed_passes = next();
+            options.fixed_passes = args.value();
         } else if (arg == "--verify") {
             options.verify = true;
         } else if (arg == "--report") {
             options.report = true;
         } else if (arg == "--stats") {
-            options.stats_file = next();
+            options.stats_file = args.value();
         } else if (arg == "--match-jobs") {
-            int64_t jobs = next_int();
-            if (!bad_value && jobs < 1) {
-                std::cerr << "seer-opt: --match-jobs must be >= 1\n";
-                return 2;
-            }
+            int64_t jobs = args.intValue();
+            if (!args.failed() && jobs < 1)
+                args.fail("--match-jobs must be >= 1");
             options.seer.match_jobs = static_cast<unsigned>(jobs);
         } else if (arg == "-j" || arg == "--jobs") {
-            int64_t jobs = next_int();
-            if (!bad_value && jobs < 1) {
-                std::cerr << "seer-opt: --jobs must be >= 1\n";
-                return false;
-            }
+            int64_t jobs = args.intValue();
+            if (!args.failed() && jobs < 1)
+                args.fail("--jobs must be >= 1");
             options.seer.jobs = static_cast<unsigned>(jobs);
         } else if (arg == "--pass-cache") {
-            options.seer.pass_cache_file = next();
+            options.seer.pass_cache_file = args.value();
         } else if (arg == "--no-pass-cache") {
             options.seer.use_pass_cache = false;
+        } else if (arg == "--connect") {
+            options.connect_socket = args.value();
         } else if (arg == "--deadline") {
-            options.seer.deadline_seconds = next_double();
+            options.seer.deadline_seconds = args.doubleValue();
+        } else if (arg == "--time-limit") {
+            double limit = args.doubleValue();
+            if (!args.failed() && limit <= 0)
+                args.fail("--time-limit must be > 0");
+            options.seer.runner.time_limit_seconds = limit;
         } else if (arg == "--mem-budget") {
-            std::string text = next();
-            if (bad_value)
-                return false;
-            uint64_t scale = 1;
-            if (!text.empty()) {
-                char suffix = text.back();
-                if (suffix == 'k' || suffix == 'K')
-                    scale = 1024ull;
-                else if (suffix == 'm' || suffix == 'M')
-                    scale = 1024ull * 1024;
-                else if (suffix == 'g' || suffix == 'G')
-                    scale = 1024ull * 1024 * 1024;
-                if (scale != 1)
-                    text.pop_back();
-            }
-            try {
-                size_t used = 0;
-                uint64_t value = std::stoull(text, &used);
-                if (used != text.size() || text.empty())
-                    throw std::invalid_argument(text);
-                options.seer.mem_budget_bytes = value * scale;
-            } catch (const std::exception &) {
-                std::cerr << "seer-opt: bad byte count '" << text
-                          << "' for " << arg << "\n";
-                return false;
-            }
+            if (auto bytes = args.byteValue())
+                options.seer.mem_budget_bytes = *bytes;
         } else if (arg == "--fault-plan") {
-            std::string text = next();
-            if (bad_value)
+            std::string text = args.value();
+            if (args.failed())
                 return false;
             auto plan = seer::FaultPlan::parse(text);
             if (!plan) {
-                std::cerr << "seer-opt: bad --fault-plan '" << text
-                          << "' (expected "
-                             "seed=N;rate=R;fixed=point@n,...)\n";
-                return false;
+                args.fail("bad --fault-plan '" + text +
+                          "' (expected "
+                          "seed=N;rate=R;fixed=point@n,...)");
+            } else {
+                options.fault_plan = *plan;
             }
-            options.fault_plan = *plan;
         } else if (arg == "--strict") {
             options.seer.strict = true;
         } else if (arg == "--inject-crash-rule") {
@@ -350,25 +271,38 @@ parseArgs(int argc, char **argv, CliOptions &options)
             usage();
             std::exit(0);
         } else if (!arg.empty() && arg[0] == '-') {
-            std::cerr << "seer-opt: unknown option " << arg << "\n";
-            return false;
+            args.fail("unknown option " + arg);
         } else if (options.input_file.empty()) {
             options.input_file = arg;
         } else {
-            std::cerr << "seer-opt: multiple input files given\n";
-            return false;
+            args.fail("multiple input files given");
         }
-        if (bad_value)
+        if (!args.endArg())
             return false;
-        if (inline_value) {
-            std::cerr << "seer-opt: option " << arg
-                      << " does not take a value\n";
-            return false;
-        }
     }
     if (options.input_file.empty()) {
         std::cerr << "seer-opt: no input file given\n";
         return false;
+    }
+    if (!options.connect_socket.empty()) {
+        // The daemon runs the session; flags that reshape the pipeline
+        // itself (chaos injection, fixed pass baselines, server-side
+        // persistence paths) are local-only by design.
+        const char *conflict = nullptr;
+        if (!options.fixed_passes.empty())
+            conflict = "--passes";
+        else if (options.fault_plan)
+            conflict = "--fault-plan";
+        else if (!options.seer.extra_control_rules.empty())
+            conflict = "--inject-crash-rule";
+        else if (!options.seer.pass_cache_file.empty())
+            conflict = "--pass-cache";
+        if (conflict) {
+            std::cerr << "seer-opt: " << conflict
+                      << " cannot be combined with --connect (the "
+                         "daemon owns its own cache and pipeline)\n";
+            return false;
+        }
     }
     return true;
 }
@@ -401,6 +335,108 @@ evaluateWithZeros(const seer::ir::Module &module,
     hls_options.schedule.pipeline_loops = pipeline;
     return hls::evaluate(module, func_name, std::move(args),
                          hls_options);
+}
+
+/**
+ * Dispatch the request to a seer-optd daemon. Returns the process
+ * exit code, or nullopt to fall back to the in-process path (socket
+ * absent/refused — the daemon may simply not be running).
+ */
+std::optional<int>
+runRemote(const CliOptions &options, const seer::ir::Module &input,
+          const std::string &ir_text)
+{
+    using namespace seer;
+
+    std::string error;
+    net::Fd sock = net::connectUnix(options.connect_socket, &error);
+    if (!sock.valid()) {
+        std::cerr << "; note: --connect " << options.connect_socket
+                  << " unavailable (" << error
+                  << "); running in-process\n";
+        return std::nullopt;
+    }
+
+    core::ServeRequest request =
+        core::ServeRequest::fromOptions(options.seer);
+    request.func = options.func_name;
+    request.ir_text = ir_text;
+    request.want_stats = !options.stats_file.empty();
+
+    if (net::sendFrame(sock.get(), core::serializeRequest(request),
+                       &error) != net::IoStatus::Ok) {
+        std::cerr << "seer-opt: daemon request failed: " << error
+                  << "\n";
+        return 1;
+    }
+    std::string payload;
+    if (net::recvFrame(sock.get(), payload, &error) !=
+        net::IoStatus::Ok) {
+        std::cerr << "seer-opt: daemon response failed: "
+                  << (error.empty() ? "connection closed" : error)
+                  << "\n";
+        return 1;
+    }
+    core::ServeResponse response;
+    if (!core::parseResponse(payload, &response, &error)) {
+        std::cerr << "seer-opt: bad daemon response: " << error
+                  << "\n";
+        return 1;
+    }
+
+    std::cerr << response.log;
+    if (response.exit_code == 1) {
+        std::cerr << "seer-opt: " << response.error << "\n";
+        return 1;
+    }
+    if (!options.stats_file.empty()) {
+        if (options.stats_file == "-") {
+            std::cerr << response.stats_json;
+        } else {
+            std::ofstream stats_out(options.stats_file);
+            if (!stats_out) {
+                std::cerr << "seer-opt: cannot open "
+                          << options.stats_file << "\n";
+                return 1;
+            }
+            stats_out << response.stats_json;
+        }
+    }
+    if (!options.quiet)
+        std::cout << response.output_ir;
+
+    int exit_code = response.exit_code;
+    if (options.verify || options.report) {
+        ir::Module output = ir::parseModule(response.output_ir);
+        if (options.verify) {
+            std::string diag;
+            bool ok = core::checkModuleEquivalence(
+                input, output, options.func_name, {}, &diag);
+            std::cerr << "; end-to-end equivalence: "
+                      << (ok ? "PASS" : "FAIL " + diag) << "\n";
+            std::cerr << "; translation validation: server-side "
+                         "(records not transmitted)\n";
+            if (!ok)
+                exit_code = 1;
+        }
+        if (options.report && exit_code != 1) {
+            hls::HlsReport before =
+                evaluateWithZeros(input, options.func_name, false);
+            hls::HlsReport after =
+                evaluateWithZeros(output, options.func_name, true);
+            std::cerr << "; baseline: " << before.total_cycles
+                      << " cycles, " << before.area_um2 << " um2, "
+                      << before.power_mw << " mW\n";
+            std::cerr << "; optimized: " << after.total_cycles
+                      << " cycles, " << after.area_um2 << " um2, "
+                      << after.power_mw << " mW\n";
+            std::cerr << "; speedup: "
+                      << static_cast<double>(before.total_cycles) /
+                             static_cast<double>(after.total_cycles)
+                      << "x\n";
+        }
+    }
+    return exit_code;
 }
 
 } // namespace
@@ -438,6 +474,17 @@ main(int argc, char **argv)
             options.func_name = first->strAttr("sym_name");
         }
 
+        if (!options.connect_socket.empty()) {
+            // Client mode: the daemon runs the same core::runSession
+            // path the in-process arm rides, so the optimized IR is
+            // byte-identical either way. A missing daemon falls back
+            // to in-process transparently.
+            std::optional<int> remote =
+                runRemote(options, input, text.str());
+            if (remote)
+                return *remote;
+        }
+
         ir::Module output;
         core::SeerResult result;
         bool degraded = false;
@@ -448,7 +495,7 @@ main(int argc, char **argv)
                              "(no e-graph runs)\n";
             output = ir::cloneModule(input);
             passes::runPipeline(output,
-                                splitList(options.fixed_passes));
+                                cli::splitList(options.fixed_passes));
             ir::verifyOrDie(output);
         } else {
             std::optional<ScopedFaultPlan> chaos;
@@ -459,50 +506,7 @@ main(int argc, char **argv)
             chaos.reset();
             output = ir::cloneModule(result.module);
             degraded = result.stats.degraded;
-            if (degraded) {
-                std::cerr << "; DEGRADED: recovered from "
-                          << result.stats.recovered_errors.size()
-                          << " error(s), "
-                          << result.stats.phase_rollbacks
-                          << " phase rollback(s), "
-                          << result.stats.quarantined_rules.size()
-                          << " quarantined rule(s); output is still "
-                             "verified IR\n";
-            }
-            if (result.stats.deadline_hit)
-                std::cerr << "; deadline hit: exploration cut short\n";
-            if (!result.stats.cancel_reason.empty() &&
-                result.stats.cancel_reason != "deadline") {
-                std::cerr << "; canceled ("
-                          << result.stats.cancel_reason
-                          << "): degraded to the best result found\n";
-            }
-            size_t exhausted = 0;
-            for (const core::ExtractionPhaseStats &phase :
-                 result.stats.extraction)
-                exhausted += phase.budget_exhaustions;
-            if (exhausted > 0) {
-                std::cerr << "; datapath extraction hit its search "
-                             "budget "
-                          << exhausted
-                          << " time(s): result is best-effort, not "
-                             "proven exact\n";
-            }
-            std::cerr << "; e-graph: " << result.stats.egraph_nodes
-                      << " nodes, " << result.stats.egraph_classes
-                      << " classes, " << result.stats.unions_applied
-                      << " rewrites, "
-                      << result.stats.total_seconds << "s total ("
-                      << result.stats.time_in_passes_seconds
-                      << "s in passes)\n";
-            const core::ExternalEvalStats &ev =
-                result.stats.external_eval;
-            std::cerr << "; pass cache: " << ev.pass_cache_hits
-                      << " hits, " << ev.pass_cache_misses
-                      << " misses, " << ev.evaluations
-                      << " evaluations (" << ev.candidates_deduped
-                      << " deduped, " << ev.verify_cache_hits
-                      << " verify hits)\n";
+            std::cerr << core::summarizeRun(result);
             if (!options.stats_file.empty()) {
                 std::string text = core::toJson(result.stats).dump(2);
                 text += "\n";

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * seer-optd: the persistent optimization daemon.
+ *
+ *   seer-optd --socket /tmp/seer.sock
+ *   seer-opt --connect /tmp/seer.sock kernel.seer
+ *
+ * One process, one warm sharded cache, many concurrent requests: the
+ * amortization the single-shot CLI cannot offer. See core/server.h
+ * for the architecture and DESIGN.md for the determinism contract of
+ * shared-cache mode.
+ */
+#include <chrono>
+#include <iostream>
+#include <thread>
+
+#include "core/server.h"
+#include "support/exec_context.h"
+#include "tools/cli_common.h"
+
+namespace {
+
+void
+usage()
+{
+    std::cerr <<
+        "usage: seer-optd --socket PATH [options]\n"
+        "\n"
+        "Runs a persistent optimization server on a unix socket.\n"
+        "Drive it with `seer-opt --connect PATH <input.seer>`; results\n"
+        "are byte-identical to in-process seer-opt runs.\n"
+        "\n"
+        "options (value-taking flags accept both '--flag V' and "
+        "'--flag=V'):\n"
+        "  --socket PATH      unix socket to listen on (required)\n"
+        "  --workers N        concurrent request sessions (default 2)\n"
+        "  --cache-shards N   stripes of the shared pass/verification\n"
+        "                     cache (default 16, rounded to a power of\n"
+        "                     two)\n"
+        "  --cache-bytes B    byte budget of the shared cache (k/m/g\n"
+        "                     suffixes; default 256m; 0 = unlimited);\n"
+        "                     least-recently-used entries are evicted\n"
+        "                     per shard — eviction can only cost a\n"
+        "                     recomputation, never change a result\n"
+        "  --cache-file FILE  persist the cache here: loaded at start\n"
+        "                     (a corrupt file cold-starts and is\n"
+        "                     reported), saved every --save-every\n"
+        "                     requests and at shutdown via the atomic\n"
+        "                     tmp+fsync+rename path\n"
+        "  --save-every N     requests between periodic saves\n"
+        "                     (default 32; 0 = only at shutdown)\n"
+        "  --max-deadline S   clamp per-request deadlines to S seconds\n"
+        "                     (0 = no clamp)\n"
+        "  --mem-budget B     server-wide memory budget (the shared\n"
+        "                     cache charges it; k/m/g suffixes)\n"
+        "  --quiet            suppress per-request log lines\n"
+        "\n"
+        "SIGTERM/SIGINT shut down cleanly: stop accepting, let active\n"
+        "sessions degrade out, drain, save the cache, exit 0.\n"
+        "\n"
+        "exit codes:\n"
+        "  0  clean shutdown\n"
+        "  1  startup failure (cannot bind the socket)\n"
+        "  2  usage error\n";
+}
+
+struct DaemonOptions
+{
+    seer::core::ServerOptions server;
+};
+
+bool
+parseArgs(int argc, char **argv, DaemonOptions &options)
+{
+    seer::cli::ArgCursor args("seer-optd", argc, argv);
+    while (args.nextArg()) {
+        const std::string &arg = args.arg();
+        if (arg == "--socket") {
+            options.server.socket_path = args.value();
+        } else if (arg == "--workers") {
+            options.server.workers = static_cast<unsigned>(
+                args.positiveValue("worker count"));
+        } else if (arg == "--cache-shards") {
+            options.server.cache_shards = static_cast<unsigned>(
+                args.positiveValue("shard count"));
+        } else if (arg == "--cache-bytes") {
+            if (auto bytes = args.byteValue())
+                options.server.cache_max_bytes = *bytes;
+        } else if (arg == "--cache-file") {
+            options.server.cache_file = args.value();
+        } else if (arg == "--save-every") {
+            int64_t every = args.intValue();
+            if (!args.failed() && every < 0)
+                args.fail("--save-every must be >= 0");
+            options.server.save_every =
+                static_cast<unsigned>(every);
+        } else if (arg == "--max-deadline") {
+            double seconds = args.doubleValue();
+            if (!args.failed() && seconds < 0)
+                args.fail("--max-deadline must be >= 0");
+            options.server.max_deadline_seconds = seconds;
+        } else if (arg == "--mem-budget") {
+            if (auto bytes = args.byteValue())
+                options.server.mem_budget_bytes = *bytes;
+        } else if (arg == "--quiet") {
+            options.server.quiet = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            std::exit(0);
+        } else {
+            args.fail("unknown option " + arg);
+        }
+        if (!args.endArg())
+            return false;
+    }
+    if (options.server.socket_path.empty()) {
+        std::cerr << "seer-optd: --socket is required\n";
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace seer;
+
+    DaemonOptions options;
+    if (!parseArgs(argc, argv, options)) {
+        usage();
+        return 2;
+    }
+    // First signal: cooperative shutdown (the accept loop and every
+    // active session observe the flag). Second signal: hard exit.
+    installSignalCancellation();
+
+    core::OptServer server(options.server);
+    std::string error;
+    if (!server.start(&error)) {
+        std::cerr << "seer-optd: " << error << "\n";
+        return 1;
+    }
+    if (!options.server.quiet) {
+        std::cerr << "; seer-optd: listening on "
+                  << options.server.socket_path << " ("
+                  << options.server.workers << " workers, "
+                  << options.server.cache_shards << " cache shards)\n";
+    }
+
+    while (server.running() && !signalCancelRequested())
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+    server.stop();
+
+    core::ServerCounters counters = server.counters();
+    std::cerr << "; seer-optd: shutdown: " << counters.requests
+              << " request(s), " << counters.failures
+              << " failed, " << counters.degraded << " degraded, "
+              << counters.client_gone << " client disconnect(s), "
+              << counters.protocol_errors << " protocol error(s), "
+              << counters.cache_saves << " cache save(s)\n";
+    return 0;
+}
