@@ -90,6 +90,71 @@ BM_ExternalPasses(benchmark::State &state)
     state.counters["egg_s"] = last.time_in_egraph_seconds;
 }
 
+/**
+ * The cost-vs-budget trajectory of the proposal scheduler: every paper
+ * benchmark under the exhaustive baseline (sched:0) and the bandit at
+ * eval budgets {100%, 50%, 25%} (sched:1). Options mirror the golden
+ * differential (unbounded saturation time), so the counters — final
+ * extraction cost, cold external evaluations, deferrals — are
+ * machine-independent; wall clock is the only noisy column.
+ *
+ * tools/bench_to_json.py --mode passes groups these arms per kernel
+ * and reports, per budget, how many kernels keep the baseline's final
+ * cost and how many cold evaluations the budget saved.
+ */
+void
+BM_ScheduleBudget(benchmark::State &state)
+{
+    const auto &kernels = bench::allBenchmarks();
+    const auto kernel_index = static_cast<size_t>(state.range(0));
+    const bool bandit = state.range(1) != 0;
+    const int budget_pct = static_cast<int>(state.range(2));
+    const bench::Benchmark &kernel = kernels.at(kernel_index);
+    ir::Module module = bench::parseBenchmark(kernel);
+    state.SetLabel(kernel.name);
+
+    core::SeerOptions options;
+    options.runner.time_limit_seconds = 100000;
+    options.unroll_max_trip = kernel.unroll_max_trip;
+    if (bandit) {
+        options.schedule = core::ScheduleKind::Bandit;
+        options.eval_budget = budget_pct / 100.0;
+    }
+
+    core::SeerStats last;
+    for (auto _ : state) {
+        core::SeerResult result =
+            core::optimize(module, kernel.func, options);
+        last = std::move(result.stats);
+        benchmark::DoNotOptimize(result.extracted_term);
+    }
+    // Final extraction cost: the datapath phase's DAG cost (Eqn 4) —
+    // the figure the budget must not degrade on most kernels.
+    double cost = 0;
+    if (!last.extraction.empty())
+        cost = last.extraction.back().dag_cost;
+    state.counters["cost"] = cost;
+    state.counters["evals"] =
+        static_cast<double>(last.external_eval.evaluations);
+    state.counters["deferred"] =
+        static_cast<double>(last.scheduler.deferred);
+    state.counters["unions"] =
+        static_cast<double>(last.unions_applied);
+}
+
+void
+scheduleBudgetArms(benchmark::internal::Benchmark *b)
+{
+    const auto count =
+        static_cast<int64_t>(bench::allBenchmarks().size());
+    for (int64_t kernel = 0; kernel < count; ++kernel) {
+        b->Args({kernel, 0, 100});
+        b->Args({kernel, 1, 100});
+        b->Args({kernel, 1, 50});
+        b->Args({kernel, 1, 25});
+    }
+}
+
 } // namespace
 
 BENCHMARK(BM_ExternalPasses)
@@ -98,6 +163,12 @@ BENCHMARK(BM_ExternalPasses)
     ->Args({0, 4})
     ->Args({1, 1})
     ->Args({1, 4})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+BENCHMARK(BM_ScheduleBudget)
+    ->ArgNames({"kernel", "sched", "budget_pct"})
+    ->Apply(scheduleBudgetArms)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 

@@ -18,7 +18,6 @@
 #include "seerlang/to_term.h"
 #include "support/error.h"
 #include "support/hashing.h"
-#include "support/worker_pool.h"
 
 namespace seer::core {
 
@@ -118,47 +117,6 @@ extractRooted(const EGraph &egraph, EClassId id, SymbolPred pred,
     return candidates[0];
 }
 
-/**
- * Per-phase memo: skip (rule, class) pairs that were already tried.
- * The key is re-canonicalized at lookup time and versioned by the
- * class's node count: a hit recorded before the class absorbed another
- * (or grew new representatives) must not skip a rule that never saw
- * the merged contents, and entries under merged-away ids can never
- * alias a surviving class (ids are not reused).
- */
-bool
-alreadyAttempted(const ContextPtr &ctx, const EGraph &egraph,
-                 const char *rule, EClassId root)
-{
-    EClassId canon = egraph.find(root);
-    size_t version = egraph.eclass(canon).nodes.size();
-    auto [it, inserted] = ctx->attempted.emplace(
-        std::make_pair(std::string(rule), canon), version);
-    if (inserted)
-        return false;
-    if (it->second != version) {
-        it->second = version; // class changed since the attempt: retry
-        return false;
-    }
-    return true;
-}
-
-/**
- * Non-recording variant for the prepare stage: would the apply-time
- * check skip this class? Recording here would make the apply-time
- * check itself answer "already attempted" and skip the rule.
- */
-bool
-attemptedPeek(const ContextPtr &ctx, const EGraph &egraph,
-              const char *rule, EClassId root)
-{
-    EClassId canon = egraph.find(root);
-    auto it =
-        ctx->attempted.find(std::make_pair(std::string(rule), canon));
-    return it != ctx->attempted.end() &&
-           it->second == egraph.eclass(canon).nodes.size();
-}
-
 // --- cache keys -----------------------------------------------------------
 
 /** Bump when key semantics change: persisted caches must not alias. */
@@ -252,14 +210,18 @@ consultSnippet(const ContextPtr &ctx, const char *rule,
 
     uint64_t key = passKeyFor(ctx, rule, term);
     std::optional<PassOutcome> outcome;
+    bool from_cache = false;
+    bool inline_eval = false;
     if (ctx->eval_cache) {
         outcome = ctx->eval_cache->lookupPass(key);
+        from_cache = outcome.has_value();
         if (!outcome) {
             // The prepare stage missed this candidate (extraction can
             // drift as earlier applications mutate the e-graph):
             // evaluate inline. Same key, same name scope — the result
             // is byte-identical to what the pool would have produced.
             ctx->eval_cache->countMiss();
+            inline_eval = true;
             auto t0 = Clock::now();
             outcome = evaluateSnippet(term, key, transform,
                                       evalConfig(ctx), *ctx->eval_cache);
@@ -282,6 +244,28 @@ consultSnippet(const ContextPtr &ctx, const char *rule,
     }
     if (!outcome)
         return std::nullopt; // evaluation canceled: not an outcome
+
+    // Serial-fold feedback: consults happen on the runner thread in
+    // canonical union order, so scheduler history replays identically
+    // under any worker-pool width.
+    {
+        ProposalCandidate candidate;
+        candidate.rule = rule;
+        candidate.key = key;
+        candidate.term = term;
+        candidate.term_size = proposalTermSize(term);
+        ProposalOutcome fed;
+        fed.status = outcome->status;
+        fed.from_cache = from_cache;
+        fed.inline_eval = inline_eval;
+        if (outcome->status == PassOutcome::Status::Replaced) {
+            fed.cost_delta =
+                static_cast<double>(candidate.term_size) -
+                static_cast<double>(
+                    proposalTermSize(outcome->replacement));
+        }
+        ctx->pipeline->merge().observe(candidate, fed);
+    }
 
     switch (outcome->status) {
     case PassOutcome::Status::NotApplied:
@@ -354,9 +338,25 @@ makeSnippetRule(ContextPtr ctx, SnippetRuleSpec spec)
                     const Match &match) -> std::optional<TermPtr> {
             if (!spec.precheck(egraph, match))
                 return std::nullopt;
-            if (alreadyAttempted(ctx, egraph, spec.name, match.root))
+            ProposePhase &propose = ctx->pipeline->propose();
+            MergePhase &merge = ctx->pipeline->merge();
+            if (propose.attemptedPeek(egraph, spec.name, match.root))
                 return std::nullopt;
-            for (const TermPtr &term : spec.extract(egraph, match)) {
+            std::vector<TermPtr> terms = spec.extract(egraph, match);
+            // Budget gate: a match whose candidate was deferred by the
+            // scheduler this iteration is skipped wholesale — no
+            // attempt recorded (it stays eligible for later waves) and
+            // no inline evaluation (which would defeat the budget).
+            if (ctx->pipeline->scheduler().mayDefer()) {
+                std::vector<uint64_t> keys;
+                keys.reserve(terms.size());
+                for (const TermPtr &term : terms)
+                    keys.push_back(passKeyFor(ctx, spec.name, term));
+                if (!merge.admits(keys))
+                    return std::nullopt;
+            }
+            propose.recordAttempt(egraph, spec.name, match.root);
+            for (const TermPtr &term : terms) {
                 auto result = consultSnippet(ctx, spec.name, term,
                                              spec.transform, spec.law);
                 if (result)
@@ -369,25 +369,23 @@ makeSnippetRule(ContextPtr ctx, SnippetRuleSpec spec)
         const EvalCachePtr &cache = ctx->eval_cache;
         if (!cache)
             return;
-        // Ephemeral staging (cache-off mode) drops outcomes at each
-        // iteration boundary. The e-graph is frozen from match through
-        // apply, so its tick only moves between iterations — a cheap,
-        // rollback-safe boundary signal shared by all rules.
-        if (!cache->persistent() &&
-            egraph.tick() != ctx->last_staging_tick) {
-            cache->clearOutcomes();
-            ctx->last_staging_tick = egraph.tick();
-        }
+        ProposalPipeline &pipeline = *ctx->pipeline;
+        // Iteration boundary (staging flush + scheduler epoch), probed
+        // here because prepare hooks are the first serial code each
+        // iteration runs.
+        pipeline.propose().syncIteration(egraph, cache.get());
         auto past = [&ctx] { return ctx->exec.canceled(); };
         if (past())
             return;
-        // Collect this iteration's unique, uncached candidates.
-        std::vector<std::pair<uint64_t, TermPtr>> batch;
+        // Propose: this iteration's unique, uncached candidates, in
+        // canonical enumeration order.
+        std::vector<ProposalCandidate> wave;
         std::set<uint64_t> seen;
         for (const Match &match : matches) {
             if (!spec.precheck(egraph, match))
                 continue;
-            if (attemptedPeek(ctx, egraph, spec.name, match.root))
+            if (pipeline.propose().attemptedPeek(egraph, spec.name,
+                                                 match.root))
                 continue;
             for (const TermPtr &term : spec.extract(egraph, match)) {
                 uint64_t key = passKeyFor(ctx, spec.name, term);
@@ -395,42 +393,24 @@ makeSnippetRule(ContextPtr ctx, SnippetRuleSpec spec)
                     cache->countDeduped(1);
                     continue;
                 }
-                if (!cache->probePass(key))
-                    batch.emplace_back(key, term);
+                if (!cache->probePass(key)) {
+                    ProposalCandidate candidate;
+                    candidate.rule = spec.name;
+                    candidate.key = key;
+                    candidate.term = term;
+                    candidate.term_size = proposalTermSize(term);
+                    wave.push_back(std::move(candidate));
+                }
             }
         }
-        if (batch.empty())
+        if (wave.empty())
             return;
-        cache->countBatch(batch.size());
-        SnippetEvalConfig config = evalConfig(ctx);
-        // Pure fan-out: each job touches only the (thread-safe) cache.
-        // Union order is untouched — the apply phase stays serial — so
-        // any jobs count produces bit-identical e-graphs.
-        auto t0 = Clock::now();
-        parallelFor(
-            batch.size(), ctx->jobs,
-            [&](size_t i) {
-                // Jobs must not throw (worker-thread contract): an
-                // evaluation that crashes or fails to allocate is
-                // simply not cached — the serial consult re-evaluates
-                // inline, where the runner's containment applies.
-                try {
-                    auto outcome =
-                        evaluateSnippet(batch[i].second, batch[i].first,
-                                        spec.transform, config, *cache);
-                    if (outcome) {
-                        cache->insertPass(batch[i].first,
-                                          std::move(*outcome));
-                    }
-                } catch (const FatalError &) {
-                } catch (const std::bad_alloc &) {
-                }
-            },
-            past);
-        // "Time in MLIR" is wall-clock: the batch blocks the main loop,
-        // so the elapsed span (not summed thread-seconds) is charged.
-        ctx->mlir_seconds +=
-            std::chrono::duration<double>(Clock::now() - t0).count();
+        // Schedule, then evaluate the ordered batch on the pool.
+        std::vector<ProposalCandidate> batch =
+            pipeline.scheduler().schedule(std::move(wave));
+        pipeline.evaluate().run(batch, spec.transform, evalConfig(ctx),
+                                *cache, ctx->jobs, past,
+                                &ctx->mlir_seconds);
     };
     return rule;
 }

@@ -21,6 +21,7 @@
 
 #include "core/cost.h"
 #include "core/pass_eval.h"
+#include "core/scheduler.h"
 #include "egraph/rewrite.h"
 #include "hls/hls.h"
 #include "rover/rover.h"
@@ -52,16 +53,15 @@ struct ExternalRuleContext
     rover::AnalysisFriendlyCost friendly_cost;
     rover::RoverAreaCost area_cost;
     /**
-     * Attempt memo: (rule name, canonical class) -> class node count at
-     * attempt time, so re-matching the same class across runner
-     * iterations does not re-run the whole snippet/pass machinery. Ids
-     * are re-canonicalized and the node count re-checked at lookup
-     * time: a class that absorbed new representatives since the last
-     * attempt is retried, and stale (merged-away) ids can never alias a
-     * surviving class. Cleared per phase by the driver (rover rounds
-     * change class contents between phases).
+     * The propose/evaluate seam: phase objects (attempt memo,
+     * worker-pool fan-out, serial-fold feedback) plus the proposal
+     * scheduler plugged between them. The driver builds it from
+     * SeerOptions (--schedule/--eval-budget); the default keeps
+     * legacy/unit contexts on the exhaustive pre-seam behavior. Never
+     * null.
      */
-    std::map<std::pair<std::string, uint32_t>, size_t> attempted;
+    PipelinePtr pipeline =
+        makePipeline(ScheduleKind::Exhaustive, BanditConfig{});
 
     /**
      * Fault isolation: gate every external-pass result through the
@@ -101,8 +101,6 @@ struct ExternalRuleContext
     /** Worker threads for the prepare stage (1 = evaluate inline on
      *  the runner thread; results are identical either way). */
     unsigned jobs = 1;
-    /** E-graph tick at the last ephemeral staging flush (internal). */
-    uint64_t last_staging_tick = ~uint64_t{0};
 };
 
 using ContextPtr = std::shared_ptr<ExternalRuleContext>;

@@ -22,6 +22,7 @@
 #include "support/error.h"
 #include "support/fault_inject.h"
 #include "support/hashing.h"
+#include "support/worker_pool.h"
 
 namespace seer::core {
 
@@ -241,6 +242,34 @@ evaluateSnippet(const TermPtr &term, uint64_t key,
     if (canceled)
         return std::nullopt; // budget-dependent: never cache or use
     return out;
+}
+
+void
+evaluateBatch(const std::vector<EvalBatchItem> &batch,
+              const std::function<bool(ir::Operation &)> &transform,
+              const SnippetEvalConfig &config, ExternalEvalCache &cache,
+              unsigned jobs, const std::function<bool()> &cancelled)
+{
+    parallelFor(
+        batch.size(), jobs,
+        [&](size_t i) {
+            // Jobs must not throw (worker-thread contract): an
+            // evaluation that crashes or fails to allocate is simply
+            // not cached — the serial consult re-evaluates inline,
+            // where the runner's containment applies.
+            try {
+                auto outcome =
+                    evaluateSnippet(batch[i].term, batch[i].key,
+                                    transform, config, cache);
+                if (outcome) {
+                    cache.insertPass(batch[i].key,
+                                     std::move(*outcome));
+                }
+            } catch (const FatalError &) {
+            } catch (const std::bad_alloc &) {
+            }
+        },
+        cancelled);
 }
 
 void

@@ -288,6 +288,29 @@ evaluateSnippet(const eg::TermPtr &term, uint64_t key,
                 const SnippetEvalConfig &config,
                 ExternalEvalCache &cache);
 
+/** One cold candidate of a scheduled evaluation batch. */
+struct EvalBatchItem
+{
+    uint64_t key = 0;
+    eg::TermPtr term;
+};
+
+/**
+ * Worker-pool fan-out over one scheduled batch: each item runs
+ * evaluateSnippet on one of `jobs` threads and lands its outcome in
+ * `cache`. Pure fan-out — each job touches only the thread-safe cache,
+ * and union order is untouched (the apply phase stays serial), so any
+ * jobs count produces bit-identical e-graphs. Jobs must not throw
+ * (worker-thread contract): an evaluation that crashes or fails to
+ * allocate is simply not cached — the serial consult re-evaluates
+ * inline, where the runner's containment applies.
+ */
+void evaluateBatch(const std::vector<EvalBatchItem> &batch,
+                   const std::function<bool(ir::Operation &)> &transform,
+                   const SnippetEvalConfig &config,
+                   ExternalEvalCache &cache, unsigned jobs,
+                   const std::function<bool()> &cancelled);
+
 /** Append the loop ids of every affine.for in `term`, pre-order. */
 void collectLoopIds(const eg::TermPtr &term,
                     std::vector<std::string> &out);

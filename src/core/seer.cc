@@ -159,250 +159,34 @@ recordRecovered(SeerStats &stats, const std::string &what)
 
 } // namespace
 
-SeerResult
-optimize(const ir::Module &input, const std::string &func_name,
-         const SeerOptions &options)
+namespace {
+
+/**
+ * SaturatePhase: one transactional runner invocation — checkpoint →
+ * run → validate-or-rollback. A phase that crashes, or leaves the
+ * e-graph inconsistent or blown far past its node budget, is undone
+ * wholesale; exploration continues with whatever the healthy phases
+ * produced.
+ */
+class SaturatePhase
 {
-    using Clock = std::chrono::steady_clock;
-    auto start = Clock::now();
-
-    // Unified governance: one context carries the wall-clock deadline,
-    // the memory budget (via its ResourceGovernor) and any external
-    // cancellation (SIGINT through the process-global signal flag, or a
-    // caller-provided context). Everything downstream — runner phases,
-    // external-pass evaluation, the interpreter, extraction — polls
-    // this one object.
-    ExecContext exec =
-        options.exec.valid() ? options.exec : ExecContext::make();
-    if (options.deadline_seconds > 0)
-        exec.setDeadlineIn(options.deadline_seconds);
-    if (!exec.governor()) {
-        // Always attach a governor: budget 0 means accounting only, so
-        // the "resource" stats section is populated on every run.
-        exec.setGovernor(
-            std::make_shared<ResourceGovernor>(options.mem_budget_bytes));
+  public:
+    SaturatePhase(EGraph &egraph, const eg::RunnerOptions &runner_options,
+                  const SeerOptions &options, SeerResult &result)
+        : egraph_(egraph), runner_options_(runner_options),
+          options_(options), result_(result)
+    {
     }
 
-    // Map a cancellation onto the health report. A plain deadline keeps
-    // its historical meaning (deadline_hit, not degraded: the budget
-    // was honored, the result is simply the best found in time); a
-    // memory-budget breach or an external cancel degrades the run.
-    auto note_cancellation = [&](SeerResult &result) {
-        CancelReason reason = exec.reason();
-        if (reason == CancelReason::None)
-            return;
-        bool first = result.stats.cancel_reason.empty();
-        result.stats.cancel_reason = cancelReasonName(reason);
-        if (reason == CancelReason::Deadline) {
-            result.stats.deadline_hit = true;
-        } else if (first && reason == CancelReason::MemBudget) {
-            recordRecovered(result.stats,
-                            "memory budget breached; degraded to the "
-                            "best result found within budget");
-        } else if (first && reason == CancelReason::External) {
-            recordRecovered(result.stats,
-                            "canceled by external request (signal)");
-        }
-    };
-    auto finish = [&](SeerResult &result) {
-        note_cancellation(result);
-        if (exec.governor())
-            result.stats.resource = exec.governor()->stats();
-        result.stats.total_seconds =
-            std::chrono::duration<double>(Clock::now() - start).count();
-        result.stats.time_in_egraph_seconds =
-            std::max(0.0, result.stats.total_seconds -
-                              result.stats.time_in_passes_seconds);
-    };
-
-    ir::Module working = ir::cloneModule(input);
-    ir::Operation *func = working.lookupFunc(func_name);
-    if (!func)
-        fatal("seer: no function named '" + func_name + "'");
-
-    SeerResult result;
-
-    // Pre-normalization. Failure here (or anywhere later, in non-strict
-    // mode) degrades to the best module produced so far — worst case
-    // the unmodified input. Invalid *input* IR stays fatal in every
-    // mode: valid output cannot be conjured from an invalid program.
-    try {
-        preNormalize(*func);
-        ir::verifyOrDie(working);
-    } catch (const FatalError &err) {
-        if (options.strict)
-            throw;
-        result.module = ir::cloneModule(input);
-        ir::verifyOrDie(result.module);
-        recordRecovered(result.stats,
-                        std::string("pre-normalization failed: ") +
-                            err.what());
-        finish(result);
-        return result;
-    }
-
-    // Translate and seed.
-    sl::Translation translation;
-    auto context = std::make_shared<ExternalRuleContext>();
-    context->use_laws = options.use_laws;
-    context->analysis_friendly = options.analysis_friendly_extraction;
-    context->unroll_max_trip = options.unroll_max_trip;
-    context->hls = options.hls;
-    context->validate_results = options.validate_external;
-    context->validation_runs = options.validation_runs;
-    context->validation_seed = options.validation_seed;
-    context->exec = exec;
-    // Memoized + parallel external-pass evaluation. A shared cache (a
-    // sweep over one kernel) wins over per-run construction; otherwise
-    // the cache is persistent (memoizing) or an iteration-scoped
-    // staging buffer, per use_pass_cache. Either way the exploration
-    // result is identical — the cache memoizes a pure function and
-    // unions stay serial.
-    EvalCachePtr eval_cache = options.shared_eval_cache;
-    if (!eval_cache) {
-        eval_cache =
-            std::make_shared<ExternalEvalCache>(options.use_pass_cache);
-        if (options.use_pass_cache && !options.pass_cache_file.empty()) {
-            std::string cache_error;
-            eval_cache->loadFile(options.pass_cache_file, &cache_error);
-            if (!cache_error.empty()) {
-                // Corrupt persistence is recovered by a cold start; the
-                // run itself is unaffected.
-                recordRecovered(result.stats, cache_error);
-            }
-        }
-    }
-    context->eval_cache = eval_cache;
-    eval_cache->setExecContext(exec);
-    context->jobs = options.jobs > 0 ? options.jobs : 1;
-    // Stats snapshots: a shared cache accumulates across optimize()
-    // calls, so this run reports deltas against entry values.
-    const ExternalEvalStats eval_stats_base = eval_cache->stats();
-
-    // Deterministic run-level name scope: every fresh tag / loop id
-    // drawn anywhere in this run (translation, exploration, emission)
-    // comes from a stream seeded by the *content* of the normalized
-    // input. Two runs over the same function — in this process, another
-    // process, or against a --pass-cache file from last week — generate
-    // identical names, so snippet content hashes (and therefore cache
-    // keys) are stable across runs instead of depending on how far the
-    // process-global name counters happened to have advanced.
-    sl::NameScope run_scope(hashString(func_name) ^
-                            hashString(ir::toString(working)));
-    try {
-        translation = sl::funcToTerm(*func);
-        context->registry = seedRegistry(translation, *func, options.hls);
-    } catch (const FatalError &err) {
-        if (options.strict)
-            throw;
-        result.module = std::move(working); // pre-normalized, verified
-        recordRecovered(result.stats,
-                        std::string("translation failed: ") + err.what());
-        finish(result);
-        return result;
-    }
-
-    // Phase cost models. Declared before the e-graph (they must outlive
-    // it: registered cost-bound analyses hold references) and registered
-    // below so per-class cost bounds are maintained incrementally through
-    // the whole exploration instead of being recomputed per extraction.
-    LatencyCost latency(context->registry);
-    static const eg::TermSizeCost term_size;
-
-    EGraph egraph(rover::roverAnalysisHooks());
-    egraph.setExecContext(exec);
-    if (!options.naive_extract) {
-        // Every cost model used anywhere in the run: the two extraction
-        // phases, analysis-friendly local extraction inside external
-        // rules, and the runner's record extraction (term-size).
-        eg::registerCostBound(egraph, latency);
-        eg::registerCostBound(egraph, context->area_cost);
-        eg::registerCostBound(egraph, context->friendly_cost);
-        eg::registerCostBound(egraph, term_size);
-    }
-    EClassId root{};
-    try {
-        root = egraph.addTerm(translation.term);
-        egraph.rebuild();
-    } catch (const std::bad_alloc &) {
-        // Cannot even seed the e-graph: degrade to the pre-normalized
-        // (verified) input instead of propagating the failure.
-        if (options.strict)
-            throw;
-        result.module = std::move(working);
-        result.original_term = translation.term;
-        recordRecovered(result.stats,
-                        "initial e-graph construction failed: "
-                        "allocation failure (contained)");
-        finish(result);
-        return result;
-    }
-
-    result.original_term = translation.term;
-
-    eg::RunnerOptions runner_options = options.runner;
-    runner_options.catch_rule_errors = !options.strict;
-    runner_options.quarantine_after = options.quarantine_after;
-    runner_options.exec = exec;
-    // One -j knob drives both parallel stages: e-matching and the
-    // external-pass worker pool (both deterministic by construction).
-    // --match-jobs decouples the search phase when set.
-    runner_options.match_jobs =
-        options.match_jobs ? options.match_jobs : context->jobs;
-
-    // The health trail of a runner report (recovered errors, quarantined
-    // rules). Absorbed even from a phase that is later rolled back: the
-    // faults genuinely happened, only their e-graph effects are undone.
-    auto absorb_health = [&](const eg::RunnerReport &report) {
-        for (const std::string &error : report.recovered_errors)
-            recordRecovered(result.stats, error);
-        for (const eg::RuleStats &rule : report.rules) {
-            if (!rule.quarantined)
-                continue;
-            auto &names = result.stats.quarantined_rules;
-            if (std::find(names.begin(), names.end(), rule.name) ==
-                names.end())
-                names.push_back(rule.name);
-            result.stats.degraded = true;
-        }
-    };
-
-    auto absorb = [&](eg::RunnerReport &report,
-                      size_t &applied_this_phase) {
-        applied_this_phase += report.total_applied;
-        result.stats.unions_applied += report.total_applied;
-        for (auto &record : report.records)
-            result.stats.records.push_back(std::move(record));
-        mergeRuleStats(result.stats.rule_stats, report.rules);
-        for (const eg::IterationStats &stats : report.iterations)
-            result.stats.iterations.push_back(stats);
-        eg::MatchPhaseStats &mp = result.stats.match_phase;
-        mp.candidates_visited += report.match_phase.candidates_visited;
-        mp.skipped_clean += report.match_phase.skipped_clean;
-        mp.cached_matches_reused += report.match_phase.cached_matches_reused;
-        mp.index_scans += report.match_phase.index_scans;
-        mp.full_scans += report.match_phase.full_scans;
-        mp.incremental_scans += report.match_phase.incremental_scans;
-        mp.shards += report.match_phase.shards;
-        mp.shard_seconds += report.match_phase.shard_seconds;
-        mp.search_wall_seconds += report.match_phase.search_wall_seconds;
-        mp.jobs = std::max(mp.jobs, report.match_phase.jobs);
-        absorb_health(report);
-    };
-
-    // One transactional runner invocation: checkpoint → run →
-    // validate-or-rollback. A phase that crashes, or leaves the e-graph
-    // inconsistent or blown far past its node budget, is undone
-    // wholesale; exploration continues with whatever the healthy phases
-    // produced.
-    auto run_transactional = [&](const char *label,
-                                 const std::function<void(eg::Runner &)>
-                                     &add_rules,
-                                 size_t &applied_this_phase) {
-        EGraph::Checkpoint cp = egraph.checkpoint();
+    void
+    run(const char *label,
+        const std::function<void(eg::Runner &)> &add_rules,
+        size_t &applied_this_phase)
+    {
+        EGraph::Checkpoint cp = egraph_.checkpoint();
         std::optional<eg::RunnerReport> report;
         try {
-            eg::Runner runner(egraph, runner_options);
+            eg::Runner runner(egraph_, runner_options_);
             add_rules(runner);
             report = runner.run();
             // Chaos: a fault between exploration and commit — the
@@ -411,196 +195,585 @@ optimize(const ir::Module &input, const std::string &func_name,
                 fatal("injected mid-phase fault");
             // Budget sanity: the runner stops *at* max_nodes, but one
             // pathological dynamic result can overshoot hugely.
-            if (egraph.numNodes() > 4 * runner_options.max_nodes)
+            if (egraph_.numNodes() > 4 * runner_options_.max_nodes)
                 fatal(MsgBuilder()
-                      << "phase exploded to " << egraph.numNodes()
-                      << " nodes (budget " << runner_options.max_nodes
+                      << "phase exploded to " << egraph_.numNodes()
+                      << " nodes (budget " << runner_options_.max_nodes
                       << ")");
-            std::string diag = egraph.debugCheckInvariants();
+            std::string diag = egraph_.debugCheckInvariants();
             if (!diag.empty())
                 fatal("e-graph invariants broken: " + diag);
-            egraph.commit(cp);
+            egraph_.commit(cp);
             absorb(*report, applied_this_phase);
         } catch (const FatalError &err) {
-            if (options.strict)
+            if (options_.strict)
                 throw;
-            egraph.rollback(cp);
-            ++result.stats.phase_rollbacks;
-            if (report)
-                absorb_health(*report);
-            recordRecovered(result.stats,
-                            std::string(label) +
-                                " phase rolled back: " + err.what());
+            rollback(cp, report, label, err.what());
         } catch (const std::bad_alloc &) {
             // Allocation failure anywhere in the phase: the journal
             // checkpoint still holds, so the phase is undone wholesale
             // and optimize() keeps its no-throw contract.
-            if (options.strict)
+            if (options_.strict)
                 throw;
-            egraph.rollback(cp);
-            ++result.stats.phase_rollbacks;
-            if (report)
-                absorb_health(*report);
-            recordRecovered(result.stats,
-                            std::string(label) +
-                                " phase rolled back: allocation "
-                                "failure (contained)");
+            rollback(cp, report, label,
+                     "allocation failure (contained)");
         }
-    };
-
-    // Interleaved exploration (Section 4.4).
-    for (int phase = 0; phase < options.max_phases; ++phase) {
-        if (exec.canceled())
-            break; // reason reported by note_cancellation in finish()
-        size_t applied_this_phase = 0;
-        // Rover rounds change class contents, so retry external rules
-        // freshly each phase.
-        context->attempted.clear();
-        if (options.use_control) {
-            run_transactional(
-                "control",
-                [&](eg::Runner &runner) {
-                    runner.addRules(seqRules());
-                    runner.addRules(controlRules(context));
-                    runner.addRules(options.extra_control_rules);
-                },
-                applied_this_phase);
-        }
-        if (options.use_rover) {
-            run_transactional(
-                "datapath",
-                [&](eg::Runner &runner) {
-                    runner.addRules(rover::roverRules());
-                },
-                applied_this_phase);
-        }
-        if (applied_this_phase == 0)
-            break; // joint saturation
     }
-    result.stats.rejected_externals = context->rejected_results;
-    result.stats.rejection_details = context->rejections;
 
-    // Two-phase extraction (Section 4.6) as a composable pipeline:
-    // phase 1 pins the control skeleton under the latency cost (Eqn 3),
-    // phase 2 re-extracts every pure sub-expression of that skeleton
-    // under the ROVER area cost (Eqn 4).
-    ExtractorKind control_kind = options.naive_extract
-                                     ? ExtractorKind::Naive
-                                     : ExtractorKind::Greedy;
-    ExtractorKind datapath_kind =
-        options.naive_extract
-            ? ExtractorKind::Naive
-            : (options.exact_datapath ? ExtractorKind::Exact
-                                      : ExtractorKind::Greedy);
-    ExtractionPipeline pipeline;
-    pipeline.addPhase({"control-latency", &latency, control_kind,
-                       /*refine=*/false, /*budget=*/200000, exec});
-    pipeline.addPhase({"datapath-area", &context->area_cost,
-                       datapath_kind, /*refine=*/true,
-                       /*budget=*/200000, exec});
-    // Extraction under governance: a canceled context stops the
-    // pipeline between phases and bounds the exact search from inside
-    // (best-so-far, never optimal-or-nothing). A crash or allocation
-    // failure degrades to emitting the original program.
-    ExtractionReport extraction;
-    try {
-        extraction =
-            pipeline.run(egraph, root, [&] { return exec.canceled(); });
-    } catch (const FatalError &err) {
-        if (options.strict)
-            throw;
-        extraction.infeasible = true;
-        recordRecovered(result.stats,
-                        std::string("extraction failed: ") + err.what());
-    } catch (const std::bad_alloc &) {
-        if (options.strict)
-            throw;
-        extraction.infeasible = true;
-        recordRecovered(result.stats,
-                        "extraction failed: allocation failure "
-                        "(contained)");
+    /** The health trail of a runner report (recovered errors,
+     *  quarantined rules). Absorbed even from a phase that is later
+     *  rolled back: the faults genuinely happened, only their e-graph
+     *  effects are undone. */
+    void
+    absorbHealth(const eg::RunnerReport &report)
+    {
+        for (const std::string &error : report.recovered_errors)
+            recordRecovered(result_.stats, error);
+        for (const eg::RuleStats &rule : report.rules) {
+            if (!rule.quarantined)
+                continue;
+            auto &names = result_.stats.quarantined_rules;
+            if (std::find(names.begin(), names.end(), rule.name) ==
+                names.end())
+                names.push_back(rule.name);
+            result_.stats.degraded = true;
+        }
     }
-    result.stats.extraction = extraction.phases;
-    TermPtr final_term;
-    if (!extraction.infeasible) {
-        final_term = extraction.term;
-    } else {
-        if (options.strict)
+
+  private:
+    void
+    absorb(eg::RunnerReport &report, size_t &applied_this_phase)
+    {
+        applied_this_phase += report.total_applied;
+        result_.stats.unions_applied += report.total_applied;
+        for (auto &record : report.records)
+            result_.stats.records.push_back(std::move(record));
+        mergeRuleStats(result_.stats.rule_stats, report.rules);
+        for (const eg::IterationStats &stats : report.iterations)
+            result_.stats.iterations.push_back(stats);
+        eg::MatchPhaseStats &mp = result_.stats.match_phase;
+        mp.candidates_visited += report.match_phase.candidates_visited;
+        mp.skipped_clean += report.match_phase.skipped_clean;
+        mp.cached_matches_reused +=
+            report.match_phase.cached_matches_reused;
+        mp.index_scans += report.match_phase.index_scans;
+        mp.full_scans += report.match_phase.full_scans;
+        mp.incremental_scans += report.match_phase.incremental_scans;
+        mp.shards += report.match_phase.shards;
+        mp.shard_seconds += report.match_phase.shard_seconds;
+        mp.search_wall_seconds +=
+            report.match_phase.search_wall_seconds;
+        mp.jobs = std::max(mp.jobs, report.match_phase.jobs);
+        absorbHealth(report);
+    }
+
+    void
+    rollback(const EGraph::Checkpoint &cp,
+             const std::optional<eg::RunnerReport> &report,
+             const char *label, const std::string &why)
+    {
+        egraph_.rollback(cp);
+        ++result_.stats.phase_rollbacks;
+        if (report)
+            absorbHealth(*report);
+        recordRecovered(result_.stats, std::string(label) +
+                                           " phase rolled back: " + why);
+    }
+
+    EGraph &egraph_;
+    const eg::RunnerOptions &runner_options_;
+    const SeerOptions &options_;
+    SeerResult &result_;
+};
+
+/**
+ * ExtractPhase: two-phase extraction (Section 4.6) as a composable
+ * pipeline — phase 1 pins the control skeleton under the latency cost
+ * (Eqn 3), phase 2 re-extracts every pure sub-expression of that
+ * skeleton under the ROVER area cost (Eqn 4) — degrading to the
+ * original term when the pipeline crashes or finds nothing.
+ */
+class ExtractPhase
+{
+  public:
+    ExtractPhase(const SeerOptions &options, const ExecContext &exec,
+                 SeerResult &result)
+        : options_(options), exec_(exec), result_(result)
+    {
+    }
+
+    /** Returns the term to emit (extracted, or the original on
+     *  degrade). Throws only in strict mode. */
+    TermPtr
+    run(EGraph &egraph, EClassId root, LatencyCost &latency,
+        rover::RoverAreaCost &area_cost, const TermPtr &original)
+    {
+        ExtractorKind control_kind = options_.naive_extract
+                                         ? ExtractorKind::Naive
+                                         : ExtractorKind::Greedy;
+        ExtractorKind datapath_kind =
+            options_.naive_extract
+                ? ExtractorKind::Naive
+                : (options_.exact_datapath ? ExtractorKind::Exact
+                                           : ExtractorKind::Greedy);
+        ExtractionPipeline pipeline;
+        pipeline.addPhase({"control-latency", &latency, control_kind,
+                           /*refine=*/false, /*budget=*/200000, exec_});
+        pipeline.addPhase({"datapath-area", &area_cost, datapath_kind,
+                           /*refine=*/true,
+                           /*budget=*/200000, exec_});
+        // Extraction under governance: a canceled context stops the
+        // pipeline between phases and bounds the exact search from
+        // inside (best-so-far, never optimal-or-nothing). A crash or
+        // allocation failure degrades to emitting the original
+        // program.
+        ExtractionReport extraction;
+        try {
+            extraction = pipeline.run(
+                egraph, root, [this] { return exec_.canceled(); });
+        } catch (const FatalError &err) {
+            if (options_.strict)
+                throw;
+            extraction.infeasible = true;
+            recordRecovered(result_.stats,
+                            std::string("extraction failed: ") +
+                                err.what());
+        } catch (const std::bad_alloc &) {
+            if (options_.strict)
+                throw;
+            extraction.infeasible = true;
+            recordRecovered(result_.stats,
+                            "extraction failed: allocation failure "
+                            "(contained)");
+        }
+        result_.stats.extraction = extraction.phases;
+        if (!extraction.infeasible)
+            return extraction.term;
+        if (options_.strict)
             fatal("seer: extraction found no implementation");
-        recordRecovered(result.stats,
+        recordRecovered(result_.stats,
                         "extraction found no implementation; emitting "
                         "the original program");
-        final_term = translation.term;
+        return original;
     }
-    result.extracted_term = final_term;
 
-    // Emit, degrading stepwise on failure: extracted term → original
-    // term → pre-normalized input module. The last rung cannot fail
-    // (`working` was verified above), so optimize() always returns
-    // valid IR in non-strict mode.
-    auto emit = [&](const TermPtr &term) {
-        sl::EmitSpec spec;
-        spec.func_name = translation.func_name;
-        spec.args = translation.args;
-        ir::Module module = sl::termToFunc(term, spec);
-        markTrustedLoops(module, context->registry);
-        passes::canonicalize(*module.firstFunc());
-        ir::verifyOrDie(module);
-        return module;
-    };
-    auto emit_guarded = [&](const TermPtr &term,
-                            std::string *why) -> std::optional<ir::Module> {
+  private:
+    const SeerOptions &options_;
+    const ExecContext &exec_;
+    SeerResult &result_;
+};
+
+/**
+ * OptimizeDriver: the slim coordinator of the optimization phases.
+ * Setup (pre-normalize, translate, seed) runs once; exploration
+ * interleaves SaturatePhase invocations whose external rules feed the
+ * Propose/Evaluate/Merge seam (core/scheduler.h) through the proposal
+ * scheduler selected by SeerOptions::schedule; ExtractPhase and the
+ * emission ladder produce the result. Each stage degrades per the
+ * robustness contract instead of throwing (non-strict mode).
+ */
+class OptimizeDriver
+{
+  public:
+    OptimizeDriver(const ir::Module &input, const std::string &func_name,
+                   const SeerOptions &options)
+        : input_(input), func_name_(func_name), options_(options),
+          start_(Clock::now())
+    {
+    }
+
+    SeerResult
+    run()
+    {
+        setupGovernance();
+        if (!prenormalize() || !translateAndSeed() || !seedGraph()) {
+            finish();
+            return std::move(result_);
+        }
+        explore();
+        extractAndEmit();
+        finalize();
+        finish();
+        return std::move(result_);
+    }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    void
+    setupGovernance()
+    {
+        // Unified governance: one context carries the wall-clock
+        // deadline, the memory budget (via its ResourceGovernor) and
+        // any external cancellation (SIGINT through the process-global
+        // signal flag, or a caller-provided context). Everything
+        // downstream — runner phases, external-pass evaluation, the
+        // interpreter, extraction — polls this one object.
+        exec_ = options_.exec.valid() ? options_.exec
+                                      : ExecContext::make();
+        if (options_.deadline_seconds > 0)
+            exec_.setDeadlineIn(options_.deadline_seconds);
+        if (!exec_.governor()) {
+            // Always attach a governor: budget 0 means accounting
+            // only, so the "resource" stats section is populated on
+            // every run.
+            exec_.setGovernor(std::make_shared<ResourceGovernor>(
+                options_.mem_budget_bytes));
+        }
+    }
+
+    bool
+    prenormalize()
+    {
+        working_ = ir::cloneModule(input_);
+        ir::Operation *func = working_.lookupFunc(func_name_);
+        if (!func)
+            fatal("seer: no function named '" + func_name_ + "'");
+        // Pre-normalization. Failure here (or anywhere later, in
+        // non-strict mode) degrades to the best module produced so far
+        // — worst case the unmodified input. Invalid *input* IR stays
+        // fatal in every mode: valid output cannot be conjured from an
+        // invalid program.
         try {
-            return emit(term);
+            preNormalize(*func);
+            ir::verifyOrDie(working_);
         } catch (const FatalError &err) {
-            if (options.strict)
+            if (options_.strict)
                 throw;
-            *why = err.what();
-        } catch (const std::bad_alloc &) {
-            if (options.strict)
-                throw;
-            *why = "allocation failure (contained)";
+            result_.module = ir::cloneModule(input_);
+            ir::verifyOrDie(result_.module);
+            recordRecovered(result_.stats,
+                            std::string("pre-normalization failed: ") +
+                                err.what());
+            return false;
         }
-        return std::nullopt;
-    };
-    std::string emit_why;
-    if (auto module = emit_guarded(final_term, &emit_why)) {
-        result.module = std::move(*module);
-    } else {
-        recordRecovered(result.stats,
-                        "emission of the extracted term failed: " +
-                            emit_why);
-        if (auto module = emit_guarded(translation.term, &emit_why)) {
-            result.module = std::move(*module);
-            result.extracted_term = translation.term;
+        return true;
+    }
+
+    bool
+    translateAndSeed()
+    {
+        context_ = std::make_shared<ExternalRuleContext>();
+        context_->use_laws = options_.use_laws;
+        context_->analysis_friendly =
+            options_.analysis_friendly_extraction;
+        context_->unroll_max_trip = options_.unroll_max_trip;
+        context_->hls = options_.hls;
+        context_->validate_results = options_.validate_external;
+        context_->validation_runs = options_.validation_runs;
+        context_->validation_seed = options_.validation_seed;
+        context_->exec = exec_;
+        // The propose/evaluate seam: the scheduler selected by
+        // --schedule, wired into the phase objects every external rule
+        // shares.
+        BanditConfig bandit;
+        bandit.seed = options_.schedule_seed;
+        bandit.eval_budget = options_.eval_budget;
+        context_->pipeline = makePipeline(options_.schedule, bandit);
+        // Memoized + parallel external-pass evaluation. A shared cache
+        // (a sweep over one kernel) wins over per-run construction;
+        // otherwise the cache is persistent (memoizing) or an
+        // iteration-scoped staging buffer, per use_pass_cache. Either
+        // way the exploration result is identical — the cache memoizes
+        // a pure function and unions stay serial.
+        eval_cache_ = options_.shared_eval_cache;
+        if (!eval_cache_) {
+            eval_cache_ = std::make_shared<ExternalEvalCache>(
+                options_.use_pass_cache);
+            if (options_.use_pass_cache &&
+                !options_.pass_cache_file.empty()) {
+                std::string cache_error;
+                eval_cache_->loadFile(options_.pass_cache_file,
+                                      &cache_error);
+                if (!cache_error.empty()) {
+                    // Corrupt persistence is recovered by a cold
+                    // start; the run itself is unaffected.
+                    recordRecovered(result_.stats, cache_error);
+                }
+            }
+        }
+        context_->eval_cache = eval_cache_;
+        eval_cache_->setExecContext(exec_);
+        context_->jobs = options_.jobs > 0 ? options_.jobs : 1;
+        // Stats snapshots: a shared cache accumulates across
+        // optimize() calls, so this run reports deltas against entry
+        // values.
+        eval_stats_base_ = eval_cache_->stats();
+
+        // Deterministic run-level name scope: every fresh tag /
+        // loop id drawn anywhere in this run (translation,
+        // exploration, emission) comes from a stream seeded by the
+        // *content* of the normalized input. Two runs over the same
+        // function — in this process, another process, or against a
+        // --pass-cache file from last week — generate identical names,
+        // so snippet content hashes (and therefore cache keys) are
+        // stable across runs instead of depending on how far the
+        // process-global name counters happened to have advanced.
+        run_scope_.emplace(hashString(func_name_) ^
+                           hashString(ir::toString(working_)));
+        try {
+            translation_ = sl::funcToTerm(*working_.lookupFunc(func_name_));
+            context_->registry = seedRegistry(
+                translation_, *working_.lookupFunc(func_name_),
+                options_.hls);
+        } catch (const FatalError &err) {
+            if (options_.strict)
+                throw;
+            result_.module =
+                std::move(working_); // pre-normalized, verified
+            recordRecovered(result_.stats,
+                            std::string("translation failed: ") +
+                                err.what());
+            return false;
+        }
+        return true;
+    }
+
+    bool
+    seedGraph()
+    {
+        // Phase cost models. Declared before the e-graph (they must
+        // outlive it: registered cost-bound analyses hold references)
+        // and registered below so per-class cost bounds are maintained
+        // incrementally through the whole exploration instead of being
+        // recomputed per extraction.
+        latency_.emplace(context_->registry);
+        static const eg::TermSizeCost term_size;
+
+        egraph_.emplace(rover::roverAnalysisHooks());
+        egraph_->setExecContext(exec_);
+        if (!options_.naive_extract) {
+            // Every cost model used anywhere in the run: the two
+            // extraction phases, analysis-friendly local extraction
+            // inside external rules, and the runner's record
+            // extraction (term-size).
+            eg::registerCostBound(*egraph_, *latency_);
+            eg::registerCostBound(*egraph_, context_->area_cost);
+            eg::registerCostBound(*egraph_, context_->friendly_cost);
+            eg::registerCostBound(*egraph_, term_size);
+        }
+        try {
+            root_ = egraph_->addTerm(translation_.term);
+            egraph_->rebuild();
+        } catch (const std::bad_alloc &) {
+            // Cannot even seed the e-graph: degrade to the
+            // pre-normalized (verified) input instead of propagating
+            // the failure.
+            if (options_.strict)
+                throw;
+            result_.module = std::move(working_);
+            result_.original_term = translation_.term;
+            recordRecovered(result_.stats,
+                            "initial e-graph construction failed: "
+                            "allocation failure (contained)");
+            return false;
+        }
+        result_.original_term = translation_.term;
+
+        runner_options_ = options_.runner;
+        runner_options_.catch_rule_errors = !options_.strict;
+        runner_options_.quarantine_after = options_.quarantine_after;
+        runner_options_.exec = exec_;
+        // One -j knob drives both parallel stages: e-matching and the
+        // external-pass worker pool (both deterministic by
+        // construction). --match-jobs decouples the search phase when
+        // set.
+        runner_options_.match_jobs = options_.match_jobs
+                                         ? options_.match_jobs
+                                         : context_->jobs;
+        return true;
+    }
+
+    /** Interleaved exploration (Section 4.4). */
+    void
+    explore()
+    {
+        SaturatePhase saturate(*egraph_, runner_options_, options_,
+                               result_);
+        for (int phase = 0; phase < options_.max_phases; ++phase) {
+            if (exec_.canceled())
+                break; // reported by noteCancellation in finish()
+            size_t applied_this_phase = 0;
+            // Phase boundary: the attempt memo resets inside
+            // ProposePhase (rover rounds change class contents, so
+            // external rules retry freshly each phase).
+            context_->pipeline->beginPhase();
+            if (options_.use_control) {
+                saturate.run(
+                    "control",
+                    [&](eg::Runner &runner) {
+                        runner.addRules(seqRules());
+                        runner.addRules(controlRules(context_));
+                        runner.addRules(options_.extra_control_rules);
+                    },
+                    applied_this_phase);
+            }
+            if (options_.use_rover) {
+                saturate.run(
+                    "datapath",
+                    [&](eg::Runner &runner) {
+                        runner.addRules(rover::roverRules());
+                    },
+                    applied_this_phase);
+            }
+            if (applied_this_phase == 0)
+                break; // joint saturation
+        }
+        result_.stats.rejected_externals = context_->rejected_results;
+        result_.stats.rejection_details = context_->rejections;
+    }
+
+    void
+    extractAndEmit()
+    {
+        ExtractPhase extract(options_, exec_, result_);
+        TermPtr final_term =
+            extract.run(*egraph_, root_, *latency_,
+                        context_->area_cost, translation_.term);
+        result_.extracted_term = final_term;
+
+        // Emit, degrading stepwise on failure: extracted term →
+        // original term → pre-normalized input module. The last rung
+        // cannot fail (`working` was verified above), so optimize()
+        // always returns valid IR in non-strict mode.
+        auto emit = [&](const TermPtr &term) {
+            sl::EmitSpec spec;
+            spec.func_name = translation_.func_name;
+            spec.args = translation_.args;
+            ir::Module module = sl::termToFunc(term, spec);
+            markTrustedLoops(module, context_->registry);
+            passes::canonicalize(*module.firstFunc());
+            ir::verifyOrDie(module);
+            return module;
+        };
+        auto emit_guarded =
+            [&](const TermPtr &term,
+                std::string *why) -> std::optional<ir::Module> {
+            try {
+                return emit(term);
+            } catch (const FatalError &err) {
+                if (options_.strict)
+                    throw;
+                *why = err.what();
+            } catch (const std::bad_alloc &) {
+                if (options_.strict)
+                    throw;
+                *why = "allocation failure (contained)";
+            }
+            return std::nullopt;
+        };
+        std::string emit_why;
+        if (auto module = emit_guarded(final_term, &emit_why)) {
+            result_.module = std::move(*module);
         } else {
-            recordRecovered(result.stats,
-                            "emission of the original term failed: " +
+            recordRecovered(result_.stats,
+                            "emission of the extracted term failed: " +
                                 emit_why);
-            result.module = std::move(working);
-            result.extracted_term = nullptr;
+            if (auto module =
+                    emit_guarded(translation_.term, &emit_why)) {
+                result_.module = std::move(*module);
+                result_.extracted_term = translation_.term;
+            } else {
+                recordRecovered(result_.stats,
+                                "emission of the original term "
+                                "failed: " +
+                                    emit_why);
+                result_.module = std::move(working_);
+                result_.extracted_term = nullptr;
+            }
         }
     }
 
-    result.registry = std::move(context->registry);
-    result.stats.egraph_nodes = egraph.numNodes();
-    result.stats.egraph_classes = egraph.numClasses();
-    // "Time in MLIR": wall-clock spent evaluating external passes this
-    // run (batches block the main loop, so wall time is the honest
-    // figure under -j; per-stage thread-seconds live in external_eval).
-    result.stats.time_in_passes_seconds = context->mlir_seconds;
-    result.stats.external_eval =
-        evalStatsDelta(eval_cache->stats(), eval_stats_base);
-    if (!options.shared_eval_cache && options.use_pass_cache &&
-        !options.pass_cache_file.empty()) {
-        std::string cache_error;
-        if (!eval_cache->saveFile(options.pass_cache_file,
-                                  &cache_error)) {
-            recordRecovered(result.stats, cache_error);
+    void
+    finalize()
+    {
+        result_.registry = std::move(context_->registry);
+        result_.stats.egraph_nodes = egraph_->numNodes();
+        result_.stats.egraph_classes = egraph_->numClasses();
+        // "Time in MLIR": wall-clock spent evaluating external passes
+        // this run (batches block the main loop, so wall time is the
+        // honest figure under -j; per-stage thread-seconds live in
+        // external_eval).
+        result_.stats.time_in_passes_seconds = context_->mlir_seconds;
+        result_.stats.external_eval =
+            evalStatsDelta(eval_cache_->stats(), eval_stats_base_);
+        result_.stats.scheduler =
+            context_->pipeline->scheduler().stats();
+        if (!options_.shared_eval_cache && options_.use_pass_cache &&
+            !options_.pass_cache_file.empty()) {
+            std::string cache_error;
+            if (!eval_cache_->saveFile(options_.pass_cache_file,
+                                       &cache_error)) {
+                recordRecovered(result_.stats, cache_error);
+            }
         }
     }
-    finish(result);
-    return result;
+
+    /** Map a cancellation onto the health report. A plain deadline
+     *  keeps its historical meaning (deadline_hit, not degraded: the
+     *  budget was honored, the result is simply the best found in
+     *  time); a memory-budget breach or an external cancel degrades
+     *  the run. */
+    void
+    noteCancellation()
+    {
+        CancelReason reason = exec_.reason();
+        if (reason == CancelReason::None)
+            return;
+        bool first = result_.stats.cancel_reason.empty();
+        result_.stats.cancel_reason = cancelReasonName(reason);
+        if (reason == CancelReason::Deadline) {
+            result_.stats.deadline_hit = true;
+        } else if (first && reason == CancelReason::MemBudget) {
+            recordRecovered(result_.stats,
+                            "memory budget breached; degraded to the "
+                            "best result found within budget");
+        } else if (first && reason == CancelReason::External) {
+            recordRecovered(result_.stats,
+                            "canceled by external request (signal)");
+        }
+    }
+
+    void
+    finish()
+    {
+        noteCancellation();
+        if (exec_.governor())
+            result_.stats.resource = exec_.governor()->stats();
+        result_.stats.total_seconds =
+            std::chrono::duration<double>(Clock::now() - start_)
+                .count();
+        result_.stats.time_in_egraph_seconds =
+            std::max(0.0, result_.stats.total_seconds -
+                              result_.stats.time_in_passes_seconds);
+    }
+
+    const ir::Module &input_;
+    const std::string func_name_;
+    const SeerOptions &options_;
+    Clock::time_point start_;
+
+    ExecContext exec_;
+    SeerResult result_;
+    ir::Module working_;
+    sl::Translation translation_;
+    ContextPtr context_;
+    EvalCachePtr eval_cache_;
+    ExternalEvalStats eval_stats_base_;
+    std::optional<sl::NameScope> run_scope_;
+    std::optional<LatencyCost> latency_;
+    std::optional<EGraph> egraph_;
+    EClassId root_{};
+    eg::RunnerOptions runner_options_;
+};
+
+} // namespace
+
+SeerResult
+optimize(const ir::Module &input, const std::string &func_name,
+         const SeerOptions &options)
+{
+    return OptimizeDriver(input, func_name, options).run();
 }
 
 json::Value
@@ -623,6 +796,7 @@ toJson(const SeerStats &stats)
     out.set("iterations", std::move(iterations));
     out.set("match_phase", eg::toJson(stats.match_phase));
     out.set("external_eval", toJson(stats.external_eval));
+    out.set("scheduler", toJson(stats.scheduler));
     json::Value extraction{json::Array{}};
     for (const ExtractionPhaseStats &phase : stats.extraction) {
         json::Value p{json::Object{}};

@@ -130,6 +130,30 @@ struct SeerOptions
      *  and pass_cache_file when set. */
     EvalCachePtr shared_eval_cache;
 
+    // --- proposal scheduling ---------------------------------------------
+    /**
+     * Which ProposalScheduler the driver plugs into the
+     * propose/evaluate seam (`seer-opt --schedule`). Exhaustive (the
+     * default) evaluates every candidate in enumeration order and is
+     * bit-identical to the pre-seam loop; bandit prioritizes by learned
+     * (pass, structural-hash bucket) value under an eval budget. A
+     * bandit run may settle on a *different* optimum — every candidate
+     * it does evaluate still passes the same validation gate, so
+     * soundness is unaffected.
+     */
+    ScheduleKind schedule = ScheduleKind::Exhaustive;
+    /**
+     * Per-iteration cold-evaluation budget as a fraction of each
+     * candidate wave, clamped to (0, 1] (`--eval-budget`; bandit only
+     * — exhaustive ignores it). Every wave keeps at least one slot, so
+     * exploration always progresses.
+     */
+    double eval_budget = 1.0;
+    /** Replay seed of the bandit's epsilon-exploration stream
+     *  (`--schedule-seed`). Same seed -> byte-identical exploration
+     *  across runs, processes, and -j values. */
+    uint64_t schedule_seed = 0x5EED;
+
     SeerOptions()
     {
         // Budgets sized for the now-honest backoff scheduler: explosive
@@ -193,6 +217,11 @@ struct SeerStats
     /** Cache hit rates and per-stage timing of the memoized
      *  external-pass evaluation layer ("external_eval" in --stats). */
     ExternalEvalStats external_eval;
+
+    /** Proposal-scheduler telemetry ("scheduler" in --stats): arms,
+     *  pulls, regret proxy, budget spent/saved. Counts only — the
+     *  section is byte-identical across machines and -j values. */
+    SchedulerStats scheduler;
 
     /** Per-phase extraction telemetry ("extraction" in --stats). */
     std::vector<ExtractionPhaseStats> extraction;

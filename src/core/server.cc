@@ -192,13 +192,18 @@ OptServer::handleClient(std::shared_ptr<net::Fd> client)
         }
     }
     if (!options_.quiet) {
+        // A non-default schedule is worth a note: the same kernel can
+        // legitimately produce a different (still sound) optimum.
+        std::string sched = request.schedule != "exhaustive"
+                                ? ", schedule " + request.schedule
+                                : "";
         logLine("; seer-optd: req #" + std::to_string(request_id) +
                 ": exit " + std::to_string(response.exit_code) +
                 ", " + std::to_string(response.pass_cache_hits) +
                 " hits, " +
                 std::to_string(response.pass_cache_misses) +
                 " misses, " + std::to_string(response.evaluations) +
-                " evals, " + std::to_string(seconds) + "s" +
+                " evals, " + std::to_string(seconds) + "s" + sched +
                 (hung_up.load() ? " (client gone)" : "") + "\n");
     }
     if (save_now)

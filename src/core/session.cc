@@ -157,6 +157,9 @@ ServeRequest::fromOptions(const SeerOptions &options)
     request.deadline_seconds = options.deadline_seconds;
     request.mem_budget_bytes = options.mem_budget_bytes;
     request.validation_runs = options.validation_runs;
+    request.schedule = scheduleKindName(options.schedule);
+    request.eval_budget = options.eval_budget;
+    request.schedule_seed = options.schedule_seed;
     request.time_limit_seconds = options.runner.time_limit_seconds;
     return request;
 }
@@ -179,6 +182,11 @@ ServeRequest::toOptions() const
     options.deadline_seconds = deadline_seconds;
     options.mem_budget_bytes = mem_budget_bytes;
     options.validation_runs = validation_runs;
+    // parseRequest validated the name; an unknown one here (a request
+    // built by hand) falls back to the exhaustive default.
+    parseScheduleKind(schedule, &options.schedule);
+    options.eval_budget = eval_budget;
+    options.schedule_seed = schedule_seed;
     options.runner.time_limit_seconds = time_limit_seconds;
     return options;
 }
@@ -211,6 +219,11 @@ serializeRequest(const ServeRequest &request)
                 std::to_string(request.mem_budget_bytes));
     appendField(out, "validation_runs",
                 std::to_string(request.validation_runs));
+    appendField(out, "schedule", request.schedule);
+    appendField(out, "eval_budget",
+                formatDouble(request.eval_budget));
+    appendField(out, "schedule_seed",
+                std::to_string(request.schedule_seed));
     appendField(out, "time_limit",
                 formatDouble(request.time_limit_seconds));
     appendField(out, "stats", request.want_stats ? "1" : "0");
@@ -278,6 +291,19 @@ parseRequest(const std::string &text, ServeRequest *request,
             if (!parseInt(value, &i))
                 return fail(error, "bad validation_runs");
             request->validation_runs = static_cast<int>(i);
+        } else if (key == "schedule") {
+            ScheduleKind kind{};
+            if (!parseScheduleKind(value, &kind))
+                return fail(error, "bad schedule");
+            request->schedule = value;
+        } else if (key == "eval_budget") {
+            if (!parseDouble(value, &d))
+                return fail(error, "bad eval_budget");
+            request->eval_budget = d;
+        } else if (key == "schedule_seed") {
+            if (!parseUint(value, &u))
+                return fail(error, "bad schedule_seed");
+            request->schedule_seed = u;
         } else if (key == "time_limit") {
             if (!parseDouble(value, &d))
                 return fail(error, "bad time_limit");

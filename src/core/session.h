@@ -62,6 +62,14 @@ struct ServeRequest
     /** Co-simulation runs per validation (cache-keyed; the serve bench
      *  raises it to make external evaluation dominate). */
     int validation_runs = 2;
+    /** Proposal scheduler ("exhaustive" or "bandit"; mirrors
+     *  `seer-opt --schedule`). An unrecognized name fails the request
+     *  at parse time rather than silently defaulting. */
+    std::string schedule = "exhaustive";
+    /** Bandit per-wave cold-evaluation budget (`--eval-budget`). */
+    double eval_budget = 1.0;
+    /** Bandit replay seed (`--schedule-seed`). */
+    uint64_t schedule_seed = 0x5EED;
     /**
      * Egg-runner wall-clock limit per saturation (SeerOptions
      * default: 10). Time-limited exploration is *load-dependent* —

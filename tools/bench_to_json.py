@@ -13,7 +13,11 @@ summary section with before/after speedups. Two modes:
   --mode passes (micro_passes): benchmarks parameterized with
       cache:{0,1}/jobs:N arms; the cold serial arm (cache:0/jobs:1) is
       the baseline and every other arm reports its speedup against it.
-      Writes BENCH_passes.json.
+      The BM_ScheduleBudget arms (kernel:K/sched:S/budget_pct:P) are
+      summarized separately as the proposal scheduler's cost-vs-budget
+      trajectory: per eval budget, how many kernels keep the exhaustive
+      baseline's final extraction cost and the cold-evaluation
+      reduction. Writes BENCH_passes.json.
 
   --mode extract (micro_extract): same naive:{0,1} pairing as egraph —
       naive:1 runs the from-scratch extraction bounds, naive:0 the
@@ -179,6 +183,81 @@ def summarize_passes(benchmarks):
     return summary
 
 
+SCHED_ARM_RE = re.compile(
+    r"^(?P<base>.*)/kernel:(?P<kernel>\d+)/sched:(?P<sched>\d+)"
+    r"/budget_pct:(?P<pct>\d+)(?P<suffix>/real_time)?$")
+
+
+def summarize_schedule(benchmarks):
+    """The proposal scheduler's cost-vs-budget trajectory.
+
+    Groups BM_ScheduleBudget arms per kernel (the label carries the
+    kernel name), pairs every bandit arm against the exhaustive
+    baseline, and reports per budget how many kernels keep the
+    baseline's final extraction cost and how many cold external
+    evaluations the budget saved.
+    """
+    kernels = {}
+    for bench in benchmarks:
+        if bench.get("run_type") == "aggregate":
+            continue
+        match = SCHED_ARM_RE.match(bench["name"])
+        if match is None:
+            continue
+        label = bench.get("label") or f"kernel:{match.group('kernel')}"
+        arm = ("exhaustive" if match.group("sched") == "0"
+               else f"bandit@{match.group('pct')}")
+        kernels.setdefault(label, {})[arm] = {
+            "time": bench["real_time"],
+            "cost": bench.get("cost", 0.0),
+            "evals": bench.get("evals", 0.0),
+            "deferred": bench.get("deferred", 0.0),
+        }
+    if not kernels:
+        return None
+    summary = {"kernels": {}, "budget_trajectory": []}
+    budget_arms = set()
+    for label, arms in sorted(kernels.items()):
+        baseline = arms.get("exhaustive")
+        if baseline is None:
+            continue
+        entry = {"exhaustive": baseline, "arms": {}}
+        for arm, stats in sorted(arms.items()):
+            if arm == "exhaustive":
+                continue
+            stats = dict(stats)
+            stats["cost_match"] = stats["cost"] == baseline["cost"]
+            stats["eval_reduction"] = (
+                baseline["evals"] / stats["evals"]
+                if stats["evals"] > 0 else 0.0)
+            entry["arms"][arm] = stats
+            budget_arms.add(arm)
+        summary["kernels"][label] = entry
+    for arm in sorted(budget_arms,
+                      key=lambda a: -int(a.split("@")[1])):
+        total = matched = 0
+        baseline_evals = arm_evals = 0.0
+        for entry in summary["kernels"].values():
+            stats = entry["arms"].get(arm)
+            if stats is None:
+                continue
+            total += 1
+            matched += 1 if stats["cost_match"] else 0
+            baseline_evals += entry["exhaustive"]["evals"]
+            arm_evals += stats["evals"]
+        summary["budget_trajectory"].append({
+            "arm": arm,
+            "budget_pct": int(arm.split("@")[1]),
+            "kernels": total,
+            "cost_matched": matched,
+            "baseline_cold_evals": baseline_evals,
+            "cold_evals": arm_evals,
+            "eval_reduction": (baseline_evals / arm_evals
+                               if arm_evals > 0 else 0.0),
+        })
+    return summary
+
+
 def run_corpus(bench, seeds, extra_args):
     """Run seer-corpus and return its JSON run report."""
     fd, path = tempfile.mkstemp(suffix=".json", prefix="seer_corpus_")
@@ -289,11 +368,21 @@ def print_summary(mode, summary):
                 print(f"{base}: {counters}")
         return
     for base, entry in sorted(summary.items()):
+        if base == "schedule_budget":
+            continue
         print(f"{base}: baseline cache:0/jobs:1 = "
               f"{entry['baseline_time']:.1f}")
         for arm, stats in sorted(entry["arms"].items()):
             print(f"  {arm}: {stats['speedup']:.2f}x "
                   f"({stats['time']:.1f})")
+    schedule = summary.get("schedule_budget")
+    if schedule:
+        for point in schedule["budget_trajectory"]:
+            print(f"schedule {point['arm']}: cost matched on "
+                  f"{point['cost_matched']}/{point['kernels']} kernels,"
+                  f" cold evals {point['baseline_cold_evals']:.0f} -> "
+                  f"{point['cold_evals']:.0f} "
+                  f"({point['eval_reduction']:.2f}x fewer)")
 
 
 def main():
@@ -372,8 +461,10 @@ def main():
          for key in ("name", "real_time", "cpu_time", "time_unit",
                      "iterations", "items_per_second", "label",
                      # micro_passes telemetry: cache behavior and the
-                     # egg/MLIR split of each arm.
+                     # egg/MLIR split of each arm; the scheduler arms
+                     # add the final extraction cost and deferrals.
                      "unions", "evals", "hits", "mlir_s", "egg_s",
+                     "cost", "deferred",
                      # micro_extract telemetry: bound-analysis work and
                      # branch-and-bound search effort per arm.
                      "recomputed", "visited", "prunes", "expansions",
@@ -385,6 +476,11 @@ def main():
     # "extract" uses the same naive:{0,1} arm pairing as "egraph".
     summarize = (summarize_passes if args.mode == "passes"
                  else summarize_egraph)
+    summary = summarize(raw.get("benchmarks", []))
+    if args.mode == "passes":
+        schedule = summarize_schedule(raw.get("benchmarks", []))
+        if schedule is not None:
+            summary["schedule_budget"] = schedule
     out = {
         "generated_by": "tools/bench_to_json.py",
         "mode": args.mode,
@@ -394,7 +490,7 @@ def main():
                         "library_build_type")
         },
         "benchmarks": benchmarks,
-        "summary": summarize(raw.get("benchmarks", [])),
+        "summary": summary,
     }
     with open(out_path, "w") as f:
         json.dump(out, f, indent=2)

@@ -4,6 +4,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "core/seer.h"
+
 namespace seer::cli {
 
 ArgCursor::ArgCursor(std::string prog, int argc, char **argv)
@@ -164,6 +166,49 @@ splitList(const std::string &text)
             out.push_back(piece);
     }
     return out;
+}
+
+bool
+handleScheduleFlag(ArgCursor &args, const std::string &arg,
+                   core::SeerOptions &seer)
+{
+    if (arg == "--schedule") {
+        std::string name = args.value();
+        if (args.failed())
+            return true;
+        if (!core::parseScheduleKind(name, &seer.schedule)) {
+            args.fail("bad --schedule '" + name +
+                      "' (expected exhaustive or bandit)");
+        }
+    } else if (arg == "--eval-budget") {
+        double budget = args.doubleValue();
+        if (!args.failed() && (budget <= 0 || budget > 1))
+            args.fail("--eval-budget must be in (0, 1]");
+        else
+            seer.eval_budget = budget;
+    } else if (arg == "--schedule-seed") {
+        seer.schedule_seed = static_cast<uint64_t>(args.intValue());
+    } else {
+        return false;
+    }
+    return true;
+}
+
+const char *
+scheduleFlagsUsage()
+{
+    return
+        "  --schedule S       proposal scheduler: 'exhaustive'\n"
+        "                     (default; every candidate, enumeration\n"
+        "                     order) or 'bandit' (seeded UCB over\n"
+        "                     (pass, snippet-hash) arms; may settle on\n"
+        "                     a different — never unsound — optimum)\n"
+        "  --eval-budget F    bandit: cold external evaluations per\n"
+        "                     candidate wave as a fraction in (0, 1]\n"
+        "                     (default 1.0; every wave keeps >= 1 slot)\n"
+        "  --schedule-seed N  bandit replay seed (default 0x5EED); the\n"
+        "                     same seed replays byte-identically across\n"
+        "                     runs, processes, and -j values\n";
 }
 
 } // namespace seer::cli

@@ -35,6 +35,10 @@
 #include <string>
 #include <vector>
 
+namespace seer::core {
+struct SeerOptions;
+}
+
 namespace seer::cli {
 
 /**
@@ -95,6 +99,20 @@ class ArgCursor
 
 /** Split a comma-separated list, dropping empty pieces. */
 std::vector<std::string> splitList(const std::string &text);
+
+/**
+ * Handle the proposal-scheduler flags shared by seer-opt, seer-corpus
+ * and seer-optd: --schedule (exhaustive | bandit), --eval-budget
+ * (fraction in (0, 1]) and --schedule-seed. Returns true when `arg`
+ * was one of them (consumed — check args.endArg() as usual); false
+ * leaves the cursor untouched for the caller's own dispatch chain.
+ */
+bool handleScheduleFlag(ArgCursor &args, const std::string &arg,
+                        core::SeerOptions &seer);
+
+/** The usage text of the shared scheduler flags (one block, aligned
+ *  with each binary's two-space flag column). */
+const char *scheduleFlagsUsage();
 
 } // namespace seer::cli
 

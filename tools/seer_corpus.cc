@@ -96,6 +96,7 @@ usage()
         "  --chaos-rate R     per-hit fault probability (default 0.02)\n"
         "  --chaos-plan P     with --check: re-judge the file under a\n"
         "                     fixed fault plan (from a repro header)\n"
+        << seer::cli::scheduleFlagsUsage() <<
         "  --mem-budget B     per-case optimize() memory budget in\n"
         "                     bytes (k/m/g suffixes accepted)\n"
         "  --quiet            suppress per-failure progress lines\n"
@@ -184,6 +185,14 @@ parseArgs(int argc, char **argv, CliOptions &options)
                 args.fail("bad --chaos-plan '" + text + "'");
             else
                 corpus.oracle.chaos_plan = *plan;
+        } else if (seer::cli::handleScheduleFlag(args, arg,
+                                                 corpus.oracle.seer)) {
+            // --schedule / --eval-budget / --schedule-seed pass
+            // through to every case's optimize() run. A bandit
+            // schedule may settle on a different optimum than
+            // exhaustive, but the oracle judges semantics, never which
+            // optimum was reached — soundness verdicts are
+            // schedule-independent.
         } else if (arg == "--mem-budget") {
             if (auto bytes = args.byteValue())
                 corpus.oracle.seer.mem_budget_bytes = *bytes;

@@ -90,6 +90,7 @@ usage()
         "  --match-jobs N     worker threads for the sharded e-matching\n"
         "                     phase alone (default: inherit --jobs);\n"
         "                     same bit-identical guarantee\n"
+        << seer::cli::scheduleFlagsUsage() <<
         "  --pass-cache FILE  persist the pass-outcome/verification\n"
         "                     cache across runs (loaded at start, saved\n"
         "                     at exit; a corrupt file cold-starts)\n"
@@ -232,6 +233,9 @@ parseArgs(int argc, char **argv, CliOptions &options)
             if (!args.failed() && jobs < 1)
                 args.fail("--jobs must be >= 1");
             options.seer.jobs = static_cast<unsigned>(jobs);
+        } else if (seer::cli::handleScheduleFlag(args, arg,
+                                                 options.seer)) {
+            // --schedule / --eval-budget / --schedule-seed handled.
         } else if (arg == "--pass-cache") {
             options.seer.pass_cache_file = args.value();
         } else if (arg == "--no-pass-cache") {
